@@ -1,0 +1,661 @@
+(* Benchmark and experiment harness.
+
+   The paper's evaluation consists of worked examples (Figures 1-5,
+   Examples 1-4), not performance tables.  This harness therefore
+   regenerates, for every figure, the exact structure the paper prints
+   (tables E1-E6), verifies the preservation claims in bulk (E7), and
+   adds the scaling measurements S1-S4 described in EXPERIMENTS.md.
+
+   Run: dune exec bench/main.exe            (tables + bechamel benches)
+        dune exec bench/main.exe -- tables  (tables only)
+        dune exec bench/main.exe -- bench   (bechamel only) *)
+
+open Tdp_core
+module Fig1 = Tdp_paper.Fig1
+module Fig3 = Tdp_paper.Fig3
+module Synth = Tdp_synth.Synth
+module Dispatch = Tdp_dispatch.Dispatch
+
+let ty = Type_name.of_string
+let at = Attr_name.of_string
+let key = Method_def.Key.make
+
+let section title = Fmt.pr "@.=== %s ===@." title
+let row2 c1 c2 = Fmt.pr "  %-34s %s@." c1 c2
+let row3 c1 c2 c3 = Fmt.pr "  %-26s %-28s %s@." c1 c2 c3
+let row4 c1 c2 c3 c4 = Fmt.pr "  %-14s %-22s %-22s %s@." c1 c2 c3 c4
+let verdict ok = if ok then "MATCH" else "** MISMATCH **"
+
+let status_string = function
+  | `Applicable -> "applicable"
+  | `Not_applicable -> "not applicable"
+  | `Unknown -> "unknown"
+
+(* ------------------------------------------------------------------ *)
+(* E1 / E2: Figure 1 -> Figure 2                                       *)
+(* ------------------------------------------------------------------ *)
+
+let describe_type h name =
+  let def = Hierarchy.find h (ty name) in
+  Fmt.str "{%s} / [%s]"
+    (String.concat ","
+       (List.map (fun a -> Attr_name.to_string (Attribute.name a)) (Type_def.attrs def)))
+    (String.concat ","
+       (List.map
+          (fun (s, p) -> Fmt.str "%s@%d" (Type_name.to_string s) p)
+          (Type_def.supers def)))
+
+let table_e1_e2 () =
+  section
+    "E1: Fig. 1 method applicability under Π_{ssn,date_of_birth,pay_rate} Employee";
+  let o = Fig1.project () in
+  row4 "method" "paper" "measured" "verdict";
+  List.iter
+    (fun (gf, paper) ->
+      let measured = status_string (Applicability.status o.analysis (key gf gf)) in
+      row4 gf paper measured (verdict (String.equal paper measured)))
+    [ ("age", "applicable");
+      ("promote", "applicable");
+      ("income", "not applicable");
+      ("get_ssn", "applicable");
+      ("get_name", "not applicable");
+      ("get_date_of_birth", "applicable");
+      ("get_pay_rate", "applicable");
+      ("get_hrs_worked", "not applicable")
+    ];
+  section "E2: Fig. 2 refactored hierarchy";
+  let h = Schema.hierarchy o.schema in
+  row3 "type" "paper: local attrs / supers" "measured";
+  List.iter
+    (fun (name, paper) ->
+      let measured = describe_type h name in
+      row3 name paper
+        (Fmt.str "%-28s %s" measured (verdict (String.equal paper measured))))
+    [ ("Person_hat", "{ssn,date_of_birth} / []");
+      ("Person", "{name} / [Person_hat@0]");
+      ("Employee_hat", "{pay_rate} / [Person_hat@1]");
+      ("Employee", "{hrs_worked} / [Employee_hat@0,Person@1]")
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E3: Examples 1 and 2                                                *)
+(* ------------------------------------------------------------------ *)
+
+let table_e3 () =
+  section "E3: Fig. 3 / Example 2 classification under Π_{a2,e2,h2} A";
+  let o = Fig3.project () in
+  row4 "method" "paper" "measured" "verdict";
+  let all =
+    List.map (fun (g, i) -> (g, i, "applicable")) Fig3.expected_applicable
+    @ List.map (fun (g, i) -> (g, i, "not applicable")) Fig3.expected_not_applicable
+  in
+  List.iter
+    (fun (gf, id, paper) ->
+      let measured = status_string (Applicability.status o.analysis (key gf id)) in
+      row4 id paper measured (verdict (String.equal paper measured)))
+    (List.sort compare all);
+  row2 "driver passes"
+    (Fmt.str "%d (paper: y1 is retracted and re-checked => >1)" o.analysis.passes)
+
+(* ------------------------------------------------------------------ *)
+(* E4: Figure 4                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let fig4_expected =
+  [ ("A_hat", "{a2} / [C_hat@1,B_hat@2]");
+    ("A", "{a1} / [A_hat@0,C@1,B@2]");
+    ("B_hat", "{} / [E_hat@2]");
+    ("B", "{b1} / [B_hat@0,D@1,E@2]");
+    ("C_hat", "{} / [F_hat@1,E_hat@2]");
+    ("C", "{c1} / [C_hat@0,F@1,E@2]");
+    ("D", "{d1} / []");
+    ("E_hat", "{e2} / [H_hat@2]");
+    ("E", "{e1} / [E_hat@0,G@1,H@2]");
+    ("F_hat", "{} / [H_hat@1]");
+    ("F", "{f1} / [F_hat@0,H@1]");
+    ("G", "{g1} / []");
+    ("H_hat", "{h2} / []");
+    ("H", "{h1} / [H_hat@0]")
+  ]
+
+let table_e4 () =
+  section "E4: Fig. 4 factored hierarchy (Section 5.2 trace)";
+  let o = Fig3.project () in
+  let h = Schema.hierarchy o.schema in
+  row3 "type" "paper" "measured";
+  List.iter
+    (fun (name, paper) ->
+      let measured = describe_type h name in
+      row3 name paper
+        (Fmt.str "%-28s %s" measured (verdict (String.equal paper measured))))
+    fig4_expected
+
+(* ------------------------------------------------------------------ *)
+(* E5: Example 3                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let table_e5 () =
+  section "E5: Example 3 rewritten signatures (FactorMethods)";
+  let o = Fig3.project () in
+  row4 "method" "paper" "measured" "verdict";
+  List.iter
+    (fun (gf, id, paper) ->
+      let m = Schema.find_method o.schema (key gf id) in
+      let measured =
+        Fmt.str "(%s)"
+          (String.concat ","
+             (List.map Type_name.to_string
+                (Signature.param_types (Method_def.signature m))))
+      in
+      row4 id paper measured (verdict (String.equal paper measured)))
+    [ ("v", "v1", "(A_hat,C_hat)");
+      ("u", "u3", "(B_hat)");
+      ("w", "w2", "(C_hat)");
+      ("get_h2", "get_h2", "(B_hat)")
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E6: Figure 5 / Example 4                                            *)
+(* ------------------------------------------------------------------ *)
+
+let table_e6 () =
+  section "E6: Fig. 5 augmented hierarchy (Z from def-use analysis)";
+  let o = Fig3.project ~schema:Fig3.schema_with_z () in
+  let z =
+    String.concat "," (List.map Type_name.to_string (Type_name.Set.elements o.z))
+  in
+  row4 "quantity" "paper" "measured" "verdict";
+  row4 "Z" "D,G" z (verdict (String.equal z "D,G"));
+  let h = Schema.hierarchy o.schema in
+  List.iter
+    (fun (name, paper) ->
+      let measured = describe_type h name in
+      row4 name paper measured (verdict (String.equal paper measured)))
+    [ ("D_hat", "{} / []");
+      ("G_hat", "{} / []");
+      ("D", "{d1} / [D_hat@0]");
+      ("G", "{g1} / [G_hat@0]");
+      ("B_hat", "{} / [D_hat@1,E_hat@2]");
+      ("E_hat", "{e2} / [G_hat@1,H_hat@2]")
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E7: preservation claims over random schemas                         *)
+(* ------------------------------------------------------------------ *)
+
+let table_e7 () =
+  section "E7: invariant checks over 100 random schemas (Tdp_synth)";
+  let cases = 100 in
+  let violations = ref 0 and ran = ref 0 in
+  for seed = 0 to cases - 1 do
+    let cfg =
+      { Synth.default with
+        n_types = 4 + (seed mod 12);
+        max_supers = 1 + (seed mod 3);
+        n_gfs = 2 + (seed mod 4);
+        seed
+      }
+    in
+    let schema = Synth.generate cfg in
+    let source, projection = Synth.gen_projection ~seed schema in
+    incr ran;
+    match
+      Projection.project_exn schema ~view:(Fmt.str "v%d" seed) ~source ~projection ()
+    with
+    | (_ : Projection.outcome) -> ()
+    | exception Error.E e ->
+        incr violations;
+        Fmt.pr "  seed %d: %a@." seed Error.pp e
+  done;
+  row4 "property" "paper claim" "measured" "verdict";
+  row4 "all invariants"
+    (Fmt.str "0 violations / %d" cases)
+    (Fmt.str "%d violations / %d" !violations !ran)
+    (verdict (!violations = 0))
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic hierarchies for the scaling experiments                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A linear chain T(d-1) ⪯ … ⪯ T0, one attribute per type. *)
+let chain_schema d =
+  let rec go schema i =
+    if i = d then schema
+    else
+      let supers = if i = 0 then [] else [ (ty (Fmt.str "T%d" (i - 1)), 1) ] in
+      go
+        (Schema.add_type schema
+           (Type_def.make
+              ~attrs:[ Attribute.make (at (Fmt.str "x%d" i)) Value_type.int ]
+              ~supers (ty (Fmt.str "T%d" i))))
+        (i + 1)
+  in
+  go Schema.empty 0
+
+let chain_projection d =
+  (ty (Fmt.str "T%d" (d - 1)), List.init d (fun i -> at (Fmt.str "x%d" i)))
+
+(* A star: source with w direct supertypes, one attribute each. *)
+let star_schema w =
+  let schema =
+    List.fold_left
+      (fun schema i ->
+        Schema.add_type schema
+          (Type_def.make
+             ~attrs:[ Attribute.make (at (Fmt.str "s%d" i)) Value_type.int ]
+             (ty (Fmt.str "S%d" i))))
+      Schema.empty
+      (List.init w (fun i -> i))
+  in
+  Schema.add_type schema
+    (Type_def.make
+       ~attrs:[ Attribute.make (at "own") Value_type.int ]
+       ~supers:(List.init w (fun i -> (ty (Fmt.str "S%d" i), i + 1)))
+       (ty "Src"))
+
+let star_projection w = (ty "Src", List.init w (fun i -> at (Fmt.str "s%d" i)))
+
+let synth_for_methods m =
+  Synth.generate
+    { Synth.default with
+      n_types = 16;
+      n_gfs = max 1 (m / 5);
+      methods_per_gf = 5;
+      calls_per_body = 3;
+      seed = 11
+    }
+
+(* Wall-clock timing for the sweep tables; bechamel covers the precise
+   single points. *)
+let time_it f =
+  let reps = ref 1 in
+  let rec go () =
+    let t0 = Sys.time () in
+    for _ = 1 to !reps do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    let dt = Sys.time () -. t0 in
+    if dt < 0.02 && !reps < 1_000_000 then begin
+      reps := !reps * 4;
+      go ()
+    end
+    else dt /. float_of_int !reps
+  in
+  go ()
+
+let pp_time ppf s =
+  if s < 1e-6 then Fmt.pf ppf "%8.1f ns" (s *. 1e9)
+  else if s < 1e-3 then Fmt.pf ppf "%8.2f us" (s *. 1e6)
+  else Fmt.pf ppf "%8.3f ms" (s *. 1e3)
+
+let table_s1 () =
+  section "S1: IsApplicable scaling vs. number of methods (16 types, recursion on)";
+  row3 "methods" "analysis time" "time / method";
+  List.iter
+    (fun m ->
+      let schema = synth_for_methods m in
+      let n_methods = List.length (Schema.all_methods schema) in
+      let source, projection = Synth.gen_projection ~seed:1 schema in
+      let t =
+        time_it (fun () -> Applicability.analyze_exn schema ~source ~projection)
+      in
+      row3 (string_of_int n_methods)
+        (Fmt.str "%a" pp_time t)
+        (Fmt.str "%a" pp_time (t /. float_of_int n_methods)))
+    [ 10; 20; 40; 80; 160; 320 ]
+
+let table_s2 () =
+  section "S2: FactorState scaling vs. hierarchy depth (chain) and width (star)";
+  row3 "shape" "types factored" "time";
+  List.iter
+    (fun d ->
+      let schema = chain_schema d in
+      let source, projection = chain_projection d in
+      let t =
+        time_it (fun () ->
+            Factor_state.run_exn (Schema.hierarchy schema) ~view:"s2" ~source
+              ~projection ())
+      in
+      row3 (Fmt.str "chain depth %d" d) (string_of_int d) (Fmt.str "%a" pp_time t))
+    [ 4; 8; 16; 32; 64; 128 ];
+  List.iter
+    (fun w ->
+      let schema = star_schema w in
+      let source, projection = star_projection w in
+      let t =
+        time_it (fun () ->
+            Factor_state.run_exn (Schema.hierarchy schema) ~view:"s2" ~source
+              ~projection ())
+      in
+      row3
+        (Fmt.str "star width %d" w)
+        (string_of_int (w + 1))
+        (Fmt.str "%a" pp_time t))
+    [ 4; 8; 16; 32; 64; 128 ]
+
+let table_s3 () =
+  section "S3: dispatch cost before vs. after refactoring (transparency)";
+  let before = Fig3.schema in
+  let o = Fig3.project () in
+  let d_before = Dispatch.create before in
+  let d_after = Dispatch.create o.schema in
+  row3 "call" "original hierarchy" "refactored hierarchy";
+  List.iter
+    (fun (gf, args) ->
+      let tb = time_it (fun () -> Dispatch.most_specific d_before ~gf ~arg_types:args) in
+      let ta = time_it (fun () -> Dispatch.most_specific d_after ~gf ~arg_types:args) in
+      row3
+        (Fmt.str "%s(%s)" gf (String.concat "," (List.map Type_name.to_string args)))
+        (Fmt.str "%a" pp_time tb)
+        (Fmt.str "%a" pp_time ta))
+    [ ("u", [ ty "A" ]); ("v", [ ty "A"; ty "C" ]); ("x", [ ty "A"; ty "B" ]) ];
+  row2 "view-type dispatch u(A_hat)"
+    (Fmt.str "%a"
+       (fun ppf () ->
+         pp_time ppf
+           (time_it (fun () ->
+                Dispatch.most_specific d_after ~gf:"u" ~arg_types:[ ty "A_hat" ])))
+       ())
+
+let chained k =
+  let rec go schema source i protect =
+    if i = k then (schema, protect)
+    else
+      let name = ty (Fmt.str "W%d" i) in
+      let o =
+        Projection.project_exn ~check:false schema ~view:(Fmt.str "w%d" i)
+          ~derived_name:name ~source
+          ~projection:[ at "a2"; at "e2"; at "h2" ]
+          ()
+      in
+      go o.schema name (i + 1) (Type_name.Set.add name protect)
+  in
+  go Fig3.schema (ty "A") 0 Type_name.Set.empty
+
+let table_s4 () =
+  section "S4: views-over-views surrogate growth and collapse (Section 7)";
+  row4 "chain length" "types total" "empty surrogates" "after collapse";
+  List.iter
+    (fun k ->
+      let schema, protect = chained k in
+      let empty = Tdp_algebra.Optimize.empty_surrogate_count schema in
+      let collapsed, removed = Tdp_algebra.Optimize.collapse_exn ~protect schema in
+      row4 (string_of_int k)
+        (string_of_int (Hierarchy.cardinal (Schema.hierarchy schema)))
+        (string_of_int empty)
+        (Fmt.str "%d (removed %d)"
+           (Tdp_algebra.Optimize.empty_surrogate_count collapsed)
+           (List.length removed)))
+    [ 1; 2; 4; 8 ]
+
+let table_s5 () =
+  section "S5: ablation — cost of the invariant checks in the pipeline";
+  row3 "workload" "project (no checks)" "project (all checks)";
+  List.iter
+    (fun (name, schema, source, projection) ->
+      let run check () =
+        Projection.project_exn ~check schema
+          ~view:(Fmt.str "s5%s" name)
+          ~source ~projection ()
+      in
+      row3 name
+        (Fmt.str "%a" pp_time (time_it (run false)))
+        (Fmt.str "%a" pp_time (time_it (run true))))
+    [ ("fig1", Fig1.schema, ty "Employee", Fig1.projection);
+      ("fig3+z", Fig3.schema_with_z, ty "A", Fig3.projection);
+      ( "synth-160",
+        synth_for_methods 160,
+        fst (Synth.gen_projection ~seed:1 (synth_for_methods 160)),
+        snd (Synth.gen_projection ~seed:1 (synth_for_methods 160)) )
+    ]
+
+let table_s6 () =
+  section "S6: object-store operation throughput (100 objects, fig1 schema + view)";
+  let o = Fig1.project () in
+  let db = Tdp_store.Database.create o.schema in
+  let oids =
+    List.map
+      (fun i ->
+        Tdp_store.Database.new_object db (ty "Employee")
+          ~init:
+            [ (at "ssn", Tdp_store.Value.Int i);
+              (at "date_of_birth", Tdp_store.Value.Date (1950 + (i mod 60)));
+              (at "pay_rate", Tdp_store.Value.Float 10.0);
+              (at "hrs_worked", Tdp_store.Value.Float 40.0)
+            ])
+      (List.init 100 (fun i -> i))
+  in
+  let interp = Tdp_store.Interp.create db in
+  let some = List.nth oids 50 in
+  row3 "operation" "time" "";
+  List.iter
+    (fun (name, f) -> row3 name (Fmt.str "%a" pp_time (time_it f)) "")
+    [ ("get_attr", fun () -> ignore (Tdp_store.Database.get_attr db some (at "ssn")));
+      ( "set_attr",
+        fun () ->
+          Tdp_store.Database.set_attr db some (at "pay_rate")
+            (Tdp_store.Value.Float 11.0) );
+      ( "interpreted accessor call",
+        fun () -> ignore (Tdp_store.Interp.call_on interp "get_ssn" [ some ]) );
+      ( "interpreted method (age)",
+        fun () -> ignore (Tdp_store.Interp.call_on interp "age" [ some ]) );
+      ( "extent of view type",
+        fun () -> ignore (Tdp_store.Database.extent db (ty "Employee_hat")) )
+    ]
+
+(* The tie harness for S7: a source type A {x, y} and, per index i, a
+   chain Cᵢ ⪯ Dᵢ with two methods of the generic function mᵢ that tie
+   on position 0:
+
+     mᵢ_app(A, Cᵢ) reading x   — applicable to Π_{x} A, relocated
+     mᵢ_na (A, Dᵢ) reading y   — not applicable, kept
+
+   Before the projection, the call mᵢ(A, Cᵢ) selects mᵢ_app (position
+   1 decides).  After it, a naive ranking lets mᵢ_na win position 0
+   (A before Â), flipping dispatch for original objects — unless the
+   dispatcher gives Â the rank of A (surrogate transparency). *)
+let tie_schema k =
+  let attr n = Attribute.make (at n) Value_type.int in
+  let s =
+    Schema.empty
+    |> fun s ->
+    Schema.add_type s (Type_def.make ~attrs:[ attr "x"; attr "y" ] (ty "A"))
+    |> fun s ->
+    Schema.add_method s
+      (Method_def.reader ~gf:"get_x" ~id:"get_x" ~param:"self" ~param_type:(ty "A")
+         ~attr:(at "x") ~result:Value_type.int)
+    |> fun s ->
+    Schema.add_method s
+      (Method_def.reader ~gf:"get_y" ~id:"get_y" ~param:"self" ~param_type:(ty "A")
+         ~attr:(at "y") ~result:Value_type.int)
+  in
+  let rec add s i =
+    if i = k then s
+    else
+      let di = Fmt.str "D%d" i and ci = Fmt.str "C%d" i in
+      let s = Schema.add_type s (Type_def.make (ty di)) in
+      let s = Schema.add_type s (Type_def.make ~supers:[ (ty di, 1) ] (ty ci)) in
+      let s =
+        Schema.add_method s
+          (Method_def.make ~gf:(Fmt.str "m%d" i) ~id:(Fmt.str "m%d_app" i)
+             ~signature:(Signature.make [ ("a", ty "A"); ("c", ty ci) ])
+             (General [ Body.expr (Body.call "get_x" [ Body.var "a" ]) ]))
+      in
+      let s =
+        Schema.add_method s
+          (Method_def.make ~gf:(Fmt.str "m%d" i) ~id:(Fmt.str "m%d_na" i)
+             ~signature:(Signature.make [ ("a", ty "A"); ("d", ty di) ])
+             (General [ Body.expr (Body.call "get_y" [ Body.var "a" ]) ]))
+      in
+      add s (i + 1)
+  in
+  add s 0
+
+let table_s7 () =
+  section
+    "S7: ablation — dispatch flips without surrogate-transparent ranking (tie \
+     harness)";
+  row4 "tied method pairs" "flips (naive ranking)" "flips (transparent)" "verdict";
+  List.iter
+    (fun k ->
+      let schema = tie_schema k in
+      let o =
+        Projection.project_exn ~check:false schema ~view:"s7" ~source:(ty "A")
+          ~projection:[ at "x" ] ()
+      in
+      let count transparent =
+        let d =
+          Dispatch.create ~surrogate_transparent:transparent o.schema
+        in
+        let d0 = Dispatch.create o.before in
+        List.length
+          (List.filter
+             (fun i ->
+               let gf = Fmt.str "m%d" i in
+               let args = [ ty "A"; ty (Fmt.str "C%d" i) ] in
+               let pick d =
+                 Option.map Method_def.key (Dispatch.most_specific d ~gf ~arg_types:args)
+               in
+               not (Option.equal Method_def.Key.equal (pick d0) (pick d)))
+             (List.init k (fun i -> i)))
+      in
+      let naive = count false and transparent = count true in
+      row4 (string_of_int k) (string_of_int naive) (string_of_int transparent)
+        (verdict (naive = k && transparent = 0)))
+    [ 1; 5; 10; 25; 50 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test per experiment                  *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+let bechamel_tests () =
+  let fig1_schema = Fig1.schema in
+  let fig3_schema = Fig3.schema in
+  let fig3_projected = Fig3.project () in
+  let d_after = Dispatch.create fig3_projected.schema in
+  let synth160 = synth_for_methods 160 in
+  let synth_src, synth_proj = Synth.gen_projection ~seed:1 synth160 in
+  let chain32 = chain_schema 32 in
+  let chain_src, chain_proj = chain_projection 32 in
+  let collapse_input = chained 4 in
+  Test.make_grouped ~name:"tdp"
+    [ Test.make ~name:"E1-E2/pipeline-fig1"
+        (Staged.stage (fun () ->
+             Projection.project_exn ~check:false fig1_schema ~view:"b"
+               ~source:(ty "Employee") ~projection:Fig1.projection ()));
+      Test.make ~name:"E3/isapplicable-fig3"
+        (Staged.stage (fun () ->
+             Applicability.analyze_exn fig3_schema ~source:(ty "A")
+               ~projection:Fig3.projection));
+      Test.make ~name:"E4/factorstate-fig3"
+        (Staged.stage (fun () ->
+             Factor_state.run_exn (Schema.hierarchy fig3_schema) ~view:"b"
+               ~source:(ty "A") ~projection:Fig3.projection ()));
+      Test.make ~name:"E5-E6/pipeline-fig3-with-z"
+        (Staged.stage (fun () ->
+             Projection.project_exn ~check:false Fig3.schema_with_z ~view:"b"
+               ~source:(ty "A") ~projection:Fig3.projection ()));
+      Test.make ~name:"E7/invariant-check-fig3"
+        (Staged.stage (fun () ->
+             Invariants.check_exn ~before:fig3_projected.before
+               ~after:fig3_projected.schema ~derived:fig3_projected.derived
+               ~source:(ty "A") ~projection:Fig3.projection
+               ~analysis:fig3_projected.analysis));
+      Test.make ~name:"S1/isapplicable-synth-160"
+        (Staged.stage (fun () ->
+             Applicability.analyze_exn synth160 ~source:synth_src
+               ~projection:synth_proj));
+      Test.make ~name:"S2/factorstate-chain-32"
+        (Staged.stage (fun () ->
+             Factor_state.run_exn (Schema.hierarchy chain32) ~view:"b"
+               ~source:chain_src ~projection:chain_proj ()));
+      Test.make ~name:"S3/dispatch-refactored"
+        (Staged.stage (fun () ->
+             Dispatch.most_specific d_after ~gf:"u" ~arg_types:[ ty "A_hat" ]));
+      Test.make ~name:"S4/collapse-4-views"
+        (Staged.stage (fun () ->
+             let schema, protect = collapse_input in
+             Tdp_algebra.Optimize.collapse_exn ~protect schema));
+      Test.make ~name:"S5/pipeline-fig3z-checked"
+        (Staged.stage (fun () ->
+             Projection.project_exn ~check:true Fig3.schema_with_z ~view:"b"
+               ~source:(ty "A") ~projection:Fig3.projection ()));
+      Test.make ~name:"ops/matview-refresh-steady"
+        (Staged.stage
+           (let o = Fig1.project () in
+            let db = Tdp_store.Database.create o.schema in
+            List.iter
+              (fun i ->
+                ignore
+                  (Tdp_store.Database.new_object db (ty "Employee")
+                     ~init:
+                       [ (at "ssn", Tdp_store.Value.Int i);
+                         (at "date_of_birth", Tdp_store.Value.Date (1950 + (i mod 60)));
+                         (at "pay_rate", Tdp_store.Value.Float 10.0);
+                         (at "hrs_worked", Tdp_store.Value.Float 1.0)
+                       ]))
+              (List.init 100 (fun i -> i));
+            let mv =
+              Tdp_algebra.Matview.create db ~view_type:(ty "Employee_hat")
+                (Tdp_algebra.View.Project
+                   (Tdp_algebra.View.Base (ty "Employee"), Fig1.projection))
+            in
+            fun () -> Tdp_algebra.Matview.refresh db mv));
+      Test.make ~name:"ops/catalog-define-drop"
+        (Staged.stage (fun () ->
+             let c = Tdp_algebra.Catalog.create Fig1.schema in
+             let c, _ =
+               Tdp_algebra.Catalog.define_exn c ~name:"B"
+                 (Tdp_algebra.View.Project
+                    (Tdp_algebra.View.Base (ty "Employee"), Fig1.projection))
+             in
+             Tdp_algebra.Catalog.drop_exn c ~name:"B"))
+    ]
+
+let run_bechamel () =
+  section "Bechamel micro-benchmarks (ns/run, OLS on monotonic clock)";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (bechamel_tests ()) in
+  let results =
+    Analyze.all
+      (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |])
+      Instance.monotonic_clock raw
+  in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some [ e ] -> Fmt.str "%12.1f ns/run" e
+        | Some _ | None -> "(no estimate)"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with
+        | Some r -> Fmt.str "r²=%.4f" r
+        | None -> ""
+      in
+      row3 name est r2)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  if mode = "all" || mode = "tables" then begin
+    table_e1_e2 ();
+    table_e3 ();
+    table_e4 ();
+    table_e5 ();
+    table_e6 ();
+    table_e7 ();
+    table_s1 ();
+    table_s2 ();
+    table_s3 ();
+    table_s4 ();
+    table_s5 ();
+    table_s6 ();
+    table_s7 ()
+  end;
+  if mode = "all" || mode = "bench" then run_bechamel ();
+  Fmt.pr "@.done.@."

@@ -1,0 +1,229 @@
+(* odb — command-line front end for the type-derivation library.
+
+     odb check schema.odb
+     odb apply schema.odb [--collapse] [--print | --dot]
+     odb methods schema.odb --source T --attrs a,b,c [--trace]
+     odb dot schema.odb
+
+   Schema files use the surface syntax of Tdp_lang (see README.md). *)
+
+open Tdp_core
+module Elaborate = Tdp_lang.Elaborate
+module Printer = Tdp_lang.Printer
+module Optimize = Tdp_algebra.Optimize
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+      Fmt.epr "error: %a@." Error.pp e;
+      exit 1
+
+let load path = or_die (Elaborate.load (read_file path))
+
+let summary schema =
+  let h = Schema.hierarchy schema in
+  let surrogates =
+    Hierarchy.fold (fun d n -> if Type_def.is_surrogate d then n + 1 else n) h 0
+  in
+  Fmt.pr "types: %d (%d surrogates)  generic functions: %d  methods: %d@."
+    (Hierarchy.cardinal h) surrogates
+    (List.length (Schema.gfs schema))
+    (List.length (Schema.all_methods schema))
+
+(* --- check --------------------------------------------------------- *)
+
+let check_cmd file =
+  let r = load file in
+  summary r.schema;
+  List.iter
+    (fun (name, expr) ->
+      Fmt.pr "view %s = %a@." name Tdp_algebra.View.pp_expr expr)
+    r.views;
+  Fmt.pr "ok.@.";
+  0
+
+(* --- apply --------------------------------------------------------- *)
+
+let apply_cmd file collapse print_schema dot show_diff =
+  let r = load file in
+  let schema, derived = or_die (Elaborate.apply_views r) in
+  if show_diff then
+    Fmt.pr "@[<v>%a@]@." Diff.pp (Diff.schema_changes r.schema schema);
+  List.iter
+    (fun (name, ty_) ->
+      Fmt.pr "view %-16s -> %s {%s}@." name (Type_name.to_string ty_)
+        (String.concat ", "
+           (List.map Attr_name.to_string
+              (Hierarchy.all_attribute_names (Schema.hierarchy schema) ty_))))
+    derived;
+  let schema =
+    if collapse then begin
+      let protect = Type_name.Set.of_list (List.map snd derived) in
+      let collapsed, removed = or_die (Optimize.collapse ~protect schema) in
+      Fmt.pr "collapsed %d empty surrogates@." (List.length removed);
+      collapsed
+    end
+    else schema
+  in
+  summary schema;
+  if print_schema then Fmt.pr "@.%s" (Printer.print schema);
+  if dot then Fmt.pr "@.%s" (Dot.of_hierarchy ~name:file (Schema.hierarchy schema));
+  0
+
+(* --- methods ------------------------------------------------------- *)
+
+let methods_cmd file source attrs trace explain =
+  let r = load file in
+  let projection = List.map Attr_name.of_string attrs in
+  let source = Type_name.of_string source in
+  let analysis = or_die (Applicability.analyze r.schema ~source ~projection) in
+  if trace then
+    List.iter (fun e -> Fmt.pr "  %a@." Applicability.pp_event e) analysis.trace;
+  Fmt.pr "%a@." Applicability.pp_result analysis;
+  if explain then
+    Method_def.Key.Set.iter
+      (fun k ->
+        Fmt.pr "  %s@." (Applicability.explain r.schema analysis ~source ~projection k))
+      analysis.candidates;
+  0
+
+(* --- query --------------------------------------------------------- *)
+
+let query_cmd schema_file data_file view_name materialize =
+  let r = load schema_file in
+  let schema, _derived = or_die (Elaborate.apply_views r) in
+  let expr =
+    match List.assoc_opt view_name r.views with
+    | Some e -> e
+    | None ->
+        Fmt.epr "error: no view named %S in %s@." view_name schema_file;
+        exit 1
+  in
+  let db = Tdp_store.Database.create schema in
+  (try ignore (Tdp_store.Dump.load_into db (read_file data_file)) with
+  | Tdp_store.Dump.Parse_error { line; message } ->
+      Fmt.epr "error: %s:%d: %s@." data_file line message;
+      exit 1
+  | Tdp_store.Database.Store_error m ->
+      Fmt.epr "error: %s@." m;
+      exit 1);
+  let h = Schema.hierarchy schema in
+  let view_type = Type_name.of_string view_name in
+  let attrs = Hierarchy.all_attribute_names h view_type in
+  let oids =
+    if materialize then
+      Tdp_algebra.View.materialize db ~view_type expr
+    else Tdp_algebra.View.instances db expr
+  in
+  List.iter
+    (fun oid ->
+      Fmt.pr "%s %s" (Fmt.str "%a" Tdp_store.Oid.pp oid)
+        (Type_name.to_string (Tdp_store.Database.type_of db oid));
+      List.iter
+        (fun a ->
+          Fmt.pr " %s=%s" (Attr_name.to_string a)
+            (Tdp_store.Dump.value_to_string (Tdp_store.Database.get_attr db oid a)))
+        attrs;
+      Fmt.pr "@.")
+    oids;
+  Fmt.pr "%d instance(s) of view %s@." (List.length oids) view_name;
+  0
+
+(* --- dot ----------------------------------------------------------- *)
+
+let dot_cmd file apply_views =
+  let r = load file in
+  let schema =
+    if apply_views then fst (or_die (Elaborate.apply_views r)) else r.schema
+  in
+  Fmt.pr "%s" (Dot.of_hierarchy ~name:file (Schema.hierarchy schema));
+  0
+
+(* --- cmdliner wiring ------------------------------------------------ *)
+
+open Cmdliner
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Schema file.")
+
+let check_t =
+  let doc = "Parse, validate and type-check a schema file." in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const check_cmd $ file_arg)
+
+let apply_t =
+  let doc = "Derive every declared view, refactoring the hierarchy." in
+  let collapse =
+    Arg.(value & flag & info [ "collapse" ] ~doc:"Collapse empty surrogates afterwards.")
+  in
+  let print_schema =
+    Arg.(value & flag & info [ "print" ] ~doc:"Print the refactored schema.")
+  in
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Print the hierarchy as Graphviz DOT.") in
+  let show_diff =
+    Arg.(value & flag & info [ "diff" ] ~doc:"Print the structural changes made.")
+  in
+  Cmd.v (Cmd.info "apply" ~doc)
+    Term.(const apply_cmd $ file_arg $ collapse $ print_schema $ dot $ show_diff)
+
+let methods_t =
+  let doc = "Classify method applicability for a projection (Section 4)." in
+  let source =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "source" ] ~docv:"TYPE" ~doc:"Source type of the projection.")
+  in
+  let attrs =
+    Arg.(
+      required
+      & opt (some (list string)) None
+      & info [ "attrs" ] ~docv:"ATTRS" ~doc:"Comma-separated projection list.")
+  in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the IsApplicable event trace.")
+  in
+  let explain =
+    Arg.(value & flag & info [ "explain" ] ~doc:"Explain every method's verdict.")
+  in
+  Cmd.v (Cmd.info "methods" ~doc)
+    Term.(const methods_cmd $ file_arg $ source $ attrs $ trace $ explain)
+
+let query_t =
+  let doc = "Evaluate a declared view over a data file (see Dump format)." in
+  let data_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"DATA" ~doc:"Data dump file.")
+  in
+  let view_name =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "view" ] ~docv:"NAME" ~doc:"The declared view to evaluate.")
+  in
+  let materialize =
+    Arg.(
+      value & flag
+      & info [ "materialize" ] ~doc:"Copy instances into the view type (fresh OIDs).")
+  in
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(const query_cmd $ file_arg $ data_arg $ view_name $ materialize)
+
+let dot_t =
+  let doc = "Print the type hierarchy as Graphviz DOT." in
+  let apply_views =
+    Arg.(value & flag & info [ "apply-views" ] ~doc:"Derive views first.")
+  in
+  Cmd.v (Cmd.info "dot" ~doc) Term.(const dot_cmd $ file_arg $ apply_views)
+
+let main =
+  let doc = "type derivation using the projection operation (Agrawal & DeMichiel, 1994)" in
+  Cmd.group
+    (Cmd.info "odb" ~version:"1.0.0" ~doc)
+    [ check_t; apply_t; methods_t; query_t; dot_t ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/catalog_session.ml: Attr_name Body Diff Error Fmt Hierarchy List Method_def Option Schema Signature String Subtype_cache Tdp_algebra Tdp_core Tdp_lang Tdp_store Type_name Value_type

@@ -1,0 +1,1 @@
+examples/paper_walkthrough.ml: Applicability Factor_methods Factor_state Fmt Hierarchy List Schema String Tdp_core Tdp_paper Type_name

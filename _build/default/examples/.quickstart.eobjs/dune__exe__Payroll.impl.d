@@ -1,0 +1,1 @@
+examples/payroll.ml: Attr_name Fmt List Projection Tdp_core Tdp_paper Tdp_store Type_name

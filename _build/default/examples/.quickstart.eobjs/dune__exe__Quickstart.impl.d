@@ -1,0 +1,1 @@
+examples/quickstart.ml: Applicability Attr_name Attribute Body Dot Fmt Hierarchy Invariants Method_def Projection Schema Signature Tdp_core Type_def Type_name Value_type

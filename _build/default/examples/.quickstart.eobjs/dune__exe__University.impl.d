@@ -1,0 +1,1 @@
+examples/university.ml: Attr_name Fmt Hierarchy List Method_def Schema String Subtype_cache Tdp_algebra Tdp_core Tdp_lang Tdp_store Type_name

@@ -1,0 +1,39 @@
+(* Paper walkthrough: replays Sections 4-6 of Agrawal & DeMichiel on
+   the Figure 3 schema, narrating each phase of the pipeline — the
+   executable companion to reading the paper.
+
+   Run with:  dune exec examples/paper_walkthrough.exe *)
+
+open Tdp_core
+module Fig3 = Tdp_paper.Fig3
+
+let () =
+  Fmt.pr "The schema of Figure 3 / Example 1:@.@.%a@.@." Schema.pp Fig3.schema;
+  Fmt.pr "Projection: A_hat = Π_{a2,e2,h2} A@.@.";
+
+  (* Section 4: method applicability, with the full trace including the
+     optimistic treatment of the x1/y1 cycle. *)
+  let analysis =
+    Applicability.analyze_exn Fig3.schema ~source:Fig3.a ~projection:Fig3.projection
+  in
+  Fmt.pr "== Section 4: IsApplicable ==@.";
+  List.iter (fun e -> Fmt.pr "  %a@." Applicability.pp_event e) analysis.trace;
+  Fmt.pr "@.%a@.@." Applicability.pp_result analysis;
+
+  (* Section 5: state factorization. *)
+  let fs =
+    Factor_state.run_exn (Schema.hierarchy Fig3.schema) ~view:"a_view"
+      ~derived_name:(Type_name.of_string "A_hat") ~source:Fig3.a
+      ~projection:Fig3.projection ()
+  in
+  Fmt.pr "== Section 5: FactorState (Figure 4) ==@.%a@.@." Hierarchy.pp fs.hierarchy;
+
+  (* Section 6: method factorization on the full pipeline, using the
+     schema extended with z1/z2 so that Z = {D, G} as in Example 4. *)
+  let o = Fig3.project ~schema:Fig3.schema_with_z () in
+  Fmt.pr "== Section 6.4: Augment with Z = {%s} (Figure 5) ==@."
+    (String.concat ", " (List.map Type_name.to_string (Type_name.Set.elements o.z)));
+  Fmt.pr "== Section 6.1-6.3: FactorMethods (Example 3) ==@.";
+  List.iter (fun rw -> Fmt.pr "  %a@." Factor_methods.pp_rewrite rw) o.rewrites;
+  Fmt.pr "@.Final refactored schema:@.@.%a@.@." Schema.pp o.schema;
+  Fmt.pr "Every invariant of Sections 1 and 5 was checked by the pipeline.@.done.@."

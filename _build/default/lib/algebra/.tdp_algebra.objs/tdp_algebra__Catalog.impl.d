@@ -1,0 +1,1 @@
+lib/algebra/catalog.ml: Error Fmt Generalize Hierarchy List Optimize Schema String Tdp_core Type_def Type_name Unfactor View

@@ -1,0 +1,1 @@
+lib/algebra/catalog.mli: Error Fmt Schema Tdp_core Type_name View

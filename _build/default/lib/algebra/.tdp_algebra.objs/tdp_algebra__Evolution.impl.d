@@ -1,0 +1,1 @@
+lib/algebra/evolution.ml: Attr_name Attribute Catalog Error Fmt Fun Hierarchy List Method_def Schema String Subtype_cache Tdp_core Type_def Type_name Typing View

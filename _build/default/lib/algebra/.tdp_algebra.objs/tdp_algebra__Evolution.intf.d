@@ -1,0 +1,1 @@
+lib/algebra/evolution.mli: Attr_name Attribute Catalog Error Fmt Method_def Schema Tdp_core Type_def Type_name

@@ -1,0 +1,1 @@
+lib/algebra/generalize.ml: Attr_name Error Fmt Hierarchy List Projection Schema Tdp_core Type_def Type_name

@@ -1,0 +1,1 @@
+lib/algebra/generalize.mli: Attr_name Error Hierarchy Projection Schema Tdp_core Type_name

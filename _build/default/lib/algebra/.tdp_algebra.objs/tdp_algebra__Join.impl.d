@@ -1,0 +1,1 @@
+lib/algebra/join.ml: Attr_name Error Fmt Generic_function Hierarchy List Schema Tdp_core Tdp_dispatch Tdp_store Type_def Type_name

@@ -1,0 +1,1 @@
+lib/algebra/join.mli: Attr_name Error Schema Tdp_core Tdp_dispatch Tdp_store Type_name

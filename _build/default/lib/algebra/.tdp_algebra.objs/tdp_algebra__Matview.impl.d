@@ -1,0 +1,1 @@
+lib/algebra/matview.ml: Fmt Hierarchy List Tdp_core Tdp_store Type_name View

@@ -1,0 +1,1 @@
+lib/algebra/matview.mli: Fmt Tdp_core Tdp_store Type_name View

@@ -1,0 +1,1 @@
+lib/algebra/optimize.ml: Attr_name Body Error Fmt Hierarchy List Method_def Option Schema Signature Tdp_core Type_def Type_name Value_type

@@ -1,0 +1,1 @@
+lib/algebra/optimize.mli: Error Schema Tdp_core Type_name

@@ -1,0 +1,1 @@
+lib/algebra/pred.ml: Attr_name Attribute Body Error Fmt Hierarchy Tdp_core Tdp_store Value_type

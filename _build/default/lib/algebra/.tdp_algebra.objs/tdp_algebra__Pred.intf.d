@@ -1,0 +1,1 @@
+lib/algebra/pred.mli: Attr_name Body Fmt Hierarchy Tdp_core Tdp_store Type_name

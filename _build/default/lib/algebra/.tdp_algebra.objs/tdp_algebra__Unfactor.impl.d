@@ -1,0 +1,1 @@
+lib/algebra/unfactor.ml: Attribute Body Error Fmt Hierarchy List Method_def Option Schema Signature String Tdp_core Type_def Type_name Typing Value_type

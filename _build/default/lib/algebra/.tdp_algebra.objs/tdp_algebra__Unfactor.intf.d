@@ -1,0 +1,1 @@
+lib/algebra/unfactor.mli: Error Schema Tdp_core Type_name

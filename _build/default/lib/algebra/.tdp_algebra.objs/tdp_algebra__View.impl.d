@@ -1,0 +1,1 @@
+lib/algebra/view.ml: Attr_name Error Fmt Generalize Hierarchy List Pred Projection Schema Tdp_core Tdp_store Type_def Type_name

@@ -1,0 +1,1 @@
+lib/algebra/view.mli: Attr_name Error Fmt Generalize Pred Projection Schema Stdlib Tdp_core Tdp_store Type_name

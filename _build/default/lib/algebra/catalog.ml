@@ -1,0 +1,151 @@
+open Tdp_core
+
+(* A catalog of named views over a schema: the bookkeeping a database
+   system would keep around the paper's algorithms.  Views are defined
+   by algebraic expressions, derive their types through {!View}, and
+   can be dropped again — the catalog undoes each derivation step in
+   reverse, using {!Unfactor} for projections, un-splicing for
+   generalizations, and plain removal for selection types. *)
+
+type entry = {
+  name : string;
+  expr : View.expr;
+  view_type : Type_name.t;
+  steps : View.step list;
+}
+
+type t = { schema : Schema.t; entries : entry list (* oldest first *) }
+
+let create schema = { schema; entries = [] }
+let schema t = t.schema
+let entries t = t.entries
+
+let find_opt t name =
+  List.find_opt (fun e -> String.equal e.name name) t.entries
+
+let view_types t = List.map (fun e -> e.view_type) t.entries
+
+let define_exn t ~name expr =
+  if find_opt t name <> None then
+    Error.raise_ (Invariant_violation (Fmt.str "view %S already defined" name));
+  let o =
+    View.derive_exn t.schema ~view:name ~name:(Type_name.of_string name) expr
+  in
+  let entry = { name; expr; view_type = o.name; steps = o.steps } in
+  ({ schema = o.schema; entries = t.entries @ [ entry ] }, entry)
+
+let define t ~name expr = Error.guard (fun () -> define_exn t ~name expr)
+
+(* Remove a selection type: it carries no state and no methods mention
+   it, but another type may have been derived below it. *)
+let remove_selection schema name =
+  let h = Schema.hierarchy schema in
+  (match Hierarchy.direct_subs h name with
+  | [] -> ()
+  | sub :: _ ->
+      Error.raise_
+        (Invariant_violation
+           (Fmt.str "cannot drop selection %s: %s depends on it"
+              (Type_name.to_string name) (Type_name.to_string sub))));
+  if
+    Type_name.Set.mem name (Optimize.mentioned_types schema)
+  then
+    Error.raise_
+      (Invariant_violation
+         (Fmt.str "cannot drop selection %s: methods mention it"
+            (Type_name.to_string name)));
+  Schema.with_hierarchy schema (Hierarchy.remove h name)
+
+(* Un-splice a generalization type W: restore the derived projection
+   type's supertypes and unlink the second operand. *)
+let remove_generalization schema (o : Generalize.outcome) =
+  let h = Schema.hierarchy schema in
+  let w = o.name in
+  let derived = o.projection.derived in
+  let _, t2 = o.operands in
+  (match
+     List.filter
+       (fun sub ->
+         not
+           (Type_name.equal sub derived || Type_name.equal sub t2))
+       (Hierarchy.direct_subs h w)
+   with
+  | [] -> ()
+  | sub :: _ ->
+      Error.raise_
+        (Invariant_violation
+           (Fmt.str "cannot drop generalization %s: %s depends on it"
+              (Type_name.to_string w) (Type_name.to_string sub))));
+  let w_supers = Type_def.supers (Hierarchy.find h w) in
+  let h =
+    Hierarchy.update h derived (fun def ->
+        if
+          List.exists (fun (s, _) -> Type_name.equal s w) (Type_def.supers def)
+        then Type_def.with_supers def w_supers
+        else def)
+  in
+  let h =
+    Hierarchy.update h t2 (fun def ->
+        Type_def.with_supers def
+          (List.filter (fun (s, _) -> not (Type_name.equal s w)) (Type_def.supers def)))
+  in
+  Schema.with_hierarchy schema (Hierarchy.remove h w)
+
+let undo_step schema (step : View.step) =
+  match step with
+  | Projected o -> Unfactor.drop_view_exn schema ~view:o.view
+  | Selected { name; _ } -> remove_selection schema name
+  | Generalized o ->
+      let schema = remove_generalization schema o in
+      Unfactor.drop_view_exn schema ~view:o.projection.view
+
+let drop_exn t ~name =
+  match find_opt t name with
+  | None -> Error.raise_ (Invariant_violation (Fmt.str "no view named %S" name))
+  | Some entry ->
+      let schema =
+        List.fold_left undo_step t.schema (List.rev entry.steps)
+      in
+      Schema.validate_exn schema;
+      { schema;
+        entries = List.filter (fun e -> not (String.equal e.name name)) t.entries
+      }
+
+let drop t ~name = Error.guard (fun () -> drop_exn t ~name)
+
+(* Types a recorded derivation step depends on for its undo: the
+   optimizer must not collapse them, or dropping the view would break. *)
+let protected_of_step (step : View.step) =
+  let of_surrogates map acc =
+    Type_name.Map.fold (fun _ hat acc -> hat :: acc) map acc
+  in
+  match step with
+  | Projected o -> o.derived :: of_surrogates o.surrogates []
+  | Selected { name; _ } -> [ name ]
+  | Generalized o ->
+      o.name :: o.projection.derived :: of_surrogates o.projection.surrogates []
+
+(* Collapse empty surrogates, protecting every cataloged view type and
+   every type the recorded undo steps reference. *)
+let optimize_exn t =
+  let protect =
+    List.fold_left
+      (fun acc e ->
+        List.fold_left
+          (fun acc step ->
+            List.fold_left (fun acc n -> Type_name.Set.add n acc) acc
+              (protected_of_step step))
+          (Type_name.Set.add e.view_type acc)
+          e.steps)
+      Type_name.Set.empty t.entries
+  in
+  let schema, removed = Optimize.collapse_exn ~protect t.schema in
+  ({ t with schema }, removed)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]"
+    Fmt.(
+      list ~sep:(any "@ ") (fun ppf e ->
+          Fmt.pf ppf "view %s : %a = %a" e.name Type_name.pp e.view_type
+            View.pp_expr e.expr))
+    t.entries

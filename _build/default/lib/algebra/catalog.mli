@@ -1,0 +1,46 @@
+(** A catalog of named views over a schema.
+
+    Wraps the derivation machinery in the bookkeeping a database system
+    keeps: views are defined by algebraic expressions and named types,
+    and can be {e dropped} again — each derivation step is undone in
+    reverse ({!Unfactor} for projections, un-splicing for
+    generalizations, removal for selection types).  Dropping a view
+    other views were derived through fails with a descriptive error;
+    dropping in reverse definition order always succeeds. *)
+
+open Tdp_core
+
+type entry = {
+  name : string;
+  expr : View.expr;
+  view_type : Type_name.t;  (** the derived type, named after the view *)
+  steps : View.step list;
+}
+
+type t
+
+val create : Schema.t -> t
+val schema : t -> Schema.t
+
+(** Entries in definition order. *)
+val entries : t -> entry list
+
+val find_opt : t -> string -> entry option
+val view_types : t -> Type_name.t list
+
+(** @raise Error.E on duplicate name or any failing derivation step. *)
+val define_exn : t -> name:string -> View.expr -> t * entry
+
+val define : t -> name:string -> View.expr -> (t * entry, Error.t) result
+
+(** @raise Error.E when the view is unknown or depended upon. *)
+val drop_exn : t -> name:string -> t
+
+val drop : t -> name:string -> (t, Error.t) result
+
+(** {!Optimize.collapse_exn} protecting all cataloged view types {e and}
+    every surrogate the recorded undo steps reference, so that views
+    remain droppable afterwards; returns the removed surrogates. *)
+val optimize_exn : t -> t * Type_name.t list
+
+val pp : t Fmt.t

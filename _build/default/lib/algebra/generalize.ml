@@ -1,0 +1,103 @@
+open Tdp_core
+
+(* Generalization: derive a common supertype of two types over their
+   shared attributes — the "upward inheritance" view operation of
+   Schrefl & Neuhold (the paper's reference [17]), and the natural
+   union view: every instance of either operand is an instance of the
+   result.
+
+   Construction (reusing the projection pipeline):
+
+   + C := cumulative(t1) ∩ cumulative(t2) — because attribute names are
+     globally unique, every a ∈ C has a single owner type, an ancestor
+     of both operands;
+   + run the full projection pipeline Π_C t1, producing the factored
+     surrogate chain that carries exactly C and the relocated methods;
+   + splice a fresh type W between the derived type and its supertypes:
+     W inherits the whole chain (state = C, behavior = the relocated
+     methods), the derived type becomes a subtype of W;
+   + link both operands below W with lowest precedence.  t2 gains no
+     state (everything in W's chain is above t2's own ancestors) and no
+     behavior it did not already have (relocated methods were already
+     applicable to t2 through the original owners).
+
+   The result can fail with [Linearization_failure] downstream if the
+   two operands order the shared ancestors inconsistently — inherent to
+   multiple inheritance, and surfaced by the dispatcher, not here. *)
+
+type outcome = {
+  schema : Schema.t;
+  name : Type_name.t;  (** the generalization type W *)
+  operands : Type_name.t * Type_name.t;
+  common : Attr_name.t list;  (** the shared attributes C *)
+  projection : Projection.outcome;  (** the underlying Π_C t1 *)
+}
+
+let common_attributes h t1 t2 =
+  let a2 = Attr_name.Set.of_list (Hierarchy.all_attribute_names h t2) in
+  List.filter
+    (fun a -> Attr_name.Set.mem a a2)
+    (Hierarchy.all_attribute_names h t1)
+
+let lowest_precedence def =
+  match List.rev (Type_def.supers def) with
+  | [] -> 1
+  | (_, p) :: _ -> p + 1
+
+let generalize_exn ?(check = true) schema ~view ~name t1 t2 =
+  let h = Schema.hierarchy schema in
+  ignore (Hierarchy.find h t1);
+  ignore (Hierarchy.find h t2);
+  if Hierarchy.mem h name then Error.raise_ (Duplicate_type name);
+  let common = common_attributes h t1 t2 in
+  if common = [] then
+    Error.raise_
+      (Invariant_violation
+         (Fmt.str "types %s and %s share no attributes"
+            (Type_name.to_string t1) (Type_name.to_string t2)));
+  let o = Projection.project_exn ~check schema ~view ~source:t1 ~projection:common () in
+  let h = Schema.hierarchy o.schema in
+  (* Splice W above the derived type: W takes over the derived type's
+     supertypes; the derived type keeps only W. *)
+  let derived_def = Hierarchy.find h o.derived in
+  let w =
+    Type_def.make
+      ~origin:(Surrogate { source = t1; view })
+      ~supers:(Type_def.supers derived_def) name
+  in
+  let h = Hierarchy.add h w in
+  let h =
+    Hierarchy.update h o.derived (fun def -> Type_def.with_supers def [ (name, 1) ])
+  in
+  (* Both operands flow into W.  t1 already does (t1 ⪯ derived ⪯ W);
+     t2 is linked directly, at lowest precedence so its own method
+     lookup order is undisturbed. *)
+  let h =
+    Hierarchy.add_super h ~sub:t2 ~super:name
+      ~prec:(lowest_precedence (Hierarchy.find h t2))
+  in
+  let schema' = Schema.with_hierarchy o.schema h in
+  if check then begin
+    Hierarchy.validate_exn h;
+    (* t2 must keep exactly its cumulative state… *)
+    let names hh t =
+      List.sort Attr_name.compare (Hierarchy.all_attribute_names hh t)
+    in
+    if names (Schema.hierarchy schema) t2 <> names h t2 then
+      Error.raise_
+        (Invariant_violation
+           (Fmt.str "generalization changed the state of %s" (Type_name.to_string t2)));
+    (* …and W's state must be exactly C. *)
+    if
+      List.sort Attr_name.compare common <> names h name
+    then
+      Error.raise_
+        (Invariant_violation
+           (Fmt.str "generalization type %s does not carry exactly the common \
+                     attributes"
+              (Type_name.to_string name)))
+  end;
+  { schema = schema'; name; operands = (t1, t2); common; projection = o }
+
+let generalize ?check schema ~view ~name t1 t2 =
+  Error.guard (fun () -> generalize_exn ?check schema ~view ~name t1 t2)

@@ -1,0 +1,44 @@
+(** Generalization views ("upward inheritance", the paper's reference
+    [17], and its §7 call to extend the methodology to the remaining
+    algebraic operations).
+
+    [generalize schema ~view ~name t1 t2] derives a common supertype
+    [name] of [t1] and [t2] whose state is exactly their shared
+    cumulative attributes and whose behavior is the methods the
+    projection analysis (§4) finds applicable to that state.  Every
+    instance of either operand is an instance of the result — a union
+    view.  Both operands keep their state and behavior unchanged. *)
+
+open Tdp_core
+
+type outcome = {
+  schema : Schema.t;
+  name : Type_name.t;
+  operands : Type_name.t * Type_name.t;
+  common : Attr_name.t list;
+  projection : Projection.outcome;
+}
+
+(** Shared cumulative attributes, in [t1]'s inheritance order. *)
+val common_attributes :
+  Hierarchy.t -> Type_name.t -> Type_name.t -> Attr_name.t list
+
+(** @raise Error.E on unknown operands, a taken [name], no shared
+    attributes, or a failed preservation check. *)
+val generalize_exn :
+  ?check:bool ->
+  Schema.t ->
+  view:string ->
+  name:Type_name.t ->
+  Type_name.t ->
+  Type_name.t ->
+  outcome
+
+val generalize :
+  ?check:bool ->
+  Schema.t ->
+  view:string ->
+  name:Type_name.t ->
+  Type_name.t ->
+  Type_name.t ->
+  (outcome, Error.t) result

@@ -1,0 +1,117 @@
+open Tdp_core
+module Database = Tdp_store.Database
+module Oid = Tdp_store.Oid
+module Value = Tdp_store.Value
+
+(* Join views — the remaining algebraic operation of the paper's
+   Section 7, in its object-oriented reading:
+
+   The joined type J of T1 ⋈ T2 carries the cumulative state of both
+   operands, so J is a common {e subtype}: every J instance is an
+   instance of T1 and of T2.  Type derivation is therefore simple —
+   add a fresh leaf J with direct supertypes T1 (precedence 1) and T2
+   (precedence 2) — and provably non-invasive: a new leaf cannot change
+   the state or behavior of any existing type.  (Contrast with
+   projection, where the derived type is a supertype and the whole
+   hierarchy must be refactored.)
+
+   The interesting checks are on methods: every method of either
+   operand applies to J by inheritance, and methods of the two operands
+   can now become comparable on J — we surface any dispatch ambiguity a
+   J instance would encounter instead of letting it bite at run time.
+
+   Instantiation pairs up T1- and T2-extent objects on an equality
+   condition over attributes and materializes a J object per match,
+   combining the slots (which cannot clash: attribute names are
+   globally unique). *)
+
+type condition = (Attr_name.t * Attr_name.t) list
+(* left attribute = right attribute, conjunctive *)
+
+type outcome = {
+  schema : Schema.t;
+  name : Type_name.t;
+  ambiguities : Tdp_dispatch.Static_check.issue list;
+      (** calls a J instance could make that now dispatch ambiguously *)
+}
+
+let check_condition h t1 t2 cond =
+  List.iter
+    (fun (a1, a2) ->
+      if not (Hierarchy.has_attribute h t1 a1) then
+        Error.raise_ (Attribute_not_available { ty = t1; attr = a1 });
+      if not (Hierarchy.has_attribute h t2 a2) then
+        Error.raise_ (Attribute_not_available { ty = t2; attr = a2 }))
+    cond
+
+let derive_exn schema ~name t1 t2 =
+  let h = Schema.hierarchy schema in
+  ignore (Hierarchy.find h t1);
+  ignore (Hierarchy.find h t2);
+  if Hierarchy.mem h name then Error.raise_ (Duplicate_type name);
+  if Hierarchy.subtype h t1 t2 || Hierarchy.subtype h t2 t1 then
+    Error.raise_
+      (Invariant_violation
+         (Fmt.str "join operands %s and %s are already related"
+            (Type_name.to_string t1) (Type_name.to_string t2)));
+  let def = Type_def.make ~supers:[ (t1, 1); (t2, 2) ] name in
+  let schema' = Schema.map_hierarchy schema (fun h -> Hierarchy.add h def) in
+  (* Surface the dispatch ambiguities the join creates: for every
+     generic function, probe the call space over the operands and J. *)
+  let dispatcher = Tdp_dispatch.Dispatch.create schema' in
+  let ambiguities =
+    List.concat_map
+      (fun g ->
+        List.filter
+          (function
+            | Tdp_dispatch.Static_check.Ambiguous_call { arg_types; _ } ->
+                List.exists (Type_name.equal name) arg_types
+            | _ -> false)
+          (Tdp_dispatch.Static_check.call_space_issues dispatcher
+             ~gf:(Generic_function.name g) ~arg_space:[ name ]))
+      (Schema.gfs schema')
+  in
+  { schema = schema'; name; ambiguities }
+
+let derive schema ~name t1 t2 =
+  Error.guard (fun () -> derive_exn schema ~name t1 t2)
+
+(* Materialize J objects for every (o1, o2) in extent(t1) × extent(t2)
+   satisfying the equality condition.  Slots are combined; shared
+   inherited attributes (same name reachable from both sides) take the
+   left value, checked equal to the right when both are set. *)
+let materialize_exn db ~join_type ~on ~left ~right =
+  let h = Database.hierarchy db in
+  check_condition h left right on;
+  let attrs_left = Hierarchy.all_attribute_names h left in
+  let attrs_right = Hierarchy.all_attribute_names h right in
+  let matches o1 o2 =
+    List.for_all
+      (fun (a1, a2) ->
+        let v1 = Database.get_attr db o1 a1 and v2 = Database.get_attr db o2 a2 in
+        (not (Value.equal v1 Value.Null)) && Value.equal v1 v2)
+      on
+  in
+  let pairs =
+    List.concat_map
+      (fun o1 ->
+        List.filter_map
+          (fun o2 -> if matches o1 o2 then Some (o1, o2) else None)
+          (Database.extent db right))
+      (Database.extent db left)
+  in
+  List.map
+    (fun (o1, o2) ->
+      let init =
+        List.map (fun a -> (a, Database.get_attr db o1 a)) attrs_left
+        @ List.filter_map
+            (fun a ->
+              if List.exists (Attr_name.equal a) attrs_left then None
+              else Some (a, Database.get_attr db o2 a))
+            attrs_right
+      in
+      Database.new_object db join_type ~init)
+    pairs
+
+let materialize db ~join_type ~on ~left ~right =
+  Error.guard (fun () -> materialize_exn db ~join_type ~on ~left ~right)

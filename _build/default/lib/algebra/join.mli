@@ -1,0 +1,54 @@
+(** Join views (the last of the paper's "remaining algebraic
+    operations", Section 7).
+
+    The joined type of [T1 ⋈ T2] carries the cumulative state of both
+    operands, so it is derived as a fresh common {e subtype} — the dual
+    of projection, and non-invasive by construction: adding a leaf
+    cannot change any existing type's state or behavior.  The methods
+    of both operands apply to the join by inheritance; dispatch
+    ambiguities this can create are detected and reported at derivation
+    time.  Instantiation pairs operand extents on an attribute-equality
+    condition and materializes combined objects. *)
+
+open Tdp_core
+
+type condition = (Attr_name.t * Attr_name.t) list
+(** left attribute = right attribute, conjunctive *)
+
+type outcome = {
+  schema : Schema.t;
+  name : Type_name.t;
+  ambiguities : Tdp_dispatch.Static_check.issue list;
+}
+
+(** Derive the join type.
+    @raise Error.E on unknown operands, a taken [name], or operands
+    already related by [⪯] (the join would be one of them). *)
+val derive_exn : Schema.t -> name:Type_name.t -> Type_name.t -> Type_name.t -> outcome
+
+val derive :
+  Schema.t ->
+  name:Type_name.t ->
+  Type_name.t ->
+  Type_name.t ->
+  (outcome, Error.t) result
+
+(** Materialize one [join_type] object per matching pair, combining
+    slots (left value wins for attributes shared through common
+    ancestors); [Null] never matches.
+    @raise Error.E / [Tdp_store.Database.Store_error]. *)
+val materialize_exn :
+  Tdp_store.Database.t ->
+  join_type:Type_name.t ->
+  on:condition ->
+  left:Type_name.t ->
+  right:Type_name.t ->
+  Tdp_store.Oid.t list
+
+val materialize :
+  Tdp_store.Database.t ->
+  join_type:Type_name.t ->
+  on:condition ->
+  left:Type_name.t ->
+  right:Type_name.t ->
+  (Tdp_store.Oid.t list, Error.t) result

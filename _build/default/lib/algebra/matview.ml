@@ -1,0 +1,86 @@
+open Tdp_core
+module Database = Tdp_store.Database
+module Oid = Tdp_store.Oid
+
+(* Maintained materialized views.
+
+   [View.materialize] takes a one-shot copy; this module keeps the copy
+   population in sync with the base data on demand: [refresh] diffs the
+   view's current instance set against the copies (tracked by a
+   source-OID → copy-OID mapping) and adds, removes, or updates copies
+   as needed — the classic deferred view-maintenance loop, built on the
+   identity-based instance semantics of projection views. *)
+
+type stats = { added : int; removed : int; updated : int }
+
+let no_change = { added = 0; removed = 0; updated = 0 }
+
+type t = {
+  view_type : Type_name.t;
+  expr : View.expr;
+  mutable mapping : Oid.t Oid.Map.t;  (** source → copy *)
+}
+
+let view_type t = t.view_type
+let mapping t = t.mapping
+
+let copy_attrs db view_type =
+  Hierarchy.all_attribute_names (Database.hierarchy db) view_type
+
+let refresh db t =
+  let attrs = copy_attrs db t.view_type in
+  let current = View.instances db t.expr in
+  let current_set = Oid.Set.of_list current in
+  (* remove copies of vanished sources *)
+  let removed = ref 0 in
+  let mapping =
+    Oid.Map.filter
+      (fun src copy ->
+        if Oid.Set.mem src current_set then true
+        else begin
+          Database.delete db ~policy:Database.Nullify copy;
+          incr removed;
+          false
+        end)
+      t.mapping
+  in
+  (* add copies for new sources, update stale ones *)
+  let added = ref 0 and updated = ref 0 in
+  let mapping =
+    List.fold_left
+      (fun mapping src ->
+        match Oid.Map.find_opt src mapping with
+        | None ->
+            let init =
+              List.map (fun a -> (a, Database.get_attr db src a)) attrs
+            in
+            let copy = Database.new_object db t.view_type ~init in
+            incr added;
+            Oid.Map.add src copy mapping
+        | Some copy ->
+            let changed = ref false in
+            List.iter
+              (fun a ->
+                let v = Database.get_attr db src a in
+                if not (Tdp_store.Value.equal v (Database.get_attr db copy a))
+                then begin
+                  Database.set_attr db copy a v;
+                  changed := true
+                end)
+              attrs;
+            if !changed then incr updated;
+            mapping)
+      mapping current
+  in
+  t.mapping <- mapping;
+  { added = !added; removed = !removed; updated = !updated }
+
+let create db ~view_type expr =
+  let t = { view_type; expr; mapping = Oid.Map.empty } in
+  let _ = refresh db t in
+  t
+
+let copies t = List.map snd (Oid.Map.bindings t.mapping)
+
+let pp_stats ppf s =
+  Fmt.pf ppf "+%d -%d ~%d" s.added s.removed s.updated

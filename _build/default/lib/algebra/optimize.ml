@@ -1,0 +1,133 @@
+open Tdp_core
+
+(* Reduction of empty surrogate types — the open problem the paper
+   raises in Section 7: "it needs to be investigated how the number of
+   surrogate types with empty states can be reduced in the refactored
+   type hierarchy, particularly when views are defined over views."
+
+   A surrogate is collapsible when it carries no state, is not the
+   derived type of a view anyone can name (the [protect] set), and no
+   method signature, local declaration, or result type mentions it.
+   Collapsing splices the surrogate's supertypes into each of its
+   subtypes at the surrogate's precedence position, preserving both the
+   subtype closure and every type's cumulative state. *)
+
+let mentioned_types schema =
+  List.fold_left
+    (fun acc m ->
+      let s = Method_def.signature m in
+      let acc =
+        List.fold_left
+          (fun acc t -> Type_name.Set.add t acc)
+          acc (Signature.param_types s)
+      in
+      let acc =
+        match Option.bind (Signature.result s) Value_type.as_named with
+        | Some t -> Type_name.Set.add t acc
+        | None -> acc
+      in
+      match Method_def.body m with
+      | None -> acc
+      | Some b ->
+          List.fold_left
+            (fun acc (_, ty) ->
+              match Value_type.as_named ty with
+              | Some t -> Type_name.Set.add t acc
+              | None -> acc)
+            acc (Body.locals b))
+    Type_name.Set.empty
+    (Schema.all_methods schema)
+
+let collapsible ~protect ~mentioned def =
+  Type_def.is_surrogate def
+  && Type_def.attrs def = []
+  && (not (Type_name.Set.mem (Type_def.name def) protect))
+  && not (Type_name.Set.mem (Type_def.name def) mentioned)
+
+(* Splice [victim]'s supertypes into the super list of each of its
+   subtypes, in place of the edge to [victim], then drop [victim].
+   Precedences are renumbered 1..k for affected types; only the order
+   matters for linearization and transparency. *)
+let remove_surrogate h victim =
+  let vsupers = List.map fst (Hierarchy.direct_supers h victim) in
+  let rewire def =
+    if not (Type_def.has_super def victim) then def
+    else
+      let spliced =
+        List.concat_map
+          (fun (s, _) ->
+            if Type_name.equal s victim then
+              List.filter (fun v -> not (Type_def.has_super def v)) vsupers
+            else [ s ])
+          (Type_def.supers def)
+      in
+      (* drop duplicates introduced by splicing several copies *)
+      let _, spliced =
+        List.fold_left
+          (fun (seen, acc) s ->
+            if Type_name.Set.mem s seen then (seen, acc)
+            else (Type_name.Set.add s seen, s :: acc))
+          (Type_name.Set.empty, []) spliced
+      in
+      let spliced = List.rev spliced in
+      Type_def.with_supers def (List.mapi (fun i s -> (s, i + 1)) spliced)
+  in
+  let h =
+    Hierarchy.fold
+      (fun def h -> Hierarchy.update h (Type_def.name def) (fun _ -> rewire def))
+      h h
+  in
+  Hierarchy.remove h victim
+
+let collapse_exn ?(protect = Type_name.Set.empty) schema =
+  let mentioned = mentioned_types schema in
+  let rec go schema removed =
+    let h = Schema.hierarchy schema in
+    let victim =
+      List.find_opt (collapsible ~protect ~mentioned) (Hierarchy.types h)
+    in
+    match victim with
+    | None -> (schema, List.rev removed)
+    | Some def ->
+        let name = Type_def.name def in
+        let h' = remove_surrogate h name in
+        go (Schema.with_hierarchy schema h') (name :: removed)
+  in
+  let before = Schema.hierarchy schema in
+  let after, removed = go schema [] in
+  (* Safety: every surviving type keeps its cumulative state and its
+     subtype relationships. *)
+  let ha = Schema.hierarchy after in
+  List.iter
+    (fun def ->
+      let n = Type_def.name def in
+      if Hierarchy.mem ha n then begin
+        let names h = List.sort Attr_name.compare (Hierarchy.all_attribute_names h n) in
+        if names before <> names ha then
+          Error.raise_
+            (Invariant_violation
+               (Fmt.str "collapse changed state of %s" (Type_name.to_string n)));
+        Type_name.Set.iter
+          (fun m ->
+            if
+              Hierarchy.mem ha m
+              && Hierarchy.subtype before n m <> Hierarchy.subtype ha n m
+            then
+              Error.raise_
+                (Invariant_violation
+                   (Fmt.str "collapse changed subtyping %s ⪯ %s"
+                      (Type_name.to_string n) (Type_name.to_string m))))
+          (Type_name.Set.of_list (Hierarchy.type_names before))
+      end)
+    (Hierarchy.types before);
+  (after, removed)
+
+let collapse ?protect schema = Error.guard (fun () -> collapse_exn ?protect schema)
+
+(* Count surrogates with empty local state — the quantity the paper
+   wants reduced; reported by the S4 experiment. *)
+let empty_surrogate_count schema =
+  Hierarchy.fold
+    (fun def n ->
+      if Type_def.is_surrogate def && Type_def.attrs def = [] then n + 1 else n)
+    (Schema.hierarchy schema) 0

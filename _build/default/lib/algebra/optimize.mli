@@ -1,0 +1,28 @@
+(** Reduction of empty surrogate types (the paper's Section 7 open
+    problem).
+
+    Chained views can litter the hierarchy with stateless surrogates;
+    collapsing removes those that carry no attributes, are not the
+    visible type of any view (pass them in [protect]), and are not
+    mentioned by any method signature or body, splicing their
+    supertypes into their subtypes.  The collapse provably preserves
+    cumulative state and the subtype relation over surviving types and
+    re-verifies both. *)
+
+open Tdp_core
+
+(** Types mentioned by any method signature, result, or local. *)
+val mentioned_types : Schema.t -> Type_name.Set.t
+
+(** @raise Error.E [Invariant_violation] if a safety re-check fails
+    (indicates a bug, not bad input). *)
+val collapse_exn :
+  ?protect:Type_name.Set.t -> Schema.t -> Schema.t * Type_name.t list
+
+val collapse :
+  ?protect:Type_name.Set.t ->
+  Schema.t ->
+  (Schema.t * Type_name.t list, Error.t) result
+
+(** Number of surrogates with empty local state. *)
+val empty_surrogate_count : Schema.t -> int

@@ -1,0 +1,108 @@
+open Tdp_core
+
+type op = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Cmp of { attr : Attr_name.t; op : op; value : Body.literal }
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | True
+
+let cmp attr op value = Cmp { attr; op; value }
+
+let rec attrs = function
+  | Cmp { attr; _ } -> Attr_name.Set.singleton attr
+  | And (a, b) | Or (a, b) -> Attr_name.Set.union (attrs a) (attrs b)
+  | Not a -> attrs a
+  | True -> Attr_name.Set.empty
+
+(* A literal is comparable to an attribute type when the kinds agree;
+   ordering comparisons require numeric kinds (int, float, or the
+   year-valued date).  Object-typed attributes cannot be compared to
+   literals at all. *)
+let literal_compatible (lit : Body.literal) (vt : Value_type.t) op =
+  let equality = match op with Eq | Ne -> true | Lt | Le | Gt | Ge -> false in
+  match (vt, lit) with
+  | Value_type.Prim (Int | Date), (Int _ | Float _) -> true
+  | Value_type.Prim Float, (Int _ | Float _) -> true
+  | Value_type.Prim String, String _ -> equality
+  | Value_type.Prim Bool, Bool _ -> equality
+  | _, Null -> equality
+  | (Value_type.Prim _ | Value_type.Named _ | Value_type.Unknown), _ -> false
+
+(* Every attribute the predicate mentions must be in the cumulative
+   state of [ty], and every comparison must be well-typed. *)
+let rec check_exn h ty_ p =
+  match p with
+  | True -> ()
+  | Not a -> check_exn h ty_ a
+  | And (a, b) | Or (a, b) ->
+      check_exn h ty_ a;
+      check_exn h ty_ b
+  | Cmp { attr; op; value } -> (
+      match Hierarchy.find_attribute h ty_ attr with
+      | None -> Error.raise_ (Attribute_not_available { ty = ty_; attr })
+      | Some a ->
+          if not (literal_compatible value (Attribute.ty a) op) then
+            Error.raise_
+              (Invariant_violation
+                 (Fmt.str "predicate compares attribute %s (: %s) with %s"
+                    (Attr_name.to_string attr)
+                    (Fmt.str "%a" Value_type.pp (Attribute.ty a))
+                    (Fmt.str "%a" Body.pp_literal value))))
+
+let rec map_attrs f = function
+  | Cmp { attr; op; value } -> Cmp { attr = f attr; op; value }
+  | And (a, b) -> And (map_attrs f a, map_attrs f b)
+  | Or (a, b) -> Or (map_attrs f a, map_attrs f b)
+  | Not a -> Not (map_attrs f a)
+  | True -> True
+
+let op_to_string = function
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec pp ppf = function
+  | Cmp { attr; op; value } ->
+      Fmt.pf ppf "%a %s %a" Attr_name.pp attr (op_to_string op) Body.pp_literal value
+  | And (a, b) -> Fmt.pf ppf "(%a and %a)" pp a pp b
+  | Or (a, b) -> Fmt.pf ppf "(%a or %a)" pp a pp b
+  | Not a -> Fmt.pf ppf "(not %a)" pp a
+  | True -> Fmt.string ppf "true"
+
+let compare_values op (a : Tdp_store.Value.t) (b : Tdp_store.Value.t) =
+  let num v =
+    match (v : Tdp_store.Value.t) with
+    | Int i -> Some (float_of_int i)
+    | Float f -> Some f
+    | Date y -> Some (float_of_int y)
+    | String _ | Bool _ | Ref _ | Null -> None
+  in
+  match op with
+  | Eq -> Tdp_store.Value.equal a b
+  | Ne -> not (Tdp_store.Value.equal a b)
+  | Lt | Le | Gt | Ge -> (
+      match (num a, num b) with
+      | Some x, Some y -> (
+          match op with
+          | Lt -> x < y
+          | Le -> x <= y
+          | Gt -> x > y
+          | Ge -> x >= y
+          | Eq | Ne -> assert false)
+      | _ -> false)
+
+(* Evaluate a predicate against a stored object. *)
+let rec eval db oid = function
+  | True -> true
+  | Not p -> not (eval db oid p)
+  | And (a, b) -> eval db oid a && eval db oid b
+  | Or (a, b) -> eval db oid a || eval db oid b
+  | Cmp { attr; op; value } ->
+      let v = Tdp_store.Database.get_attr db oid attr in
+      compare_values op v (Tdp_store.Value.of_literal value)

@@ -1,0 +1,39 @@
+(** Selection predicates over a type's attributes.
+
+    Used by the selection operator (σ): the derived type of a selection
+    has the same state as its source, so type derivation for σ is
+    simple subtyping; the predicate only matters at instantiation
+    time. *)
+
+open Tdp_core
+
+type op = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Cmp of { attr : Attr_name.t; op : op; value : Body.literal }
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | True
+
+val cmp : Attr_name.t -> op -> Body.literal -> t
+
+(** Attributes mentioned by the predicate. *)
+val attrs : t -> Attr_name.Set.t
+
+(** @raise Error.E [Attribute_not_available] if the predicate mentions
+    an attribute outside the cumulative state of the type, or
+    [Invariant_violation] on an ill-typed comparison (e.g. ordering a
+    string attribute, or comparing an object-typed attribute to a
+    literal). *)
+val check_exn : Hierarchy.t -> Type_name.t -> t -> unit
+
+(** Rename the attributes the predicate mentions. *)
+val map_attrs : (Attr_name.t -> Attr_name.t) -> t -> t
+
+val op_to_string : op -> string
+val pp : t Fmt.t
+
+(** Evaluate against a stored object.
+    @raise Tdp_store.Database.Store_error on a missing attribute. *)
+val eval : Tdp_store.Database.t -> Tdp_store.Oid.t -> t -> bool

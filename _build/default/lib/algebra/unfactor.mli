@@ -1,0 +1,22 @@
+(** Dropping a view: the inverse of the projection pipeline.
+
+    Restores the hierarchy and the method signatures to their
+    pre-projection shape by merging every surrogate created for the
+    view back into its source type.  Semantically inverse: cumulative
+    state, subtyping over surviving types, and method applicability are
+    restored (only cosmetic local-attribute order may differ — moved
+    attributes are appended).  Fails if anything outside the view
+    depends on its surrogates, e.g. a later view derived through
+    them. *)
+
+open Tdp_core
+
+(** Surrogates tagged with the given view, paired with their sources. *)
+val surrogates_of_view :
+  Schema.t -> view:string -> (Type_name.t * Type_name.t) list
+
+(** @raise Error.E [Invariant_violation] when the view is unknown or
+    still depended upon. *)
+val drop_view_exn : Schema.t -> view:string -> Schema.t
+
+val drop_view : Schema.t -> view:string -> (Schema.t, Error.t) result

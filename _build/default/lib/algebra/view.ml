@@ -1,0 +1,138 @@
+open Tdp_core
+
+type expr =
+  | Base of Type_name.t
+  | Project of expr * Attr_name.t list
+  | Select of expr * Pred.t
+  | Generalize of expr * expr
+
+type step =
+  | Projected of Projection.outcome
+  | Selected of { name : Type_name.t; source : Type_name.t; pred : Pred.t }
+  | Generalized of Generalize.outcome
+
+type outcome = {
+  schema : Schema.t;
+  name : Type_name.t;
+  steps : step list;  (** innermost first *)
+}
+
+(* Rename the attributes a view expression mentions (projection lists
+   and selection predicates); used by schema evolution. *)
+let rec map_attrs f = function
+  | Base n -> Base n
+  | Project (e, attrs) -> Project (map_attrs f e, List.map f attrs)
+  | Select (e, p) -> Select (map_attrs f e, Pred.map_attrs f p)
+  | Generalize (a, b) -> Generalize (map_attrs f a, map_attrs f b)
+
+let rec pp_expr ppf = function
+  | Base n -> Type_name.pp ppf n
+  | Project (e, attrs) ->
+      Fmt.pf ppf "project %a on [%a]" pp_expr e
+        Fmt.(list ~sep:comma Attr_name.pp)
+        attrs
+  | Select (e, p) -> Fmt.pf ppf "select %a where %a" pp_expr e Pred.pp p
+  | Generalize (a, b) -> Fmt.pf ppf "generalize %a with %a" pp_expr a pp_expr b
+
+(* Derive the type of a view expression, threading the schema through
+   each algebraic step.  Projection uses the paper's full pipeline;
+   selection derives a {e subtype} of its source carrying no new state
+   — every instance of the selection is an instance of the source, and
+   all the source's methods remain applicable by plain inheritance.
+
+   Each step is tagged with a distinct "view#i" so that {!Catalog} can
+   undo the steps individually (surrogates record the tag in their
+   origin). *)
+let rec derive_step ?check counter schema ~view ?name expr =
+  let fresh_tag () =
+    incr counter;
+    Fmt.str "%s#%d" view !counter
+  in
+  match expr with
+  | Base n ->
+      ignore (Hierarchy.find (Schema.hierarchy schema) n);
+      { schema; name = n; steps = [] }
+  | Project (sub, projection) ->
+      let inner = derive_step ?check counter schema ~view sub in
+      let o =
+        Projection.project_exn ?check inner.schema ~view:(fresh_tag ())
+          ?derived_name:name ~source:inner.name ~projection ()
+      in
+      { schema = o.schema; name = o.derived; steps = inner.steps @ [ Projected o ] }
+  | Select (sub, pred) ->
+      let inner = derive_step ?check counter schema ~view sub in
+      let h = Schema.hierarchy inner.schema in
+      Pred.check_exn h inner.name pred;
+      let sel_name =
+        match name with
+        | Some n ->
+            if Hierarchy.mem h n then Error.raise_ (Duplicate_type n);
+            n
+        | None ->
+            Hierarchy.fresh_name h
+              (Type_name.of_string (Type_name.to_string inner.name ^ "_sel"))
+      in
+      let def =
+        Type_def.make
+          ~origin:(Surrogate { source = inner.name; view = fresh_tag () })
+          ~supers:[ (inner.name, 1) ]
+          sel_name
+      in
+      let schema = Schema.map_hierarchy inner.schema (fun h -> Hierarchy.add h def) in
+      { schema;
+        name = sel_name;
+        steps = inner.steps @ [ Selected { name = sel_name; source = inner.name; pred } ]
+      }
+  | Generalize (a, b) ->
+      let ia = derive_step ?check counter schema ~view a in
+      let ib = derive_step ?check counter ia.schema ~view b in
+      let h = Schema.hierarchy ib.schema in
+      let gen_name =
+        match name with
+        | Some n ->
+            if Hierarchy.mem h n then Error.raise_ (Duplicate_type n);
+            n
+        | None ->
+            Hierarchy.fresh_name h
+              (Type_name.of_string (Type_name.to_string ia.name ^ "_gen"))
+      in
+      let o =
+        Generalize.generalize_exn ?check ib.schema ~view:(fresh_tag ())
+          ~name:gen_name ia.name ib.name
+      in
+      { schema = o.schema;
+        name = o.name;
+        steps = ia.steps @ ib.steps @ [ Generalized o ]
+      }
+
+let derive_exn ?check schema ~view ?name expr =
+  derive_step ?check (ref 0) schema ~view ?name expr
+
+let derive ?check schema ~view ?name expr =
+  Error.guard (fun () -> derive_exn ?check schema ~view ?name expr)
+
+(* Instantiation of a view over a database, with view-type identity
+   semantics: a projection view's instances are the source instances
+   themselves; a selection filters them.  Since the projection pipeline
+   makes the derived type a supertype of its source, the Base case's
+   deep extent already contains everything. *)
+let rec instances db = function
+  | Base n -> Tdp_store.Database.extent db n
+  | Project (e, _) -> instances db e
+  | Select (e, pred) ->
+      List.filter (fun oid -> Pred.eval db oid pred) (instances db e)
+  | Generalize (a, b) ->
+      List.sort_uniq Tdp_store.Oid.compare (instances db a @ instances db b)
+
+(* Materialization: copy each view instance into a fresh object of the
+   derived view type, carrying exactly the view's attributes. *)
+let materialize db ~view_type expr =
+  let h = Tdp_store.Database.hierarchy db in
+  let attrs = Hierarchy.all_attribute_names h view_type in
+  List.map
+    (fun src ->
+      let init =
+        List.map (fun a -> (a, Tdp_store.Database.get_attr db src a)) attrs
+      in
+      Tdp_store.Database.new_object db view_type ~init)
+    (instances db expr)

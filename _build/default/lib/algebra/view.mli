@@ -1,0 +1,57 @@
+(** Composable algebraic views over object types.
+
+    The paper treats projection in depth and leaves "the remaining
+    algebraic operations" as future work (Section 7).  This module
+    composes the projection pipeline with the easy case — selection,
+    whose derived type is a plain subtype — into nestable view
+    expressions (views over views), and provides both identity-based
+    instantiation and copy-based materialization over a store. *)
+
+open Tdp_core
+
+type expr =
+  | Base of Type_name.t
+  | Project of expr * Attr_name.t list
+  | Select of expr * Pred.t
+  | Generalize of expr * expr
+      (** union view over the operands' shared attributes, see
+          {!Generalize} *)
+
+type step =
+  | Projected of Projection.outcome
+  | Selected of { name : Type_name.t; source : Type_name.t; pred : Pred.t }
+  | Generalized of Generalize.outcome
+
+type outcome = {
+  schema : Schema.t;  (** schema after all steps *)
+  name : Type_name.t;  (** the view's derived type *)
+  steps : step list;  (** innermost first *)
+}
+
+(** Rename the attributes mentioned in projection lists and selection
+    predicates. *)
+val map_attrs : (Attr_name.t -> Attr_name.t) -> expr -> expr
+
+val pp_expr : expr Fmt.t
+
+(** Derive the view's type, refactoring the hierarchy step by step.
+    [name] names the outermost derived type.
+    @raise Error.E on any failing step. *)
+val derive_exn :
+  ?check:bool -> Schema.t -> view:string -> ?name:Type_name.t -> expr -> outcome
+
+val derive :
+  ?check:bool ->
+  Schema.t ->
+  view:string ->
+  ?name:Type_name.t ->
+  expr ->
+  (outcome, Error.t) Stdlib.result
+
+(** View instances with identity semantics (projection keeps OIDs,
+    selection filters). *)
+val instances : Tdp_store.Database.t -> expr -> Tdp_store.Oid.t list
+
+(** Copy view instances into fresh objects of [view_type]. *)
+val materialize :
+  Tdp_store.Database.t -> view_type:Type_name.t -> expr -> Tdp_store.Oid.t list

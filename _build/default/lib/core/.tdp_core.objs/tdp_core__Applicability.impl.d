@@ -1,0 +1,1 @@
+lib/core/applicability.ml: Attr_name Dataflow Error Fmt Hashtbl Hierarchy List Method_def Schema String Subtype_cache Type_name

@@ -1,0 +1,1 @@
+lib/core/applicability.mli: Attr_name Error Fmt Method_def Schema Stdlib Type_name

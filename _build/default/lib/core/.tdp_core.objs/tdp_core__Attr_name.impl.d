@@ -1,0 +1,1 @@
+lib/core/attr_name.ml: Fmt Map Set String

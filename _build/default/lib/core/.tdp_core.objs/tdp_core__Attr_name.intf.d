@@ -1,0 +1,1 @@
+lib/core/attr_name.mli: Fmt Map Set

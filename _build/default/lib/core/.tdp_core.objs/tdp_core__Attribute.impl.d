@@ -1,0 +1,1 @@
+lib/core/attribute.ml: Attr_name Fmt Value_type

@@ -1,0 +1,1 @@
+lib/core/attribute.mli: Attr_name Fmt Value_type

@@ -1,0 +1,1 @@
+lib/core/augment.ml: Dataflow Error Factor_state Hierarchy List Method_def Schema Signature Type_def Type_name

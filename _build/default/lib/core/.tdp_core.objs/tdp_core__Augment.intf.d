@@ -1,0 +1,1 @@
+lib/core/augment.mli: Error Hierarchy Method_def Schema Type_name

@@ -1,0 +1,1 @@
+lib/core/body.ml: Fmt List Value_type

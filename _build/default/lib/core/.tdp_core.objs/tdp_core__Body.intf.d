@@ -1,0 +1,1 @@
+lib/core/body.mli: Fmt Value_type

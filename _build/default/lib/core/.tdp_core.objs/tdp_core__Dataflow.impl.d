@@ -1,0 +1,1 @@
+lib/core/dataflow.ml: Body List Map Method_def Option Schema Set Signature String Subtype_cache Type_name Typing Value_type

@@ -1,0 +1,1 @@
+lib/core/dataflow.mli: Body Map Method_def Schema Set Subtype_cache Type_name

@@ -1,0 +1,1 @@
+lib/core/diff.ml: Attr_name Attribute Fmt Hierarchy List Method_def Schema Signature Type_def Type_name

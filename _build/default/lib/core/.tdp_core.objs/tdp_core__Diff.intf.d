@@ -1,0 +1,1 @@
+lib/core/diff.mli: Attr_name Fmt Hierarchy Method_def Schema Signature Type_name

@@ -1,0 +1,1 @@
+lib/core/dot.ml: Attr_name Attribute Buffer Fmt Hierarchy List String Type_def Type_name

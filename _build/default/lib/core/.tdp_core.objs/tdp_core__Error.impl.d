@@ -1,0 +1,1 @@
+lib/core/error.ml: Attr_name Fmt Type_name

@@ -1,0 +1,1 @@
+lib/core/error.mli: Attr_name Fmt Type_name

@@ -1,0 +1,1 @@
+lib/core/factor_methods.ml: Body Dataflow Error Fmt List Method_def Option Schema Signature String Type_name Value_type

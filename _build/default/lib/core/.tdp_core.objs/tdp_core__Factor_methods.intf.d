@@ -1,0 +1,1 @@
+lib/core/factor_methods.mli: Error Fmt Method_def Schema Signature Type_name

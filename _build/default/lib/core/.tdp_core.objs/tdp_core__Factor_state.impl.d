@@ -1,0 +1,1 @@
+lib/core/factor_state.ml: Attr_name Error Hashtbl Hierarchy List Stdlib Type_def Type_name

@@ -1,0 +1,1 @@
+lib/core/factor_state.mli: Attr_name Error Hierarchy Type_def Type_name

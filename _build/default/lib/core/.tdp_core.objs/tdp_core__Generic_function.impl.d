@@ -1,0 +1,1 @@
+lib/core/generic_function.ml: Error Fmt List Method_def String Value_type

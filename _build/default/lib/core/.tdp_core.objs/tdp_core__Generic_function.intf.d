@@ -1,0 +1,1 @@
+lib/core/generic_function.mli: Fmt Method_def Value_type

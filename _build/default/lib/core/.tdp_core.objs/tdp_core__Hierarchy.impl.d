@@ -1,0 +1,1 @@
+lib/core/hierarchy.ml: Attr_name Attribute Error Fmt Hashtbl List Option Type_def Type_name

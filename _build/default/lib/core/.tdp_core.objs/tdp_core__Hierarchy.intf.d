@@ -1,0 +1,1 @@
+lib/core/hierarchy.mli: Attr_name Attribute Error Fmt Type_def Type_name

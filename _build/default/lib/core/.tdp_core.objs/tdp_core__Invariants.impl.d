@@ -1,0 +1,1 @@
+lib/core/invariants.ml: Applicability Attr_name Attribute Error Fmt Hierarchy List Method_def Schema String Subtype_cache Type_def Type_name

@@ -1,0 +1,1 @@
+lib/core/invariants.mli: Applicability Attr_name Error Hierarchy Schema Type_name

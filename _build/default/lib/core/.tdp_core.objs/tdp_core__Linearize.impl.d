@@ -1,0 +1,1 @@
+lib/core/linearize.ml: Error Hierarchy List Type_name

@@ -1,0 +1,1 @@
+lib/core/linearize.mli: Error Hierarchy Type_name

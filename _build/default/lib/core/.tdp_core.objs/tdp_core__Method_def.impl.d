@@ -1,0 +1,1 @@
+lib/core/method_def.ml: Attr_name Body Fmt Map Set Signature String

@@ -1,0 +1,1 @@
+lib/core/method_def.mli: Attr_name Body Fmt Map Set Signature Type_name Value_type

@@ -1,0 +1,1 @@
+lib/core/projection.ml: Applicability Attr_name Augment Error Factor_methods Factor_state Fmt Invariants List Method_def Schema Signature Subtype_cache Type_name Typing

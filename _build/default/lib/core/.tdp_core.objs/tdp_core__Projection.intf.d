@@ -1,0 +1,1 @@
+lib/core/projection.mli: Applicability Attr_name Error Factor_methods Fmt Schema Type_name

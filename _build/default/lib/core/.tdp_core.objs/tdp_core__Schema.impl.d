@@ -1,0 +1,1 @@
+lib/core/schema.ml: Attr_name Error Fmt Generic_function Hierarchy List Map Method_def Option Signature String Subtype_cache

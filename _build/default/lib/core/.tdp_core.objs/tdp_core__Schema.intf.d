@@ -1,0 +1,1 @@
+lib/core/schema.mli: Attr_name Error Fmt Generic_function Hierarchy Method_def Subtype_cache Type_def Type_name

@@ -1,0 +1,1 @@
+lib/core/signature.ml: Fmt List Option String Type_name Value_type

@@ -1,0 +1,1 @@
+lib/core/signature.mli: Fmt Type_name Value_type

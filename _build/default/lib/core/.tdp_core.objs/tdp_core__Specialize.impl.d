@@ -1,0 +1,1 @@
+lib/core/specialize.ml: Error Factor_state Generic_function Hierarchy List Schema Type_def Type_name

@@ -1,0 +1,1 @@
+lib/core/specialize.mli: Attr_name Error Factor_state Hierarchy Schema Type_name

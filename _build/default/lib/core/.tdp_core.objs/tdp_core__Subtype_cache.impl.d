@@ -1,0 +1,1 @@
+lib/core/subtype_cache.ml: Hashtbl Hierarchy Type_name

@@ -1,0 +1,1 @@
+lib/core/subtype_cache.mli: Hierarchy Type_name

@@ -1,0 +1,1 @@
+lib/core/type_def.ml: Attr_name Attribute Error Fmt Int List Type_name

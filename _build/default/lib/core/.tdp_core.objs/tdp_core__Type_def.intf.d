@@ -1,0 +1,1 @@
+lib/core/type_def.mli: Attr_name Attribute Fmt Type_name

@@ -1,0 +1,1 @@
+lib/core/type_name.ml: Fmt Map Set String

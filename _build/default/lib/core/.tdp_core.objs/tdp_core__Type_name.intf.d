@@ -1,0 +1,1 @@
+lib/core/type_name.mli: Fmt Map Set

@@ -1,0 +1,1 @@
+lib/core/typing.ml: Body Error Fmt Generic_function Hierarchy List Map Method_def Option Schema Signature String Value_type

@@ -1,0 +1,1 @@
+lib/core/typing.mli: Body Error Hierarchy Map Method_def Schema Type_name Value_type

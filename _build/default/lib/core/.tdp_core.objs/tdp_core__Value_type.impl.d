@@ -1,0 +1,1 @@
+lib/core/value_type.ml: Fmt Type_name

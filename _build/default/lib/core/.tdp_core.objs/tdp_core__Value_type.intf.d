@@ -1,0 +1,1 @@
+lib/core/value_type.mli: Fmt Type_name

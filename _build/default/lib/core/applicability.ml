@@ -1,0 +1,255 @@
+module Key = Method_def.Key
+
+type event =
+  | Tested of Key.t
+  | Concluded of { meth : Key.t; applicable : bool }
+  | Assumed of { meth : Key.t; dependents : Key.t list }
+  | Retracted of Key.t
+  | No_candidate of { meth : Key.t; gf : string }
+
+type result = {
+  applicable : Key.Set.t;
+  not_applicable : Key.Set.t;
+  candidates : Key.Set.t;
+  passes : int;
+  trace : event list;
+}
+
+type frame = { meth : Key.t; mutable deps : Key.Set.t }
+
+type ctx = {
+  schema : Schema.t;
+  cache : Subtype_cache.t;
+  source : Type_name.t;
+  proj : Attr_name.Set.t;
+  mutable stack : frame list; (* head = top of MethodStack *)
+  mutable applicable : Key.Set.t;
+  mutable not_applicable : Key.Set.t;
+  mutable retractions : int;
+  mutable trace : event list; (* reversed *)
+  relevant : (Key.t, Dataflow.relevant_call list) Hashtbl.t;
+}
+
+let emit ctx e = ctx.trace <- e :: ctx.trace
+
+let relevant_calls ctx m =
+  let k = Method_def.key m in
+  match Hashtbl.find_opt ctx.relevant k with
+  | Some rcs -> rcs
+  | None ->
+      let rcs = Dataflow.relevant_calls ctx.schema ctx.cache m ~source:ctx.source in
+      Hashtbl.replace ctx.relevant k rcs;
+      rcs
+
+(* The set of methods of the called generic function from which an
+   applicable method must be found (Section 4, cases 1 and 2): with a
+   single relevant argument position, the source type is substituted at
+   that position; with several, the call is taken as written, which by
+   contravariance subsumes every combination of non-null substitutions. *)
+let candidate_arg_types ctx (rc : Dataflow.relevant_call) =
+  match rc.relevant_positions with
+  | [ j ] ->
+      List.mapi
+        (fun i ty -> if i = j then ctx.source else ty)
+        rc.site.arg_types
+  | _ -> rc.site.arg_types
+
+let rec is_applicable ctx m =
+  let k = Method_def.key m in
+  if Key.Set.mem k ctx.applicable then true
+  else if Key.Set.mem k ctx.not_applicable then false
+  else
+    match Method_def.kind m with
+    | Reader attr | Writer attr ->
+        let ok = Attr_name.Set.mem attr ctx.proj in
+        emit ctx (Concluded { meth = k; applicable = ok });
+        if ok then ctx.applicable <- Key.Set.add k ctx.applicable
+        else ctx.not_applicable <- Key.Set.add k ctx.not_applicable;
+        ok
+    | General _ ->
+        if List.exists (fun f -> Key.equal f.meth k) ctx.stack then begin
+          (* m is being determined further down the stack: optimistically
+             assume it applicable, and record every method above it so
+             that they can be retracted if the assumption fails. *)
+          let rec split above = function
+            | [] -> assert false
+            | f :: rest ->
+                if Key.equal f.meth k then (List.rev above, f)
+                else split (f :: above) rest
+          in
+          let above, frame = split [] ctx.stack in
+          let dependents = List.map (fun f -> f.meth) above in
+          frame.deps <-
+            List.fold_left (fun s d -> Key.Set.add d s) frame.deps dependents;
+          emit ctx (Assumed { meth = k; dependents });
+          true
+        end
+        else begin
+          emit ctx (Tested k);
+          let frame = { meth = k; deps = Key.Set.empty } in
+          ctx.stack <- frame :: ctx.stack;
+          let check_call (rc : Dataflow.relevant_call) =
+            let arg_types = candidate_arg_types ctx rc in
+            let candidates =
+              Schema.methods_applicable_to_call ctx.schema ctx.cache
+                ~gf:rc.site.gf ~arg_types
+            in
+            let ok = List.exists (is_applicable ctx) candidates in
+            if not ok then emit ctx (No_candidate { meth = k; gf = rc.site.gf });
+            ok
+          in
+          let ok = List.for_all check_call (relevant_calls ctx m) in
+          if ok then ctx.applicable <- Key.Set.add k ctx.applicable
+          else begin
+            Key.Set.iter
+              (fun d ->
+                if Key.Set.mem d ctx.applicable then begin
+                  ctx.applicable <- Key.Set.remove d ctx.applicable;
+                  ctx.retractions <- ctx.retractions + 1;
+                  emit ctx (Retracted d)
+                end)
+              frame.deps;
+            ctx.not_applicable <- Key.Set.add k ctx.not_applicable
+          end;
+          emit ctx (Concluded { meth = k; applicable = ok });
+          ctx.stack <- List.tl ctx.stack;
+          ok
+        end
+
+let analyze_exn schema ~source ~projection =
+  if projection = [] then Error.raise_ Empty_projection;
+  let h = Schema.hierarchy schema in
+  List.iter
+    (fun a ->
+      if not (Hierarchy.has_attribute h source a) then
+        Error.raise_ (Attribute_not_available { ty = source; attr = a }))
+    projection;
+  let cache = Subtype_cache.create h in
+  let ctx =
+    { schema;
+      cache;
+      source;
+      proj = Attr_name.Set.of_list projection;
+      stack = [];
+      applicable = Key.Set.empty;
+      not_applicable = Key.Set.empty;
+      retractions = 0;
+      trace = [];
+      relevant = Hashtbl.create 32
+    }
+  in
+  let candidates = Schema.methods_applicable_to_type schema cache source in
+  (* Driver: retraction leaves a method with unknown status, so it must
+     be checked again (end of Section 4.2).  A conclusion reached before
+     a retraction may itself have relied on the retracted method, so the
+     driver clears the provisional general-method conclusions and
+     re-runs; termination holds because every retraction accompanies a
+     monotone NotApplicable insertion. *)
+  let rec run passes =
+    ctx.retractions <- 0;
+    List.iter (fun m -> ignore (is_applicable ctx m)) candidates;
+    assert (ctx.stack = []);
+    if ctx.retractions > 0 then begin
+      ctx.applicable <-
+        Key.Set.filter
+          (fun k ->
+            match Schema.find_method_opt schema k with
+            | Some m -> Method_def.is_accessor m
+            | None -> false)
+          ctx.applicable;
+      run (passes + 1)
+    end
+    else passes
+  in
+  let passes = run 1 in
+  { applicable = ctx.applicable;
+    not_applicable = ctx.not_applicable;
+    candidates = Key.Set.of_list (List.map Method_def.key candidates);
+    passes;
+    trace = List.rev ctx.trace
+  }
+
+let analyze schema ~source ~projection =
+  Error.guard (fun () -> analyze_exn schema ~source ~projection)
+
+let status (r : result) k =
+  if Key.Set.mem k r.applicable then `Applicable
+  else if Key.Set.mem k r.not_applicable then `Not_applicable
+  else `Unknown
+
+(* Human-readable reason for a method's verdict, reconstructed from the
+   final fixpoint: an accessor points at its attribute; a general
+   method's failure points at the first relevant call whose candidate
+   set contains no applicable method. *)
+let explain schema (r : result) ~source ~projection key =
+  let proj = Attr_name.Set.of_list projection in
+  match Schema.find_method_opt schema key with
+  | None -> Fmt.str "%a: unknown method" Key.pp key
+  | Some m -> (
+      let verdict = status r key in
+      match (Method_def.kind m, verdict) with
+      | _, `Unknown -> Fmt.str "%a: not applicable to the source type" Key.pp key
+      | (Reader a | Writer a), `Applicable ->
+          Fmt.str "%a: accessor on %a, which is in the projection list" Key.pp
+            key Attr_name.pp a
+      | (Reader a | Writer a), `Not_applicable ->
+          Fmt.str "%a: accessor on %a, which is NOT in the projection list"
+            Key.pp key Attr_name.pp a
+      | General _, `Applicable ->
+          Fmt.str
+            "%a: every relevant generic-function call has an applicable method"
+            Key.pp key
+      | General _, `Not_applicable -> (
+          ignore proj;
+          let cache = Subtype_cache.create (Schema.hierarchy schema) in
+          let rcs = Dataflow.relevant_calls schema cache m ~source in
+          let failing =
+            List.find_opt
+              (fun (rc : Dataflow.relevant_call) ->
+                let arg_types =
+                  match rc.relevant_positions with
+                  | [ j ] ->
+                      List.mapi
+                        (fun i ty -> if i = j then source else ty)
+                        rc.site.arg_types
+                  | _ -> rc.site.arg_types
+                in
+                let candidates =
+                  Schema.methods_applicable_to_call schema cache ~gf:rc.site.gf
+                    ~arg_types
+                in
+                not
+                  (List.exists
+                     (fun c -> Key.Set.mem (Method_def.key c) r.applicable)
+                     candidates))
+              rcs
+          in
+          match failing with
+          | Some rc ->
+              Fmt.str "%a: the call to %s has no applicable method" Key.pp key
+                rc.site.gf
+          | None ->
+              Fmt.str
+                "%a: retracted after a failed optimistic assumption in a call \
+                 cycle"
+                Key.pp key))
+
+let pp_event ppf = function
+  | Tested k -> Fmt.pf ppf "test %a" Key.pp k
+  | Concluded { meth; applicable } ->
+      Fmt.pf ppf "%a %s" Key.pp meth
+        (if applicable then "applicable" else "not-applicable")
+  | Assumed { meth; dependents } ->
+      Fmt.pf ppf "assume %a (dependents: %a)" Key.pp meth
+        Fmt.(list ~sep:comma Key.pp)
+        dependents
+  | Retracted k -> Fmt.pf ppf "retract %a" Key.pp k
+  | No_candidate { meth; gf } ->
+      Fmt.pf ppf "%a: no applicable method for call to %s" Key.pp meth gf
+
+let pp_result ppf (r : result) =
+  let names s =
+    Key.Set.elements s |> List.map (Fmt.str "%a" Key.pp) |> String.concat ", "
+  in
+  Fmt.pf ppf "@[<v>applicable: %s@ not applicable: %s@ passes: %d@]"
+    (names r.applicable) (names r.not_applicable) r.passes

@@ -1,0 +1,65 @@
+(** The IsApplicable algorithm (paper, Section 4).
+
+    Given a projection [Π_p T], decides for every method applicable to
+    the source type [T] whether it remains applicable to the derived
+    type [T̂]: an accessor is applicable exactly when its attribute is in
+    the projection list; a general method is applicable when every
+    generic-function call in its body that is relevant to the projected
+    argument still has at least one applicable method.
+
+    Cycles in the method call graph are handled optimistically with the
+    paper's MethodStack/dependencyList mechanism: a method found on the
+    stack is assumed applicable; if the assumption later fails, the
+    methods that relied on it are retracted to {e unknown} status and
+    re-analyzed by the driver. *)
+
+module Key = Method_def.Key
+
+type event =
+  | Tested of Key.t
+  | Concluded of { meth : Key.t; applicable : bool }
+  | Assumed of { meth : Key.t; dependents : Key.t list }
+      (** optimistic assumption for a method found on the MethodStack *)
+  | Retracted of Key.t
+      (** removed from Applicable after a failed assumption *)
+  | No_candidate of { meth : Key.t; gf : string }
+
+type result = {
+  applicable : Key.Set.t;
+  not_applicable : Key.Set.t;
+  candidates : Key.Set.t;
+      (** the methods applicable to the source type, i.e. the analysis
+          domain; [applicable ∪ not_applicable ⊇ candidates] *)
+  passes : int;  (** driver passes until fixpoint (1 when no cycles fail) *)
+  trace : event list;
+}
+
+(** [analyze_exn schema ~source ~projection] runs the analysis.
+
+    @raise Error.E [Empty_projection] on an empty list, or
+    [Attribute_not_available] when a projected attribute is not in the
+    cumulative state of [source]. *)
+val analyze_exn :
+  Schema.t -> source:Type_name.t -> projection:Attr_name.t list -> result
+
+val analyze :
+  Schema.t ->
+  source:Type_name.t ->
+  projection:Attr_name.t list ->
+  (result, Error.t) Stdlib.result
+
+val status : result -> Key.t -> [ `Applicable | `Not_applicable | `Unknown ]
+
+(** One-line, human-readable justification of a method's verdict,
+    reconstructed against the analysis fixpoint — e.g. which accessor
+    attribute is missing from the projection list, or which call in the
+    body lost all its candidate methods. *)
+val explain :
+  Schema.t ->
+  result ->
+  source:Type_name.t ->
+  projection:Attr_name.t list ->
+  Key.t ->
+  string
+val pp_event : event Fmt.t
+val pp_result : result Fmt.t

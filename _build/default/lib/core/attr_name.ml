@@ -1,0 +1,13 @@
+type t = string
+
+let of_string s =
+  if String.length s = 0 then invalid_arg "Attr_name.of_string: empty name";
+  s
+
+let to_string t = t
+let equal = String.equal
+let compare = String.compare
+let pp = Fmt.string
+
+module Set = Set.Make (String)
+module Map = Map.Make (String)

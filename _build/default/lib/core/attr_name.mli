@@ -1,0 +1,21 @@
+(** Names of attributes.
+
+    Following the paper's model (Section 2), attribute names are assumed
+    to be globally unique across the schema; [Schema.validate] enforces
+    this.  Uniqueness lets a projection list be a plain set of attribute
+    names with no qualification by owning type. *)
+
+type t
+
+(** [of_string s] makes an attribute name from [s].
+
+    @raise Invalid_argument if [s] is empty. *)
+val of_string : string -> t
+
+val to_string : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

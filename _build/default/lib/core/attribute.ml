@@ -1,0 +1,8 @@
+type t = { name : Attr_name.t; ty : Value_type.t }
+
+let make name ty = { name; ty }
+let name t = t.name
+let ty t = t.ty
+let equal a b = Attr_name.equal a.name b.name && Value_type.equal a.ty b.ty
+let compare a b = Attr_name.compare a.name b.name
+let pp ppf t = Fmt.pf ppf "%a : %a" Attr_name.pp t.name Value_type.pp t.ty

@@ -1,0 +1,17 @@
+(** A named, typed attribute.
+
+    The state of a type consists of a set of named attributes, each
+    associated with a type (paper, Section 2). *)
+
+type t = { name : Attr_name.t; ty : Value_type.t }
+
+val make : Attr_name.t -> Value_type.t -> t
+val name : t -> Attr_name.t
+val ty : t -> Value_type.t
+val equal : t -> t -> bool
+
+(** [compare] orders attributes by name only; names are globally unique
+    in a validated schema. *)
+val compare : t -> t -> int
+
+val pp : t Fmt.t

@@ -1,0 +1,95 @@
+type st = {
+  mutable h : Hierarchy.t;
+  mutable surrogates : Type_name.t Type_name.Map.t;
+  view : string;
+}
+
+(* Set Y of Section 6.4: the object types transitively assigned a value
+   whose declared type was converted to a surrogate type, collected over
+   all applicable methods by def-use analysis. *)
+let compute_y schema ~applicable ~factored =
+  List.fold_left
+    (fun acc key ->
+      match Schema.find_method_opt schema key with
+      | None -> acc
+      | Some m ->
+          let rebound =
+            List.filter_map
+              (fun (x, ty) ->
+                if Type_name.Map.mem ty factored then Some x else None)
+              (Signature.params (Method_def.signature m))
+            |> Dataflow.SS.of_list
+          in
+          if Dataflow.SS.is_empty rebound then acc
+          else Type_name.Set.union acc (Dataflow.assigned_types m ~rebound))
+    Type_name.Set.empty
+    (Method_def.Key.Set.elements applicable)
+
+let compute_z schema ~applicable ~factored =
+  let x =
+    Type_name.Map.fold
+      (fun src _ acc -> Type_name.Set.add src acc)
+      factored Type_name.Set.empty
+  in
+  Type_name.Set.diff (compute_y schema ~applicable ~factored) x
+
+let ensure_surrogate st s =
+  match Type_name.Map.find_opt s st.surrogates with
+  | Some s_hat -> s_hat
+  | None ->
+      let def = Hierarchy.find st.h s in
+      let s_hat = Hierarchy.fresh_name st.h s in
+      let surrogate =
+        Type_def.make ~origin:(Surrogate { source = s; view = st.view }) s_hat
+      in
+      st.h <- Hierarchy.add st.h surrogate;
+      st.h <-
+        Hierarchy.add_super st.h ~sub:s ~super:s_hat
+          ~prec:(Factor_state.surrogate_precedence_of_def def);
+      st.surrogates <- Type_name.Map.add s s_hat st.surrogates;
+      s_hat
+
+(* Augment(T, Z) of Section 6.4.  [t] always has a surrogate when the
+   gate below is true: the initial call starts at the source type
+   (whose surrogate is the derived type) and every recursive call is
+   preceded by [ensure_surrogate]. *)
+let rec augment st t z =
+  let gate =
+    Type_name.Set.exists
+      (fun s -> Type_name.Set.exists (Hierarchy.subtype st.h s) z)
+      (Hierarchy.ancestors_or_self st.h t)
+  in
+  if gate then
+    let t_hat = Type_name.Map.find_opt t st.surrogates in
+    let supers =
+      List.filter
+        (fun (s, _) ->
+          match t_hat with
+          | Some th -> not (Type_name.equal s th)
+          | None -> true)
+        (Hierarchy.direct_supers st.h t)
+    in
+    List.iter
+      (fun (s, p) ->
+        let s_hat = ensure_surrogate st s in
+        (match t_hat with
+        | Some th ->
+            if not (Type_def.has_super (Hierarchy.find st.h th) s_hat) then
+              st.h <- Hierarchy.add_super st.h ~sub:th ~super:s_hat ~prec:p
+        | None -> ());
+        augment st s z)
+      supers
+
+type outcome = {
+  hierarchy : Hierarchy.t;
+  surrogates : Type_name.t Type_name.Map.t;
+  z : Type_name.Set.t;
+}
+
+let run_exn hierarchy ~view ~source ~surrogates ~z =
+  let st = { h = hierarchy; surrogates; view } in
+  if not (Type_name.Set.is_empty z) then augment st source z;
+  { hierarchy = st.h; surrogates = st.surrogates; z }
+
+let run hierarchy ~view ~source ~surrogates ~z =
+  Error.guard (fun () -> run_exn hierarchy ~view ~source ~surrogates ~z)

@@ -1,0 +1,53 @@
+(** Hierarchy augmentation for method-body re-typing (Section 6.4).
+
+    Rewriting method signatures in terms of surrogate types can make a
+    method body ill-typed: an assignment [g := c] where [c]'s type was
+    converted to [Ĉ] requires the declared type [G] of [g] to gain a
+    surrogate [Ĝ] with [Ĉ ⪯ Ĝ].  This module computes the paper's sets
+
+    - Y: types transitively assigned a value of a surrogate-converted
+      type, by def-use analysis over the applicable methods;
+    - Z = Y − X, where X is the set of types already factored;
+
+    and runs Augment to create empty surrogates for the types in Z,
+    mirroring the original subtype paths on the surrogate side. *)
+
+val compute_y :
+  Schema.t ->
+  applicable:Method_def.Key.Set.t ->
+  factored:Type_name.t Type_name.Map.t ->
+  Type_name.Set.t
+
+val compute_z :
+  Schema.t ->
+  applicable:Method_def.Key.Set.t ->
+  factored:Type_name.t Type_name.Map.t ->
+  Type_name.Set.t
+
+type outcome = {
+  hierarchy : Hierarchy.t;
+  surrogates : Type_name.t Type_name.Map.t;
+      (** input surrogates extended with those created for Z *)
+  z : Type_name.Set.t;  (** the computed set Z, for reporting *)
+}
+
+(** [run_exn h ~view ~source ~surrogates ~z] runs Augment from the
+    source type for the given set.  [surrogates] is the surrogate map
+    built so far; {!Projection} iterates this to a fixpoint over
+    Y ∪ missing-formal-types (see DESIGN.md) while reporting the
+    paper's Z = Y − X. *)
+val run_exn :
+  Hierarchy.t ->
+  view:string ->
+  source:Type_name.t ->
+  surrogates:Type_name.t Type_name.Map.t ->
+  z:Type_name.Set.t ->
+  outcome
+
+val run :
+  Hierarchy.t ->
+  view:string ->
+  source:Type_name.t ->
+  surrogates:Type_name.t Type_name.Map.t ->
+  z:Type_name.Set.t ->
+  (outcome, Error.t) result

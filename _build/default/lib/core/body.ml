@@ -1,0 +1,121 @@
+type literal =
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+  | Null
+
+type expr =
+  | Var of string
+  | Lit of literal
+  | Call of { gf : string; args : expr list }
+  | Builtin of { op : string; args : expr list }
+
+type stmt =
+  | Local of { var : string; ty : Value_type.t; init : expr option }
+  | Assign of string * expr
+  | Expr of expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Return of expr option
+
+type t = stmt list
+
+let var v = Var v
+let int i = Lit (Int i)
+let str s = Lit (String s)
+let bool b = Lit (Bool b)
+let null = Lit Null
+let call gf args = Call { gf; args }
+let builtin op args = Builtin { op; args }
+let local ?init var ty = Local { var; ty; init }
+let assign v e = Assign (v, e)
+let expr e = Expr e
+let return_ e = Return (Some e)
+let return_unit = Return None
+let if_ c t e = If (c, t, e)
+let while_ c b = While (c, b)
+
+let rec fold_expr f acc e =
+  let acc = f acc e in
+  match e with
+  | Var _ | Lit _ -> acc
+  | Call { args; _ } | Builtin { args; _ } -> List.fold_left (fold_expr f) acc args
+
+let rec fold_stmts f_expr acc stmts =
+  List.fold_left (fold_stmt f_expr) acc stmts
+
+and fold_stmt f_expr acc = function
+  | Local { init = Some e; _ } | Assign (_, e) | Expr e | Return (Some e) ->
+      fold_expr f_expr acc e
+  | Local { init = None; _ } | Return None -> acc
+  | If (c, t, e) ->
+      let acc = fold_expr f_expr acc c in
+      let acc = fold_stmts f_expr acc t in
+      fold_stmts f_expr acc e
+  | While (c, b) ->
+      let acc = fold_expr f_expr acc c in
+      fold_stmts f_expr acc b
+
+(* All generic-function call sites in a body, outermost first. *)
+let call_sites body =
+  fold_stmts
+    (fun acc e -> match e with Call { gf; args } -> (gf, args) :: acc | _ -> acc)
+    [] body
+  |> List.rev
+
+let rec map_stmt f_ty s =
+  match s with
+  | Local { var; ty; init } -> Local { var; ty = f_ty var ty; init }
+  | Assign _ | Expr _ | Return _ -> s
+  | If (c, t, e) -> If (c, List.map (map_stmt f_ty) t, List.map (map_stmt f_ty) e)
+  | While (c, b) -> While (c, List.map (map_stmt f_ty) b)
+
+let map_local_types f_ty body = List.map (map_stmt f_ty) body
+
+let rec locals_of_stmts acc = function
+  | [] -> acc
+  | Local { var; ty; _ } :: rest -> locals_of_stmts ((var, ty) :: acc) rest
+  | (Assign _ | Expr _ | Return _) :: rest -> locals_of_stmts acc rest
+  | If (_, t, e) :: rest ->
+      let acc = locals_of_stmts acc t in
+      let acc = locals_of_stmts acc e in
+      locals_of_stmts acc rest
+  | While (_, b) :: rest -> locals_of_stmts (locals_of_stmts acc b) rest
+
+(* Declared local variables with their types, in declaration order. *)
+let locals body = List.rev (locals_of_stmts [] body)
+
+let pp_literal ppf = function
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.float ppf f
+  | String s -> Fmt.pf ppf "%S" s
+  | Bool b -> Fmt.bool ppf b
+  | Null -> Fmt.string ppf "null"
+
+let rec pp_expr ppf = function
+  | Var v -> Fmt.string ppf v
+  | Lit l -> pp_literal ppf l
+  | Call { gf; args } ->
+      Fmt.pf ppf "%s(%a)" gf Fmt.(list ~sep:comma pp_expr) args
+  | Builtin { op; args } -> (
+      match args with
+      | [ a; b ] -> Fmt.pf ppf "(%a %s %a)" pp_expr a op pp_expr b
+      | _ -> Fmt.pf ppf "%s(%a)" op Fmt.(list ~sep:comma pp_expr) args)
+
+let rec pp_stmt ppf = function
+  | Local { var; ty; init = None } ->
+      Fmt.pf ppf "var %s : %a;" var Value_type.pp ty
+  | Local { var; ty; init = Some e } ->
+      Fmt.pf ppf "var %s : %a := %a;" var Value_type.pp ty pp_expr e
+  | Assign (v, e) -> Fmt.pf ppf "%s := %a;" v pp_expr e
+  | Expr e -> Fmt.pf ppf "%a;" pp_expr e
+  | Return None -> Fmt.string ppf "return;"
+  | Return (Some e) -> Fmt.pf ppf "return %a;" pp_expr e
+  | If (c, t, []) ->
+      Fmt.pf ppf "@[<v 2>if %a {@ %a@]@ }" pp_expr c pp ( t)
+  | If (c, t, e) ->
+      Fmt.pf ppf "@[<v 2>if %a {@ %a@]@ @[<v 2>} else {@ %a@]@ }" pp_expr c pp t pp e
+  | While (c, b) -> Fmt.pf ppf "@[<v 2>while %a {@ %a@]@ }" pp_expr c pp b
+
+and pp ppf stmts = Fmt.(list ~sep:(any "@ ") pp_stmt) ppf stmts

@@ -1,0 +1,73 @@
+(** Abstract syntax of method bodies.
+
+    The paper treats method bodies abstractly: what matters is the set
+    of generic-function calls they contain, which accessor methods they
+    bottom out on, and (for Sections 6.3–6.4) the assignments and
+    variable bindings through which parameter values flow.  This small
+    statement language captures exactly that: variables, literals,
+    generic-function calls, builtin (always-applicable) operations such
+    as arithmetic, assignment, conditionals, loops and returns. *)
+
+type literal =
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+  | Null
+
+type expr =
+  | Var of string
+  | Lit of literal
+  | Call of { gf : string; args : expr list }
+      (** a generic-function call, subject to applicability analysis *)
+  | Builtin of { op : string; args : expr list }
+      (** primitive operation; never affects applicability *)
+
+type stmt =
+  | Local of { var : string; ty : Value_type.t; init : expr option }
+  | Assign of string * expr
+  | Expr of expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Return of expr option
+
+type t = stmt list
+
+(** {1 Constructors} *)
+
+val var : string -> expr
+val int : int -> expr
+val str : string -> expr
+val bool : bool -> expr
+val null : expr
+val call : string -> expr list -> expr
+val builtin : string -> expr list -> expr
+val local : ?init:expr -> string -> Value_type.t -> stmt
+val assign : string -> expr -> stmt
+val expr : expr -> stmt
+val return_ : expr -> stmt
+val return_unit : stmt
+val if_ : expr -> stmt list -> stmt list -> stmt
+val while_ : expr -> stmt list -> stmt
+
+(** {1 Traversals} *)
+
+val fold_expr : ('a -> expr -> 'a) -> 'a -> expr -> 'a
+val fold_stmts : ('a -> expr -> 'a) -> 'a -> t -> 'a
+
+(** All generic-function call sites, with argument expressions, in
+    syntactic order. *)
+val call_sites : t -> (string * expr list) list
+
+(** Rewrite the declared types of local variables, given the variable
+    name (used when method bodies are re-typed in terms of surrogate
+    types, Section 6.3). *)
+val map_local_types : (string -> Value_type.t -> Value_type.t) -> t -> t
+
+(** Declared locals with types, in declaration order. *)
+val locals : t -> (string * Value_type.t) list
+
+val pp_literal : literal Fmt.t
+val pp_expr : expr Fmt.t
+val pp_stmt : stmt Fmt.t
+val pp : t Fmt.t

@@ -1,0 +1,197 @@
+module SS = Set.Make (String)
+module SMap = Map.Make (String)
+
+type flow = SS.t SMap.t
+
+(* Source-set of an expression: the formals whose value may be the value
+   of this expression.  Results of generic-function calls and builtins
+   are treated as fresh values — the conservative choice documented in
+   DESIGN.md: the paper's examples only ever pass parameters onward, and
+   tracking call results would require inter-procedural alias analysis. *)
+let expr_sources flow (e : Body.expr) =
+  match e with
+  | Var x -> Option.value ~default:SS.empty (SMap.find_opt x flow)
+  | Lit _ | Call _ | Builtin _ -> SS.empty
+
+let compute_flow m =
+  let init =
+    List.fold_left
+      (fun acc (x, _) -> SMap.add x (SS.singleton x) acc)
+      SMap.empty
+      (Signature.params (Method_def.signature m))
+  in
+  match Method_def.body m with
+  | None -> init
+  | Some body ->
+      (* Fixpoint: assignments inside loops can flow around a cycle. *)
+      let changed = ref true in
+      let flow = ref init in
+      let assign x e =
+        let srcs = expr_sources !flow e in
+        let cur = Option.value ~default:SS.empty (SMap.find_opt x !flow) in
+        let next = SS.union cur srcs in
+        if not (SS.equal cur next) then begin
+          flow := SMap.add x next !flow;
+          changed := true
+        end
+      in
+      let rec walk stmts = List.iter walk_stmt stmts
+      and walk_stmt (s : Body.stmt) =
+        match s with
+        | Local { var; init = Some e; _ } | Assign (var, e) -> assign var e
+        | Local { init = None; _ } | Expr _ | Return _ -> ()
+        | If (_, t, e) ->
+            walk t;
+            walk e
+        | While (_, b) -> walk b
+      in
+      while !changed do
+        changed := false;
+        walk body
+      done;
+      !flow
+
+type call_site = {
+  gf : string;
+  arg_types : Type_name.t list;
+  arg_sources : SS.t list;
+}
+
+let call_sites schema m =
+  match Method_def.body m with
+  | None -> []
+  | Some body ->
+      let env = Typing.env_of_method m in
+      let flow = compute_flow m in
+      List.map
+        (fun (gf, args) ->
+          (* Drop a writer call's extra value argument: it takes no
+             part in dispatch or applicability. *)
+          let args =
+            if Schema.is_writer_gf schema gf then
+              match args with obj :: _ -> [ obj ] | [] -> []
+            else args
+          in
+          { gf;
+            arg_types = Typing.arg_type_names schema env ~gf args;
+            arg_sources = List.map (expr_sources flow) args
+          })
+        (Body.call_sites body)
+
+type relevant_call = {
+  site : call_site;
+  relevant_positions : int list;
+      (* positions fed by a formal of m whose type is ⪰ the source type *)
+}
+
+(* The formals of [m] that are "supertypes of the source type T":
+   formals xᵢ with T ⪯ Tᵢ.  For methods applicable to T this set is
+   non-empty by definition. *)
+let formals_above cache m ~source =
+  List.filter_map
+    (fun (x, ty) -> if Subtype_cache.subtype cache source ty then Some x else None)
+    (Signature.params (Method_def.signature m))
+  |> SS.of_list
+
+let relevant_calls schema cache m ~source =
+  let above = formals_above cache m ~source in
+  List.filter_map
+    (fun site ->
+      let relevant_positions =
+        List.mapi (fun i s -> (i, s)) site.arg_sources
+        |> List.filter (fun (_, srcs) -> not (SS.is_empty (SS.inter srcs above)))
+        |> List.map fst
+      in
+      if relevant_positions = [] then None else Some { site; relevant_positions })
+    (call_sites schema m)
+
+(* Section 6.4: the types transitively assigned a value of a rebound
+   parameter.  [rebound] are the formals of [m] whose declared type is
+   being converted to a surrogate type.  Returns the declared (object)
+   types of every local variable reached by such a value, plus the
+   method's declared result type when a returned expression is reached. *)
+let assigned_types m ~rebound =
+  match Method_def.body m with
+  | None -> Type_name.Set.empty
+  | Some body ->
+      let flow = compute_flow m in
+      let touches srcs = not (SS.is_empty (SS.inter srcs rebound)) in
+      let acc =
+        List.fold_left
+          (fun acc (x, ty) ->
+            match Value_type.as_named ty with
+            | Some n
+              when touches (Option.value ~default:SS.empty (SMap.find_opt x flow)) ->
+                Type_name.Set.add n acc
+            | Some _ | None -> acc)
+          Type_name.Set.empty (Body.locals body)
+      in
+      (* returned expressions *)
+      let returns = ref [] in
+      let rec walk stmts = List.iter walk_stmt stmts
+      and walk_stmt (s : Body.stmt) =
+        match s with
+        | Return (Some e) -> returns := e :: !returns
+        | Return None | Local _ | Assign _ | Expr _ -> ()
+        | If (_, t, e) ->
+            walk t;
+            walk e
+        | While (_, b) -> walk b
+      in
+      walk body;
+      List.fold_left
+        (fun acc e ->
+          if touches (expr_sources flow e) then
+            match
+              Option.bind (Signature.result (Method_def.signature m)) Value_type.as_named
+            with
+            | Some n -> Type_name.Set.add n acc
+            | None -> acc
+          else acc)
+        acc !returns
+
+(* Does some returned expression of [m] carry a value of a rebound
+   formal?  When true and the result type has a surrogate, the result
+   type of the method must be rewritten too (end of Section 6.3). *)
+let returns_rebound m ~rebound =
+  match Method_def.body m with
+  | None -> false
+  | Some body ->
+      let flow = compute_flow m in
+      let found = ref false in
+      let rec walk stmts = List.iter walk_stmt stmts
+      and walk_stmt (s : Body.stmt) =
+        match s with
+        | Return (Some e) ->
+            if not (SS.is_empty (SS.inter (expr_sources flow e) rebound)) then
+              found := true
+        | Return None | Local _ | Assign _ | Expr _ -> ()
+        | If (_, t, e) ->
+            walk t;
+            walk e
+        | While (_, b) -> walk b
+      in
+      walk body;
+      !found
+
+(* Variables of [m] whose declared object type is in [zs] and that are
+   reached by a rebound formal: these declarations must be re-typed to
+   surrogate types (Section 6.3). *)
+let retypable_locals m ~rebound ~types =
+  match Method_def.body m with
+  | None -> []
+  | Some body ->
+      let flow = compute_flow m in
+      List.filter_map
+        (fun (x, ty) ->
+          match Value_type.as_named ty with
+          | Some n
+            when Type_name.Set.mem n types
+                 && not
+                      (SS.is_empty
+                         (SS.inter
+                            (Option.value ~default:SS.empty (SMap.find_opt x flow))
+                            rebound)) ->
+              Some (x, n)
+          | Some _ | None -> None)
+        (Body.locals body)

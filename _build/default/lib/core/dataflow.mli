@@ -1,0 +1,58 @@
+(** Def-use data-flow analysis over method bodies.
+
+    The paper relies on "standard definition-use flow analysis" at two
+    points: to determine which generic-function calls in a method body
+    are relevant to the method's arguments (Section 4.1), and to compute
+    the set Y of types transitively assigned a value of a
+    surrogate-converted type (Section 6.4).  This module provides both,
+    via a simple union fixpoint over variable copies: the source set of
+    a variable is the set of formals whose value may reach it.  Call
+    results are treated as fresh values (see DESIGN.md). *)
+
+module SS : Set.S with type elt = string
+module SMap : Map.S with type key = string
+
+(** For each variable, the set of formals that may flow into it. *)
+type flow = SS.t SMap.t
+
+val compute_flow : Method_def.t -> flow
+val expr_sources : flow -> Body.expr -> SS.t
+
+type call_site = {
+  gf : string;
+  arg_types : Type_name.t list;  (** static object types of the arguments *)
+  arg_sources : SS.t list;  (** formal sources of each argument *)
+}
+
+(** All call sites of a method with types and sources.
+    @raise Error.E [Non_object_argument] on an ill-typed call. *)
+val call_sites : Schema.t -> Method_def.t -> call_site list
+
+type relevant_call = {
+  site : call_site;
+  relevant_positions : int list;
+}
+
+(** Formals of [m] whose declared type is a supertype of [source]. *)
+val formals_above : Subtype_cache.t -> Method_def.t -> source:Type_name.t -> SS.t
+
+(** The calls in [m]'s body that are relevant to the applicability
+    analysis for a projection over [source], with the argument positions
+    fed by formals of type ⪰ [source]. *)
+val relevant_calls :
+  Schema.t -> Subtype_cache.t -> Method_def.t -> source:Type_name.t -> relevant_call list
+
+(** Object types of locals (and the result type) of [m] transitively
+    assigned a value originating in one of the [rebound] formals —
+    the per-method contribution to the paper's set Y. *)
+val assigned_types : Method_def.t -> rebound:SS.t -> Type_name.Set.t
+
+(** Whether a returned expression may carry the value of a rebound
+    formal (drives result-type rewriting, end of Section 6.3). *)
+val returns_rebound : Method_def.t -> rebound:SS.t -> bool
+
+(** Locals of [m] whose declared type is in [types] and which are
+    reached by a rebound formal; their declarations are re-typed to
+    surrogate types by {!Factor_methods}. *)
+val retypable_locals :
+  Method_def.t -> rebound:SS.t -> types:Type_name.Set.t -> (string * Type_name.t) list

@@ -1,0 +1,107 @@
+type change =
+  | Type_added of Type_name.t
+  | Type_removed of Type_name.t
+  | Attr_moved of { attr : Attr_name.t; from_ : Type_name.t; to_ : Type_name.t }
+  | Attr_added of { ty : Type_name.t; attr : Attr_name.t }
+  | Attr_removed of { ty : Type_name.t; attr : Attr_name.t }
+  | Super_added of { sub : Type_name.t; super : Type_name.t; prec : int }
+  | Super_removed of { sub : Type_name.t; super : Type_name.t }
+  | Signature_changed of {
+      key : Method_def.Key.t;
+      before : Signature.t;
+      after : Signature.t;
+    }
+
+let pp_change ppf = function
+  | Type_added n -> Fmt.pf ppf "+ type %a" Type_name.pp n
+  | Type_removed n -> Fmt.pf ppf "- type %a" Type_name.pp n
+  | Attr_moved { attr; from_; to_ } ->
+      Fmt.pf ppf "~ attr %a moved %a -> %a" Attr_name.pp attr Type_name.pp from_
+        Type_name.pp to_
+  | Attr_added { ty; attr } ->
+      Fmt.pf ppf "+ attr %a at %a" Attr_name.pp attr Type_name.pp ty
+  | Attr_removed { ty; attr } ->
+      Fmt.pf ppf "- attr %a at %a" Attr_name.pp attr Type_name.pp ty
+  | Super_added { sub; super; prec } ->
+      Fmt.pf ppf "+ edge %a -> %a@@%d" Type_name.pp sub Type_name.pp super prec
+  | Super_removed { sub; super } ->
+      Fmt.pf ppf "- edge %a -> %a" Type_name.pp sub Type_name.pp super
+  | Signature_changed { key; before; after } ->
+      Fmt.pf ppf "~ method %a: %a -> %a" Method_def.Key.pp key Signature.pp_types
+        before Signature.pp_types after
+
+(* attribute -> owning type, over local attribute lists *)
+let owners h =
+  Hierarchy.fold
+    (fun def acc ->
+      List.fold_left
+        (fun acc a -> Attr_name.Map.add (Attribute.name a) (Type_def.name def) acc)
+        acc (Type_def.attrs def))
+    h Attr_name.Map.empty
+
+let hierarchy_changes before after =
+  let changes = ref [] in
+  let push c = changes := c :: !changes in
+  let names h = Type_name.Set.of_list (Hierarchy.type_names h) in
+  let nb = names before and na = names after in
+  Type_name.Set.iter
+    (fun n -> push (Type_added n))
+    (Type_name.Set.diff na nb);
+  Type_name.Set.iter
+    (fun n -> push (Type_removed n))
+    (Type_name.Set.diff nb na);
+  (* attribute moves / additions / removals *)
+  let ob = owners before and oa = owners after in
+  Attr_name.Map.iter
+    (fun attr from_ ->
+      match Attr_name.Map.find_opt attr oa with
+      | Some to_ when not (Type_name.equal from_ to_) ->
+          push (Attr_moved { attr; from_; to_ })
+      | Some _ -> ()
+      | None -> push (Attr_removed { ty = from_; attr }))
+    ob;
+  Attr_name.Map.iter
+    (fun attr to_ ->
+      if not (Attr_name.Map.mem attr ob) then push (Attr_added { ty = to_; attr }))
+    oa;
+  (* supertype edges of common types *)
+  Type_name.Set.iter
+    (fun n ->
+      let sb = Hierarchy.direct_supers before n in
+      let sa = Hierarchy.direct_supers after n in
+      List.iter
+        (fun (s, _) ->
+          if not (List.exists (fun (s', _) -> Type_name.equal s s') sa) then
+            push (Super_removed { sub = n; super = s }))
+        sb;
+      List.iter
+        (fun (s, prec) ->
+          if not (List.exists (fun (s', _) -> Type_name.equal s s') sb) then
+            push (Super_added { sub = n; super = s; prec }))
+        sa)
+    (Type_name.Set.inter nb na);
+  List.rev !changes
+
+let schema_changes before after =
+  let changes =
+    hierarchy_changes (Schema.hierarchy before) (Schema.hierarchy after)
+  in
+  let sig_changes =
+    List.filter_map
+      (fun m ->
+        let key = Method_def.key m in
+        match Schema.find_method_opt after key with
+        | Some m' when not (Signature.equal (Method_def.signature m) (Method_def.signature m')) ->
+            Some
+              (Signature_changed
+                 { key;
+                   before = Method_def.signature m;
+                   after = Method_def.signature m'
+                 })
+        | Some _ | None -> None)
+      (Schema.all_methods before)
+  in
+  changes @ sig_changes
+
+let pp ppf changes =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:(any "@ ") pp_change) changes

@@ -1,0 +1,31 @@
+(** Structured differences between two schemas.
+
+    Used to inspect what a projection did to a hierarchy: which
+    surrogates appeared, which attributes moved, which edges and method
+    signatures changed.  Powers the CLI's reporting and several
+    tests. *)
+
+type change =
+  | Type_added of Type_name.t
+  | Type_removed of Type_name.t
+  | Attr_moved of { attr : Attr_name.t; from_ : Type_name.t; to_ : Type_name.t }
+  | Attr_added of { ty : Type_name.t; attr : Attr_name.t }
+  | Attr_removed of { ty : Type_name.t; attr : Attr_name.t }
+  | Super_added of { sub : Type_name.t; super : Type_name.t; prec : int }
+  | Super_removed of { sub : Type_name.t; super : Type_name.t }
+  | Signature_changed of {
+      key : Method_def.Key.t;
+      before : Signature.t;
+      after : Signature.t;
+    }
+
+val pp_change : change Fmt.t
+
+(** Changes between two hierarchies: type additions/removals first,
+    then attribute moves, then edge changes of common types. *)
+val hierarchy_changes : Hierarchy.t -> Hierarchy.t -> change list
+
+(** [hierarchy_changes] plus signature changes of common methods. *)
+val schema_changes : Schema.t -> Schema.t -> change list
+
+val pp : change list Fmt.t

@@ -1,0 +1,56 @@
+(* Graphviz export of type hierarchies, in the paper's drawing
+   convention: arrows point from subtype to supertype, edges are
+   labelled with precedence, surrogates are drawn dashed. *)
+
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c -> match c with '"' -> "\\\"" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let node_line h def =
+  let n = Type_def.name def in
+  let attrs = Type_def.attrs def in
+  let label =
+    if attrs = [] then Type_name.to_string n
+    else
+      Fmt.str "%s|%s" (Type_name.to_string n)
+        (String.concat "\\n"
+           (List.map (fun a -> Attr_name.to_string (Attribute.name a)) attrs))
+  in
+  let style =
+    if Type_def.is_surrogate def then ", style=dashed, color=blue" else ""
+  in
+  ignore h;
+  Fmt.str "  \"%s\" [shape=record, label=\"{%s}\"%s];"
+    (escape (Type_name.to_string n))
+    (escape label) style
+
+let edge_lines def =
+  List.map
+    (fun (s, p) ->
+      Fmt.str "  \"%s\" -> \"%s\" [label=\"%d\"];"
+        (escape (Type_name.to_string (Type_def.name def)))
+        (escape (Type_name.to_string s))
+        p)
+    (Type_def.supers def)
+
+let of_hierarchy ?(name = "hierarchy") h =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Fmt.str "digraph \"%s\" {\n" (escape name));
+  Buffer.add_string buf "  rankdir=BT;\n";
+  List.iter
+    (fun def ->
+      Buffer.add_string buf (node_line h def);
+      Buffer.add_char buf '\n')
+    (Hierarchy.types h);
+  List.iter
+    (fun def ->
+      List.iter
+        (fun l ->
+          Buffer.add_string buf l;
+          Buffer.add_char buf '\n')
+        (edge_lines def))
+    (Hierarchy.types h);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

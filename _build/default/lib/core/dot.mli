@@ -1,0 +1,8 @@
+(** Graphviz (DOT) rendering of type hierarchies.
+
+    Follows the paper's figures: arrows point from subtype to supertype
+    and are labelled with the precedence of the supertype; surrogate
+    types are drawn dashed. *)
+
+(** [of_hierarchy ?name h] is a complete [digraph] document. *)
+val of_hierarchy : ?name:string -> Hierarchy.t -> string

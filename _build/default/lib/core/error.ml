@@ -1,0 +1,72 @@
+type t =
+  | Unknown_type of Type_name.t
+  | Duplicate_type of Type_name.t
+  | Unknown_attribute of Attr_name.t
+  | Duplicate_attribute of { attr : Attr_name.t; types : Type_name.t list }
+  | Attribute_not_available of { ty : Type_name.t; attr : Attr_name.t }
+  | Cycle of Type_name.t list
+  | Duplicate_super of { sub : Type_name.t; super : Type_name.t }
+  | Self_super of Type_name.t
+  | Duplicate_precedence of { sub : Type_name.t; prec : int }
+  | Unknown_generic_function of string
+  | Duplicate_method of { gf : string; id : string }
+  | Arity_mismatch of { gf : string; expected : int; got : int }
+  | Accessor_attr_not_inherited of { meth : string; attr : Attr_name.t }
+  | Non_object_argument of { gf : string; position : int }
+  | Unbound_variable of { meth : string; var : string }
+  | Empty_projection
+  | Linearization_failure of Type_name.t
+  | Parse_error of { line : int; col : int; message : string }
+  | Invariant_violation of string
+
+exception E of t
+
+let raise_ e = raise (E e)
+
+let pp ppf = function
+  | Unknown_type n -> Fmt.pf ppf "unknown type %a" Type_name.pp n
+  | Duplicate_type n -> Fmt.pf ppf "duplicate type %a" Type_name.pp n
+  | Unknown_attribute a -> Fmt.pf ppf "unknown attribute %a" Attr_name.pp a
+  | Duplicate_attribute { attr; types } ->
+      Fmt.pf ppf "attribute %a defined in several types: %a" Attr_name.pp attr
+        Fmt.(list ~sep:comma Type_name.pp)
+        types
+  | Attribute_not_available { ty; attr } ->
+      Fmt.pf ppf "attribute %a is not available at type %a" Attr_name.pp attr
+        Type_name.pp ty
+  | Cycle path ->
+      Fmt.pf ppf "subtype cycle: %a"
+        Fmt.(list ~sep:(any " -> ") Type_name.pp)
+        path
+  | Duplicate_super { sub; super } ->
+      Fmt.pf ppf "type %a already has supertype %a" Type_name.pp sub
+        Type_name.pp super
+  | Self_super n -> Fmt.pf ppf "type %a cannot be its own supertype" Type_name.pp n
+  | Duplicate_precedence { sub; prec } ->
+      Fmt.pf ppf "type %a has two supertypes with precedence %d" Type_name.pp
+        sub prec
+  | Unknown_generic_function g -> Fmt.pf ppf "unknown generic function %s" g
+  | Duplicate_method { gf; id } -> Fmt.pf ppf "duplicate method %s.%s" gf id
+  | Arity_mismatch { gf; expected; got } ->
+      Fmt.pf ppf "generic function %s has arity %d but was used with %d arguments"
+        gf expected got
+  | Accessor_attr_not_inherited { meth; attr } ->
+      Fmt.pf ppf
+        "accessor %s names attribute %a that its argument type does not have"
+        meth Attr_name.pp attr
+  | Non_object_argument { gf; position } ->
+      Fmt.pf ppf "argument %d of generic-function call %s is not an object"
+        position gf
+  | Unbound_variable { meth; var } ->
+      Fmt.pf ppf "unbound variable %s in method %s" var meth
+  | Empty_projection -> Fmt.string ppf "empty projection list"
+  | Linearization_failure n ->
+      Fmt.pf ppf "no consistent precedence linearization for type %a"
+        Type_name.pp n
+  | Parse_error { line; col; message } ->
+      Fmt.pf ppf "parse error at %d:%d: %s" line col message
+  | Invariant_violation msg -> Fmt.pf ppf "invariant violation: %s" msg
+
+let to_string = Fmt.str "%a" pp
+
+let guard f = match f () with v -> Ok v | exception E e -> Error e

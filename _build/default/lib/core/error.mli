@@ -1,0 +1,36 @@
+(** Errors raised or returned by the library.
+
+    Internal code raises [E]; public entry points catch it with {!guard}
+    and expose [('a, t) result]. *)
+
+type t =
+  | Unknown_type of Type_name.t
+  | Duplicate_type of Type_name.t
+  | Unknown_attribute of Attr_name.t
+  | Duplicate_attribute of { attr : Attr_name.t; types : Type_name.t list }
+  | Attribute_not_available of { ty : Type_name.t; attr : Attr_name.t }
+  | Cycle of Type_name.t list
+  | Duplicate_super of { sub : Type_name.t; super : Type_name.t }
+  | Self_super of Type_name.t
+  | Duplicate_precedence of { sub : Type_name.t; prec : int }
+  | Unknown_generic_function of string
+  | Duplicate_method of { gf : string; id : string }
+  | Arity_mismatch of { gf : string; expected : int; got : int }
+  | Accessor_attr_not_inherited of { meth : string; attr : Attr_name.t }
+  | Non_object_argument of { gf : string; position : int }
+  | Unbound_variable of { meth : string; var : string }
+  | Empty_projection
+  | Linearization_failure of Type_name.t
+  | Parse_error of { line : int; col : int; message : string }
+  | Invariant_violation of string
+
+exception E of t
+
+(** [raise_ e] raises [E e]. *)
+val raise_ : t -> 'a
+
+val pp : t Fmt.t
+val to_string : t -> string
+
+(** [guard f] runs [f ()] and converts a raised [E e] into [Error e]. *)
+val guard : (unit -> 'a) -> ('a, t) result

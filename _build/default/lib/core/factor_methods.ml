@@ -1,0 +1,111 @@
+type rewrite = {
+  key : Method_def.Key.t;
+  old_signature : Signature.t;
+  new_signature : Signature.t;
+  retyped_locals : (string * Type_name.t * Type_name.t) list;
+  retyped_result : (Type_name.t * Type_name.t) option;
+}
+
+let surrogate_of surrogates ty =
+  Type_name.Map.find_opt ty surrogates
+
+(* FactorMethods (Section 6.1) plus the method-body processing of
+   Section 6.3: every applicable method has each formal type Tᵢ replaced
+   by its surrogate T̂ᵢ when one was created, local variables reached by
+   a rebound formal are re-declared at the corresponding surrogate type,
+   and the result type is rewritten when a returned value originates in
+   a rebound formal. *)
+let rewrite_method schema surrogates m =
+  ignore schema;
+  let signature = Method_def.signature m in
+  let rebound =
+    List.filter_map
+      (fun (x, ty) ->
+        if Type_name.Map.mem ty surrogates then Some x else None)
+      (Signature.params signature)
+    |> Dataflow.SS.of_list
+  in
+  if Dataflow.SS.is_empty rebound then None
+  else
+    let new_signature =
+      Signature.map_param_types
+        (fun ty ->
+          match surrogate_of surrogates ty with Some s -> s | None -> ty)
+        signature
+    in
+    let types_with_surrogates =
+      Type_name.Map.fold
+        (fun src _ acc -> Type_name.Set.add src acc)
+        surrogates Type_name.Set.empty
+    in
+    let retypable =
+      Dataflow.retypable_locals m ~rebound ~types:types_with_surrogates
+    in
+    let retyped_locals =
+      List.filter_map
+        (fun (x, n) ->
+          match surrogate_of surrogates n with
+          | Some s -> Some (x, n, s)
+          | None -> None)
+        retypable
+    in
+    let retyped_result =
+      match Option.bind (Signature.result signature) Value_type.as_named with
+      | Some rt when Dataflow.returns_rebound m ~rebound -> (
+          match surrogate_of surrogates rt with
+          | Some s -> Some (rt, s)
+          | None -> None)
+      | Some _ | None -> None
+    in
+    let new_signature =
+      match retyped_result with
+      | Some (_, s) -> { new_signature with result = Some (Value_type.Named s) }
+      | None -> new_signature
+    in
+    let new_kind =
+      match Method_def.kind m with
+      | (Reader _ | Writer _) as k -> k
+      | General body ->
+          let lookup x =
+            List.find_map
+              (fun (y, _, s) -> if String.equal x y then Some s else None)
+              retyped_locals
+          in
+          General
+            (Body.map_local_types
+               (fun x ty ->
+                 match lookup x with
+                 | Some s -> Value_type.Named s
+                 | None -> ty)
+               body)
+    in
+    let m' = Method_def.with_signature m new_signature in
+    let m' = Method_def.with_kind m' new_kind in
+    Some
+      ( m',
+        { key = Method_def.key m;
+          old_signature = signature;
+          new_signature;
+          retyped_locals;
+          retyped_result
+        } )
+
+let run_exn schema ~surrogates ~applicable =
+  Method_def.Key.Set.fold
+    (fun key (schema, rewrites) ->
+      match Schema.find_method_opt schema key with
+      | None -> (schema, rewrites)
+      | Some m -> (
+          match rewrite_method schema surrogates m with
+          | None -> (schema, rewrites)
+          | Some (m', rw) ->
+              (Schema.update_method schema key (fun _ -> m'), rw :: rewrites)))
+    applicable (schema, [])
+  |> fun (schema, rewrites) -> (schema, List.rev rewrites)
+
+let run schema ~surrogates ~applicable =
+  Error.guard (fun () -> run_exn schema ~surrogates ~applicable)
+
+let pp_rewrite ppf rw =
+  Fmt.pf ppf "%a: %a -> %a" Method_def.Key.pp rw.key Signature.pp_types
+    rw.old_signature Signature.pp_types rw.new_signature

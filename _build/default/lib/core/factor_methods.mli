@@ -1,0 +1,39 @@
+(** Method factorization (Sections 6.1–6.3).
+
+    Because a surrogate [T̂ᵢ] is the direct supertype of highest
+    precedence of its source [Tᵢ], any method applicable to the derived
+    type can be relocated from [(T¹..Tⁿ)] to [(T̂¹..T̂ⁿ)]: original
+    instances are still instances of every [T̂ᵢ], so their behavior is
+    unchanged, while the derived type now inherits the method.
+
+    In addition to the signature rewrite, the declarations of local
+    variables (and the result type) reached by a rebound formal are
+    re-typed in terms of surrogate types, so the body stays well-typed
+    — the concern of Section 6.3, for which {!Augment} creates any
+    missing surrogates beforehand. *)
+
+type rewrite = {
+  key : Method_def.Key.t;
+  old_signature : Signature.t;
+  new_signature : Signature.t;
+  retyped_locals : (string * Type_name.t * Type_name.t) list;
+      (** (variable, old declared type, surrogate) *)
+  retyped_result : (Type_name.t * Type_name.t) option;
+}
+
+(** [run_exn schema ~surrogates ~applicable] relocates every applicable
+    method whose signature mentions a factored type; returns the updated
+    schema and the rewrites performed, in key order. *)
+val run_exn :
+  Schema.t ->
+  surrogates:Type_name.t Type_name.Map.t ->
+  applicable:Method_def.Key.Set.t ->
+  Schema.t * rewrite list
+
+val run :
+  Schema.t ->
+  surrogates:Type_name.t Type_name.Map.t ->
+  applicable:Method_def.Key.Set.t ->
+  (Schema.t * rewrite list, Error.t) result
+
+val pp_rewrite : rewrite Fmt.t

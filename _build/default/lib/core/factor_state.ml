@@ -1,0 +1,103 @@
+type outcome = {
+  hierarchy : Hierarchy.t;
+  derived : Type_name.t;
+  surrogates : Type_name.t Type_name.Map.t;
+}
+
+type st = {
+  mutable h : Hierarchy.t;
+  mutable surrogates : Type_name.t Type_name.Map.t;
+  view : string;
+  available : (Type_name.t, Attr_name.Set.t) Hashtbl.t;
+      (* cumulative state per type, precomputed on the original
+         hierarchy: moving attributes into surrogates never changes any
+         type's cumulative state (the transparency invariant), so the
+         availability test stays valid throughout the recursion and
+         need not be recomputed against the mutating hierarchy. *)
+}
+
+let available_at st t attrs =
+  let set =
+    match Hashtbl.find_opt st.available t with
+    | Some s -> s
+    | None ->
+        let s = Attr_name.Set.of_list (Hierarchy.all_attribute_names st.h t) in
+        Hashtbl.replace st.available t s;
+        s
+  in
+  List.filter (fun a -> Attr_name.Set.mem a set) attrs
+
+(* The surrogate must become the supertype of highest precedence of its
+   source (Section 5): one less than the current minimum, which is 0
+   for schemas using the paper's 1-based precedences. *)
+let surrogate_precedence_of_def def =
+  match Type_def.min_super_precedence def with
+  | None -> 0
+  | Some p -> Stdlib.min 0 (p - 1)
+
+let create_surrogate st ?name t =
+  let def = Hierarchy.find st.h t in
+  let t_hat =
+    match name with Some n -> n | None -> Hierarchy.fresh_name st.h t
+  in
+  let surrogate =
+    Type_def.make ~origin:(Surrogate { source = t; view = st.view }) t_hat
+  in
+  st.h <- Hierarchy.add st.h surrogate;
+  st.h <-
+    Hierarchy.add_super st.h ~sub:t ~super:t_hat
+      ~prec:(surrogate_precedence_of_def def);
+  st.surrogates <- Type_name.Map.add t t_hat st.surrogates;
+  t_hat
+
+(* FactorState(A, T, ĥ, P) of Section 5.1.  [attrs] is that part of the
+   projection list that is available at [t]; [parent] is the surrogate
+   of the subtype we came from, to be linked under the surrogate of [t]
+   with precedence [prec]. *)
+let rec factor st ?name attrs t parent prec =
+  match Type_name.Map.find_opt t st.surrogates with
+  | Some t_hat -> (
+      match parent with
+      | Some p -> st.h <- Hierarchy.add_super st.h ~sub:p ~super:t_hat ~prec
+      | None -> ())
+  | None ->
+      let supers = Hierarchy.direct_supers st.h t in
+      let t_hat = create_surrogate st ?name t in
+      (match parent with
+      | Some p -> st.h <- Hierarchy.add_super st.h ~sub:p ~super:t_hat ~prec
+      | None -> ());
+      List.iter
+        (fun a ->
+          if Type_def.has_local_attr (Hierarchy.find st.h t) a then
+            st.h <- Hierarchy.move_attr st.h ~attr:a ~from_:t ~to_:t_hat)
+        attrs;
+      List.iter
+        (fun (s, p) ->
+          let available = available_at st s attrs in
+          if available <> [] then factor st available s (Some t_hat) p)
+        supers
+
+let run_exn hierarchy ~view ?derived_name ~source ~projection () =
+  if projection = [] then Error.raise_ Empty_projection;
+  List.iter
+    (fun a ->
+      if not (Hierarchy.has_attribute hierarchy source a) then
+        Error.raise_ (Attribute_not_available { ty = source; attr = a }))
+    projection;
+  (match derived_name with
+  | Some n when Hierarchy.mem hierarchy n -> Error.raise_ (Duplicate_type n)
+  | Some _ | None -> ());
+  let st =
+    { h = hierarchy;
+      surrogates = Type_name.Map.empty;
+      view;
+      available = Hashtbl.create 32
+    }
+  in
+  factor st ?name:derived_name projection source None 0;
+  let derived = Type_name.Map.find source st.surrogates in
+  { hierarchy = st.h; derived; surrogates = st.surrogates }
+
+let run hierarchy ~view ?derived_name ~source ~projection () =
+  Error.guard (fun () ->
+      run_exn hierarchy ~view ?derived_name ~source ~projection ())

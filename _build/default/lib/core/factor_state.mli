@@ -1,0 +1,43 @@
+(** State factorization (paper, Section 5).
+
+    The projection [Π_p T] induces a refactorization of the hierarchy:
+    every type [Q] through which the derived type would inherit
+    projected attributes is split into a {e surrogate} [Q̂] — carrying
+    exactly the local attributes of [Q] that are in the projection
+    list — and the modified [Q], which becomes a direct subtype of [Q̂]
+    with highest precedence so that the [Q̂]–[Q] split is transparent.
+    The derived type [T̂] is the surrogate of the source type itself. *)
+
+type outcome = {
+  hierarchy : Hierarchy.t;  (** the refactored hierarchy *)
+  derived : Type_name.t;  (** the surrogate of the source: the view type *)
+  surrogates : Type_name.t Type_name.Map.t;
+      (** source type → its surrogate, for every type factored *)
+}
+
+(** Precedence for a new surrogate supertype of the given type: one
+    less than the current minimum, i.e. highest precedence. *)
+val surrogate_precedence_of_def : Type_def.t -> int
+
+(** [run_exn h ~view ~source ~projection ()] applies FactorState.
+    [derived_name] names the view type (default: a fresh ["_hat"] name).
+
+    @raise Error.E on empty projection, attribute not available at
+    [source], or a taken [derived_name]. *)
+val run_exn :
+  Hierarchy.t ->
+  view:string ->
+  ?derived_name:Type_name.t ->
+  source:Type_name.t ->
+  projection:Attr_name.t list ->
+  unit ->
+  outcome
+
+val run :
+  Hierarchy.t ->
+  view:string ->
+  ?derived_name:Type_name.t ->
+  source:Type_name.t ->
+  projection:Attr_name.t list ->
+  unit ->
+  (outcome, Error.t) result

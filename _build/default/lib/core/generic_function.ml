@@ -1,0 +1,48 @@
+type t = {
+  name : string;
+  arity : int;
+  result : Value_type.t option;
+  methods : Method_def.t list;
+}
+
+let declare ?result ~arity name = { name; arity; result; methods = [] }
+let name t = t.name
+let arity t = t.arity
+let result t = t.result
+let methods t = t.methods
+
+let find_method t id =
+  List.find_opt (fun m -> String.equal (Method_def.id m) id) t.methods
+
+let add_method t m =
+  if not (String.equal (Method_def.gf m) t.name) then
+    invalid_arg "Generic_function.add_method: method belongs to another gf";
+  if Method_def.arity m <> t.arity then
+    Error.raise_
+      (Arity_mismatch { gf = t.name; expected = t.arity; got = Method_def.arity m });
+  if find_method t (Method_def.id m) <> None then
+    Error.raise_ (Duplicate_method { gf = t.name; id = Method_def.id m });
+  { t with methods = t.methods @ [ m ] }
+
+let update_method t id f =
+  match find_method t id with
+  | None -> Error.raise_ (Duplicate_method { gf = t.name; id })
+  | Some _ ->
+      { t with
+        methods =
+          List.map
+            (fun m -> if String.equal (Method_def.id m) id then f m else m)
+            t.methods
+      }
+
+let remove_method t id =
+  { t with
+    methods = List.filter (fun m -> not (String.equal (Method_def.id m) id)) t.methods
+  }
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v 2>generic %s/%d%a:@ %a@]" t.name t.arity
+    Fmt.(option (fun ppf -> Fmt.pf ppf " : %a" Value_type.pp))
+    t.result
+    Fmt.(list ~sep:(any "@ ") Method_def.pp)
+    t.methods

@@ -1,0 +1,29 @@
+(** Generic functions.
+
+    A generic function corresponds to a set of methods; the methods
+    define its type-specific behavior (Section 2).  All methods of one
+    generic function share its arity, and — a simplification over the
+    paper, which ignores return values except in Section 6.3 — its
+    declared result type. *)
+
+type t
+
+val declare : ?result:Value_type.t -> arity:int -> string -> t
+val name : t -> string
+val arity : t -> int
+val result : t -> Value_type.t option
+
+(** Methods in definition order. *)
+val methods : t -> Method_def.t list
+
+val find_method : t -> string -> Method_def.t option
+
+(** @raise Error.E on arity mismatch or duplicate method id.
+    @raise Invalid_argument if the method names a different gf. *)
+val add_method : t -> Method_def.t -> t
+
+(** @raise Error.E if no method has this id. *)
+val update_method : t -> string -> (Method_def.t -> Method_def.t) -> t
+
+val remove_method : t -> string -> t
+val pp : t Fmt.t

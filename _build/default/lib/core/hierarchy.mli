@@ -1,0 +1,105 @@
+(** The type hierarchy: a directed acyclic graph of type definitions.
+
+    The hierarchy realizes the paper's model (Section 2): multiple
+    inheritance, a precedence relationship among the direct supertypes
+    of a type, inherit-once attribute semantics, and globally unique
+    attribute names.  The subtype relation [⪯] is reachability along
+    supertype edges; it is reflexive.
+
+    Values of this type are immutable; the factoring algorithms build
+    new hierarchies by functional update. *)
+
+type t
+
+val empty : t
+val mem : t -> Type_name.t -> bool
+val find_opt : t -> Type_name.t -> Type_def.t option
+
+(** @raise Error.E [Unknown_type] if absent. *)
+val find : t -> Type_name.t -> Type_def.t
+
+(** @raise Error.E [Duplicate_type] if already present. *)
+val add : t -> Type_def.t -> t
+
+(** [update h n f] replaces the definition of [n] by [f def].
+    @raise Error.E [Unknown_type] if absent. *)
+val update : t -> Type_name.t -> (Type_def.t -> Type_def.t) -> t
+
+(** All definitions, in name order. *)
+val types : t -> Type_def.t list
+
+val type_names : t -> Type_name.t list
+val cardinal : t -> int
+val fold : (Type_def.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** Direct supertypes with precedences, ascending precedence order. *)
+val direct_supers : t -> Type_name.t -> (Type_name.t * int) list
+
+val direct_super_names : t -> Type_name.t -> Type_name.t list
+val direct_subs : t -> Type_name.t -> Type_name.t list
+
+(** Proper ancestors (transitive supertypes, excluding the type itself). *)
+val ancestors : t -> Type_name.t -> Type_name.Set.t
+
+val ancestors_or_self : t -> Type_name.t -> Type_name.Set.t
+val descendants : t -> Type_name.t -> Type_name.Set.t
+
+(** [subtype h a b] is [a ⪯ b]: reflexive reachability along supertype
+    edges. *)
+val subtype : t -> Type_name.t -> Type_name.t -> bool
+
+val proper_subtype : t -> Type_name.t -> Type_name.t -> bool
+val supertype : t -> Type_name.t -> Type_name.t -> bool
+
+(** The supertype closure of a type in precedence-first, visit-once
+    depth-first order, starting with the type itself. *)
+val precedence_order : t -> Type_name.t -> Type_name.t list
+
+(** Cumulative state: all attributes, local and inherited (inherited
+    once), in {!precedence_order}. *)
+val all_attributes : t -> Type_name.t -> Attribute.t list
+
+val all_attribute_names : t -> Type_name.t -> Attr_name.t list
+val has_attribute : t -> Type_name.t -> Attr_name.t -> bool
+val find_attribute : t -> Type_name.t -> Attr_name.t -> Attribute.t option
+
+(** The type at which [attr] is locally defined, if any.
+    @raise Error.E [Duplicate_attribute] if defined at several types. *)
+val attr_owner : t -> Attr_name.t -> Type_name.t option
+
+(** [available_at h n attrs] keeps the attributes of [attrs] that are in
+    the cumulative state of [n], preserving the order of [attrs]. *)
+val available_at : t -> Type_name.t -> Attr_name.t list -> Attr_name.t list
+
+val roots : t -> Type_name.t list
+val leaves : t -> Type_name.t list
+
+(** [add_super h ~sub ~super ~prec] adds a supertype edge.
+    @raise Error.E on unknown types or duplicate edge. *)
+val add_super : t -> sub:Type_name.t -> super:Type_name.t -> prec:int -> t
+
+(** [move_attr h ~attr ~from_ ~to_] relocates a local attribute, as the
+    factoring algorithm does when spinning off a surrogate.
+    @raise Error.E if [attr] is not local to [from_]. *)
+val move_attr : t -> attr:Attr_name.t -> from_:Type_name.t -> to_:Type_name.t -> t
+
+(** Remove a type definition.  The caller is responsible for rewiring
+    dangling supertype edges (see [Tdp_algebra.Optimize]).
+    @raise Error.E [Unknown_type]. *)
+val remove : t -> Type_name.t -> t
+
+(** A type name based on [base ^ "_hat"] not yet present in [t]. *)
+val fresh_name : t -> Type_name.t -> Type_name.t
+
+(** Checks: all supertypes exist, the graph is acyclic, attribute names
+    are globally unique, and each type's supertype precedences are
+    pairwise distinct.  @raise Error.E on the first violation. *)
+val validate_exn : t -> unit
+
+val validate : t -> (unit, Error.t) result
+
+(** Structural equality: same types with same origins, attributes
+    (in order) and supertype lists (with precedences). *)
+val equal : t -> t -> bool
+
+val pp : t Fmt.t

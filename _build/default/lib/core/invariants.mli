@@ -1,0 +1,50 @@
+(** The paper's correctness conditions, as executable checks.
+
+    Section 1 promises that after a projection "existing types are not
+    affected: they must have both the same state and the same behavior
+    as before the creation of the derived type", and Section 3 that the
+    derived type "has the correct state and behavior".  Each condition
+    is a check that raises [Error.E (Invariant_violation _)] with a
+    description of the violation.  The property-based test suite runs
+    {!check_exn} over randomly generated schemas and projections. *)
+
+(** Every pre-existing type keeps its cumulative attribute set. *)
+val check_state_preserved : before:Hierarchy.t -> after:Hierarchy.t -> unit
+
+(** Every pre-existing type keeps its set of applicable methods. *)
+val check_behavior_preserved : before:Schema.t -> after:Schema.t -> unit
+
+(** The [⪯] relation restricted to pre-existing types is unchanged. *)
+val check_subtyping_preserved : before:Hierarchy.t -> after:Hierarchy.t -> unit
+
+(** The derived type's cumulative state is exactly the projection list. *)
+val check_derived_state :
+  after:Hierarchy.t -> derived:Type_name.t -> projection:Attr_name.t list -> unit
+
+(** The source type is a subtype of the derived type. *)
+val check_derived_above_source :
+  after:Hierarchy.t -> derived:Type_name.t -> source:Type_name.t -> unit
+
+(** The derived type inherits exactly the methods the applicability
+    analysis found applicable (relative to the analysis candidates). *)
+val check_derived_behavior :
+  after:Schema.t -> derived:Type_name.t -> analysis:Applicability.result -> unit
+
+(** All of the above plus well-formedness of the refactored hierarchy. *)
+val check_exn :
+  before:Schema.t ->
+  after:Schema.t ->
+  derived:Type_name.t ->
+  source:Type_name.t ->
+  projection:Attr_name.t list ->
+  analysis:Applicability.result ->
+  unit
+
+val check :
+  before:Schema.t ->
+  after:Schema.t ->
+  derived:Type_name.t ->
+  source:Type_name.t ->
+  projection:Attr_name.t list ->
+  analysis:Applicability.result ->
+  (unit, Error.t) result

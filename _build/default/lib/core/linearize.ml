@@ -1,0 +1,91 @@
+(* Class precedence lists in the style of CLOS.
+
+   The CPL of a type [c] is a total order on [ancestors_or_self c]
+   consistent with two kinds of local constraints:
+
+   - [c] precedes its direct supertypes, and each direct supertype
+     precedes the next one in (ascending integer) precedence order;
+   - the same holds recursively for every ancestor.
+
+   Following CLOS, when several candidates are available we pick the one
+   that is a direct supertype of the rightmost (most recently placed)
+   element of the list built so far; this keeps families of related
+   types together.  An inconsistent set of constraints (possible with
+   multiple inheritance) raises [Linearization_failure]. *)
+
+let constraints h c =
+  let cs = ref [] in
+  Type_name.Set.iter
+    (fun n ->
+      let supers = List.map fst (Hierarchy.direct_supers h n) in
+      let rec chain prev = function
+        | [] -> ()
+        | s :: rest ->
+            cs := (prev, s) :: !cs;
+            chain s rest
+      in
+      chain n supers)
+    (Hierarchy.ancestors_or_self h c);
+  !cs
+
+let cpl h c =
+  let nodes = Hierarchy.ancestors_or_self h c in
+  let cs = constraints h c in
+  let preds n =
+    List.filter_map
+      (fun (a, b) -> if Type_name.equal b n then Some a else None)
+      cs
+  in
+  let placed = ref Type_name.Set.empty in
+  let order = ref [] (* reverse order: most recently placed first *) in
+  let candidates () =
+    Type_name.Set.elements
+      (Type_name.Set.filter
+         (fun n ->
+           (not (Type_name.Set.mem n !placed))
+           && List.for_all (fun p -> Type_name.Set.mem p !placed) (preds n))
+         nodes)
+  in
+  let choose = function
+    | [] -> None
+    | [ n ] -> Some n
+    | many ->
+        (* CLOS tie-break: the candidate with a direct subtype most
+           recently placed. *)
+        let rec scan = function
+          | [] -> Some (List.hd many)
+          | placed_n :: rest -> (
+              let supers = Hierarchy.direct_super_names h placed_n in
+              match
+                List.find_opt
+                  (fun cand -> List.exists (Type_name.equal cand) supers)
+                  many
+              with
+              | Some c -> Some c
+              | None -> scan rest)
+        in
+        scan !order
+  in
+  let n_total = Type_name.Set.cardinal nodes in
+  let rec go k =
+    if k = n_total then List.rev !order
+    else
+      match choose (candidates ()) with
+      | None -> Error.raise_ (Linearization_failure c)
+      | Some n ->
+          placed := Type_name.Set.add n !placed;
+          order := n :: !order;
+          go (k + 1)
+  in
+  go 0
+
+let cpl_result h c = Error.guard (fun () -> cpl h c)
+
+let index_of h c =
+  let l = cpl h c in
+  fun n ->
+    let rec go i = function
+      | [] -> None
+      | x :: rest -> if Type_name.equal x n then Some i else go (i + 1) rest
+    in
+    go 0 l

@@ -1,0 +1,21 @@
+(** Class precedence lists (CPL).
+
+    The paper assumes "a precedence relationship among the direct
+    supertypes of a type" used for method selection (Section 2,
+    referencing the authors' OOPSLA'91 work on multi-method checking).
+    This module linearizes a type's supertype closure into a total
+    order, CLOS-style, so that {!Tdp_dispatch} can rank applicable
+    methods per argument position. *)
+
+(** [cpl h c] is the class precedence list of [c]: [c] first, followed
+    by all its ancestors, consistent with every local precedence order.
+
+    @raise Error.E [Linearization_failure] if the local orders are
+    contradictory. *)
+val cpl : Hierarchy.t -> Type_name.t -> Type_name.t list
+
+val cpl_result : Hierarchy.t -> Type_name.t -> (Type_name.t list, Error.t) result
+
+(** [index_of h c] is a function giving each ancestor's position in
+    [cpl h c] ([Some 0] for [c] itself, [None] for non-ancestors). *)
+val index_of : Hierarchy.t -> Type_name.t -> Type_name.t -> int option

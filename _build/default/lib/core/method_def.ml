@@ -1,0 +1,70 @@
+type kind =
+  | Reader of Attr_name.t
+  | Writer of Attr_name.t
+  | General of Body.t
+
+type t = { gf : string; id : string; signature : Signature.t; kind : kind }
+
+module Key = struct
+  type t = { gf : string; id : string }
+
+  let make gf id = { gf; id }
+  let gf k = k.gf
+  let id k = k.id
+  let equal a b = String.equal a.gf b.gf && String.equal a.id b.id
+
+  let compare a b =
+    match String.compare a.gf b.gf with 0 -> String.compare a.id b.id | c -> c
+
+  let pp ppf k = Fmt.pf ppf "%s" k.id
+
+  module Set = Set.Make (struct
+    type nonrec t = t
+
+    let compare = compare
+  end)
+
+  module Map = Map.Make (struct
+    type nonrec t = t
+
+    let compare = compare
+  end)
+end
+
+let make ~gf ~id ~signature kind = { gf; id; signature; kind }
+let gf t = t.gf
+let id t = t.id
+let key t = Key.make t.gf t.id
+let signature t = t.signature
+let kind t = t.kind
+let arity t = Signature.arity t.signature
+
+let is_accessor t =
+  match t.kind with Reader _ | Writer _ -> true | General _ -> false
+
+let accessed_attr t =
+  match t.kind with Reader a | Writer a -> Some a | General _ -> None
+
+let body t = match t.kind with General b -> Some b | Reader _ | Writer _ -> None
+let with_signature t signature = { t with signature }
+let with_kind t kind = { t with kind }
+
+let reader ~gf ~id ~param ~param_type ~attr ~result =
+  make ~gf ~id
+    ~signature:(Signature.make ~result [ (param, param_type) ])
+    (Reader attr)
+
+let writer ~gf ~id ~param ~param_type ~attr =
+  make ~gf ~id ~signature:(Signature.make [ (param, param_type) ]) (Writer attr)
+
+let pp ppf t =
+  match t.kind with
+  | Reader a ->
+      Fmt.pf ppf "reader %s%a -> %a" t.id Signature.pp_types t.signature
+        Attr_name.pp a
+  | Writer a ->
+      Fmt.pf ppf "writer %s%a <- %a" t.id Signature.pp_types t.signature
+        Attr_name.pp a
+  | General b ->
+      Fmt.pf ppf "@[<v 2>method %s%a {@ %a@]@ }" t.id Signature.pp t.signature
+        Body.pp b

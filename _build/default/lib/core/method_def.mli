@@ -1,0 +1,63 @@
+(** Methods of generic functions.
+
+    A method can be an {e accessor} — a reader that returns the value of
+    a particular attribute, or a writer (the paper's "mutator") that
+    alters it — or a {e general} method with a body that may invoke
+    other generic functions, including accessors.  The only access to
+    the attributes of a type is through accessor methods (Section 2). *)
+
+type kind =
+  | Reader of Attr_name.t
+  | Writer of Attr_name.t
+  | General of Body.t
+
+type t
+
+(** Stable identity of a method: generic-function name plus a method id
+    unique within that generic function (the paper's subscripts, e.g.
+    [u1], [v2]). *)
+module Key : sig
+  type t
+
+  val make : string -> string -> t
+  val gf : t -> string
+  val id : t -> string
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : t Fmt.t
+
+  module Set : Set.S with type elt = t
+  module Map : Map.S with type key = t
+end
+
+val make : gf:string -> id:string -> signature:Signature.t -> kind -> t
+val gf : t -> string
+val id : t -> string
+val key : t -> Key.t
+val signature : t -> Signature.t
+val kind : t -> kind
+val arity : t -> int
+val is_accessor : t -> bool
+
+(** The attribute an accessor reads or writes. *)
+val accessed_attr : t -> Attr_name.t option
+
+val body : t -> Body.t option
+val with_signature : t -> Signature.t -> t
+val with_kind : t -> kind -> t
+
+(** Convenience constructor for a unary reader accessor. *)
+val reader :
+  gf:string ->
+  id:string ->
+  param:string ->
+  param_type:Type_name.t ->
+  attr:Attr_name.t ->
+  result:Value_type.t ->
+  t
+
+(** Convenience constructor for a unary writer accessor. *)
+val writer :
+  gf:string -> id:string -> param:string -> param_type:Type_name.t -> attr:Attr_name.t -> t
+
+val pp : t Fmt.t

@@ -1,0 +1,35 @@
+type t = {
+  params : (string * Type_name.t) list;
+  result : Value_type.t option;
+}
+
+let make ?result params = { params; result }
+let params t = t.params
+let param_types t = List.map snd t.params
+let result t = t.result
+let arity t = List.length t.params
+
+let param_type t i =
+  match List.nth_opt t.params i with
+  | Some (_, ty) -> ty
+  | None -> invalid_arg "Signature.param_type: index out of bounds"
+
+let equal a b =
+  List.equal
+    (fun (x, tx) (y, ty) -> String.equal x y && Type_name.equal tx ty)
+    a.params b.params
+  && Option.equal Value_type.equal a.result b.result
+
+let map_param_types f t =
+  { t with params = List.map (fun (x, ty) -> (x, f ty)) t.params }
+
+let pp ppf t =
+  let pp_param ppf (x, ty) = Fmt.pf ppf "%s : %a" x Type_name.pp ty in
+  Fmt.pf ppf "(%a)%a"
+    Fmt.(list ~sep:comma pp_param)
+    t.params
+    Fmt.(option (fun ppf -> Fmt.pf ppf " : %a" Value_type.pp))
+    t.result
+
+let pp_types ppf t =
+  Fmt.pf ppf "(%a)" Fmt.(list ~sep:comma Type_name.pp) (param_types t)

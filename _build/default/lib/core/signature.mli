@@ -1,0 +1,27 @@
+(** Method signatures.
+
+    A method of an [n]-ary generic function is defined for [n] formal
+    arguments of particular object types — the notation
+    [mk(T¹k, T²k, …, Tⁿk)] of the paper — plus an optional result type. *)
+
+type t = {
+  params : (string * Type_name.t) list;
+  result : Value_type.t option;
+}
+
+val make : ?result:Value_type.t -> (string * Type_name.t) list -> t
+val params : t -> (string * Type_name.t) list
+val param_types : t -> Type_name.t list
+val result : t -> Value_type.t option
+val arity : t -> int
+
+(** @raise Invalid_argument if out of bounds. *)
+val param_type : t -> int -> Type_name.t
+
+val equal : t -> t -> bool
+
+(** Rewrite every formal argument type (used by FactorMethods). *)
+val map_param_types : (Type_name.t -> Type_name.t) -> t -> t
+
+val pp : t Fmt.t
+val pp_types : t Fmt.t

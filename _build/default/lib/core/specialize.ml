@@ -1,0 +1,92 @@
+(* Specializations for restricted type systems — the paper's Section 7:
+   "It will be interesting to specialize the solutions presented in
+   this paper for specific cases of object-oriented type systems that
+   do not require this generality."
+
+   Under single inheritance the supertype closure of the source is a
+   chain, and state factorization loses all of its subtlety: no
+   memoization (no type is reached twice), no precedence juggling (the
+   surrogate chain simply parallels the source chain), and a single
+   upward walk that stops at the highest owner of a projected
+   attribute.  [factor_chain_exn] implements that walk directly; the
+   differential property test checks it produces a hierarchy identical
+   to the general {!Factor_state} on every single-inheritance schema. *)
+
+let is_single_inheritance h =
+  Hierarchy.fold (fun def ok -> ok && List.length (Type_def.supers def) <= 1) h true
+
+(* Single dispatch in the paper's sense: every generic function selects
+   on one argument. *)
+let is_single_dispatch schema =
+  List.for_all
+    (fun g -> Generic_function.arity g = 1)
+    (Schema.gfs schema)
+
+let factor_chain_exn hierarchy ~view ?derived_name ~source ~projection () =
+  if not (is_single_inheritance hierarchy) then
+    Error.raise_
+      (Invariant_violation "factor_chain requires a single-inheritance hierarchy");
+  if projection = [] then Error.raise_ Empty_projection;
+  List.iter
+    (fun a ->
+      if not (Hierarchy.has_attribute hierarchy source a) then
+        Error.raise_ (Attribute_not_available { ty = source; attr = a }))
+    projection;
+  (match derived_name with
+  | Some n when Hierarchy.mem hierarchy n -> Error.raise_ (Duplicate_type n)
+  | Some _ | None -> ());
+  (* Walk the chain from the source upward, creating one surrogate per
+     node while any projected attribute remains at or above it. *)
+  let rec walk h surrogates t parent remaining first =
+    if remaining = [] then (h, surrogates)
+    else begin
+      let def = Hierarchy.find h t in
+      let t_hat =
+        match (first, derived_name) with
+        | true, Some n -> n
+        | _ -> Hierarchy.fresh_name h t
+      in
+      let h =
+        Hierarchy.add h
+          (Type_def.make ~origin:(Surrogate { source = t; view }) t_hat)
+      in
+      let h =
+        Hierarchy.add_super h ~sub:t ~super:t_hat
+          ~prec:(Factor_state.surrogate_precedence_of_def def)
+      in
+      let h =
+        match parent with
+        | Some (p, prec) -> Hierarchy.add_super h ~sub:p ~super:t_hat ~prec
+        | None -> h
+      in
+      let local, above =
+        List.partition (fun a -> Type_def.has_local_attr def a) remaining
+      in
+      let h =
+        List.fold_left
+          (fun h a -> Hierarchy.move_attr h ~attr:a ~from_:t ~to_:t_hat)
+          h local
+      in
+      let surrogates = Type_name.Map.add t t_hat surrogates in
+      match Type_def.supers def with
+      | [] ->
+          if above <> [] then
+            Error.raise_
+              (Invariant_violation "projected attribute not found on the chain");
+          (h, surrogates)
+      | (s, p) :: _ ->
+          if Type_name.Map.mem s surrogates then (h, surrogates)
+          else walk h surrogates s (Some (t_hat, p)) above false
+    end
+  in
+  let h, surrogates =
+    walk hierarchy Type_name.Map.empty source None projection true
+  in
+  { Factor_state.hierarchy = h;
+    derived = Type_name.Map.find source surrogates;
+    surrogates
+  }
+
+let factor_chain hierarchy ~view ?derived_name ~source ~projection () =
+  Error.guard (fun () ->
+      factor_chain_exn hierarchy ~view ?derived_name ~source ~projection ())

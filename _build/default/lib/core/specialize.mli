@@ -1,0 +1,38 @@
+(** Specializations for restricted type systems (paper, Section 7).
+
+    The general algorithms handle multiple inheritance and
+    multi-methods.  Under {e single inheritance} the supertype closure
+    of a projection source is a chain, and state factorization becomes
+    a single upward walk with no memoization and no precedence
+    bookkeeping.  {!factor_chain_exn} implements that walk; a
+    differential property test verifies it agrees with
+    {!Factor_state.run_exn} on every single-inheritance schema. *)
+
+(** No type has more than one direct supertype. *)
+val is_single_inheritance : Hierarchy.t -> bool
+
+(** Every generic function selects on a single argument. *)
+val is_single_dispatch : Schema.t -> bool
+
+(** Chain factorization: equivalent to {!Factor_state.run_exn}
+    (including surrogate naming) on single-inheritance hierarchies.
+
+    @raise Error.E [Invariant_violation] on a multiple-inheritance
+    hierarchy, plus the usual projection errors. *)
+val factor_chain_exn :
+  Hierarchy.t ->
+  view:string ->
+  ?derived_name:Type_name.t ->
+  source:Type_name.t ->
+  projection:Attr_name.t list ->
+  unit ->
+  Factor_state.outcome
+
+val factor_chain :
+  Hierarchy.t ->
+  view:string ->
+  ?derived_name:Type_name.t ->
+  source:Type_name.t ->
+  projection:Attr_name.t list ->
+  unit ->
+  (Factor_state.outcome, Error.t) result

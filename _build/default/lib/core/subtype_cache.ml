@@ -1,0 +1,14 @@
+type t = { h : Hierarchy.t; ancestors : (Type_name.t, Type_name.Set.t) Hashtbl.t }
+
+let create h = { h; ancestors = Hashtbl.create 64 }
+
+let ancestors_or_self t n =
+  match Hashtbl.find_opt t.ancestors n with
+  | Some s -> s
+  | None ->
+      let s = Hierarchy.ancestors_or_self t.h n in
+      Hashtbl.replace t.ancestors n s;
+      s
+
+let subtype t a b = Type_name.Set.mem b (ancestors_or_self t a)
+let hierarchy t = t.h

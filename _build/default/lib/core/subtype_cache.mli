@@ -1,0 +1,15 @@
+(** Memoized subtype tests over a fixed hierarchy.
+
+    [Applicability] and [Dispatch] issue many [⪯] queries against the
+    same hierarchy; this cache computes each type's ancestor set once.
+    The cache must be discarded when the hierarchy changes. *)
+
+type t
+
+val create : Hierarchy.t -> t
+val ancestors_or_self : t -> Type_name.t -> Type_name.Set.t
+
+(** [subtype t a b] is [a ⪯ b]. *)
+val subtype : t -> Type_name.t -> Type_name.t -> bool
+
+val hierarchy : t -> Hierarchy.t

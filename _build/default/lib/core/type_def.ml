@@ -1,0 +1,74 @@
+type origin =
+  | Source
+  | Surrogate of { source : Type_name.t; view : string }
+
+type t = {
+  name : Type_name.t;
+  origin : origin;
+  attrs : Attribute.t list;
+  supers : (Type_name.t * int) list;
+}
+
+let sort_supers supers =
+  List.stable_sort (fun (_, p) (_, q) -> Int.compare p q) supers
+
+let make ?(origin = Source) ?(attrs = []) ?(supers = []) name =
+  { name; origin; attrs; supers = sort_supers supers }
+
+let name t = t.name
+let origin t = t.origin
+let attrs t = t.attrs
+let supers t = t.supers
+let super_names t = List.map fst t.supers
+
+let is_surrogate t =
+  match t.origin with Surrogate _ -> true | Source -> false
+
+let surrogate_source t =
+  match t.origin with Surrogate { source; _ } -> Some source | Source -> None
+
+let has_local_attr t a =
+  List.exists (fun at -> Attr_name.equal (Attribute.name at) a) t.attrs
+
+let find_local_attr t a =
+  List.find_opt (fun at -> Attr_name.equal (Attribute.name at) a) t.attrs
+
+let with_attrs t attrs = { t with attrs }
+
+let remove_attr t a =
+  { t with
+    attrs = List.filter (fun at -> not (Attr_name.equal (Attribute.name at) a)) t.attrs
+  }
+
+let add_attr t at = { t with attrs = t.attrs @ [ at ] }
+
+let has_super t s = List.exists (fun (n, _) -> Type_name.equal n s) t.supers
+
+let super_precedence t s =
+  List.find_map
+    (fun (n, p) -> if Type_name.equal n s then Some p else None)
+    t.supers
+
+let with_supers t supers = { t with supers = sort_supers supers }
+
+let add_super t s prec =
+  if has_super t s then Error.raise_ (Duplicate_super { sub = t.name; super = s });
+  if Type_name.equal t.name s then Error.raise_ (Self_super s);
+  { t with supers = sort_supers ((s, prec) :: t.supers) }
+
+let min_super_precedence t =
+  match t.supers with [] -> None | (_, p) :: _ -> Some p
+
+let pp ppf t =
+  let pp_super ppf (s, p) = Fmt.pf ppf "%a@%d" Type_name.pp s p in
+  Fmt.pf ppf "@[<v 2>type %a%s%a {@ %a@]@ }" Type_name.pp t.name
+    (match t.origin with
+    | Source -> ""
+    | Surrogate { source; view } ->
+        Fmt.str " (surrogate of %s for view %s)" (Type_name.to_string source) view)
+    (fun ppf -> function
+      | [] -> ()
+      | supers -> Fmt.pf ppf " : %a" Fmt.(list ~sep:comma pp_super) supers)
+    t.supers
+    Fmt.(list ~sep:(any ";@ ") Attribute.pp)
+    t.attrs

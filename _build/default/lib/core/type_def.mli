@@ -1,0 +1,59 @@
+(** The definition of a single object type.
+
+    A type has a name, an ordered list of {e local} attributes, and a
+    list of direct supertypes each tagged with an integer precedence
+    (lower integer = higher precedence, as in the paper's figures).
+    Types created by the factoring algorithms carry a [Surrogate] origin
+    recording the source type they were spun off from and the view that
+    caused the split. *)
+
+type origin =
+  | Source
+  | Surrogate of { source : Type_name.t; view : string }
+
+type t = {
+  name : Type_name.t;
+  origin : origin;
+  attrs : Attribute.t list;
+  supers : (Type_name.t * int) list;  (** sorted by ascending precedence *)
+}
+
+(** [make name] builds a definition.  [supers] is re-sorted by
+    precedence; relative order of equal precedences is preserved. *)
+val make :
+  ?origin:origin ->
+  ?attrs:Attribute.t list ->
+  ?supers:(Type_name.t * int) list ->
+  Type_name.t ->
+  t
+
+val name : t -> Type_name.t
+val origin : t -> origin
+val attrs : t -> Attribute.t list
+
+(** Direct supertypes in ascending precedence order. *)
+val supers : t -> (Type_name.t * int) list
+
+val super_names : t -> Type_name.t list
+val is_surrogate : t -> bool
+val surrogate_source : t -> Type_name.t option
+val has_local_attr : t -> Attr_name.t -> bool
+val find_local_attr : t -> Attr_name.t -> Attribute.t option
+val with_attrs : t -> Attribute.t list -> t
+val remove_attr : t -> Attr_name.t -> t
+val add_attr : t -> Attribute.t -> t
+val has_super : t -> Type_name.t -> bool
+val super_precedence : t -> Type_name.t -> int option
+
+(** Replace the whole supertype list (re-sorted by precedence). *)
+val with_supers : t -> (Type_name.t * int) list -> t
+
+(** [add_super t s prec] adds a direct supertype.
+
+    @raise Error.E if [s] is already a supertype of [t] or equals [t]. *)
+val add_super : t -> Type_name.t -> int -> t
+
+(** Precedence of the highest-precedence (lowest integer) supertype. *)
+val min_super_precedence : t -> int option
+
+val pp : t Fmt.t

@@ -1,0 +1,21 @@
+(** Names of object types.
+
+    Type names identify nodes of the type hierarchy. They are totally
+    ordered so that they can be used as keys of sets and maps, and all
+    algorithm outputs that iterate over name collections are
+    deterministic. *)
+
+type t
+
+(** [of_string s] makes a type name from [s].
+
+    @raise Invalid_argument if [s] is empty. *)
+val of_string : string -> t
+
+val to_string : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,34 @@
+type prim = Int | Float | String | Bool | Date
+
+type t =
+  | Prim of prim
+  | Named of Type_name.t
+  | Unknown
+
+let int = Prim Int
+let float = Prim Float
+let string = Prim String
+let bool = Prim Bool
+let date = Prim Date
+let named n = Named n
+
+let equal a b =
+  match (a, b) with
+  | Prim p, Prim q -> p = q
+  | Named m, Named n -> Type_name.equal m n
+  | Unknown, Unknown -> true
+  | (Prim _ | Named _ | Unknown), _ -> false
+
+let prim_to_string = function
+  | Int -> "int"
+  | Float -> "float"
+  | String -> "string"
+  | Bool -> "bool"
+  | Date -> "date"
+
+let pp ppf = function
+  | Prim p -> Fmt.string ppf (prim_to_string p)
+  | Named n -> Type_name.pp ppf n
+  | Unknown -> Fmt.string ppf "?"
+
+let as_named = function Named n -> Some n | Prim _ | Unknown -> None

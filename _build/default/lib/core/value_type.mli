@@ -1,0 +1,28 @@
+(** Types of attributes, method parameters, results, and local variables.
+
+    A value type is either a primitive (paper examples use integers,
+    strings and dates for attributes such as [SSN] or [date_of_birth]) or
+    a reference to an object type of the hierarchy.  [Unknown] is used by
+    the data-flow analysis for expressions whose static type cannot be
+    determined; it never appears in a validated schema. *)
+
+type prim = Int | Float | String | Bool | Date
+
+type t =
+  | Prim of prim
+  | Named of Type_name.t
+  | Unknown
+
+val int : t
+val float : t
+val string : t
+val bool : t
+val date : t
+val named : Type_name.t -> t
+
+val equal : t -> t -> bool
+val prim_to_string : prim -> string
+val pp : t Fmt.t
+
+(** [as_named t] is the object type named by [t], if any. *)
+val as_named : t -> Type_name.t option

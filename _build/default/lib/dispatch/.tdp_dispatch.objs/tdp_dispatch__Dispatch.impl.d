@@ -1,0 +1,1 @@
+lib/dispatch/dispatch.ml: Hashtbl Hierarchy Int Linearize List Method_def Schema Signature Subtype_cache Tdp_core Type_def Type_name

@@ -1,0 +1,1 @@
+lib/dispatch/dispatch.mli: Method_def Schema Tdp_core Type_name

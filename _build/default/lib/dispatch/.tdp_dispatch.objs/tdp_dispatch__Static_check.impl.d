@@ -1,0 +1,1 @@
+lib/dispatch/static_check.ml: Dispatch Fmt Generic_function List Method_def Option Schema Signature Tdp_core Type_name

@@ -1,0 +1,1 @@
+lib/dispatch/static_check.mli: Dispatch Fmt Method_def Schema Tdp_core Type_name

@@ -1,0 +1,117 @@
+open Tdp_core
+
+type t = {
+  schema : Schema.t;
+  cache : Subtype_cache.t;
+  cpls : (Type_name.t, Type_name.t list) Hashtbl.t;
+  ranks : (Type_name.t, (Type_name.t, int) Hashtbl.t) Hashtbl.t;
+  surrogate_transparent : bool;
+}
+
+let create ?(surrogate_transparent = true) schema =
+  { schema;
+    cache = Subtype_cache.create (Schema.hierarchy schema);
+    cpls = Hashtbl.create 32;
+    ranks = Hashtbl.create 32;
+    surrogate_transparent
+  }
+
+let schema t = t.schema
+
+let cpl t n =
+  match Hashtbl.find_opt t.cpls n with
+  | Some l -> l
+  | None ->
+      let l = Linearize.cpl (Schema.hierarchy t.schema) n in
+      Hashtbl.replace t.cpls n l;
+      l
+
+(* Specificity rank of each supertype in the class precedence list of
+   [actual] — with surrogate transparency: a surrogate shares the rank
+   of its source type whenever the source is in the same CPL.  The
+   paper requires the Q̂–Q factorization to be "transparent from the
+   standpoint of the state and behavior of the combined Q̂–Q types"
+   (Section 5); without rank sharing, relocating an applicable method
+   from (…,T,…) to (…,T̂,…) would make it rank strictly after a
+   not-relocated sibling method on T at a position where the two
+   previously tied, flipping dispatch for original instances.  (A
+   source always precedes its surrogate in the CPL, so the shared rank
+   is already assigned when the surrogate is reached.) *)
+let rank_table t actual =
+  match Hashtbl.find_opt t.ranks actual with
+  | Some tbl -> tbl
+  | None ->
+      let h = Schema.hierarchy t.schema in
+      let tbl = Hashtbl.create 16 in
+      List.iteri
+        (fun i n ->
+          let rank =
+            if not t.surrogate_transparent then i
+            else
+              match Type_def.origin (Hierarchy.find h n) with
+              | Surrogate { source; _ } -> (
+                  match Hashtbl.find_opt tbl source with
+                  | Some r -> r
+                  | None -> i)
+              | Source -> i
+          in
+          Hashtbl.replace tbl n rank)
+        (cpl t actual);
+      Hashtbl.replace t.ranks actual tbl;
+      tbl
+
+let cpl_index t ~actual ~formal = Hashtbl.find_opt (rank_table t actual) formal
+
+exception Ambiguous of { gf : string; methods : Method_def.Key.t list }
+
+(* Argument precedence order, CLOS style: compare two applicable
+   methods position by position, ranking each formal by its index in
+   the corresponding actual argument's class precedence list. *)
+let compare_specificity t ~arg_types m1 m2 =
+  let p1 = Signature.param_types (Method_def.signature m1) in
+  let p2 = Signature.param_types (Method_def.signature m2) in
+  let rec go args f1s f2s =
+    match (args, f1s, f2s) with
+    | [], [], [] -> 0
+    | actual :: args, f1 :: f1s, f2 :: f2s -> (
+        if Type_name.equal f1 f2 then go args f1s f2s
+        else
+          match (cpl_index t ~actual ~formal:f1, cpl_index t ~actual ~formal:f2) with
+          | Some i, Some j -> (
+              (* equal ranks (e.g. a source and its surrogate) tie at
+                 this position; the next position decides *)
+              match Int.compare i j with 0 -> go args f1s f2s | c -> c)
+          | Some _, None -> -1
+          | None, Some _ -> 1
+          | None, None -> go args f1s f2s)
+    | _ -> invalid_arg "compare_specificity: arity mismatch"
+  in
+  go arg_types p1 p2
+
+let applicable t ~gf ~arg_types =
+  let ms =
+    Schema.methods_applicable_to_call t.schema t.cache ~gf ~arg_types
+  in
+  List.stable_sort (compare_specificity t ~arg_types) ms
+
+let most_specific t ~gf ~arg_types =
+  match applicable t ~gf ~arg_types with
+  | [] -> None
+  | [ m ] -> Some m
+  | m1 :: m2 :: _ ->
+      if compare_specificity t ~arg_types m1 m2 = 0 then
+        raise
+          (Ambiguous { gf; methods = [ Method_def.key m1; Method_def.key m2 ] })
+      else Some m1
+
+(* Next most specific method after [after] for the same call — the
+   CLOS call-next-method chain. *)
+let next_method t ~gf ~arg_types ~after =
+  let rec drop = function
+    | [] -> None
+    | m :: rest ->
+        if Method_def.Key.equal (Method_def.key m) after then
+          match rest with [] -> None | m' :: _ -> Some m'
+        else drop rest
+  in
+  drop (applicable t ~gf ~arg_types)

@@ -1,0 +1,102 @@
+open Tdp_core
+
+(* Static consistency checks for generic functions, in the spirit of
+   the paper's reference [2] (Agrawal, DeMichiel & Lindsay, "Static
+   Type Checking of Multi-Methods", OOPSLA'91).  The checks are used by
+   the test suite to show that the refactored schema produced by a
+   projection dispatches exactly as the original did. *)
+
+type issue =
+  | Duplicate_signature of { gf : string; m1 : Method_def.Key.t; m2 : Method_def.Key.t }
+  | Uncovered_call of { gf : string; arg_types : Type_name.t list }
+  | Ambiguous_call of {
+      gf : string;
+      arg_types : Type_name.t list;
+      methods : Method_def.Key.t list;
+    }
+
+let pp_issue ppf = function
+  | Duplicate_signature { gf; m1; m2 } ->
+      Fmt.pf ppf "generic %s: methods %a and %a have identical signatures" gf
+        Method_def.Key.pp m1 Method_def.Key.pp m2
+  | Uncovered_call { gf; arg_types } ->
+      Fmt.pf ppf "generic %s: call (%a) has no applicable method" gf
+        Fmt.(list ~sep:comma Type_name.pp)
+        arg_types
+  | Ambiguous_call { gf; arg_types; methods } ->
+      Fmt.pf ppf "generic %s: call (%a) is ambiguous between %a" gf
+        Fmt.(list ~sep:comma Type_name.pp)
+        arg_types
+        Fmt.(list ~sep:comma Method_def.Key.pp)
+        methods
+
+(* Two methods of one generic function must not share a signature. *)
+let duplicate_signatures schema =
+  List.concat_map
+    (fun g ->
+      let rec pairs = function
+        | [] -> []
+        | m :: rest ->
+            List.filter_map
+              (fun m' ->
+                if
+                  List.equal Type_name.equal
+                    (Signature.param_types (Method_def.signature m))
+                    (Signature.param_types (Method_def.signature m'))
+                then
+                  Some
+                    (Duplicate_signature
+                       { gf = Generic_function.name g;
+                         m1 = Method_def.key m;
+                         m2 = Method_def.key m'
+                       })
+                else None)
+              rest
+            @ pairs rest
+      in
+      pairs (Generic_function.methods g))
+    (Schema.gfs schema)
+
+(* Cartesian product of candidate argument types, capped to keep the
+   check tractable on synthetic schemas. *)
+let rec product = function
+  | [] -> [ [] ]
+  | xs :: rest ->
+      let tails = product rest in
+      List.concat_map (fun x -> List.map (fun t -> x :: t) tails) xs
+
+(* For every combination of [arg_space] types at each position that has
+   at least one applicable method in the original schema, dispatch must
+   select a unique method. *)
+let call_space_issues dispatcher ~gf ~arg_space =
+  let g = Schema.find_gf (Dispatch.schema dispatcher) gf in
+  let arity = Generic_function.arity g in
+  let spaces = List.init arity (fun _ -> arg_space) in
+  List.filter_map
+    (fun arg_types ->
+      match Dispatch.most_specific dispatcher ~gf ~arg_types with
+      | Some _ -> None
+      | None -> Some (Uncovered_call { gf; arg_types })
+      | exception Dispatch.Ambiguous { methods; _ } ->
+          Some (Ambiguous_call { gf; arg_types; methods }))
+    (product spaces)
+
+(* Dispatch outcomes of [before] and [after] agree on every call over
+   types present in both schemas: the dynamic-behavior preservation
+   property of the refactoring. *)
+let dispatch_preserved ?surrogate_transparent ~before ~after ~arg_space () =
+  let db = Dispatch.create before
+  and da = Dispatch.create ?surrogate_transparent after in
+  List.concat_map
+    (fun g ->
+      let gf = Generic_function.name g in
+      let arity = Generic_function.arity g in
+      let spaces = List.init arity (fun _ -> arg_space) in
+      List.filter_map
+        (fun arg_types ->
+          let pick d = try Option.map Method_def.key (Dispatch.most_specific d ~gf ~arg_types) with Dispatch.Ambiguous _ -> None in
+          let kb = pick db and ka = pick da in
+          if Option.equal Method_def.Key.equal kb ka then None
+          else Some (gf, arg_types, kb, ka))
+        (product spaces))
+    (Schema.gfs before)

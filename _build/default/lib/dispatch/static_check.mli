@@ -1,0 +1,39 @@
+(** Static checking of generic functions over a schema.
+
+    A simplified form of the analysis in the paper's reference [2]
+    (OOPSLA'91): duplicate-signature detection, call-space coverage,
+    and ambiguity detection; plus a differential check that dispatch
+    outcomes are preserved by a refactoring. *)
+
+open Tdp_core
+
+type issue =
+  | Duplicate_signature of { gf : string; m1 : Method_def.Key.t; m2 : Method_def.Key.t }
+  | Uncovered_call of { gf : string; arg_types : Type_name.t list }
+  | Ambiguous_call of {
+      gf : string;
+      arg_types : Type_name.t list;
+      methods : Method_def.Key.t list;
+    }
+
+val pp_issue : issue Fmt.t
+
+(** Methods of one generic function with identical parameter types. *)
+val duplicate_signatures : Schema.t -> issue list
+
+(** Coverage/ambiguity over the cartesian product of [arg_space] at
+    every argument position of [gf]. *)
+val call_space_issues :
+  Dispatch.t -> gf:string -> arg_space:Type_name.t list -> issue list
+
+(** Calls over types common to both schemas whose dispatch outcome
+    differs; empty when the refactoring preserved behavior.
+    [surrogate_transparent] configures the after-schema dispatcher
+    (see {!Dispatch.create}). *)
+val dispatch_preserved :
+  ?surrogate_transparent:bool ->
+  before:Schema.t ->
+  after:Schema.t ->
+  arg_space:Type_name.t list ->
+  unit ->
+  (string * Type_name.t list * Method_def.Key.t option * Method_def.Key.t option) list

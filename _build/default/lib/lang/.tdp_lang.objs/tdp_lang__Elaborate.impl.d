@@ -1,0 +1,1 @@
+lib/lang/elaborate.ml: Ast Attr_name Attribute Body Error Hierarchy List Method_def Option Parser Schema Set Signature String Tdp_algebra Tdp_core Type_def Type_name Typing Value_type

@@ -1,0 +1,1 @@
+lib/lang/elaborate.mli: Ast Error Schema Tdp_algebra Tdp_core Type_name

@@ -1,0 +1,1 @@
+lib/lang/lexer.ml: Buffer Error Fmt List String Tdp_core

@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Ast Error Fmt Lexer List Tdp_core

@@ -1,0 +1,1 @@
+lib/lang/printer.ml: Attr_name Attribute Body Buffer Fmt Hierarchy List Method_def Schema Signature String Tdp_algebra Tdp_core Type_def Type_name Value_type

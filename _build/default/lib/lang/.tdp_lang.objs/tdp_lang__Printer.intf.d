@@ -1,0 +1,1 @@
+lib/lang/printer.mli: Fmt Method_def Schema Tdp_algebra Tdp_core Type_def

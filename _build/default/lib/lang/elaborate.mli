@@ -1,0 +1,32 @@
+(** Elaboration of surface programs into schemas and view expressions.
+
+    Two passes — types first, then methods — so declaration order never
+    matters.  Calls to names that are not declared generic functions
+    elaborate to builtin operations.  The result is validated
+    ({!Tdp_core.Schema.validate_exn}) and fully type-checked
+    ({!Tdp_core.Typing.check_all_methods}). *)
+
+open Tdp_core
+
+type result_ = {
+  schema : Schema.t;
+  views : (string * Tdp_algebra.View.expr) list;  (** declaration order *)
+}
+
+(** @raise Error.E on any validation failure. *)
+val elaborate_exn : Ast.program -> result_
+
+val elaborate : Ast.program -> (result_, Error.t) result
+
+(** Parse and elaborate a source string. *)
+val load_exn : string -> result_
+
+val load : string -> (result_, Error.t) result
+
+(** Derive every declared view in order; each view's derived type is
+    named after the view.  Returns the final schema and the view-name /
+    type-name pairs. *)
+val apply_views_exn : ?check:bool -> result_ -> Schema.t * (string * Type_name.t) list
+
+val apply_views :
+  ?check:bool -> result_ -> (Schema.t * (string * Type_name.t) list, Error.t) result

@@ -1,0 +1,189 @@
+open Tdp_core
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | KW of string
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COLON
+  | SEMI
+  | COMMA
+  | HASH
+  | ARROW  (** [->] *)
+  | ASSIGN  (** [:=] *)
+  | EQUALS  (** [=] *)
+  | EQEQ
+  | NE
+  | LE
+  | GE
+  | LT
+  | GT
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EOF
+
+type spanned = { token : token; line : int; col : int }
+
+let keywords =
+  [ "type"; "method"; "reader"; "writer"; "view"; "project"; "select"; "on";
+    "where"; "generalize"; "with"; "var"; "return"; "if"; "else"; "while";
+    "and"; "or"; "not"; "true"; "false"; "null"
+  ]
+
+let token_to_string = function
+  | IDENT s -> Fmt.str "identifier %S" s
+  | INT i -> Fmt.str "integer %d" i
+  | FLOAT f -> Fmt.str "float %g" f
+  | STRING s -> Fmt.str "string %S" s
+  | KW k -> Fmt.str "keyword %S" k
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | COLON -> "':'"
+  | SEMI -> "';'"
+  | COMMA -> "','"
+  | HASH -> "'#'"
+  | ARROW -> "'->'"
+  | ASSIGN -> "':='"
+  | EQUALS -> "'='"
+  | EQEQ -> "'=='"
+  | NE -> "'!='"
+  | LE -> "'<='"
+  | GE -> "'>='"
+  | LT -> "'<'"
+  | GT -> "'>'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | EOF -> "end of input"
+
+let error line col fmt =
+  Fmt.kstr (fun message -> Error.raise_ (Parse_error { line; col; message })) fmt
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(* Tokenize a full input string.  Comments run from "//" to newline. *)
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let emit token l c = tokens := { token; line = l; col = c } :: !tokens in
+  let advance () =
+    (if !i < n then
+       match src.[!i] with
+       | '\n' ->
+           incr line;
+           col := 1
+       | _ -> incr col);
+    incr i
+  in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    let l = !line and cl = !col in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '/' && peek 1 = Some '/' then
+      while !i < n && src.[!i] <> '\n' do
+        advance ()
+      done
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident src.[!i] do
+        advance ()
+      done;
+      let word = String.sub src start (!i - start) in
+      if List.mem word keywords then emit (KW word) l cl else emit (IDENT word) l cl
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        advance ()
+      done;
+      if !i < n && src.[!i] = '.' && (match peek 1 with Some d -> is_digit d | None -> false)
+      then begin
+        advance ();
+        while !i < n && is_digit src.[!i] do
+          advance ()
+        done;
+        let text = String.sub src start (!i - start) in
+        match float_of_string_opt text with
+        | Some f -> emit (FLOAT f) l cl
+        | None -> error l cl "unreadable float literal %s" text
+      end
+      else
+        let text = String.sub src start (!i - start) in
+        match int_of_string_opt text with
+        | Some v -> emit (INT v) l cl
+        | None -> error l cl "integer literal out of range: %s" text
+    end
+    else if c = '"' then begin
+      advance ();
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        (match src.[!i] with
+        | '"' -> closed := true
+        | '\\' when peek 1 = Some '"' ->
+            Buffer.add_char buf '"';
+            advance ()
+        | ch -> Buffer.add_char buf ch);
+        advance ()
+      done;
+      if not !closed then error l cl "unterminated string";
+      emit (STRING (Buffer.contents buf)) l cl
+    end
+    else begin
+      let two t =
+        advance ();
+        advance ();
+        emit t l cl
+      in
+      let one t =
+        advance ();
+        emit t l cl
+      in
+      match (c, peek 1) with
+      | '-', Some '>' -> two ARROW
+      | ':', Some '=' -> two ASSIGN
+      | '=', Some '=' -> two EQEQ
+      | '!', Some '=' -> two NE
+      | '<', Some '=' -> two LE
+      | '>', Some '=' -> two GE
+      | '{', _ -> one LBRACE
+      | '}', _ -> one RBRACE
+      | '(', _ -> one LPAREN
+      | ')', _ -> one RPAREN
+      | '[', _ -> one LBRACKET
+      | ']', _ -> one RBRACKET
+      | ':', _ -> one COLON
+      | ';', _ -> one SEMI
+      | ',', _ -> one COMMA
+      | '#', _ -> one HASH
+      | '=', _ -> one EQUALS
+      | '<', _ -> one LT
+      | '>', _ -> one GT
+      | '+', _ -> one PLUS
+      | '-', _ -> one MINUS
+      | '*', _ -> one STAR
+      | '/', _ -> one SLASH
+      | c, _ -> error l cl "unexpected character %C" c
+    end
+  done;
+  emit EOF !line !col;
+  List.rev !tokens

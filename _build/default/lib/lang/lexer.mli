@@ -1,0 +1,47 @@
+(** Tokenizer for the schema language.
+
+    Hand-written, with line/column tracking for error reporting.
+    [//] starts a line comment. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | KW of string
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COLON
+  | SEMI
+  | COMMA
+  | HASH
+  | ARROW  (** [->] *)
+  | ASSIGN  (** [:=] *)
+  | EQUALS  (** [=] *)
+  | EQEQ
+  | NE
+  | LE
+  | GE
+  | LT
+  | GT
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EOF
+
+type spanned = { token : token; line : int; col : int }
+
+(** Reserved words of the language. *)
+val keywords : string list
+
+val token_to_string : token -> string
+
+(** Tokenize a complete source string; the result always ends in [EOF].
+    @raise Error.E [Parse_error] on an unexpected character or an
+    unterminated string. *)
+val tokenize : string -> spanned list

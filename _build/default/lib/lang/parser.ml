@@ -1,0 +1,385 @@
+open Tdp_core
+open Ast
+
+(* Recursive-descent parser over the lexer's token stream. *)
+
+type state = { mutable toks : Lexer.spanned list }
+
+let peek st =
+  match st.toks with [] -> assert false | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> assert false | _ :: rest -> st.toks <- rest
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let error (t : Lexer.spanned) fmt =
+  Fmt.kstr
+    (fun message ->
+      Error.raise_ (Parse_error { line = t.line; col = t.col; message }))
+    fmt
+
+let expect st tok =
+  let t = next st in
+  if t.token <> tok then
+    error t "expected %s, found %s" (Lexer.token_to_string tok)
+      (Lexer.token_to_string t.token)
+
+let ident st =
+  let t = next st in
+  match t.token with
+  | IDENT s -> s
+  | tok -> error t "expected an identifier, found %s" (Lexer.token_to_string tok)
+
+let kw st k = expect st (KW k)
+let accept st tok = if (peek st).token = tok then (advance st; true) else false
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr st = or_expr st
+
+and or_expr st =
+  let lhs = and_expr st in
+  if accept st (KW "or") then EBin ("or", lhs, or_expr st) else lhs
+
+and and_expr st =
+  let lhs = cmp_expr st in
+  if accept st (KW "and") then EBin ("and", lhs, and_expr st) else lhs
+
+and cmp_expr st =
+  let lhs = add_expr st in
+  let op =
+    match (peek st).token with
+    | EQEQ -> Some "="
+    | NE -> Some "!="
+    | LT -> Some "<"
+    | GT -> Some ">"
+    | LE -> Some "<="
+    | GE -> Some ">="
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      advance st;
+      EBin (op, lhs, add_expr st)
+
+and add_expr st =
+  let rec go lhs =
+    match (peek st).token with
+    | PLUS ->
+        advance st;
+        go (EBin ("+", lhs, mul_expr st))
+    | MINUS ->
+        advance st;
+        go (EBin ("-", lhs, mul_expr st))
+    | _ -> lhs
+  in
+  go (mul_expr st)
+
+and mul_expr st =
+  let rec go lhs =
+    match (peek st).token with
+    | STAR ->
+        advance st;
+        go (EBin ("*", lhs, unary st))
+    | SLASH ->
+        advance st;
+        go (EBin ("/", lhs, unary st))
+    | _ -> lhs
+  in
+  go (unary st)
+
+and unary st =
+  if accept st (KW "not") then ENot (unary st) else primary st
+
+and primary st =
+  let t = next st in
+  match t.token with
+  | INT i -> EInt i
+  | FLOAT f -> EFloat f
+  | STRING s -> EString s
+  | KW "true" -> EBool true
+  | KW "false" -> EBool false
+  | KW "null" -> ENull
+  | LPAREN ->
+      let e = expr st in
+      expect st RPAREN;
+      e
+  | IDENT name ->
+      if accept st LPAREN then begin
+        let args = ref [] in
+        if (peek st).token <> RPAREN then begin
+          args := [ expr st ];
+          while accept st COMMA do
+            args := expr st :: !args
+          done
+        end;
+        expect st RPAREN;
+        EApp (name, List.rev !args)
+      end
+      else EVar name
+  | tok -> error t "expected an expression, found %s" (Lexer.token_to_string tok)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let type_name st =
+  let t = next st in
+  match t.token with
+  | IDENT s -> s
+  | tok -> error t "expected a type, found %s" (Lexer.token_to_string tok)
+
+let rec stmt st =
+  let t = peek st in
+  match t.token with
+  | KW "var" ->
+      advance st;
+      let var = ident st in
+      expect st COLON;
+      let ty = type_name st in
+      let init = if accept st ASSIGN then Some (expr st) else None in
+      expect st SEMI;
+      SLocal { var; ty; init }
+  | KW "return" ->
+      advance st;
+      if accept st SEMI then SReturn None
+      else
+        let e = expr st in
+        expect st SEMI;
+        SReturn (Some e)
+  | KW "if" ->
+      advance st;
+      let c = expr st in
+      let th = block st in
+      let el = if accept st (KW "else") then block st else [] in
+      SIf (c, th, el)
+  | KW "while" ->
+      advance st;
+      let c = expr st in
+      SWhile (c, block st)
+  | IDENT x when (match st.toks with _ :: { token = Lexer.ASSIGN; _ } :: _ -> true | _ -> false) ->
+      advance st;
+      expect st ASSIGN;
+      let e = expr st in
+      expect st SEMI;
+      SAssign (x, e)
+  | _ ->
+      let e = expr st in
+      expect st SEMI;
+      SExpr e
+
+and block st =
+  expect st LBRACE;
+  let stmts = ref [] in
+  while (peek st).token <> Lexer.RBRACE do
+    stmts := stmt st :: !stmts
+  done;
+  expect st RBRACE;
+  List.rev !stmts
+
+(* ------------------------------------------------------------------ *)
+(* Predicates and view expressions                                     *)
+(* ------------------------------------------------------------------ *)
+
+let literal st =
+  let t = next st in
+  match t.token with
+  | INT i -> LInt i
+  | FLOAT f -> LFloat f
+  | STRING s -> LString s
+  | KW "true" -> LBool true
+  | KW "false" -> LBool false
+  | MINUS -> (
+      let t2 = next st in
+      match t2.token with
+      | INT i -> LInt (-i)
+      | FLOAT f -> LFloat (-.f)
+      | tok -> error t2 "expected a number, found %s" (Lexer.token_to_string tok))
+  | tok -> error t "expected a literal, found %s" (Lexer.token_to_string tok)
+
+let rec pred st = pred_or st
+
+and pred_or st =
+  let lhs = pred_and st in
+  if accept st (KW "or") then POr (lhs, pred_or st) else lhs
+
+and pred_and st =
+  let lhs = pred_atom st in
+  if accept st (KW "and") then PAnd (lhs, pred_and st) else lhs
+
+and pred_atom st =
+  if accept st (KW "not") then PNot (pred_atom st)
+  else if accept st LPAREN then begin
+    let p = pred st in
+    expect st RPAREN;
+    p
+  end
+  else
+    let attr = ident st in
+    let t = next st in
+    let op =
+      match t.token with
+      | EQEQ -> "=="
+      | NE -> "!="
+      | LT -> "<"
+      | GT -> ">"
+      | LE -> "<="
+      | GE -> ">="
+      | tok -> error t "expected a comparison, found %s" (Lexer.token_to_string tok)
+    in
+    PCmp (attr, op, literal st)
+
+let rec view_expr st =
+  let t = peek st in
+  match t.token with
+  | KW "project" ->
+      advance st;
+      let sub = view_expr st in
+      kw st "on";
+      expect st LBRACKET;
+      let attrs = ref [ ident st ] in
+      while accept st COMMA do
+        attrs := ident st :: !attrs
+      done;
+      expect st RBRACKET;
+      VProject (sub, List.rev !attrs)
+  | KW "select" ->
+      advance st;
+      let sub = view_expr st in
+      kw st "where";
+      VSelect (sub, pred st)
+  | KW "generalize" ->
+      advance st;
+      let a = view_expr st in
+      kw st "with";
+      let b = view_expr st in
+      VGeneralize (a, b)
+  | LPAREN ->
+      advance st;
+      let v = view_expr st in
+      expect st RPAREN;
+      v
+  | IDENT n ->
+      advance st;
+      VBase n
+  | tok -> error t "expected a view expression, found %s" (Lexer.token_to_string tok)
+
+(* ------------------------------------------------------------------ *)
+(* Top-level items                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let gf_and_id st =
+  let gf = ident st in
+  let id = if accept st HASH then ident st else gf in
+  (gf, id)
+
+let item st =
+  let t = peek st in
+  match t.token with
+  | KW "type" ->
+      advance st;
+      let name = ident st in
+      let supers =
+        if accept st COLON then begin
+          let one () =
+            let s = ident st in
+            expect st LPAREN;
+            let t = next st in
+            let p =
+              match t.token with
+              | INT p -> p
+              | MINUS -> (
+                  let t2 = next st in
+                  match t2.token with
+                  | INT p -> -p
+                  | tok ->
+                      error t2 "expected an integer, found %s"
+                        (Lexer.token_to_string tok))
+              | tok ->
+                  error t "expected a precedence, found %s"
+                    (Lexer.token_to_string tok)
+            in
+            expect st RPAREN;
+            (s, p)
+          in
+          let supers = ref [ one () ] in
+          while accept st COMMA do
+            supers := one () :: !supers
+          done;
+          List.rev !supers
+        end
+        else []
+      in
+      expect st LBRACE;
+      let attrs = ref [] in
+      while (peek st).token <> Lexer.RBRACE do
+        let a = ident st in
+        expect st COLON;
+        let ty = type_name st in
+        expect st SEMI;
+        attrs := (a, ty) :: !attrs
+      done;
+      expect st RBRACE;
+      IType { name; supers; attrs = List.rev !attrs }
+  | KW "reader" | KW "writer" ->
+      let kind = if t.token = KW "reader" then `Reader else `Writer in
+      advance st;
+      let gf, id = gf_and_id st in
+      expect st LPAREN;
+      let param = ident st in
+      expect st COLON;
+      let on = ident st in
+      expect st RPAREN;
+      expect st ARROW;
+      let attr = ident st in
+      expect st SEMI;
+      IAccessor { kind; gf; id; param; on; attr }
+  | KW "method" ->
+      advance st;
+      let gf, id = gf_and_id st in
+      expect st LPAREN;
+      let params = ref [] in
+      if (peek st).token <> Lexer.RPAREN then begin
+        let one () =
+          let x = ident st in
+          expect st COLON;
+          let ty = ident st in
+          (x, ty)
+        in
+        params := [ one () ];
+        while accept st COMMA do
+          params := one () :: !params
+        done
+      end;
+      expect st RPAREN;
+      let result = if accept st COLON then Some (type_name st) else None in
+      let body = block st in
+      IMethod { gf; id; params = List.rev !params; result; body }
+  | KW "view" ->
+      advance st;
+      let name = ident st in
+      expect st EQUALS;
+      let e = view_expr st in
+      expect st SEMI;
+      IView { name; expr = e }
+  | tok -> error t "expected a declaration, found %s" (Lexer.token_to_string tok)
+
+let program st =
+  let items = ref [] in
+  while (peek st).token <> Lexer.EOF do
+    items := item st :: !items
+  done;
+  List.rev !items
+
+let parse_string src =
+  let st = { toks = Lexer.tokenize src } in
+  program st
+
+let parse src = Error.guard (fun () -> parse_string src)

@@ -1,0 +1,10 @@
+(** Recursive-descent parser for the schema language.
+
+    Produces the surface syntax of {!Ast}; name resolution and
+    type-checking happen in {!Elaborate}.  See README.md for the
+    grammar. *)
+
+(** @raise Error.E [Parse_error] with position information. *)
+val parse_string : string -> Ast.program
+
+val parse : string -> (Ast.program, Tdp_core.Error.t) result

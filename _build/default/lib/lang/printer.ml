@@ -1,0 +1,136 @@
+open Tdp_core
+module View = Tdp_algebra.View
+module Pred = Tdp_algebra.Pred
+
+(* Pretty-print a schema back to the surface syntax, such that
+   [Elaborate.load_exn (print schema views)] reproduces it (tested as a
+   round-trip property). *)
+
+let pp_float ppf f =
+  let s = Fmt.str "%.12g" f in
+  if String.contains s '.' || String.contains s 'e' then Fmt.string ppf s
+  else Fmt.pf ppf "%s.0" s
+
+let pp_literal ppf (l : Body.literal) =
+  match l with
+  | Int i -> Fmt.int ppf i
+  | Float f -> pp_float ppf f
+  | String s -> Fmt.pf ppf "%S" s
+  | Bool b -> Fmt.bool ppf b
+  | Null -> Fmt.string ppf "null"
+
+let surface_op = function "=" -> "==" | op -> op
+
+let binary_ops =
+  [ "+"; "-"; "*"; "/"; "<"; ">"; "<="; ">="; "="; "!="; "and"; "or" ]
+
+let rec pp_expr ppf (e : Body.expr) =
+  match e with
+  | Var x -> Fmt.string ppf x
+  | Lit l -> pp_literal ppf l
+  | Call { gf; args } -> Fmt.pf ppf "%s(%a)" gf Fmt.(list ~sep:comma pp_expr) args
+  | Builtin { op = "not"; args = [ a ] } -> Fmt.pf ppf "(not %a)" pp_expr a
+  | Builtin { op; args = [ a; b ] } when List.mem op binary_ops ->
+      Fmt.pf ppf "(%a %s %a)" pp_expr a (surface_op op) pp_expr b
+  | Builtin { op; args } ->
+      Fmt.pf ppf "%s(%a)" op Fmt.(list ~sep:comma pp_expr) args
+
+let rec pp_stmt ppf (s : Body.stmt) =
+  match s with
+  | Local { var; ty; init = None } -> Fmt.pf ppf "var %s : %a;" var Value_type.pp ty
+  | Local { var; ty; init = Some e } ->
+      Fmt.pf ppf "var %s : %a := %a;" var Value_type.pp ty pp_expr e
+  | Assign (x, e) -> Fmt.pf ppf "%s := %a;" x pp_expr e
+  | Expr e -> Fmt.pf ppf "%a;" pp_expr e
+  | Return None -> Fmt.string ppf "return;"
+  | Return (Some e) -> Fmt.pf ppf "return %a;" pp_expr e
+  | If (c, t, []) -> Fmt.pf ppf "@[<v 2>if %a {@ %a@]@ }" pp_expr c pp_stmts t
+  | If (c, t, e) ->
+      Fmt.pf ppf "@[<v 2>if %a {@ %a@]@ @[<v 2>} else {@ %a@]@ }" pp_expr c
+        pp_stmts t pp_stmts e
+  | While (c, b) -> Fmt.pf ppf "@[<v 2>while %a {@ %a@]@ }" pp_expr c pp_stmts b
+
+and pp_stmts ppf stmts = Fmt.(list ~sep:(any "@ ") pp_stmt) ppf stmts
+
+let pp_type ppf def =
+  let pp_super ppf (s, p) = Fmt.pf ppf "%a(%d)" Type_name.pp s p in
+  let pp_attr ppf a =
+    Fmt.pf ppf "%a : %a;" Attr_name.pp (Attribute.name a) Value_type.pp
+      (Attribute.ty a)
+  in
+  match (Type_def.supers def, Type_def.attrs def) with
+  | [], [] -> Fmt.pf ppf "type %a {}" Type_name.pp (Type_def.name def)
+  | supers, attrs ->
+      Fmt.pf ppf "@[<v 2>type %a%a {@ %a@]@ }" Type_name.pp (Type_def.name def)
+        (fun ppf -> function
+          | [] -> ()
+          | ss -> Fmt.pf ppf " : %a" Fmt.(list ~sep:comma pp_super) ss)
+        supers
+        Fmt.(list ~sep:(any "@ ") pp_attr)
+        attrs
+
+let pp_method ppf m =
+  let gf = Method_def.gf m and id = Method_def.id m in
+  let tag = if String.equal gf id then gf else Fmt.str "%s#%s" gf id in
+  let s = Method_def.signature m in
+  match Method_def.kind m with
+  | Reader attr ->
+      let param, on = List.hd (Signature.params s) in
+      Fmt.pf ppf "reader %s(%s : %a) -> %a;" tag param Type_name.pp on Attr_name.pp
+        attr
+  | Writer attr ->
+      let param, on = List.hd (Signature.params s) in
+      Fmt.pf ppf "writer %s(%s : %a) -> %a;" tag param Type_name.pp on Attr_name.pp
+        attr
+  | General body ->
+      let pp_param ppf (x, t) = Fmt.pf ppf "%s : %a" x Type_name.pp t in
+      Fmt.pf ppf "@[<v 2>method %s(%a)%a {@ %a@]@ }" tag
+        Fmt.(list ~sep:comma pp_param)
+        (Signature.params s)
+        (fun ppf -> function
+          | None -> ()
+          | Some r -> Fmt.pf ppf " : %a" Value_type.pp r)
+        (Signature.result s) pp_stmts body
+
+let rec pp_pred ppf (p : Pred.t) =
+  match p with
+  | Cmp { attr; op; value } ->
+      Fmt.pf ppf "%a %s %a" Attr_name.pp attr (Pred.op_to_string op) pp_literal
+        value
+  | And (a, b) -> Fmt.pf ppf "(%a and %a)" pp_pred a pp_pred b
+  | Or (a, b) -> Fmt.pf ppf "(%a or %a)" pp_pred a pp_pred b
+  | Not a -> Fmt.pf ppf "(not %a)" pp_pred a
+  | True -> Fmt.string ppf "0 == 0"
+
+let rec pp_view_expr ppf (v : View.expr) =
+  match v with
+  | Base n -> Type_name.pp ppf n
+  | Project (e, attrs) ->
+      Fmt.pf ppf "project %a on [%a]" pp_view_expr e
+        Fmt.(list ~sep:comma Attr_name.pp)
+        attrs
+  | Select (e, p) -> Fmt.pf ppf "select %a where %a" pp_view_expr e pp_pred p
+  | Generalize (a, b) ->
+      Fmt.pf ppf "generalize %a with %a" pp_view_expr a pp_view_expr b
+
+let pp_view ppf (name, expr) = Fmt.pf ppf "view %s = %a;" name pp_view_expr expr
+
+(* Types are emitted in dependency (topological) order for
+   readability; the elaborator does not require it. *)
+let print ?(views = []) schema =
+  let h = Schema.hierarchy schema in
+  let emitted = ref Type_name.Set.empty in
+  let out = Buffer.create 1024 in
+  let rec emit_type n =
+    if not (Type_name.Set.mem n !emitted) then begin
+      emitted := Type_name.Set.add n !emitted;
+      List.iter emit_type (Hierarchy.direct_super_names h n);
+      Buffer.add_string out (Fmt.str "%a@." pp_type (Hierarchy.find h n))
+    end
+  in
+  List.iter emit_type (Hierarchy.type_names h);
+  List.iter
+    (fun m -> Buffer.add_string out (Fmt.str "%a@." pp_method m))
+    (Schema.all_methods schema);
+  List.iter (fun v -> Buffer.add_string out (Fmt.str "%a@." pp_view v)) views;
+  Buffer.contents out

@@ -1,0 +1,16 @@
+(** Pretty-printer from schemas back to the surface syntax.
+
+    Round-trip guarantee (tested): for any schema [s],
+    [Elaborate.load_exn (print s)] has a structurally equal hierarchy
+    and identical methods, and printing is a fixpoint.  Surrogate
+    origins are not part of the surface syntax and are not preserved. *)
+
+open Tdp_core
+
+val pp_type : Type_def.t Fmt.t
+val pp_method : Method_def.t Fmt.t
+val pp_view_expr : Tdp_algebra.View.expr Fmt.t
+
+(** Print a whole program: types in topological (supertypes-first)
+    order, then methods, then the given views. *)
+val print : ?views:(string * Tdp_algebra.View.expr) list -> Schema.t -> string

@@ -1,0 +1,1 @@
+lib/paper/build.ml: Attr_name Attribute List Method_def Schema Signature Tdp_core Type_def Type_name

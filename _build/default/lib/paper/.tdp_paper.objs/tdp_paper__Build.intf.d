@@ -1,0 +1,1 @@
+lib/paper/build.mli: Attr_name Attribute Body Schema Tdp_core Type_def Type_name Value_type

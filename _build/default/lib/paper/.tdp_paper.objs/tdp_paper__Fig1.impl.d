@@ -1,0 +1,1 @@
+lib/paper/fig1.ml: Attr_name Body Build List Projection Schema Tdp_core Type_name Value_type

@@ -1,0 +1,1 @@
+lib/paper/fig1.mli: Attr_name Projection Schema Tdp_core Type_name

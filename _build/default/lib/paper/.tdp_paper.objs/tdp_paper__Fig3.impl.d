@@ -1,0 +1,1 @@
+lib/paper/fig3.ml: Attr_name Body Build List Method_def Projection Schema Tdp_core Type_name Value_type

@@ -1,0 +1,1 @@
+lib/paper/fig3.mli: Attr_name Method_def Projection Schema Tdp_core Type_name

@@ -1,0 +1,29 @@
+open Tdp_core
+
+let ty = Type_name.of_string
+let at = Attr_name.of_string
+let attr name vt = Attribute.make (at name) vt
+
+let add_type schema ?origin ~attrs ~supers name =
+  let def =
+    Type_def.make ?origin
+      ~attrs:(List.map (fun (n, t) -> attr n t) attrs)
+      ~supers:(List.map (fun (s, p) -> (ty s, p)) supers)
+      (ty name)
+  in
+  Schema.add_type schema def
+
+let add_reader schema ~gf ~on ~attr:a ~result =
+  Schema.add_method schema
+    (Method_def.reader ~gf ~id:gf ~param:"self" ~param_type:(ty on) ~attr:(at a)
+       ~result)
+
+let add_writer schema ~gf ~on ~attr:a =
+  Schema.add_method schema
+    (Method_def.writer ~gf ~id:gf ~param:"self" ~param_type:(ty on) ~attr:(at a))
+
+let add_general schema ~gf ~id ?result ~params body =
+  let params = List.map (fun (x, t) -> (x, ty t)) params in
+  Schema.add_method schema
+    (Method_def.make ~gf ~id ~signature:(Signature.make ?result params)
+       (General body))

@@ -1,0 +1,32 @@
+(** Small helpers for declaring the paper's schemas concisely. *)
+
+open Tdp_core
+
+val ty : string -> Type_name.t
+val at : string -> Attr_name.t
+val attr : string -> Value_type.t -> Attribute.t
+
+(** Add a type from string names: [(attr, type)] pairs and
+    [(super, precedence)] pairs. *)
+val add_type :
+  Schema.t ->
+  ?origin:Type_def.origin ->
+  attrs:(string * Value_type.t) list ->
+  supers:(string * int) list ->
+  string ->
+  Schema.t
+
+(** Add a unary reader whose method id equals the gf name. *)
+val add_reader :
+  Schema.t -> gf:string -> on:string -> attr:string -> result:Value_type.t -> Schema.t
+
+val add_writer : Schema.t -> gf:string -> on:string -> attr:string -> Schema.t
+
+val add_general :
+  Schema.t ->
+  gf:string ->
+  id:string ->
+  ?result:Value_type.t ->
+  params:(string * string) list ->
+  Body.t ->
+  Schema.t

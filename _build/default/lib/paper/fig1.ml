@@ -1,0 +1,91 @@
+(* The simple type hierarchy of the paper's Figure 1 (Section 3.1):
+
+     Person   { ssn, name, date_of_birth }
+     Employee { pay_rate, hrs_worked }   Employee ⪯ Person
+
+   with accessor methods for every attribute and the three general
+   methods age, income, and promote. *)
+
+open Tdp_core
+open Build
+
+let person = Type_name.of_string "Person"
+let employee = Type_name.of_string "Employee"
+
+let schema =
+  let s = Schema.empty in
+  let s =
+    add_type s
+      ~attrs:
+        [ ("ssn", Value_type.int);
+          ("name", Value_type.string);
+          ("date_of_birth", Value_type.date)
+        ]
+      ~supers:[] "Person"
+  in
+  let s =
+    add_type s
+      ~attrs:[ ("pay_rate", Value_type.float); ("hrs_worked", Value_type.float) ]
+      ~supers:[ ("Person", 1) ]
+      "Employee"
+  in
+  let s = add_reader s ~gf:"get_ssn" ~on:"Person" ~attr:"ssn" ~result:Value_type.int in
+  let s =
+    add_reader s ~gf:"get_name" ~on:"Person" ~attr:"name" ~result:Value_type.string
+  in
+  let s =
+    add_reader s ~gf:"get_date_of_birth" ~on:"Person" ~attr:"date_of_birth"
+      ~result:Value_type.date
+  in
+  let s =
+    add_reader s ~gf:"get_pay_rate" ~on:"Employee" ~attr:"pay_rate"
+      ~result:Value_type.float
+  in
+  let s =
+    add_reader s ~gf:"get_hrs_worked" ~on:"Employee" ~attr:"hrs_worked"
+      ~result:Value_type.float
+  in
+  let s = add_writer s ~gf:"set_pay_rate" ~on:"Employee" ~attr:"pay_rate" in
+  (* age(Person) = ( ...get_date_of_birth(Person)... ) *)
+  let s =
+    add_general s ~gf:"age" ~id:"age" ~result:Value_type.int
+      ~params:[ ("p", "Person") ]
+      [ Body.return_
+          (Body.builtin "years_since" [ Body.call "get_date_of_birth" [ Body.var "p" ] ])
+      ]
+  in
+  (* income(Employee) = ( ...get_pay_rate(Employee), get_hrs_worked(Employee)... ) *)
+  let s =
+    add_general s ~gf:"income" ~id:"income" ~result:Value_type.float
+      ~params:[ ("e", "Employee") ]
+      [ Body.return_
+          (Body.builtin "*"
+             [ Body.call "get_pay_rate" [ Body.var "e" ];
+               Body.call "get_hrs_worked" [ Body.var "e" ]
+             ])
+      ]
+  in
+  (* promote(Employee) = ( ...get_date_of_birth(Employee), get_pay_rate(Employee)... ) *)
+  let s =
+    add_general s ~gf:"promote" ~id:"promote" ~result:Value_type.bool
+      ~params:[ ("e", "Employee") ]
+      [ Body.return_
+          (Body.builtin "and"
+             [ Body.builtin ">="
+                 [ Body.builtin "years_since"
+                     [ Body.call "get_date_of_birth" [ Body.var "e" ] ];
+                   Body.int 5
+                 ];
+               Body.builtin "<" [ Body.call "get_pay_rate" [ Body.var "e" ]; Body.int 100 ]
+             ])
+      ]
+  in
+  s
+
+(* The projection of Section 3.1: Π_{ssn, date_of_birth, pay_rate} Employee. *)
+let projection = List.map Attr_name.of_string [ "ssn"; "date_of_birth"; "pay_rate" ]
+
+let project ?(derived_name = "Employee_hat") () =
+  Projection.project_exn schema ~view:"employee_view"
+    ~derived_name:(Type_name.of_string derived_name) ~source:employee ~projection
+    ()

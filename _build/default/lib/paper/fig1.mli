@@ -1,0 +1,16 @@
+(** The paper's Figure 1 (Section 3.1): the Person/Employee hierarchy
+    with accessors and the methods [age], [income], and [promote]. *)
+
+open Tdp_core
+
+val person : Type_name.t
+val employee : Type_name.t
+val schema : Schema.t
+
+(** [ssn; date_of_birth; pay_rate] — the projection of Section 3.1. *)
+val projection : Attr_name.t list
+
+(** Run Π_{ssn,date_of_birth,pay_rate} Employee through the full
+    pipeline; [derived_name] defaults to ["Employee_hat"] so the result
+    matches Figure 2 verbatim. *)
+val project : ?derived_name:string -> unit -> Projection.outcome

@@ -1,0 +1,145 @@
+(* The type hierarchy and methods of the paper's Figure 3 and
+   Examples 1–4 (Sections 4.2, 5.2, 6.2, 6.5).
+
+   Hierarchy (arrows point to supertypes; integers are precedences):
+
+     A -> C(1), B(2)      B -> D(1), E(2)      C -> F(1), E(2)
+     E -> G(1), H(2)      F -> H(1)            D, G, H roots
+
+   Local attributes: A{a1,a2} B{b1} C{c1} D{d1} E{e1,e2} F{f1} G{g1}
+   H{h1,h2}.
+
+   Methods (the paper's Example 1):
+     u1(A) = {get_a1(A)}          u2(C) = {get_g1(C)}    u3(B) = {get_h2(B)}
+     v1(A,C) = {u(A); w(C)}       v2(B,C) = {get_b1(B); u(C)}
+     w1(A) = {get_a1(A)}          w2(C) = {u(C)}
+     x1(A,B) = {y(A,B); v(B,A)}   y1(A,B) = {x(A,B)}
+
+   The projection studied throughout the paper is Π_{a2,e2,h2} A. *)
+
+open Tdp_core
+open Build
+
+let a = Type_name.of_string "A"
+let int = Value_type.int
+
+let hierarchy_schema =
+  let s = Schema.empty in
+  let s = add_type s ~attrs:[ ("d1", int) ] ~supers:[] "D" in
+  let s = add_type s ~attrs:[ ("g1", int) ] ~supers:[] "G" in
+  let s = add_type s ~attrs:[ ("h1", int); ("h2", int) ] ~supers:[] "H" in
+  let s = add_type s ~attrs:[ ("f1", int) ] ~supers:[ ("H", 1) ] "F" in
+  let s =
+    add_type s ~attrs:[ ("e1", int); ("e2", int) ] ~supers:[ ("G", 1); ("H", 2) ] "E"
+  in
+  let s = add_type s ~attrs:[ ("c1", int) ] ~supers:[ ("F", 1); ("E", 2) ] "C" in
+  let s = add_type s ~attrs:[ ("b1", int) ] ~supers:[ ("D", 1); ("E", 2) ] "B" in
+  let s =
+    add_type s ~attrs:[ ("a1", int); ("a2", int) ] ~supers:[ ("C", 1); ("B", 2) ] "A"
+  in
+  s
+
+let schema =
+  let s = hierarchy_schema in
+  let s = add_reader s ~gf:"get_a1" ~on:"A" ~attr:"a1" ~result:int in
+  let s = add_reader s ~gf:"get_b1" ~on:"B" ~attr:"b1" ~result:int in
+  let s = add_reader s ~gf:"get_h2" ~on:"B" ~attr:"h2" ~result:int in
+  let s = add_reader s ~gf:"get_g1" ~on:"C" ~attr:"g1" ~result:int in
+  let s =
+    add_general s ~gf:"u" ~id:"u1" ~params:[ ("a", "A") ]
+      [ Body.expr (Body.call "get_a1" [ Body.var "a" ]) ]
+  in
+  let s =
+    add_general s ~gf:"u" ~id:"u2" ~params:[ ("c", "C") ]
+      [ Body.expr (Body.call "get_g1" [ Body.var "c" ]) ]
+  in
+  let s =
+    add_general s ~gf:"u" ~id:"u3" ~params:[ ("b", "B") ]
+      [ Body.expr (Body.call "get_h2" [ Body.var "b" ]) ]
+  in
+  let s =
+    add_general s ~gf:"v" ~id:"v1"
+      ~params:[ ("a", "A"); ("c", "C") ]
+      [ Body.expr (Body.call "u" [ Body.var "a" ]);
+        Body.expr (Body.call "w" [ Body.var "c" ])
+      ]
+  in
+  let s =
+    add_general s ~gf:"v" ~id:"v2"
+      ~params:[ ("b", "B"); ("c", "C") ]
+      [ Body.expr (Body.call "get_b1" [ Body.var "b" ]);
+        Body.expr (Body.call "u" [ Body.var "c" ])
+      ]
+  in
+  let s =
+    add_general s ~gf:"w" ~id:"w1" ~params:[ ("a", "A") ]
+      [ Body.expr (Body.call "get_a1" [ Body.var "a" ]) ]
+  in
+  let s =
+    add_general s ~gf:"w" ~id:"w2" ~params:[ ("c", "C") ]
+      [ Body.expr (Body.call "u" [ Body.var "c" ]) ]
+  in
+  let s =
+    add_general s ~gf:"x" ~id:"x1"
+      ~params:[ ("a", "A"); ("b", "B") ]
+      [ Body.expr (Body.call "y" [ Body.var "a"; Body.var "b" ]);
+        Body.expr (Body.call "v" [ Body.var "b"; Body.var "a" ])
+      ]
+  in
+  let s =
+    add_general s ~gf:"y" ~id:"y1"
+      ~params:[ ("a", "A"); ("b", "B") ]
+      [ Body.expr (Body.call "x" [ Body.var "a"; Body.var "b" ]) ]
+  in
+  s
+
+(* Extension used to reproduce Example 4 / Figure 5 from first
+   principles: two applicable methods whose bodies assign a rebound
+   parameter into locals of declared types D and G, so that the def-use
+   analysis of Section 6.4 computes Y ⊇ {D, G} and hence Z = {D, G}. *)
+let schema_with_z =
+  let s = schema in
+  let s =
+    add_general s ~gf:"ret_g" ~id:"z1" ~result:(Value_type.named (Type_name.of_string "G"))
+      ~params:[ ("c", "C") ]
+      [ Body.local "g" (Value_type.named (Type_name.of_string "G"));
+        Body.assign "g" (Body.var "c");
+        Body.expr (Body.call "u" [ Body.var "c" ]);
+        Body.return_ (Body.var "g")
+      ]
+  in
+  let s =
+    add_general s ~gf:"ret_d" ~id:"z2" ~result:(Value_type.named (Type_name.of_string "D"))
+      ~params:[ ("b", "B") ]
+      [ Body.local "d" (Value_type.named (Type_name.of_string "D"));
+        Body.assign "d" (Body.var "b");
+        Body.expr (Body.call "get_h2" [ Body.var "b" ]);
+        Body.return_ (Body.var "d")
+      ]
+  in
+  s
+
+(* Π_{a2,e2,h2} A, the projection of Example 1. *)
+let projection = List.map Attr_name.of_string [ "a2"; "e2"; "h2" ]
+
+let project ?(schema = schema) ?(derived_name = "A_hat") () =
+  Projection.project_exn schema ~view:"a_view"
+    ~derived_name:(Type_name.of_string derived_name) ~source:a ~projection ()
+
+let method_key gf id = Method_def.Key.make gf id
+
+(* The classification the paper derives in Example 2. *)
+let expected_applicable =
+  [ ("get_h2", "get_h2"); ("u", "u3"); ("v", "v1"); ("w", "w2") ]
+
+let expected_not_applicable =
+  [ ("get_a1", "get_a1");
+    ("get_b1", "get_b1");
+    ("get_g1", "get_g1");
+    ("u", "u1");
+    ("u", "u2");
+    ("v", "v2");
+    ("w", "w1");
+    ("x", "x1");
+    ("y", "y1")
+  ]

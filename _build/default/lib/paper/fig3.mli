@@ -1,0 +1,34 @@
+(** The paper's Figure 3 hierarchy and the methods of Examples 1–4
+    (Sections 4.2, 5.2, 6.2, 6.5). *)
+
+open Tdp_core
+
+val a : Type_name.t
+
+(** The eight types A–H with attributes and precedences, no methods. *)
+val hierarchy_schema : Schema.t
+
+(** Figure 3 plus the accessors and methods u1–u3, v1–v2, w1–w2, x1, y1
+    of Example 1. *)
+val schema : Schema.t
+
+(** [schema] extended with two applicable methods that assign a rebound
+    parameter into locals of declared types D and G, so the Section 6.4
+    analysis computes Z = \{D, G\} — reproducing Example 4 / Figure 5
+    from first principles. *)
+val schema_with_z : Schema.t
+
+(** [a2; e2; h2] — Π_{a2,e2,h2} A, the projection of Example 1. *)
+val projection : Attr_name.t list
+
+(** Run the projection through the full pipeline; [derived_name]
+    defaults to ["A_hat"] so the result matches Figure 4 verbatim. *)
+val project : ?schema:Schema.t -> ?derived_name:string -> unit -> Projection.outcome
+
+val method_key : string -> string -> Method_def.Key.t
+
+(** The classification the paper derives in Example 2, as
+    [(generic function, method id)] pairs. *)
+val expected_applicable : (string * string) list
+
+val expected_not_applicable : (string * string) list

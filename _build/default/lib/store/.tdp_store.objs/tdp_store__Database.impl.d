@@ -1,0 +1,1 @@
+lib/store/database.ml: Attr_name Attribute Fmt Hashtbl Hierarchy List Oid Schema Subtype_cache Tdp_core Type_name Value Value_type

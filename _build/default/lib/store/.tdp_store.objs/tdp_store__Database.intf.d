@@ -1,0 +1,1 @@
+lib/store/database.mli: Attr_name Hierarchy Oid Schema Tdp_core Type_name Value

@@ -1,0 +1,1 @@
+lib/store/dump.ml: Attr_name Buffer Database Fmt Fun List Oid Scanf String Tdp_core Type_name Value

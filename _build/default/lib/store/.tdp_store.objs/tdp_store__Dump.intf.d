@@ -1,0 +1,1 @@
+lib/store/dump.mli: Database Oid Value

@@ -1,0 +1,1 @@
+lib/store/interp.ml: Body Database Fmt Fun List Map Method_def Schema Signature String Tdp_core Tdp_dispatch Type_name Value

@@ -1,0 +1,1 @@
+lib/store/interp.mli: Database Oid Value

@@ -1,0 +1,1 @@
+lib/store/oid.ml: Fmt Int Map Set

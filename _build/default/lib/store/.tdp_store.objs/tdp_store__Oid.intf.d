@@ -1,0 +1,1 @@
+lib/store/oid.mli: Fmt Map Set

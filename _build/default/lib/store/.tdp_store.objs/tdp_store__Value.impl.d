@@ -1,0 +1,1 @@
+lib/store/value.ml: Body Float Fmt Oid String Tdp_core Value_type

@@ -1,0 +1,1 @@
+lib/store/value.mli: Body Fmt Oid Tdp_core Value_type

@@ -1,0 +1,179 @@
+open Tdp_core
+
+type obj = {
+  oid : Oid.t;
+  ty : Type_name.t;
+  mutable slots : Value.t Attr_name.Map.t;
+}
+
+type t = {
+  mutable schema : Schema.t;
+  mutable cache : Subtype_cache.t;
+  mutable next : int;
+  objects : (Oid.t, obj) Hashtbl.t;
+}
+
+exception Store_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Store_error s)) fmt
+
+let create schema =
+  { schema;
+    cache = Subtype_cache.create (Schema.hierarchy schema);
+    next = 1;
+    objects = Hashtbl.create 64
+  }
+
+let schema t = t.schema
+
+(* Swap in a refactored schema.  Projection never changes the
+   cumulative state of pre-existing types (the paper's invariant), so
+   stored objects — whose slots are keyed by attribute name — remain
+   valid verbatim. *)
+let set_schema t schema =
+  t.schema <- schema;
+  t.cache <- Subtype_cache.create (Schema.hierarchy schema)
+
+let hierarchy t = Schema.hierarchy t.schema
+
+let attr_def t ty attr =
+  match Hierarchy.find_attribute (hierarchy t) ty attr with
+  | Some a -> a
+  | None ->
+      fail "type %s has no attribute %s" (Type_name.to_string ty)
+        (Attr_name.to_string attr)
+
+let check_value t attr_ty v =
+  match (attr_ty, (v : Value.t)) with
+  | _, Value.Null -> ()
+  | Value_type.Prim p, v ->
+      if not (Value.conforms_prim v p) then
+        fail "value %a does not conform to %s" Value.pp v
+          (Value_type.prim_to_string p)
+  | Value_type.Named n, Value.Ref o -> (
+      match Hashtbl.find_opt t.objects o with
+      | None -> fail "dangling reference %a" Oid.pp o
+      | Some target ->
+          if not (Subtype_cache.subtype t.cache target.ty n) then
+            fail "object %a of type %s is not a %s" Oid.pp o
+              (Type_name.to_string target.ty)
+              (Type_name.to_string n))
+  | Value_type.Named _, v -> fail "value %a is not an object reference" Value.pp v
+  | Value_type.Unknown, _ -> ()
+
+let build_slots t ty ~init =
+  if not (Hierarchy.mem (hierarchy t) ty) then
+    fail "unknown type %s" (Type_name.to_string ty);
+  let attrs = Hierarchy.all_attributes (hierarchy t) ty in
+  let slots =
+    List.fold_left
+      (fun slots a ->
+        let name = Attribute.name a in
+        let v =
+          match List.find_opt (fun (n, _) -> Attr_name.equal n name) init with
+          | Some (_, v) ->
+              check_value t (Attribute.ty a) v;
+              v
+          | None -> Value.Null
+        in
+        Attr_name.Map.add name v slots)
+      Attr_name.Map.empty attrs
+  in
+  List.iter
+    (fun (n, _) ->
+      if not (List.exists (fun a -> Attr_name.equal (Attribute.name a) n) attrs)
+      then
+        fail "type %s has no attribute %s" (Type_name.to_string ty)
+          (Attr_name.to_string n))
+    init;
+  slots
+
+let new_object t ty ~init =
+  let slots = build_slots t ty ~init in
+  let oid = Oid.of_int t.next in
+  t.next <- t.next + 1;
+  Hashtbl.replace t.objects oid { oid; ty; slots };
+  oid
+
+(* Re-create an object under a fixed OID (used when loading a dump). *)
+let restore_object t ~oid ~ty ~init =
+  if Hashtbl.mem t.objects oid then fail "oid %a already in use" Oid.pp oid;
+  let slots = build_slots t ty ~init in
+  t.next <- max t.next (Oid.to_int oid + 1);
+  Hashtbl.replace t.objects oid { oid; ty; slots };
+  oid
+
+let find t oid =
+  match Hashtbl.find_opt t.objects oid with
+  | Some o -> o
+  | None -> fail "no object %a" Oid.pp oid
+
+let type_of t oid = (find t oid).ty
+
+let get_attr t oid attr =
+  let o = find t oid in
+  match Attr_name.Map.find_opt attr o.slots with
+  | Some v -> v
+  | None ->
+      fail "object %a of type %s has no attribute %s" Oid.pp oid
+        (Type_name.to_string o.ty) (Attr_name.to_string attr)
+
+let set_attr t oid attr v =
+  let o = find t oid in
+  if not (Attr_name.Map.mem attr o.slots) then
+    fail "object %a of type %s has no attribute %s" Oid.pp oid
+      (Type_name.to_string o.ty) (Attr_name.to_string attr);
+  let def = attr_def t o.ty attr in
+  check_value t (Attribute.ty def) v;
+  o.slots <- Attr_name.Map.add attr v o.slots
+
+(* The (deep) extent of a type: every object whose type is a subtype.
+   Instances of a source type are therefore instances of every view
+   derived from it by projection — the instantiation semantics that
+   placing the derived type as a supertype buys. *)
+let extent t ty =
+  Hashtbl.fold
+    (fun oid o acc -> if Subtype_cache.subtype t.cache o.ty ty then oid :: acc else acc)
+    t.objects []
+  |> List.sort Oid.compare
+
+(* Objects holding a reference to [oid], with the referring slot. *)
+let referrers t oid =
+  Hashtbl.fold
+    (fun other o acc ->
+      if Oid.equal other oid then acc
+      else
+        Attr_name.Map.fold
+          (fun attr v acc ->
+            match v with
+            | Value.Ref r when Oid.equal r oid -> (other, attr) :: acc
+            | _ -> acc)
+          o.slots acc)
+    t.objects []
+  |> List.sort (fun (a, x) (b, y) ->
+         match Oid.compare a b with 0 -> Attr_name.compare x y | c -> c)
+
+type delete_policy = Restrict | Nullify
+
+let delete t ?(policy = Restrict) oid =
+  let _ = find t oid in
+  (match (policy, referrers t oid) with
+  | _, [] -> ()
+  | Restrict, (other, attr) :: _ ->
+      fail "cannot delete %a: referenced by %a.%s" Oid.pp oid Oid.pp other
+        (Attr_name.to_string attr)
+  | Nullify, refs ->
+      List.iter
+        (fun (other, attr) ->
+          let o = find t other in
+          o.slots <- Attr_name.Map.add attr Value.Null o.slots)
+        refs);
+  Hashtbl.remove t.objects oid
+
+let count t = Hashtbl.length t.objects
+
+let objects t =
+  Hashtbl.fold (fun _ o acc -> o :: acc) t.objects []
+  |> List.sort (fun a b -> Oid.compare a.oid b.oid)
+
+let slots t oid = (find t oid).slots

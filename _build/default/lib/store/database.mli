@@ -1,0 +1,69 @@
+(** An in-memory object store over a schema.
+
+    Objects have an identity (OID), a most-specific type, and one slot
+    per attribute of the type's cumulative state.  Extents are deep:
+    the extent of [T] contains every object whose type is a subtype of
+    [T].  This realizes the paper's companion "type instantiation"
+    semantics for projection views: because the derived type [T̂] is
+    placed {e above} the source type, every source instance is already
+    an instance of the view, with no copying. *)
+
+open Tdp_core
+
+type obj = {
+  oid : Oid.t;
+  ty : Type_name.t;
+  mutable slots : Value.t Attr_name.Map.t;
+}
+
+type t
+
+exception Store_error of string
+
+val create : Schema.t -> t
+val schema : t -> Schema.t
+
+(** Install a refactored schema.  Valid because projection preserves
+    the cumulative state of every pre-existing type. *)
+val set_schema : t -> Schema.t -> unit
+
+val hierarchy : t -> Hierarchy.t
+
+(** Create an object of [ty]; uninitialized attributes are [Null].
+    @raise Store_error on unknown type, unknown attribute, or a value
+    that does not conform to the attribute's declared type. *)
+val new_object : t -> Type_name.t -> init:(Attr_name.t * Value.t) list -> Oid.t
+
+(** Re-create an object under a fixed OID (used by {!Dump}).
+    @raise Store_error if the OID is in use or the init is invalid. *)
+val restore_object :
+  t -> oid:Oid.t -> ty:Type_name.t -> init:(Attr_name.t * Value.t) list -> Oid.t
+
+(** @raise Store_error on a dangling OID. *)
+val find : t -> Oid.t -> obj
+
+val type_of : t -> Oid.t -> Type_name.t
+
+(** @raise Store_error if the attribute is not in the object's state. *)
+val get_attr : t -> Oid.t -> Attr_name.t -> Value.t
+
+val set_attr : t -> Oid.t -> Attr_name.t -> Value.t -> unit
+
+(** Objects referencing [oid] through an object-typed slot, with the
+    referring attribute, in (OID, attribute) order. *)
+val referrers : t -> Oid.t -> (Oid.t * Attr_name.t) list
+
+type delete_policy =
+  | Restrict  (** refuse to delete a referenced object *)
+  | Nullify  (** null out every referring slot *)
+
+(** Delete an object (default policy [Restrict]).
+    @raise Store_error on a dangling OID or a restricted deletion. *)
+val delete : t -> ?policy:delete_policy -> Oid.t -> unit
+
+(** Deep extent, in OID order. *)
+val extent : t -> Type_name.t -> Oid.t list
+
+val count : t -> int
+val objects : t -> obj list
+val slots : t -> Oid.t -> Value.t Attr_name.Map.t

@@ -1,0 +1,167 @@
+open Tdp_core
+
+(* A line-oriented dump format for object stores:
+
+     obj #<oid> <Type> <attr>=<value> <attr>=<value> …
+
+   Values: integers [42], floats [42.5] (always with a point), quoted
+   strings (backslash escapes), booleans [true]/[false], dates
+   [year:1990], references [#3], and [null].  Lines starting with [--]
+   are comments.  Loading is two-pass so forward references work. *)
+
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt = Fmt.kstr (fun message -> raise (Parse_error { line; message })) fmt
+
+let value_to_string (v : Value.t) =
+  match v with
+  | Int i -> string_of_int i
+  | Float f ->
+      let s = Fmt.str "%.12g" f in
+      if String.contains s '.' || String.contains s 'e' then s else s ^ ".0"
+  | String s -> Fmt.str "%S" s
+  | Bool b -> string_of_bool b
+  | Date y -> Fmt.str "year:%d" y
+  | Ref o -> Fmt.str "#%d" (Oid.to_int o)
+  | Null -> "null"
+
+let value_of_string line s : Value.t =
+  let len = String.length s in
+  if len = 0 then fail line "empty value"
+  else if s = "null" then Null
+  else if s = "true" then Bool true
+  else if s = "false" then Bool false
+  else if s.[0] = '"' then
+    if len >= 2 && s.[len - 1] = '"' then String (Scanf.sscanf s "%S" Fun.id)
+    else fail line "unterminated string %s" s
+  else if s.[0] = '#' then
+    match int_of_string_opt (String.sub s 1 (len - 1)) with
+    | Some i -> Ref (Oid.of_int i)
+    | None -> fail line "bad reference %s" s
+  else if len > 5 && String.sub s 0 5 = "year:" then
+    match int_of_string_opt (String.sub s 5 (len - 5)) with
+    | Some y -> Date y
+    | None -> fail line "bad date %s" s
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt s with
+        | Some f -> Float f
+        | None -> fail line "unreadable value %s" s)
+
+let to_string db =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (o : Database.obj) ->
+      Buffer.add_string buf
+        (Fmt.str "obj #%d %s" (Oid.to_int o.oid) (Type_name.to_string o.ty));
+      Attr_name.Map.iter
+        (fun a v ->
+          Buffer.add_string buf
+            (Fmt.str " %s=%s" (Attr_name.to_string a) (value_to_string v)))
+        o.slots;
+      Buffer.add_char buf '\n')
+    (Database.objects db);
+  Buffer.contents buf
+
+(* Split a dump line into whitespace-separated tokens, keeping quoted
+   strings intact. *)
+let tokens line_no line =
+  let out = ref [] and buf = Buffer.create 16 in
+  let in_string = ref false and escaped = ref false in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      if !in_string then begin
+        Buffer.add_char buf c;
+        if !escaped then escaped := false
+        else if c = '\\' then escaped := true
+        else if c = '"' then in_string := false
+      end
+      else
+        match c with
+        | ' ' | '\t' -> flush ()
+        | '"' ->
+            Buffer.add_char buf c;
+            in_string := true
+        | c -> Buffer.add_char buf c)
+    line;
+  if !in_string then fail line_no "unterminated string";
+  flush ();
+  List.rev !out
+
+type parsed_obj = {
+  p_oid : int;
+  p_ty : Type_name.t;
+  p_slots : (Attr_name.t * Value.t) list;
+  p_line : int;
+}
+
+let parse_line line_no line =
+  match tokens line_no line with
+  | [] -> None
+  | t :: _ when String.length t >= 2 && String.sub t 0 2 = "--" -> None
+  | "obj" :: oid :: ty :: slots ->
+      let p_oid =
+        if String.length oid > 1 && oid.[0] = '#' then
+          match int_of_string_opt (String.sub oid 1 (String.length oid - 1)) with
+          | Some i -> i
+          | None -> fail line_no "bad oid %s" oid
+        else fail line_no "expected #<oid>, got %s" oid
+      in
+      let p_slots =
+        List.map
+          (fun tok ->
+            match String.index_opt tok '=' with
+            | Some i ->
+                ( Attr_name.of_string (String.sub tok 0 i),
+                  value_of_string line_no
+                    (String.sub tok (i + 1) (String.length tok - i - 1)) )
+            | None -> fail line_no "expected attr=value, got %s" tok)
+          slots
+      in
+      Some { p_oid; p_ty = Type_name.of_string ty; p_slots; p_line = line_no }
+  | t :: _ -> fail line_no "expected 'obj', got %s" t
+
+let parse src =
+  String.split_on_char '\n' src
+  |> List.mapi (fun i l -> (i + 1, String.trim l))
+  |> List.filter_map (fun (i, l) -> if l = "" then None else parse_line i l)
+
+(* Two passes: objects are created with their non-reference slots, then
+   references are patched once every target exists. *)
+let load_into db src =
+  let objs = parse src in
+  let oids =
+    List.map
+      (fun p ->
+        let plain =
+          List.filter
+            (fun (_, v) -> match (v : Value.t) with Ref _ -> false | _ -> true)
+            p.p_slots
+        in
+        let oid =
+          try Database.restore_object db ~oid:(Oid.of_int p.p_oid) ~ty:p.p_ty ~init:plain
+          with Database.Store_error m -> fail p.p_line "%s" m
+        in
+        oid)
+      objs
+  in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (a, v) ->
+          match (v : Value.t) with
+          | Ref _ -> (
+              try Database.set_attr db (Oid.of_int p.p_oid) a v
+              with Database.Store_error m -> fail p.p_line "%s" m)
+          | _ -> ())
+        p.p_slots)
+    objs;
+  oids

@@ -1,0 +1,27 @@
+(** Textual dump / load of object stores.
+
+    One line per object:
+
+    {v obj #<oid> <Type> <attr>=<value> … v}
+
+    Values: [42], [42.5], ["…"], [true]/[false], [year:1990],
+    [#3] (reference), [null].  [--] starts a comment line.  Loading is
+    two-pass so forward references work; OIDs are preserved, which
+    keeps references and view identities stable across dump/load. *)
+
+exception Parse_error of { line : int; message : string }
+
+val value_to_string : Value.t -> string
+
+(** @raise Parse_error *)
+val value_of_string : int -> string -> Value.t
+
+(** Serialize every object, in OID order. *)
+val to_string : Database.t -> string
+
+(** Load a dump into the database; returns the restored OIDs in file
+    order.
+    @raise Parse_error on malformed input.
+    @raise Database.Store_error via [Parse_error] wrapping on schema
+    violations. *)
+val load_into : Database.t -> string -> Oid.t list

@@ -1,0 +1,30 @@
+(** An interpreter for generic-function calls over stored objects.
+
+    Executes method bodies with full multi-method dispatch on the
+    dynamic types of all arguments.  Used by the test suite to verify
+    the paper's behavior-preservation claim {e dynamically}: the same
+    call on the same objects returns the same value before and after a
+    projection refactors the schema. *)
+
+type t
+
+exception Runtime_error of string
+
+(** [create ?now ?max_depth db] makes an interpreter; [now] (default
+    2026) anchors the [years_since] builtin, [max_depth] (default
+    10000) bounds the call-frame stack so runaway recursion raises
+    [Runtime_error] instead of crashing. *)
+val create : ?now:int -> ?max_depth:int -> Database.t -> t
+
+val db : t -> Database.t
+
+(** Rebuild dispatch tables after [Database.set_schema]. *)
+val refresh : t -> t
+
+(** [call t gf args] dispatches and runs a generic function.  A writer
+    generic function takes the target object followed by the new value.
+    @raise Runtime_error on dispatch failure or an ill-typed call. *)
+val call : t -> string -> Value.t list -> Value.t
+
+(** [call_on t gf oids] is [call] with object references. *)
+val call_on : t -> string -> Oid.t list -> Value.t

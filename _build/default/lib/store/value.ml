@@ -1,0 +1,47 @@
+open Tdp_core
+
+type t =
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+  | Date of int  (** a year; enough structure for the paper's examples *)
+  | Ref of Oid.t
+  | Null
+
+let equal a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y
+  | String x, String y -> String.equal x y
+  | Bool x, Bool y -> x = y
+  | Date x, Date y -> x = y
+  | Ref x, Ref y -> Oid.equal x y
+  | Null, Null -> true
+  | (Int _ | Float _ | String _ | Bool _ | Date _ | Ref _ | Null), _ -> false
+
+let pp ppf = function
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.float ppf f
+  | String s -> Fmt.pf ppf "%S" s
+  | Bool b -> Fmt.bool ppf b
+  | Date y -> Fmt.pf ppf "year(%d)" y
+  | Ref o -> Oid.pp ppf o
+  | Null -> Fmt.string ppf "null"
+
+let of_literal (l : Body.literal) =
+  match l with
+  | Int i -> Int i
+  | Float f -> Float f
+  | String s -> String s
+  | Bool b -> Bool b
+  | Null -> Null
+
+(* Shallow conformance of a runtime value to a declared type; reference
+   conformance is checked by the database, which knows object types. *)
+let conforms_prim v (p : Value_type.prim) =
+  match (v, p) with
+  | Int _, Int | Float _, Float | String _, String | Bool _, Bool | Date _, Date ->
+      true
+  | Null, _ -> true
+  | (Int _ | Float _ | String _ | Bool _ | Date _ | Ref _), _ -> false

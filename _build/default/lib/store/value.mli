@@ -1,0 +1,22 @@
+(** Runtime values stored in object slots and passed to methods. *)
+
+open Tdp_core
+
+type t =
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+  | Date of int  (** a year; enough structure for the paper's examples *)
+  | Ref of Oid.t
+  | Null
+
+val equal : t -> t -> bool
+val pp : t Fmt.t
+
+(** Literal of a method body as a runtime value. *)
+val of_literal : Body.literal -> t
+
+(** Shallow conformance to a primitive type; [Null] conforms to
+    everything, references are checked by the database. *)
+val conforms_prim : t -> Value_type.prim -> bool

@@ -1,0 +1,1 @@
+lib/synth/synth.ml: Attr_name Attribute Body Fmt Generic_function Hierarchy Int List Method_def Random Schema Signature Tdp_core Tdp_store Type_def Type_name Value_type

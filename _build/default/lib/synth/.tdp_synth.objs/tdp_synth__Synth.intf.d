@@ -1,0 +1,1 @@
+lib/synth/synth.mli: Attr_name Schema Tdp_core Tdp_store Type_name

@@ -1,0 +1,315 @@
+open Tdp_core
+
+(* Deterministic random schema generation.  The paper has no benchmark
+   datasets — its evaluation is worked examples — so scaling experiments
+   and property-based tests run over schemas drawn from this generator.
+   All randomness flows from the seed: the same config produces the same
+   schema. *)
+
+type config = {
+  n_types : int;
+  max_supers : int;  (** direct supertypes per type (≥ 1 ⇒ multiple inheritance) *)
+  attrs_per_type : int;
+  accessor_fraction : float;  (** fraction of attributes given a reader *)
+  writer_fraction : float;  (** fraction of attributes given a writer *)
+  n_gfs : int;  (** general generic functions *)
+  methods_per_gf : int;
+  max_params : int;
+  calls_per_body : int;
+  recursion : bool;  (** allow call cycles between general methods *)
+  seed : int;
+}
+
+let default =
+  { n_types = 12;
+    max_supers = 2;
+    attrs_per_type = 2;
+    accessor_fraction = 1.0;
+    writer_fraction = 0.0;
+    n_gfs = 4;
+    methods_per_gf = 3;
+    max_params = 2;
+    calls_per_body = 2;
+    recursion = true;
+    seed = 42
+  }
+
+let type_name i = Type_name.of_string (Fmt.str "T%d" i)
+let attr_name i j = Attr_name.of_string (Fmt.str "t%d_a%d" i j)
+
+let pick st l =
+  match l with
+  | [] -> invalid_arg "Synth.pick: empty list"
+  | l -> List.nth l (Random.State.int st (List.length l))
+
+(* Distinct random sample of size ≤ k. *)
+let sample st k l =
+  let rec go acc k l =
+    if k = 0 || l = [] then acc
+    else
+      let x = pick st l in
+      go (x :: acc) (k - 1) (List.filter (fun y -> y <> x) l)
+  in
+  go [] k l
+
+let gen_hierarchy st cfg =
+  let rec add schema i =
+    if i >= cfg.n_types then schema
+    else
+      let supers =
+        if i = 0 then []
+        else
+          let k = 1 + Random.State.int st cfg.max_supers in
+          let candidates = List.init i (fun j -> j) in
+          sample st (min k i) candidates
+          |> List.sort Int.compare
+          |> List.mapi (fun rank j -> (type_name j, rank + 1))
+      in
+      let attrs =
+        List.init cfg.attrs_per_type (fun j ->
+            Attribute.make (attr_name i j) Value_type.int)
+      in
+      add (Schema.add_type schema (Type_def.make ~attrs ~supers (type_name i))) (i + 1)
+  in
+  add Schema.empty 0
+
+let gen_accessors st cfg schema =
+  let h = Schema.hierarchy schema in
+  List.fold_left
+    (fun schema i ->
+      List.fold_left
+        (fun schema j ->
+          let a = attr_name i j in
+          (* Declare the accessor at the owner or at a random subtype
+             that inherits the attribute (both occur in the paper's
+             Figure 3: get_h2 is declared at B, not H). *)
+          let owner = type_name i in
+          let holders =
+            owner
+            :: Type_name.Set.elements (Hierarchy.descendants h owner)
+          in
+          let schema =
+            if Random.State.float st 1.0 < cfg.accessor_fraction then
+              Schema.add_method schema
+                (Method_def.reader
+                   ~gf:(Fmt.str "get_%s" (Attr_name.to_string a))
+                   ~id:(Fmt.str "get_%s" (Attr_name.to_string a))
+                   ~param:"self" ~param_type:(pick st holders) ~attr:a
+                   ~result:Value_type.int)
+            else schema
+          in
+          if Random.State.float st 1.0 < cfg.writer_fraction then
+            Schema.add_method schema
+              (Method_def.writer
+                 ~gf:(Fmt.str "set_%s" (Attr_name.to_string a))
+                 ~id:(Fmt.str "set_%s" (Attr_name.to_string a))
+                 ~param:"self" ~param_type:(pick st holders) ~attr:a)
+          else schema)
+        schema
+        (List.init cfg.attrs_per_type (fun j -> j)))
+    schema
+    (List.init cfg.n_types (fun i -> i))
+
+(* General methods: each body is a sequence of calls, each either an
+   accessor on a formal (reading an attribute available at the formal's
+   type) or another general generic function applied to formals.  With
+   [recursion] the callee may be any generic function, producing the
+   call cycles that exercise the MethodStack machinery. *)
+let gen_generals st cfg schema =
+  let h = Schema.hierarchy schema in
+  let gf_name g = Fmt.str "m%d" g in
+  (* Fix each generic function's arity up front. *)
+  let arities =
+    List.init cfg.n_gfs (fun _ -> 1 + Random.State.int st cfg.max_params)
+  in
+  let accessor_gfs =
+    List.filter_map
+      (fun m ->
+        match Method_def.kind m with
+        | Reader a -> Some (Method_def.gf m, a, List.hd (Signature.param_types (Method_def.signature m)))
+        | Writer _ | General _ -> None)
+      (Schema.all_methods schema)
+  in
+  let types = List.init cfg.n_types type_name in
+  let schema = ref schema in
+  List.iteri
+    (fun g arity ->
+      for k = 0 to cfg.methods_per_gf - 1 do
+        let params =
+          List.init arity (fun p -> (Fmt.str "p%d" p, pick st types))
+        in
+        (* The paper's model assumes a unique precedence among the
+           methods of a generic function; two methods with identical
+           signatures would make every matching call ambiguous.  Skip
+           duplicates. *)
+        let duplicate =
+          match Schema.find_gf_opt !schema (gf_name g) with
+          | None -> false
+          | Some gf ->
+              List.exists
+                (fun m ->
+                  List.equal Type_name.equal
+                    (Signature.param_types (Method_def.signature m))
+                    (List.map snd params))
+                (Generic_function.methods gf)
+        in
+        if not duplicate then begin
+        let formal_of_subtype ty =
+          List.filter
+            (fun (_, pt) -> Hierarchy.subtype h pt ty)
+            params
+        in
+        (* Locals that copy formals (possibly widened to a supertype):
+           exercises the def-use analysis of Section 4.1/6.4 through
+           random schemas. *)
+        let locals =
+          List.filteri (fun i _ -> i = 0 || Random.State.bool st) params
+          |> List.mapi (fun i (x, pt) ->
+                 let widened =
+                   let ups = Type_name.Set.elements (Hierarchy.ancestors h pt) in
+                   if ups <> [] && Random.State.bool st then pick st ups else pt
+                 in
+                 (Fmt.str "l%d" i, widened, x))
+        in
+        let var_of_subtype ty =
+          let from_params =
+            List.map (fun (x, pt) -> (x, pt)) (formal_of_subtype ty)
+          in
+          let from_locals =
+            List.filter_map
+              (fun (l, lt, _) ->
+                if Hierarchy.subtype h lt ty then Some (l, lt) else None)
+              locals
+          in
+          from_params @ from_locals
+        in
+        let gen_call () =
+          if accessor_gfs <> [] && (Random.State.bool st || cfg.n_gfs = 0)
+          then
+            (* accessor call on a formal or local that can receive it *)
+            let shuffled = sample st (List.length accessor_gfs) accessor_gfs in
+            List.find_map
+              (fun (gf, _a, on) ->
+                match var_of_subtype on with
+                | [] -> None
+                | fs ->
+                    let x, _ = pick st fs in
+                    Some (Body.expr (Body.call gf [ Body.var x ])))
+              shuffled
+          else
+            let callee =
+              if cfg.recursion then Random.State.int st cfg.n_gfs
+              else if g = 0 then g
+              else Random.State.int st g
+            in
+            let callee_arity = List.nth arities callee in
+            let args =
+              List.init callee_arity (fun _ ->
+                  let x, _ = pick st params in
+                  Body.var x)
+            in
+            Some (Body.expr (Body.call (gf_name callee) args))
+        in
+        let calls =
+          List.filter_map
+            (fun _ -> gen_call ())
+            (List.init cfg.calls_per_body (fun c -> c))
+        in
+        (* Wrap some calls in control flow so the analyses see branches
+           and loops. *)
+        let calls =
+          List.map
+            (fun stmt ->
+              match Random.State.int st 4 with
+              | 0 -> Body.if_ (Body.bool true) [ stmt ] []
+              | 1 -> Body.while_ (Body.bool false) [ stmt ]
+              | _ -> stmt)
+            calls
+        in
+        let body =
+          List.map
+            (fun (l, lt, from) ->
+              Body.local ~init:(Body.var from) l (Value_type.named lt))
+            locals
+          @ calls
+        in
+        let m =
+          Method_def.make ~gf:(gf_name g) ~id:(Fmt.str "m%d_%d" g k)
+            ~signature:(Signature.make params) (General body)
+        in
+        (* Declare callees lazily: add_method auto-declares the gf of
+           [m]; forward-referenced callees are declared here so that
+           validation sees them. *)
+          schema := Schema.add_method !schema m
+        end
+      done)
+    arities;
+  (* Ensure every callee gf exists even if it ended up with no methods. *)
+  List.iteri
+    (fun g arity ->
+      match Schema.find_gf_opt !schema (gf_name g) with
+      | Some _ -> ()
+      | None ->
+          schema :=
+            Schema.declare_gf !schema
+              (Generic_function.declare ~arity (gf_name g)))
+    arities;
+  !schema
+
+let generate cfg =
+  let st = Random.State.make [| cfg.seed |] in
+  let schema = gen_hierarchy st cfg in
+  let schema = gen_accessors st cfg schema in
+  let schema = gen_generals st cfg schema in
+  schema
+
+(* A random projection workload over a generated schema: a source type
+   with a non-trivial cumulative state and a random non-empty subset of
+   its attributes. *)
+let gen_projection ?(seed = 0) schema =
+  let st = Random.State.make [| seed |] in
+  let h = Schema.hierarchy schema in
+  let sources =
+    List.filter
+      (fun n -> List.length (Hierarchy.all_attribute_names h n) >= 2)
+      (Hierarchy.type_names h)
+  in
+  let source =
+    match sources with
+    | [] -> pick st (Hierarchy.type_names h)
+    | l ->
+        (* favor deep types: more supertypes means more factoring *)
+        let scored =
+          List.map (fun n -> (Type_name.Set.cardinal (Hierarchy.ancestors h n), n)) l
+        in
+        let best = List.fold_left (fun acc (s, _) -> max acc s) 0 scored in
+        pick st
+          (List.filter_map
+             (fun (s, n) -> if s >= best / 2 then Some n else None)
+             scored)
+  in
+  let attrs = Hierarchy.all_attribute_names h source in
+  let k = 1 + Random.State.int st (List.length attrs) in
+  let projection = sample st k attrs in
+  (source, List.sort Attr_name.compare projection)
+
+(* Populate a database with [n] objects of random types, integer slots
+   filled deterministically. *)
+let populate ?(seed = 7) db n =
+  let st = Random.State.make [| seed |] in
+  let schema = Tdp_store.Database.schema db in
+  let h = Schema.hierarchy schema in
+  let types =
+    List.filter
+      (fun t -> not (Type_def.is_surrogate (Hierarchy.find h t)))
+      (Hierarchy.type_names h)
+  in
+  List.init n (fun _ ->
+      let ty = pick st types in
+      let init =
+        List.map
+          (fun a ->
+            (Attribute.name a, Tdp_store.Value.Int (Random.State.int st 1000)))
+          (Hierarchy.all_attributes h ty)
+      in
+      Tdp_store.Database.new_object db ty ~init)

@@ -1,0 +1,39 @@
+(** Deterministic random schema and workload generation.
+
+    The paper evaluates its algorithms on worked examples only; the
+    scaling experiments (EXPERIMENTS.md, S1–S4) and the property-based
+    test suite need parameterized inputs.  Everything here is a pure
+    function of the config — the same seed always yields the same
+    schema, projection, or database. *)
+
+open Tdp_core
+
+type config = {
+  n_types : int;
+  max_supers : int;
+  attrs_per_type : int;
+  accessor_fraction : float;
+  writer_fraction : float;
+  n_gfs : int;
+  methods_per_gf : int;
+  max_params : int;
+  calls_per_body : int;
+  recursion : bool;
+  seed : int;
+}
+
+val default : config
+
+(** A valid schema (passes [Schema.validate_exn] and
+    [Typing.check_all_methods]): a DAG of [n_types] types with
+    multiple inheritance and precedences, accessors, and general
+    multi-methods whose bodies call accessors and each other. *)
+val generate : config -> Schema.t
+
+(** A projection workload: a (deep) source type and a random non-empty
+    subset of its cumulative attributes. *)
+val gen_projection : ?seed:int -> Schema.t -> Type_name.t * Attr_name.t list
+
+(** Create [n] objects of random non-surrogate types with integer
+    slots; returns their OIDs. *)
+val populate : ?seed:int -> Tdp_store.Database.t -> int -> Tdp_store.Oid.t list

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Applicability Attr_name Attribute Error Fmt Hierarchy List Method_def Schema Signature Tdp_core Type_def Type_name

@@ -1,0 +1,1 @@
+test/test_applicability.ml: Alcotest Applicability Attr_name Attribute Body Error Helpers Hierarchy List Method_def Schema Signature String Tdp_core Tdp_paper Type_def Value_type

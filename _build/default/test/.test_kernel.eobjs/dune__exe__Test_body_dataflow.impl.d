@@ -1,0 +1,1 @@
+test/test_body_dataflow.ml: Alcotest Attribute Body Dataflow Error Helpers Hierarchy List Method_def Schema Signature String Subtype_cache Tdp_core Tdp_paper Type_def Type_name Typing Value_type

@@ -1,0 +1,1 @@
+test/test_body_dataflow.mli:

@@ -1,0 +1,1 @@
+test/test_catalog.ml: Alcotest Body Error Helpers Hierarchy List Schema Tdp_algebra Tdp_core Tdp_paper Tdp_store Type_def Type_name Value_type

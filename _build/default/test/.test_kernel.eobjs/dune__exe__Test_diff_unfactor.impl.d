@@ -1,0 +1,1 @@
+test/test_diff_unfactor.ml: Alcotest Attr_name Attribute Diff Error Fmt Helpers Hierarchy List Method_def Projection Schema Signature String Tdp_algebra Tdp_core Tdp_paper Type_def Type_name

@@ -1,0 +1,1 @@
+test/test_dispatch.ml: Alcotest Attribute Body Helpers Hierarchy List Method_def Projection Schema Signature Tdp_core Tdp_dispatch Tdp_paper Type_def Type_name Value_type

@@ -1,0 +1,1 @@
+test/test_dump.ml: Alcotest Attr_name Attribute Fmt Helpers List QCheck QCheck_alcotest Schema String Tdp_core Tdp_paper Tdp_store Tdp_synth Type_def Value_type

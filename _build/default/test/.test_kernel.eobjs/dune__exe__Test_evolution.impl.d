@@ -1,0 +1,1 @@
+test/test_evolution.ml: Alcotest Attr_name Attribute Body Helpers Hierarchy List Method_def Option Schema Signature String Subtype_cache Tdp_algebra Tdp_core Tdp_paper Type_def Typing Value_type

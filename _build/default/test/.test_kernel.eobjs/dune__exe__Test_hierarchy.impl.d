@@ -1,0 +1,1 @@
+test/test_hierarchy.ml: Alcotest Attr_name Attribute Error Helpers Hierarchy List Option Subtype_cache Tdp_core Type_def Type_name Value_type

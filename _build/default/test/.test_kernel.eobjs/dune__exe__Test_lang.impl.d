@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Attr_name Body Error Generic_function Helpers Hierarchy List Method_def Schema String Tdp_algebra Tdp_core Tdp_lang Tdp_paper Type_name Typing

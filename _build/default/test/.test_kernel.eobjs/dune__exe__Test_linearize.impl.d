@@ -1,0 +1,1 @@
+test/test_linearize.ml: Alcotest Error Fmt Helpers Hierarchy Linearize List Schema String Tdp_core Tdp_paper Type_def Type_name

@@ -1,0 +1,1 @@
+test/test_paper.ml: Alcotest Applicability Attr_name Body Helpers Hierarchy List Method_def Schema Signature String Tdp_core Tdp_paper Type_name Typing Value_type

@@ -1,0 +1,1 @@
+test/test_pretty.ml: Alcotest Applicability Diff Dot Error Factor_methods Fmt Helpers Hierarchy List Projection Schema String Tdp_core Tdp_paper Type_def Type_name

@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest Body Error Generic_function Helpers List Method_def Schema Signature String Subtype_cache Tdp_core Tdp_paper Typing Value_type

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Attribute Body Helpers List Method_def Schema Signature String Tdp_core Tdp_lang Tdp_paper Tdp_store Type_def Type_name Value_type

@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Attribute Helpers Hierarchy List Schema Tdp_core Tdp_store Tdp_synth Typing

@@ -1,0 +1,56 @@
+open Tdp_core
+
+let ty = Type_name.of_string
+let at = Attr_name.of_string
+let key gf id = Method_def.Key.make gf id
+let keys l = Method_def.Key.Set.of_list (List.map (fun (g, i) -> key g i) l)
+
+let key_set =
+  Alcotest.testable
+    (fun ppf s ->
+      Fmt.pf ppf "{%a}"
+        Fmt.(list ~sep:comma Method_def.Key.pp)
+        (Method_def.Key.Set.elements s))
+    Method_def.Key.Set.equal
+
+let name_set =
+  Alcotest.testable
+    (fun ppf s ->
+      Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma Type_name.pp) (Type_name.Set.elements s))
+    Type_name.Set.equal
+
+let attr_names =
+  Alcotest.testable
+    (fun ppf l -> Fmt.pf ppf "[%a]" Fmt.(list ~sep:comma Attr_name.pp) l)
+    (List.equal Attr_name.equal)
+
+let supers_t =
+  Alcotest.testable
+    (fun ppf l ->
+      Fmt.pf ppf "[%a]"
+        Fmt.(list ~sep:comma (fun ppf (n, p) -> Fmt.pf ppf "%a@%d" Type_name.pp n p))
+        l)
+    (List.equal (fun (n, p) (m, q) -> Type_name.equal n m && p = q))
+
+(* Assert a type's local attributes (names, in order) and supertype list. *)
+let check_type h name ~attrs ~supers =
+  let def = Hierarchy.find h (ty name) in
+  Alcotest.check attr_names
+    (name ^ " local attrs")
+    (List.map at attrs)
+    (List.map Attribute.name (Type_def.attrs def));
+  Alcotest.check supers_t (name ^ " supers")
+    (List.map (fun (s, p) -> (ty s, p)) supers)
+    (Type_def.supers def)
+
+let check_applicability (r : Applicability.result) ~applicable ~not_applicable =
+  Alcotest.check key_set "applicable" (keys applicable) r.applicable;
+  Alcotest.check key_set "not applicable" (keys not_applicable) r.not_applicable
+
+let method_param_types schema gf id =
+  let m = Schema.find_method schema (key gf id) in
+  List.map Type_name.to_string (Signature.param_types (Method_def.signature m))
+
+let run_or_fail = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %a" Error.pp e

@@ -1,0 +1,533 @@
+open Tdp_core
+module View = Tdp_algebra.View
+module Pred = Tdp_algebra.Pred
+module Optimize = Tdp_algebra.Optimize
+module Database = Tdp_store.Database
+module Value = Tdp_store.Value
+open Helpers
+
+let fig1 = Tdp_paper.Fig1.schema
+
+let emp_db () =
+  let db = Database.create fig1 in
+  let mk ssn dob rate hrs =
+    Database.new_object db (ty "Employee")
+      ~init:
+        [ (at "ssn", Value.Int ssn);
+          (at "date_of_birth", Value.Date dob);
+          (at "pay_rate", Value.Float rate);
+          (at "hrs_worked", Value.Float hrs)
+        ]
+  in
+  let e1 = mk 1 1970 50.0 10.0 in
+  let e2 = mk 2 1990 60.0 20.0 in
+  let e3 = mk 3 1960 70.0 30.0 in
+  (db, [ e1; e2; e3 ])
+
+(* ------------------------------------------------------------------ *)
+(* Predicates                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_pred_attrs_and_check () =
+  let p =
+    Pred.And
+      ( Pred.cmp (at "ssn") Pred.Eq (Body.Int 1),
+        Pred.Not (Pred.cmp (at "pay_rate") Pred.Gt (Body.Float 10.0)) )
+  in
+  Alcotest.(check int) "two attrs" 2 (Attr_name.Set.cardinal (Pred.attrs p));
+  Pred.check_exn (Schema.hierarchy fig1) (ty "Employee") p;
+  match Pred.check_exn (Schema.hierarchy fig1) (ty "Person") p with
+  | exception Error.E (Attribute_not_available _) -> ()
+  | _ -> Alcotest.fail "pay_rate is not available at Person"
+
+let test_pred_typing () =
+  let h = Schema.hierarchy fig1 in
+  (* ordering a string attribute is rejected *)
+  (match
+     Pred.check_exn h (ty "Person") (Pred.cmp (at "name") Pred.Lt (Body.String "z"))
+   with
+  | exception Error.E (Invariant_violation _) -> ()
+  | _ -> Alcotest.fail "ordering on strings must fail");
+  (* equality on strings is fine *)
+  Pred.check_exn h (ty "Person") (Pred.cmp (at "name") Pred.Eq (Body.String "z"));
+  (* int literal against a date attribute is fine (year semantics) *)
+  Pred.check_exn h (ty "Person")
+    (Pred.cmp (at "date_of_birth") Pred.Le (Body.Int 1980));
+  (* kind mismatch is rejected *)
+  match
+    Pred.check_exn h (ty "Person") (Pred.cmp (at "ssn") Pred.Eq (Body.String "x"))
+  with
+  | exception Error.E (Invariant_violation _) -> ()
+  | _ -> Alcotest.fail "string literal against int attribute must fail"
+
+let test_pred_eval () =
+  let db, oids = emp_db () in
+  let old = Pred.cmp (at "date_of_birth") Pred.Le (Body.Int 1975) in
+  let matching = List.filter (fun o -> Pred.eval db o old) oids in
+  Alcotest.(check int) "two old employees" 2 (List.length matching)
+
+(* ------------------------------------------------------------------ *)
+(* View derivation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let emp_view =
+  View.Project
+    (View.Base (ty "Employee"), List.map at [ "ssn"; "date_of_birth"; "pay_rate" ])
+
+let seniors_view =
+  View.Select (emp_view, Pred.cmp (at "date_of_birth") Pred.Le (Body.Int 1975))
+
+let test_derive_base () =
+  let o = View.derive_exn fig1 ~view:"b" (View.Base (ty "Employee")) in
+  Alcotest.(check string) "identity" "Employee" (Type_name.to_string o.name);
+  Alcotest.(check int) "no steps" 0 (List.length o.steps)
+
+let test_derive_select_over_project () =
+  let o =
+    View.derive_exn fig1 ~view:"seniors" ~name:(ty "Seniors") seniors_view
+  in
+  let h = Schema.hierarchy o.schema in
+  Alcotest.(check bool) "Seniors exists" true (Hierarchy.mem h (ty "Seniors"));
+  (* a selection type adds no state *)
+  Alcotest.check attr_names "same state as the projection"
+    (List.map at [ "date_of_birth"; "pay_rate"; "ssn" ])
+    (List.sort Attr_name.compare (Hierarchy.all_attribute_names h (ty "Seniors")));
+  Alcotest.(check int) "two steps" 2 (List.length o.steps)
+
+let test_instances_identity_semantics () =
+  let db, oids = emp_db () in
+  let o = View.derive_exn fig1 ~view:"seniors" ~name:(ty "Seniors") seniors_view in
+  Database.set_schema db o.schema;
+  (* projection keeps all three, selection keeps the two old ones *)
+  Alcotest.(check int) "project keeps identity" 3
+    (List.length (View.instances db emp_view));
+  let seniors = View.instances db seniors_view in
+  Alcotest.(check int) "selection filters" 2 (List.length seniors);
+  List.iter
+    (fun o -> Alcotest.(check bool) "original oid" true (List.mem o oids))
+    seniors
+
+let test_materialize () =
+  let db, _ = emp_db () in
+  let o = View.derive_exn fig1 ~view:"v" ~name:(ty "EmpView") emp_view in
+  Database.set_schema db o.schema;
+  let copies = View.materialize db ~view_type:(ty "EmpView") emp_view in
+  Alcotest.(check int) "three copies" 3 (List.length copies);
+  List.iter
+    (fun c ->
+      Alcotest.(check string) "copy type" "EmpView"
+        (Type_name.to_string (Database.type_of db c));
+      match Database.get_attr db c (at "hrs_worked") with
+      | exception Database.Store_error _ -> ()
+      | _ -> Alcotest.fail "copies must not carry unprojected state")
+    copies
+
+let test_duplicate_view_name () =
+  match View.derive_exn fig1 ~view:"v" ~name:(ty "Person") seniors_view with
+  | exception Error.E (Duplicate_type _) -> ()
+  | _ -> Alcotest.fail "expected Duplicate_type"
+
+(* ------------------------------------------------------------------ *)
+(* Empty-surrogate collapse (Section 7 open problem)                   *)
+(* ------------------------------------------------------------------ *)
+
+let chained_projections k =
+  (* Π over Fig 3's A, then repeatedly re-project the view dropping one
+     attribute: piles up empty surrogates. *)
+  let rec go schema source attrs i =
+    if i = k then schema
+    else
+      let projection = if List.length attrs > 1 && i > 0 then List.tl attrs else attrs in
+      let name = ty (Fmt.str "V%d" i) in
+      let o =
+        Projection.project_exn schema ~view:(Fmt.str "v%d" i) ~derived_name:name
+          ~source ~projection ()
+      in
+      go o.schema name projection (i + 1)
+  in
+  go Tdp_paper.Fig3.schema (ty "A") (List.map at [ "a2"; "e2"; "h2" ]) 0
+  |> fun s -> (s, List.init k (fun i -> ty (Fmt.str "V%d" i)))
+
+let test_collapse_reduces_empty_surrogates () =
+  let schema, views = chained_projections 3 in
+  let before = Optimize.empty_surrogate_count schema in
+  let collapsed, removed =
+    Optimize.collapse_exn ~protect:(Type_name.Set.of_list views) schema
+  in
+  let after = Optimize.empty_surrogate_count collapsed in
+  Alcotest.(check bool) "some empty surrogates existed" true (before > 0);
+  Alcotest.(check bool) "collapse removed some" true (List.length removed > 0);
+  Alcotest.(check bool) "fewer remain" true (after < before);
+  (* protected view types survive *)
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Type_name.to_string v ^ " survives")
+        true
+        (Hierarchy.mem (Schema.hierarchy collapsed) v))
+    views;
+  Hierarchy.validate_exn (Schema.hierarchy collapsed)
+
+let test_collapse_preserves_state_and_subtyping () =
+  (* collapse_exn re-checks this itself; here we assert independently
+     on cumulative state of the original eight types. *)
+  let schema, views = chained_projections 2 in
+  let collapsed, _ =
+    Optimize.collapse_exn ~protect:(Type_name.Set.of_list views) schema
+  in
+  List.iter
+    (fun n ->
+      let names h = List.sort Attr_name.compare (Hierarchy.all_attribute_names h (ty n)) in
+      Alcotest.check attr_names n
+        (names (Schema.hierarchy schema))
+        (names (Schema.hierarchy collapsed)))
+    [ "A"; "B"; "C"; "D"; "E"; "F"; "G"; "H" ]
+
+let test_collapse_keeps_mentioned_types () =
+  let o = Tdp_paper.Fig3.project () in
+  (* B_hat and C_hat carry no state but appear in rewritten method
+     signatures: they must survive. *)
+  let collapsed, _ =
+    Optimize.collapse_exn ~protect:(Type_name.Set.singleton o.derived) o.schema
+  in
+  let h = Schema.hierarchy collapsed in
+  Alcotest.(check bool) "B_hat survives (u3 mentions it)" true
+    (Hierarchy.mem h (ty "B_hat"));
+  Alcotest.(check bool) "C_hat survives (v1, w2 mention it)" true
+    (Hierarchy.mem h (ty "C_hat"))
+
+let test_collapse_noop_on_clean_schema () =
+  let _, removed = Optimize.collapse_exn Tdp_paper.Fig3.schema in
+  Alcotest.(check int) "nothing to collapse" 0 (List.length removed)
+
+(* ------------------------------------------------------------------ *)
+(* Generalization (upward inheritance, ref [17])                       *)
+(* ------------------------------------------------------------------ *)
+
+module Generalize = Tdp_algebra.Generalize
+
+(* Student and Instructor share Person's attributes. *)
+let campus_schema () =
+  let attr n t = Attribute.make (at n) t in
+  let h = Hierarchy.empty in
+  let h =
+    Hierarchy.add h
+      (Type_def.make
+         ~attrs:[ attr "pid" Value_type.int; attr "pname" Value_type.string ]
+         (ty "Person"))
+  in
+  let h =
+    Hierarchy.add h
+      (Type_def.make ~attrs:[ attr "gpa" Value_type.float ]
+         ~supers:[ (ty "Person", 1) ] (ty "Student"))
+  in
+  let h =
+    Hierarchy.add h
+      (Type_def.make ~attrs:[ attr "salary" Value_type.float ]
+         ~supers:[ (ty "Person", 1) ] (ty "Instructor"))
+  in
+  let s = Schema.with_hierarchy Schema.empty h in
+  let s =
+    Schema.add_method s
+      (Method_def.reader ~gf:"get_pid" ~id:"get_pid" ~param:"self"
+         ~param_type:(ty "Person") ~attr:(at "pid") ~result:Value_type.int)
+  in
+  let s =
+    Schema.add_method s
+      (Method_def.reader ~gf:"get_gpa" ~id:"get_gpa" ~param:"self"
+         ~param_type:(ty "Student") ~attr:(at "gpa") ~result:Value_type.float)
+  in
+  let s =
+    Schema.add_method s
+      (Method_def.make ~gf:"badge" ~id:"badge"
+         ~signature:(Signature.make ~result:Value_type.int [ ("p", ty "Person") ])
+         (General [ Body.return_ (Body.call "get_pid" [ Body.var "p" ]) ]))
+  in
+  s
+
+let test_generalize_basic () =
+  let s = campus_schema () in
+  let o =
+    Generalize.generalize_exn s ~view:"affiliates" ~name:(ty "Affiliate")
+      (ty "Student") (ty "Instructor")
+  in
+  Alcotest.check attr_names "common attrs" [ at "pid"; at "pname" ]
+    (List.sort Attr_name.compare o.common);
+  let h = Schema.hierarchy o.schema in
+  Alcotest.check attr_names "Affiliate state = common"
+    [ at "pid"; at "pname" ]
+    (List.sort Attr_name.compare (Hierarchy.all_attribute_names h (ty "Affiliate")));
+  Alcotest.(check bool) "Student ⪯ Affiliate" true
+    (Hierarchy.subtype h (ty "Student") (ty "Affiliate"));
+  Alcotest.(check bool) "Instructor ⪯ Affiliate" true
+    (Hierarchy.subtype h (ty "Instructor") (ty "Affiliate"));
+  (* operands keep their state *)
+  List.iter
+    (fun (n, want) ->
+      Alcotest.(check int) (n ^ " state size") want
+        (List.length (Hierarchy.all_attribute_names h (ty n))))
+    [ ("Student", 3); ("Instructor", 3); ("Person", 2) ];
+  (* behavior: badge reads only pid, so it serves Affiliates; get_gpa
+     does not *)
+  let cache = Subtype_cache.create h in
+  let applicable =
+    List.map Method_def.id
+      (Schema.methods_applicable_to_type o.schema cache (ty "Affiliate"))
+  in
+  Alcotest.(check bool) "badge applicable" true (List.mem "badge" applicable);
+  Alcotest.(check bool) "get_gpa not applicable" false
+    (List.mem "get_gpa" applicable)
+
+let test_generalize_union_extent () =
+  let s = campus_schema () in
+  let o =
+    Generalize.generalize_exn s ~view:"affiliates" ~name:(ty "Affiliate")
+      (ty "Student") (ty "Instructor")
+  in
+  let db = Database.create o.schema in
+  let mk t extra =
+    Database.new_object db (ty t)
+      ~init:((at "pid", Value.Int 1) :: (at "pname", Value.String "x") :: extra)
+  in
+  let st = mk "Student" [ (at "gpa", Value.Float 3.0) ] in
+  let inst = mk "Instructor" [ (at "salary", Value.Float 10.0) ] in
+  let p =
+    Database.new_object db (ty "Person")
+      ~init:[ (at "pid", Value.Int 3); (at "pname", Value.String "p") ]
+  in
+  let ext = Database.extent db (ty "Affiliate") in
+  Alcotest.(check bool) "student in union" true (List.mem st ext);
+  Alcotest.(check bool) "instructor in union" true (List.mem inst ext);
+  Alcotest.(check bool) "plain person not in union" false (List.mem p ext)
+
+let test_generalize_errors () =
+  let s = campus_schema () in
+  (match
+     Generalize.generalize s ~view:"v" ~name:(ty "Person") (ty "Student")
+       (ty "Instructor")
+   with
+  | Error (Duplicate_type _) -> ()
+  | _ -> Alcotest.fail "expected Duplicate_type");
+  (* no shared attributes *)
+  let s2 =
+    Schema.add_type s (Type_def.make ~attrs:[ Attribute.make (at "z") Value_type.int ] (ty "Alien"))
+  in
+  match
+    Generalize.generalize s2 ~view:"v" ~name:(ty "U") (ty "Student") (ty "Alien")
+  with
+  | Error (Invariant_violation _) -> ()
+  | _ -> Alcotest.fail "expected no-common-attributes failure"
+
+let suite_pred =
+  [ Alcotest.test_case "attrs and check" `Quick test_pred_attrs_and_check;
+    Alcotest.test_case "typing" `Quick test_pred_typing;
+    Alcotest.test_case "eval" `Quick test_pred_eval
+  ]
+
+let suite_view =
+  [ Alcotest.test_case "base" `Quick test_derive_base;
+    Alcotest.test_case "select over project" `Quick test_derive_select_over_project;
+    Alcotest.test_case "identity instances" `Quick test_instances_identity_semantics;
+    Alcotest.test_case "materialize" `Quick test_materialize;
+    Alcotest.test_case "duplicate view name" `Quick test_duplicate_view_name
+  ]
+
+let suite_optimize =
+  [ Alcotest.test_case "reduces empty surrogates" `Quick
+      test_collapse_reduces_empty_surrogates;
+    Alcotest.test_case "preserves state and subtyping" `Quick
+      test_collapse_preserves_state_and_subtyping;
+    Alcotest.test_case "keeps mentioned types" `Quick test_collapse_keeps_mentioned_types;
+    Alcotest.test_case "no-op on clean schema" `Quick test_collapse_noop_on_clean_schema
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Materialized view maintenance                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Matview = Tdp_algebra.Matview
+
+let test_matview_lifecycle () =
+  let db, oids = emp_db () in
+  let o = View.derive_exn fig1 ~view:"v" ~name:(ty "SeniorsM") seniors_view in
+  Database.set_schema db o.schema;
+  let mv = Matview.create db ~view_type:(ty "SeniorsM") seniors_view in
+  (* e1 (1970) and e3 (1960) qualify initially *)
+  Alcotest.(check int) "two copies" 2 (List.length (Matview.copies mv));
+  (* no-op refresh *)
+  let s = Matview.refresh db mv in
+  Alcotest.(check bool) "steady state" true (s = Matview.no_change);
+  (* update a source attribute visible in the view: copy is updated *)
+  let e1 = List.nth oids 0 in
+  Database.set_attr db e1 (at "pay_rate") (Value.Float 99.0);
+  let s = Matview.refresh db mv in
+  Alcotest.(check int) "one update" 1 s.updated;
+  let copy_of_e1 = Tdp_store.Oid.Map.find e1 (Matview.mapping mv) in
+  Alcotest.(check bool) "copy sees new pay rate" true
+    (Value.equal (Database.get_attr db copy_of_e1 (at "pay_rate")) (Value.Float 99.0));
+  (* move a source out of the selection: its copy is removed *)
+  Database.set_attr db e1 (at "date_of_birth") (Value.Date 2000);
+  let s = Matview.refresh db mv in
+  Alcotest.(check int) "one removal" 1 s.removed;
+  Alcotest.(check int) "one copy left" 1 (List.length (Matview.copies mv));
+  (* a new qualifying employee appears: one addition *)
+  let _e4 =
+    Database.new_object db (ty "Employee")
+      ~init:
+        [ (at "ssn", Value.Int 4);
+          (at "date_of_birth", Value.Date 1950);
+          (at "pay_rate", Value.Float 10.0);
+          (at "hrs_worked", Value.Float 1.0)
+        ]
+  in
+  let s = Matview.refresh db mv in
+  Alcotest.(check int) "one addition" 1 s.added;
+  Alcotest.(check int) "two copies again" 2 (List.length (Matview.copies mv));
+  (* copy identity is stable across refreshes *)
+  let e3 = List.nth oids 2 in
+  let copy_before = Tdp_store.Oid.Map.find e3 (Matview.mapping mv) in
+  ignore (Matview.refresh db mv);
+  Alcotest.(check bool) "stable copy identity" true
+    (Tdp_store.Oid.equal copy_before (Tdp_store.Oid.Map.find e3 (Matview.mapping mv)))
+
+let suite_matview =
+  [ Alcotest.test_case "lifecycle" `Quick test_matview_lifecycle ]
+
+(* ------------------------------------------------------------------ *)
+(* Join                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Join = Tdp_algebra.Join
+
+let join_schema () =
+  let attr n t = Attribute.make (at n) t in
+  let h = Hierarchy.empty in
+  let h =
+    Hierarchy.add h
+      (Type_def.make
+         ~attrs:[ attr "eid" Value_type.int; attr "dept_id" Value_type.int ]
+         (ty "Emp"))
+  in
+  let h =
+    Hierarchy.add h
+      (Type_def.make
+         ~attrs:[ attr "dept_no" Value_type.int; attr "dname" Value_type.string ]
+         (ty "Dept"))
+  in
+  Schema.with_hierarchy Schema.empty h
+
+let test_join_derive () =
+  let s = join_schema () in
+  let o = Join.derive_exn s ~name:(ty "EmpDept") (ty "Emp") (ty "Dept") in
+  let h = Schema.hierarchy o.schema in
+  Alcotest.(check bool) "J ⪯ Emp" true (Hierarchy.subtype h (ty "EmpDept") (ty "Emp"));
+  Alcotest.(check bool) "J ⪯ Dept" true
+    (Hierarchy.subtype h (ty "EmpDept") (ty "Dept"));
+  Alcotest.check attr_names "combined state"
+    (List.map at [ "dept_id"; "dept_no"; "dname"; "eid" ])
+    (List.sort Attr_name.compare (Hierarchy.all_attribute_names h (ty "EmpDept")));
+  (* existing types untouched *)
+  Alcotest.(check int) "Emp unchanged" 2
+    (List.length (Hierarchy.all_attribute_names h (ty "Emp")));
+  Alcotest.(check int) "no ambiguities" 0 (List.length o.ambiguities)
+
+let test_join_method_precedence () =
+  (* When both operands define a method of the same generic function,
+     the join's supertype precedence (left = 1) decides: the left
+     operand's method shadows the right's for join instances — the
+     CLOS resolution the paper's Section 2 precedence relation exists
+     for.  No ambiguity is reported because the order is total. *)
+  let s = join_schema () in
+  let mk id on =
+    Method_def.make ~gf:"describe" ~id
+      ~signature:(Signature.make [ ("x", ty on) ])
+      (General [ Body.return_unit ])
+  in
+  let s = Schema.add_method s (mk "d_emp" "Emp") in
+  let s = Schema.add_method s (mk "d_dept" "Dept") in
+  let o = Join.derive_exn s ~name:(ty "EmpDept") (ty "Emp") (ty "Dept") in
+  Alcotest.(check int) "no ambiguity: precedence resolves" 0
+    (List.length o.ambiguities);
+  let d = Tdp_dispatch.Dispatch.create o.schema in
+  (match
+     Tdp_dispatch.Dispatch.most_specific d ~gf:"describe"
+       ~arg_types:[ ty "EmpDept" ]
+   with
+  | Some m ->
+      Alcotest.(check string) "left operand shadows" "d_emp" (Method_def.id m)
+  | None -> Alcotest.fail "no method");
+  (* swapping the operands swaps the winner *)
+  let o2 = Join.derive_exn s ~name:(ty "DeptEmp") (ty "Dept") (ty "Emp") in
+  let d2 = Tdp_dispatch.Dispatch.create o2.schema in
+  match
+    Tdp_dispatch.Dispatch.most_specific d2 ~gf:"describe"
+      ~arg_types:[ ty "DeptEmp" ]
+  with
+  | Some m -> Alcotest.(check string) "swapped winner" "d_dept" (Method_def.id m)
+  | None -> Alcotest.fail "no method"
+
+let test_join_errors () =
+  let s = join_schema () in
+  (match Join.derive s ~name:(ty "Emp") (ty "Emp") (ty "Dept") with
+  | Error (Duplicate_type _) -> ()
+  | _ -> Alcotest.fail "expected Duplicate_type");
+  (* related operands *)
+  let o = Tdp_paper.Fig1.schema in
+  match Join.derive o ~name:(ty "J") (ty "Employee") (ty "Person") with
+  | Error (Invariant_violation _) -> ()
+  | _ -> Alcotest.fail "expected related-operands failure"
+
+let test_join_materialize () =
+  let s = join_schema () in
+  let o = Join.derive_exn s ~name:(ty "EmpDept") (ty "Emp") (ty "Dept") in
+  let db = Database.create o.schema in
+  let emp eid dept =
+    Database.new_object db (ty "Emp")
+      ~init:[ (at "eid", Value.Int eid); (at "dept_id", dept) ]
+  in
+  let dept no name =
+    Database.new_object db (ty "Dept")
+      ~init:[ (at "dept_no", Value.Int no); (at "dname", Value.String name) ]
+  in
+  let _e1 = emp 1 (Value.Int 10) in
+  let _e2 = emp 2 (Value.Int 20) in
+  let _e3 = emp 3 Value.Null in
+  let _d10 = dept 10 "db" in
+  let _d30 = dept 30 "os" in
+  let joined =
+    Join.materialize_exn db ~join_type:(ty "EmpDept")
+      ~on:[ (at "dept_id", at "dept_no") ]
+      ~left:(ty "Emp") ~right:(ty "Dept")
+  in
+  (* only e1×d10 matches; e2 has no dept, e3 is Null *)
+  Alcotest.(check int) "one pair" 1 (List.length joined);
+  let j = List.hd joined in
+  Alcotest.(check bool) "combined slots" true
+    (Value.equal (Database.get_attr db j (at "eid")) (Value.Int 1)
+    && Value.equal (Database.get_attr db j (at "dname")) (Value.String "db"));
+  (* the join objects are in both operand extents *)
+  Alcotest.(check bool) "join object is an Emp" true
+    (List.mem j (Database.extent db (ty "Emp")))
+
+let suite_join =
+  [ Alcotest.test_case "derive" `Quick test_join_derive;
+    Alcotest.test_case "method precedence" `Quick test_join_method_precedence;
+    Alcotest.test_case "errors" `Quick test_join_errors;
+    Alcotest.test_case "materialize" `Quick test_join_materialize
+  ]
+
+let suite_generalize =
+  [ Alcotest.test_case "basic" `Quick test_generalize_basic;
+    Alcotest.test_case "union extent" `Quick test_generalize_union_extent;
+    Alcotest.test_case "errors" `Quick test_generalize_errors
+  ]
+
+let () =
+  Alcotest.run "algebra"
+    [ ("pred", suite_pred);
+      ("view", suite_view);
+      ("optimize", suite_optimize);
+      ("generalize", suite_generalize);
+      ("matview", suite_matview);
+      ("join", suite_join)
+    ]

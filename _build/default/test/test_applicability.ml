@@ -1,0 +1,289 @@
+open Tdp_core
+open Helpers
+
+(* Builders for small focused schemas. *)
+
+let attr n = Attribute.make (at n) Value_type.int
+
+let add_general schema ~gf ~id params body =
+  Schema.add_method schema
+    (Method_def.make ~gf ~id
+       ~signature:(Signature.make (List.map (fun (x, t) -> (x, ty t)) params))
+       (General body))
+
+let add_reader schema ~gf ~on ~a =
+  Schema.add_method schema
+    (Method_def.reader ~gf ~id:gf ~param:"self" ~param_type:(ty on) ~attr:(at a)
+       ~result:Value_type.int)
+
+(* A ⪯ B; A has x and y, B has z. *)
+let ab_schema () =
+  let h = Hierarchy.empty in
+  let h = Hierarchy.add h (Type_def.make ~attrs:[ attr "z" ] (ty "B")) in
+  let h =
+    Hierarchy.add h
+      (Type_def.make ~attrs:[ attr "x"; attr "y" ] ~supers:[ (ty "B", 1) ] (ty "A"))
+  in
+  let s = Schema.with_hierarchy Schema.empty h in
+  let s = add_reader s ~gf:"get_x" ~on:"A" ~a:"x" in
+  let s = add_reader s ~gf:"get_y" ~on:"A" ~a:"y" in
+  let s = add_reader s ~gf:"get_z" ~on:"B" ~a:"z" in
+  s
+
+let analyze schema source projection =
+  Applicability.analyze_exn schema ~source:(ty source)
+    ~projection:(List.map at projection)
+
+let test_accessor_in_list () =
+  let r = analyze (ab_schema ()) "A" [ "x" ] in
+  Alcotest.(check bool) "get_x applicable" true
+    (Applicability.status r (key "get_x" "get_x") = `Applicable);
+  Alcotest.(check bool) "get_y not" true
+    (Applicability.status r (key "get_y" "get_y") = `Not_applicable);
+  Alcotest.(check bool) "get_z not" true
+    (Applicability.status r (key "get_z" "get_z") = `Not_applicable)
+
+let test_unknown_is_reported_for_untested () =
+  let r = analyze (ab_schema ()) "A" [ "x" ] in
+  Alcotest.(check bool) "never-seen method is unknown" true
+    (Applicability.status r (key "nope" "nope") = `Unknown)
+
+(* The paper's Section 4, case 1: mk(B) with body {n(B)}.  The only
+   method of n is n1(A), which is NOT applicable to the call n(B) —
+   but IS applicable to the substituted call n(A).  mk must therefore
+   be applicable. *)
+let test_case1_substitution () =
+  let s = ab_schema () in
+  let s =
+    add_general s ~gf:"n" ~id:"n1" [ ("a", "A") ]
+      [ Body.expr (Body.call "get_x" [ Body.var "a" ]) ]
+  in
+  let s =
+    add_general s ~gf:"mk" ~id:"mk1" [ ("b", "B") ]
+      [ Body.expr (Body.call "n" [ Body.var "b" ]) ]
+  in
+  let r = analyze s "A" [ "x" ] in
+  Alcotest.(check bool) "mk1 applicable via substitution" true
+    (Applicability.status r (key "mk" "mk1") = `Applicable);
+  (* … and the chain collapses if the accessor misses the list. *)
+  let r2 = analyze s "A" [ "y" ] in
+  Alcotest.(check bool) "mk1 not applicable when get_x misses" true
+    (Applicability.status r2 (key "mk" "mk1") = `Not_applicable)
+
+(* Section 4, case 2: with two relevant argument positions the
+   candidate set must be taken from the unsubstituted call.  n1(A,B)
+   is applicable to n(A,A)… but not to n(B,A) or n(A,B)… wait — we
+   need the converse: a method applicable only when BOTH positions are
+   substituted must not count. *)
+let test_case2_no_single_substitution () =
+  let s = ab_schema () in
+  (* n1(A, A): applicable to the full substitution n(A,A) only. *)
+  let s =
+    add_general s ~gf:"n" ~id:"n1"
+      [ ("p", "A"); ("q", "A") ]
+      [ Body.expr (Body.call "get_x" [ Body.var "p" ]) ]
+  in
+  (* mk(B, B) calls n(b1, b2): both positions relevant; candidates must
+     be the methods applicable to n(B, B) — none — so mk is NOT
+     applicable, even though n(A,A) would have an applicable method. *)
+  let s =
+    add_general s ~gf:"mk" ~id:"mk1"
+      [ ("b1", "B"); ("b2", "B") ]
+      [ Body.expr (Body.call "n" [ Body.var "b1"; Body.var "b2" ]) ]
+  in
+  let r = analyze s "A" [ "x" ] in
+  Alcotest.(check bool) "mk1 not applicable (case 2)" true
+    (Applicability.status r (key "mk" "mk1") = `Not_applicable);
+  Alcotest.(check bool) "n1 itself applicable" true
+    (Applicability.status r (key "n" "n1") = `Applicable)
+
+let test_case2_covered_by_supertype_method () =
+  let s = ab_schema () in
+  (* n2(B, B) is applicable to the unsubstituted call and bottoms out
+     on an attribute in the projection list. *)
+  let s =
+    add_general s ~gf:"n" ~id:"n2"
+      [ ("p", "B"); ("q", "B") ]
+      [ Body.expr (Body.call "get_z" [ Body.var "p" ]) ]
+  in
+  let s =
+    add_general s ~gf:"mk" ~id:"mk1"
+      [ ("b1", "B"); ("b2", "B") ]
+      [ Body.expr (Body.call "n" [ Body.var "b1"; Body.var "b2" ]) ]
+  in
+  let r = analyze s "A" [ "x"; "z" ] in
+  Alcotest.(check bool) "mk1 applicable via n2" true
+    (Applicability.status r (key "mk" "mk1") = `Applicable)
+
+(* Direct recursion: the optimistic (greatest-fixpoint) reading makes a
+   self-recursive method applicable when nothing falsifies it. *)
+let test_direct_recursion_applicable () =
+  let s = ab_schema () in
+  let s =
+    add_general s ~gf:"r" ~id:"r1" [ ("a", "A") ]
+      [ Body.expr (Body.call "get_x" [ Body.var "a" ]);
+        Body.expr (Body.call "r" [ Body.var "a" ])
+      ]
+  in
+  let r = analyze s "A" [ "x" ] in
+  Alcotest.(check bool) "self-recursive method applicable" true
+    (Applicability.status r (key "r" "r1") = `Applicable)
+
+let test_direct_recursion_failing_accessor () =
+  let s = ab_schema () in
+  let s =
+    add_general s ~gf:"r" ~id:"r1" [ ("a", "A") ]
+      [ Body.expr (Body.call "get_y" [ Body.var "a" ]);
+        Body.expr (Body.call "r" [ Body.var "a" ])
+      ]
+  in
+  let r = analyze s "A" [ "x" ] in
+  Alcotest.(check bool) "failing accessor dooms the cycle" true
+    (Applicability.status r (key "r" "r1") = `Not_applicable)
+
+(* Mutual recursion through two generic functions, both viable. *)
+let test_mutual_recursion_applicable () =
+  let s = ab_schema () in
+  let s =
+    add_general s ~gf:"p" ~id:"p1" [ ("a", "A") ]
+      [ Body.expr (Body.call "q" [ Body.var "a" ]) ]
+  in
+  let s =
+    add_general s ~gf:"q" ~id:"q1" [ ("a", "A") ]
+      [ Body.expr (Body.call "p" [ Body.var "a" ]) ]
+  in
+  let r = analyze s "A" [ "x" ] in
+  Alcotest.(check bool) "p1 applicable" true
+    (Applicability.status r (key "p" "p1") = `Applicable);
+  Alcotest.(check bool) "q1 applicable" true
+    (Applicability.status r (key "q" "q1") = `Applicable)
+
+(* A call whose arguments carry no formal of the source type is not
+   relevant: its (non-)applicability must not affect the verdict. *)
+let test_irrelevant_call_ignored () =
+  let s = ab_schema () in
+  let s = Schema.map_hierarchy s (fun h -> Hierarchy.add h (Type_def.make (ty "Z"))) in
+  (* other(a) returns a Z; gf "sink" has NO applicable method for Z.
+     The inner call other(a) is relevant (its argument is the formal),
+     so "other" needs an applicable method of its own; the outer call
+     sink(…) receives a fresh call result and is NOT relevant. *)
+  let s =
+    Schema.add_method s
+      (Method_def.make ~gf:"other" ~id:"other1"
+         ~signature:
+           (Signature.make ~result:(Value_type.named (ty "Z")) [ ("a", ty "A") ])
+         (General [ Body.expr (Body.call "get_x" [ Body.var "a" ]) ]))
+  in
+  let s =
+    add_general s ~gf:"sink" ~id:"sink1" [ ("a", "A") ]
+      [ Body.expr (Body.call "get_x" [ Body.var "a" ]) ]
+  in
+  let s =
+    add_general s ~gf:"mk" ~id:"mk1" [ ("a", "A") ]
+      [ Body.expr (Body.call "sink" [ Body.call "other" [ Body.var "a" ] ]);
+        Body.expr (Body.call "get_x" [ Body.var "a" ])
+      ]
+  in
+  let r = analyze s "A" [ "x" ] in
+  Alcotest.(check bool) "mk1 applicable despite unserved inner call" true
+    (Applicability.status r (key "mk" "mk1") = `Applicable)
+
+(* Writers participate like readers. *)
+let test_writer_applicability () =
+  let s = ab_schema () in
+  let s =
+    Schema.add_method s
+      (Method_def.writer ~gf:"set_x" ~id:"set_x" ~param:"self" ~param_type:(ty "A")
+         ~attr:(at "x"))
+  in
+  let s =
+    add_general s ~gf:"mk" ~id:"mk1" [ ("a", "A") ]
+      [ Body.expr (Body.call "set_x" [ Body.var "a"; Body.int 1 ]) ]
+  in
+  let r = analyze s "A" [ "x" ] in
+  Alcotest.(check bool) "set_x applicable" true
+    (Applicability.status r (key "set_x" "set_x") = `Applicable);
+  Alcotest.(check bool) "caller applicable" true
+    (Applicability.status r (key "mk" "mk1") = `Applicable);
+  let r2 = analyze s "A" [ "y" ] in
+  Alcotest.(check bool) "set_x not applicable without x" true
+    (Applicability.status r2 (key "set_x" "set_x") = `Not_applicable)
+
+let test_empty_projection_error () =
+  match analyze (ab_schema ()) "A" [] with
+  | exception Error.E Empty_projection -> ()
+  | _ -> Alcotest.fail "expected Empty_projection"
+
+let test_unavailable_attr_error () =
+  match analyze (ab_schema ()) "B" [ "x" ] with
+  | exception Error.E (Attribute_not_available { attr; _ }) ->
+      Alcotest.(check string) "attr" "x" (Attr_name.to_string attr)
+  | _ -> Alcotest.fail "expected Attribute_not_available"
+
+let test_candidates_are_type_applicable () =
+  let r = analyze (ab_schema ()) "A" [ "x" ] in
+  Alcotest.check key_set "candidates"
+    (keys [ ("get_x", "get_x"); ("get_y", "get_y"); ("get_z", "get_z") ])
+    r.candidates
+
+let test_every_candidate_classified () =
+  let o = Tdp_paper.Fig3.project () in
+  let r = o.analysis in
+  Method_def.Key.Set.iter
+    (fun k ->
+      match Applicability.status r k with
+      | `Applicable | `Not_applicable -> ()
+      | `Unknown -> Alcotest.failf "candidate %a left unknown" Method_def.Key.pp k)
+    r.candidates
+
+let test_explanations () =
+  let schema = Tdp_paper.Fig3.schema in
+  let source = ty "A" and projection = Tdp_paper.Fig3.projection in
+  let r = Applicability.analyze_exn schema ~source ~projection in
+  let explain k = Applicability.explain schema r ~source ~projection k in
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "accessor reason" true
+    (contains (explain (key "get_a1" "get_a1")) "NOT in the projection list");
+  Alcotest.(check bool) "u1 blames get_a1" true
+    (contains (explain (key "u" "u1")) "call to get_a1");
+  Alcotest.(check bool) "v2 blames get_b1" true
+    (contains (explain (key "v" "v2")) "call to get_b1");
+  (* At the fixpoint both of x1's calls lack applicable methods (y1 went
+     down with x1); the explanation reports the first in body order. *)
+  Alcotest.(check bool) "x1 blames its first dead call" true
+    (contains (explain (key "x" "x1")) "call to y");
+  (* y1's only call is x(A,B) whose candidate x1 is not applicable *)
+  Alcotest.(check bool) "y1 blames x" true (contains (explain (key "y" "y1")) "call to x");
+  Alcotest.(check bool) "applicable reason" true
+    (contains (explain (key "v" "v1")) "every relevant");
+  Alcotest.(check bool) "unknown method" true
+    (contains (explain (key "zz" "zz")) "unknown")
+
+let suite =
+  [ Alcotest.test_case "accessor in/out of list" `Quick test_accessor_in_list;
+    Alcotest.test_case "explanations" `Quick test_explanations;
+    Alcotest.test_case "untested is unknown" `Quick test_unknown_is_reported_for_untested;
+    Alcotest.test_case "case 1: source substitution" `Quick test_case1_substitution;
+    Alcotest.test_case "case 2: no single substitution" `Quick
+      test_case2_no_single_substitution;
+    Alcotest.test_case "case 2: supertype method covers" `Quick
+      test_case2_covered_by_supertype_method;
+    Alcotest.test_case "direct recursion, applicable" `Quick
+      test_direct_recursion_applicable;
+    Alcotest.test_case "direct recursion, failing accessor" `Quick
+      test_direct_recursion_failing_accessor;
+    Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion_applicable;
+    Alcotest.test_case "irrelevant call ignored" `Quick test_irrelevant_call_ignored;
+    Alcotest.test_case "writer applicability" `Quick test_writer_applicability;
+    Alcotest.test_case "empty projection" `Quick test_empty_projection_error;
+    Alcotest.test_case "unavailable attribute" `Quick test_unavailable_attr_error;
+    Alcotest.test_case "candidate seeding" `Quick test_candidates_are_type_applicable;
+    Alcotest.test_case "no candidate left unknown" `Quick
+      test_every_candidate_classified
+  ]
+
+let () = Alcotest.run "applicability" [ ("isapplicable", suite) ]

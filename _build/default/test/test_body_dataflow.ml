@@ -1,0 +1,321 @@
+open Tdp_core
+open Helpers
+
+(* A tiny schema: B ⪯ A, accessor get_x on A (attr x), gfs f/1, g/1. *)
+let base_schema =
+  let h = Hierarchy.empty in
+  let h =
+    Hierarchy.add h
+      (Type_def.make ~attrs:[ Attribute.make (at "x") Value_type.int ] (ty "A"))
+  in
+  let h = Hierarchy.add h (Type_def.make ~supers:[ (ty "A", 1) ] (ty "B")) in
+  let s = Schema.with_hierarchy Schema.empty h in
+  let s =
+    Schema.add_method s
+      (Method_def.reader ~gf:"get_x" ~id:"get_x" ~param:"self" ~param_type:(ty "A")
+         ~attr:(at "x") ~result:Value_type.int)
+  in
+  s
+
+let general ?result ~gf ~id params body =
+  Method_def.make ~gf ~id
+    ~signature:(Signature.make ?result (List.map (fun (x, t) -> (x, ty t)) params))
+    (General body)
+
+(* ------------------------------------------------------------------ *)
+(* Body traversals                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_call_sites_nested () =
+  let body =
+    [ Body.expr (Body.call "f" [ Body.call "g" [ Body.var "a" ] ]);
+      Body.if_ (Body.builtin "=" [ Body.var "a"; Body.var "a" ])
+        [ Body.expr (Body.call "h" [ Body.var "a" ]) ]
+        []
+    ]
+  in
+  Alcotest.(check (list string)) "outermost first" [ "f"; "g"; "h" ]
+    (List.map fst (Body.call_sites body))
+
+let test_locals () =
+  let body =
+    [ Body.local "u" Value_type.int;
+      Body.if_ (Body.bool true) [ Body.local "v" Value_type.bool ] [];
+      Body.while_ (Body.bool false) [ Body.local "w" Value_type.string ]
+    ]
+  in
+  Alcotest.(check (list string)) "all locals found" [ "u"; "v"; "w" ]
+    (List.map fst (Body.locals body))
+
+let test_map_local_types () =
+  let body = [ Body.local "g" (Value_type.named (ty "G")) ] in
+  let body' =
+    Body.map_local_types
+      (fun x t -> if x = "g" then Value_type.named (ty "G_hat") else t)
+      body
+  in
+  Alcotest.(check bool) "rewritten" true
+    (List.exists
+       (fun (x, t) -> x = "g" && Value_type.equal t (Value_type.named (ty "G_hat")))
+       (Body.locals body'))
+
+(* ------------------------------------------------------------------ *)
+(* Typing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_env_of_method () =
+  let m =
+    general ~gf:"f" ~id:"f1" [ ("p", "A") ]
+      [ Body.local "q" Value_type.int; Body.expr (Body.var "p") ]
+  in
+  let env = Typing.env_of_method m in
+  Alcotest.(check bool) "formal typed" true
+    (Value_type.equal (Typing.lookup_var env "p") (Value_type.named (ty "A")));
+  Alcotest.(check bool) "local typed" true
+    (Value_type.equal (Typing.lookup_var env "q") Value_type.int);
+  Alcotest.(check bool) "unknown" true
+    (Value_type.equal (Typing.lookup_var env "zz") Value_type.Unknown)
+
+let test_type_of_expr () =
+  let s = base_schema in
+  let env = Typing.SMap.singleton "p" (Value_type.named (ty "A")) in
+  Alcotest.(check bool) "literal" true
+    (Value_type.equal (Typing.type_of_expr s env (Body.int 3)) Value_type.int);
+  Alcotest.(check bool) "gf result" true
+    (Value_type.equal
+       (Typing.type_of_expr s env (Body.call "get_x" [ Body.var "p" ]))
+       Value_type.int);
+  Alcotest.(check bool) "comparison is bool" true
+    (Value_type.equal
+       (Typing.type_of_expr s env (Body.builtin "<" [ Body.int 1; Body.int 2 ]))
+       Value_type.bool)
+
+let test_arg_type_names_rejects_prims () =
+  let s = base_schema in
+  let env = Typing.SMap.empty in
+  match Typing.arg_type_names s env ~gf:"get_x" [ Body.int 3 ] with
+  | exception Error.E (Non_object_argument { gf; position }) ->
+      Alcotest.(check string) "gf" "get_x" gf;
+      Alcotest.(check int) "position" 0 position
+  | _ -> Alcotest.fail "expected Non_object_argument"
+
+let test_check_method_unbound () =
+  let s = base_schema in
+  let m = general ~gf:"f" ~id:"f1" [ ("p", "A") ] [ Body.expr (Body.var "zz") ] in
+  let s = Schema.add_method s m in
+  match Typing.check_method s m with
+  | exception Error.E (Unbound_variable { var; _ }) ->
+      Alcotest.(check string) "var" "zz" var
+  | _ -> Alcotest.fail "expected Unbound_variable"
+
+let test_check_method_unknown_gf () =
+  let s = base_schema in
+  let m =
+    general ~gf:"f" ~id:"f1" [ ("p", "A") ]
+      [ Body.expr (Body.call "nope" [ Body.var "p" ]) ]
+  in
+  let s = Schema.add_method s m in
+  match Typing.check_method s m with
+  | exception Error.E (Unknown_generic_function g) ->
+      Alcotest.(check string) "gf" "nope" g
+  | _ -> Alcotest.fail "expected Unknown_generic_function"
+
+let test_check_method_arity () =
+  let s = base_schema in
+  let m =
+    general ~gf:"f" ~id:"f1" [ ("p", "A") ]
+      [ Body.expr (Body.call "get_x" [ Body.var "p"; Body.var "p" ]) ]
+  in
+  let s = Schema.add_method s m in
+  match Typing.check_method s m with
+  | exception Error.E (Arity_mismatch { expected = 1; got = 2; _ }) -> ()
+  | _ -> Alcotest.fail "expected Arity_mismatch"
+
+let test_check_method_bad_assignment () =
+  (* b := a with B ⪯ A is not allowed (A is not a subtype of B). *)
+  let s = base_schema in
+  let m =
+    general ~gf:"f" ~id:"f1" [ ("p", "A") ]
+      [ Body.local "b" (Value_type.named (ty "B")); Body.assign "b" (Body.var "p") ]
+  in
+  let s = Schema.add_method s m in
+  match Typing.check_method s m with
+  | exception Error.E (Invariant_violation _) -> ()
+  | _ -> Alcotest.fail "expected ill-typed assignment"
+
+let test_check_method_good_assignment () =
+  (* a := b with B ⪯ A is fine. *)
+  let s = base_schema in
+  let m =
+    general ~gf:"f" ~id:"f1" [ ("p", "B") ]
+      [ Body.local "a" (Value_type.named (ty "A")); Body.assign "a" (Body.var "p") ]
+  in
+  let s = Schema.add_method s m in
+  Typing.check_method s m
+
+let test_writer_call_arity () =
+  (* Writer calls take the object plus a value. *)
+  let s = base_schema in
+  let s =
+    Schema.add_method s
+      (Method_def.writer ~gf:"set_x" ~id:"set_x" ~param:"self" ~param_type:(ty "A")
+         ~attr:(at "x"))
+  in
+  let ok =
+    general ~gf:"f" ~id:"f1" [ ("p", "A") ]
+      [ Body.expr (Body.call "set_x" [ Body.var "p"; Body.int 3 ]) ]
+  in
+  let s = Schema.add_method s ok in
+  Typing.check_method s ok;
+  let bad =
+    general ~gf:"g" ~id:"g1" [ ("p", "A") ]
+      [ Body.expr (Body.call "set_x" [ Body.var "p" ]) ]
+  in
+  let s = Schema.add_method s bad in
+  match Typing.check_method s bad with
+  | exception Error.E (Arity_mismatch { expected = 2; got = 1; _ }) -> ()
+  | _ -> Alcotest.fail "expected writer arity error"
+
+(* ------------------------------------------------------------------ *)
+(* Dataflow                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let flow_of m var =
+  let f = Dataflow.compute_flow m in
+  match Dataflow.SMap.find_opt var f with
+  | Some s -> List.sort String.compare (Dataflow.SS.elements s)
+  | None -> []
+
+let test_flow_copy_chain () =
+  let m =
+    general ~gf:"f" ~id:"f1" [ ("p", "A") ]
+      [ Body.local "u" (Value_type.named (ty "A")) ~init:(Body.var "p");
+        Body.local "v" (Value_type.named (ty "A"));
+        Body.assign "v" (Body.var "u")
+      ]
+  in
+  Alcotest.(check (list string)) "p -> u -> v" [ "p" ] (flow_of m "v")
+
+let test_flow_through_loop () =
+  (* The copy happens inside a loop body after the use; only a fixpoint
+     finds it. *)
+  let m =
+    general ~gf:"f" ~id:"f1"
+      [ ("p", "A"); ("q", "A") ]
+      [ Body.local "u" (Value_type.named (ty "A")) ~init:(Body.var "q");
+        Body.while_ (Body.bool true)
+          [ Body.local "v" (Value_type.named (ty "A")) ~init:(Body.var "u");
+            Body.assign "u" (Body.var "p")
+          ]
+      ]
+  in
+  Alcotest.(check (list string)) "v reaches both" [ "p"; "q" ] (flow_of m "v")
+
+let test_flow_call_results_fresh () =
+  let m =
+    general ~gf:"f" ~id:"f1" [ ("p", "A") ]
+      [ Body.local "u" (Value_type.named (ty "A"))
+          ~init:(Body.call "get_x" [ Body.var "p" ])
+      ]
+  in
+  Alcotest.(check (list string)) "call results carry no sources" [] (flow_of m "u")
+
+let test_relevant_calls_fig3_x1 () =
+  let s = Tdp_paper.Fig3.schema in
+  let cache = Subtype_cache.create (Schema.hierarchy s) in
+  let x1 = Schema.find_method s (key "x" "x1") in
+  let rcs = Dataflow.relevant_calls s cache x1 ~source:(ty "A") in
+  Alcotest.(check int) "two relevant calls" 2 (List.length rcs);
+  List.iter
+    (fun (rc : Dataflow.relevant_call) ->
+      Alcotest.(check (list int)) (rc.site.gf ^ " positions") [ 0; 1 ]
+        rc.relevant_positions)
+    rcs
+
+let test_relevant_calls_excludes_unrelated () =
+  (* f(p : A, q : Z) where Z is unrelated to the source A: the call
+     h(q) is not relevant. *)
+  let s = base_schema in
+  let s = Schema.map_hierarchy s (fun h -> Hierarchy.add h (Type_def.make (ty "Z"))) in
+  let h1 =
+    general ~gf:"h" ~id:"h1" [ ("z", "Z") ] [ Body.expr (Body.var "z") ]
+  in
+  let s = Schema.add_method s h1 in
+  let m =
+    general ~gf:"f" ~id:"f1"
+      [ ("p", "A"); ("q", "Z") ]
+      [ Body.expr (Body.call "h" [ Body.var "q" ]);
+        Body.expr (Body.call "get_x" [ Body.var "p" ])
+      ]
+  in
+  let s = Schema.add_method s m in
+  let cache = Subtype_cache.create (Schema.hierarchy s) in
+  let rcs = Dataflow.relevant_calls s cache m ~source:(ty "A") in
+  Alcotest.(check (list string)) "only get_x is relevant" [ "get_x" ]
+    (List.map (fun (rc : Dataflow.relevant_call) -> rc.site.gf) rcs)
+
+let test_assigned_types () =
+  let m =
+    general ~gf:"f" ~id:"f1" [ ("p", "B") ]
+      ~result:(Value_type.named (ty "A"))
+      [ Body.local "g" (Value_type.named (ty "A"));
+        Body.assign "g" (Body.var "p");
+        Body.return_ (Body.var "g")
+      ]
+  in
+  let y = Dataflow.assigned_types m ~rebound:(Dataflow.SS.singleton "p") in
+  Alcotest.check name_set "Y = {A}" (Type_name.Set.singleton (ty "A")) y;
+  Alcotest.(check bool) "returns rebound" true
+    (Dataflow.returns_rebound m ~rebound:(Dataflow.SS.singleton "p"));
+  Alcotest.(check bool) "other formal not rebound" false
+    (Dataflow.returns_rebound m ~rebound:(Dataflow.SS.singleton "q"))
+
+let test_retypable_locals () =
+  let m =
+    general ~gf:"f" ~id:"f1" [ ("p", "B") ]
+      [ Body.local "g" (Value_type.named (ty "A"));
+        Body.local "h" (Value_type.named (ty "A"));
+        Body.assign "g" (Body.var "p")
+      ]
+  in
+  let l =
+    Dataflow.retypable_locals m
+      ~rebound:(Dataflow.SS.singleton "p")
+      ~types:(Type_name.Set.singleton (ty "A"))
+  in
+  (* h is declared A but never receives p, so only g is re-typed. *)
+  Alcotest.(check (list string)) "only g" [ "g" ] (List.map fst l)
+
+let suite_body =
+  [ Alcotest.test_case "call sites, nested" `Quick test_call_sites_nested;
+    Alcotest.test_case "locals" `Quick test_locals;
+    Alcotest.test_case "map_local_types" `Quick test_map_local_types
+  ]
+
+let suite_typing =
+  [ Alcotest.test_case "env of method" `Quick test_env_of_method;
+    Alcotest.test_case "type of expr" `Quick test_type_of_expr;
+    Alcotest.test_case "prims rejected as call args" `Quick
+      test_arg_type_names_rejects_prims;
+    Alcotest.test_case "unbound variable" `Quick test_check_method_unbound;
+    Alcotest.test_case "unknown gf" `Quick test_check_method_unknown_gf;
+    Alcotest.test_case "call arity" `Quick test_check_method_arity;
+    Alcotest.test_case "ill-typed assignment" `Quick test_check_method_bad_assignment;
+    Alcotest.test_case "well-typed assignment" `Quick test_check_method_good_assignment;
+    Alcotest.test_case "writer call arity" `Quick test_writer_call_arity
+  ]
+
+let suite_dataflow =
+  [ Alcotest.test_case "copy chain" `Quick test_flow_copy_chain;
+    Alcotest.test_case "loop fixpoint" `Quick test_flow_through_loop;
+    Alcotest.test_case "call results fresh" `Quick test_flow_call_results_fresh;
+    Alcotest.test_case "relevant calls: fig3 x1" `Quick test_relevant_calls_fig3_x1;
+    Alcotest.test_case "relevant calls: unrelated excluded" `Quick
+      test_relevant_calls_excludes_unrelated;
+    Alcotest.test_case "assigned types (Y)" `Quick test_assigned_types;
+    Alcotest.test_case "retypable locals" `Quick test_retypable_locals
+  ]
+
+let () =
+  Alcotest.run "body-dataflow"
+    [ ("body", suite_body); ("typing", suite_typing); ("dataflow", suite_dataflow) ]

@@ -1,0 +1,164 @@
+open Tdp_core
+module Catalog = Tdp_algebra.Catalog
+module View = Tdp_algebra.View
+module Pred = Tdp_algebra.Pred
+module Interp = Tdp_store.Interp
+module Database = Tdp_store.Database
+module Value = Tdp_store.Value
+open Helpers
+
+let emp_view =
+  View.Project
+    (View.Base (ty "Employee"), List.map at [ "ssn"; "date_of_birth"; "pay_rate" ])
+
+let seniors_view =
+  View.Select (emp_view, Pred.cmp (at "date_of_birth") Pred.Le (Body.Int 1975))
+
+let test_define_and_drop_single () =
+  let c = Catalog.create Tdp_paper.Fig1.schema in
+  let c, entry = Catalog.define_exn c ~name:"EmpView" emp_view in
+  Alcotest.(check string) "view type named after view" "EmpView"
+    (Type_name.to_string entry.view_type);
+  Alcotest.(check int) "one entry" 1 (List.length (Catalog.entries c));
+  let c = Catalog.drop_exn c ~name:"EmpView" in
+  Alcotest.(check int) "no entries" 0 (List.length (Catalog.entries c));
+  (* dropping restored the original two types *)
+  Alcotest.(check int) "two types again" 2
+    (Hierarchy.cardinal (Schema.hierarchy (Catalog.schema c)))
+
+let test_nested_expression_single_entry () =
+  (* A select-over-project is one entry with two steps; dropping it
+     unwinds both. *)
+  let c = Catalog.create Tdp_paper.Fig1.schema in
+  let c, entry = Catalog.define_exn c ~name:"Seniors" seniors_view in
+  Alcotest.(check int) "two steps" 2 (List.length entry.steps);
+  let h = Schema.hierarchy (Catalog.schema c) in
+  Alcotest.(check bool) "selection type present" true (Hierarchy.mem h (ty "Seniors"));
+  let c = Catalog.drop_exn c ~name:"Seniors" in
+  Alcotest.(check int) "two types again" 2
+    (Hierarchy.cardinal (Schema.hierarchy (Catalog.schema c)))
+
+let test_drop_order_enforced () =
+  let c = Catalog.create Tdp_paper.Fig1.schema in
+  let c, _ = Catalog.define_exn c ~name:"EmpView" emp_view in
+  let c, _ =
+    Catalog.define_exn c ~name:"Tiny"
+      (View.Project (View.Base (ty "EmpView"), [ at "ssn" ]))
+  in
+  (match Catalog.drop c ~name:"EmpView" with
+  | Error (Invariant_violation _) -> ()
+  | Error e -> Alcotest.failf "unexpected error %a" Error.pp e
+  | Ok _ -> Alcotest.fail "dropping a depended-upon view must fail");
+  (* reverse order works *)
+  let c = Catalog.drop_exn c ~name:"Tiny" in
+  let c = Catalog.drop_exn c ~name:"EmpView" in
+  Alcotest.(check int) "everything unwound" 2
+    (Hierarchy.cardinal (Schema.hierarchy (Catalog.schema c)))
+
+let test_duplicate_name () =
+  let c = Catalog.create Tdp_paper.Fig1.schema in
+  let c, _ = Catalog.define_exn c ~name:"EmpView" emp_view in
+  match Catalog.define c ~name:"EmpView" emp_view with
+  | Error (Invariant_violation _) -> ()
+  | _ -> Alcotest.fail "expected duplicate-view error"
+
+let test_drop_generalization () =
+  (* generalize two projections, then unwind. *)
+  let src =
+    let open Tdp_paper.Build in
+    let s = Schema.empty in
+    let s = add_type s ~attrs:[ ("pid", Value_type.int) ] ~supers:[] "P" in
+    let s = add_type s ~attrs:[ ("g", Value_type.int) ] ~supers:[ ("P", 1) ] "S" in
+    let s = add_type s ~attrs:[ ("w", Value_type.int) ] ~supers:[ ("P", 1) ] "I" in
+    add_reader s ~gf:"get_pid" ~on:"P" ~attr:"pid" ~result:Value_type.int
+  in
+  let before_types = Hierarchy.cardinal (Schema.hierarchy src) in
+  let c = Catalog.create src in
+  let c, entry =
+    Catalog.define_exn c ~name:"U"
+      (View.Generalize (View.Base (ty "S"), View.Base (ty "I")))
+  in
+  let h = Schema.hierarchy (Catalog.schema c) in
+  Alcotest.(check bool) "U present" true (Hierarchy.mem h (ty "U"));
+  Alcotest.(check bool) "S ⪯ U" true (Hierarchy.subtype h (ty "S") (ty "U"));
+  ignore entry;
+  let c = Catalog.drop_exn c ~name:"U" in
+  let h = Schema.hierarchy (Catalog.schema c) in
+  Alcotest.(check int) "type count restored" before_types (Hierarchy.cardinal h);
+  Alcotest.(check bool) "S supers restored" true
+    (Type_def.supers (Hierarchy.find h (ty "S")) = [ (ty "P", 1) ]);
+  Alcotest.(check bool) "I supers restored" true
+    (Type_def.supers (Hierarchy.find h (ty "I")) = [ (ty "P", 1) ]);
+  Alcotest.(check (list string)) "get_pid restored" [ "P" ]
+    (method_param_types (Catalog.schema c) "get_pid" "get_pid")
+
+let test_optimize_protects_views () =
+  let c = Catalog.create Tdp_paper.Fig3.schema in
+  let c, _ =
+    Catalog.define_exn c ~name:"V1"
+      (View.Project (View.Base (ty "A"), List.map at [ "a2"; "e2"; "h2" ]))
+  in
+  let c, _ =
+    Catalog.define_exn c ~name:"V2"
+      (View.Project (View.Base (ty "V1"), List.map at [ "a2"; "e2" ]))
+  in
+  let c, _removed = Catalog.optimize_exn c in
+  let h = Schema.hierarchy (Catalog.schema c) in
+  Alcotest.(check bool) "V1 survives" true (Hierarchy.mem h (ty "V1"));
+  Alcotest.(check bool) "V2 survives" true (Hierarchy.mem h (ty "V2"));
+  (* the contract: views remain droppable after optimization *)
+  let c = Catalog.drop_exn c ~name:"V2" in
+  let c = Catalog.drop_exn c ~name:"V1" in
+  Alcotest.(check int) "fully unwound" 8
+    (Hierarchy.cardinal (Schema.hierarchy (Catalog.schema c)));
+  (* the standalone optimizer, protecting only the visible view types,
+     is allowed to collapse more aggressively *)
+  let c2 = Catalog.create Tdp_paper.Fig3.schema in
+  let c2, _ =
+    Catalog.define_exn c2 ~name:"V1"
+      (View.Project (View.Base (ty "A"), List.map at [ "a2"; "e2"; "h2" ]))
+  in
+  let _, removed =
+    Tdp_algebra.Optimize.collapse_exn
+      ~protect:(Type_name.Set.singleton (ty "V1"))
+      (Catalog.schema c2)
+  in
+  Alcotest.(check bool) "aggressive collapse removes surrogates" true
+    (removed <> [])
+
+let test_catalog_with_store () =
+  (* Define a view, query it, drop it, and confirm objects are
+     untouched throughout. *)
+  let c = Catalog.create Tdp_paper.Fig1.schema in
+  let db = Database.create (Catalog.schema c) in
+  let alice =
+    Database.new_object db (ty "Employee")
+      ~init:
+        [ (at "ssn", Value.Int 1);
+          (at "date_of_birth", Value.Date 1970);
+          (at "pay_rate", Value.Float 10.0);
+          (at "hrs_worked", Value.Float 5.0)
+        ]
+  in
+  let c, entry = Catalog.define_exn c ~name:"Seniors" seniors_view in
+  Database.set_schema db (Catalog.schema c);
+  Alcotest.(check (list int)) "query finds alice"
+    [ Tdp_store.Oid.to_int alice ]
+    (List.map Tdp_store.Oid.to_int (View.instances db entry.expr));
+  let c = Catalog.drop_exn c ~name:"Seniors" in
+  Database.set_schema db (Catalog.schema c);
+  let i = Interp.create ~now:2026 db in
+  Alcotest.(check bool) "income still works" true
+    (Value.equal (Interp.call_on i "income" [ alice ]) (Value.Float 50.0))
+
+let suite =
+  [ Alcotest.test_case "define and drop" `Quick test_define_and_drop_single;
+    Alcotest.test_case "nested expression" `Quick test_nested_expression_single_entry;
+    Alcotest.test_case "drop order enforced" `Quick test_drop_order_enforced;
+    Alcotest.test_case "duplicate name" `Quick test_duplicate_name;
+    Alcotest.test_case "drop generalization" `Quick test_drop_generalization;
+    Alcotest.test_case "optimize protects views" `Quick test_optimize_protects_views;
+    Alcotest.test_case "catalog with store" `Quick test_catalog_with_store
+  ]
+
+let () = Alcotest.run "catalog" [ ("catalog", suite) ]

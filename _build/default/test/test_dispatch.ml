@@ -1,0 +1,199 @@
+open Tdp_core
+module Dispatch = Tdp_dispatch.Dispatch
+module Static_check = Tdp_dispatch.Static_check
+open Helpers
+
+let fig3 = Tdp_paper.Fig3.schema
+
+let test_single_dispatch () =
+  let d = Dispatch.create Tdp_paper.Fig1.schema in
+  (match Dispatch.most_specific d ~gf:"age" ~arg_types:[ ty "Employee" ] with
+  | Some m -> Alcotest.(check string) "age applies to Employee" "age" (Method_def.id m)
+  | None -> Alcotest.fail "no method");
+  match Dispatch.most_specific d ~gf:"income" ~arg_types:[ ty "Person" ] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "income must not apply to Person"
+
+let test_override_specificity () =
+  (* Add an Employee-specific age: calls on Employee pick it, calls on
+     Person still get the general one. *)
+  let s =
+    Schema.add_method Tdp_paper.Fig1.schema
+      (Method_def.make ~gf:"age" ~id:"age_emp"
+         ~signature:(Signature.make ~result:Value_type.int [ ("e", ty "Employee") ])
+         (General [ Body.return_ (Body.int 0) ]))
+  in
+  let d = Dispatch.create s in
+  (match Dispatch.most_specific d ~gf:"age" ~arg_types:[ ty "Employee" ] with
+  | Some m -> Alcotest.(check string) "override wins" "age_emp" (Method_def.id m)
+  | None -> Alcotest.fail "no method");
+  match Dispatch.most_specific d ~gf:"age" ~arg_types:[ ty "Person" ] with
+  | Some m -> Alcotest.(check string) "general for Person" "age" (Method_def.id m)
+  | None -> Alcotest.fail "no method"
+
+let test_multi_method_specificity () =
+  (* v1(A,C) and v2(B,C) are both applicable to v(A,A); the first
+     argument decides: A precedes B in A's CPL, so v1 wins. *)
+  let d = Dispatch.create fig3 in
+  match Dispatch.most_specific d ~gf:"v" ~arg_types:[ ty "A"; ty "A" ] with
+  | Some m -> Alcotest.(check string) "v1 wins" "v1" (Method_def.id m)
+  | None -> Alcotest.fail "no method"
+
+let test_applicable_ordering () =
+  let d = Dispatch.create fig3 in
+  let ms = Dispatch.applicable d ~gf:"u" ~arg_types:[ ty "A" ] in
+  (* u1(A) most specific (index 0), then u2(C) (C at index 1 of A's
+     CPL), then u3(B) (B at index 3). *)
+  Alcotest.(check (list string)) "most specific first" [ "u1"; "u2"; "u3" ]
+    (List.map Method_def.id ms)
+
+let test_next_method () =
+  let d = Dispatch.create fig3 in
+  match Dispatch.next_method d ~gf:"u" ~arg_types:[ ty "A" ] ~after:(key "u" "u1") with
+  | Some m -> Alcotest.(check string) "call-next-method" "u2" (Method_def.id m)
+  | None -> Alcotest.fail "expected a next method"
+
+let test_ambiguity_detection () =
+  let s = Tdp_paper.Fig1.schema in
+  let dup id =
+    Method_def.make ~gf:"amb" ~id
+      ~signature:(Signature.make [ ("p", ty "Person") ])
+      (General [ Body.return_unit ])
+  in
+  let s = Schema.add_method s (dup "amb1") in
+  let s = Schema.add_method s (dup "amb2") in
+  let d = Dispatch.create s in
+  match Dispatch.most_specific d ~gf:"amb" ~arg_types:[ ty "Person" ] with
+  | exception Dispatch.Ambiguous { gf; methods } ->
+      Alcotest.(check string) "gf" "amb" gf;
+      Alcotest.(check int) "two tied methods" 2 (List.length methods)
+  | _ -> Alcotest.fail "expected Ambiguous"
+
+let test_duplicate_signature_check () =
+  let s = Tdp_paper.Fig1.schema in
+  let dup id =
+    Method_def.make ~gf:"amb" ~id
+      ~signature:(Signature.make [ ("p", ty "Person") ])
+      (General [ Body.return_unit ])
+  in
+  let s = Schema.add_method s (dup "amb1") in
+  let s = Schema.add_method s (dup "amb2") in
+  match Static_check.duplicate_signatures s with
+  | [ Static_check.Duplicate_signature { gf = "amb"; _ } ] -> ()
+  | issues -> Alcotest.failf "expected one duplicate, got %d" (List.length issues)
+
+let test_call_space_coverage () =
+  let d = Dispatch.create fig3 in
+  (* u has a method for every type below A, C or B, but none for D. *)
+  let issues =
+    Static_check.call_space_issues d ~gf:"u" ~arg_space:[ ty "A"; ty "D" ]
+  in
+  let uncovered =
+    List.filter_map
+      (function
+        | Static_check.Uncovered_call { arg_types; _ } ->
+            Some (List.map Type_name.to_string arg_types)
+        | _ -> None)
+      issues
+  in
+  Alcotest.(check (list (list string))) "only u(D) uncovered" [ [ "D" ] ] uncovered
+
+let test_dispatch_preserved_fig3 () =
+  (* The refactoring must not change any dispatch outcome over the
+     original eight types — the dynamic reading of the paper's
+     behavior-preservation claim. *)
+  let o = Tdp_paper.Fig3.project () in
+  let originals = Hierarchy.type_names (Schema.hierarchy o.before) in
+  Alcotest.(check int) "no outcome changed" 0
+    (List.length
+       (Static_check.dispatch_preserved ~before:o.before ~after:o.schema
+          ~arg_space:originals ()))
+
+let test_dispatch_on_derived () =
+  (* After the projection, the derived type A_hat answers u via û3 —
+     the method the analysis found applicable. *)
+  let o = Tdp_paper.Fig3.project () in
+  let d = Dispatch.create o.schema in
+  match Dispatch.most_specific d ~gf:"u" ~arg_types:[ ty "A_hat" ] with
+  | Some m -> Alcotest.(check string) "u3 serves the view" "u3" (Method_def.id m)
+  | None -> Alcotest.fail "derived type cannot dispatch u"
+
+(* Regression for a gap in the paper's §6 transparency argument,
+   found by the property suite: two multi-methods that TIE on a
+   factored argument position must still tie after one of them is
+   relocated onto the surrogate — the surrogate shares its source's
+   specificity rank — so the later positions keep deciding dispatch. *)
+let test_surrogate_rank_transparency () =
+  let attr n = Attribute.make (at n) Value_type.int in
+  let h = Hierarchy.empty in
+  let h = Hierarchy.add h (Type_def.make ~attrs:[ attr "x"; attr "y" ] (ty "A")) in
+  let h = Hierarchy.add h (Type_def.make ~attrs:[ attr "d1" ] (ty "D")) in
+  let h = Hierarchy.add h (Type_def.make ~attrs:[ attr "c1" ] ~supers:[ (ty "D", 1) ] (ty "C")) in
+  let s = Schema.with_hierarchy Schema.empty h in
+  let s =
+    Schema.add_method s
+      (Method_def.reader ~gf:"get_x" ~id:"get_x" ~param:"self" ~param_type:(ty "A")
+         ~attr:(at "x") ~result:Value_type.int)
+  in
+  let s =
+    Schema.add_method s
+      (Method_def.reader ~gf:"get_y" ~id:"get_y" ~param:"self" ~param_type:(ty "A")
+         ~attr:(at "y") ~result:Value_type.int)
+  in
+  (* m1 survives the projection (reads x); m2 does not (reads y);
+     both tie on position 0 before the refactoring. *)
+  let s =
+    Schema.add_method s
+      (Method_def.make ~gf:"m" ~id:"m1"
+         ~signature:(Signature.make [ ("a", ty "A"); ("c", ty "C") ])
+         (General [ Body.expr (Body.call "get_x" [ Body.var "a" ]) ]))
+  in
+  let s =
+    Schema.add_method s
+      (Method_def.make ~gf:"m" ~id:"m2"
+         ~signature:(Signature.make [ ("a", ty "A"); ("d", ty "D") ])
+         (General [ Body.expr (Body.call "get_y" [ Body.var "a" ]) ]))
+  in
+  let pick schema =
+    match
+      Dispatch.most_specific (Dispatch.create schema) ~gf:"m"
+        ~arg_types:[ ty "A"; ty "C" ]
+    with
+    | Some m -> Method_def.id m
+    | None -> "none"
+  in
+  Alcotest.(check string) "before: position 1 decides" "m1" (pick s);
+  let o =
+    Projection.project_exn s ~view:"v" ~source:(ty "A") ~projection:[ at "x" ] ()
+  in
+  (* m1 was relocated; m2 was not *)
+  Alcotest.(check (list string)) "m1 relocated" [ "A_hat"; "C" ]
+    (method_param_types o.schema "m" "m1");
+  Alcotest.(check (list string)) "m2 kept" [ "A"; "D" ]
+    (method_param_types o.schema "m" "m2");
+  Alcotest.(check string) "after: dispatch unchanged for original objects" "m1"
+    (pick o.schema)
+
+let test_cpl_memoized () =
+  let d = Dispatch.create fig3 in
+  let l1 = Dispatch.cpl d (ty "A") in
+  let l2 = Dispatch.cpl d (ty "A") in
+  Alcotest.(check bool) "same list" true (l1 == l2)
+
+let suite =
+  [ Alcotest.test_case "single dispatch" `Quick test_single_dispatch;
+    Alcotest.test_case "override specificity" `Quick test_override_specificity;
+    Alcotest.test_case "multi-method specificity" `Quick test_multi_method_specificity;
+    Alcotest.test_case "applicable ordering" `Quick test_applicable_ordering;
+    Alcotest.test_case "next method" `Quick test_next_method;
+    Alcotest.test_case "ambiguity detection" `Quick test_ambiguity_detection;
+    Alcotest.test_case "duplicate signatures" `Quick test_duplicate_signature_check;
+    Alcotest.test_case "call-space coverage" `Quick test_call_space_coverage;
+    Alcotest.test_case "dispatch preserved (fig3)" `Quick test_dispatch_preserved_fig3;
+    Alcotest.test_case "dispatch on derived type" `Quick test_dispatch_on_derived;
+    Alcotest.test_case "surrogate rank transparency" `Quick
+      test_surrogate_rank_transparency;
+    Alcotest.test_case "CPL memoized" `Quick test_cpl_memoized
+  ]
+
+let () = Alcotest.run "dispatch" [ ("dispatch", suite) ]

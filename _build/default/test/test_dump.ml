@@ -1,0 +1,142 @@
+open Tdp_core
+module Database = Tdp_store.Database
+module Dump = Tdp_store.Dump
+module Value = Tdp_store.Value
+open Helpers
+
+let schema_with_refs =
+  let s = Tdp_paper.Fig1.schema in
+  Schema.add_type s
+    (Type_def.make
+       ~attrs:[ Attribute.make (at "manager") (Value_type.named (ty "Employee")) ]
+       (ty "Team"))
+
+let sample_db () =
+  let db = Database.create schema_with_refs in
+  let alice =
+    Database.new_object db (ty "Employee")
+      ~init:
+        [ (at "ssn", Value.Int 1);
+          (at "name", Value.String "al \"ice\"");
+          (at "date_of_birth", Value.Date 1990);
+          (at "pay_rate", Value.Float 55.5);
+          (at "hrs_worked", Value.Float 10.0)
+        ]
+  in
+  let _team =
+    Database.new_object db (ty "Team") ~init:[ (at "manager", Value.Ref alice) ]
+  in
+  let _bob = Database.new_object db (ty "Person") ~init:[ (at "ssn", Value.Int 2) ] in
+  db
+
+let test_roundtrip () =
+  let db = sample_db () in
+  let text = Dump.to_string db in
+  let db2 = Database.create schema_with_refs in
+  let oids = Dump.load_into db2 text in
+  Alcotest.(check int) "three objects" 3 (List.length oids);
+  Alcotest.(check string) "dump is a fixpoint" text (Dump.to_string db2);
+  (* slots survive, including refs and escaped strings *)
+  List.iter
+    (fun (o : Database.obj) ->
+      let o2 = Database.find db2 o.oid in
+      Alcotest.(check bool)
+        (Fmt.str "slots of %a" Tdp_store.Oid.pp o.oid)
+        true
+        (Attr_name.Map.equal Value.equal o.slots o2.slots))
+    (Database.objects db)
+
+let test_forward_references () =
+  (* the team (#1) references the employee (#2) defined later *)
+  let text =
+    {|obj #1 Team manager=#2
+obj #2 Employee ssn=9 pay_rate=1.0
+|}
+  in
+  let db = Database.create schema_with_refs in
+  ignore (Dump.load_into db text);
+  Alcotest.(check bool) "forward ref resolved" true
+    (Value.equal
+       (Database.get_attr db (Tdp_store.Oid.of_int 1) (at "manager"))
+       (Value.Ref (Tdp_store.Oid.of_int 2)))
+
+let test_fresh_oids_after_load () =
+  let db = Database.create schema_with_refs in
+  ignore (Dump.load_into db "obj #7 Person ssn=1\n");
+  let fresh = Database.new_object db (ty "Person") ~init:[] in
+  Alcotest.(check bool) "fresh oid beyond restored ones" true
+    (Tdp_store.Oid.to_int fresh > 7)
+
+let check_error text expect_line =
+  let db = Database.create schema_with_refs in
+  match Dump.load_into db text with
+  | exception Dump.Parse_error { line; _ } ->
+      Alcotest.(check int) "line" expect_line line
+  | _ -> Alcotest.fail "expected Parse_error"
+
+let test_parse_errors () =
+  check_error "obj Person ssn=1" 1;
+  check_error "obj #1 Person ssn=notavalue" 1;
+  check_error "obj #1 Person ssn 1" 1;
+  check_error "-- ok\nblah #2" 2;
+  check_error "obj #1 Person ssn=1\nobj #1 Person ssn=2" 2;
+  check_error "obj #1 Nope x=1" 1;
+  check_error {|obj #1 Person name="unterminated|} 1
+
+let test_comments_and_blanks () =
+  let db = Database.create schema_with_refs in
+  let oids =
+    Dump.load_into db "-- a comment\n\n  obj #1 Person ssn=3  \n\n-- end\n"
+  in
+  Alcotest.(check int) "one object" 1 (List.length oids)
+
+let test_value_syntax () =
+  List.iter
+    (fun (s, v) ->
+      Alcotest.(check bool) s true (Value.equal (Dump.value_of_string 1 s) v))
+    [ ("42", Value.Int 42);
+      ("-3", Value.Int (-3));
+      ("42.5", Value.Float 42.5);
+      ("true", Value.Bool true);
+      ("false", Value.Bool false);
+      ("null", Value.Null);
+      ("year:1990", Value.Date 1990);
+      ("#12", Value.Ref (Tdp_store.Oid.of_int 12));
+      ({|"hi"|}, Value.String "hi")
+    ];
+  (* printing inverts parsing *)
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Dump.value_to_string v)
+        true
+        (Value.equal (Dump.value_of_string 1 (Dump.value_to_string v)) v))
+    [ Value.Int 5; Value.Float 1.25; Value.String "a b\"c"; Value.Bool false;
+      Value.Date 2001; Value.Ref (Tdp_store.Oid.of_int 3); Value.Null
+    ]
+
+let prop_dump_roundtrip =
+  QCheck.Test.make ~name:"dump/load round-trips synth databases" ~count:50
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 5000))
+    (fun seed ->
+      let schema =
+        Tdp_synth.Synth.generate { Tdp_synth.Synth.default with seed }
+      in
+      let db = Database.create schema in
+      let _ = Tdp_synth.Synth.populate ~seed db 20 in
+      let text = Dump.to_string db in
+      let db2 = Database.create schema in
+      let _ = Dump.load_into db2 text in
+      String.equal text (Dump.to_string db2))
+
+let suite =
+  [ Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "forward references" `Quick test_forward_references;
+    Alcotest.test_case "fresh oids after load" `Quick test_fresh_oids_after_load;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;
+    Alcotest.test_case "value syntax" `Quick test_value_syntax;
+    QCheck_alcotest.to_alcotest prop_dump_roundtrip
+  ]
+
+let () = Alcotest.run "dump" [ ("dump", suite) ]

@@ -1,0 +1,160 @@
+open Tdp_core
+module Catalog = Tdp_algebra.Catalog
+module Evolution = Tdp_algebra.Evolution
+module View = Tdp_algebra.View
+open Helpers
+
+let base_catalog () =
+  let c = Catalog.create Tdp_paper.Fig1.schema in
+  let c, _ =
+    Catalog.define_exn c ~name:"EmpView"
+      (View.Project
+         (View.Base (ty "Employee"), List.map at [ "ssn"; "date_of_birth"; "pay_rate" ]))
+  in
+  c
+
+let test_add_method_impact () =
+  (* A new method reading only projected attributes becomes applicable
+     to the view after re-derivation. *)
+  let c = base_catalog () in
+  let m =
+    Method_def.make ~gf:"pay_band" ~id:"pay_band"
+      ~signature:(Signature.make ~result:Value_type.int [ ("e", ty "Employee") ])
+      (General
+         [ Body.return_
+             (Body.builtin "/" [ Body.call "get_pay_rate" [ Body.var "e" ]; Body.int 10 ])
+         ])
+  in
+  let c', report = Evolution.evolve_exn c (Add_method m) in
+  (match report.impacts with
+  | [ { view = "EmpView"; status = `Ok; gained; lost } ] ->
+      Alcotest.(check bool) "gained pay_band" true
+        (Method_def.Key.Set.mem (key "pay_band" "pay_band") gained);
+      Alcotest.(check int) "lost nothing" 0 (Method_def.Key.Set.cardinal lost)
+  | _ -> Alcotest.fail "unexpected report shape");
+  (* the re-derived view actually inherits the method *)
+  let cache = Subtype_cache.create (Schema.hierarchy (Catalog.schema c')) in
+  Alcotest.(check bool) "view answers pay_band" true
+    (List.exists
+       (fun m -> String.equal (Method_def.gf m) "pay_band")
+       (Schema.methods_applicable_to_type (Catalog.schema c') cache (ty "EmpView")))
+
+let test_remove_method_impact () =
+  let c = base_catalog () in
+  let c', report = Evolution.evolve_exn c (Remove_method (key "age" "age")) in
+  (match report.impacts with
+  | [ { status = `Ok; gained; lost; _ } ] ->
+      Alcotest.(check bool) "lost age" true
+        (Method_def.Key.Set.mem (key "age" "age") lost);
+      Alcotest.(check int) "gained nothing" 0 (Method_def.Key.Set.cardinal gained)
+  | _ -> Alcotest.fail "unexpected report shape");
+  Alcotest.(check bool) "age gone from schema" true
+    (Schema.find_method_opt (Catalog.schema c') (key "age" "age") = None)
+
+let test_remove_attribute_breaks_view () =
+  (* dropping a projected attribute breaks the view; it is reported and
+     removed from the catalog. *)
+  let c = base_catalog () in
+  let c', report = Evolution.evolve_exn c (Remove_attribute (at "pay_rate")) in
+  (match report.impacts with
+  | [ { view = "EmpView"; status = `Broken _; _ } ] -> ()
+  | _ -> Alcotest.fail "expected a broken view");
+  Alcotest.(check int) "view dropped from catalog" 0
+    (List.length (Catalog.entries c'));
+  (* the accessors were cascaded away; the schema still type-checks *)
+  Alcotest.(check bool) "get_pay_rate gone" true
+    (Schema.find_method_opt (Catalog.schema c') (key "get_pay_rate" "get_pay_rate")
+    = None);
+  Typing.check_all_methods (Catalog.schema c')
+
+let test_remove_unprojected_attribute_keeps_view () =
+  (* dropping hrs_worked: the view survives; income loses its accessor
+     and thus applicability everywhere. *)
+  let c = base_catalog () in
+  let c', report = Evolution.evolve_exn c (Remove_attribute (at "hrs_worked")) in
+  (match report.impacts with
+  | [ { view = "EmpView"; status = `Ok; _ } ] -> ()
+  | _ -> Alcotest.fail "view should survive");
+  Alcotest.(check int) "view still cataloged" 1 (List.length (Catalog.entries c'));
+  Alcotest.(check bool) "get_hrs_worked cascaded" true
+    (Schema.find_method_opt (Catalog.schema c')
+       (key "get_hrs_worked" "get_hrs_worked")
+    = None)
+
+let test_add_attribute_and_type () =
+  let c = base_catalog () in
+  let c, report =
+    Evolution.evolve_exn c
+      (Add_attribute
+         { ty = ty "Employee"; attr = Attribute.make (at "badge") Value_type.int })
+  in
+  (match report.impacts with
+  | [ { status = `Ok; gained; lost; _ } ] ->
+      Alcotest.(check int) "no method changes" 0
+        (Method_def.Key.Set.cardinal gained + Method_def.Key.Set.cardinal lost)
+  | _ -> Alcotest.fail "unexpected report");
+  let c, _ =
+    Evolution.evolve_exn c
+      (Add_type (Type_def.make ~supers:[ (ty "Employee", 1) ] (ty "Manager")))
+  in
+  let h = Schema.hierarchy (Catalog.schema c) in
+  Alcotest.(check bool) "badge present" true
+    (Hierarchy.has_attribute h (ty "Employee") (at "badge"));
+  (* the new subtype inherits through the re-derived view *)
+  Alcotest.(check bool) "Manager ⪯ EmpView" true
+    (Hierarchy.subtype h (ty "Manager") (ty "EmpView"))
+
+let test_rename_attribute () =
+  (* Renaming a projected attribute rewrites the owner, the accessors,
+     and the stored view expression: the view survives unchanged. *)
+  let c = base_catalog () in
+  let c', report =
+    Evolution.evolve_exn c
+      (Rename_attribute { from_ = at "pay_rate"; to_ = at "hourly_rate" })
+  in
+  (match report.impacts with
+  | [ { view = "EmpView"; status = `Ok; gained; lost } ] ->
+      Alcotest.(check int) "no behavior change" 0
+        (Method_def.Key.Set.cardinal gained + Method_def.Key.Set.cardinal lost)
+  | _ -> Alcotest.fail "view should survive a rename");
+  let h = Schema.hierarchy (Catalog.schema c') in
+  Alcotest.(check bool) "view carries the new name" true
+    (Hierarchy.has_attribute h (ty "EmpView") (at "hourly_rate"));
+  Alcotest.(check bool) "old name gone" false
+    (Hierarchy.has_attribute h (ty "EmpView") (at "pay_rate"));
+  (* the accessor now reads the renamed attribute *)
+  let m =
+    Schema.find_method (Catalog.schema c') (key "get_pay_rate" "get_pay_rate")
+  in
+  Alcotest.(check (option string)) "accessor rewired" (Some "hourly_rate")
+    (Option.map Attr_name.to_string (Method_def.accessed_attr m));
+  Typing.check_all_methods (Catalog.schema c')
+
+let test_rename_clash_rejected () =
+  let c = base_catalog () in
+  match
+    Evolution.evolve c (Rename_attribute { from_ = at "pay_rate"; to_ = at "ssn" })
+  with
+  | Error (Duplicate_attribute _) -> ()
+  | _ -> Alcotest.fail "expected Duplicate_attribute"
+
+let test_invalid_change_rejected () =
+  let c = base_catalog () in
+  match Evolution.evolve c (Remove_attribute (at "nope")) with
+  | Error (Unknown_attribute _) -> ()
+  | _ -> Alcotest.fail "expected Unknown_attribute"
+
+let suite =
+  [ Alcotest.test_case "add method" `Quick test_add_method_impact;
+    Alcotest.test_case "remove method" `Quick test_remove_method_impact;
+    Alcotest.test_case "remove projected attribute" `Quick
+      test_remove_attribute_breaks_view;
+    Alcotest.test_case "remove unprojected attribute" `Quick
+      test_remove_unprojected_attribute_keeps_view;
+    Alcotest.test_case "add attribute and type" `Quick test_add_attribute_and_type;
+    Alcotest.test_case "rename attribute" `Quick test_rename_attribute;
+    Alcotest.test_case "rename clash rejected" `Quick test_rename_clash_rejected;
+    Alcotest.test_case "invalid change rejected" `Quick test_invalid_change_rejected
+  ]
+
+let () = Alcotest.run "evolution" [ ("evolution", suite) ]

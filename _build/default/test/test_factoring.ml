@@ -1,0 +1,441 @@
+open Tdp_core
+open Helpers
+
+let attr n = Attribute.make (at n) Value_type.int
+
+(* Diamond with attributes everywhere: D ⪯ B,C ⪯ A. *)
+let diamond_schema () =
+  let h = Hierarchy.empty in
+  let h = Hierarchy.add h (Type_def.make ~attrs:[ attr "a1"; attr "a2" ] (ty "A")) in
+  let h =
+    Hierarchy.add h (Type_def.make ~attrs:[ attr "b1" ] ~supers:[ (ty "A", 1) ] (ty "B"))
+  in
+  let h =
+    Hierarchy.add h (Type_def.make ~attrs:[ attr "c1" ] ~supers:[ (ty "A", 1) ] (ty "C"))
+  in
+  let h =
+    Hierarchy.add h
+      (Type_def.make ~attrs:[ attr "d1" ]
+         ~supers:[ (ty "B", 1); (ty "C", 2) ]
+         (ty "D"))
+  in
+  Schema.with_hierarchy Schema.empty h
+
+let run_factor_state ?derived_name schema ~source ~projection =
+  Factor_state.run_exn (Schema.hierarchy schema) ~view:"v"
+    ?derived_name:(Option.map ty derived_name) ~source:(ty source)
+    ~projection:(List.map at projection) ()
+
+(* ------------------------------------------------------------------ *)
+(* FactorState                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_diamond_memoization () =
+  (* a1 is reachable from D through both B and C; A must be factored
+     exactly once, and both B_hat and C_hat link to A_hat. *)
+  let o = run_factor_state (diamond_schema ()) ~source:"D" ~projection:[ "d1"; "a1" ] in
+  let h = o.hierarchy in
+  check_type h "D_hat" ~attrs:[ "d1" ] ~supers:[ ("B_hat", 1); ("C_hat", 2) ];
+  check_type h "B_hat" ~attrs:[] ~supers:[ ("A_hat", 1) ];
+  check_type h "C_hat" ~attrs:[] ~supers:[ ("A_hat", 1) ];
+  check_type h "A_hat" ~attrs:[ "a1" ] ~supers:[];
+  check_type h "A" ~attrs:[ "a2" ] ~supers:[ ("A_hat", 0) ];
+  Alcotest.(check int) "four surrogates" 4 (Type_name.Map.cardinal o.surrogates)
+
+let test_local_only_projection () =
+  (* Projecting only local attributes factors just the source. *)
+  let o = run_factor_state (diamond_schema ()) ~source:"D" ~projection:[ "d1" ] in
+  Alcotest.(check int) "one surrogate" 1 (Type_name.Map.cardinal o.surrogates);
+  check_type o.hierarchy "D_hat" ~attrs:[ "d1" ] ~supers:[];
+  check_type o.hierarchy "D" ~attrs:[]
+    ~supers:[ ("D_hat", 0); ("B", 1); ("C", 2) ]
+
+let test_skips_branch_without_attrs () =
+  (* Projecting d1 and b1: the C branch carries nothing and must not be
+     factored. *)
+  let o = run_factor_state (diamond_schema ()) ~source:"D" ~projection:[ "d1"; "b1" ] in
+  Alcotest.(check bool) "no C_hat" false (Hierarchy.mem o.hierarchy (ty "C_hat"));
+  check_type o.hierarchy "D_hat" ~attrs:[ "d1" ] ~supers:[ ("B_hat", 1) ]
+
+let test_surrogate_precedence_below_zero () =
+  (* If a type's supers already use precedence 0, the surrogate slides
+     below it. *)
+  let h = Hierarchy.empty in
+  let h = Hierarchy.add h (Type_def.make ~attrs:[ attr "x" ] (ty "P")) in
+  let h =
+    Hierarchy.add h (Type_def.make ~attrs:[ attr "y" ] ~supers:[ (ty "P", 0) ] (ty "Q"))
+  in
+  let o =
+    Factor_state.run_exn h ~view:"v" ~source:(ty "Q")
+      ~projection:[ at "y"; at "x" ] ()
+  in
+  check_type o.hierarchy "Q" ~attrs:[] ~supers:[ ("Q_hat", -1); ("P", 0) ]
+
+let test_derived_name_taken () =
+  match
+    run_factor_state ~derived_name:"A" (diamond_schema ()) ~source:"D"
+      ~projection:[ "d1" ]
+  with
+  | exception Error.E (Duplicate_type _) -> ()
+  | _ -> Alcotest.fail "expected Duplicate_type"
+
+let test_origin_recorded () =
+  let o = run_factor_state (diamond_schema ()) ~source:"D" ~projection:[ "d1"; "a1" ] in
+  let def = Hierarchy.find o.hierarchy (ty "A_hat") in
+  match Type_def.origin def with
+  | Surrogate { source; view } ->
+      Alcotest.(check string) "source" "A" (Type_name.to_string source);
+      Alcotest.(check string) "view" "v" view
+  | Source -> Alcotest.fail "A_hat should be a surrogate"
+
+(* ------------------------------------------------------------------ *)
+(* Augment                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_augment_empty_z () =
+  let o = run_factor_state (diamond_schema ()) ~source:"D" ~projection:[ "d1" ] in
+  let a =
+    Augment.run_exn o.hierarchy ~view:"v" ~source:(ty "D") ~surrogates:o.surrogates
+      ~z:Type_name.Set.empty
+  in
+  Alcotest.(check bool) "hierarchy untouched" true
+    (Hierarchy.equal o.hierarchy a.hierarchy)
+
+let test_augment_unrelated_z () =
+  (* Z names a type that is not a supertype of the source: the gate
+     never opens, nothing is created. *)
+  let s = diamond_schema () in
+  let s = Schema.map_hierarchy s (fun h -> Hierarchy.add h (Type_def.make (ty "Z"))) in
+  let o = run_factor_state s ~source:"D" ~projection:[ "d1" ] in
+  let a =
+    Augment.run_exn o.hierarchy ~view:"v" ~source:(ty "D") ~surrogates:o.surrogates
+      ~z:(Type_name.Set.singleton (ty "Z"))
+  in
+  Alcotest.(check bool) "hierarchy untouched" true
+    (Hierarchy.equal o.hierarchy a.hierarchy)
+
+let test_augment_creates_path () =
+  (* Z = {A} with only D factored: Augment must create B_hat (or reuse)
+     along the precedence-ordered walk and give D_hat a path to A_hat. *)
+  let o = run_factor_state (diamond_schema ()) ~source:"D" ~projection:[ "d1" ] in
+  let a =
+    Augment.run_exn o.hierarchy ~view:"v" ~source:(ty "D") ~surrogates:o.surrogates
+      ~z:(Type_name.Set.singleton (ty "A"))
+  in
+  Alcotest.(check bool) "D_hat ⪯ A_hat" true
+    (Hierarchy.subtype a.hierarchy (ty "D_hat") (ty "A_hat"));
+  (* the new surrogates are empty *)
+  List.iter
+    (fun n ->
+      if not (Hierarchy.mem o.hierarchy (ty n)) && Hierarchy.mem a.hierarchy (ty n)
+      then
+        Alcotest.(check int)
+          (n ^ " empty") 0
+          (List.length (Type_def.attrs (Hierarchy.find a.hierarchy (ty n)))))
+    [ "A_hat"; "B_hat"; "C_hat" ]
+
+(* ------------------------------------------------------------------ *)
+(* FactorMethods                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_factor_methods_untouched_without_surrogates () =
+  let s = diamond_schema () in
+  let s =
+    Schema.add_method s
+      (Method_def.reader ~gf:"get_c1" ~id:"get_c1" ~param:"self" ~param_type:(ty "C")
+         ~attr:(at "c1") ~result:Value_type.int)
+  in
+  let o = run_factor_state s ~source:"D" ~projection:[ "d1" ] in
+  let s = Schema.with_hierarchy s o.hierarchy in
+  let s', rewrites =
+    Factor_methods.run_exn s ~surrogates:o.surrogates
+      ~applicable:(keys [ ("get_c1", "get_c1") ])
+  in
+  Alcotest.(check int) "no rewrites" 0 (List.length rewrites);
+  Alcotest.(check (list string)) "signature intact" [ "C" ]
+    (method_param_types s' "get_c1" "get_c1")
+
+let test_factor_methods_partial_rewrite () =
+  (* A two-argument method where only one formal's type was factored:
+     only that position is rewritten. *)
+  let s = diamond_schema () in
+  let s = Schema.map_hierarchy s (fun h -> Hierarchy.add h (Type_def.make (ty "Z"))) in
+  let s =
+    Schema.add_method s
+      (Method_def.make ~gf:"f" ~id:"f1"
+         ~signature:(Signature.make [ ("d", ty "D"); ("z", ty "Z") ])
+         (General [ Body.expr (Body.var "d") ]))
+  in
+  let o = run_factor_state s ~source:"D" ~projection:[ "d1" ] in
+  let s = Schema.with_hierarchy s o.hierarchy in
+  let s', rewrites =
+    Factor_methods.run_exn s ~surrogates:o.surrogates ~applicable:(keys [ ("f", "f1") ])
+  in
+  Alcotest.(check int) "one rewrite" 1 (List.length rewrites);
+  Alcotest.(check (list string)) "only D rewritten" [ "D_hat"; "Z" ]
+    (method_param_types s' "f" "f1")
+
+(* ------------------------------------------------------------------ *)
+(* Full pipeline corner cases                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_projection_of_everything () =
+  (* Projecting the full cumulative state: the derived type is a
+     supertype with ALL the state; every branch is factored; sources
+     keep empty local state but identical cumulative state. *)
+  let s = diamond_schema () in
+  let o =
+    Projection.project_exn s ~view:"all" ~source:(ty "D")
+      ~projection:(List.map at [ "d1"; "b1"; "a1"; "a2"; "c1" ])
+      ()
+  in
+  let h = Schema.hierarchy o.schema in
+  Alcotest.(check int) "four surrogates" 4 (Type_name.Map.cardinal o.surrogates);
+  Alcotest.check attr_names "derived has everything"
+    (List.map at [ "a1"; "a2"; "b1"; "c1"; "d1" ])
+    (List.sort Attr_name.compare (Hierarchy.all_attribute_names h o.derived))
+
+let test_projection_missing_formal_surrogate () =
+  (* A method on a supertype branch that carries no projected state:
+     the paper's FactorMethods would strand it; our Z-extension must
+     create the missing surrogate so the derived type inherits it.
+     Setup: D ⪯ B,C; project only b1 (B branch); method g1(C) reads an
+     attribute... that cannot work since accessors on the C branch
+     can't be applicable.  Instead g1(C) calls u(c) where u has a
+     method u1(B) reading b1: relevant, substituted call u(D)… u1(B)
+     applicable to u(D) ✓ and reads b1 ∈ p ⇒ g1 applicable, yet C gets
+     no surrogate from FactorState. *)
+  let s = diamond_schema () in
+  let s =
+    Schema.add_method s
+      (Method_def.reader ~gf:"get_b1" ~id:"get_b1" ~param:"self" ~param_type:(ty "B")
+         ~attr:(at "b1") ~result:Value_type.int)
+  in
+  let s =
+    Schema.add_method s
+      (Method_def.make ~gf:"u" ~id:"u1"
+         ~signature:(Signature.make [ ("b", ty "B") ])
+         (General [ Body.expr (Body.call "get_b1" [ Body.var "b" ]) ]))
+  in
+  let s =
+    Schema.add_method s
+      (Method_def.make ~gf:"g" ~id:"g1"
+         ~signature:(Signature.make [ ("c", ty "C") ])
+         (General [ Body.expr (Body.call "u" [ Body.var "c" ]) ]))
+  in
+  let o =
+    Projection.project_exn s ~view:"v" ~source:(ty "D")
+      ~projection:[ at "d1"; at "b1" ] ()
+  in
+  Alcotest.(check bool) "g1 applicable" true
+    (Applicability.status o.analysis (key "g" "g1") = `Applicable);
+  Alcotest.(check bool) "C got a surrogate" true
+    (Type_name.Map.mem (ty "C") o.surrogates);
+  Alcotest.(check (list string)) "g1 relocated" [ "C_hat" ]
+    (method_param_types o.schema "g" "g1");
+  (* the derived type inherits g1 *)
+  let cache = Subtype_cache.create (Schema.hierarchy o.schema) in
+  Alcotest.(check bool) "derived inherits g1" true
+    (List.exists
+       (fun m -> Method_def.Key.equal (Method_def.key m) (key "g" "g1"))
+       (Schema.methods_applicable_to_type o.schema cache o.derived))
+
+let test_augment_fixpoint_retypes_through_missing_formals () =
+  (* Distilled from a property-test counterexample (synth seed 5303):
+     S ⪯ P ⪯ U; Π_{s1} S factors only S.  Method m(P) is applicable
+     (its call bottoms out on the projected s1) and its body widens the
+     formal into a local of type U.  The formal type P gets a surrogate
+     only through the missing-formal extension, which in turn rebinds
+     p, which forces l's type U into Y — so Û and the mirror path
+     P̂ ⪯ Û must exist for the re-typed body to type-check.  A single
+     Y − X Augment pass misses this; the fixpoint catches it. *)
+  let s =
+    let attr n = Attribute.make (at n) Value_type.int in
+    let h = Hierarchy.empty in
+    let h = Hierarchy.add h (Type_def.make ~attrs:[ attr "u1" ] (ty "U")) in
+    let h = Hierarchy.add h (Type_def.make ~supers:[ (ty "U", 1) ] (ty "P")) in
+    let h =
+      Hierarchy.add h
+        (Type_def.make ~attrs:[ attr "s1"; attr "s2" ] ~supers:[ (ty "P", 1) ] (ty "S"))
+    in
+    Schema.with_hierarchy Schema.empty h
+  in
+  let s =
+    Schema.add_method s
+      (Method_def.reader ~gf:"get_s1" ~id:"get_s1" ~param:"self" ~param_type:(ty "S")
+         ~attr:(at "s1") ~result:Value_type.int)
+  in
+  let s =
+    Schema.add_method s
+      (Method_def.make ~gf:"m" ~id:"m1"
+         ~signature:(Signature.make [ ("p", ty "P") ])
+         (General
+            [ Body.local "l" (Value_type.named (ty "U")) ~init:(Body.var "p");
+              Body.expr (Body.call "get_s1" [ Body.var "p" ])
+            ]))
+  in
+  let o =
+    Projection.project_exn s ~view:"v" ~source:(ty "S") ~projection:[ at "s1" ] ()
+  in
+  Alcotest.(check bool) "m1 applicable" true
+    (Applicability.status o.analysis (key "m" "m1") = `Applicable);
+  Alcotest.(check (list string)) "m1 relocated to P_hat" [ "P_hat" ]
+    (method_param_types o.schema "m" "m1");
+  let h = Schema.hierarchy o.schema in
+  Alcotest.(check bool) "U_hat exists" true (Hierarchy.mem h (ty "U_hat"));
+  Alcotest.(check bool) "P_hat ⪯ U_hat" true
+    (Hierarchy.subtype h (ty "P_hat") (ty "U_hat"));
+  (* the re-typed body still type-checks (checked by the pipeline, but
+     assert the local explicitly) *)
+  let m1 = Schema.find_method o.schema (key "m" "m1") in
+  (match Method_def.body m1 with
+  | Some body ->
+      Alcotest.(check bool) "l re-typed to U_hat" true
+        (List.exists
+           (fun (x, t) ->
+             x = "l" && Value_type.equal t (Value_type.named (ty "U_hat")))
+           (Body.locals body))
+  | None -> Alcotest.fail "no body");
+  (* and the derived view really inherits m1 *)
+  let cache = Subtype_cache.create h in
+  Alcotest.(check bool) "view inherits m1" true
+    (List.exists
+       (fun m -> Method_def.Key.equal (Method_def.key m) (key "m" "m1"))
+       (Schema.methods_applicable_to_type o.schema cache o.derived))
+
+let test_views_over_views () =
+  (* Project the projection: Employee_hat is itself projectable. *)
+  let o1 = Tdp_paper.Fig1.project () in
+  let o2 =
+    Projection.project_exn o1.schema ~view:"v2"
+      ~derived_name:(ty "Tiny")
+      ~source:(ty "Employee_hat")
+      ~projection:[ at "ssn" ] ()
+  in
+  let h = Schema.hierarchy o2.schema in
+  Alcotest.check attr_names "Tiny = {ssn}" [ at "ssn" ]
+    (Hierarchy.all_attribute_names h (ty "Tiny"));
+  Alcotest.(check bool) "Employee ⪯ Tiny" true
+    (Hierarchy.subtype h (ty "Employee") (ty "Tiny"));
+  (* get_ssn survives two hops *)
+  let cache = Subtype_cache.create h in
+  Alcotest.(check bool) "Tiny answers get_ssn" true
+    (List.exists
+       (fun m -> String.equal (Method_def.gf m) "get_ssn")
+       (Schema.methods_applicable_to_type o2.schema cache (ty "Tiny")))
+
+let test_projection_of_root_type () =
+  (* A root type with no supertypes and no methods: the pipeline
+     reduces to a single surrogate and nothing else. *)
+  let s =
+    Schema.add_type Schema.empty
+      (Type_def.make
+         ~attrs:[ Attribute.make (at "r1") Value_type.int;
+                  Attribute.make (at "r2") Value_type.int ]
+         (ty "Root"))
+  in
+  let o =
+    Projection.project_exn s ~view:"v" ~source:(ty "Root") ~projection:[ at "r1" ] ()
+  in
+  let h = Schema.hierarchy o.schema in
+  Alcotest.(check int) "two types" 2 (Hierarchy.cardinal h);
+  check_type h "Root_hat" ~attrs:[ "r1" ] ~supers:[];
+  check_type h "Root" ~attrs:[ "r2" ] ~supers:[ ("Root_hat", 0) ];
+  Alcotest.(check int) "no rewrites" 0 (List.length o.rewrites);
+  Alcotest.(check bool) "Z empty" true (Type_name.Set.is_empty o.z)
+
+let test_projection_schema_without_methods () =
+  (* The diamond with no generic functions at all: applicability is
+     trivially empty, factoring still works. *)
+  let o =
+    Projection.project_exn (diamond_schema ()) ~view:"v" ~source:(ty "D")
+      ~projection:[ at "d1"; at "a1" ] ()
+  in
+  Alcotest.(check int) "no candidates" 0
+    (Method_def.Key.Set.cardinal o.analysis.candidates);
+  Alcotest.(check int) "four surrogates" 4 (Type_name.Map.cardinal o.surrogates)
+
+let test_chain_specialization_fig1 () =
+  (* Figure 1 is single-inheritance: the Section 7 chain specialization
+     must reproduce Figure 2's factoring exactly. *)
+  let h = Schema.hierarchy Tdp_paper.Fig1.schema in
+  Alcotest.(check bool) "fig1 is single inheritance" true
+    (Specialize.is_single_inheritance h);
+  Alcotest.(check bool) "fig1 is single dispatch" true
+    (Specialize.is_single_dispatch Tdp_paper.Fig1.schema);
+  let o =
+    Specialize.factor_chain_exn h ~view:"v"
+      ~derived_name:(ty "Employee_hat")
+      ~source:(ty "Employee") ~projection:Tdp_paper.Fig1.projection ()
+  in
+  check_type o.hierarchy "Employee_hat" ~attrs:[ "pay_rate" ]
+    ~supers:[ ("Person_hat", 1) ];
+  check_type o.hierarchy "Person_hat" ~attrs:[ "ssn"; "date_of_birth" ] ~supers:[];
+  let general =
+    Factor_state.run_exn h ~view:"v"
+      ~derived_name:(ty "Employee_hat")
+      ~source:(ty "Employee") ~projection:Tdp_paper.Fig1.projection ()
+  in
+  Alcotest.(check bool) "agrees with the general algorithm" true
+    (Hierarchy.equal o.hierarchy general.hierarchy);
+  (* and it refuses multiple inheritance *)
+  match
+    Specialize.factor_chain (Schema.hierarchy Tdp_paper.Fig3.schema) ~view:"v"
+      ~source:(ty "A") ~projection:Tdp_paper.Fig3.projection ()
+  with
+  | Error (Invariant_violation _) -> ()
+  | _ -> Alcotest.fail "fig3 is multiple inheritance"
+
+let test_projection_unknown_source () =
+  match
+    Projection.project (diamond_schema ()) ~view:"v" ~source:(ty "Nope")
+      ~projection:[ at "d1" ] ()
+  with
+  | Error (Unknown_type _) -> ()
+  | Error e -> Alcotest.failf "unexpected error %a" Error.pp e
+  | Ok _ -> Alcotest.fail "expected Unknown_type"
+
+let suite_state =
+  [ Alcotest.test_case "diamond memoization" `Quick test_diamond_memoization;
+    Alcotest.test_case "local-only projection" `Quick test_local_only_projection;
+    Alcotest.test_case "skips empty branch" `Quick test_skips_branch_without_attrs;
+    Alcotest.test_case "precedence below zero" `Quick
+      test_surrogate_precedence_below_zero;
+    Alcotest.test_case "derived name taken" `Quick test_derived_name_taken;
+    Alcotest.test_case "surrogate origin" `Quick test_origin_recorded
+  ]
+
+let suite_augment =
+  [ Alcotest.test_case "empty Z" `Quick test_augment_empty_z;
+    Alcotest.test_case "unrelated Z" `Quick test_augment_unrelated_z;
+    Alcotest.test_case "creates path to Z" `Quick test_augment_creates_path
+  ]
+
+let suite_methods =
+  [ Alcotest.test_case "no surrogates, no rewrite" `Quick
+      test_factor_methods_untouched_without_surrogates;
+    Alcotest.test_case "partial rewrite" `Quick test_factor_methods_partial_rewrite
+  ]
+
+let suite_pipeline =
+  [ Alcotest.test_case "project everything" `Quick test_projection_of_everything;
+    Alcotest.test_case "missing formal surrogate (Z-extension)" `Quick
+      test_projection_missing_formal_surrogate;
+    Alcotest.test_case "augment fixpoint re-typing" `Quick
+      test_augment_fixpoint_retypes_through_missing_formals;
+    Alcotest.test_case "views over views" `Quick test_views_over_views;
+    Alcotest.test_case "root type" `Quick test_projection_of_root_type;
+    Alcotest.test_case "chain specialization (fig1)" `Quick
+      test_chain_specialization_fig1;
+    Alcotest.test_case "schema without methods" `Quick
+      test_projection_schema_without_methods;
+    Alcotest.test_case "unknown source" `Quick test_projection_unknown_source
+  ]
+
+let () =
+  Alcotest.run "factoring"
+    [ ("factor-state", suite_state);
+      ("augment", suite_augment);
+      ("factor-methods", suite_methods);
+      ("pipeline", suite_pipeline)
+    ]

@@ -1,0 +1,215 @@
+open Tdp_core
+open Helpers
+
+let attr n = Attribute.make (at n) Value_type.int
+
+(* Diamond: D ⪯ B ⪯ A, D ⪯ C ⪯ A. *)
+let diamond () =
+  let h = Hierarchy.empty in
+  let h = Hierarchy.add h (Type_def.make ~attrs:[ attr "a1"; attr "a2" ] (ty "A")) in
+  let h =
+    Hierarchy.add h (Type_def.make ~attrs:[ attr "b1" ] ~supers:[ (ty "A", 1) ] (ty "B"))
+  in
+  let h =
+    Hierarchy.add h (Type_def.make ~attrs:[ attr "c1" ] ~supers:[ (ty "A", 1) ] (ty "C"))
+  in
+  let h =
+    Hierarchy.add h
+      (Type_def.make ~attrs:[ attr "d1" ]
+         ~supers:[ (ty "B", 1); (ty "C", 2) ]
+         (ty "D"))
+  in
+  h
+
+let test_add_duplicate () =
+  let h = diamond () in
+  match Hierarchy.add h (Type_def.make (ty "A")) with
+  | exception Error.E (Duplicate_type n) ->
+      Alcotest.(check string) "dup name" "A" (Type_name.to_string n)
+  | _ -> Alcotest.fail "expected Duplicate_type"
+
+let test_find_unknown () =
+  let h = diamond () in
+  (match Hierarchy.find_opt h (ty "Z") with
+  | None -> ()
+  | Some _ -> Alcotest.fail "Z should not exist");
+  match Hierarchy.find h (ty "Z") with
+  | exception Error.E (Unknown_type _) -> ()
+  | _ -> Alcotest.fail "expected Unknown_type"
+
+let test_subtype_reflexive_transitive () =
+  let h = diamond () in
+  Alcotest.(check bool) "A ⪯ A" true (Hierarchy.subtype h (ty "A") (ty "A"));
+  Alcotest.(check bool) "D ⪯ A" true (Hierarchy.subtype h (ty "D") (ty "A"));
+  Alcotest.(check bool) "D ⪯ B" true (Hierarchy.subtype h (ty "D") (ty "B"));
+  Alcotest.(check bool) "A ⪯ D" false (Hierarchy.subtype h (ty "A") (ty "D"));
+  Alcotest.(check bool) "B ⪯ C" false (Hierarchy.subtype h (ty "B") (ty "C"));
+  Alcotest.(check bool) "proper D ⪯ D" false
+    (Hierarchy.proper_subtype h (ty "D") (ty "D"));
+  Alcotest.(check bool) "supertype A ⪰ D" true
+    (Hierarchy.supertype h (ty "A") (ty "D"))
+
+let test_ancestors_descendants () =
+  let h = diamond () in
+  Alcotest.check name_set "ancestors of D"
+    (Type_name.Set.of_list [ ty "A"; ty "B"; ty "C" ])
+    (Hierarchy.ancestors h (ty "D"));
+  Alcotest.check name_set "descendants of A"
+    (Type_name.Set.of_list [ ty "B"; ty "C"; ty "D" ])
+    (Hierarchy.descendants h (ty "A"));
+  Alcotest.check name_set "ancestors of A" Type_name.Set.empty
+    (Hierarchy.ancestors h (ty "A"))
+
+let test_inherit_once () =
+  (* A's attributes must appear exactly once in D's cumulative state
+     even though D reaches A through both B and C. *)
+  let h = diamond () in
+  let names =
+    List.map Attr_name.to_string (Hierarchy.all_attribute_names h (ty "D"))
+  in
+  Alcotest.(check (list string))
+    "cumulative state of D, precedence order"
+    [ "d1"; "b1"; "a1"; "a2"; "c1" ] names
+
+let test_precedence_order () =
+  let h = diamond () in
+  Alcotest.(check (list string))
+    "precedence-first closure of D"
+    [ "D"; "B"; "A"; "C" ]
+    (List.map Type_name.to_string (Hierarchy.precedence_order h (ty "D")))
+
+let test_attr_owner () =
+  let h = diamond () in
+  Alcotest.(check (option string)) "owner of a1" (Some "A")
+    (Option.map Type_name.to_string (Hierarchy.attr_owner h (at "a1")));
+  Alcotest.(check (option string)) "owner of zz" None
+    (Option.map Type_name.to_string (Hierarchy.attr_owner h (at "zz")))
+
+let test_available_at () =
+  let h = diamond () in
+  Alcotest.check attr_names "available at B preserves query order"
+    [ at "b1"; at "a2" ]
+    (Hierarchy.available_at h (ty "B") [ at "d1"; at "b1"; at "a2" ])
+
+let test_move_attr () =
+  let h = diamond () in
+  let h = Hierarchy.add h (Type_def.make (ty "A_hat")) in
+  let h = Hierarchy.move_attr h ~attr:(at "a2") ~from_:(ty "A") ~to_:(ty "A_hat") in
+  Alcotest.(check bool) "a2 gone from A" false
+    (Type_def.has_local_attr (Hierarchy.find h (ty "A")) (at "a2"));
+  Alcotest.(check bool) "a2 now at A_hat" true
+    (Type_def.has_local_attr (Hierarchy.find h (ty "A_hat")) (at "a2"));
+  match Hierarchy.move_attr h ~attr:(at "a2") ~from_:(ty "A") ~to_:(ty "A_hat") with
+  | exception Error.E (Attribute_not_available _) -> ()
+  | _ -> Alcotest.fail "moving a non-local attribute must fail"
+
+let test_add_super_errors () =
+  let h = diamond () in
+  (match Hierarchy.add_super h ~sub:(ty "D") ~super:(ty "B") ~prec:9 with
+  | exception Error.E (Duplicate_super _) -> ()
+  | _ -> Alcotest.fail "expected Duplicate_super");
+  match Hierarchy.add_super h ~sub:(ty "D") ~super:(ty "Z") ~prec:1 with
+  | exception Error.E (Unknown_type _) -> ()
+  | _ -> Alcotest.fail "expected Unknown_type"
+
+let test_fresh_name () =
+  let h = diamond () in
+  Alcotest.(check string) "first" "A_hat"
+    (Type_name.to_string (Hierarchy.fresh_name h (ty "A")));
+  let h = Hierarchy.add h (Type_def.make (ty "A_hat")) in
+  Alcotest.(check string) "second" "A_hat2"
+    (Type_name.to_string (Hierarchy.fresh_name h (ty "A")))
+
+let test_roots_leaves () =
+  let h = diamond () in
+  Alcotest.(check (list string)) "roots" [ "A" ]
+    (List.map Type_name.to_string (Hierarchy.roots h));
+  Alcotest.(check (list string)) "leaves" [ "D" ]
+    (List.map Type_name.to_string (Hierarchy.leaves h))
+
+let test_cycle_detection () =
+  let h = Hierarchy.empty in
+  let h = Hierarchy.add h (Type_def.make (ty "A")) in
+  let h = Hierarchy.add h (Type_def.make ~supers:[ (ty "A", 1) ] (ty "B")) in
+  (* create a cycle A -> B by raw update *)
+  let h = Hierarchy.update h (ty "A") (fun d -> Type_def.add_super d (ty "B") 1) in
+  match Hierarchy.validate_exn h with
+  | exception Error.E (Cycle _) -> ()
+  | _ -> Alcotest.fail "expected Cycle"
+
+let test_duplicate_attr_detection () =
+  let h = Hierarchy.empty in
+  let h = Hierarchy.add h (Type_def.make ~attrs:[ attr "x" ] (ty "A")) in
+  let h = Hierarchy.add h (Type_def.make ~attrs:[ attr "x" ] (ty "B")) in
+  match Hierarchy.validate_exn h with
+  | exception Error.E (Duplicate_attribute _) -> ()
+  | _ -> Alcotest.fail "expected Duplicate_attribute"
+
+let test_duplicate_precedence_detection () =
+  let h = Hierarchy.empty in
+  let h = Hierarchy.add h (Type_def.make (ty "A")) in
+  let h = Hierarchy.add h (Type_def.make (ty "B")) in
+  let h =
+    Hierarchy.add h (Type_def.make ~supers:[ (ty "A", 1); (ty "B", 1) ] (ty "C"))
+  in
+  match Hierarchy.validate_exn h with
+  | exception Error.E (Duplicate_precedence _) -> ()
+  | _ -> Alcotest.fail "expected Duplicate_precedence"
+
+let test_missing_super_detection () =
+  let h = Hierarchy.empty in
+  let h = Hierarchy.add h (Type_def.make ~supers:[ (ty "Ghost", 1) ] (ty "A")) in
+  match Hierarchy.validate_exn h with
+  | exception Error.E (Unknown_type _) -> ()
+  | _ -> Alcotest.fail "expected Unknown_type"
+
+let test_self_super () =
+  match Type_def.add_super (Type_def.make (ty "A")) (ty "A") 1 with
+  | exception Error.E (Self_super _) -> ()
+  | _ -> Alcotest.fail "expected Self_super"
+
+let test_equal () =
+  let h1 = diamond () and h2 = diamond () in
+  Alcotest.(check bool) "equal to itself" true (Hierarchy.equal h1 h2);
+  let h3 = Hierarchy.update h2 (ty "A") (fun d -> Type_def.remove_attr d (at "a1")) in
+  Alcotest.(check bool) "attr removal detected" false (Hierarchy.equal h1 h3)
+
+let test_supers_sorted () =
+  let def =
+    Type_def.make ~supers:[ (ty "X", 3); (ty "Y", 1); (ty "Z", 2) ] (ty "W")
+  in
+  Alcotest.(check (list string)) "ascending precedence" [ "Y"; "Z"; "X" ]
+    (List.map (fun (n, _) -> Type_name.to_string n) (Type_def.supers def))
+
+let test_subtype_cache () =
+  let h = diamond () in
+  let c = Subtype_cache.create h in
+  Alcotest.(check bool) "cached D ⪯ A" true (Subtype_cache.subtype c (ty "D") (ty "A"));
+  Alcotest.(check bool) "cached A ⪯̸ D" false (Subtype_cache.subtype c (ty "A") (ty "D"));
+  Alcotest.(check bool) "repeat (memo hit)" true
+    (Subtype_cache.subtype c (ty "D") (ty "A"))
+
+let suite =
+  [ Alcotest.test_case "duplicate type" `Quick test_add_duplicate;
+    Alcotest.test_case "unknown type" `Quick test_find_unknown;
+    Alcotest.test_case "subtype relation" `Quick test_subtype_reflexive_transitive;
+    Alcotest.test_case "ancestors/descendants" `Quick test_ancestors_descendants;
+    Alcotest.test_case "inherit once" `Quick test_inherit_once;
+    Alcotest.test_case "precedence order" `Quick test_precedence_order;
+    Alcotest.test_case "attr owner" `Quick test_attr_owner;
+    Alcotest.test_case "available_at" `Quick test_available_at;
+    Alcotest.test_case "move_attr" `Quick test_move_attr;
+    Alcotest.test_case "add_super errors" `Quick test_add_super_errors;
+    Alcotest.test_case "fresh_name" `Quick test_fresh_name;
+    Alcotest.test_case "roots and leaves" `Quick test_roots_leaves;
+    Alcotest.test_case "cycle detection" `Quick test_cycle_detection;
+    Alcotest.test_case "duplicate attribute" `Quick test_duplicate_attr_detection;
+    Alcotest.test_case "duplicate precedence" `Quick test_duplicate_precedence_detection;
+    Alcotest.test_case "missing supertype" `Quick test_missing_super_detection;
+    Alcotest.test_case "self supertype" `Quick test_self_super;
+    Alcotest.test_case "structural equality" `Quick test_equal;
+    Alcotest.test_case "supers sorted by precedence" `Quick test_supers_sorted;
+    Alcotest.test_case "subtype cache" `Quick test_subtype_cache
+  ]
+
+let () = Alcotest.run "hierarchy" [ ("hierarchy", suite) ]

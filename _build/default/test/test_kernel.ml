@@ -1,0 +1,128 @@
+(* Unit tests for the small kernel modules: names, attributes,
+   signatures, method keys, generic functions, values — plus a parser
+   robustness fuzz (any input either parses or raises Parse_error). *)
+
+open Tdp_core
+open Helpers
+
+let test_names () =
+  Alcotest.(check string) "roundtrip" "T" (Type_name.to_string (ty "T"));
+  Alcotest.(check bool) "equal" true (Type_name.equal (ty "T") (ty "T"));
+  Alcotest.(check bool) "ordered" true (Type_name.compare (ty "A") (ty "B") < 0);
+  (match Type_name.of_string "" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty type name must be rejected");
+  match Attr_name.of_string "" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty attr name must be rejected"
+
+let test_attribute () =
+  let a = Attribute.make (at "x") Value_type.int in
+  Alcotest.(check string) "name" "x" (Attr_name.to_string (Attribute.name a));
+  Alcotest.(check bool) "equal" true
+    (Attribute.equal a (Attribute.make (at "x") Value_type.int));
+  Alcotest.(check bool) "type matters" false
+    (Attribute.equal a (Attribute.make (at "x") Value_type.float));
+  Alcotest.(check string) "pp" "x : int" (Fmt.str "%a" Attribute.pp a)
+
+let test_value_type () =
+  Alcotest.(check bool) "prim equal" true (Value_type.equal Value_type.int Value_type.int);
+  Alcotest.(check bool) "prim differ" false
+    (Value_type.equal Value_type.int Value_type.float);
+  Alcotest.(check bool) "named" true
+    (Value_type.equal (Value_type.named (ty "A")) (Value_type.named (ty "A")));
+  Alcotest.(check (option string)) "as_named" (Some "A")
+    (Option.map Type_name.to_string (Value_type.as_named (Value_type.named (ty "A"))));
+  Alcotest.(check (option string)) "as_named prim" None
+    (Option.map Type_name.to_string (Value_type.as_named Value_type.int))
+
+let test_signature () =
+  let s =
+    Signature.make ~result:Value_type.int [ ("a", ty "A"); ("b", ty "B") ]
+  in
+  Alcotest.(check int) "arity" 2 (Signature.arity s);
+  Alcotest.(check string) "param_type 1" "B"
+    (Type_name.to_string (Signature.param_type s 1));
+  (match Signature.param_type s 5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out of bounds must fail");
+  let s' = Signature.map_param_types (fun _ -> ty "Z") s in
+  Alcotest.(check bool) "map" true
+    (List.for_all (Type_name.equal (ty "Z")) (Signature.param_types s'));
+  Alcotest.(check bool) "names kept" true
+    (List.map fst (Signature.params s') = [ "a"; "b" ])
+
+let test_method_key () =
+  let k1 = key "u" "u1" and k2 = key "u" "u2" and k3 = key "v" "u1" in
+  Alcotest.(check bool) "equal" true (Method_def.Key.equal k1 (key "u" "u1"));
+  Alcotest.(check bool) "id differs" false (Method_def.Key.equal k1 k2);
+  Alcotest.(check bool) "gf major" true (Method_def.Key.compare k1 k3 < 0);
+  Alcotest.(check int) "set dedup" 2
+    (Method_def.Key.Set.cardinal (keys [ ("u", "u1"); ("u", "u1"); ("u", "u2") ]))
+
+let test_generic_function () =
+  let g = Generic_function.declare ~arity:1 ~result:Value_type.int "g" in
+  let m =
+    Method_def.make ~gf:"g" ~id:"m1"
+      ~signature:(Signature.make [ ("x", ty "A") ])
+      (General [ Body.return_unit ])
+  in
+  let g = Generic_function.add_method g m in
+  Alcotest.(check bool) "find" true (Generic_function.find_method g "m1" <> None);
+  (match
+     Generic_function.add_method g
+       (Method_def.make ~gf:"other" ~id:"m2"
+          ~signature:(Signature.make [ ("x", ty "A") ])
+          (General []))
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "foreign method must be rejected");
+  let g = Generic_function.remove_method g "m1" in
+  Alcotest.(check int) "removed" 0 (List.length (Generic_function.methods g))
+
+let test_values () =
+  let module Value = Tdp_store.Value in
+  Alcotest.(check bool) "int conforms" true (Value.conforms_prim (Value.Int 1) Int);
+  Alcotest.(check bool) "null conforms anywhere" true
+    (Value.conforms_prim Value.Null String);
+  Alcotest.(check bool) "cross kind" false
+    (Value.conforms_prim (Value.String "s") Int);
+  Alcotest.(check bool) "date" true (Value.conforms_prim (Value.Date 1990) Date);
+  Alcotest.(check bool) "of_literal" true
+    (Value.equal (Value.of_literal (Body.Int 3)) (Value.Int 3))
+
+(* Robustness: the parser must never crash — any printable input either
+   parses or raises a positioned Parse_error. *)
+let prop_parser_total =
+  QCheck.Test.make ~name:"parser totality on arbitrary input" ~count:500
+    QCheck.(string_gen_of_size (Gen.int_range 0 200) Gen.printable)
+    (fun src ->
+      match Tdp_lang.Parser.parse_string src with
+      | _ -> true
+      | exception Error.E (Parse_error _) -> true
+      | exception _ -> false)
+
+(* Same for the dump loader. *)
+let prop_dump_total =
+  QCheck.Test.make ~name:"dump parser totality" ~count:500
+    QCheck.(string_gen_of_size (Gen.int_range 0 200) Gen.printable)
+    (fun src ->
+      let db = Tdp_store.Database.create Tdp_paper.Fig1.schema in
+      match Tdp_store.Dump.load_into db src with
+      | _ -> true
+      | exception Tdp_store.Dump.Parse_error _ -> true
+      | exception _ -> false)
+
+let suite =
+  [ Alcotest.test_case "names" `Quick test_names;
+    Alcotest.test_case "attribute" `Quick test_attribute;
+    Alcotest.test_case "value types" `Quick test_value_type;
+    Alcotest.test_case "signature" `Quick test_signature;
+    Alcotest.test_case "method keys" `Quick test_method_key;
+    Alcotest.test_case "generic function" `Quick test_generic_function;
+    Alcotest.test_case "runtime values" `Quick test_values;
+    QCheck_alcotest.to_alcotest prop_parser_total;
+    QCheck_alcotest.to_alcotest prop_dump_total
+  ]
+
+let () = Alcotest.run "kernel" [ ("kernel", suite) ]

@@ -1,0 +1,302 @@
+open Tdp_core
+module Lexer = Tdp_lang.Lexer
+module Parser = Tdp_lang.Parser
+module Elaborate = Tdp_lang.Elaborate
+module Printer = Tdp_lang.Printer
+module View = Tdp_algebra.View
+open Helpers
+
+let fig1_src =
+  {|
+// The paper's Figure 1, in the schema language.
+type Person {
+  ssn : int;
+  name : string;
+  date_of_birth : date;
+}
+
+type Employee : Person(1) {
+  pay_rate : float;
+  hrs_worked : float;
+}
+
+reader get_ssn(self : Person) -> ssn;
+reader get_name(self : Person) -> name;
+reader get_date_of_birth(self : Person) -> date_of_birth;
+reader get_pay_rate(self : Employee) -> pay_rate;
+reader get_hrs_worked(self : Employee) -> hrs_worked;
+writer set_pay_rate(self : Employee) -> pay_rate;
+
+method age(p : Person) : int {
+  return years_since(get_date_of_birth(p));
+}
+
+method income(e : Employee) : float {
+  return get_pay_rate(e) * get_hrs_worked(e);
+}
+
+method promote(e : Employee) : bool {
+  return years_since(get_date_of_birth(e)) >= 5 and get_pay_rate(e) < 100;
+}
+
+view EmpView = project Employee on [ssn, date_of_birth, pay_rate];
+view Seniors = select EmpView where date_of_birth <= 1980;
+|}
+
+let test_parse_and_elaborate () =
+  let r = Elaborate.load_exn fig1_src in
+  let h = Schema.hierarchy r.schema in
+  Alcotest.(check int) "two types" 2 (Hierarchy.cardinal h);
+  Alcotest.(check bool) "Employee ⪯ Person" true
+    (Hierarchy.subtype h (ty "Employee") (ty "Person"));
+  Alcotest.(check int) "nine methods" 9 (List.length (Schema.all_methods r.schema));
+  Alcotest.(check int) "two views" 2 (List.length r.views)
+
+let test_apply_views () =
+  let r = Elaborate.load_exn fig1_src in
+  let schema, derived = Elaborate.apply_views_exn r in
+  Alcotest.(check (list string)) "view types" [ "EmpView"; "Seniors" ]
+    (List.map fst derived);
+  let h = Schema.hierarchy schema in
+  Alcotest.(check bool) "EmpView exists" true (Hierarchy.mem h (ty "EmpView"));
+  Alcotest.check attr_names "EmpView state"
+    (List.map at [ "date_of_birth"; "pay_rate"; "ssn" ])
+    (List.sort Attr_name.compare (Hierarchy.all_attribute_names h (ty "EmpView")));
+  (* Seniors selects from EmpView: a subtype with the same state *)
+  Alcotest.(check bool) "Seniors ⪯ EmpView" true
+    (Hierarchy.subtype h (ty "Seniors") (ty "EmpView"))
+
+let test_method_ids () =
+  let src =
+    {|
+type A { x : int; }
+reader get_x(self : A) -> x;
+method u#u1(a : A) : int { return get_x(a); }
+method u#u2(a : A) : int { return get_x(a) + 1; }
+|}
+  in
+  let r = Elaborate.load_exn src in
+  let g = Schema.find_gf r.schema "u" in
+  Alcotest.(check (list string)) "two methods of u" [ "u1"; "u2" ]
+    (List.map Method_def.id (Generic_function.methods g))
+
+let test_control_flow_and_writer_calls () =
+  let src =
+    {|
+type A { x : int; }
+reader get_x(self : A) -> x;
+writer set_x(self : A) -> x;
+method bump(a : A) : int {
+  var n : int := get_x(a);
+  while n < 10 { n := n + 1; }
+  if n == 10 { set_x(a, n); } else { set_x(a, 0 - n); }
+  return n;
+}
+|}
+  in
+  let r = Elaborate.load_exn src in
+  let m = Schema.find_method r.schema (key "bump" "bump") in
+  match Method_def.body m with
+  | Some body ->
+      Alcotest.(check int) "four statements" 4 (List.length body) |> fun () ->
+      Alcotest.(check (list string)) "call sites"
+        [ "get_x"; "set_x"; "set_x" ]
+        (List.map fst (Body.call_sites body))
+  | None -> Alcotest.fail "bump has no body"
+
+let test_precedence_of_operators () =
+  let src =
+    {|
+type A { x : int; }
+reader get_x(self : A) -> x;
+method f(a : A) : int { return 1 + 2 * get_x(a); }
+|}
+  in
+  let r = Elaborate.load_exn src in
+  let m = Schema.find_method r.schema (key "f" "f") in
+  match Method_def.body m with
+  | Some [ Body.Return (Some (Body.Builtin { op = "+"; args = [ _; Body.Builtin { op = "*"; _ } ] })) ] ->
+      ()
+  | _ -> Alcotest.fail "1 + 2 * x must parse as 1 + (2 * x)"
+
+let check_parse_error src expect_line =
+  match Elaborate.load_exn src with
+  | exception Error.E (Parse_error { line; _ }) ->
+      Alcotest.(check int) "error line" expect_line line
+  | exception Error.E _ -> ()
+  | _ -> Alcotest.fail "expected a parse error"
+
+let test_parse_errors () =
+  check_parse_error "type A { x int; }" 1;
+  check_parse_error "type A { x : int; }\nmethod f(a : A) { return }" 2;
+  check_parse_error "vie X = Y;" 1
+
+let test_integer_overflow () =
+  match Parser.parse_string "method f() { return 99999999999999999999999; }" with
+  | exception Error.E (Parse_error { message; _ }) ->
+      Alcotest.(check bool) "mentions range" true
+        (let n = "out of range" in
+         let rec go k =
+           k + String.length n <= String.length message
+           && (String.sub message k (String.length n) = n || go (k + 1))
+         in
+         go 0)
+  | _ -> Alcotest.fail "expected Parse_error on overflow"
+
+let test_unterminated_string () =
+  match Parser.parse_string {|method f() { return "oops; }|} with
+  | exception Error.E (Parse_error _) -> ()
+  | _ -> Alcotest.fail "expected unterminated string error"
+
+let test_lexer_comments_and_positions () =
+  let toks = Lexer.tokenize "// hello\ntype" in
+  match toks with
+  | [ { token = KW "type"; line = 2; col = 1 }; { token = EOF; _ } ] -> ()
+  | _ -> Alcotest.fail "comment skipping or position tracking broken"
+
+let test_elaborator_checks () =
+  (* Unknown supertype must be rejected by validation. *)
+  (match Elaborate.load_exn "type A : Ghost(1) { x : int; }" with
+  | exception Error.E (Unknown_type _) -> ()
+  | _ -> Alcotest.fail "expected Unknown_type");
+  (* Accessor on an attribute the type does not have. *)
+  match
+    Elaborate.load_exn "type A { x : int; }\ntype B { y : int; }\nreader g(self : B) -> x;"
+  with
+  | exception Error.E (Accessor_attr_not_inherited _) -> ()
+  | _ -> Alcotest.fail "expected Accessor_attr_not_inherited"
+
+(* Round-trip: print → parse → print must be a fixpoint, and the
+   re-parsed schema must be structurally identical. *)
+let roundtrip schema =
+  let src = Printer.print schema in
+  let r = Elaborate.load_exn src in
+  Alcotest.(check bool) "hierarchy round-trips" true
+    (Hierarchy.equal (Schema.hierarchy schema) (Schema.hierarchy r.schema));
+  let src2 = Printer.print r.schema in
+  Alcotest.(check string) "printing is a fixpoint" src src2
+
+let test_roundtrip_fig1 () = roundtrip Tdp_paper.Fig1.schema
+let test_roundtrip_fig3 () = roundtrip Tdp_paper.Fig3.schema_with_z
+
+let test_roundtrip_parsed () =
+  let r = Elaborate.load_exn fig1_src in
+  roundtrip r.schema
+
+let test_float_and_negative_literals () =
+  let src =
+    {|
+type A { x : float; }
+reader get_x(self : A) -> x;
+method f(a : A) : float { return get_x(a) * 2.5 + 40.0; }
+view V = select A where x >= -1.5;
+|}
+  in
+  let r = Elaborate.load_exn src in
+  (* float literals round-trip through the printer *)
+  let printed = Printer.print ~views:r.views r.schema in
+  let r2 = Elaborate.load_exn printed in
+  Alcotest.(check string) "fixpoint with floats" printed
+    (Printer.print ~views:r2.views r2.schema);
+  match List.assoc "V" r2.views with
+  | View.Select (_, Tdp_algebra.Pred.Cmp { value = Body.Float f; _ }) ->
+      Alcotest.(check (float 0.0001)) "negative float" (-1.5) f
+  | _ -> Alcotest.fail "predicate lost its literal"
+
+let test_view_on_unknown_base () =
+  let src = {|
+type A { x : int; }
+view V = project Ghost on [x];
+|} in
+  let r = Elaborate.load_exn src in
+  match Elaborate.apply_views r with
+  | Error (Unknown_type _) -> ()
+  | Error e -> Alcotest.failf "unexpected error %a" Error.pp e
+  | Ok _ -> Alcotest.fail "expected Unknown_type"
+
+let test_keyword_not_identifier () =
+  match Parser.parse_string "type select { x : int; }" with
+  | exception Error.E (Parse_error _) -> ()
+  | _ -> Alcotest.fail "keywords must not be identifiers"
+
+let test_empty_program () =
+  let r = Elaborate.load_exn "  // nothing here\n" in
+  Alcotest.(check int) "no types" 0 (Hierarchy.cardinal (Schema.hierarchy r.schema))
+
+let test_nested_parens_and_not () =
+  let src =
+    {|
+type A { x : int; y : int; }
+reader get_x(self : A) -> x;
+reader get_y(self : A) -> y;
+method f(a : A) : bool {
+  return not ((get_x(a) + 1) * 2 > get_y(a) or get_x(a) == 0);
+}
+|}
+  in
+  let r = Elaborate.load_exn src in
+  Typing.check_all_methods r.schema
+
+let test_generalize_view_syntax () =
+  let src =
+    {|
+type P { pid : int; }
+type S : P(1) { gpa : float; }
+type I : P(1) { salary : float; }
+reader get_pid(self : P) -> pid;
+view Everyone = generalize S with I;
+|}
+  in
+  let r = Elaborate.load_exn src in
+  (match List.assoc "Everyone" r.views with
+  | View.Generalize (View.Base a, View.Base b) ->
+      Alcotest.(check (pair string string))
+        "operands" ("S", "I")
+        (Type_name.to_string a, Type_name.to_string b)
+  | _ -> Alcotest.fail "expected a generalize view");
+  let schema, derived = Elaborate.apply_views_exn r in
+  Alcotest.(check (list string)) "derived" [ "Everyone" ] (List.map fst derived);
+  let h = Schema.hierarchy schema in
+  Alcotest.(check bool) "S ⪯ Everyone" true
+    (Hierarchy.subtype h (ty "S") (ty "Everyone"));
+  Alcotest.(check bool) "I ⪯ Everyone" true
+    (Hierarchy.subtype h (ty "I") (ty "Everyone"));
+  Alcotest.check attr_names "state = common" [ at "pid" ]
+    (Hierarchy.all_attribute_names h (ty "Everyone"))
+
+let test_print_views () =
+  let r = Elaborate.load_exn fig1_src in
+  let src = Printer.print ~views:r.views r.schema in
+  let r2 = Elaborate.load_exn src in
+  Alcotest.(check int) "views survive" 2 (List.length r2.views);
+  match (List.assoc "Seniors" r2.views : View.expr) with
+  | Select (Base n, _) ->
+      Alcotest.(check string) "select base" "EmpView" (Type_name.to_string n)
+  | _ -> Alcotest.fail "Seniors must be a selection over EmpView"
+
+let suite =
+  [ Alcotest.test_case "parse + elaborate fig1" `Quick test_parse_and_elaborate;
+    Alcotest.test_case "apply views" `Quick test_apply_views;
+    Alcotest.test_case "method ids (#)" `Quick test_method_ids;
+    Alcotest.test_case "control flow + writer calls" `Quick
+      test_control_flow_and_writer_calls;
+    Alcotest.test_case "operator precedence" `Quick test_precedence_of_operators;
+    Alcotest.test_case "parse errors with positions" `Quick test_parse_errors;
+    Alcotest.test_case "integer overflow" `Quick test_integer_overflow;
+    Alcotest.test_case "unterminated string" `Quick test_unterminated_string;
+    Alcotest.test_case "comments and positions" `Quick test_lexer_comments_and_positions;
+    Alcotest.test_case "elaborator checks" `Quick test_elaborator_checks;
+    Alcotest.test_case "roundtrip fig1" `Quick test_roundtrip_fig1;
+    Alcotest.test_case "roundtrip fig3+z" `Quick test_roundtrip_fig3;
+    Alcotest.test_case "roundtrip parsed source" `Quick test_roundtrip_parsed;
+    Alcotest.test_case "float and negative literals" `Quick
+      test_float_and_negative_literals;
+    Alcotest.test_case "unknown view base" `Quick test_view_on_unknown_base;
+    Alcotest.test_case "keyword not identifier" `Quick test_keyword_not_identifier;
+    Alcotest.test_case "empty program" `Quick test_empty_program;
+    Alcotest.test_case "nested parens and not" `Quick test_nested_parens_and_not;
+    Alcotest.test_case "generalize view syntax" `Quick test_generalize_view_syntax;
+    Alcotest.test_case "views print and re-parse" `Quick test_print_views
+  ]
+
+let () = Alcotest.run "lang" [ ("lang", suite) ]

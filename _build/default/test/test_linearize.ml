@@ -1,0 +1,127 @@
+open Tdp_core
+open Helpers
+
+let mk specs =
+  List.fold_left
+    (fun h (name, supers) ->
+      Hierarchy.add h
+        (Type_def.make ~supers:(List.mapi (fun i s -> (ty s, i + 1)) supers) (ty name)))
+    Hierarchy.empty specs
+
+let cpl_strings h n = List.map Type_name.to_string (Linearize.cpl h (ty n))
+
+let test_chain () =
+  let h = mk [ ("A", []); ("B", [ "A" ]); ("C", [ "B" ]) ] in
+  Alcotest.(check (list string)) "chain" [ "C"; "B"; "A" ] (cpl_strings h "C")
+
+let test_diamond () =
+  let h = mk [ ("A", []); ("B", [ "A" ]); ("C", [ "A" ]); ("D", [ "B"; "C" ]) ] in
+  Alcotest.(check (list string)) "diamond" [ "D"; "B"; "C"; "A" ] (cpl_strings h "D")
+
+let test_diamond_swapped_precedence () =
+  let h = mk [ ("A", []); ("B", [ "A" ]); ("C", [ "A" ]); ("D", [ "C"; "B" ]) ] in
+  Alcotest.(check (list string)) "respects precedence" [ "D"; "C"; "B"; "A" ]
+    (cpl_strings h "D")
+
+let test_fig3 () =
+  (* Worked out by hand from the paper's Figure 3 constraints. *)
+  let h = Schema.hierarchy Tdp_paper.Fig3.schema in
+  Alcotest.(check (list string))
+    "CPL of A"
+    [ "A"; "C"; "F"; "B"; "D"; "E"; "G"; "H" ]
+    (cpl_strings h "A")
+
+let test_fig3_after_factoring () =
+  (* Transparency of the Q̂–Q split: the surrogate is the supertype of
+     highest precedence, so in CPL(Q) it comes immediately after Q
+     itself, for every factored type.  And the derived type's CPL must
+     consist of surrogates only. *)
+  let o = Tdp_paper.Fig3.project () in
+  let h = Schema.hierarchy o.schema in
+  List.iter
+    (fun (src, hat) ->
+      match Linearize.cpl h (ty src) with
+      | s :: second :: _ ->
+          Alcotest.(check string) (src ^ " heads its own CPL") src
+            (Type_name.to_string s);
+          Alcotest.(check string)
+            (Fmt.str "%s immediately after %s" hat src)
+            hat (Type_name.to_string second)
+      | _ -> Alcotest.failf "CPL of %s too short" src)
+    [ ("A", "A_hat"); ("B", "B_hat"); ("C", "C_hat"); ("E", "E_hat");
+      ("F", "F_hat"); ("H", "H_hat")
+    ];
+  let cpl_hat = Linearize.cpl h (ty "A_hat") in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Fmt.str "%s is a surrogate" (Type_name.to_string n))
+        true
+        (Type_def.is_surrogate (Hierarchy.find h n)))
+    cpl_hat
+
+let test_inconsistent () =
+  (* B orders X before Y; C orders Y before X; A inherits from both. *)
+  let h =
+    mk
+      [ ("X", []);
+        ("Y", []);
+        ("B", [ "X"; "Y" ]);
+        ("C", [ "Y"; "X" ]);
+        ("A", [ "B"; "C" ])
+      ]
+  in
+  match Linearize.cpl_result h (ty "A") with
+  | Error (Linearization_failure n) ->
+      Alcotest.(check string) "failing type" "A" (Type_name.to_string n)
+  | Error e -> Alcotest.failf "unexpected error %a" Error.pp e
+  | Ok l ->
+      Alcotest.failf "expected failure, got [%s]"
+        (String.concat "; " (List.map Type_name.to_string l))
+
+let test_consistent_subparts () =
+  (* The conflicting orders above are still linearizable separately. *)
+  let h =
+    mk
+      [ ("X", []); ("Y", []); ("B", [ "X"; "Y" ]); ("C", [ "Y"; "X" ]) ]
+  in
+  Alcotest.(check (list string)) "B" [ "B"; "X"; "Y" ] (cpl_strings h "B");
+  Alcotest.(check (list string)) "C" [ "C"; "Y"; "X" ] (cpl_strings h "C")
+
+let test_index_of () =
+  let h = mk [ ("A", []); ("B", [ "A" ]) ] in
+  let idx = Linearize.index_of h (ty "B") in
+  Alcotest.(check (option int)) "self" (Some 0) (idx (ty "B"));
+  Alcotest.(check (option int)) "super" (Some 1) (idx (ty "A"));
+  let h2 = Hierarchy.add h (Type_def.make (ty "Z")) in
+  let idx2 = Linearize.index_of h2 (ty "B") in
+  Alcotest.(check (option int)) "unrelated" None (idx2 (ty "Z"))
+
+let test_singleton () =
+  let h = mk [ ("A", []) ] in
+  Alcotest.(check (list string)) "singleton" [ "A" ] (cpl_strings h "A")
+
+let test_clos_family_grouping () =
+  (* CLOS tie-break keeps a family together: with D ⪯ B ⪯ A and
+     D ⪯ C (C unrelated to A), CPL(D) follows B's chain first. *)
+  let h =
+    mk [ ("A", []); ("B", [ "A" ]); ("C", []); ("D", [ "B"; "C" ]) ]
+  in
+  Alcotest.(check (list string)) "family first" [ "D"; "B"; "A"; "C" ]
+    (cpl_strings h "D")
+
+let suite =
+  [ Alcotest.test_case "chain" `Quick test_chain;
+    Alcotest.test_case "diamond" `Quick test_diamond;
+    Alcotest.test_case "diamond, swapped precedence" `Quick
+      test_diamond_swapped_precedence;
+    Alcotest.test_case "figure 3 CPL" `Quick test_fig3;
+    Alcotest.test_case "figure 4 CPL properties" `Quick test_fig3_after_factoring;
+    Alcotest.test_case "inconsistent orders fail" `Quick test_inconsistent;
+    Alcotest.test_case "subparts remain consistent" `Quick test_consistent_subparts;
+    Alcotest.test_case "index_of" `Quick test_index_of;
+    Alcotest.test_case "singleton" `Quick test_singleton;
+    Alcotest.test_case "CLOS family grouping" `Quick test_clos_family_grouping
+  ]
+
+let () = Alcotest.run "linearize" [ ("cpl", suite) ]

@@ -1,0 +1,224 @@
+(* Reproduction of the paper's worked examples and figures:
+
+   E1/E2 — Figure 1 and Figure 2 (Section 3.1): the Person/Employee
+   hierarchy, Π_{ssn,date_of_birth,pay_rate} Employee, and the
+   refactored hierarchy.
+
+   E3 — Examples 1 and 2 (Section 4.2): the method classification for
+   Π_{a2,e2,h2} A over the Figure 3 hierarchy, including the optimistic
+   assumption and retraction of y1.
+
+   E4 — Figure 4 (Section 5.2): the factored hierarchy, node by node.
+
+   E5 — Example 3 (Section 6.2): the rewritten method signatures.
+
+   E6 — Figure 5 / Example 4 (Section 6.5): Z = {D, G} and the
+   augmented hierarchy. *)
+
+open Tdp_core
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* E1/E2: Figures 1 and 2                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig1_applicability () =
+  let o = Tdp_paper.Fig1.project () in
+  check_applicability o.analysis
+    ~applicable:
+      [ ("age", "age");
+        ("promote", "promote");
+        ("get_ssn", "get_ssn");
+        ("get_date_of_birth", "get_date_of_birth");
+        ("get_pay_rate", "get_pay_rate");
+        ("set_pay_rate", "set_pay_rate")
+      ]
+    ~not_applicable:
+      [ ("income", "income");
+        ("get_name", "get_name");
+        ("get_hrs_worked", "get_hrs_worked")
+      ]
+
+let test_fig2_hierarchy () =
+  let o = Tdp_paper.Fig1.project () in
+  let h = Schema.hierarchy o.schema in
+  (* Figure 2: Person is split into Person_hat {ssn, date_of_birth}
+     and Person {name}; both Person and Employee_hat are subtypes of
+     Person_hat; Employee_hat {pay_rate} is the derived type. *)
+  check_type h "Person_hat" ~attrs:[ "ssn"; "date_of_birth" ] ~supers:[];
+  check_type h "Person" ~attrs:[ "name" ] ~supers:[ ("Person_hat", 0) ];
+  check_type h "Employee_hat" ~attrs:[ "pay_rate" ] ~supers:[ ("Person_hat", 1) ];
+  check_type h "Employee" ~attrs:[ "hrs_worked" ]
+    ~supers:[ ("Employee_hat", 0); ("Person", 1) ];
+  Alcotest.(check string) "derived" "Employee_hat" (Type_name.to_string o.derived)
+
+let test_fig2_methods () =
+  let o = Tdp_paper.Fig1.project () in
+  Alcotest.(check (list string)) "age relocated" [ "Person_hat" ]
+    (method_param_types o.schema "age" "age");
+  Alcotest.(check (list string)) "promote relocated" [ "Employee_hat" ]
+    (method_param_types o.schema "promote" "promote");
+  Alcotest.(check (list string)) "income unchanged" [ "Employee" ]
+    (method_param_types o.schema "income" "income");
+  Alcotest.(check (list string)) "get_name unchanged" [ "Person" ]
+    (method_param_types o.schema "get_name" "get_name");
+  Alcotest.(check (list string)) "get_ssn relocated" [ "Person_hat" ]
+    (method_param_types o.schema "get_ssn" "get_ssn")
+
+(* ------------------------------------------------------------------ *)
+(* E3: Examples 1 and 2 — the classification of u, v, w, x, y          *)
+(* ------------------------------------------------------------------ *)
+
+let test_example2_classification () =
+  let o = Tdp_paper.Fig3.project () in
+  check_applicability o.analysis
+    ~applicable:Tdp_paper.Fig3.expected_applicable
+    ~not_applicable:Tdp_paper.Fig3.expected_not_applicable
+
+let test_example2_cycle_trace () =
+  (* The x1/y1 cycle: y1 must first be assumed applicable (it finds x1
+     on the MethodStack), then retracted when v(B,A) has no applicable
+     method, and finally concluded not applicable on re-analysis. *)
+  let o = Tdp_paper.Fig3.project () in
+  let trace = o.analysis.trace in
+  let y1 = key "y" "y1" in
+  let assumed =
+    List.exists
+      (function
+        | Applicability.Assumed { meth; _ } -> Method_def.Key.equal meth (key "x" "x1")
+        | _ -> false)
+      trace
+  in
+  let retracted =
+    List.exists
+      (function
+        | Applicability.Retracted k -> Method_def.Key.equal k y1
+        | _ -> false)
+      trace
+  in
+  Alcotest.(check bool) "x1 was optimistically assumed" true assumed;
+  Alcotest.(check bool) "y1 was retracted" true retracted;
+  Alcotest.(check bool) "needed more than one pass" true (o.analysis.passes > 1)
+
+(* ------------------------------------------------------------------ *)
+(* E4: Figure 4 — the factored hierarchy                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig4_hierarchy () =
+  let o = Tdp_paper.Fig3.project () in
+  let h = Schema.hierarchy o.schema in
+  (* Derived type and surrogates, exactly as traced in Section 5.2. *)
+  check_type h "A_hat" ~attrs:[ "a2" ] ~supers:[ ("C_hat", 1); ("B_hat", 2) ];
+  check_type h "A" ~attrs:[ "a1" ] ~supers:[ ("A_hat", 0); ("C", 1); ("B", 2) ];
+  check_type h "C_hat" ~attrs:[] ~supers:[ ("F_hat", 1); ("E_hat", 2) ];
+  check_type h "C" ~attrs:[ "c1" ] ~supers:[ ("C_hat", 0); ("F", 1); ("E", 2) ];
+  check_type h "B_hat" ~attrs:[] ~supers:[ ("E_hat", 2) ];
+  check_type h "B" ~attrs:[ "b1" ] ~supers:[ ("B_hat", 0); ("D", 1); ("E", 2) ];
+  check_type h "E_hat" ~attrs:[ "e2" ] ~supers:[ ("H_hat", 2) ];
+  check_type h "E" ~attrs:[ "e1" ] ~supers:[ ("E_hat", 0); ("G", 1); ("H", 2) ];
+  check_type h "F_hat" ~attrs:[] ~supers:[ ("H_hat", 1) ];
+  check_type h "F" ~attrs:[ "f1" ] ~supers:[ ("F_hat", 0); ("H", 1) ];
+  check_type h "H_hat" ~attrs:[ "h2" ] ~supers:[];
+  check_type h "H" ~attrs:[ "h1" ] ~supers:[ ("H_hat", 0) ];
+  (* D and G are untouched by Π_{a2,e2,h2} A. *)
+  check_type h "D" ~attrs:[ "d1" ] ~supers:[];
+  check_type h "G" ~attrs:[ "g1" ] ~supers:[]
+
+let test_fig4_surrogate_count () =
+  let o = Tdp_paper.Fig3.project () in
+  Alcotest.(check int) "six types factored" 6 (Type_name.Map.cardinal o.surrogates);
+  Alcotest.check name_set "factored types"
+    (Type_name.Set.of_list (List.map ty [ "A"; "B"; "C"; "E"; "F"; "H" ]))
+    (Type_name.Map.fold (fun src _ acc -> Type_name.Set.add src acc) o.surrogates
+       Type_name.Set.empty)
+
+let test_fig4_derived_state () =
+  let o = Tdp_paper.Fig3.project () in
+  let h = Schema.hierarchy o.schema in
+  Alcotest.check attr_names "cumulative state of A_hat is the projection list"
+    (List.map at [ "a2"; "e2"; "h2" ])
+    (List.sort Attr_name.compare (Hierarchy.all_attribute_names h (ty "A_hat")))
+
+(* ------------------------------------------------------------------ *)
+(* E5: Example 3 — rewritten method signatures                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_example3_signatures () =
+  let o = Tdp_paper.Fig3.project () in
+  Alcotest.(check (list string)) "v1(A_hat, C_hat)" [ "A_hat"; "C_hat" ]
+    (method_param_types o.schema "v" "v1");
+  Alcotest.(check (list string)) "u3(B_hat)" [ "B_hat" ]
+    (method_param_types o.schema "u" "u3");
+  Alcotest.(check (list string)) "w2(C_hat)" [ "C_hat" ]
+    (method_param_types o.schema "w" "w2");
+  Alcotest.(check (list string)) "get_h2(B_hat)" [ "B_hat" ]
+    (method_param_types o.schema "get_h2" "get_h2");
+  (* Not-applicable methods keep their signatures. *)
+  Alcotest.(check (list string)) "v2 unchanged" [ "B"; "C" ]
+    (method_param_types o.schema "v" "v2");
+  Alcotest.(check (list string)) "x1 unchanged" [ "A"; "B" ]
+    (method_param_types o.schema "x" "x1")
+
+(* ------------------------------------------------------------------ *)
+(* E6: Figure 5 / Example 4 — augmentation with Z = {D, G}             *)
+(* ------------------------------------------------------------------ *)
+
+let test_example4_z () =
+  let o = Tdp_paper.Fig3.project ~schema:Tdp_paper.Fig3.schema_with_z () in
+  Alcotest.check name_set "Z = {D, G}"
+    (Type_name.Set.of_list [ ty "D"; ty "G" ])
+    o.z
+
+let test_fig5_hierarchy () =
+  let o = Tdp_paper.Fig3.project ~schema:Tdp_paper.Fig3.schema_with_z () in
+  let h = Schema.hierarchy o.schema in
+  (* The empty surrogates D_hat and G_hat of Figure 5, with the
+     surrogate-side mirror edges B_hat -> D_hat and E_hat -> G_hat. *)
+  check_type h "D_hat" ~attrs:[] ~supers:[];
+  check_type h "G_hat" ~attrs:[] ~supers:[];
+  check_type h "D" ~attrs:[ "d1" ] ~supers:[ ("D_hat", 0) ];
+  check_type h "G" ~attrs:[ "g1" ] ~supers:[ ("G_hat", 0) ];
+  check_type h "B_hat" ~attrs:[] ~supers:[ ("D_hat", 1); ("E_hat", 2) ];
+  check_type h "E_hat" ~attrs:[ "e2" ] ~supers:[ ("G_hat", 1); ("H_hat", 2) ]
+
+let test_fig5_body_retyping () =
+  let o = Tdp_paper.Fig3.project ~schema:Tdp_paper.Fig3.schema_with_z () in
+  (* z1(C) becomes z1(C_hat) with local g re-declared at G_hat and
+     result type G_hat; the re-typed schema must still type-check
+     (Section 6.3). *)
+  Alcotest.(check (list string)) "z1(C_hat)" [ "C_hat" ]
+    (method_param_types o.schema "ret_g" "z1");
+  let z1 = Schema.find_method o.schema (key "ret_g" "z1") in
+  (match Signature.result (Method_def.signature z1) with
+  | Some (Value_type.Named n) ->
+      Alcotest.(check string) "z1 result re-typed" "G_hat" (Type_name.to_string n)
+  | _ -> Alcotest.fail "z1 has no named result type");
+  (match Method_def.body z1 with
+  | Some body ->
+      let locals = Body.locals body in
+      Alcotest.(check bool) "local g re-typed to G_hat" true
+        (List.exists
+           (fun (x, t) ->
+             String.equal x "g"
+             && Value_type.equal t (Value_type.named (ty "G_hat")))
+           locals)
+  | None -> Alcotest.fail "z1 has no body");
+  Typing.check_all_methods o.schema
+
+let suite =
+  [ Alcotest.test_case "E1: fig1 applicability" `Quick test_fig1_applicability;
+    Alcotest.test_case "E2: fig2 hierarchy" `Quick test_fig2_hierarchy;
+    Alcotest.test_case "E2: fig2 methods" `Quick test_fig2_methods;
+    Alcotest.test_case "E3: example 2 classification" `Quick
+      test_example2_classification;
+    Alcotest.test_case "E3: x1/y1 cycle trace" `Quick test_example2_cycle_trace;
+    Alcotest.test_case "E4: fig4 hierarchy" `Quick test_fig4_hierarchy;
+    Alcotest.test_case "E4: surrogate count" `Quick test_fig4_surrogate_count;
+    Alcotest.test_case "E4: derived state" `Quick test_fig4_derived_state;
+    Alcotest.test_case "E5: example 3 signatures" `Quick test_example3_signatures;
+    Alcotest.test_case "E6: example 4 Z set" `Quick test_example4_z;
+    Alcotest.test_case "E6: fig5 hierarchy" `Quick test_fig5_hierarchy;
+    Alcotest.test_case "E6: fig5 body re-typing" `Quick test_fig5_body_retyping
+  ]
+
+let () = Alcotest.run "paper" [ ("figures", suite) ]

@@ -1,0 +1,112 @@
+(* Rendering coverage: every error constructor, diff change, DOT
+   export, and the summary printers produce sensible, non-empty text.
+   These are cheap but catch format-string regressions and keep the
+   printers exercised end to end. *)
+
+open Tdp_core
+open Helpers
+
+let str_contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let test_error_pp_total () =
+  let errors : (Error.t * string) list =
+    [ (Unknown_type (ty "X"), "X");
+      (Duplicate_type (ty "X"), "duplicate");
+      (Unknown_attribute (at "a"), "a");
+      (Duplicate_attribute { attr = at "a"; types = [ ty "X"; ty "Y" ] }, "several");
+      (Attribute_not_available { ty = ty "X"; attr = at "a" }, "not available");
+      (Cycle [ ty "X"; ty "Y"; ty "X" ], "cycle");
+      (Duplicate_super { sub = ty "X"; super = ty "Y" }, "supertype");
+      (Self_super (ty "X"), "own supertype");
+      (Duplicate_precedence { sub = ty "X"; prec = 3 }, "precedence 3");
+      (Unknown_generic_function "g", "g");
+      (Duplicate_method { gf = "g"; id = "m" }, "g.m");
+      (Arity_mismatch { gf = "g"; expected = 2; got = 3 }, "arity 2");
+      (Accessor_attr_not_inherited { meth = "m"; attr = at "a" }, "accessor");
+      (Non_object_argument { gf = "g"; position = 0 }, "not an object");
+      (Unbound_variable { meth = "m"; var = "v" }, "unbound");
+      (Empty_projection, "empty");
+      (Linearization_failure (ty "X"), "linearization");
+      (Parse_error { line = 3; col = 7; message = "boom" }, "3:7");
+      (Invariant_violation "oops", "oops")
+    ]
+  in
+  List.iter
+    (fun (e, fragment) ->
+      let s = Error.to_string e in
+      Alcotest.(check bool)
+        (Fmt.str "error mentions %S" fragment)
+        true (str_contains s fragment))
+    errors
+
+let test_dot_output () =
+  let o = Tdp_paper.Fig3.project () in
+  let dot = Dot.of_hierarchy ~name:"g" (Schema.hierarchy o.schema) in
+  Alcotest.(check bool) "digraph" true (str_contains dot "digraph \"g\"");
+  Alcotest.(check bool) "surrogates dashed" true (str_contains dot "style=dashed");
+  (* the Fig 4 edge A -> A_hat with precedence 0 *)
+  Alcotest.(check bool) "edge with precedence" true
+    (str_contains dot "\"A\" -> \"A_hat\" [label=\"0\"]");
+  (* every type appears as a node *)
+  List.iter
+    (fun def ->
+      Alcotest.(check bool)
+        (Type_name.to_string (Type_def.name def))
+        true
+        (str_contains dot
+           (Fmt.str "\"%s\"" (Type_name.to_string (Type_def.name def)))))
+    (Hierarchy.types (Schema.hierarchy o.schema))
+
+let test_projection_summary () =
+  let o = Tdp_paper.Fig3.project () in
+  let s = Fmt.str "%a" Projection.pp_summary o in
+  Alcotest.(check bool) "names the view" true (str_contains s "a_view");
+  Alcotest.(check bool) "counts surrogates" true (str_contains s "surrogates: 6");
+  Alcotest.(check bool) "counts applicable" true (str_contains s "4 / 13")
+
+let test_applicability_pp () =
+  let o = Tdp_paper.Fig3.project () in
+  let s = Fmt.str "%a" Applicability.pp_result o.analysis in
+  Alcotest.(check bool) "lists u3" true (str_contains s "u3");
+  List.iter
+    (fun e -> Alcotest.(check bool) "event renders" true (Fmt.str "%a" Applicability.pp_event e <> ""))
+    o.analysis.trace
+
+let test_diff_pp () =
+  let o = Tdp_paper.Fig1.project () in
+  let changes = Diff.schema_changes o.before o.schema in
+  let s = Fmt.str "%a" Diff.pp changes in
+  Alcotest.(check bool) "attr move rendered" true
+    (str_contains s "attr pay_rate moved Employee -> Employee_hat");
+  Alcotest.(check bool) "type addition rendered" true
+    (str_contains s "+ type Person_hat")
+
+let test_schema_pp () =
+  let s = Fmt.str "%a" Schema.pp Tdp_paper.Fig3.schema in
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool) frag true (str_contains s frag))
+    [ "type A"; "generic u/1"; "method v1"; "reader get_h2" ]
+
+let test_rewrite_pp () =
+  let o = Tdp_paper.Fig3.project () in
+  let rendered =
+    String.concat "\n" (List.map (Fmt.str "%a" Factor_methods.pp_rewrite) o.rewrites)
+  in
+  Alcotest.(check bool) "v1 rewrite rendered" true
+    (str_contains rendered "v1: (A, C) ->")
+
+let suite =
+  [ Alcotest.test_case "every error renders" `Quick test_error_pp_total;
+    Alcotest.test_case "dot output" `Quick test_dot_output;
+    Alcotest.test_case "projection summary" `Quick test_projection_summary;
+    Alcotest.test_case "applicability printers" `Quick test_applicability_pp;
+    Alcotest.test_case "diff printer" `Quick test_diff_pp;
+    Alcotest.test_case "schema printer" `Quick test_schema_pp;
+    Alcotest.test_case "rewrite printer" `Quick test_rewrite_pp
+  ]
+
+let () = Alcotest.run "pretty" [ ("pretty", suite) ]

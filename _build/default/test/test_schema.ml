@@ -1,0 +1,130 @@
+open Tdp_core
+open Helpers
+
+let base () = Tdp_paper.Fig1.schema
+
+let test_declare_gf_duplicate () =
+  let s = base () in
+  match Schema.declare_gf s (Generic_function.declare ~arity:1 "age") with
+  | exception Error.E (Unknown_generic_function _) -> ()
+  | _ -> Alcotest.fail "re-declaring an existing gf must fail"
+
+let test_add_method_arity_mismatch () =
+  let s = base () in
+  let m =
+    Method_def.make ~gf:"age" ~id:"age2"
+      ~signature:(Signature.make [ ("a", ty "Person"); ("b", ty "Person") ])
+      (General [ Body.return_unit ])
+  in
+  match Schema.add_method s m with
+  | exception Error.E (Arity_mismatch { gf = "age"; expected = 1; got = 2 }) -> ()
+  | _ -> Alcotest.fail "expected Arity_mismatch"
+
+let test_duplicate_method_id () =
+  let s = base () in
+  let m =
+    Method_def.make ~gf:"age" ~id:"age"
+      ~signature:(Signature.make [ ("a", ty "Person") ])
+      (General [ Body.return_unit ])
+  in
+  match Schema.add_method s m with
+  | exception Error.E (Duplicate_method { gf = "age"; id = "age" }) -> ()
+  | _ -> Alcotest.fail "expected Duplicate_method"
+
+let test_find_gf () =
+  let s = base () in
+  Alcotest.(check int) "age arity" 1 (Generic_function.arity (Schema.find_gf s "age"));
+  (match Schema.find_gf s "nope" with
+  | exception Error.E (Unknown_generic_function "nope") -> ()
+  | _ -> Alcotest.fail "expected Unknown_generic_function");
+  Alcotest.(check bool) "find_gf_opt none" true (Schema.find_gf_opt s "nope" = None)
+
+let test_is_writer_gf () =
+  let s = base () in
+  Alcotest.(check bool) "set_pay_rate is a writer gf" true
+    (Schema.is_writer_gf s "set_pay_rate");
+  Alcotest.(check bool) "age is not" false (Schema.is_writer_gf s "age");
+  Alcotest.(check bool) "get_ssn is not" false (Schema.is_writer_gf s "get_ssn");
+  Alcotest.(check bool) "unknown is not" false (Schema.is_writer_gf s "nope")
+
+let test_accessors_of_attr () =
+  let s = base () in
+  Alcotest.(check (list string)) "pay_rate accessors"
+    [ "get_pay_rate"; "set_pay_rate" ]
+    (List.sort String.compare
+       (List.map Method_def.id (Schema.accessors_of_attr s (at "pay_rate"))))
+
+let test_remove_method_keeps_gf () =
+  let s = base () in
+  let s = Schema.remove_method s (key "age" "age") in
+  Alcotest.(check bool) "method gone" true
+    (Schema.find_method_opt s (key "age" "age") = None);
+  Alcotest.(check bool) "gf survives" true (Schema.find_gf_opt s "age" <> None);
+  (* a body calling the now-empty gf still validates *)
+  let s =
+    Schema.add_method s
+      (Method_def.make ~gf:"probe" ~id:"probe"
+         ~signature:(Signature.make [ ("p", ty "Person") ])
+         (General [ Body.expr (Body.call "age" [ Body.var "p" ]) ]))
+  in
+  Schema.validate_exn s;
+  Typing.check_all_methods s
+
+let test_update_method () =
+  let s = base () in
+  let s =
+    Schema.update_method s (key "age" "age") (fun m ->
+        Method_def.with_signature m
+          (Signature.make ~result:Value_type.int [ ("p", ty "Employee") ]))
+  in
+  Alcotest.(check (list string)) "updated" [ "Employee" ]
+    (method_param_types s "age" "age")
+
+let test_validate_accessor_attr () =
+  (* an accessor whose argument type lacks the attribute *)
+  let s = base () in
+  let s =
+    Schema.add_method s
+      (Method_def.reader ~gf:"bad" ~id:"bad" ~param:"self" ~param_type:(ty "Person")
+         ~attr:(at "pay_rate") ~result:Value_type.float)
+  in
+  match Schema.validate_exn s with
+  | exception Error.E (Accessor_attr_not_inherited _) -> ()
+  | _ -> Alcotest.fail "expected Accessor_attr_not_inherited"
+
+let test_methods_applicable_to_call_arity () =
+  let s = base () in
+  let cache = Subtype_cache.create (Schema.hierarchy s) in
+  (* wrong arity: no methods, no crash *)
+  Alcotest.(check int) "wrong arity" 0
+    (List.length
+       (Schema.methods_applicable_to_call s cache ~gf:"age"
+          ~arg_types:[ ty "Person"; ty "Person" ]));
+  match
+    Schema.methods_applicable_to_call s cache ~gf:"nope" ~arg_types:[ ty "Person" ]
+  with
+  | exception Error.E (Unknown_generic_function _) -> ()
+  | _ -> Alcotest.fail "expected Unknown_generic_function"
+
+let test_gfs_sorted_and_all_methods () =
+  let s = base () in
+  let names = List.map Generic_function.name (Schema.gfs s) in
+  Alcotest.(check (list string)) "name order" (List.sort String.compare names) names;
+  Alcotest.(check int) "nine methods" 9 (List.length (Schema.all_methods s))
+
+let suite =
+  [ Alcotest.test_case "declare_gf duplicate" `Quick test_declare_gf_duplicate;
+    Alcotest.test_case "add_method arity" `Quick test_add_method_arity_mismatch;
+    Alcotest.test_case "duplicate method id" `Quick test_duplicate_method_id;
+    Alcotest.test_case "find_gf" `Quick test_find_gf;
+    Alcotest.test_case "is_writer_gf" `Quick test_is_writer_gf;
+    Alcotest.test_case "accessors_of_attr" `Quick test_accessors_of_attr;
+    Alcotest.test_case "remove_method keeps gf" `Quick test_remove_method_keeps_gf;
+    Alcotest.test_case "update_method" `Quick test_update_method;
+    Alcotest.test_case "validate accessor attr" `Quick test_validate_accessor_attr;
+    Alcotest.test_case "applicable-to-call arity" `Quick
+      test_methods_applicable_to_call_arity;
+    Alcotest.test_case "gfs order, all_methods" `Quick test_gfs_sorted_and_all_methods
+  ]
+
+let () = Alcotest.run "schema" [ ("schema", suite) ]

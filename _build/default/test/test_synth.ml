@@ -1,0 +1,82 @@
+open Tdp_core
+module Synth = Tdp_synth.Synth
+open Helpers
+
+let test_determinism () =
+  let s1 = Synth.generate Synth.default in
+  let s2 = Synth.generate Synth.default in
+  Alcotest.(check bool) "same seed, same hierarchy" true
+    (Hierarchy.equal (Schema.hierarchy s1) (Schema.hierarchy s2));
+  Alcotest.(check int) "same method count"
+    (List.length (Schema.all_methods s1))
+    (List.length (Schema.all_methods s2))
+
+let test_different_seeds_differ () =
+  let s1 = Synth.generate Synth.default in
+  let s2 = Synth.generate { Synth.default with seed = Synth.default.seed + 1 } in
+  Alcotest.(check bool) "different seeds, different schema" false
+    (Hierarchy.equal (Schema.hierarchy s1) (Schema.hierarchy s2))
+
+let test_validity_across_configs () =
+  List.iter
+    (fun cfg ->
+      let s = Synth.generate cfg in
+      Schema.validate_exn s;
+      Typing.check_all_methods s)
+    [ Synth.default;
+      { Synth.default with n_types = 1; n_gfs = 1; methods_per_gf = 1 };
+      { Synth.default with n_types = 40; max_supers = 3; seed = 9 };
+      { Synth.default with writer_fraction = 1.0; seed = 3 };
+      { Synth.default with recursion = false; seed = 5 }
+    ]
+
+let test_size_scales () =
+  let small = Synth.generate { Synth.default with n_types = 5 } in
+  let large = Synth.generate { Synth.default with n_types = 50 } in
+  Alcotest.(check int) "small" 5 (Hierarchy.cardinal (Schema.hierarchy small));
+  Alcotest.(check int) "large" 50 (Hierarchy.cardinal (Schema.hierarchy large))
+
+let test_gen_projection_available () =
+  for seed = 0 to 20 do
+    let s = Synth.generate { Synth.default with seed } in
+    let source, projection = Synth.gen_projection ~seed s in
+    Alcotest.(check bool) "non-empty" true (projection <> []);
+    List.iter
+      (fun a ->
+        Alcotest.(check bool) "available" true
+          (Hierarchy.has_attribute (Schema.hierarchy s) source a))
+      projection
+  done
+
+let test_populate () =
+  let s = Synth.generate Synth.default in
+  let db = Tdp_store.Database.create s in
+  let oids = Synth.populate db 25 in
+  Alcotest.(check int) "25 objects" 25 (List.length oids);
+  Alcotest.(check int) "count agrees" 25 (Tdp_store.Database.count db);
+  (* all slots are filled with ints *)
+  List.iter
+    (fun oid ->
+      let ty_ = Tdp_store.Database.type_of db oid in
+      List.iter
+        (fun a ->
+          match
+            Tdp_store.Database.get_attr db oid (Attribute.name a)
+          with
+          | Tdp_store.Value.Int _ -> ()
+          | v -> Alcotest.failf "unexpected value %a" Tdp_store.Value.pp v)
+        (Hierarchy.all_attributes (Schema.hierarchy s) ty_))
+    oids;
+  ignore at;
+  ignore ty
+
+let suite =
+  [ Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seeds differ" `Quick test_different_seeds_differ;
+    Alcotest.test_case "validity across configs" `Quick test_validity_across_configs;
+    Alcotest.test_case "size scales" `Quick test_size_scales;
+    Alcotest.test_case "projections are available" `Quick test_gen_projection_available;
+    Alcotest.test_case "populate" `Quick test_populate
+  ]
+
+let () = Alcotest.run "synth" [ ("synth", suite) ]
