@@ -1,6 +1,7 @@
 (* odb — command-line front end for the type-derivation library.
 
      odb check schema.odb
+     odb lint schema.odb [--json] [--code TDPxxx]
      odb apply schema.odb [--collapse] [--print | --dot]
      odb methods schema.odb --source T --attrs a,b,c [--trace]
      odb dot schema.odb
@@ -11,6 +12,9 @@ open Tdp_core
 module Elaborate = Tdp_lang.Elaborate
 module Printer = Tdp_lang.Printer
 module Optimize = Tdp_algebra.Optimize
+module Static_check = Tdp_dispatch.Static_check
+module Diagnostic = Tdp_analysis.Diagnostic
+module Lint = Tdp_analysis.Lint
 
 let read_file path =
   let ic = open_in_bin path in
@@ -18,13 +22,16 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let or_die = function
-  | Ok v -> v
-  | Error e ->
-      Fmt.epr "error: %a@." Error.pp e;
-      exit 1
+let die ?file e =
+  (match (file, Error.position e) with
+  | Some f, Some (l, c) -> Fmt.epr "error: %s:%d:%d: %s@." f l c (Error.message e)
+  | Some f, None -> Fmt.epr "error: %s: %s@." f (Error.message e)
+  | None, _ -> Fmt.epr "error: %a@." Error.pp e);
+  exit 1
 
-let load path = or_die (Elaborate.load (read_file path))
+let or_die ?file = function Ok v -> v | Error e -> die ?file e
+
+let load path = or_die ~file:path (Elaborate.load (read_file path))
 
 let summary schema =
   let h = Schema.hierarchy schema in
@@ -45,8 +52,49 @@ let check_cmd file =
     (fun (name, expr) ->
       Fmt.pr "view %s = %a@." name Tdp_algebra.View.pp_expr expr)
     r.views;
-  Fmt.pr "ok.@.";
-  0
+  (* Elaboration already validated the hierarchy and type-checked the
+     bodies; the remaining well-formedness hazard is two methods of one
+     generic function with identical signatures. *)
+  match
+    ( Hierarchy.validate (Schema.hierarchy r.schema),
+      Static_check.duplicate_signatures r.schema )
+  with
+  | Ok (), [] ->
+      Fmt.pr "ok.@.";
+      0
+  | hierarchy, dups ->
+      (match hierarchy with
+      | Error e -> Fmt.epr "error: %s: %s@." file (Error.message e)
+      | Ok () -> ());
+      List.iter (fun i -> Fmt.epr "error: %s: %a@." file Static_check.pp_issue i) dups;
+      1
+
+(* --- lint ---------------------------------------------------------- *)
+
+let lint_cmd file json code =
+  (match code with
+  | Some c when not (List.exists (fun (c', _, _) -> c' = c) Lint.codes) ->
+      Fmt.epr "error: unknown diagnostic code %s (see docs/diagnostics.md)@." c;
+      exit 2
+  | _ -> ());
+  let diags =
+    match Elaborate.load_unchecked (read_file file) with
+    | Error e -> [ Lint.of_error ~file e ]
+    | Ok r -> Lint.lint_program ~file r.schema ~views:r.views
+  in
+  let diags =
+    match code with
+    | None -> diags
+    | Some c -> List.filter (fun (d : Diagnostic.t) -> d.code = c) diags
+  in
+  if json then List.iter (fun d -> print_endline (Diagnostic.to_json d)) diags
+  else begin
+    List.iter (fun d -> Fmt.pr "%a@." Diagnostic.pp d) diags;
+    let errors, warnings, infos = Diagnostic.count diags in
+    if diags = [] then Fmt.pr "no issues found.@."
+    else Fmt.pr "%d error(s), %d warning(s), %d info@." errors warnings infos
+  end;
+  if List.exists Diagnostic.is_error diags then 1 else 0
 
 (* --- apply --------------------------------------------------------- *)
 
@@ -156,6 +204,23 @@ let check_t =
   let doc = "Parse, validate and type-check a schema file." in
   Cmd.v (Cmd.info "check" ~doc) Term.(const check_cmd $ file_arg)
 
+let lint_t =
+  let doc =
+    "Run the static-analysis passes (body type checks, flow lints, schema \
+     lints, projection pre-checks) and report structured diagnostics.  Exits \
+     1 when any error-severity diagnostic fires."
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object per line.")
+  in
+  let code =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "code" ] ~docv:"TDPxxx" ~doc:"Only report diagnostics with this code.")
+  in
+  Cmd.v (Cmd.info "lint" ~doc) Term.(const lint_cmd $ file_arg $ json $ code)
+
 let apply_t =
   let doc = "Derive every declared view, refactoring the hierarchy." in
   let collapse =
@@ -224,6 +289,6 @@ let main =
   let doc = "type derivation using the projection operation (Agrawal & DeMichiel, 1994)" in
   Cmd.group
     (Cmd.info "odb" ~version:"1.0.0" ~doc)
-    [ check_t; apply_t; methods_t; query_t; dot_t ]
+    [ check_t; lint_t; apply_t; methods_t; query_t; dot_t ]
 
 let () = exit (Cmd.eval' main)

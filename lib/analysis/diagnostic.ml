@@ -1,0 +1,78 @@
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;
+  severity : severity;
+  file : string option;
+  position : (int * int) option;
+  message : string;
+}
+
+let make ?file ?position ~code ~severity message =
+  { code; severity; file; position; message }
+
+let is_error d = d.severity = Error
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let compare a b =
+  let c = String.compare a.code b.code in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare a.position b.position in
+    if c <> 0 then c else String.compare a.message b.message
+
+let count ds =
+  List.fold_left
+    (fun (e, w, i) d ->
+      match d.severity with
+      | Error -> (e + 1, w, i)
+      | Warning -> (e, w + 1, i)
+      | Info -> (e, w, i + 1))
+    (0, 0, 0) ds
+
+let pp ppf d =
+  (match (d.file, d.position) with
+  | Some f, Some (l, c) -> Fmt.pf ppf "%s:%d:%d: " f l c
+  | Some f, None -> Fmt.pf ppf "%s: " f
+  | None, Some (l, c) -> Fmt.pf ppf "%d:%d: " l c
+  | None, None -> ());
+  Fmt.pf ppf "%s[%s]: %s" (severity_to_string d.severity) d.code d.message
+
+(* Minimal JSON string escaping: quote, backslash, and control
+   characters.  The fields we emit never contain anything fancier. *)
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_json d =
+  let fields =
+    [ Some ("code", json_string d.code);
+      Some ("severity", json_string (severity_to_string d.severity));
+      Option.map (fun f -> ("file", json_string f)) d.file;
+      Option.map (fun (l, _) -> ("line", string_of_int l)) d.position;
+      Option.map (fun (_, c) -> ("col", string_of_int c)) d.position;
+      Some ("message", json_string d.message)
+    ]
+    |> List.filter_map Fun.id
+  in
+  "{"
+  ^ String.concat "," (List.map (fun (k, v) -> json_string k ^ ":" ^ v) fields)
+  ^ "}"

@@ -1,0 +1,508 @@
+open Tdp_core
+module Static_check = Tdp_dispatch.Static_check
+module Dispatch = Tdp_dispatch.Dispatch
+module View = Tdp_algebra.View
+module SS = Dataflow.SS
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostic table                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let codes : (string * Diagnostic.severity * string) list =
+  [ ("TDP000", Error, "schema failed to parse or elaborate");
+    ("TDP001", Error, "use of an undefined variable");
+    ("TDP002", Error, "ill-typed assignment or initialization");
+    ("TDP003", Error, "non-boolean if condition");
+    ("TDP004", Error, "non-boolean while condition");
+    ("TDP005", Error, "return disagrees with the declared result type");
+    ("TDP006", Warning, "local variable may be read before initialization");
+    ("TDP007", Warning, "call matches no method at its static argument types");
+    ("TDP008", Error, "call to an undeclared generic function");
+    ("TDP009", Error, "call arity disagrees with the generic function");
+    ("TDP010", Error, "generic-function argument is not an object");
+    ("TDP011", Warning, "local variable is never used");
+    ("TDP012", Warning, "local variable is written but never read");
+    ("TDP013", Warning, "unreachable statement after return");
+    ("TDP014", Error, "declaration references an unknown type");
+    ("TDP020", Error, "two methods of one generic function share a signature");
+    ("TDP021", Warning, "a call in the generic function's space is ambiguous");
+    ("TDP022", Warning, "a call in the generic function's space has no method");
+    ("TDP023", Info, "attribute reaches a type through multiple supertypes");
+    ("TDP024", Info, "non-surrogate type declares no attributes");
+    ("TDP025", Error, "accessor references an attribute its type lacks");
+    ("TDP026", Info, "generic function declares no methods");
+    ("TDP027", Warning, "type has no consistent precedence linearization");
+    ("TDP028", Error, "hierarchy is structurally malformed");
+    ("TDP030", Warning, "projection strips a method of the source type");
+    ("TDP031", Error, "projected attribute not available at the source type");
+    ("TDP032", Error, "view references an unknown base");
+    ("TDP033", Error, "view name collides with an existing type")
+  ]
+
+let severity_of code =
+  match List.find_opt (fun (c, _, _) -> c = code) codes with
+  | Some (_, s, _) -> s
+  | None -> Diagnostic.Error
+
+let d ?file code fmt =
+  Fmt.kstr
+    (fun message ->
+      Diagnostic.make ?file ~code ~severity:(severity_of code) message)
+    fmt
+
+let of_error ?file e =
+  Diagnostic.make ?file ?position:(Error.position e) ~code:"TDP000"
+    ~severity:Diagnostic.Error (Error.message e)
+
+let mname m = Fmt.str "%s.%s" (Method_def.gf m) (Method_def.id m)
+let types_str l = String.concat ", " (List.map Type_name.to_string l)
+
+(* ------------------------------------------------------------------ *)
+(* Declaration sanity: every type referenced by a signature, local or   *)
+(* attribute must exist.  The deeper passes assume this (their subtype  *)
+(* queries raise on unknown names), so methods that fail it are         *)
+(* excluded from body analysis.                                         *)
+(* ------------------------------------------------------------------ *)
+
+let unknown_named h ty =
+  match Value_type.as_named ty with
+  | Some n when not (Hierarchy.mem h n) -> Some n
+  | _ -> None
+
+let check_attr_types ?file h =
+  List.concat_map
+    (fun def ->
+      List.filter_map
+        (fun a ->
+          unknown_named h (Attribute.ty a)
+          |> Option.map (fun n ->
+                 d ?file "TDP014" "attribute %a of type %a has unknown type %a"
+                   Attr_name.pp (Attribute.name a) Type_name.pp (Type_def.name def)
+                   Type_name.pp n))
+        (Type_def.attrs def))
+    (Hierarchy.types h)
+
+let check_method_decl ?file h m =
+  let s = Method_def.signature m in
+  let params =
+    List.filter_map
+      (fun (x, ty) ->
+        if Hierarchy.mem h ty then None
+        else
+          Some
+            (d ?file "TDP014" "parameter %s of method %s has unknown type %a" x
+               (mname m) Type_name.pp ty))
+      (Signature.params s)
+  in
+  let result =
+    match Option.bind (Signature.result s) (fun ty -> unknown_named h ty) with
+    | Some n ->
+        [ d ?file "TDP014" "result of method %s has unknown type %a" (mname m)
+            Type_name.pp n
+        ]
+    | None -> []
+  in
+  let locals =
+    match Method_def.body m with
+    | None -> []
+    | Some body ->
+        List.filter_map
+          (fun (x, ty) ->
+            unknown_named h ty
+            |> Option.map (fun n ->
+                   d ?file "TDP014" "local %s of method %s has unknown type %a" x
+                     (mname m) Type_name.pp n))
+          (Body.locals body)
+  in
+  params @ result @ locals
+
+(* ------------------------------------------------------------------ *)
+(* Pass 1: method-body type checker                                     *)
+(* ------------------------------------------------------------------ *)
+
+let boolish = function
+  | Value_type.Prim Value_type.Bool | Value_type.Unknown -> true
+  | _ -> false
+
+let check_call ?file schema cache env ~meth gf args =
+  match Schema.find_gf_opt schema gf with
+  | None -> [ d ?file "TDP008" "method %s calls undeclared generic function %s" meth gf ]
+  | Some g ->
+      let arity = Generic_function.arity g in
+      let expected = arity + if Schema.is_writer_gf schema gf then 1 else 0 in
+      if List.length args <> expected then
+        [ d ?file "TDP009" "method %s calls %s with %d argument(s); it takes %d"
+            meth gf (List.length args) expected
+        ]
+      else
+        let dispatched = List.filteri (fun i _ -> i < arity) args in
+        let typed =
+          List.mapi
+            (fun i a -> (i, Value_type.as_named (Typing.type_of_expr schema env a)))
+            dispatched
+        in
+        let non_object =
+          List.filter_map
+            (fun (i, t) ->
+              if t = None then
+                Some
+                  (d ?file "TDP010"
+                     "argument %d of call %s in method %s is not an object" i gf
+                     meth)
+              else None)
+            typed
+        in
+        if non_object <> [] then non_object
+        else
+          let arg_types = List.filter_map snd typed in
+          if Schema.methods_applicable_to_call schema cache ~gf ~arg_types = []
+          then
+            [ d ?file "TDP007"
+                "call %s(%s) in method %s matches no method at its static types"
+                gf (types_str arg_types) meth
+            ]
+          else []
+
+let check_body ?file schema cache h m =
+  match Method_def.body m with
+  | None -> []
+  | Some body ->
+      let meth = mname m in
+      let env = Typing.env_of_method m in
+      let expr_diags =
+        Body.fold_stmts
+          (fun acc (e : Body.expr) ->
+            match e with
+            | Var x when not (Typing.SMap.mem x env) ->
+                d ?file "TDP001" "method %s uses undefined variable %s" meth x
+                :: acc
+            | Var _ | Lit _ | Builtin _ -> acc
+            | Call { gf; args } ->
+                List.rev_append (check_call ?file schema cache env ~meth gf args) acc)
+          [] body
+        |> List.rev
+      in
+      let result = Signature.result (Method_def.signature m) in
+      let rec walk stmts = List.concat_map walk_stmt stmts
+      and walk_stmt (s : Body.stmt) =
+        match s with
+        | Assign (x, e) | Local { var = x; init = Some e; _ } ->
+            let tx = Typing.lookup_var env x
+            and te = Typing.type_of_expr schema env e in
+            if Typing.SMap.mem x env && not (Typing.compatible h ~from_:te ~to_:tx)
+            then
+              [ d ?file "TDP002" "method %s assigns a %a value to %s : %a" meth
+                  Value_type.pp te x Value_type.pp tx
+              ]
+            else []
+        | Local { init = None; _ } | Expr _ -> []
+        | Return None -> (
+            match result with
+            | Some rt ->
+                [ d ?file "TDP005"
+                    "method %s returns nothing but declares result %a" meth
+                    Value_type.pp rt
+                ]
+            | None -> [])
+        | Return (Some e) -> (
+            let te = Typing.type_of_expr schema env e in
+            match result with
+            | Some rt when not (Typing.compatible h ~from_:te ~to_:rt) ->
+                [ d ?file "TDP005"
+                    "method %s returns a %a value but declares result %a" meth
+                    Value_type.pp te Value_type.pp rt
+                ]
+            | Some _ -> []
+            | None ->
+                if te = Value_type.Unknown then []
+                else
+                  [ d ?file "TDP005"
+                      "method %s returns a value but declares no result" meth
+                  ])
+        | If (c, t, e) ->
+            (if boolish (Typing.type_of_expr schema env c) then []
+             else
+               [ d ?file "TDP003" "if condition in method %s is %a, not bool" meth
+                   Value_type.pp
+                   (Typing.type_of_expr schema env c)
+               ])
+            @ walk t @ walk e
+        | While (c, b) ->
+            (if boolish (Typing.type_of_expr schema env c) then []
+             else
+               [ d ?file "TDP004" "while condition in method %s is %a, not bool"
+                   meth Value_type.pp
+                   (Typing.type_of_expr schema env c)
+               ])
+            @ walk b
+      in
+      let uninit =
+        List.map
+          (fun x ->
+            d ?file "TDP006" "method %s may read %s before initialization" meth x)
+          (Dataflow.use_before_init m)
+      in
+      expr_diags @ walk body @ uninit
+
+(* ------------------------------------------------------------------ *)
+(* Pass 2: flow lints                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec stmt_terminates (s : Body.stmt) =
+  match s with
+  | Return _ -> true
+  | If (_, t, e) -> t <> [] && e <> [] && block_terminates t && block_terminates e
+  | Local _ | Assign _ | Expr _ | While _ -> false
+
+and block_terminates stmts = List.exists stmt_terminates stmts
+
+let check_flow ?file m =
+  match Method_def.body m with
+  | None -> []
+  | Some body ->
+      let meth = mname m in
+      let reads = Dataflow.read_vars body in
+      let writes = Dataflow.written_vars body in
+      let locals =
+        List.concat_map
+          (fun (x, _) ->
+            if SS.mem x reads then []
+            else if SS.mem x writes then
+              [ d ?file "TDP012" "local %s of method %s is written but never read"
+                  x meth
+              ]
+            else [ d ?file "TDP011" "local %s of method %s is never used" x meth ])
+          (Body.locals body)
+      in
+      let unreachable = ref [] in
+      let rec scan stmts =
+        (let rec go = function
+           | s :: (_ :: _ as rest) ->
+               if stmt_terminates s then
+                 unreachable :=
+                   d ?file "TDP013" "unreachable statement after return in method %s"
+                     meth
+                   :: !unreachable
+               else go rest
+           | _ -> ()
+         in
+         go stmts);
+        List.iter
+          (fun (s : Body.stmt) ->
+            match s with
+            | If (_, t, e) ->
+                scan t;
+                scan e
+            | While (_, b) -> scan b
+            | Local _ | Assign _ | Expr _ | Return _ -> ())
+          stmts
+      in
+      scan body;
+      locals @ List.rev !unreachable
+
+(* ------------------------------------------------------------------ *)
+(* Pass 3: schema lints                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let of_static_issue ?file (i : Static_check.issue) =
+  match i with
+  | Duplicate_signature { gf; m1; m2 } ->
+      d ?file "TDP020" "generic %s: methods %a and %a have identical signatures"
+        gf Method_def.Key.pp m1 Method_def.Key.pp m2
+  | Ambiguous_call { gf; arg_types; methods } ->
+      d ?file "TDP021" "call %s(%s) is ambiguous between %s" gf
+        (types_str arg_types)
+        (String.concat ", " (List.map (Fmt.str "%a" Method_def.Key.pp) methods))
+  | Uncovered_call { gf; arg_types } ->
+      d ?file "TDP022" "call %s(%s) has no applicable method" gf
+        (types_str arg_types)
+
+let check_diamonds ?file h =
+  List.concat_map
+    (fun def ->
+      let supers = Type_def.super_names def in
+      if List.length supers < 2 then []
+      else
+        let per_super =
+          List.map (fun s -> (s, Hierarchy.all_attribute_names h s)) supers
+        in
+        let attrs =
+          List.sort_uniq Attr_name.compare (List.concat_map snd per_super)
+        in
+        List.filter_map
+          (fun a ->
+            let via =
+              List.filter_map
+                (fun (s, attrs) ->
+                  if List.exists (Attr_name.equal a) attrs then Some s else None)
+                per_super
+            in
+            if List.length via < 2 then None
+            else
+              Some
+                (d ?file "TDP023"
+                   "attribute %a reaches %a through supertypes %s (inherited once)"
+                   Attr_name.pp a Type_name.pp (Type_def.name def) (types_str via)))
+          attrs)
+    (Hierarchy.types h)
+
+let check_schema_structure ?file schema =
+  let h = Schema.hierarchy schema in
+  let empties =
+    List.filter_map
+      (fun def ->
+        if Type_def.attrs def = [] && not (Type_def.is_surrogate def) then
+          Some
+            (d ?file "TDP024" "type %a declares no attributes" Type_name.pp
+               (Type_def.name def))
+        else None)
+      (Hierarchy.types h)
+  in
+  let empty_gfs =
+    List.filter_map
+      (fun g ->
+        if Generic_function.methods g = [] then
+          Some
+            (d ?file "TDP026" "generic function %s declares no methods"
+               (Generic_function.name g))
+        else None)
+      (Schema.gfs schema)
+  in
+  let accessors =
+    List.concat_map
+      (fun m ->
+        match (Method_def.accessed_attr m, Signature.params (Method_def.signature m)) with
+        | Some attr, (_, on) :: _ ->
+            if Hierarchy.mem h on && not (Hierarchy.has_attribute h on attr) then
+              [ d ?file "TDP025"
+                  "accessor %s references attribute %a that type %a does not have"
+                  (mname m) Attr_name.pp attr Type_name.pp on
+              ]
+            else []
+        | _ -> [])
+      (Schema.all_methods schema)
+  in
+  let linearization =
+    List.filter_map
+      (fun n ->
+        match Linearize.cpl_result h n with
+        | Error (Linearization_failure _) ->
+            Some
+              (d ?file "TDP027" "type %a has no consistent precedence linearization"
+                 Type_name.pp n)
+        | Error _ | Ok _ -> None)
+      (Hierarchy.type_names h)
+  in
+  empties @ empty_gfs @ accessors @ linearization @ check_diamonds ?file h
+
+let check_call_spaces ?file schema =
+  let dispatcher = Dispatch.create schema in
+  List.concat_map
+    (fun g ->
+      let gf = Generic_function.name g in
+      match Static_check.method_space_issues dispatcher ~gf with
+      | issues -> List.map (of_static_issue ?file) issues
+      | exception Error.E _ -> [] (* linearization failures are TDP027 *))
+    (Schema.gfs schema)
+
+(* ------------------------------------------------------------------ *)
+(* Pass 4: projection-safety pre-check                                  *)
+(* ------------------------------------------------------------------ *)
+
+let check_projection ?file schema ~view ~source ~projection =
+  match
+    Error.guard (fun () -> Applicability.analyze_exn schema ~source ~projection)
+  with
+  | Error _ -> [] (* ill-formed inputs are reported by the other passes *)
+  | Ok r ->
+      List.map
+        (fun k ->
+          d ?file "TDP030" "view %s strips %a from %a: %s" view
+            Method_def.Key.pp k Type_name.pp source
+            (Applicability.explain schema r ~source ~projection k))
+        (Method_def.Key.Set.elements r.not_applicable)
+
+let lint_views ?file schema views =
+  let h = Schema.hierarchy schema in
+  let rec walk ~view ~seen (e : View.expr) =
+    match e with
+    | Base n ->
+        if Hierarchy.mem h n || List.mem (Type_name.to_string n) seen then []
+        else
+          [ d ?file "TDP032" "view %s references unknown base %a" view
+              Type_name.pp n
+          ]
+    | Project (sub, projection) ->
+        let deeper = walk ~view ~seen sub in
+        let here =
+          match sub with
+          | Base n when Hierarchy.mem h n ->
+              let available = Hierarchy.all_attribute_names h n in
+              let missing =
+                List.filter
+                  (fun a -> not (List.exists (Attr_name.equal a) available))
+                  projection
+              in
+              if missing <> [] then
+                List.map
+                  (fun a ->
+                    d ?file "TDP031"
+                      "view %s projects attribute %a that %a does not have" view
+                      Attr_name.pp a Type_name.pp n)
+                  missing
+              else check_projection ?file schema ~view ~source:n ~projection
+          | _ -> []
+        in
+        deeper @ here
+    | Select (sub, _) -> walk ~view ~seen sub
+    | Generalize (a, b) -> walk ~view ~seen a @ walk ~view ~seen b
+  in
+  let diags, _ =
+    List.fold_left
+      (fun (acc, seen) (name, expr) ->
+        let clash =
+          if Hierarchy.mem h (Type_name.of_string name) then
+            [ d ?file "TDP033" "view %s collides with an existing type" name ]
+          else []
+        in
+        (acc @ clash @ walk ~view:name ~seen expr, name :: seen))
+      ([], []) views
+  in
+  List.stable_sort Diagnostic.compare diags
+
+(* ------------------------------------------------------------------ *)
+(* Drivers                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let lint_schema ?file schema =
+  let h = Schema.hierarchy schema in
+  match Hierarchy.validate h with
+  | Error e ->
+      [ d ?file "TDP028" "%s" (Error.message e) ]
+  | Ok () ->
+      let decls =
+        check_attr_types ?file h
+        @ List.concat_map (check_method_decl ?file h) (Schema.all_methods schema)
+      in
+      let structure =
+        check_schema_structure ?file schema
+        @ List.map (of_static_issue ?file) (Static_check.duplicate_signatures schema)
+      in
+      let flow = List.concat_map (check_flow ?file) (Schema.all_methods schema) in
+      let deep =
+        (* the typed passes issue subtype queries that assume every
+           declared type exists; skip them when TDP014 fired *)
+        if decls <> [] then []
+        else
+          let cache = Subtype_cache.create h in
+          List.concat_map (check_body ?file schema cache h) (Schema.all_methods schema)
+          @ check_call_spaces ?file schema
+      in
+      List.stable_sort Diagnostic.compare (decls @ structure @ flow @ deep)
+
+let lint_program ?file schema ~views =
+  let s = lint_schema ?file schema in
+  let v =
+    if List.exists Diagnostic.is_error s then [] else lint_views ?file schema views
+  in
+  List.stable_sort Diagnostic.compare (s @ v)

@@ -1,0 +1,49 @@
+(** Static analysis of schemas and method bodies.
+
+    Four pass families over an elaborated (possibly unchecked) schema,
+    all reporting through {!Diagnostic}:
+
+    - {b body}: a method-body type checker — undefined variables,
+      assignment/return compatibility, non-boolean conditions,
+      use-before-initialization, and generic-function calls that are
+      malformed or match no method statically;
+    - {b flow}: def/use lints built on {!Tdp_core.Dataflow} — unused and
+      write-only locals, unreachable statements after [return];
+    - {b schema}: duplicate signatures and call-space coverage/ambiguity
+      (subsuming {!Tdp_dispatch.Static_check}), diamond attribute
+      inheritance, empty types, accessors over missing attributes,
+      linearization failures;
+    - {b projection}: a pre-check that warns, for each declared view,
+      about the methods the projection will strip because their bodies
+      transitively depend on dropped attributes (Section 4 of the
+      paper, run before the expensive refactoring).
+
+    The passes never raise: schemas that are too broken for the deeper
+    analyses short-circuit into structural diagnostics. *)
+
+open Tdp_core
+
+(** Render a load/elaboration failure as a [TDP000] error diagnostic,
+    preserving any source position the error carries. *)
+val of_error : ?file:string -> Error.t -> Diagnostic.t
+
+(** All schema-level passes (body, flow, schema families), sorted with
+    {!Diagnostic.compare}.  [file] is attached to every diagnostic. *)
+val lint_schema : ?file:string -> Schema.t -> Diagnostic.t list
+
+(** The projection-safety pre-check over declared views (in declaration
+    order; later views may reference earlier ones by name).  Assumes a
+    schema free of error-severity issues. *)
+val lint_views :
+  ?file:string -> Schema.t -> (string * Tdp_algebra.View.expr) list -> Diagnostic.t list
+
+(** {!lint_schema}, then — when it produced no error-severity
+    diagnostic — {!lint_views}; the combined list is sorted. *)
+val lint_program :
+  ?file:string ->
+  Schema.t ->
+  views:(string * Tdp_algebra.View.expr) list ->
+  Diagnostic.t list
+
+(** The full diagnostic table: code, default severity, description. *)
+val codes : (string * Diagnostic.severity * string) list

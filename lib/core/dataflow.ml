@@ -174,6 +174,80 @@ let returns_rebound m ~rebound =
       walk body;
       !found
 
+(* --- simple def/use facts (consumed by the Tdp_analysis lints) ------ *)
+
+let read_vars body =
+  Body.fold_stmts
+    (fun acc (e : Body.expr) ->
+      match e with Var x -> SS.add x acc | Lit _ | Call _ | Builtin _ -> acc)
+    SS.empty body
+
+let written_vars body =
+  let rec walk acc stmts = List.fold_left walk_stmt acc stmts
+  and walk_stmt acc (s : Body.stmt) =
+    match s with
+    | Local { var; init = Some _; _ } | Assign (var, _) -> SS.add var acc
+    | Local { init = None; _ } | Expr _ | Return _ -> acc
+    | If (_, t, e) -> walk (walk acc t) e
+    | While (_, b) -> walk acc b
+  in
+  walk SS.empty body
+
+(* Definite-assignment walk: [defined] is the set of variables certainly
+   carrying a value at the current program point.  Formals are defined on
+   entry; a local joins the set at its declaration when initialized, or at
+   its first assignment.  Reads of declared-but-undefined locals are
+   reported once per variable, in first-read order. *)
+let use_before_init m =
+  match Method_def.body m with
+  | None -> []
+  | Some body ->
+      let locals = SS.of_list (List.map fst (Body.locals body)) in
+      let formals =
+        SS.of_list (List.map fst (Signature.params (Method_def.signature m)))
+      in
+      let reported = ref SS.empty in
+      let order = ref [] in
+      let report x =
+        if not (SS.mem x !reported) then begin
+          reported := SS.add x !reported;
+          order := x :: !order
+        end
+      in
+      let check_expr defined e =
+        ignore
+          (Body.fold_expr
+             (fun () (e : Body.expr) ->
+               match e with
+               | Var x when SS.mem x locals && not (SS.mem x defined) -> report x
+               | Var _ | Lit _ | Call _ | Builtin _ -> ())
+             () e)
+      in
+      let rec walk defined stmts = List.fold_left walk_stmt defined stmts
+      and walk_stmt defined (s : Body.stmt) =
+        match s with
+        | Local { var; init; _ } ->
+            Option.iter (check_expr defined) init;
+            if Option.is_some init then SS.add var defined else defined
+        | Assign (x, e) ->
+            check_expr defined e;
+            SS.add x defined
+        | Expr e | Return (Some e) ->
+            check_expr defined e;
+            defined
+        | Return None -> defined
+        | If (c, t, e) ->
+            check_expr defined c;
+            let dt = walk defined t and de = walk defined e in
+            SS.inter dt de
+        | While (c, b) ->
+            check_expr defined c;
+            ignore (walk defined b);
+            defined
+      in
+      ignore (walk formals body);
+      List.rev !order
+
 (* Variables of [m] whose declared object type is in [zs] and that are
    reached by a rebound formal: these declarations must be re-typed to
    surrogate types (Section 6.3). *)

@@ -56,3 +56,23 @@ val returns_rebound : Method_def.t -> rebound:SS.t -> bool
     surrogate types by {!Factor_methods}. *)
 val retypable_locals :
   Method_def.t -> rebound:SS.t -> types:Type_name.Set.t -> (string * Type_name.t) list
+
+(** {1 Simple def/use facts}
+
+    Syntactic read/write sets and a definite-assignment walk, used by
+    the flow lints of [Tdp_analysis]. *)
+
+(** Variables read anywhere in the body (any [Var] occurrence in an
+    expression, including conditions). *)
+val read_vars : Body.t -> SS.t
+
+(** Variables written anywhere in the body: assignment targets plus
+    initialized declarations. *)
+val written_vars : Body.t -> SS.t
+
+(** Declared locals that may be read before any initialization or
+    assignment reaches them, in first-read order.  Formals are always
+    initialized; an [If] only defines what both branches define; a
+    [While] body may not run at all.  A read before the variable's
+    declaration statement also counts. *)
+val use_before_init : Method_def.t -> string list

@@ -18,12 +18,24 @@ type t =
   | Linearization_failure of Type_name.t
   | Parse_error of { line : int; col : int; message : string }
   | Invariant_violation of string
+  | At of { line : int; col : int; error : t }
 
 exception E of t
 
 let raise_ e = raise (E e)
 
-let pp ppf = function
+let position = function
+  | Parse_error { line; col; _ } | At { line; col; _ } -> Some (line, col)
+  | _ -> None
+
+let with_position ~line ~col f =
+  try f () with
+  | E (Parse_error _ as e) | E (At _ as e) -> raise (E e)
+  | E error -> raise (E (At { line; col; error }))
+
+let rec strip = function At { error; _ } -> strip error | e -> e
+
+let rec pp ppf = function
   | Unknown_type n -> Fmt.pf ppf "unknown type %a" Type_name.pp n
   | Duplicate_type n -> Fmt.pf ppf "duplicate type %a" Type_name.pp n
   | Unknown_attribute a -> Fmt.pf ppf "unknown attribute %a" Attr_name.pp a
@@ -66,7 +78,13 @@ let pp ppf = function
   | Parse_error { line; col; message } ->
       Fmt.pf ppf "parse error at %d:%d: %s" line col message
   | Invariant_violation msg -> Fmt.pf ppf "invariant violation: %s" msg
+  | At { line; col; error } -> Fmt.pf ppf "%d:%d: %a" line col pp error
 
 let to_string = Fmt.str "%a" pp
+
+let message e =
+  match strip e with
+  | Parse_error { message; _ } -> message
+  | e -> to_string e
 
 let guard f = match f () with v -> Ok v | exception E e -> Error e

@@ -23,11 +23,27 @@ type t =
   | Linearization_failure of Type_name.t
   | Parse_error of { line : int; col : int; message : string }
   | Invariant_violation of string
+  | At of { line : int; col : int; error : t }
+      (** an error attributed to a source position (1-based), e.g. the
+          declaration that an elaboration failure originates from *)
 
 exception E of t
 
 (** [raise_ e] raises [E e]. *)
 val raise_ : t -> 'a
+
+(** [with_position ~line ~col f] runs [f ()], wrapping any raised error
+    in [At] — unless it already carries a position. *)
+val with_position : line:int -> col:int -> (unit -> 'a) -> 'a
+
+(** Source position of the error, if it carries one. *)
+val position : t -> (int * int) option
+
+(** The innermost error, with any [At] wrappers removed. *)
+val strip : t -> t
+
+(** Human-readable message of {!strip}, without position information. *)
+val message : t -> string
 
 val pp : t Fmt.t
 val to_string : t -> string

@@ -81,6 +81,42 @@ let call_space_issues dispatcher ~gf ~arg_space =
           Some (Ambiguous_call { gf; arg_types; methods }))
     (product spaces)
 
+(* The interesting call space of one generic function: at each argument
+   position, the types that are a subtype of some method's formal at
+   that position.  Calls outside this space can never dispatch anyway;
+   inside it, every coverage gap and ambiguity is a genuine hazard. *)
+let method_space_issues ?(max_combinations = 4096) dispatcher ~gf =
+  let schema = Dispatch.schema dispatcher in
+  let h = Schema.hierarchy schema in
+  let g = Schema.find_gf schema gf in
+  let methods = Generic_function.methods g in
+  if methods = [] then []
+  else
+    let arity = Generic_function.arity g in
+    let spaces =
+      List.init arity (fun i ->
+          List.fold_left
+            (fun acc m ->
+              let formal = Signature.param_type (Method_def.signature m) i in
+              Type_name.Set.union acc
+                (Type_name.Set.add formal (Hierarchy.descendants h formal)))
+            Type_name.Set.empty methods
+          |> Type_name.Set.elements)
+    in
+    let total =
+      List.fold_left (fun n s -> n * List.length s) 1 spaces
+    in
+    if total > max_combinations then []
+    else
+      List.filter_map
+        (fun arg_types ->
+          match Dispatch.most_specific dispatcher ~gf ~arg_types with
+          | Some _ -> None
+          | None -> Some (Uncovered_call { gf; arg_types })
+          | exception Dispatch.Ambiguous { methods; _ } ->
+              Some (Ambiguous_call { gf; arg_types; methods }))
+        (product spaces)
+
 (* Dispatch outcomes of [before] and [after] agree on every call over
    types present in both schemas: the dynamic-behavior preservation
    property of the refactoring. *)

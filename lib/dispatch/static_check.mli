@@ -26,6 +26,14 @@ val duplicate_signatures : Schema.t -> issue list
 val call_space_issues :
   Dispatch.t -> gf:string -> arg_space:Type_name.t list -> issue list
 
+(** Coverage/ambiguity of [gf] over its own interesting call space: at
+    each position, the subtypes of the methods' formals there.  Calls
+    outside this space can never dispatch; inside it, every uncovered or
+    ambiguous combination is a genuine hazard.  Skips generic functions
+    whose space exceeds [max_combinations] (default 4096). *)
+val method_space_issues :
+  ?max_combinations:int -> Dispatch.t -> gf:string -> issue list
+
 (** Calls over types common to both schemas whose dispatch outcome
     differs; empty when the refactoring preserved behavior.
     [surrogate_transparent] configures the after-schema dispatcher

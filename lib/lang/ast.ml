@@ -33,7 +33,12 @@ type sview =
   | VSelect of sview * spred
   | VGeneralize of sview * sview
 
-type item =
+(* Position (1-based line/column) of a declaration's first token; threaded
+   from the lexer so elaboration failures can be attributed to their
+   declaration (Tdp_core.Error.At). *)
+type pos = { line : int; col : int }
+
+type item_desc =
   | IType of {
       name : string;
       supers : (string * int) list;
@@ -56,4 +61,5 @@ type item =
     }
   | IView of { name : string; expr : sview }
 
+type item = { pos : pos; desc : item_desc }
 type program = item list

@@ -27,10 +27,13 @@ module SSet = Set.Make (String)
    anything else elaborate to builtin operations. *)
 let declared_gfs items =
   List.fold_left
-    (fun acc -> function
+    (fun acc item ->
+      match item.desc with
       | IAccessor { gf; _ } | IMethod { gf; _ } -> SSet.add gf acc
       | IType _ | IView _ -> acc)
     SSet.empty items
+
+let at (pos : Ast.pos) f = Error.with_position ~line:pos.line ~col:pos.col f
 
 let rec elab_expr gfs (e : sexpr) : Body.expr =
   match e with
@@ -88,75 +91,106 @@ let rec elab_view = function
   | VSelect (e, p) -> View.Select (elab_view e, elab_pred p)
   | VGeneralize (a, b) -> View.Generalize (elab_view a, elab_view b)
 
-let elaborate_exn items =
+(* [check] controls whether the elaborated schema is validated and its
+   method bodies type-checked.  [odb lint] elaborates unchecked so the
+   linter can report every violation as a diagnostic instead of dying on
+   the first raised error. *)
+let elaborate_gen ~check items =
   let gfs = declared_gfs items in
   (* Pass 1: types. *)
   let schema =
     List.fold_left
-      (fun schema -> function
+      (fun schema item ->
+        match item.desc with
         | IType { name; supers; attrs } ->
-            Schema.add_type schema
-              (Type_def.make
-                 ~attrs:
-                   (List.map
-                      (fun (a, ty) -> Attribute.make (Attr_name.of_string a) (value_type ty))
-                      attrs)
-                 ~supers:
-                   (List.map (fun (s, p) -> (Type_name.of_string s, p)) supers)
-                 (Type_name.of_string name))
+            at item.pos (fun () ->
+                Schema.add_type schema
+                  (Type_def.make
+                     ~attrs:
+                       (List.map
+                          (fun (a, ty) ->
+                            Attribute.make (Attr_name.of_string a) (value_type ty))
+                          attrs)
+                     ~supers:
+                       (List.map (fun (s, p) -> (Type_name.of_string s, p)) supers)
+                     (Type_name.of_string name)))
         | IAccessor _ | IMethod _ | IView _ -> schema)
       Schema.empty items
   in
-  (* Pass 2: methods. *)
+  (* Pass 2: methods.  Remember each method's declaration position so the
+     body checks below can attribute their failures. *)
+  let positions = ref [] in
   let schema =
     List.fold_left
-      (fun schema -> function
+      (fun schema item ->
+        match item.desc with
         | IType _ | IView _ -> schema
         | IAccessor { kind; gf; id; param; on; attr } ->
-            let on = Type_name.of_string on in
-            let attr = Attr_name.of_string attr in
-            let m =
-              match kind with
-              | `Reader ->
-                  let result =
-                    match
-                      Hierarchy.find_attribute (Schema.hierarchy schema) on attr
-                    with
-                    | Some a -> Attribute.ty a
-                    | None ->
-                        Error.raise_
-                          (Accessor_attr_not_inherited { meth = id; attr })
-                  in
-                  Method_def.reader ~gf ~id ~param ~param_type:on ~attr ~result
-              | `Writer -> Method_def.writer ~gf ~id ~param ~param_type:on ~attr
-            in
-            Schema.add_method schema m
+            at item.pos (fun () ->
+                let on = Type_name.of_string on in
+                let attr = Attr_name.of_string attr in
+                let m =
+                  match kind with
+                  | `Reader ->
+                      let result =
+                        match
+                          Hierarchy.find_attribute (Schema.hierarchy schema) on attr
+                        with
+                        | Some a -> Attribute.ty a
+                        | None ->
+                            Error.raise_
+                              (Accessor_attr_not_inherited { meth = id; attr })
+                      in
+                      Method_def.reader ~gf ~id ~param ~param_type:on ~attr ~result
+                  | `Writer -> Method_def.writer ~gf ~id ~param ~param_type:on ~attr
+                in
+                positions := (Method_def.key m, item.pos) :: !positions;
+                Schema.add_method schema m)
         | IMethod { gf; id; params; result; body } ->
-            let signature =
-              Signature.make
-                ?result:(Option.map value_type result)
-                (List.map (fun (x, t) -> (x, Type_name.of_string t)) params)
-            in
-            Schema.add_method schema
-              (Method_def.make ~gf ~id ~signature
-                 (General (List.map (elab_stmt gfs) body))))
+            at item.pos (fun () ->
+                let signature =
+                  Signature.make
+                    ?result:(Option.map value_type result)
+                    (List.map (fun (x, t) -> (x, Type_name.of_string t)) params)
+                in
+                let m =
+                  Method_def.make ~gf ~id ~signature
+                    (General (List.map (elab_stmt gfs) body))
+                in
+                positions := (Method_def.key m, item.pos) :: !positions;
+                Schema.add_method schema m))
       schema items
   in
-  Schema.validate_exn schema;
-  Typing.check_all_methods schema;
+  if check then begin
+    Schema.validate_exn schema;
+    List.iter
+      (fun m ->
+        let pos =
+          List.assoc_opt (Method_def.key m) !positions
+          |> Option.value ~default:{ Ast.line = 0; col = 0 }
+        in
+        if pos.line = 0 then Typing.check_method schema m
+        else at pos (fun () -> Typing.check_method schema m))
+      (Schema.all_methods schema)
+  end;
   let views =
     List.filter_map
-      (function
+      (fun item ->
+        match item.desc with
         | IView { name; expr } -> Some (name, elab_view expr)
         | IType _ | IAccessor _ | IMethod _ -> None)
       items
   in
   { schema; views }
 
+let elaborate_exn items = elaborate_gen ~check:true items
 let elaborate items = Error.guard (fun () -> elaborate_exn items)
 
 let load_exn src = elaborate_exn (Parser.parse_string src)
 let load src = Error.guard (fun () -> load_exn src)
+
+let load_unchecked src =
+  Error.guard (fun () -> elaborate_gen ~check:false (Parser.parse_string src))
 
 (* Apply every declared view in order; returns the final schema and the
    derived type of each view. *)

@@ -18,10 +18,17 @@ val elaborate_exn : Ast.program -> result_
 
 val elaborate : Ast.program -> (result_, Error.t) result
 
-(** Parse and elaborate a source string. *)
+(** Parse and elaborate a source string.  Elaboration failures carry the
+    source position of the offending declaration ({!Error.At}). *)
 val load_exn : string -> result_
 
 val load : string -> (result_, Error.t) result
+
+(** Like {!load}, but skips schema validation and method-body type
+    checking: the result may be structurally or type-wise ill-formed.
+    Used by the [Tdp_analysis] linter, which reports those violations as
+    diagnostics instead of stopping at the first raised error. *)
+val load_unchecked : string -> (result_, Error.t) result
 
 (** Derive every declared view in order; each view's derived type is
     named after the view.  Returns the final schema and the view-name /

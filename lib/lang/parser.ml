@@ -280,7 +280,7 @@ let gf_and_id st =
   let id = if accept st HASH then ident st else gf in
   (gf, id)
 
-let item st =
+let item_desc st =
   let t = peek st in
   match t.token with
   | KW "type" ->
@@ -370,6 +370,11 @@ let item st =
       expect st SEMI;
       IView { name; expr = e }
   | tok -> error t "expected a declaration, found %s" (Lexer.token_to_string tok)
+
+let item st =
+  let t = peek st in
+  let pos = { Ast.line = t.line; col = t.col } in
+  { Ast.pos; desc = item_desc st }
 
 let program st =
   let items = ref [] in

@@ -159,12 +159,14 @@ let test_elaborator_checks () =
   (match Elaborate.load_exn "type A : Ghost(1) { x : int; }" with
   | exception Error.E (Unknown_type _) -> ()
   | _ -> Alcotest.fail "expected Unknown_type");
-  (* Accessor on an attribute the type does not have. *)
+  (* Accessor on an attribute the type does not have; the error carries
+     the declaration's position. *)
   match
     Elaborate.load_exn "type A { x : int; }\ntype B { y : int; }\nreader g(self : B) -> x;"
   with
-  | exception Error.E (Accessor_attr_not_inherited _) -> ()
-  | _ -> Alcotest.fail "expected Accessor_attr_not_inherited"
+  | exception Error.E (At { line = 3; col = 1; error = Accessor_attr_not_inherited _ }) ->
+      ()
+  | _ -> Alcotest.fail "expected positioned Accessor_attr_not_inherited"
 
 (* Round-trip: print → parse → print must be a fixpoint, and the
    re-parsed schema must be structurally identical. *)
