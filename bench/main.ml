@@ -8,7 +8,12 @@
 
    Run: dune exec bench/main.exe            (tables + bechamel benches)
         dune exec bench/main.exe -- tables  (tables only)
-        dune exec bench/main.exe -- bench   (bechamel only) *)
+        dune exec bench/main.exe -- bench   (bechamel only)
+        dune exec bench/main.exe -- bench --json [--small] [--out FILE]
+                                            (machine-readable baseline:
+                                             ns/op + cached-vs-uncached
+                                             speedups; FILE defaults to
+                                             BENCH_2.json, "-" = stdout) *)
 
 open Tdp_core
 module Fig1 = Tdp_paper.Fig1
@@ -525,6 +530,169 @@ let table_s7 () =
     [ 1; 5; 10; 25; 50 ]
 
 (* ------------------------------------------------------------------ *)
+(* JSON baseline: cached vs. uncached hot paths (docs/performance.md)  *)
+(* ------------------------------------------------------------------ *)
+
+(* The report is the machine-readable perf trajectory of the repo: one
+   BENCH_<pr>.json per PR that touches a hot path.  Keep the shape
+   stable — field additions are fine, renames are not. *)
+
+type entry = { name : string; ns_per_op : float }
+
+type speedup = {
+  s_name : string;
+  uncached_ns : float;
+  cached_ns : float;
+  ops : int;  (* distinct operations per measured iteration *)
+}
+
+let ns t = t *. 1e9
+
+(* A dispatch workload: every method's own parameter tuple is a valid
+   call of its generic function, giving a realistic mix of arities and
+   candidate-set sizes over one schema.  Calls whose argument types
+   have no consistent linearization (possible under random multiple
+   inheritance) cannot be ranked and are skipped. *)
+let dispatch_workload schema =
+  let h = Schema.hierarchy schema in
+  let linearizes t = match Linearize.cpl_result h t with Ok _ -> true | Error _ -> false in
+  List.filter_map
+    (fun m ->
+      let tys = Signature.param_types (Method_def.signature m) in
+      if List.for_all linearizes tys then Some (Method_def.gf m, tys) else None)
+    (Schema.all_methods schema)
+
+(* Many views of one schema, as `odb lint` and the S-tables issue them:
+   k distinct projections of the same source type. *)
+let multi_view_workload schema k =
+  let source, all = Synth.gen_projection ~seed:1 schema in
+  let n = List.length all in
+  List.init k (fun i ->
+      let proj =
+        if i = 0 || n = 1 then all
+        else List.filteri (fun j _ -> j <> i mod n) all
+      in
+      (source, proj))
+
+(* Single inheritance keeps every type linearizable, so the whole
+   method population is a usable dispatch workload. *)
+let synth_linear m =
+  Synth.generate
+    { Synth.default with
+      n_types = 16;
+      max_supers = 1;
+      n_gfs = max 1 (m / 5);
+      methods_per_gf = 5;
+      calls_per_body = 3;
+      seed = 11
+    }
+
+let json_report ~small =
+  let methods = if small then 40 else 160 in
+  let n_views = if small then 4 else 12 in
+  let schema = synth_linear methods in
+  let calls = dispatch_workload schema in
+  let n_calls = List.length calls in
+  (* repeated dispatch: rank candidates per call vs. hit the table *)
+  let d = Dispatch.create schema in
+  let run_uncached () =
+    List.iter
+      (fun (gf, arg_types) -> ignore (Dispatch.applicable_uncached d ~gf ~arg_types))
+      calls
+  in
+  let run_cached () =
+    List.iter
+      (fun (gf, arg_types) -> ignore (Dispatch.applicable d ~gf ~arg_types))
+      calls
+  in
+  run_cached () (* steady state: table populated *)
+  ;
+  let t_disp_un = time_it run_uncached and t_disp_ca = time_it run_cached in
+  (* multi-view applicability: fresh state per view vs. one shared batch *)
+  let views = multi_view_workload schema n_views in
+  let t_views_un =
+    time_it (fun () ->
+        List.map
+          (fun (source, projection) ->
+            Applicability.analyze_exn schema ~source ~projection)
+          views)
+  in
+  let t_views_ca = time_it (fun () -> Applicability.analyze_all_exn schema ~views) in
+  let source1, proj1 = List.hd views in
+  let t_single =
+    time_it (fun () -> Applicability.analyze_exn schema ~source:source1 ~projection:proj1)
+  in
+  let stats = Dispatch.stats d in
+  let entries =
+    [ { name = "dispatch/applicable/uncached"; ns_per_op = ns t_disp_un /. float_of_int n_calls };
+      { name = "dispatch/applicable/cached"; ns_per_op = ns t_disp_ca /. float_of_int n_calls };
+      { name = "applicability/analyze/single-view"; ns_per_op = ns t_single };
+      { name = "applicability/analyze-all/per-view";
+        ns_per_op = ns t_views_ca /. float_of_int n_views
+      }
+    ]
+  in
+  let speedups =
+    [ { s_name = "repeated-dispatch";
+        uncached_ns = ns t_disp_un /. float_of_int n_calls;
+        cached_ns = ns t_disp_ca /. float_of_int n_calls;
+        ops = n_calls
+      };
+      { s_name = "multi-view-applicability";
+        uncached_ns = ns t_views_un /. float_of_int n_views;
+        cached_ns = ns t_views_ca /. float_of_int n_views;
+        ops = n_views
+      }
+    ]
+  in
+  let buf = Buffer.create 1024 in
+  let f v = Fmt.str "%.1f" v in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema_version\": 1,\n";
+  Buffer.add_string buf (Fmt.str "  \"suite\": \"tdp-bench\",\n");
+  Buffer.add_string buf
+    (Fmt.str "  \"config\": { \"small\": %b, \"methods\": %d, \"views\": %d },\n"
+       small methods n_views);
+  Buffer.add_string buf
+    (Fmt.str
+       "  \"dispatch_table\": { \"entries\": %d, \"hits\": %d, \"misses\": %d },\n"
+       stats.entries stats.hits stats.misses);
+  Buffer.add_string buf "  \"benchmarks\": [\n";
+  List.iteri
+    (fun i e ->
+      Buffer.add_string buf
+        (Fmt.str "    { \"name\": %S, \"ns_per_op\": %s }%s\n" e.name
+           (f e.ns_per_op)
+           (if i = List.length entries - 1 then "" else ",")))
+    entries;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"speedups\": [\n";
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Fmt.str
+           "    { \"name\": %S, \"ops\": %d, \"uncached_ns_per_op\": %s, \
+            \"cached_ns_per_op\": %s, \"speedup\": %s }%s\n"
+           s.s_name s.ops (f s.uncached_ns) (f s.cached_ns)
+           (f (s.uncached_ns /. s.cached_ns))
+           (if i = List.length speedups - 1 then "" else ",")))
+    speedups;
+  Buffer.add_string buf "  ]\n";
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let run_json ~small ~out =
+  let report = json_report ~small in
+  if out = "-" then print_string report
+  else begin
+    let oc = open_out out in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc report);
+    Fmt.pr "wrote %s@." out
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test per experiment                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -641,7 +809,22 @@ let run_bechamel () =
     (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
 
 let () =
-  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let is_flag a = String.length a >= 2 && String.sub a 0 2 = "--" in
+  let mode =
+    match List.find_opt (fun a -> not (is_flag a)) args with
+    | Some m -> m
+    | None -> "all"
+  in
+  let rec out_of = function
+    | "--out" :: v :: _ -> v
+    | _ :: rest -> out_of rest
+    | [] -> "BENCH_2.json"
+  in
+  if List.mem "--json" args then begin
+    run_json ~small:(List.mem "--small" args) ~out:(out_of args);
+    exit 0
+  end;
   if mode = "all" || mode = "tables" then begin
     table_e1_e2 ();
     table_e3 ();

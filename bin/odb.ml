@@ -4,6 +4,7 @@
      odb lint schema.odb [--json] [--code TDPxxx]
      odb apply schema.odb [--collapse] [--print | --dot]
      odb methods schema.odb --source T --attrs a,b,c [--trace]
+     odb dispatch schema.odb --gf f --args T1,T2 [--all]
      odb dot schema.odb
 
    Schema files use the surface syntax of Tdp_lang (see README.md). *)
@@ -13,6 +14,7 @@ module Elaborate = Tdp_lang.Elaborate
 module Printer = Tdp_lang.Printer
 module Optimize = Tdp_algebra.Optimize
 module Static_check = Tdp_dispatch.Static_check
+module Dispatch = Tdp_dispatch.Dispatch
 module Diagnostic = Tdp_analysis.Diagnostic
 module Lint = Tdp_analysis.Lint
 
@@ -141,6 +143,38 @@ let methods_cmd file source attrs trace explain =
       analysis.candidates;
   0
 
+(* --- dispatch ------------------------------------------------------ *)
+
+let dispatch_cmd file apply_views gf args all =
+  let r = load file in
+  let schema =
+    if apply_views then fst (or_die (Elaborate.apply_views r)) else r.schema
+  in
+  let d = Dispatch.create schema in
+  let arg_types = List.map Type_name.of_string args in
+  let h = Schema.hierarchy schema in
+  List.iter
+    (fun ty_ ->
+      if not (Hierarchy.mem h ty_) then
+        die ~file (Error.Unknown_type ty_))
+    arg_types;
+  let call = Fmt.str "%s(%s)" gf (String.concat "," args) in
+  match Dispatch.most_specific d ~gf ~arg_types with
+  | None ->
+      Fmt.epr "error: %s: no applicable method for %s@." file call;
+      1
+  | Some m ->
+      Fmt.pr "%s -> %a@." call Method_def.Key.pp (Method_def.key m);
+      if all then
+        List.iteri
+          (fun i m ->
+            Fmt.pr "  %d. %a(%s)@." (i + 1) Method_def.Key.pp (Method_def.key m)
+              (String.concat ","
+                 (List.map Type_name.to_string
+                    (Signature.param_types (Method_def.signature m)))))
+          (Dispatch.applicable d ~gf ~arg_types);
+      0
+
 (* --- query --------------------------------------------------------- *)
 
 let query_cmd schema_file data_file view_name materialize =
@@ -259,6 +293,33 @@ let methods_t =
   Cmd.v (Cmd.info "methods" ~doc)
     Term.(const methods_cmd $ file_arg $ source $ attrs $ trace $ explain)
 
+let dispatch_t =
+  let doc =
+    "Resolve a generic-function call: print the most specific applicable \
+     method (and, with --all, the full call-next-method chain).  Prints a \
+     diagnostic and exits 1 when no method applies or the call is ambiguous."
+  in
+  let apply_views =
+    Arg.(value & flag & info [ "apply-views" ] ~doc:"Derive views first.")
+  in
+  let gf =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "gf" ] ~docv:"NAME" ~doc:"The generic function to dispatch.")
+  in
+  let args =
+    Arg.(
+      required
+      & opt (some (list string)) None
+      & info [ "args" ] ~docv:"TYPES" ~doc:"Comma-separated argument types.")
+  in
+  let all =
+    Arg.(value & flag & info [ "all" ] ~doc:"Print every applicable method, most specific first.")
+  in
+  Cmd.v (Cmd.info "dispatch" ~doc)
+    Term.(const dispatch_cmd $ file_arg $ apply_views $ gf $ args $ all)
+
 let query_t =
   let doc = "Evaluate a declared view over a data file (see Dump format)." in
   let data_arg =
@@ -289,6 +350,21 @@ let main =
   let doc = "type derivation using the projection operation (Agrawal & DeMichiel, 1994)" in
   Cmd.group
     (Cmd.info "odb" ~version:"1.0.0" ~doc)
-    [ check_t; lint_t; apply_t; methods_t; query_t; dot_t ]
+    [ check_t; lint_t; apply_t; methods_t; dispatch_t; query_t; dot_t ]
 
-let () = exit (Cmd.eval' main)
+(* CLI boundary: domain failures that escape a subcommand — an
+   ambiguous dispatch, or any structured [Error.E] a command did not
+   turn into a result — are diagnostics for the user, not crashes, so
+   disable cmdliner's catch-all (which dumps a backtrace) and render
+   them here. *)
+let () =
+  match Cmd.eval' ~catch:false main with
+  | code -> exit code
+  | exception Dispatch.Ambiguous { gf; methods } ->
+      Fmt.epr "error: call to %s is ambiguous between %s@." gf
+        (String.concat " and "
+           (List.map (Fmt.str "%a" Method_def.Key.pp) methods));
+      exit 1
+  | exception Error.E e ->
+      Fmt.epr "error: %a@." Error.pp e;
+      exit 1

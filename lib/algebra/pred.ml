@@ -75,6 +75,18 @@ let rec pp ppf = function
   | Not a -> Fmt.pf ppf "(not %a)" pp a
   | True -> Fmt.string ppf "true"
 
+(* Whether [op] holds of a three-way comparison outcome; total over
+   every operator, so equality over the numeric interpretation (where
+   Int 1 == Float 1.0) is also expressible. *)
+let op_holds op c =
+  match op with
+  | Eq -> c = 0
+  | Ne -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
 let compare_values op (a : Tdp_store.Value.t) (b : Tdp_store.Value.t) =
   let num v =
     match (v : Tdp_store.Value.t) with
@@ -84,17 +96,12 @@ let compare_values op (a : Tdp_store.Value.t) (b : Tdp_store.Value.t) =
     | String _ | Bool _ | Ref _ | Null -> None
   in
   match op with
+  (* structural (in)equality works for every value kind *)
   | Eq -> Tdp_store.Value.equal a b
   | Ne -> not (Tdp_store.Value.equal a b)
   | Lt | Le | Gt | Ge -> (
       match (num a, num b) with
-      | Some x, Some y -> (
-          match op with
-          | Lt -> x < y
-          | Le -> x <= y
-          | Gt -> x > y
-          | Ge -> x >= y
-          | Eq | Ne -> assert false)
+      | Some x, Some y -> op_holds op (Float.compare x y)
       | _ -> false)
 
 (* Evaluate a predicate against a stored object. *)

@@ -32,6 +32,16 @@ val check_exn : Hierarchy.t -> Type_name.t -> t -> unit
 val map_attrs : (Attr_name.t -> Attr_name.t) -> t -> t
 
 val op_to_string : op -> string
+
+(** [op_holds op c] applies [op] to a three-way comparison outcome [c]
+    (total over all six operators). *)
+val op_holds : op -> int -> bool
+
+(** [compare_values op a b]: equality operators compare structurally;
+    ordering operators compare numerically (int, float, date) and are
+    [false] when either side is not numeric. *)
+val compare_values : op -> Tdp_store.Value.t -> Tdp_store.Value.t -> bool
+
 val pp : t Fmt.t
 
 (** Evaluate against a stored object.

@@ -409,10 +409,9 @@ let check_call_spaces ?file schema =
 (* Pass 4: projection-safety pre-check                                  *)
 (* ------------------------------------------------------------------ *)
 
-let check_projection ?file schema ~view ~source ~projection =
-  match
-    Error.guard (fun () -> Applicability.analyze_exn schema ~source ~projection)
-  with
+let check_projection ?file batch ~view ~source ~projection =
+  let schema = Applicability.batch_schema batch in
+  match Applicability.analyze_batch batch ~source ~projection with
   | Error _ -> [] (* ill-formed inputs are reported by the other passes *)
   | Ok r ->
       List.map
@@ -424,6 +423,9 @@ let check_projection ?file schema ~view ~source ~projection =
 
 let lint_views ?file schema views =
   let h = Schema.hierarchy schema in
+  (* one shared batch: every per-view safety pre-check below reuses the
+     same ancestor sets, relevant-call and candidate-method memos *)
+  let batch = Applicability.batch schema in
   let rec walk ~view ~seen (e : View.expr) =
     match e with
     | Base n ->
@@ -450,7 +452,7 @@ let lint_views ?file schema views =
                       "view %s projects attribute %a that %a does not have" view
                       Attr_name.pp a Type_name.pp n)
                   missing
-              else check_projection ?file schema ~view ~source:n ~projection
+              else check_projection ?file batch ~view ~source:n ~projection
           | _ -> []
         in
         deeper @ here

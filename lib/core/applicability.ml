@@ -17,9 +17,52 @@ type result = {
 
 type frame = { meth : Key.t; mutable deps : Key.Set.t }
 
-type ctx = {
+(* State shared across the analyses of many views of ONE schema value.
+   Everything cached here depends only on the schema (plus, where
+   noted, the source type) — never on the projection list — so a batch
+   can serve any number of [analyze] calls.  Schemas are immutable
+   values, so a batch never goes stale; derive a new batch for a new
+   schema value. *)
+type batch = {
   schema : Schema.t;
   cache : Subtype_cache.t;
+  relevant : (Key.t * Type_name.t, Dataflow.relevant_call list) Hashtbl.t;
+      (* relevant calls of a method body w.r.t. a source type *)
+  calls : (string * Type_name.t list, Method_def.t list) Hashtbl.t;
+      (* methods of gf applicable to a call with these argument types *)
+  by_type : (Type_name.t, Method_def.t list) Hashtbl.t;
+      (* methods applicable to a type (the analysis domain seed) *)
+}
+
+let batch schema =
+  { schema;
+    cache = Subtype_cache.create (Schema.hierarchy schema);
+    relevant = Hashtbl.create 64;
+    calls = Hashtbl.create 64;
+    by_type = Hashtbl.create 16
+  }
+
+let batch_schema b = b.schema
+
+let candidates_for_call b ~gf ~arg_types =
+  let k = (gf, arg_types) in
+  match Hashtbl.find_opt b.calls k with
+  | Some ms -> ms
+  | None ->
+      let ms = Schema.methods_applicable_to_call b.schema b.cache ~gf ~arg_types in
+      Hashtbl.replace b.calls k ms;
+      ms
+
+let candidates_for_type b source =
+  match Hashtbl.find_opt b.by_type source with
+  | Some ms -> ms
+  | None ->
+      let ms = Schema.methods_applicable_to_type b.schema b.cache source in
+      Hashtbl.replace b.by_type source ms;
+      ms
+
+type ctx = {
+  b : batch;
   source : Type_name.t;
   proj : Attr_name.Set.t;
   mutable stack : frame list; (* head = top of MethodStack *)
@@ -27,18 +70,19 @@ type ctx = {
   mutable not_applicable : Key.Set.t;
   mutable retractions : int;
   mutable trace : event list; (* reversed *)
-  relevant : (Key.t, Dataflow.relevant_call list) Hashtbl.t;
 }
 
 let emit ctx e = ctx.trace <- e :: ctx.trace
 
 let relevant_calls ctx m =
-  let k = Method_def.key m in
-  match Hashtbl.find_opt ctx.relevant k with
+  let k = (Method_def.key m, ctx.source) in
+  match Hashtbl.find_opt ctx.b.relevant k with
   | Some rcs -> rcs
   | None ->
-      let rcs = Dataflow.relevant_calls ctx.schema ctx.cache m ~source:ctx.source in
-      Hashtbl.replace ctx.relevant k rcs;
+      let rcs =
+        Dataflow.relevant_calls ctx.b.schema ctx.b.cache m ~source:ctx.source
+      in
+      Hashtbl.replace ctx.b.relevant k rcs;
       rcs
 
 (* The set of methods of the called generic function from which an
@@ -71,8 +115,17 @@ let rec is_applicable ctx m =
           (* m is being determined further down the stack: optimistically
              assume it applicable, and record every method above it so
              that they can be retracted if the assumption fails. *)
+          (* the List.exists guard above established that k is on the
+             stack, so the walk must find its frame; a miss means the
+             stack was corrupted and optimism is no longer sound *)
           let rec split above = function
-            | [] -> assert false
+            | [] ->
+                Error.raise_
+                  (Invariant_violation
+                     (Fmt.str
+                        "IsApplicable: method %a assumed on the MethodStack \
+                         but has no frame"
+                        Key.pp k))
             | f :: rest ->
                 if Key.equal f.meth k then (List.rev above, f)
                 else split (f :: above) rest
@@ -91,8 +144,7 @@ let rec is_applicable ctx m =
           let check_call (rc : Dataflow.relevant_call) =
             let arg_types = candidate_arg_types ctx rc in
             let candidates =
-              Schema.methods_applicable_to_call ctx.schema ctx.cache
-                ~gf:rc.site.gf ~arg_types
+              candidates_for_call ctx.b ~gf:rc.site.gf ~arg_types
             in
             let ok = List.exists (is_applicable ctx) candidates in
             if not ok then emit ctx (No_candidate { meth = k; gf = rc.site.gf });
@@ -116,29 +168,27 @@ let rec is_applicable ctx m =
           ok
         end
 
-let analyze_exn schema ~source ~projection =
+let analyze_batch_exn b ~source ~projection =
   if projection = [] then Error.raise_ Empty_projection;
+  let schema = b.schema in
   let h = Schema.hierarchy schema in
   List.iter
     (fun a ->
       if not (Hierarchy.has_attribute h source a) then
         Error.raise_ (Attribute_not_available { ty = source; attr = a }))
     projection;
-  let cache = Subtype_cache.create h in
   let ctx =
-    { schema;
-      cache;
+    { b;
       source;
       proj = Attr_name.Set.of_list projection;
       stack = [];
       applicable = Key.Set.empty;
       not_applicable = Key.Set.empty;
       retractions = 0;
-      trace = [];
-      relevant = Hashtbl.create 32
+      trace = []
     }
   in
-  let candidates = Schema.methods_applicable_to_type schema cache source in
+  let candidates = candidates_for_type b source in
   (* Driver: retraction leaves a method with unknown status, so it must
      be checked again (end of Section 4.2).  A conclusion reached before
      a retraction may itself have relied on the retracted method, so the
@@ -169,8 +219,26 @@ let analyze_exn schema ~source ~projection =
     trace = List.rev ctx.trace
   }
 
+let analyze_batch b ~source ~projection =
+  Error.guard (fun () -> analyze_batch_exn b ~source ~projection)
+
+let analyze_exn schema ~source ~projection =
+  analyze_batch_exn (batch schema) ~source ~projection
+
 let analyze schema ~source ~projection =
   Error.guard (fun () -> analyze_exn schema ~source ~projection)
+
+let analyze_all_exn schema ~views =
+  let b = batch schema in
+  List.map
+    (fun (source, projection) -> analyze_batch_exn b ~source ~projection)
+    views
+
+let analyze_all schema ~views =
+  let b = batch schema in
+  List.map
+    (fun (source, projection) -> analyze_batch b ~source ~projection)
+    views
 
 let status (r : result) k =
   if Key.Set.mem k r.applicable then `Applicable

@@ -34,6 +34,36 @@ type result = {
   trace : event list;
 }
 
+(** Shared analysis state for running the algorithm over {e many} views
+    of one schema.
+
+    A batch memoizes everything that depends only on the schema (and,
+    where applicable, the source type) — the subtype/ancestor-set cache,
+    each method's relevant calls per source, and the candidate-method
+    sets per call and per type — so analyzing [k] projections costs one
+    traversal of that state instead of [k].
+
+    {b Invalidation:} a batch is tied to the [Schema.t] {e value} passed
+    to {!batch}.  Schemas are immutable (every update returns a new
+    value), so a batch can never observe a stale schema; when the schema
+    evolves, build a new batch from the new value and drop the old one. *)
+type batch
+
+val batch : Schema.t -> batch
+val batch_schema : batch -> Schema.t
+
+(** [analyze_batch_exn b ~source ~projection] runs the analysis reusing
+    the batch's caches.  Equivalent to (and tested against)
+    {!analyze_exn} on [batch_schema b]. *)
+val analyze_batch_exn :
+  batch -> source:Type_name.t -> projection:Attr_name.t list -> result
+
+val analyze_batch :
+  batch ->
+  source:Type_name.t ->
+  projection:Attr_name.t list ->
+  (result, Error.t) Stdlib.result
+
 (** [analyze_exn schema ~source ~projection] runs the analysis.
 
     @raise Error.E [Empty_projection] on an empty list, or
@@ -47,6 +77,19 @@ val analyze :
   source:Type_name.t ->
   projection:Attr_name.t list ->
   (result, Error.t) Stdlib.result
+
+(** [analyze_all_exn schema ~views] analyzes every [(source, projection)]
+    view through one shared {!batch}; the results are pointwise equal to
+    per-view {!analyze_exn}.  Raises on the first ill-formed view. *)
+val analyze_all_exn :
+  Schema.t -> views:(Type_name.t * Attr_name.t list) list -> result list
+
+(** Like {!analyze_all_exn} but each view's failure is reported in its
+    own slot instead of aborting the whole batch. *)
+val analyze_all :
+  Schema.t ->
+  views:(Type_name.t * Attr_name.t list) list ->
+  (result, Error.t) Stdlib.result list
 
 val status : result -> Key.t -> [ `Applicable | `Not_applicable | `Unknown ]
 

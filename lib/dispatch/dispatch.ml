@@ -1,11 +1,30 @@
 open Tdp_core
 
+(* Fully resolved outcome of a call, cached so that repeated dispatch
+   of the same (gf, argument-type tuple) never re-ranks candidates.
+   Ties are cached too: a call found ambiguous once must keep raising
+   [Ambiguous] on every later dispatch. *)
+type resolution =
+  | No_method
+  | Selected of Method_def.t
+  | Tie of Method_def.Key.t * Method_def.Key.t
+
+type stats = { entries : int; hits : int; misses : int }
+
 type t = {
   schema : Schema.t;
   cache : Subtype_cache.t;
   cpls : (Type_name.t, Type_name.t list) Hashtbl.t;
   ranks : (Type_name.t, (Type_name.t, int) Hashtbl.t) Hashtbl.t;
   surrogate_transparent : bool;
+  (* The dispatch tables, keyed by (gf, arg_types).  Both depend only
+     on the (immutable) schema captured at [create] time, so no entry
+     can go stale; "invalidation" is building a new dispatcher for the
+     new schema value. *)
+  table : (string * Type_name.t list, Method_def.t list) Hashtbl.t;
+  resolutions : (string * Type_name.t list, resolution) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
 }
 
 let create ?(surrogate_transparent = true) schema =
@@ -13,10 +32,20 @@ let create ?(surrogate_transparent = true) schema =
     cache = Subtype_cache.create (Schema.hierarchy schema);
     cpls = Hashtbl.create 32;
     ranks = Hashtbl.create 32;
-    surrogate_transparent
+    surrogate_transparent;
+    table = Hashtbl.create 64;
+    resolutions = Hashtbl.create 64;
+    hits = 0;
+    misses = 0
   }
 
 let schema t = t.schema
+
+let stats t =
+  { entries = Hashtbl.length t.table + Hashtbl.length t.resolutions;
+    hits = t.hits;
+    misses = t.misses
+  }
 
 let cpl t n =
   match Hashtbl.find_opt t.cpls n with
@@ -88,21 +117,48 @@ let compare_specificity t ~arg_types m1 m2 =
   in
   go arg_types p1 p2
 
-let applicable t ~gf ~arg_types =
+let applicable_uncached t ~gf ~arg_types =
   let ms =
     Schema.methods_applicable_to_call t.schema t.cache ~gf ~arg_types
   in
   List.stable_sort (compare_specificity t ~arg_types) ms
 
+let applicable t ~gf ~arg_types =
+  let key = (gf, arg_types) in
+  match Hashtbl.find_opt t.table key with
+  | Some ms ->
+      t.hits <- t.hits + 1;
+      ms
+  | None ->
+      t.misses <- t.misses + 1;
+      let ms = applicable_uncached t ~gf ~arg_types in
+      Hashtbl.replace t.table key ms;
+      ms
+
+let resolve t ~gf ~arg_types =
+  let key = (gf, arg_types) in
+  match Hashtbl.find_opt t.resolutions key with
+  | Some r ->
+      t.hits <- t.hits + 1;
+      r
+  | None ->
+      let r =
+        match applicable t ~gf ~arg_types with
+        | [] -> No_method
+        | [ m ] -> Selected m
+        | m1 :: m2 :: _ ->
+            if compare_specificity t ~arg_types m1 m2 = 0 then
+              Tie (Method_def.key m1, Method_def.key m2)
+            else Selected m1
+      in
+      Hashtbl.replace t.resolutions key r;
+      r
+
 let most_specific t ~gf ~arg_types =
-  match applicable t ~gf ~arg_types with
-  | [] -> None
-  | [ m ] -> Some m
-  | m1 :: m2 :: _ ->
-      if compare_specificity t ~arg_types m1 m2 = 0 then
-        raise
-          (Ambiguous { gf; methods = [ Method_def.key m1; Method_def.key m2 ] })
-      else Some m1
+  match resolve t ~gf ~arg_types with
+  | No_method -> None
+  | Selected m -> Some m
+  | Tie (k1, k2) -> raise (Ambiguous { gf; methods = [ k1; k2 ] })
 
 (* Next most specific method after [after] for the same call — the
    CLOS call-next-method chain. *)

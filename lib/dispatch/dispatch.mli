@@ -11,8 +11,16 @@ open Tdp_core
 
 type t
 
-(** A dispatcher memoizes subtype queries and class precedence lists;
-    build a fresh one whenever the schema changes.
+(** A dispatcher memoizes subtype queries, class precedence lists, and
+    a dispatch table of fully resolved call outcomes keyed by
+    [(gf, arg_types)]; build a fresh one whenever the schema changes.
+
+    {b Invalidation:} every cache is derived from the (immutable)
+    [Schema.t] value captured here, so entries never go stale within
+    one dispatcher.  A schema change produces a new schema value and
+    therefore requires a new dispatcher; there is deliberately no
+    [clear] — holders of a stale dispatcher would still answer from the
+    old schema.
 
     [surrogate_transparent] (default [true]) makes a surrogate share
     the specificity rank of its source type, as the paper's Section 5
@@ -35,14 +43,30 @@ exception Ambiguous of { gf : string; methods : Method_def.Key.t list }
 val compare_specificity :
   t -> arg_types:Type_name.t list -> Method_def.t -> Method_def.t -> int
 
-(** Applicable methods, most specific first. *)
+(** Applicable methods, most specific first.  The result is memoized in
+    the dispatch table: repeated calls with the same [(gf, arg_types)]
+    return the cached ranking. *)
 val applicable : t -> gf:string -> arg_types:Type_name.t list -> Method_def.t list
 
+(** Like {!applicable} but bypassing (and not populating) the dispatch
+    table — the reference implementation the cached path is tested
+    against, and the baseline for the cached-vs-uncached benchmarks. *)
+val applicable_uncached :
+  t -> gf:string -> arg_types:Type_name.t list -> Method_def.t list
+
 (** The method that would be executed, or [None] if no method is
-    applicable.
+    applicable.  The resolved outcome is memoized; a call once found
+    ambiguous keeps raising on every later dispatch.
     @raise Ambiguous when two applicable methods tie. *)
 val most_specific :
   t -> gf:string -> arg_types:Type_name.t list -> Method_def.t option
+
+(** Dispatch-table occupancy and aggregate hit/miss counters across the
+    ranking and resolution tables (informational, e.g. for the bench
+    JSON report). *)
+type stats = { entries : int; hits : int; misses : int }
+
+val stats : t -> stats
 
 (** The next most specific method after [after] (call-next-method). *)
 val next_method :

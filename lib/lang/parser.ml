@@ -3,13 +3,28 @@ open Ast
 
 (* Recursive-descent parser over the lexer's token stream. *)
 
-type state = { mutable toks : Lexer.spanned list }
+type state = { mutable toks : Lexer.spanned list; mutable last : Lexer.spanned }
 
-let peek st =
-  match st.toks with [] -> assert false | t :: _ -> t
+(* [Lexer.tokenize] always ends the stream in EOF, and [advance] keeps
+   that final EOF token in place, so a well-formed stream never runs
+   dry: a parser stuck at the end keeps peeking EOF (with its position)
+   until some [expect]/[error] raises.  An empty stream can still be
+   handed in directly; report it as a positioned parse error at the
+   last consumed token rather than crashing. *)
+let eof_error (t : Lexer.spanned) =
+  Error.raise_
+    (Parse_error
+       { line = t.line; col = t.col; message = "unexpected end of input" })
+
+let peek st = match st.toks with [] -> eof_error st.last | t :: _ -> t
 
 let advance st =
-  match st.toks with [] -> assert false | _ :: rest -> st.toks <- rest
+  match st.toks with
+  | [] -> eof_error st.last
+  | [ { token = Lexer.EOF; _ } ] -> () (* EOF is sticky *)
+  | t :: rest ->
+      st.last <- t;
+      st.toks <- rest
 
 let next st =
   let t = peek st in
@@ -384,7 +399,11 @@ let program st =
   List.rev !items
 
 let parse_string src =
-  let st = { toks = Lexer.tokenize src } in
+  let st =
+    { toks = Lexer.tokenize src;
+      last = { Lexer.token = Lexer.EOF; line = 1; col = 1 }
+    }
+  in
   program st
 
 let parse src = Error.guard (fun () -> parse_string src)

@@ -60,6 +60,33 @@ let test_pred_typing () =
   | exception Error.E (Invariant_violation _) -> ()
   | _ -> Alcotest.fail "string literal against int attribute must fail"
 
+let test_compare_values () =
+  let open Tdp_store.Value in
+  let chk name b = Alcotest.(check bool) name true b in
+  (* op_holds covers every operator over a comparison result *)
+  chk "eq" (Pred.op_holds Pred.Eq 0);
+  chk "ne" (Pred.op_holds Pred.Ne 1);
+  chk "lt" (Pred.op_holds Pred.Lt (-1));
+  chk "le eq" (Pred.op_holds Pred.Le 0);
+  chk "gt" (Pred.op_holds Pred.Gt 1);
+  chk "ge eq" (Pred.op_holds Pred.Ge 0);
+  chk "not lt" (not (Pred.op_holds Pred.Lt 1));
+  (* equality / inequality across value kinds *)
+  chk "int eq" (Pred.compare_values Pred.Eq (Int 3) (Int 3));
+  chk "int ne" (Pred.compare_values Pred.Ne (Int 3) (Int 4));
+  chk "string eq" (Pred.compare_values Pred.Eq (String "a") (String "a"));
+  chk "bool ne" (Pred.compare_values Pred.Ne (Bool true) (Bool false));
+  chk "null eq null" (Pred.compare_values Pred.Eq Null Null);
+  chk "null ne int" (Pred.compare_values Pred.Ne Null (Int 0));
+  (* numeric ordering, including mixed int/float/date *)
+  chk "int lt" (Pred.compare_values Pred.Lt (Int 3) (Int 4));
+  chk "float ge" (Pred.compare_values Pred.Ge (Float 2.5) (Float 2.5));
+  chk "int vs float" (Pred.compare_values Pred.Le (Int 2) (Float 2.5));
+  chk "date gt" (Pred.compare_values Pred.Gt (Date 1980) (Date 1975));
+  (* ordering on non-numeric operands is false, never a crash *)
+  chk "string lt false" (not (Pred.compare_values Pred.Lt (String "a") (String "b")));
+  chk "null le false" (not (Pred.compare_values Pred.Le Null (Int 1)))
+
 let test_pred_eval () =
   let db, oids = emp_db () in
   let old = Pred.cmp (at "date_of_birth") Pred.Le (Body.Int 1975) in
@@ -321,6 +348,7 @@ let test_generalize_errors () =
 let suite_pred =
   [ Alcotest.test_case "attrs and check" `Quick test_pred_attrs_and_check;
     Alcotest.test_case "typing" `Quick test_pred_typing;
+    Alcotest.test_case "compare values" `Quick test_compare_values;
     Alcotest.test_case "eval" `Quick test_pred_eval
   ]
 

@@ -236,6 +236,84 @@ let test_every_candidate_classified () =
       | `Unknown -> Alcotest.failf "candidate %a left unknown" Method_def.Key.pp k)
     r.candidates
 
+(* The optimistic-assumption machinery (MethodStack split + retraction)
+   must run without tripping its frame invariant and converge to the
+   same fixpoint as the cycle-free reading.  Fig3's y1 is the paper's
+   own retraction example: the driver needs >1 pass and the trace shows
+   both the assumption and its retraction. *)
+let test_cycle_assumption_and_retraction () =
+  let o = Tdp_paper.Fig3.project () in
+  let r = o.analysis in
+  Alcotest.(check bool) "driver re-ran after a retraction" true (r.passes > 1);
+  let has p = List.exists p r.trace in
+  Alcotest.(check bool) "an optimistic assumption was made" true
+    (has (function Applicability.Assumed _ -> true | _ -> false));
+  Alcotest.(check bool) "a method was retracted" true
+    (has (function Applicability.Retracted _ -> true | _ -> false));
+  (* and a failing mutual cycle: the stack-split path with a failing
+     accessor downstream of the assumption *)
+  let s = ab_schema () in
+  let s =
+    add_general s ~gf:"p" ~id:"p1" [ ("a", "A") ]
+      [ Body.expr (Body.call "q" [ Body.var "a" ]) ]
+  in
+  let s =
+    add_general s ~gf:"q" ~id:"q1" [ ("a", "A") ]
+      [ Body.expr (Body.call "p" [ Body.var "a" ]);
+        Body.expr (Body.call "get_y" [ Body.var "a" ])
+      ]
+  in
+  let r = analyze s "A" [ "x" ] in
+  Alcotest.(check bool) "p1 falls with the cycle" true
+    (Applicability.status r (key "p" "p1") = `Not_applicable);
+  Alcotest.(check bool) "q1 falls on its accessor" true
+    (Applicability.status r (key "q" "q1") = `Not_applicable)
+
+let same_result (a : Applicability.result) (b : Applicability.result) =
+  Method_def.Key.Set.equal a.applicable b.applicable
+  && Method_def.Key.Set.equal a.not_applicable b.not_applicable
+  && Method_def.Key.Set.equal a.candidates b.candidates
+  && a.passes = b.passes
+
+let test_analyze_all_equivalent () =
+  let s = ab_schema () in
+  let s =
+    add_general s ~gf:"n" ~id:"n1" [ ("a", "A") ]
+      [ Body.expr (Body.call "get_x" [ Body.var "a" ]) ]
+  in
+  let views =
+    [ (ty "A", [ at "x" ]);
+      (ty "A", [ at "y" ]);
+      (ty "A", [ at "x"; at "y"; at "z" ]);
+      (ty "B", [ at "z" ])
+    ]
+  in
+  let batched = Applicability.analyze_all_exn s ~views in
+  let single =
+    List.map (fun (source, projection) -> Applicability.analyze_exn s ~source ~projection) views
+  in
+  List.iteri
+    (fun i (b, u) ->
+      Alcotest.(check bool) (Fmt.str "view %d agrees" i) true (same_result b u))
+    (List.combine batched single);
+  (* guarded variant isolates per-view failures *)
+  match
+    Applicability.analyze_all s
+      ~views:[ (ty "A", [ at "x" ]); (ty "A", []); (ty "B", [ at "x" ]) ]
+  with
+  | [ Ok _; Error Empty_projection; Error (Attribute_not_available _) ] -> ()
+  | _ -> Alcotest.fail "analyze_all must report per-view errors in place"
+
+let test_batch_reuse () =
+  let s = ab_schema () in
+  let b = Applicability.batch s in
+  let r1 = Applicability.analyze_batch_exn b ~source:(ty "A") ~projection:[ at "x" ] in
+  let r2 = Applicability.analyze_batch_exn b ~source:(ty "A") ~projection:[ at "x" ] in
+  Alcotest.(check bool) "same schema behind the batch" true
+    (Applicability.batch_schema b == s);
+  Alcotest.(check bool) "re-analysis over a warm batch agrees" true
+    (same_result r1 r2)
+
 let test_explanations () =
   let schema = Tdp_paper.Fig3.schema in
   let source = ty "A" and projection = Tdp_paper.Fig3.projection in
@@ -283,7 +361,12 @@ let suite =
     Alcotest.test_case "unavailable attribute" `Quick test_unavailable_attr_error;
     Alcotest.test_case "candidate seeding" `Quick test_candidates_are_type_applicable;
     Alcotest.test_case "no candidate left unknown" `Quick
-      test_every_candidate_classified
+      test_every_candidate_classified;
+    Alcotest.test_case "cycle assumption and retraction" `Quick
+      test_cycle_assumption_and_retraction;
+    Alcotest.test_case "analyze_all ≡ per-view analyze" `Quick
+      test_analyze_all_equivalent;
+    Alcotest.test_case "batch reuse" `Quick test_batch_reuse
   ]
 
 let () = Alcotest.run "applicability" [ ("isapplicable", suite) ]

@@ -1,0 +1,150 @@
+(* Cache/uncached equivalence properties.
+
+   The dispatch table (Tdp_dispatch.Dispatch) and the shared
+   applicability batch (Applicability.analyze_all) are pure
+   memoizations: on any schema they must return exactly what the
+   uncached paths return.  Schemas are drawn from Tdp_synth; each
+   QCheck case is a generator seed, so shrink results are
+   reproducible. *)
+
+open Tdp_core
+module Dispatch = Tdp_dispatch.Dispatch
+
+let config_of_seed seed =
+  let open Tdp_synth.Synth in
+  { default with
+    n_types = 4 + (seed mod 12);
+    max_supers = 1 + (seed mod 3);
+    attrs_per_type = 1 + (seed mod 3);
+    n_gfs = 2 + (seed mod 4);
+    methods_per_gf = 1 + (seed mod 3);
+    max_params = 1 + (seed mod 2);
+    calls_per_body = 1 + (seed mod 3);
+    recursion = seed mod 3 <> 0;
+    seed
+  }
+
+let schema_of_seed seed = Tdp_synth.Synth.generate (config_of_seed seed)
+let seed_arb = QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 10_000)
+
+(* Every method's own signature, kept only when all its argument types
+   linearize — random multiple inheritance can defeat the CPL, which
+   both the cached and uncached paths reject identically but noisily. *)
+let calls_of schema =
+  let h = Schema.hierarchy schema in
+  let linearizes t =
+    match Linearize.cpl_result h t with Ok _ -> true | Error _ -> false
+  in
+  List.filter_map
+    (fun m ->
+      let tys = Signature.param_types (Method_def.signature m) in
+      if List.for_all linearizes tys then Some (Method_def.gf m, tys) else None)
+    (Schema.all_methods schema)
+
+let keys ms = List.map Method_def.key ms
+
+type outcome = Found of Method_def.Key.t | Nothing | Amb of string
+
+let outcome d ~gf ~arg_types =
+  match Dispatch.most_specific d ~gf ~arg_types with
+  | Some m -> Found (Method_def.key m)
+  | None -> Nothing
+  | exception Dispatch.Ambiguous { gf; _ } -> Amb gf
+
+let prop_applicable_cached_eq_uncached =
+  QCheck.Test.make ~name:"cached applicable ≡ uncached" ~count:150 seed_arb
+    (fun seed ->
+      let schema = schema_of_seed seed in
+      let calls = calls_of schema in
+      QCheck.assume (calls <> []);
+      let d = Dispatch.create schema in
+      List.for_all
+        (fun (gf, arg_types) ->
+          let reference = keys (Dispatch.applicable_uncached d ~gf ~arg_types) in
+          let cold = keys (Dispatch.applicable d ~gf ~arg_types) in
+          let warm = keys (Dispatch.applicable d ~gf ~arg_types) in
+          reference = cold && cold = warm)
+        calls)
+
+let prop_most_specific_stable =
+  (* Resolution through the table agrees with a fresh dispatcher on the
+     same schema, and with itself on a warm second dispatch — including
+     the Ambiguous outcome, which must keep raising once cached. *)
+  QCheck.Test.make ~name:"cached most_specific ≡ fresh dispatcher" ~count:150
+    seed_arb (fun seed ->
+      let schema = schema_of_seed seed in
+      let calls = calls_of schema in
+      QCheck.assume (calls <> []);
+      let d1 = Dispatch.create schema and d2 = Dispatch.create schema in
+      List.for_all
+        (fun (gf, arg_types) ->
+          let cold = outcome d1 ~gf ~arg_types in
+          let warm = outcome d1 ~gf ~arg_types in
+          let fresh = outcome d2 ~gf ~arg_types in
+          cold = warm && cold = fresh)
+        calls)
+
+let result_eq (a : Applicability.result) (b : Applicability.result) =
+  Method_def.Key.Set.equal a.applicable b.applicable
+  && Method_def.Key.Set.equal a.not_applicable b.not_applicable
+  && Method_def.Key.Set.equal a.candidates b.candidates
+  && a.passes = b.passes
+
+let views_of ~seed schema =
+  List.init 5 (fun i ->
+      Tdp_synth.Synth.gen_projection ~seed:(seed + (i * 131)) schema)
+
+let prop_analyze_all_eq_per_view =
+  QCheck.Test.make ~name:"analyze_all ≡ per-view analyze" ~count:120 seed_arb
+    (fun seed ->
+      let schema = schema_of_seed seed in
+      let views = views_of ~seed schema in
+      let batched = Applicability.analyze_all schema ~views in
+      let single =
+        List.map
+          (fun (source, projection) ->
+            Applicability.analyze schema ~source ~projection)
+          views
+      in
+      List.for_all2
+        (fun b s ->
+          match (b, s) with
+          | Ok rb, Ok rs -> result_eq rb rs
+          | Error eb, Error es -> Fmt.str "%a" Error.pp eb = Fmt.str "%a" Error.pp es
+          | _ -> false)
+        batched single)
+
+let prop_analyze_all_exn_eq =
+  (* The raising variant over well-formed views only. *)
+  QCheck.Test.make ~name:"analyze_all_exn ≡ per-view analyze_exn" ~count:120
+    seed_arb (fun seed ->
+      let schema = schema_of_seed seed in
+      let views =
+        List.filter
+          (fun (source, projection) ->
+            match Applicability.analyze schema ~source ~projection with
+            | Ok _ -> true
+            | Error _ -> false)
+          (views_of ~seed schema)
+      in
+      QCheck.assume (views <> []);
+      let batched = Applicability.analyze_all_exn schema ~views in
+      let single =
+        List.map
+          (fun (source, projection) ->
+            Applicability.analyze_exn schema ~source ~projection)
+          views
+      in
+      List.for_all2 result_eq batched single)
+
+let () =
+  let to_alco = QCheck_alcotest.to_alcotest in
+  Alcotest.run "cache-equiv"
+    [ ( "properties",
+        List.map to_alco
+          [ prop_applicable_cached_eq_uncached;
+            prop_most_specific_stable;
+            prop_analyze_all_eq_per_view;
+            prop_analyze_all_exn_eq
+          ] )
+    ]

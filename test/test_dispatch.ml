@@ -180,6 +180,50 @@ let test_cpl_memoized () =
   let l2 = Dispatch.cpl d (ty "A") in
   Alcotest.(check bool) "same list" true (l1 == l2)
 
+let test_dispatch_table_cached () =
+  let d = Dispatch.create fig3 in
+  let calls =
+    [ ("u", [ ty "A" ]); ("u", [ ty "B" ]); ("v", [ ty "A"; ty "C" ]);
+      ("v", [ ty "A"; ty "A" ]); ("x", [ ty "A"; ty "B" ]); ("w", [ ty "C" ])
+    ]
+  in
+  (* cached ranking ≡ uncached reference, cold and warm *)
+  List.iter
+    (fun (gf, arg_types) ->
+      let reference = Dispatch.applicable_uncached d ~gf ~arg_types in
+      let cold = Dispatch.applicable d ~gf ~arg_types in
+      let warm = Dispatch.applicable d ~gf ~arg_types in
+      Alcotest.(check (list string))
+        (Fmt.str "%s cold" gf)
+        (List.map Method_def.id reference)
+        (List.map Method_def.id cold);
+      Alcotest.(check bool) (Fmt.str "%s warm is the cached list" gf) true
+        (cold == warm))
+    calls;
+  let s = Dispatch.stats d in
+  Alcotest.(check bool) "table populated" true (s.entries >= List.length calls);
+  Alcotest.(check bool) "warm calls hit" true (s.hits >= List.length calls);
+  Alcotest.(check bool) "cold calls missed" true (s.misses >= List.length calls)
+
+let test_cached_ambiguity_persists () =
+  let s = Tdp_paper.Fig1.schema in
+  let dup id =
+    Method_def.make ~gf:"amb" ~id
+      ~signature:(Signature.make [ ("p", ty "Person") ])
+      (General [ Body.return_unit ])
+  in
+  let s = Schema.add_method s (dup "amb1") in
+  let s = Schema.add_method s (dup "amb2") in
+  let d = Dispatch.create s in
+  let attempt () =
+    match Dispatch.most_specific d ~gf:"amb" ~arg_types:[ ty "Person" ] with
+    | exception Dispatch.Ambiguous _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "first dispatch ambiguous" true (attempt ());
+  (* the tie is cached as a tie, not silently resolved *)
+  Alcotest.(check bool) "cached dispatch still ambiguous" true (attempt ())
+
 let suite =
   [ Alcotest.test_case "single dispatch" `Quick test_single_dispatch;
     Alcotest.test_case "override specificity" `Quick test_override_specificity;
@@ -193,7 +237,10 @@ let suite =
     Alcotest.test_case "dispatch on derived type" `Quick test_dispatch_on_derived;
     Alcotest.test_case "surrogate rank transparency" `Quick
       test_surrogate_rank_transparency;
-    Alcotest.test_case "CPL memoized" `Quick test_cpl_memoized
+    Alcotest.test_case "CPL memoized" `Quick test_cpl_memoized;
+    Alcotest.test_case "dispatch table cached" `Quick test_dispatch_table_cached;
+    Alcotest.test_case "cached ambiguity persists" `Quick
+      test_cached_ambiguity_persists
   ]
 
 let () = Alcotest.run "dispatch" [ ("dispatch", suite) ]

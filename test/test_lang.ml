@@ -131,6 +131,29 @@ let test_parse_errors () =
   check_parse_error "type A { x : int; }\nmethod f(a : A) { return }" 2;
   check_parse_error "vie X = Y;" 1
 
+(* A file cut off mid-declaration must report a positioned parse error
+   naming EOF — never crash past the end of the token stream. *)
+let test_truncated_file () =
+  let check src =
+    match Parser.parse src with
+    | Error (Parse_error { line; col; _ }) ->
+        Alcotest.(check bool) (Fmt.str "position for %S" src) true (line >= 1 && col >= 1)
+    | Error e -> Alcotest.failf "expected Parse_error for %S, got %a" src Error.pp e
+    | Ok _ -> Alcotest.failf "expected a parse error for %S" src
+  in
+  check "type Person {";
+  check "type Person { ssn : int;";
+  check "type Person { ssn";
+  check "method f(a : A) : int { return";
+  check "method f(a : A) : int { return get_x(";
+  check "view V = project Employee on [ssn,";
+  check "view V = select";
+  check "reader get_x(self";
+  (* sanity: the empty program still parses *)
+  match Parser.parse "" with
+  | Ok [] -> ()
+  | Ok _ | Error _ -> Alcotest.fail "empty source must parse to no items"
+
 let test_integer_overflow () =
   match Parser.parse_string "method f() { return 99999999999999999999999; }" with
   | exception Error.E (Parse_error { message; _ }) ->
@@ -284,6 +307,7 @@ let suite =
       test_control_flow_and_writer_calls;
     Alcotest.test_case "operator precedence" `Quick test_precedence_of_operators;
     Alcotest.test_case "parse errors with positions" `Quick test_parse_errors;
+    Alcotest.test_case "truncated file" `Quick test_truncated_file;
     Alcotest.test_case "integer overflow" `Quick test_integer_overflow;
     Alcotest.test_case "unterminated string" `Quick test_unterminated_string;
     Alcotest.test_case "comments and positions" `Quick test_lexer_comments_and_positions;
