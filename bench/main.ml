@@ -12,8 +12,14 @@
         dune exec bench/main.exe -- bench --json [--small] [--out FILE]
                                             (machine-readable baseline:
                                              ns/op + cached-vs-uncached
-                                             speedups; FILE defaults to
-                                             BENCH_2.json, "-" = stdout) *)
+                                             speedups + the schema-index
+                                             scaling sweep; FILE defaults
+                                             to BENCH_3.json, "-" = stdout)
+        dune exec bench/main.exe -- bench --check FILE
+                                            (re-measure in --small mode and
+                                             fail if a guarded benchmark
+                                             regressed >3x vs the baseline
+                                             JSON in FILE) *)
 
 open Tdp_core
 module Fig1 = Tdp_paper.Fig1
@@ -530,6 +536,94 @@ let table_s7 () =
     [ 1; 5; 10; 25; 50 ]
 
 (* ------------------------------------------------------------------ *)
+(* Schema-index scaling sweep: layered diamond lattices                *)
+(* ------------------------------------------------------------------ *)
+
+(* A layered multiple-inheritance lattice: [width] types per layer,
+   every type above the first layer inheriting from two types of the
+   previous layer (wrapping), so deep diamonds dominate and ancestor
+   sets grow to a constant fraction of the hierarchy.  This is the
+   worst case for the per-query ancestor-set construction the compiled
+   index replaces, and the shape the closure bitset has to absorb. *)
+let diamond_hierarchy ?(width = 10) n =
+  let name i = ty (Fmt.str "N%d" i) in
+  let rec go h i =
+    if i >= n then h
+    else
+      let supers =
+        if i < width then []
+        else
+          let p = i mod width and base = ((i / width) - 1) * width in
+          [ (name (base + p), 1); (name (base + ((p + 1) mod width)), 2) ]
+      in
+      go (Hierarchy.add h (Type_def.make ~supers (name i))) (i + 1)
+  in
+  go Hierarchy.empty 0
+
+(* Deterministic query mix (an LCG, so every run and both sides of a
+   comparison measure the same pairs). *)
+let query_pairs n k =
+  let state = ref 1 in
+  let next () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state
+  in
+  List.init k (fun _ ->
+      let a = next () mod n in
+      let b = next () mod n in
+      (a, b))
+
+let ns t = t *. 1e9
+
+type sweep_point = {
+  sw_n : int;
+  sw_build_ns : float;  (* one Schema_index.compile *)
+  sw_index_ns : float;  (* one subtype query, compiled index *)
+  sw_cached_set_ns : float;  (* one query via memoized ancestor sets *)
+  sw_set_ns : float;  (* one query via per-query Hierarchy.subtype *)
+}
+
+let sweep_queries = 512
+
+let sweep_point n =
+  let h = diamond_hierarchy n in
+  let idx = Schema_index.compile h in
+  let queries =
+    List.map
+      (fun (a, b) -> (Schema_index.name idx a, Schema_index.name idx b))
+      (query_pairs n sweep_queries)
+  in
+  let per_query t = ns t /. float_of_int sweep_queries in
+  let t_build = time_it (fun () -> Schema_index.compile h) in
+  let t_index =
+    time_it (fun () ->
+        List.iter (fun (a, b) -> ignore (Schema_index.subtype idx a b)) queries)
+  in
+  (* the pre-index Subtype_cache strategy: memoize one Type_name.Set of
+     ancestors per queried type, then test membership *)
+  let t_cached_set =
+    time_it (fun () ->
+        List.iter
+          (fun (a, b) ->
+            ignore (Type_name.Set.mem b (Schema_index.ancestor_set idx a)))
+          queries)
+  in
+  (* the uncached strategy the acceptance criterion bans from hot
+     paths: build the ancestor set afresh on every query *)
+  let t_set =
+    time_it (fun () ->
+        List.iter (fun (a, b) -> ignore (Hierarchy.subtype h a b)) queries)
+  in
+  { sw_n = n;
+    sw_build_ns = ns t_build;
+    sw_index_ns = per_query t_index;
+    sw_cached_set_ns = per_query t_cached_set;
+    sw_set_ns = per_query t_set
+  }
+
+let sweep_sizes ~small = if small then [ 100; 400 ] else [ 100; 1000; 5000 ]
+
+(* ------------------------------------------------------------------ *)
 (* JSON baseline: cached vs. uncached hot paths (docs/performance.md)  *)
 (* ------------------------------------------------------------------ *)
 
@@ -545,8 +639,6 @@ type speedup = {
   cached_ns : float;
   ops : int;  (* distinct operations per measured iteration *)
 }
-
-let ns t = t *. 1e9
 
 (* A dispatch workload: every method's own parameter tuple is a valid
    call of its generic function, giving a realistic mix of arities and
@@ -623,14 +715,32 @@ let json_report ~small =
     time_it (fun () -> Applicability.analyze_exn schema ~source:source1 ~projection:proj1)
   in
   let stats = Dispatch.stats d in
+  let sweep = List.map sweep_point (sweep_sizes ~small) in
+  (* the smallest sweep point is measured in every mode, so its entries
+     carry stable names the --check regression gate can key on *)
+  let p0 = List.hd sweep in
+  let largest = List.nth sweep (List.length sweep - 1) in
   let entries =
     [ { name = "dispatch/applicable/uncached"; ns_per_op = ns t_disp_un /. float_of_int n_calls };
       { name = "dispatch/applicable/cached"; ns_per_op = ns t_disp_ca /. float_of_int n_calls };
       { name = "applicability/analyze/single-view"; ns_per_op = ns t_single };
       { name = "applicability/analyze-all/per-view";
         ns_per_op = ns t_views_ca /. float_of_int n_views
-      }
+      };
+      { name = "subtype/index"; ns_per_op = p0.sw_index_ns };
+      { name = "subtype/cached-set"; ns_per_op = p0.sw_cached_set_ns };
+      { name = "subtype/set"; ns_per_op = p0.sw_set_ns }
     ]
+    @ List.concat_map
+        (fun p ->
+          [ { name = Fmt.str "index/build/n=%d" p.sw_n; ns_per_op = p.sw_build_ns };
+            { name = Fmt.str "subtype/index/n=%d" p.sw_n; ns_per_op = p.sw_index_ns };
+            { name = Fmt.str "subtype/cached-set/n=%d" p.sw_n;
+              ns_per_op = p.sw_cached_set_ns
+            };
+            { name = Fmt.str "subtype/set/n=%d" p.sw_n; ns_per_op = p.sw_set_ns }
+          ])
+        sweep
   in
   let speedups =
     [ { s_name = "repeated-dispatch";
@@ -642,6 +752,16 @@ let json_report ~small =
         uncached_ns = ns t_views_un /. float_of_int n_views;
         cached_ns = ns t_views_ca /. float_of_int n_views;
         ops = n_views
+      };
+      { s_name = "subtype/index-vs-set";
+        uncached_ns = largest.sw_set_ns;
+        cached_ns = largest.sw_index_ns;
+        ops = sweep_queries
+      };
+      { s_name = "subtype/index-vs-cached-set";
+        uncached_ns = largest.sw_cached_set_ns;
+        cached_ns = largest.sw_index_ns;
+        ops = sweep_queries
       }
     ]
   in
@@ -651,8 +771,12 @@ let json_report ~small =
   Buffer.add_string buf "  \"schema_version\": 1,\n";
   Buffer.add_string buf (Fmt.str "  \"suite\": \"tdp-bench\",\n");
   Buffer.add_string buf
-    (Fmt.str "  \"config\": { \"small\": %b, \"methods\": %d, \"views\": %d },\n"
-       small methods n_views);
+    (Fmt.str
+       "  \"config\": { \"small\": %b, \"methods\": %d, \"views\": %d, \
+        \"sweep_sizes\": [%s], \"sweep_queries\": %d },\n"
+       small methods n_views
+       (String.concat ", " (List.map string_of_int (sweep_sizes ~small)))
+       sweep_queries);
   Buffer.add_string buf
     (Fmt.str
        "  \"dispatch_table\": { \"entries\": %d, \"hits\": %d, \"misses\": %d },\n"
@@ -808,6 +932,85 @@ let run_bechamel () =
       row3 name est r2)
     (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
 
+(* ------------------------------------------------------------------ *)
+(* Bench-regression gate (CI smoke): re-measure in --small mode and    *)
+(* compare the guarded benchmarks against a checked-in baseline JSON.  *)
+(* ------------------------------------------------------------------ *)
+
+(* Benchmarks whose regression fails the gate.  The 3x tolerance is
+   deliberately loose: CI machines are noisy, and the gate exists to
+   catch order-of-magnitude losses (an accidentally quadratic path, a
+   dropped memo table), not single-digit drift. *)
+let guarded_benchmarks = [ "dispatch/applicable/cached"; "subtype/index" ]
+let check_tolerance = 3.0
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Pull ["ns_per_op"] for a named benchmark entry out of a report.  The
+   report format is ours (json_report above), so a string scan beats
+   hauling in a JSON parser the container may not have: find the name,
+   then the next "ns_per_op" field after it. *)
+let ns_per_op_of ~json name =
+  let needle = Fmt.str "\"name\": %S" name in
+  let nlen = String.length needle and len = String.length json in
+  let rec find i =
+    if i + nlen > len then None
+    else if String.sub json i nlen = needle then Some (i + nlen)
+    else find (i + 1)
+  in
+  Option.bind (find 0) (fun start ->
+      let field = "\"ns_per_op\": " in
+      let flen = String.length field in
+      let rec find_field i =
+        if i + flen > len then None
+        else if String.sub json i flen = field then Some (i + flen)
+        else find_field (i + 1)
+      in
+      Option.bind (find_field start) (fun v ->
+          let stop = ref v in
+          while
+            !stop < len
+            && (match json.[!stop] with '0' .. '9' | '.' | '-' -> true | _ -> false)
+          do
+            incr stop
+          done;
+          float_of_string_opt (String.sub json v (!stop - v))))
+
+let run_check ~baseline_file =
+  let baseline = read_file baseline_file in
+  Fmt.pr "measuring current tree (--small) against %s@." baseline_file;
+  let current = json_report ~small:true in
+  let failures =
+    List.filter_map
+      (fun name ->
+        match (ns_per_op_of ~json:baseline name, ns_per_op_of ~json:current name) with
+        | None, _ ->
+            Fmt.pr "  %-32s not in baseline; skipped@." name;
+            None
+        | _, None -> Some (Fmt.str "%s: missing from current report" name)
+        | Some base, Some cur ->
+            let ratio = cur /. base in
+            Fmt.pr "  %-32s baseline %10.1f ns  current %10.1f ns  (%.2fx)@." name
+              base cur ratio;
+            if ratio > check_tolerance then
+              Some
+                (Fmt.str "%s regressed %.2fx (tolerance %.1fx)" name ratio
+                   check_tolerance)
+            else None)
+      guarded_benchmarks
+  in
+  match failures with
+  | [] ->
+      Fmt.pr "bench check OK@.";
+      exit 0
+  | fs ->
+      List.iter (fun f -> Fmt.pr "FAIL: %s@." f) fs;
+      exit 1
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let is_flag a = String.length a >= 2 && String.sub a 0 2 = "--" in
@@ -819,8 +1022,16 @@ let () =
   let rec out_of = function
     | "--out" :: v :: _ -> v
     | _ :: rest -> out_of rest
-    | [] -> "BENCH_2.json"
+    | [] -> "BENCH_3.json"
   in
+  let rec check_of = function
+    | "--check" :: v :: _ -> Some v
+    | _ :: rest -> check_of rest
+    | [] -> None
+  in
+  (match check_of args with
+  | Some baseline_file -> run_check ~baseline_file
+  | None -> ());
   if List.mem "--json" args then begin
     run_json ~small:(List.mem "--small" args) ~out:(out_of args);
     exit 0

@@ -60,9 +60,9 @@ let pp_report ppf r =
     r.impacts
 
 let applicable_keys schema ty_ =
-  let cache = Subtype_cache.create (Schema.hierarchy schema) in
+  let index = Schema_index.of_hierarchy (Schema.hierarchy schema) in
   Method_def.Key.Set.of_list
-    (List.map Method_def.key (Schema.methods_applicable_to_type schema cache ty_))
+    (List.map Method_def.key (Schema.methods_applicable_to_type schema index ty_))
 
 (* Apply a change to a base (view-free) schema; validates the result. *)
 let apply_change_exn schema change =

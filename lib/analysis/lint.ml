@@ -496,7 +496,7 @@ let lint_schema ?file schema =
            declared type exists; skip them when TDP014 fired *)
         if decls <> [] then []
         else
-          let cache = Subtype_cache.create h in
+          let cache = Schema_index.of_hierarchy h in
           List.concat_map (check_body ?file schema cache h) (Schema.all_methods schema)
           @ check_call_spaces ?file schema
       in

@@ -25,7 +25,7 @@ type frame = { meth : Key.t; mutable deps : Key.Set.t }
    schema value. *)
 type batch = {
   schema : Schema.t;
-  cache : Subtype_cache.t;
+  index : Schema_index.t;
   relevant : (Key.t * Type_name.t, Dataflow.relevant_call list) Hashtbl.t;
       (* relevant calls of a method body w.r.t. a source type *)
   calls : (string * Type_name.t list, Method_def.t list) Hashtbl.t;
@@ -36,7 +36,7 @@ type batch = {
 
 let batch schema =
   { schema;
-    cache = Subtype_cache.create (Schema.hierarchy schema);
+    index = Schema_index.of_hierarchy (Schema.hierarchy schema);
     relevant = Hashtbl.create 64;
     calls = Hashtbl.create 64;
     by_type = Hashtbl.create 16
@@ -49,7 +49,7 @@ let candidates_for_call b ~gf ~arg_types =
   match Hashtbl.find_opt b.calls k with
   | Some ms -> ms
   | None ->
-      let ms = Schema.methods_applicable_to_call b.schema b.cache ~gf ~arg_types in
+      let ms = Schema.methods_applicable_to_call b.schema b.index ~gf ~arg_types in
       Hashtbl.replace b.calls k ms;
       ms
 
@@ -57,7 +57,7 @@ let candidates_for_type b source =
   match Hashtbl.find_opt b.by_type source with
   | Some ms -> ms
   | None ->
-      let ms = Schema.methods_applicable_to_type b.schema b.cache source in
+      let ms = Schema.methods_applicable_to_type b.schema b.index source in
       Hashtbl.replace b.by_type source ms;
       ms
 
@@ -80,7 +80,7 @@ let relevant_calls ctx m =
   | Some rcs -> rcs
   | None ->
       let rcs =
-        Dataflow.relevant_calls ctx.b.schema ctx.b.cache m ~source:ctx.source
+        Dataflow.relevant_calls ctx.b.schema ctx.b.index m ~source:ctx.source
       in
       Hashtbl.replace ctx.b.relevant k rcs;
       rcs
@@ -269,8 +269,8 @@ let explain schema (r : result) ~source ~projection key =
             Key.pp key
       | General _, `Not_applicable -> (
           ignore proj;
-          let cache = Subtype_cache.create (Schema.hierarchy schema) in
-          let rcs = Dataflow.relevant_calls schema cache m ~source in
+          let index = Schema_index.of_hierarchy (Schema.hierarchy schema) in
+          let rcs = Dataflow.relevant_calls schema index m ~source in
           let failing =
             List.find_opt
               (fun (rc : Dataflow.relevant_call) ->
@@ -283,7 +283,7 @@ let explain schema (r : result) ~source ~projection key =
                   | _ -> rc.site.arg_types
                 in
                 let candidates =
-                  Schema.methods_applicable_to_call schema cache ~gf:rc.site.gf
+                  Schema.methods_applicable_to_call schema index ~gf:rc.site.gf
                     ~arg_types
                 in
                 not

@@ -38,7 +38,7 @@ type result = {
     of one schema.
 
     A batch memoizes everything that depends only on the schema (and,
-    where applicable, the source type) — the subtype/ancestor-set cache,
+    where applicable, the source type) — the compiled schema index,
     each method's relevant calls per source, and the candidate-method
     sets per call and per type — so analyzing [k] projections costs one
     traversal of that state instead of [k].

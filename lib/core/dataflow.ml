@@ -87,14 +87,14 @@ type relevant_call = {
 (* The formals of [m] that are "supertypes of the source type T":
    formals xᵢ with T ⪯ Tᵢ.  For methods applicable to T this set is
    non-empty by definition. *)
-let formals_above cache m ~source =
+let formals_above index m ~source =
   List.filter_map
-    (fun (x, ty) -> if Subtype_cache.subtype cache source ty then Some x else None)
+    (fun (x, ty) -> if Schema_index.subtype index source ty then Some x else None)
     (Signature.params (Method_def.signature m))
   |> SS.of_list
 
-let relevant_calls schema cache m ~source =
-  let above = formals_above cache m ~source in
+let relevant_calls schema index m ~source =
+  let above = formals_above index m ~source in
   List.filter_map
     (fun site ->
       let relevant_positions =

@@ -34,13 +34,13 @@ type relevant_call = {
 }
 
 (** Formals of [m] whose declared type is a supertype of [source]. *)
-val formals_above : Subtype_cache.t -> Method_def.t -> source:Type_name.t -> SS.t
+val formals_above : Schema_index.t -> Method_def.t -> source:Type_name.t -> SS.t
 
 (** The calls in [m]'s body that are relevant to the applicability
     analysis for a projection over [source], with the argument positions
     fed by formals of type ⪰ [source]. *)
 val relevant_calls :
-  Schema.t -> Subtype_cache.t -> Method_def.t -> source:Type_name.t -> relevant_call list
+  Schema.t -> Schema_index.t -> Method_def.t -> source:Type_name.t -> relevant_call list
 
 (** Object types of locals (and the result type) of [m] transitively
     assigned a value originating in one of the [rebound] formals —

@@ -1,6 +1,30 @@
-type t = { defs : Type_def.t Type_name.Map.t }
+type t = {
+  defs : Type_def.t Type_name.Map.t;
+  generation : int;
+  (* Name-ordered views of [defs], forced at most once per hierarchy
+     value.  Hierarchies are immutable, so the lists can never go
+     stale; the lazies make functional updates O(log n) instead of
+     paying the O(n) bindings walk eagerly on every [add]. *)
+  types_memo : Type_def.t list Lazy.t;
+  names_memo : Type_name.t list Lazy.t;
+}
 
-let empty = { defs = Type_name.Map.empty }
+(* Every constructed hierarchy value gets a fresh stamp: two values
+   with the same generation are the same value (modulo the shared
+   [empty]), so derived structures such as [Schema_index] can detect
+   staleness with one integer comparison. *)
+let gen_counter = ref 0
+
+let make defs =
+  incr gen_counter;
+  { defs;
+    generation = !gen_counter;
+    types_memo = lazy (List.map snd (Type_name.Map.bindings defs));
+    names_memo = lazy (List.map fst (Type_name.Map.bindings defs))
+  }
+
+let empty = make Type_name.Map.empty
+let generation h = h.generation
 let mem h n = Type_name.Map.mem n h.defs
 let find_opt h n = Type_name.Map.find_opt n h.defs
 
@@ -12,14 +36,14 @@ let find h n =
 let add h def =
   let n = Type_def.name def in
   if mem h n then Error.raise_ (Duplicate_type n);
-  { defs = Type_name.Map.add n def h.defs }
+  make (Type_name.Map.add n def h.defs)
 
 let update h n f =
   let def = find h n in
-  { defs = Type_name.Map.add n (f def) h.defs }
+  make (Type_name.Map.add n (f def) h.defs)
 
-let types h = List.map snd (Type_name.Map.bindings h.defs)
-let type_names h = List.map fst (Type_name.Map.bindings h.defs)
+let types h = Lazy.force h.types_memo
+let type_names h = Lazy.force h.names_memo
 let cardinal h = Type_name.Map.cardinal h.defs
 let fold f h init = Type_name.Map.fold (fun _ d acc -> f d acc) h.defs init
 
@@ -143,7 +167,7 @@ let move_attr h ~attr ~from_ ~to_ =
 
 let remove h n =
   let _ = find h n in
-  { defs = Type_name.Map.remove n h.defs }
+  make (Type_name.Map.remove n h.defs)
 
 let fresh_name h base =
   let base = Type_name.to_string base in

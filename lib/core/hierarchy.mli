@@ -12,6 +12,15 @@
 type t
 
 val empty : t
+
+(** The generation stamp of this hierarchy value: a monotonically
+    increasing integer assigned at construction.  Every functional
+    update ([add], [update], [remove], …) returns a value with a
+    strictly larger stamp, so caches compiled from one hierarchy
+    (e.g. {!Schema_index}) can detect with a single integer comparison
+    that they are being queried against a different hierarchy value. *)
+val generation : t -> int
+
 val mem : t -> Type_name.t -> bool
 val find_opt : t -> Type_name.t -> Type_def.t option
 

@@ -25,16 +25,16 @@ let check_state_preserved ~before ~after =
 (* "and the same behavior": every pre-existing type sees exactly the
    same set of applicable methods, before and after relocation. *)
 let check_behavior_preserved ~before ~after =
-  let cache_b = Subtype_cache.create (Schema.hierarchy before) in
-  let cache_a = Subtype_cache.create (Schema.hierarchy after) in
+  let index_b = Schema_index.of_hierarchy (Schema.hierarchy before) in
+  let index_a = Schema_index.of_hierarchy (Schema.hierarchy after) in
   List.iter
     (fun def ->
       let n = Type_def.name def in
-      let keys schema cache =
+      let keys schema index =
         Method_def.Key.Set.of_list
-          (List.map Method_def.key (Schema.methods_applicable_to_type schema cache n))
+          (List.map Method_def.key (Schema.methods_applicable_to_type schema index n))
       in
-      let kb = keys before cache_b and ka = keys after cache_a in
+      let kb = keys before index_b and ka = keys after index_a in
       if not (Method_def.Key.Set.equal kb ka) then
         fail "applicable methods of %a changed" Type_name.pp n)
     (Hierarchy.types (Schema.hierarchy before))
@@ -75,10 +75,10 @@ let check_derived_above_source ~after ~derived ~source =
 (* The derived type inherits all methods found applicable and, among
    the analysis candidates, no others. *)
 let check_derived_behavior ~after ~derived ~(analysis : Applicability.result) =
-  let cache = Subtype_cache.create (Schema.hierarchy after) in
+  let index = Schema_index.of_hierarchy (Schema.hierarchy after) in
   let inherited =
     Method_def.Key.Set.of_list
-      (List.map Method_def.key (Schema.methods_applicable_to_type after cache derived))
+      (List.map Method_def.key (Schema.methods_applicable_to_type after index derived))
   in
   Method_def.Key.Set.iter
     (fun k ->

@@ -18,7 +18,7 @@ type outcome = {
    they are folded into Z and handled by Augment.  This closes a gap in
    the paper's Section 6.1, which implicitly assumes every relevant
    formal type is factored. *)
-let missing_formal_types schema cache ~source ~surrogates ~applicable =
+let missing_formal_types schema index ~source ~surrogates ~applicable =
   Method_def.Key.Set.fold
     (fun key acc ->
       match Schema.find_method_opt schema key with
@@ -27,7 +27,7 @@ let missing_formal_types schema cache ~source ~surrogates ~applicable =
           List.fold_left
             (fun acc ty ->
               if
-                Subtype_cache.subtype cache source ty
+                Schema_index.subtype index source ty
                 && not (Type_name.Map.mem ty surrogates)
               then Type_name.Set.add ty acc
               else acc)
@@ -43,7 +43,7 @@ let project_exn ?(check = true) schema ~view ?derived_name ~source ~projection (
     Factor_state.run_exn (Schema.hierarchy schema) ~view ?derived_name ~source
       ~projection ()
   in
-  let cache = Subtype_cache.create (Schema.hierarchy schema) in
+  let index = Schema_index.of_hierarchy (Schema.hierarchy schema) in
   (* Augment phase, run to a fixpoint.  Two refinements over the
      paper's single pass (see DESIGN.md):
 
@@ -65,7 +65,7 @@ let project_exn ?(check = true) schema ~view ?derived_name ~source ~projection (
       Type_name.Set.union
         (Augment.compute_y schema_cur ~applicable:analysis.applicable
            ~factored:surrogates)
-        (missing_formal_types schema cache ~source ~surrogates
+        (missing_formal_types schema index ~source ~surrogates
            ~applicable:analysis.applicable)
     in
     let aug = Augment.run_exn hierarchy ~view ~source ~surrogates ~z:z_aug in

@@ -1,12 +1,27 @@
 module SMap = Map.Make (String)
 
-type t = { hierarchy : Hierarchy.t; gfs : Generic_function.t SMap.t }
+type t = {
+  hierarchy : Hierarchy.t;
+  gfs : Generic_function.t SMap.t;
+  generation : int;
+}
 
-let empty = { hierarchy = Hierarchy.empty; gfs = SMap.empty }
+(* Like [Hierarchy.generation], but covering the whole schema: method
+   and generic-function updates change dispatch outcomes without
+   touching the hierarchy, so dispatchers stamp against this counter
+   rather than the hierarchy's. *)
+let gen_counter = ref 0
+
+let make hierarchy gfs =
+  incr gen_counter;
+  { hierarchy; gfs; generation = !gen_counter }
+
+let empty = make Hierarchy.empty SMap.empty
+let generation t = t.generation
 let hierarchy t = t.hierarchy
-let with_hierarchy t hierarchy = { t with hierarchy }
-let map_hierarchy t f = { t with hierarchy = f t.hierarchy }
-let add_type t def = { t with hierarchy = Hierarchy.add t.hierarchy def }
+let with_hierarchy t hierarchy = make hierarchy t.gfs
+let map_hierarchy t f = make (f t.hierarchy) t.gfs
+let add_type t def = make (Hierarchy.add t.hierarchy def) t.gfs
 let gfs t = List.map snd (SMap.bindings t.gfs)
 let find_gf_opt t name = SMap.find_opt name t.gfs
 
@@ -18,7 +33,7 @@ let find_gf t name =
 let declare_gf t gf =
   let name = Generic_function.name gf in
   if SMap.mem name t.gfs then Error.raise_ (Unknown_generic_function name)
-  else { t with gfs = SMap.add name gf t.gfs }
+  else make t.hierarchy (SMap.add name gf t.gfs)
 
 let add_method t m =
   let gf_name = Method_def.gf m in
@@ -30,28 +45,24 @@ let add_method t m =
           ?result:(Signature.result (Method_def.signature m))
           ~arity:(Method_def.arity m) gf_name
   in
-  { t with gfs = SMap.add gf_name (Generic_function.add_method gf m) t.gfs }
+  make t.hierarchy (SMap.add gf_name (Generic_function.add_method gf m) t.gfs)
 
 let update_method t key f =
   let gf = find_gf t (Method_def.Key.gf key) in
-  { t with
-    gfs =
-      SMap.add (Generic_function.name gf)
-        (Generic_function.update_method gf (Method_def.Key.id key) f)
-        t.gfs
-  }
+  make t.hierarchy
+    (SMap.add (Generic_function.name gf)
+       (Generic_function.update_method gf (Method_def.Key.id key) f)
+       t.gfs)
 
 (* Remove a method; its generic function stays declared so that bodies
    calling it remain well-formed (the call may simply have no
    applicable method). *)
 let remove_method t key =
   let gf = find_gf t (Method_def.Key.gf key) in
-  { t with
-    gfs =
-      SMap.add (Generic_function.name gf)
-        (Generic_function.remove_method gf (Method_def.Key.id key))
-        t.gfs
-  }
+  make t.hierarchy
+    (SMap.add (Generic_function.name gf)
+       (Generic_function.remove_method gf (Method_def.Key.id key))
+       t.gfs)
 
 let all_methods t =
   List.concat_map (fun g -> Generic_function.methods g) (gfs t)
@@ -70,26 +81,26 @@ let find_method t key =
 
 (* A method mk(T¹..Tⁿ) is applicable to a type T if there is some i with
    T ⪯ Tⁱ (Section 4). *)
-let method_applicable_to_type cache m ty =
+let method_applicable_to_type index m ty =
   List.exists
-    (Subtype_cache.subtype cache ty)
+    (Schema_index.subtype index ty)
     (Signature.param_types (Method_def.signature m))
 
-let methods_applicable_to_type t cache ty =
-  List.filter (fun m -> method_applicable_to_type cache m ty) (all_methods t)
+let methods_applicable_to_type t index ty =
+  List.filter (fun m -> method_applicable_to_type index m ty) (all_methods t)
 
 (* A method mk(U¹..Uᵐ) is applicable to a call n(V¹..Vᵐ) if ∀i, Vⁱ ⪯ Uⁱ. *)
-let method_applicable_to_call cache m arg_types =
+let method_applicable_to_call index m arg_types =
   let params = Signature.param_types (Method_def.signature m) in
   List.length params = List.length arg_types
-  && List.for_all2 (Subtype_cache.subtype cache) arg_types params
+  && List.for_all2 (Schema_index.subtype index) arg_types params
 
-let methods_applicable_to_call t cache ~gf ~arg_types =
+let methods_applicable_to_call t index ~gf ~arg_types =
   match find_gf_opt t gf with
   | None -> Error.raise_ (Unknown_generic_function gf)
   | Some g ->
       List.filter
-        (fun m -> method_applicable_to_call cache m arg_types)
+        (fun m -> method_applicable_to_call index m arg_types)
         (Generic_function.methods g)
 
 (* A "writer generic function" contains only writer methods.  Calls to

@@ -11,6 +11,14 @@
 type t
 
 val empty : t
+
+(** Generation stamp of this schema value: monotonically increasing,
+    bumped by every update ({!add_type}, {!add_method}, hierarchy
+    replacement, …).  Like {!Hierarchy.generation} but covering methods
+    and generic functions too — the stamp dispatch tables check to
+    detect that they were built for an evolved-away schema. *)
+val generation : t -> int
+
 val hierarchy : t -> Hierarchy.t
 val with_hierarchy : t -> Hierarchy.t -> t
 val map_hierarchy : t -> (Hierarchy.t -> Hierarchy.t) -> t
@@ -51,20 +59,22 @@ val find_method_opt : t -> Method_def.Key.t -> Method_def.t option
 (** @raise Error.E if the method does not exist. *)
 val find_method : t -> Method_def.Key.t -> Method_def.t
 
-(** [method_applicable_to_type cache m ty]: ∃i. ty ⪯ Tⁱ. *)
-val method_applicable_to_type : Subtype_cache.t -> Method_def.t -> Type_name.t -> bool
+(** [method_applicable_to_type index m ty]: ∃i. ty ⪯ Tⁱ.  The index
+    must be compiled from this schema's hierarchy ([Subtype_cache.t]
+    is an alias, so existing call sites pass through unchanged). *)
+val method_applicable_to_type : Schema_index.t -> Method_def.t -> Type_name.t -> bool
 
 val methods_applicable_to_type :
-  t -> Subtype_cache.t -> Type_name.t -> Method_def.t list
+  t -> Schema_index.t -> Type_name.t -> Method_def.t list
 
-(** [method_applicable_to_call cache m args]: ∀i. Vⁱ ⪯ Uⁱ. *)
-val method_applicable_to_call : Subtype_cache.t -> Method_def.t -> Type_name.t list -> bool
+(** [method_applicable_to_call index m args]: ∀i. Vⁱ ⪯ Uⁱ. *)
+val method_applicable_to_call : Schema_index.t -> Method_def.t -> Type_name.t list -> bool
 
 (** Methods of [gf] applicable to a call with the given argument types,
     in definition order.
     @raise Error.E [Unknown_generic_function]. *)
 val methods_applicable_to_call :
-  t -> Subtype_cache.t -> gf:string -> arg_types:Type_name.t list -> Method_def.t list
+  t -> Schema_index.t -> gf:string -> arg_types:Type_name.t list -> Method_def.t list
 
 (** Whether every method of [gf] is a writer accessor.  Body calls to
     such a generic function carry one extra syntactic argument (the new

@@ -1,0 +1,91 @@
+(** A compiled, immutable snapshot of a {!Hierarchy.t}.
+
+    The paper's algorithms (IsApplicable §4.1, factoring §5–6, CLOS
+    dispatch) issue many [a ⪯ b] subtype queries and linearizations
+    against one fixed hierarchy.  Compiling the hierarchy once makes
+    those queries cheap:
+
+    - {b Interning}: type names are mapped to dense integer ids
+      (name order), so the rest of the structure is array-indexed.
+    - {b Bitset closure}: the reflexive-transitive ancestor relation is
+      precomputed as a [Bytes]-backed bit matrix — {!subtype} is an
+      O(1) bit test and {!ancestors_or_self} iterates a bitset instead
+      of building a [Type_name.Set] per query.
+    - {b Memoized linearizations} and the direct-subs index, shared by
+      every consumer of the snapshot.
+    - {b Generation stamp}: the snapshot records
+      [Hierarchy.generation] of its source, so downstream caches
+      (dispatch tables, applicability batches, the object store) can
+      detect that a hierarchy has evolved instead of silently serving
+      answers for an old schema.
+
+    Compilation is O(V·E/word) for the closure plus O(V+E) for the
+    rest; queries are O(1) (subtype) or output-sensitive (ancestor /
+    descendant iteration).  Indexes are observationally immutable —
+    the only internal mutation is memoization. *)
+
+type t
+
+(** Compile a fresh snapshot of [h]. *)
+val compile : Hierarchy.t -> t
+
+(** Like {!compile}, but interned: repeated calls on the same hierarchy
+    {e value} (same generation stamp) return the same snapshot, so all
+    consumers of one schema share one compiled index.  The intern table
+    is a small bounded FIFO. *)
+val of_hierarchy : Hierarchy.t -> t
+
+val hierarchy : t -> Hierarchy.t
+
+(** The {!Hierarchy.generation} of the hierarchy this index was
+    compiled from. *)
+val generation : t -> int
+
+(** [same_hierarchy t h] — does this index describe the value [h]?
+    One integer comparison; the staleness test downstream caches use. *)
+val same_hierarchy : t -> Hierarchy.t -> bool
+
+val cardinal : t -> int
+val mem : t -> Type_name.t -> bool
+
+(** Dense id of an interned type name. *)
+val id : t -> Type_name.t -> int option
+
+(** @raise Error.E [Unknown_type]. *)
+val id_exn : t -> Type_name.t -> int
+
+(** Inverse of {!id}; ids are assigned in name order. *)
+val name : t -> int -> Type_name.t
+
+(** [subtype t a b] is [a ⪯ b] — an O(1) bit test after interning.
+    @raise Error.E [Unknown_type] when [a] is not in the hierarchy
+    (and [a ≠ b]), mirroring [Hierarchy.subtype]. *)
+val subtype : t -> Type_name.t -> Type_name.t -> bool
+
+(** {!subtype} on pre-interned ids: one bit test, no hashing. *)
+val subtype_ids : t -> int -> int -> bool
+
+val proper_subtype : t -> Type_name.t -> Type_name.t -> bool
+
+(** Reflexive ancestors, in name order — a bitset iteration, no set
+    construction.  @raise Error.E [Unknown_type]. *)
+val ancestors_or_self : t -> Type_name.t -> Type_name.t list
+
+(** {!ancestors_or_self} as a [Type_name.Set.t], built at most once per
+    type (compatibility for callers that need set operations). *)
+val ancestor_set : t -> Type_name.t -> Type_name.Set.t
+
+(** Proper descendants / reflexive descendants, in name order — a
+    column scan of the closure.  @raise Error.E [Unknown_type]. *)
+val descendants : t -> Type_name.t -> Type_name.t list
+
+val descendants_or_self : t -> Type_name.t -> Type_name.t list
+
+(** Direct subtypes, in name order (precomputed during compilation). *)
+val direct_subs : t -> Type_name.t -> Type_name.t list
+
+(** Class precedence list of a type, memoized in the snapshot; equal to
+    a fresh [Linearize.cpl].  @raise Error.E [Linearization_failure]. *)
+val cpl : t -> Type_name.t -> Type_name.t list
+
+val cpl_result : t -> Type_name.t -> (Type_name.t list, Error.t) result

@@ -1,14 +1,7 @@
-type t = { h : Hierarchy.t; ancestors : (Type_name.t, Type_name.Set.t) Hashtbl.t }
+type t = Schema_index.t
 
-let create h = { h; ancestors = Hashtbl.create 64 }
-
-let ancestors_or_self t n =
-  match Hashtbl.find_opt t.ancestors n with
-  | Some s -> s
-  | None ->
-      let s = Hierarchy.ancestors_or_self t.h n in
-      Hashtbl.replace t.ancestors n s;
-      s
-
-let subtype t a b = Type_name.Set.mem b (ancestors_or_self t a)
-let hierarchy t = t.h
+let create h = Schema_index.of_hierarchy h
+let index t = t
+let ancestors_or_self = Schema_index.ancestor_set
+let subtype = Schema_index.subtype
+let hierarchy = Schema_index.hierarchy

@@ -1,15 +1,26 @@
-(** Memoized subtype tests over a fixed hierarchy.
+(** Memoized subtype tests over a fixed hierarchy — compatibility shim.
 
-    [Applicability] and [Dispatch] issue many [⪯] queries against the
-    same hierarchy; this cache computes each type's ancestor set once.
-    The cache must be discarded when the hierarchy changes. *)
+    Historically this module cached one [Type_name.Set.t] of ancestors
+    per queried type.  It is now a thin veneer over {!Schema_index}:
+    [create] compiles (or reuses, via the generation-stamp intern) the
+    hierarchy's index, and [subtype] is an O(1) bit test against the
+    precomputed transitive closure.  New code should use
+    {!Schema_index} directly; the alias below makes the two
+    interchangeable at call sites. *)
 
-type t
+type t = Schema_index.t
 
+(** Compile or reuse the hierarchy's {!Schema_index}. *)
 val create : Hierarchy.t -> t
+
+(** The underlying compiled index (the identity — [t] is an alias). *)
+val index : t -> Schema_index.t
+
+(** Ancestor set of a type, built at most once per type from the
+    index's closure bitset. *)
 val ancestors_or_self : t -> Type_name.t -> Type_name.Set.t
 
-(** [subtype t a b] is [a ⪯ b]. *)
+(** [subtype t a b] is [a ⪯ b]: one bit test. *)
 val subtype : t -> Type_name.t -> Type_name.t -> bool
 
 val hierarchy : t -> Hierarchy.t

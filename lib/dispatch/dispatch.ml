@@ -13,8 +13,8 @@ type stats = { entries : int; hits : int; misses : int }
 
 type t = {
   schema : Schema.t;
-  cache : Subtype_cache.t;
-  cpls : (Type_name.t, Type_name.t list) Hashtbl.t;
+  schema_generation : int;
+  index : Schema_index.t;
   ranks : (Type_name.t, (Type_name.t, int) Hashtbl.t) Hashtbl.t;
   surrogate_transparent : bool;
   (* The dispatch tables, keyed by (gf, arg_types).  Both depend only
@@ -29,8 +29,8 @@ type t = {
 
 let create ?(surrogate_transparent = true) schema =
   { schema;
-    cache = Subtype_cache.create (Schema.hierarchy schema);
-    cpls = Hashtbl.create 32;
+    schema_generation = Schema.generation schema;
+    index = Schema_index.of_hierarchy (Schema.hierarchy schema);
     ranks = Hashtbl.create 32;
     surrogate_transparent;
     table = Hashtbl.create 64;
@@ -40,6 +40,22 @@ let create ?(surrogate_transparent = true) schema =
   }
 
 let schema t = t.schema
+let index t = t.index
+let generation t = t.schema_generation
+
+(* The dispatcher answers for exactly one schema value; [ensure_fresh]
+   lets holders of a long-lived dispatcher assert, before a query, that
+   the schema they are about to dispatch against is still that value.
+   Generation stamps make this one integer comparison. *)
+let ensure_fresh t schema' =
+  let got = Schema.generation schema' in
+  if got <> t.schema_generation then
+    Error.raise_
+      (Invariant_violation
+         (Fmt.str
+            "stale dispatcher: built for schema generation %d but queried \
+             against generation %d; rebuild with Dispatch.create"
+            t.schema_generation got))
 
 let stats t =
   { entries = Hashtbl.length t.table + Hashtbl.length t.resolutions;
@@ -47,13 +63,7 @@ let stats t =
     misses = t.misses
   }
 
-let cpl t n =
-  match Hashtbl.find_opt t.cpls n with
-  | Some l -> l
-  | None ->
-      let l = Linearize.cpl (Schema.hierarchy t.schema) n in
-      Hashtbl.replace t.cpls n l;
-      l
+let cpl t n = Schema_index.cpl t.index n
 
 (* Specificity rank of each supertype in the class precedence list of
    [actual] — with surrogate transparency: a surrogate shares the rank
@@ -119,7 +129,7 @@ let compare_specificity t ~arg_types m1 m2 =
 
 let applicable_uncached t ~gf ~arg_types =
   let ms =
-    Schema.methods_applicable_to_call t.schema t.cache ~gf ~arg_types
+    Schema.methods_applicable_to_call t.schema t.index ~gf ~arg_types
   in
   List.stable_sort (compare_specificity t ~arg_types) ms
 

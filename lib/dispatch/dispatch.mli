@@ -32,7 +32,24 @@ val create : ?surrogate_transparent:bool -> Schema.t -> t
 
 val schema : t -> Schema.t
 
-(** Class precedence list of a type (memoized).
+(** The compiled {!Schema_index} this dispatcher ranks against: O(1)
+    subtype bit tests and memoized linearizations, shared with every
+    other consumer of the same hierarchy value. *)
+val index : t -> Schema_index.t
+
+(** The {!Schema.generation} stamp of the schema this dispatcher was
+    built for.  Holders of a long-lived dispatcher compare it against
+    the generation of the schema they are about to dispatch over to
+    detect staleness in O(1). *)
+val generation : t -> int
+
+(** [ensure_fresh t schema] asserts that [schema] is the value this
+    dispatcher was built for.
+    @raise Error.E [Invariant_violation] on a generation mismatch —
+    the dispatcher would answer from an evolved-away schema. *)
+val ensure_fresh : t -> Schema.t -> unit
+
+(** Class precedence list of a type (memoized in the schema index).
     @raise Error.E [Linearization_failure]. *)
 val cpl : t -> Type_name.t -> Type_name.t list
 

@@ -87,7 +87,7 @@ let call_space_issues dispatcher ~gf ~arg_space =
    inside it, every coverage gap and ambiguity is a genuine hazard. *)
 let method_space_issues ?(max_combinations = 4096) dispatcher ~gf =
   let schema = Dispatch.schema dispatcher in
-  let h = Schema.hierarchy schema in
+  let index = Dispatch.index dispatcher in
   let g = Schema.find_gf schema gf in
   let methods = Generic_function.methods g in
   if methods = [] then []
@@ -98,8 +98,10 @@ let method_space_issues ?(max_combinations = 4096) dispatcher ~gf =
           List.fold_left
             (fun acc m ->
               let formal = Signature.param_type (Method_def.signature m) i in
-              Type_name.Set.union acc
-                (Type_name.Set.add formal (Hierarchy.descendants h formal)))
+              List.fold_left
+                (fun acc d -> Type_name.Set.add d acc)
+                acc
+                (Schema_index.descendants_or_self index formal))
             Type_name.Set.empty methods
           |> Type_name.Set.elements)
     in

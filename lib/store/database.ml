@@ -8,7 +8,7 @@ type obj = {
 
 type t = {
   mutable schema : Schema.t;
-  mutable cache : Subtype_cache.t;
+  mutable index : Schema_index.t;
   mutable next : int;
   objects : (Oid.t, obj) Hashtbl.t;
 }
@@ -19,7 +19,7 @@ let fail fmt = Fmt.kstr (fun s -> raise (Store_error s)) fmt
 
 let create schema =
   { schema;
-    cache = Subtype_cache.create (Schema.hierarchy schema);
+    index = Schema_index.of_hierarchy (Schema.hierarchy schema);
     next = 1;
     objects = Hashtbl.create 64
   }
@@ -32,7 +32,7 @@ let schema t = t.schema
    valid verbatim. *)
 let set_schema t schema =
   t.schema <- schema;
-  t.cache <- Subtype_cache.create (Schema.hierarchy schema)
+  t.index <- Schema_index.of_hierarchy (Schema.hierarchy schema)
 
 let hierarchy t = Schema.hierarchy t.schema
 
@@ -54,7 +54,7 @@ let check_value t attr_ty v =
       match Hashtbl.find_opt t.objects o with
       | None -> fail "dangling reference %a" Oid.pp o
       | Some target ->
-          if not (Subtype_cache.subtype t.cache target.ty n) then
+          if not (Schema_index.subtype t.index target.ty n) then
             fail "object %a of type %s is not a %s" Oid.pp o
               (Type_name.to_string target.ty)
               (Type_name.to_string n))
@@ -133,7 +133,7 @@ let set_attr t oid attr v =
    placing the derived type as a supertype buys. *)
 let extent t ty =
   Hashtbl.fold
-    (fun oid o acc -> if Subtype_cache.subtype t.cache o.ty ty then oid :: acc else acc)
+    (fun oid o acc -> if Schema_index.subtype t.index o.ty ty then oid :: acc else acc)
     t.objects []
   |> List.sort Oid.compare
 

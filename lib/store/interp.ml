@@ -12,7 +12,7 @@ type frame = {
 
 type t = {
   db : Database.t;
-  dispatch : Dispatch.t;
+  mutable dispatch : Dispatch.t;
   now : int;
   max_depth : int;
   mutable frames : frame list;
@@ -41,6 +41,20 @@ let refresh t =
     frames = [];
     depth = 0
   }
+
+(* The database's schema can be swapped under a live interpreter
+   ([Database.set_schema] after an evolution or factoring step).  A
+   dispatcher memoizes outcomes for exactly one schema value, so
+   answering from [t.dispatch] after a swap would silently dispatch
+   against the evolved-away schema.  Generation stamps make staleness
+   one integer comparison, checked at every top-level call; mid-call
+   ([call_next_method]) frames keep the dispatcher they started with,
+   as the schema cannot change within a call. *)
+let dispatcher t =
+  let schema = Database.schema t.db in
+  if Dispatch.generation t.dispatch <> Schema.generation schema then
+    t.dispatch <- Dispatch.create schema;
+  t.dispatch
 
 exception Returned of Value.t
 
@@ -154,7 +168,7 @@ and call t gf args =
         | v -> fail "generic function %s applied to non-object %a" gf Value.pp v)
       dispatched
   in
-  match Dispatch.most_specific t.dispatch ~gf ~arg_types with
+  match Dispatch.most_specific (dispatcher t) ~gf ~arg_types with
   | None ->
       fail "no applicable method for %s(%s)" gf
         (String.concat ", " (List.map Type_name.to_string arg_types))

@@ -18,11 +18,17 @@ val create : ?now:int -> ?max_depth:int -> Database.t -> t
 
 val db : t -> Database.t
 
-(** Rebuild dispatch tables after [Database.set_schema]. *)
+(** Rebuild dispatch tables after [Database.set_schema].  Kept for
+    explicit control; since generation-stamped invalidation, {!call}
+    also detects a swapped schema on its own and rebuilds, so a stale
+    interpreter can no longer answer from evolved-away dispatch
+    tables. *)
 val refresh : t -> t
 
 (** [call t gf args] dispatches and runs a generic function.  A writer
     generic function takes the target object followed by the new value.
+    Checks the schema's generation stamp first and transparently
+    rebuilds the dispatcher if [Database.set_schema] has run since.
     @raise Runtime_error on dispatch failure or an ill-typed call. *)
 val call : t -> string -> Value.t list -> Value.t
 
