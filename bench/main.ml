@@ -13,8 +13,9 @@
                                             (machine-readable baseline:
                                              ns/op + cached-vs-uncached
                                              speedups + the schema-index
-                                             scaling sweep; FILE defaults
-                                             to BENCH_3.json, "-" = stdout)
+                                             scaling sweep + store recovery
+                                             throughput; FILE defaults
+                                             to BENCH_4.json, "-" = stdout)
         dune exec bench/main.exe -- bench --check FILE
                                             (re-measure in --small mode and
                                              fail if a guarded benchmark
@@ -536,6 +537,56 @@ let table_s7 () =
     [ 1; 5; 10; 25; 50 ]
 
 (* ------------------------------------------------------------------ *)
+(* S8: durable-store recovery throughput                               *)
+(* ------------------------------------------------------------------ *)
+
+(* [store_fixture n] builds a database of [n] Employee objects over the
+   fig1 schema and returns, alongside the schema, the two on-disk images
+   recovery consumes: the snapshot text (Dump grammar) and the WAL image
+   journaling mode would have produced for the same creations. *)
+let store_fixture n =
+  let o = Fig1.project () in
+  let db = Tdp_store.Database.create o.schema in
+  let buf = Buffer.create (n * 64) in
+  let seq = ref 0 in
+  Tdp_store.Database.set_journal db
+    (Some
+       (fun op ->
+         incr seq;
+         Buffer.add_string buf (Tdp_store.Wal.encode ~seq:!seq op)));
+  List.iter
+    (fun i ->
+      ignore
+        (Tdp_store.Database.new_object db (ty "Employee")
+           ~init:
+             [ (at "ssn", Tdp_store.Value.Int i);
+               (at "date_of_birth", Tdp_store.Value.Date (1950 + (i mod 60)));
+               (at "pay_rate", Tdp_store.Value.Float (10.0 +. float_of_int (i mod 7)));
+               (at "hrs_worked", Tdp_store.Value.Float 40.0)
+             ]))
+    (List.init n (fun i -> i));
+  Tdp_store.Database.set_journal db None;
+  (o.schema, Tdp_store.Dump.to_string db, Buffer.contents buf)
+
+let bench_snapshot_load schema snapshot () =
+  Tdp_store.Dump.load_into (Tdp_store.Database.create schema) snapshot
+
+let bench_wal_replay schema wal () =
+  Tdp_store.Wal.recover_text ~schema ~wal ()
+
+let table_s8 () =
+  section "S8: durable-store recovery throughput (snapshot load vs. WAL replay)";
+  row3 "objects" "snapshot load" "wal replay";
+  List.iter
+    (fun n ->
+      let schema, snapshot, wal = store_fixture n in
+      let t_snap = time_it (bench_snapshot_load schema snapshot) in
+      let t_wal = time_it (bench_wal_replay schema wal) in
+      let rate t = Fmt.str "%a  (%7.0f objs/s)" pp_time t (float_of_int n /. t) in
+      row3 (string_of_int n) (rate t_snap) (rate t_wal))
+    [ 100; 1000 ]
+
+(* ------------------------------------------------------------------ *)
 (* Schema-index scaling sweep: layered diamond lattices                *)
 (* ------------------------------------------------------------------ *)
 
@@ -715,6 +766,14 @@ let json_report ~small =
     time_it (fun () -> Applicability.analyze_exn schema ~source:source1 ~projection:proj1)
   in
   let stats = Dispatch.stats d in
+  (* durable-store recovery throughput: load one snapshot image /
+     replay one WAL image, reported per object *)
+  let store_n = if small then 200 else 1000 in
+  let s_schema, s_snapshot, s_wal = store_fixture store_n in
+  let t_snap = time_it (bench_snapshot_load s_schema s_snapshot) in
+  let t_wal = time_it (bench_wal_replay s_schema s_wal) in
+  let per_obj t = ns t /. float_of_int store_n in
+  let objs_per_sec t = float_of_int store_n /. t in
   let sweep = List.map sweep_point (sweep_sizes ~small) in
   (* the smallest sweep point is measured in every mode, so its entries
      carry stable names the --check regression gate can key on *)
@@ -729,7 +788,9 @@ let json_report ~small =
       };
       { name = "subtype/index"; ns_per_op = p0.sw_index_ns };
       { name = "subtype/cached-set"; ns_per_op = p0.sw_cached_set_ns };
-      { name = "subtype/set"; ns_per_op = p0.sw_set_ns }
+      { name = "subtype/set"; ns_per_op = p0.sw_set_ns };
+      { name = "store/snapshot-load"; ns_per_op = per_obj t_snap };
+      { name = "store/wal-replay"; ns_per_op = per_obj t_wal }
     ]
     @ List.concat_map
         (fun p ->
@@ -781,6 +842,13 @@ let json_report ~small =
     (Fmt.str
        "  \"dispatch_table\": { \"entries\": %d, \"hits\": %d, \"misses\": %d },\n"
        stats.entries stats.hits stats.misses);
+  Buffer.add_string buf
+    (Fmt.str
+       "  \"store\": { \"objects\": %d, \"snapshot_load_objs_per_sec\": %s, \
+        \"wal_replay_objs_per_sec\": %s },\n"
+       store_n
+       (f (objs_per_sec t_snap))
+       (f (objs_per_sec t_wal)));
   Buffer.add_string buf "  \"benchmarks\": [\n";
   List.iteri
     (fun i e ->
@@ -941,7 +1009,12 @@ let run_bechamel () =
    deliberately loose: CI machines are noisy, and the gate exists to
    catch order-of-magnitude losses (an accidentally quadratic path, a
    dropped memo table), not single-digit drift. *)
-let guarded_benchmarks = [ "dispatch/applicable/cached"; "subtype/index" ]
+let guarded_benchmarks =
+  [ "dispatch/applicable/cached";
+    "subtype/index";
+    "store/snapshot-load";
+    "store/wal-replay"
+  ]
 let check_tolerance = 3.0
 
 let read_file path =
@@ -1022,7 +1095,7 @@ let () =
   let rec out_of = function
     | "--out" :: v :: _ -> v
     | _ :: rest -> out_of rest
-    | [] -> "BENCH_3.json"
+    | [] -> "BENCH_4.json"
   in
   let rec check_of = function
     | "--check" :: v :: _ -> Some v
@@ -1049,7 +1122,8 @@ let () =
     table_s4 ();
     table_s5 ();
     table_s6 ();
-    table_s7 ()
+    table_s7 ();
+    table_s8 ()
   end;
   if mode = "all" || mode = "bench" then run_bechamel ();
   Fmt.pr "@.done.@."

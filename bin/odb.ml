@@ -5,6 +5,7 @@
      odb apply schema.odb [--collapse] [--print | --dot]
      odb methods schema.odb --source T --attrs a,b,c [--trace]
      odb dispatch schema.odb --gf f --args T1,T2 [--all]
+     odb store ACTION dir [--schema FILE] [--script FILE]
      odb dot schema.odb
 
    Schema files use the surface syntax of Tdp_lang (see README.md). *)
@@ -217,6 +218,158 @@ let query_cmd schema_file data_file view_name materialize =
   Fmt.pr "%d instance(s) of view %s@." (List.length oids) view_name;
   0
 
+(* --- store --------------------------------------------------------- *)
+
+(* A durable store directory:
+
+     DIR/schema.odb     surface-syntax schema (copied at init)
+     DIR/snapshot.dump  latest atomic snapshot (Dump.save)
+     DIR/wal.log        write-ahead log of mutations since the snapshot
+
+   Mutation scripts reuse the WAL payload grammar, one op per line:
+
+     new #1 Employee ssn=1 name="alice"
+     set #1 pay_rate=60.0
+     del #1 nullify
+     schema "type ..."                       -- swap in an evolved schema *)
+
+module Database = Tdp_store.Database
+module Dump = Tdp_store.Dump
+module Wal = Tdp_store.Wal
+
+type store_action = Init | Append | Recover | Checkpoint | Verify | DumpDb
+
+let store_schema_loader src = (Elaborate.load_exn src).Elaborate.schema
+
+let write_file path content =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc content)
+
+let pp_corruption ppf (c : Wal.corruption) =
+  Fmt.pf ppf "wal corrupt at byte %d (expected seq %d): %s" c.offset c.at_seq
+    c.reason
+
+let parse_script file =
+  read_file file
+  |> String.split_on_char '\n'
+  |> List.mapi (fun i l -> (i + 1, String.trim l))
+  |> List.filter_map (fun (i, l) ->
+         if l = "" || (String.length l >= 2 && String.sub l 0 2 = "--") then None
+         else Some (Wal.payload_of_string ~line:i l))
+
+let store_cmd action dir schema_file script_file =
+  let schema_path = Filename.concat dir "schema.odb"
+  and snapshot_path = Filename.concat dir "snapshot.dump"
+  and wal_path = Filename.concat dir "wal.log" in
+  let recover schema =
+    Wal.recover ~load_schema:store_schema_loader ~schema ~snapshot_path
+      ~wal_path ()
+  in
+  let warn_corruption = function
+    | None -> ()
+    | Some c -> Fmt.epr "warning: %a; recovered the prefix before it@." pp_corruption c
+  in
+  try
+    match action with
+    | Init ->
+        let sf =
+          match schema_file with
+          | Some f -> f
+          | None ->
+              Fmt.epr "error: odb store init requires --schema FILE@.";
+              exit 2
+        in
+        let src = read_file sf in
+        let r = or_die ~file:sf (Elaborate.load src) in
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        write_file schema_path src;
+        Dump.save ~path:snapshot_path (Database.create r.schema);
+        Wal.close (Wal.writer_create ~path:wal_path ~next_seq:1 ());
+        Fmt.pr "initialized %s (%d types, empty extent)@." dir
+          (Hierarchy.cardinal (Schema.hierarchy r.schema));
+        0
+    | Verify ->
+        let wal = if Sys.file_exists wal_path then read_file wal_path else "" in
+        let d = Wal.decode wal in
+        let schema = (or_die ~file:schema_path (Elaborate.load (read_file schema_path))).schema in
+        let snap =
+          if Sys.file_exists snapshot_path then read_file snapshot_path else ""
+        in
+        let db = Database.create schema in
+        let snap_objs = List.length (Dump.load_into db snap) in
+        Fmt.pr "snapshot: %d object(s), wal-seq %d@." snap_objs (Dump.wal_seq snap);
+        Fmt.pr "wal: %d intact record(s), %d byte(s) valid, next seq %d@."
+          (List.length d.entries) d.valid_bytes d.next_seq;
+        (match d.corruption with
+        | None ->
+            Fmt.pr "ok.@.";
+            0
+        | Some c ->
+            Fmt.pr "%a@." pp_corruption c;
+            1)
+    | (Append | Recover | Checkpoint | DumpDb) as action -> (
+        let schema =
+          (or_die ~file:schema_path (Elaborate.load (read_file schema_path))).schema
+        in
+        let r = recover schema in
+        match action with
+        | Recover ->
+            warn_corruption r.corruption;
+            Fmt.pr
+              "recovered %d object(s): snapshot seq %d + %d wal record(s), \
+               last seq %d@."
+              (Database.count r.db) r.snapshot_seq r.replayed r.last_seq;
+            0
+        | DumpDb ->
+            warn_corruption r.corruption;
+            print_string (Dump.to_string r.db);
+            0
+        | Checkpoint ->
+            warn_corruption r.corruption;
+            Dump.save ~wal_seq:r.last_seq ~path:snapshot_path r.db;
+            Wal.close (Wal.writer_create ~path:wal_path ~next_seq:(r.last_seq + 1) ());
+            Fmt.pr "checkpointed %d object(s) at seq %d@." (Database.count r.db)
+              r.last_seq;
+            0
+        | Append ->
+            let sf =
+              match script_file with
+              | Some f -> f
+              | None ->
+                  Fmt.epr "error: odb store append requires --script FILE@.";
+                  exit 2
+            in
+            let ops = parse_script sf in
+            (match r.corruption with
+            | Some c ->
+                Fmt.epr "warning: %a; truncating the torn tail@." pp_corruption c;
+                Wal.repair ~path:wal_path r.wal_valid_bytes
+            | None -> ());
+            let w = Wal.writer_open ~path:wal_path ~next_seq:(r.last_seq + 1) () in
+            Fun.protect
+              ~finally:(fun () ->
+                Database.set_journal r.db None;
+                Wal.close w)
+              (fun () ->
+                Wal.attach w r.db;
+                List.iter (Wal.apply ~load_schema:store_schema_loader r.db) ops);
+            Fmt.pr "applied %d operation(s); %d object(s), wal at seq %d@."
+              (List.length ops) (Database.count r.db) (Wal.writer_seq w - 1);
+            0
+        | Init | Verify -> assert false)
+  with
+  | Database.Store_error m ->
+      Fmt.epr "error: %s@." m;
+      1
+  | Dump.Parse_error { line; message } ->
+      Fmt.epr "error: line %d: %s@." line message;
+      1
+  | Wal.Wal_error m ->
+      Fmt.epr "error: %s@." m;
+      1
+
 (* --- dot ----------------------------------------------------------- *)
 
 let dot_cmd file apply_views =
@@ -339,6 +492,44 @@ let query_t =
   Cmd.v (Cmd.info "query" ~doc)
     Term.(const query_cmd $ file_arg $ data_arg $ view_name $ materialize)
 
+let store_t =
+  let doc =
+    "Operate a durable object store directory (snapshot + write-ahead log). \
+     $(b,init) creates DIR from --schema; $(b,append) journals a --script of \
+     mutations; $(b,recover) replays snapshot+WAL and reports; \
+     $(b,checkpoint) folds the WAL into a fresh atomic snapshot; \
+     $(b,verify) checks WAL integrity (exit 1 on corruption); $(b,dump) \
+     prints the recovered state."
+  in
+  let action =
+    let actions =
+      [ ("init", Init); ("append", Append); ("recover", Recover);
+        ("checkpoint", Checkpoint); ("verify", Verify); ("dump", DumpDb) ]
+    in
+    Arg.(
+      required
+      & pos 0 (some (enum actions)) None
+      & info [] ~docv:"ACTION" ~doc:"One of init, append, recover, checkpoint, verify, dump.")
+  in
+  let dir =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"DIR" ~doc:"Store directory.")
+  in
+  let schema =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "schema" ] ~docv:"FILE" ~doc:"Schema file (init only).")
+  in
+  let script =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "script" ] ~docv:"FILE"
+          ~doc:"Mutation script, one op per line (append only).")
+  in
+  Cmd.v (Cmd.info "store" ~doc)
+    Term.(const store_cmd $ action $ dir $ schema $ script)
+
 let dot_t =
   let doc = "Print the type hierarchy as Graphviz DOT." in
   let apply_views =
@@ -350,7 +541,7 @@ let main =
   let doc = "type derivation using the projection operation (Agrawal & DeMichiel, 1994)" in
   Cmd.group
     (Cmd.info "odb" ~version:"1.0.0" ~doc)
-    [ check_t; lint_t; apply_t; methods_t; dispatch_t; query_t; dot_t ]
+    [ check_t; lint_t; apply_t; methods_t; dispatch_t; query_t; store_t; dot_t ]
 
 (* CLI boundary: domain failures that escape a subcommand — an
    ambiguous dispatch, or any structured [Error.E] a command did not

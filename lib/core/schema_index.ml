@@ -126,22 +126,29 @@ let compile h =
 (* [of_hierarchy] interns compiled indexes by generation stamp: the
    stamp uniquely identifies a hierarchy value, so every holder of the
    same hierarchy shares one index (dispatchers, applicability batches,
-   lint, the store) instead of recompiling the closure.  The table is
-   a small FIFO so long sessions over many schemas stay bounded. *)
-let memo : (int, t) Hashtbl.t = Hashtbl.create 16
-let memo_order : int Queue.t = Queue.create ()
-let memo_capacity = 16
+   lint, the store) instead of recompiling the closure.
+
+   The table is a small LRU, most-recent first: repeated
+   [Database.set_schema] / evolution cycles in a long-running process
+   churn through generations, and each compiled index pins its source
+   hierarchy plus an O(V²/8) closure — an unbounded intern table is a
+   leak in exactly the regime the store's journaling mode targets.  A
+   hit refreshes recency, so the handful of live schemas stay resident
+   while evolved-away generations age out. *)
+let intern_capacity = 16
+let intern : (int * t) list ref = ref []
+let intern_occupancy () = List.length !intern
 
 let of_hierarchy h =
   let g = Hierarchy.generation h in
-  match Hashtbl.find_opt memo g with
-  | Some t -> t
+  match List.assoc_opt g !intern with
+  | Some t ->
+      intern := (g, t) :: List.remove_assoc g !intern;
+      t
   | None ->
       let t = compile h in
-      Hashtbl.replace memo g t;
-      Queue.push g memo_order;
-      if Queue.length memo_order > memo_capacity then
-        Hashtbl.remove memo (Queue.pop memo_order);
+      intern :=
+        (g, t) :: List.filteri (fun i _ -> i < intern_capacity - 1) !intern;
       t
 
 (* ---- interning ----------------------------------------------------- *)

@@ -32,8 +32,16 @@ val compile : Hierarchy.t -> t
 (** Like {!compile}, but interned: repeated calls on the same hierarchy
     {e value} (same generation stamp) return the same snapshot, so all
     consumers of one schema share one compiled index.  The intern table
-    is a small bounded FIFO. *)
+    is a bounded LRU of {!intern_capacity} entries — hits refresh
+    recency, so long-running schema-evolution churn cannot grow it. *)
 val of_hierarchy : Hierarchy.t -> t
+
+(** Capacity bound of the {!of_hierarchy} intern table. *)
+val intern_capacity : int
+
+(** Current number of interned indexes — always [<= intern_capacity];
+    exposed so tests can pin the bound. *)
+val intern_occupancy : unit -> int
 
 val hierarchy : t -> Hierarchy.t
 

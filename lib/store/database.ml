@@ -6,11 +6,25 @@ type obj = {
   mutable slots : Value.t Attr_name.Map.t;
 }
 
+type delete_policy = Restrict | Nullify
+
+(* The mutation vocabulary of a database, as seen by a journal.  Every
+   state change is reported as exactly one [op] {e after} validation
+   and {e before} the in-memory structures are touched, so a journal
+   that appends each op durably realizes write-ahead logging: replaying
+   a prefix of the journal reproduces a prefix of the run. *)
+type op =
+  | Op_new of { oid : Oid.t; ty : Type_name.t; init : (Attr_name.t * Value.t) list }
+  | Op_set of { oid : Oid.t; attr : Attr_name.t; value : Value.t }
+  | Op_delete of { oid : Oid.t; policy : delete_policy }
+  | Op_set_schema of { source : string }
+
 type t = {
   mutable schema : Schema.t;
   mutable index : Schema_index.t;
   mutable next : int;
   objects : (Oid.t, obj) Hashtbl.t;
+  mutable journal : (op -> unit) option;
 }
 
 exception Store_error of string
@@ -21,16 +35,26 @@ let create schema =
   { schema;
     index = Schema_index.of_hierarchy (Schema.hierarchy schema);
     next = 1;
-    objects = Hashtbl.create 64
+    objects = Hashtbl.create 64;
+    journal = None
   }
 
 let schema t = t.schema
+let set_journal t j = t.journal <- j
+let journaling t = t.journal <> None
+let record t op = match t.journal with Some f -> f op | None -> ()
 
 (* Swap in a refactored schema.  Projection never changes the
    cumulative state of pre-existing types (the paper's invariant), so
    stored objects — whose slots are keyed by attribute name — remain
-   valid verbatim. *)
-let set_schema t schema =
+   valid verbatim.  In journaling mode the swap must be replayable,
+   which requires the schema's surface source. *)
+let set_schema ?source t schema =
+  (match (t.journal, source) with
+  | None, _ -> ()
+  | Some _, Some src -> record t (Op_set_schema { source = src })
+  | Some _, None ->
+      fail "set_schema on a journaled database requires the schema source");
   t.schema <- schema;
   t.index <- Schema_index.of_hierarchy (Schema.hierarchy schema)
 
@@ -91,6 +115,7 @@ let build_slots t ty ~init =
 let new_object t ty ~init =
   let slots = build_slots t ty ~init in
   let oid = Oid.of_int t.next in
+  record t (Op_new { oid; ty; init });
   t.next <- t.next + 1;
   Hashtbl.replace t.objects oid { oid; ty; slots };
   oid
@@ -99,6 +124,7 @@ let new_object t ty ~init =
 let restore_object t ~oid ~ty ~init =
   if Hashtbl.mem t.objects oid then fail "oid %a already in use" Oid.pp oid;
   let slots = build_slots t ty ~init in
+  record t (Op_new { oid; ty; init });
   t.next <- max t.next (Oid.to_int oid + 1);
   Hashtbl.replace t.objects oid { oid; ty; slots };
   oid
@@ -125,6 +151,7 @@ let set_attr t oid attr v =
       (Type_name.to_string o.ty) (Attr_name.to_string attr);
   let def = attr_def t o.ty attr in
   check_value t (Attribute.ty def) v;
+  record t (Op_set { oid; attr; value = v });
   o.slots <- Attr_name.Map.add attr v o.slots
 
 (* The (deep) extent of a type: every object whose type is a subtype.
@@ -153,16 +180,18 @@ let referrers t oid =
   |> List.sort (fun (a, x) (b, y) ->
          match Oid.compare a b with 0 -> Attr_name.compare x y | c -> c)
 
-type delete_policy = Restrict | Nullify
-
 let delete t ?(policy = Restrict) oid =
   let _ = find t oid in
-  (match (policy, referrers t oid) with
-  | _, [] -> ()
+  let refs = referrers t oid in
+  (match (policy, refs) with
   | Restrict, (other, attr) :: _ ->
       fail "cannot delete %a: referenced by %a.%s" Oid.pp oid Oid.pp other
         (Attr_name.to_string attr)
-  | Nullify, refs ->
+  | _ -> ());
+  record t (Op_delete { oid; policy });
+  (match policy with
+  | Restrict -> ()
+  | Nullify ->
       List.iter
         (fun (other, attr) ->
           let o = find t other in

@@ -20,12 +20,40 @@ type t
 
 exception Store_error of string
 
+type delete_policy =
+  | Restrict  (** refuse to delete a referenced object *)
+  | Nullify  (** null out every referring slot *)
+
+(** One validated mutation, as reported to a journal (see
+    {!set_journal}).  Ops are emitted {e after} validation and
+    {e before} the in-memory structures change, so an attached journal
+    that persists each op implements write-ahead logging: replaying a
+    journal prefix reproduces the database state after that prefix of
+    the run ({!Wal}). *)
+type op =
+  | Op_new of { oid : Oid.t; ty : Type_name.t; init : (Attr_name.t * Value.t) list }
+  | Op_set of { oid : Oid.t; attr : Attr_name.t; value : Value.t }
+  | Op_delete of { oid : Oid.t; policy : delete_policy }
+  | Op_set_schema of { source : string }
+
 val create : Schema.t -> t
 val schema : t -> Schema.t
 
+(** Attach (or detach, with [None]) a journal callback.  While
+    attached, every mutation — object creation (including
+    {!restore_object}), slot writes, deletions, schema swaps — calls it
+    with the corresponding {!op} before taking effect. *)
+val set_journal : t -> (op -> unit) option -> unit
+
+(** Is a journal currently attached? *)
+val journaling : t -> bool
+
 (** Install a refactored schema.  Valid because projection preserves
-    the cumulative state of every pre-existing type. *)
-val set_schema : t -> Schema.t -> unit
+    the cumulative state of every pre-existing type.  [source] is the
+    schema's surface syntax; it is required (and journaled) when a
+    journal is attached, so the swap can be replayed on recovery.
+    @raise Store_error when journaling and [source] is absent. *)
+val set_schema : ?source:string -> t -> Schema.t -> unit
 
 val hierarchy : t -> Hierarchy.t
 
@@ -52,10 +80,6 @@ val set_attr : t -> Oid.t -> Attr_name.t -> Value.t -> unit
 (** Objects referencing [oid] through an object-typed slot, with the
     referring attribute, in (OID, attribute) order. *)
 val referrers : t -> Oid.t -> (Oid.t * Attr_name.t) list
-
-type delete_policy =
-  | Restrict  (** refuse to delete a referenced object *)
-  | Nullify  (** null out every referring slot *)
 
 (** Delete an object (default policy [Restrict]).
     @raise Store_error on a dangling OID or a restricted deletion. *)

@@ -4,21 +4,32 @@ open Tdp_core
 
      obj #<oid> <Type> <attr>=<value> <attr>=<value> …
 
-   Values: integers [42], floats [42.5] (always with a point), quoted
-   strings (backslash escapes), booleans [true]/[false], dates
-   [year:1990], references [#3], and [null].  Lines starting with [--]
-   are comments.  Loading is two-pass so forward references work. *)
+   Values: integers [42], floats [42.5] (always with a point or
+   exponent; [nan]/[inf]/[-inf] for non-finite), quoted strings
+   (backslash escapes), booleans [true]/[false], dates [year:1990],
+   references [#3], and [null].  Lines starting with [--] are
+   comments.  Loading is two-pass so forward references work. *)
 
 exception Parse_error of { line : int; message : string }
 
 let fail line fmt = Fmt.kstr (fun message -> raise (Parse_error { line; message })) fmt
 
+(* Shortest decimal that reads back to exactly [f]: [%.12g] is compact
+   and almost always exact; when it is lossy (e.g. 0.1 +. 0.2) fall
+   back to the 17 significant digits that round-trip every double. *)
+let float_to_string f =
+  if Float.is_nan f then "nan"
+  else if f = Float.infinity then "inf"
+  else if f = Float.neg_infinity then "-inf"
+  else
+    let s = Fmt.str "%.12g" f in
+    let s = if float_of_string s = f then s else Fmt.str "%.17g" f in
+    if String.contains s '.' || String.contains s 'e' then s else s ^ ".0"
+
 let value_to_string (v : Value.t) =
   match v with
   | Int i -> string_of_int i
-  | Float f ->
-      let s = Fmt.str "%.12g" f in
-      if String.contains s '.' || String.contains s 'e' then s else s ^ ".0"
+  | Float f -> float_to_string f
   | String s -> Fmt.str "%S" s
   | Bool b -> string_of_bool b
   | Date y -> Fmt.str "year:%d" y
@@ -31,12 +42,16 @@ let value_of_string line s : Value.t =
   else if s = "null" then Null
   else if s = "true" then Bool true
   else if s = "false" then Bool false
+  else if s = "nan" then Float Float.nan
+  else if s = "inf" || s = "+inf" then Float Float.infinity
+  else if s = "-inf" then Float Float.neg_infinity
   else if s.[0] = '"' then
     if len >= 2 && s.[len - 1] = '"' then String (Scanf.sscanf s "%S" Fun.id)
     else fail line "unterminated string %s" s
   else if s.[0] = '#' then
     match int_of_string_opt (String.sub s 1 (len - 1)) with
-    | Some i -> Ref (Oid.of_int i)
+    | Some i when i >= 1 -> Ref (Oid.of_int i)
+    | Some _ -> fail line "non-positive oid in reference %s" s
     | None -> fail line "bad reference %s" s
   else if len > 5 && String.sub s 0 5 = "year:" then
     match int_of_string_opt (String.sub s 5 (len - 5)) with
@@ -111,7 +126,13 @@ let parse_line line_no line =
       let p_oid =
         if String.length oid > 1 && oid.[0] = '#' then
           match int_of_string_opt (String.sub oid 1 (String.length oid - 1)) with
-          | Some i -> i
+          | Some i when i >= 1 -> i
+          | Some _ ->
+              (* OIDs are allocated from 1; accepting #0 or a negative
+                 OID here would let a restored object sit outside the
+                 allocator's range and silently coexist with fresh
+                 allocations. *)
+              fail line_no "non-positive oid %s" oid
           | None -> fail line_no "bad oid %s" oid
         else fail line_no "expected #<oid>, got %s" oid
       in
@@ -165,3 +186,39 @@ let load_into db src =
         p.p_slots)
     objs;
   oids
+
+(* ---- snapshot files ------------------------------------------------ *)
+
+let wal_seq_header = "-- wal-seq: "
+
+let wal_seq src =
+  let first =
+    match String.index_opt src '\n' with
+    | Some i -> String.sub src 0 i
+    | None -> src
+  in
+  let hl = String.length wal_seq_header in
+  if String.length first > hl && String.sub first 0 hl = wal_seq_header then
+    match int_of_string_opt (String.sub first hl (String.length first - hl)) with
+    | Some n -> n
+    | None -> 0
+  else 0
+
+(* Atomic snapshot: write to a temporary sibling, fsync, then rename
+   over the target, so a crash mid-write leaves either the old snapshot
+   or the new one — never a torn file.  The [wal_seq] header records
+   the last WAL sequence number folded into the snapshot; recovery
+   skips WAL records at or below it, which makes the
+   checkpoint-then-truncate sequence crash-safe at every point. *)
+let save ?(wal_seq = 0) ~path db =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      if wal_seq > 0 then
+        output_string oc (Fmt.str "%s%d\n" wal_seq_header wal_seq);
+      output_string oc (to_string db);
+      flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc));
+  Sys.rename tmp path

@@ -11,17 +11,34 @@
 
 exception Parse_error of { line : int; message : string }
 
+(** Floats print as the shortest decimal that reads back bit-exactly
+    ([%.12g], falling back to [%.17g]); non-finite floats print as
+    [nan], [inf] and [-inf]. *)
 val value_to_string : Value.t -> string
 
-(** @raise Parse_error *)
+(** @raise Parse_error — also on non-positive OIDs in references. *)
 val value_of_string : int -> string -> Value.t
+
+(** Split a dump-grammar line into whitespace-separated tokens, keeping
+    quoted strings (with escapes) intact.  Shared with the {!Wal}
+    record grammar.  @raise Parse_error on an unterminated string. *)
+val tokens : int -> string -> string list
 
 (** Serialize every object, in OID order. *)
 val to_string : Database.t -> string
 
 (** Load a dump into the database; returns the restored OIDs in file
     order.
-    @raise Parse_error on malformed input.
+    @raise Parse_error on malformed input (including OIDs < 1).
     @raise Database.Store_error via [Parse_error] wrapping on schema
     violations. *)
 val load_into : Database.t -> string -> Oid.t list
+
+(** Atomically snapshot [db] to [path]: write-temp, fsync, rename.
+    [wal_seq] (default 0) is recorded in a header comment and names the
+    last WAL record already folded into this snapshot; {!Wal.recover}
+    skips records at or below it. *)
+val save : ?wal_seq:int -> path:string -> Database.t -> unit
+
+(** The [wal_seq] header of a snapshot's text, or 0 if absent. *)
+val wal_seq : string -> int

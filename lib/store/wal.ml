@@ -1,0 +1,312 @@
+open Tdp_core
+
+(* Write-ahead log over the Dump value grammar.  See wal.mli for the
+   record format and the recovery contract.  The design constraints:
+
+   - append must be cheap and sequential (one line, one fsync);
+   - decoding must be total: any byte prefix of a valid log, and any
+     single-byte corruption of one, decodes to a clean prefix of the
+     committed operations — the fault-injection suite checks literally
+     every offset;
+   - the snapshot's wal-seq header makes checkpointing idempotent: a
+     crash between snapshot rename and log truncation only means some
+     already-snapshotted records get skipped, not re-applied. *)
+
+exception Wal_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Wal_error s)) fmt
+
+(* ---- CRC-32 (IEEE 802.3, reflected) -------------------------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+(* ---- payload grammar ----------------------------------------------- *)
+
+let policy_to_string : Database.delete_policy -> string = function
+  | Restrict -> "restrict"
+  | Nullify -> "nullify"
+
+let payload_to_string (op : Database.op) =
+  match op with
+  | Op_new { oid; ty; init } ->
+      let slots =
+        List.map
+          (fun (a, v) ->
+            Fmt.str " %s=%s" (Attr_name.to_string a) (Dump.value_to_string v))
+          init
+      in
+      Fmt.str "new #%d %s%s" (Oid.to_int oid) (Type_name.to_string ty)
+        (String.concat "" slots)
+  | Op_set { oid; attr; value } ->
+      Fmt.str "set #%d %s=%s" (Oid.to_int oid) (Attr_name.to_string attr)
+        (Dump.value_to_string value)
+  | Op_delete { oid; policy } ->
+      Fmt.str "del #%d %s" (Oid.to_int oid) (policy_to_string policy)
+  | Op_set_schema { source } -> Fmt.str "schema %S" source
+
+let parse_fail line fmt =
+  Fmt.kstr (fun message -> raise (Dump.Parse_error { line; message })) fmt
+
+let oid_of_token line tok =
+  if String.length tok > 1 && tok.[0] = '#' then
+    match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+    | Some i when i >= 1 -> Oid.of_int i
+    | Some _ -> parse_fail line "non-positive oid %s" tok
+    | None -> parse_fail line "bad oid %s" tok
+  else parse_fail line "expected #<oid>, got %s" tok
+
+let slot_of_token line tok =
+  match String.index_opt tok '=' with
+  | Some i ->
+      ( Attr_name.of_string (String.sub tok 0 i),
+        Dump.value_of_string line (String.sub tok (i + 1) (String.length tok - i - 1))
+      )
+  | None -> parse_fail line "expected attr=value, got %s" tok
+
+let payload_of_string ~line s : Database.op =
+  match Dump.tokens line s with
+  | "new" :: oid :: ty :: slots ->
+      Op_new
+        { oid = oid_of_token line oid;
+          ty = Type_name.of_string ty;
+          init = List.map (slot_of_token line) slots
+        }
+  | [ "set"; oid; slot ] ->
+      let attr, value = slot_of_token line slot in
+      Op_set { oid = oid_of_token line oid; attr; value }
+  | [ "del"; oid; policy ] ->
+      let policy =
+        match policy with
+        | "restrict" -> Database.Restrict
+        | "nullify" -> Database.Nullify
+        | p -> parse_fail line "unknown delete policy %s" p
+      in
+      Op_delete { oid = oid_of_token line oid; policy }
+  | [ "schema"; quoted ] -> (
+      match Dump.value_of_string line quoted with
+      | String source -> Op_set_schema { source }
+      | _ -> parse_fail line "schema record expects a quoted source")
+  | verb :: _ -> parse_fail line "unknown wal record %s" verb
+  | [] -> parse_fail line "empty wal record"
+
+(* ---- record framing ------------------------------------------------ *)
+
+let encode ~seq op =
+  let payload = payload_to_string op in
+  Fmt.str "w %d %08x %s\n" seq (crc32 (Fmt.str "%d %s" seq payload)) payload
+
+type corruption = { at_seq : int; offset : int; reason : string }
+type entry = { seq : int; op : Database.op; ends_at : int }
+
+type decoded = {
+  entries : entry list;
+  next_seq : int;
+  valid_bytes : int;
+  corruption : corruption option;
+}
+
+(* One line, newline stripped.  [Error reason] never raises so that
+   decode stays total on arbitrary bytes. *)
+let parse_record line =
+  let open struct
+    exception Bad of string
+  end in
+  try
+    if String.length line < 2 || line.[0] <> 'w' || line.[1] <> ' ' then
+      raise (Bad "bad record magic");
+    let sp1 =
+      match String.index_from_opt line 2 ' ' with
+      | Some i -> i
+      | None -> raise (Bad "missing checksum field")
+    in
+    let sp2 =
+      match String.index_from_opt line (sp1 + 1) ' ' with
+      | Some i -> i
+      | None -> raise (Bad "missing payload")
+    in
+    let seq_s = String.sub line 2 (sp1 - 2) in
+    let crc_s = String.sub line (sp1 + 1) (sp2 - sp1 - 1) in
+    let payload = String.sub line (sp2 + 1) (String.length line - sp2 - 1) in
+    match (int_of_string_opt seq_s, int_of_string_opt ("0x" ^ crc_s)) with
+    | Some seq, Some crc when seq >= 1 ->
+        if crc <> crc32 (seq_s ^ " " ^ payload) then Error "checksum mismatch"
+        else (
+          match payload_of_string ~line:0 payload with
+          | op -> Ok (seq, op)
+          | exception Dump.Parse_error { message; _ } -> Error message)
+    | _ -> Error "bad record header"
+  with Bad reason -> Error reason
+
+let decode src =
+  let len = String.length src in
+  let rec go pos expected acc =
+    if pos >= len then (List.rev acc, pos, None)
+    else
+      let stop at_seq reason =
+        (List.rev acc, pos, Some { at_seq; offset = pos; reason })
+      in
+      let expected_or d = Option.value expected ~default:d in
+      match String.index_from_opt src pos '\n' with
+      | None -> stop (expected_or 0) "torn record (no trailing newline)"
+      | Some nl -> (
+          match parse_record (String.sub src pos (nl - pos)) with
+          | Error reason -> stop (expected_or 0) reason
+          | Ok (seq, op) ->
+              (* the first valid record sets the base (a truncated log
+                 restarts above the snapshot's seq); after that the
+                 numbering must be strictly consecutive *)
+              if seq <> expected_or seq then
+                stop (expected_or seq)
+                  (Fmt.str "sequence break: got %d" seq)
+              else
+                go (nl + 1) (Some (seq + 1))
+                  ({ seq; op; ends_at = nl + 1 } :: acc))
+  in
+  let entries, valid_bytes, corruption = go 0 None [] in
+  let next_seq =
+    match List.rev entries with e :: _ -> e.seq + 1 | [] -> 1
+  in
+  { entries; next_seq; valid_bytes; corruption }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let repair ~path valid_bytes =
+  let src = read_file path in
+  if valid_bytes < String.length src then begin
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (String.sub src 0 valid_bytes);
+        flush oc;
+        Unix.fsync (Unix.descr_of_out_channel oc))
+  end
+
+(* ---- appending ----------------------------------------------------- *)
+
+type writer = { oc : out_channel; mutable next : int; sync : bool }
+
+let writer_make flags ?(sync = true) ~path ~next_seq () =
+  { oc = open_out_gen flags 0o644 path; next = next_seq; sync }
+
+let writer_create ?sync ~path ~next_seq () =
+  writer_make [ Open_wronly; Open_creat; Open_trunc; Open_binary ] ?sync ~path
+    ~next_seq ()
+
+let writer_open ?sync ~path ~next_seq () =
+  writer_make [ Open_wronly; Open_creat; Open_append; Open_binary ] ?sync ~path
+    ~next_seq ()
+
+let append w op =
+  let seq = w.next in
+  output_string w.oc (encode ~seq op);
+  flush w.oc;
+  if w.sync then Unix.fsync (Unix.descr_of_out_channel w.oc);
+  w.next <- seq + 1;
+  seq
+
+let writer_seq w = w.next
+
+let attach w db = Database.set_journal db (Some (fun op -> ignore (append w op)))
+let close w = close_out_noerr w.oc
+
+(* ---- replay and recovery ------------------------------------------- *)
+
+let apply ?load_schema db (op : Database.op) =
+  match op with
+  | Op_new { oid; ty; init } -> ignore (Database.restore_object db ~oid ~ty ~init)
+  | Op_set { oid; attr; value } -> Database.set_attr db oid attr value
+  | Op_delete { oid; policy } -> Database.delete db ~policy oid
+  | Op_set_schema { source } -> (
+      match load_schema with
+      | Some f -> Database.set_schema ~source db (f source)
+      | None -> fail "schema record in the log but no schema loader given")
+
+type recovery = {
+  db : Database.t;
+  snapshot_seq : int;
+  replayed : int;
+  last_seq : int;
+  wal_valid_bytes : int;
+  corruption : corruption option;
+}
+
+let recover_text ?load_schema ~schema ?snapshot ?wal () =
+  let db = Database.create schema in
+  let snapshot_seq =
+    match snapshot with
+    | None -> 0
+    | Some text ->
+        ignore (Dump.load_into db text);
+        Dump.wal_seq text
+  in
+  let d = decode (Option.value wal ~default:"") in
+  (* replay the decoded prefix: skip records the snapshot already
+     contains, refuse gaps between snapshot and log, and treat an op
+     that fails to apply as the end of the usable prefix — recovery
+     reports, it does not raise *)
+  let rec run entries ~replayed ~last_seq ~valid =
+    match entries with
+    | [] -> (replayed, last_seq, valid, d.corruption)
+    | e :: rest when e.seq <= snapshot_seq ->
+        run rest ~replayed ~last_seq ~valid:e.ends_at
+    | e :: rest ->
+        if e.seq <> last_seq + 1 then
+          ( replayed,
+            last_seq,
+            valid,
+            Some
+              { at_seq = last_seq + 1;
+                offset = valid;
+                reason =
+                  Fmt.str "sequence gap: recovered to %d, log resumes at %d"
+                    last_seq e.seq
+              } )
+        else (
+          match apply ?load_schema db e.op with
+          | () ->
+              run rest ~replayed:(replayed + 1) ~last_seq:e.seq ~valid:e.ends_at
+          | exception
+              (( Database.Store_error _ | Dump.Parse_error _ | Wal_error _
+               | Error.E _ ) as exn) ->
+              let reason =
+                match exn with
+                | Database.Store_error m -> m
+                | Dump.Parse_error { message; _ } -> message
+                | Wal_error m -> m
+                | Error.E err -> Error.message err
+                | _ -> assert false
+              in
+              ( replayed,
+                last_seq,
+                valid,
+                Some { at_seq = e.seq; offset = valid; reason } ))
+  in
+  let replayed, last_seq, wal_valid_bytes, corruption =
+    run d.entries ~replayed:0 ~last_seq:snapshot_seq ~valid:0
+  in
+  { db; snapshot_seq; replayed; last_seq; wal_valid_bytes; corruption }
+
+let recover ?load_schema ~schema ~snapshot_path ~wal_path () =
+  let read p = if Sys.file_exists p then Some (read_file p) else None in
+  recover_text ?load_schema ~schema ?snapshot:(read snapshot_path)
+    ?wal:(read wal_path) ()

@@ -1,0 +1,137 @@
+(** Write-ahead log and crash recovery for {!Database}.
+
+    The WAL is an append-only text file, one record per line:
+
+    {v w <seq> <crc32> <payload> v}
+
+    where [seq] is a 1-based, strictly consecutive sequence number,
+    [crc32] is the CRC-32 (IEEE, hex) of ["<seq> <payload>"], and the
+    payload uses the {!Dump} value grammar:
+
+    {v
+    new #<oid> <Type> <attr>=<value> …
+    set #<oid> <attr>=<value>
+    del #<oid> restrict|nullify
+    schema "<escaped surface source>"
+    v}
+
+    A {!Database} with an attached {!writer} appends each validated
+    mutation {e before} applying it, so the log is always at least as
+    new as memory.  Recovery loads the latest snapshot ({!Dump.save}),
+    then replays the WAL, stopping cleanly at the first torn or corrupt
+    record: a log truncated or bit-flipped at {e any} byte offset
+    recovers to the state after some prefix of the committed
+    operations, never raising.  Mid-log holes are not tolerated — a
+    record that fails its checksum or breaks the sequence ends the
+    replayable prefix even if later bytes happen to parse. *)
+
+open Tdp_core
+
+exception Wal_error of string
+
+(** CRC-32 (IEEE 802.3, reflected) of a string; the per-record
+    checksum.  Detects all single-byte and burst errors up to 32 bits,
+    which is what the fault-injection suite leans on. *)
+val crc32 : string -> int
+
+(** [payload_to_string op] / [payload_of_string ~line s] — the record
+    payload grammar (without sequencing or checksum).  The same grammar
+    serves as the [odb store append] mutation-script syntax.
+    @raise Dump.Parse_error on malformed payloads. *)
+val payload_to_string : Database.op -> string
+
+val payload_of_string : line:int -> string -> Database.op
+
+(** One full record line, trailing newline included. *)
+val encode : seq:int -> Database.op -> string
+
+type corruption = {
+  at_seq : int;  (** sequence number the bad record was expected to carry *)
+  offset : int;  (** byte offset where the valid prefix ends *)
+  reason : string;
+}
+
+type entry = { seq : int; op : Database.op; ends_at : int (** byte offset just past this record *) }
+
+type decoded = {
+  entries : entry list;  (** the valid prefix, in log order *)
+  next_seq : int;  (** sequence number the next appended record should carry *)
+  valid_bytes : int;  (** length of the valid prefix, in bytes *)
+  corruption : corruption option;  (** why decoding stopped, if early *)
+}
+
+(** Decode a WAL image down to its valid prefix.  Never raises: torn
+    tails, checksum failures, unparsable lines and sequence breaks all
+    just end the prefix and are reported as [corruption]. *)
+val decode : string -> decoded
+
+(** Truncate the file at [path] to its first [valid_bytes] bytes —
+    repair after a torn append, before appending again. *)
+val repair : path:string -> int -> unit
+
+(** {1 Appending} *)
+
+type writer
+
+(** Create (truncate) a WAL at [path].  [sync] (default [true]) fsyncs
+    after every appended record. *)
+val writer_create : ?sync:bool -> path:string -> next_seq:int -> unit -> writer
+
+(** Open an existing WAL for appending.  The caller supplies
+    [next_seq], normally [last_seq + 1] from a preceding {!recover};
+    appending after an unrepaired corrupt tail produces an unreadable
+    log, so {!repair} first. *)
+val writer_open : ?sync:bool -> path:string -> next_seq:int -> unit -> writer
+
+(** Append one record; returns its sequence number. *)
+val append : writer -> Database.op -> int
+
+val writer_seq : writer -> int
+
+(** Journal every subsequent mutation of [db] through [w] — the
+    journaling mode: append durably first, mutate second.  Detach with
+    [Database.set_journal db None]. *)
+val attach : writer -> Database.t -> unit
+
+val close : writer -> unit
+
+(** {1 Replay and recovery} *)
+
+(** Apply one logged op to a database.  [load_schema] elaborates the
+    surface source of a [schema] record; without it, such a record
+    raises {!Wal_error}.
+    @raise Database.Store_error when the op does not validate. *)
+val apply : ?load_schema:(string -> Schema.t) -> Database.t -> Database.op -> unit
+
+type recovery = {
+  db : Database.t;
+  snapshot_seq : int;  (** wal-seq header of the snapshot, 0 if none *)
+  replayed : int;  (** WAL records applied on top of the snapshot *)
+  last_seq : int;  (** last applied sequence number (snapshot included) *)
+  wal_valid_bytes : int;  (** prefix length to keep when repairing *)
+  corruption : corruption option;
+}
+
+(** Recover a database from snapshot and WAL {e contents}.  Loads the
+    snapshot into a fresh database over [schema], then replays every
+    WAL record with [snapshot_seq < seq], in order, stopping at the
+    first corrupt record or failing op.  Total for arbitrary [wal]
+    bytes — decoding and replay failures end the prefix instead of
+    raising (snapshot parse errors still raise: snapshots are written
+    atomically and a bad one is real damage, not a torn tail). *)
+val recover_text :
+  ?load_schema:(string -> Schema.t) ->
+  schema:Schema.t ->
+  ?snapshot:string ->
+  ?wal:string ->
+  unit ->
+  recovery
+
+(** {!recover_text} over files; either file may be absent. *)
+val recover :
+  ?load_schema:(string -> Schema.t) ->
+  schema:Schema.t ->
+  snapshot_path:string ->
+  wal_path:string ->
+  unit ->
+  recovery

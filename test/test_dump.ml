@@ -115,6 +115,140 @@ let test_value_syntax () =
       Value.Date 2001; Value.Ref (Tdp_store.Oid.of_int 3); Value.Null
     ]
 
+(* ---- float round-trips (lossy %.12g regression) -------------------- *)
+
+let test_float_roundtrip_exact () =
+  List.iter
+    (fun f ->
+      let s = Dump.value_to_string (Value.Float f) in
+      match Dump.value_of_string 1 s with
+      | Value.Float f' ->
+          Alcotest.(check int64)
+            (Fmt.str "bits of %s" s)
+            (Int64.bits_of_float f) (Int64.bits_of_float f')
+      | _ -> Alcotest.fail (Fmt.str "%s did not parse as a float" s))
+    [ 0.1 +. 0.2;  (* the classic %.12g casualty: reloads as 0.3 *)
+      0.1;
+      1.0 /. 3.0;
+      4.9e-324;  (* smallest subnormal *)
+      1.7976931348623157e308;  (* max finite *)
+      -0.0;
+      1e22
+    ]
+
+let test_nonfinite_floats () =
+  List.iter
+    (fun (f, s) ->
+      Alcotest.(check string) "prints" s (Dump.value_to_string (Value.Float f));
+      Alcotest.(check bool) (Fmt.str "%s parses" s) true
+        (Value.equal (Dump.value_of_string 1 s) (Value.Float f)))
+    [ (nan, "nan"); (infinity, "inf"); (neg_infinity, "-inf") ]
+
+(* ---- non-positive OIDs (allocator-corruption regression) ------------ *)
+
+let test_nonpositive_oids_rejected () =
+  check_error "obj #0 Person ssn=1" 1;
+  check_error "obj #-3 Person ssn=1" 1;
+  check_error "obj #1 Person ssn=1\nobj #0 Person ssn=2" 2;
+  (* references too: a stored #0 could never be resolved *)
+  check_error "obj #1 Team manager=#0" 1;
+  check_error "obj #1 Team manager=#-2" 1
+
+(* ---- exhaustive round-trip property --------------------------------- *)
+
+(* A two-type schema covering every value kind, including a
+   self-referential attribute so generated databases contain reference
+   cycles. *)
+let rt_schema =
+  let attr n vt = Attribute.make (at n) vt in
+  Schema.empty
+  |> fun s ->
+  Schema.add_type s
+    (Type_def.make
+       ~attrs:
+         [ attr "ai" Value_type.int;
+           attr "af" Value_type.float;
+           attr "astr" Value_type.string;
+           attr "ab" Value_type.bool;
+           attr "ad" Value_type.date;
+           attr "aref" (Value_type.named (ty "T"))
+         ]
+       (ty "T"))
+  |> fun s ->
+  Schema.add_type s
+    (Type_def.make
+       ~attrs:[ Attribute.make (at "au") Value_type.int ]
+       ~supers:[ (ty "T", 1) ]
+       (ty "U"))
+
+(* Strings biased toward everything the tokenizer must escape or must
+   not split on; floats biased toward the values %.12g loses. *)
+let rt_string_gen =
+  QCheck.Gen.(
+    string_size ~gen:(oneofl [ 'a'; 'Z'; '0'; ' '; '"'; '\\'; '='; '#'; '\n'; '\t' ])
+      (int_bound 10))
+
+let rt_float_gen =
+  QCheck.Gen.(
+    frequency
+      [ ( 1,
+          oneofl
+            [ nan; infinity; neg_infinity; 0.1 +. 0.2; -0.0; 4.9e-324;
+              1.7976931348623157e308; 1.0 /. 3.0
+            ] );
+        (3, float)
+      ])
+
+let rt_obj_gen =
+  QCheck.Gen.(
+    bool >>= fun is_u ->
+    small_signed_int >>= fun ai ->
+    rt_float_gen >>= fun af ->
+    rt_string_gen >>= fun astr ->
+    bool >>= fun ab ->
+    int_bound 3000 >>= fun ad -> return (is_u, ai, af, astr, ab, ad))
+
+let rt_spec_gen =
+  QCheck.Gen.(
+    list_size (1 -- 12) rt_obj_gen >>= fun objs ->
+    let n = List.length objs in
+    list_size (0 -- 12) (pair (int_bound (n - 1)) (int_bound (n - 1)))
+    >>= fun refs -> return (objs, refs))
+
+let rt_build (objs, refs) =
+  let db = Database.create rt_schema in
+  let oids =
+    List.map
+      (fun (is_u, ai, af, astr, ab, ad) ->
+        Database.new_object db
+          (ty (if is_u then "U" else "T"))
+          ~init:
+            [ (at "ai", Value.Int ai);
+              (at "af", Value.Float af);
+              (at "astr", Value.String astr);
+              (at "ab", Value.Bool ab);
+              (at "ad", Value.Date ad)
+            ])
+      objs
+  in
+  let arr = Array.of_list oids in
+  (* second pass: wire up references, self-references and cycles included *)
+  List.iter
+    (fun (i, j) -> Database.set_attr db arr.(i) (at "aref") (Value.Ref arr.(j)))
+    refs;
+  db
+
+let prop_dump_roundtrip_exhaustive =
+  QCheck.Test.make ~name:"dump/load identity on adversarial databases"
+    ~count:1000
+    (QCheck.make ~print:(fun spec -> Dump.to_string (rt_build spec)) rt_spec_gen)
+    (fun spec ->
+      let db = rt_build spec in
+      let text = Dump.to_string db in
+      let db2 = Database.create rt_schema in
+      let _ = Dump.load_into db2 text in
+      String.equal text (Dump.to_string db2))
+
 let prop_dump_roundtrip =
   QCheck.Test.make ~name:"dump/load round-trips synth databases" ~count:50
     (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 5000))
@@ -136,7 +270,12 @@ let suite =
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
     Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;
     Alcotest.test_case "value syntax" `Quick test_value_syntax;
-    QCheck_alcotest.to_alcotest prop_dump_roundtrip
+    Alcotest.test_case "float round-trip exact" `Quick test_float_roundtrip_exact;
+    Alcotest.test_case "non-finite floats" `Quick test_nonfinite_floats;
+    Alcotest.test_case "non-positive oids rejected" `Quick
+      test_nonpositive_oids_rejected;
+    QCheck_alcotest.to_alcotest prop_dump_roundtrip;
+    QCheck_alcotest.to_alcotest prop_dump_roundtrip_exhaustive
   ]
 
 let () = Alcotest.run "dump" [ ("dump", suite) ]

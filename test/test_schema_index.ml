@@ -199,6 +199,34 @@ let test_of_hierarchy_interned () =
     (Schema_index.same_hierarchy (Schema_index.of_hierarchy h) h
     && not (Schema_index.same_hierarchy (Schema_index.of_hierarchy h) h'))
 
+let diamond_with_extra () = Hierarchy.add (diamond ()) (Type_def.make (ty "X"))
+
+let test_intern_table_bounded () =
+  let h = diamond () in
+  let idx = Schema_index.of_hierarchy h in
+  (* churn through far more generations than the table holds, the way a
+     long-running evolution loop does *)
+  let rec churn h n =
+    if n > 0 then begin
+      let h' = Hierarchy.add h (Type_def.make (ty (Fmt.str "G%d" n))) in
+      ignore (Schema_index.of_hierarchy h');
+      churn h' (n - 1)
+    end
+  in
+  churn h (3 * Schema_index.intern_capacity);
+  Alcotest.(check bool)
+    "occupancy stays within the capacity bound" true
+    (Schema_index.intern_occupancy () <= Schema_index.intern_capacity);
+  (* LRU, not FIFO: the churn evicted the old diamond index *)
+  Alcotest.(check bool)
+    "evicted hierarchy recompiles" true
+    (Schema_index.of_hierarchy h != idx);
+  let idx' = Schema_index.of_hierarchy h in
+  ignore (Schema_index.of_hierarchy (diamond_with_extra ()));
+  Alcotest.(check bool)
+    "a hit refreshes recency and returns the same index" true
+    (Schema_index.of_hierarchy h == idx')
+
 let reader_schema () =
   let h = diamond () in
   Schema.add_method
@@ -264,6 +292,8 @@ let () =
           Alcotest.test_case "interning" `Quick test_interning;
           Alcotest.test_case "generation monotone" `Quick test_generation_monotone;
           Alcotest.test_case "of_hierarchy interned" `Quick test_of_hierarchy_interned;
+          Alcotest.test_case "intern table bounded (LRU)" `Quick
+            test_intern_table_bounded;
           Alcotest.test_case "ensure_fresh detects staleness" `Quick
             test_dispatch_ensure_fresh;
           Alcotest.test_case "interp rebuilds after set_schema" `Quick

@@ -1,0 +1,282 @@
+open Tdp_core
+module Database = Tdp_store.Database
+module Dump = Tdp_store.Dump
+module Value = Tdp_store.Value
+module Wal = Tdp_store.Wal
+open Helpers
+
+(* Fig. 1 plus a reference-typed attribute, so the op mix covers
+   nullify-on-delete and object references. *)
+let schema =
+  let s = Tdp_paper.Fig1.schema in
+  Schema.add_type s
+    (Type_def.make
+       ~attrs:[ Attribute.make (at "manager") (Value_type.named (ty "Employee")) ]
+       (ty "Team"))
+
+let oid = Tdp_store.Oid.of_int
+let load_schema src = (Tdp_lang.Elaborate.load_exn src).Tdp_lang.Elaborate.schema
+
+(* The scenario every fault-injection test replays: creations, slot
+   writes (with awkward floats), references, and both delete
+   policies. *)
+let ops : Database.op list =
+  [ Op_new
+      { oid = oid 1;
+        ty = ty "Employee";
+        init =
+          [ (at "ssn", Value.Int 1);
+            (at "name", Value.String "al \"ice\" =#");
+            (at "pay_rate", Value.Float (0.1 +. 0.2))
+          ]
+      };
+    Op_set { oid = oid 1; attr = at "hrs_worked"; value = Value.Float 40.0 };
+    Op_new { oid = oid 2; ty = ty "Team"; init = [ (at "manager", Value.Ref (oid 1)) ] };
+    Op_new { oid = oid 3; ty = ty "Person"; init = [ (at "ssn", Value.Int 3) ] };
+    Op_set { oid = oid 1; attr = at "pay_rate"; value = Value.Float nan };
+    Op_delete { oid = oid 3; policy = Database.Restrict };
+    Op_delete { oid = oid 1; policy = Database.Nullify };
+    Op_new { oid = oid 4; ty = ty "Employee"; init = [ (at "ssn", Value.Int 4) ] }
+  ]
+
+(* The WAL image of the scenario, plus [dumps.(k)] = the dump of the
+   state after the first [k] ops — the oracle for every fault. *)
+let fixture () =
+  let db = Database.create schema in
+  let wal = Buffer.create 512 in
+  let dumps = ref [ Dump.to_string db ] in
+  List.iteri
+    (fun i op ->
+      Buffer.add_string wal (Wal.encode ~seq:(i + 1) op);
+      Wal.apply db op;
+      dumps := Dump.to_string db :: !dumps)
+    ops;
+  (Buffer.contents wal, Array.of_list (List.rev !dumps))
+
+(* ---- unit: payload and record round-trips -------------------------- *)
+
+let test_payload_roundtrip () =
+  List.iteri
+    (fun i op ->
+      let s = Wal.payload_to_string op in
+      let op' = Wal.payload_of_string ~line:1 s in
+      Alcotest.(check string)
+        (Fmt.str "op %d reprints identically" i)
+        s
+        (Wal.payload_to_string op'))
+    ops
+
+let test_encode_decode () =
+  let wal, _ = fixture () in
+  let d = Wal.decode wal in
+  Alcotest.(check int) "all records decoded" (List.length ops) (List.length d.entries);
+  Alcotest.(check int) "next_seq" (List.length ops + 1) d.next_seq;
+  Alcotest.(check int) "valid_bytes = length" (String.length wal) d.valid_bytes;
+  Alcotest.(check bool) "no corruption" true (d.corruption = None);
+  List.iteri
+    (fun i (e : Wal.entry) ->
+      Alcotest.(check int) (Fmt.str "seq of entry %d" i) (i + 1) e.seq)
+    d.entries
+
+let test_decode_degenerate () =
+  let d = Wal.decode "" in
+  Alcotest.(check int) "empty: no entries" 0 (List.length d.entries);
+  Alcotest.(check int) "empty: next_seq 1" 1 d.next_seq;
+  Alcotest.(check bool) "empty: clean" true (d.corruption = None);
+  let d = Wal.decode "total garbage\n" in
+  Alcotest.(check bool) "garbage: corrupt" true (d.corruption <> None);
+  Alcotest.(check int) "garbage: zero valid bytes" 0 d.valid_bytes;
+  (* a record without its newline is torn, even if otherwise intact *)
+  let r1 = Wal.encode ~seq:1 (List.hd ops) in
+  let torn = String.sub r1 0 (String.length r1 - 1) in
+  let d = Wal.decode torn in
+  Alcotest.(check bool) "torn: corrupt" true (d.corruption <> None);
+  Alcotest.(check int) "torn: zero valid bytes" 0 d.valid_bytes
+
+let test_decode_sequence_rules () =
+  let op = List.hd ops in
+  (* a hole in the numbering ends the prefix *)
+  let d = Wal.decode (Wal.encode ~seq:1 op ^ Wal.encode ~seq:3 op) in
+  Alcotest.(check int) "gap: one entry" 1 (List.length d.entries);
+  Alcotest.(check bool) "gap: corrupt" true (d.corruption <> None);
+  (* but the base may start anywhere: a checkpointed log resumes high *)
+  let d = Wal.decode (Wal.encode ~seq:5 op ^ Wal.encode ~seq:6 op) in
+  Alcotest.(check int) "high base: two entries" 2 (List.length d.entries);
+  Alcotest.(check int) "high base: next_seq" 7 d.next_seq;
+  Alcotest.(check bool) "high base: clean" true (d.corruption = None)
+
+(* ---- fault injection: truncate at every byte offset ----------------- *)
+
+let entries_ending_by entries t =
+  List.length (List.filter (fun (e : Wal.entry) -> e.ends_at <= t) entries)
+
+let test_truncation_every_offset () =
+  let wal, dumps = fixture () in
+  let entries = (Wal.decode wal).entries in
+  for t = 0 to String.length wal do
+    let r = Wal.recover_text ~schema ~wal:(String.sub wal 0 t) () in
+    let k = entries_ending_by entries t in
+    Alcotest.(check int) (Fmt.str "replayed after cut at %d" t) k r.replayed;
+    Alcotest.(check string)
+      (Fmt.str "state after cut at %d" t)
+      dumps.(k)
+      (Dump.to_string r.db);
+    (* mid-record cuts are reported; record-boundary cuts are clean *)
+    Alcotest.(check bool)
+      (Fmt.str "corruption flag at %d" t)
+      (t <> 0 && not (List.exists (fun (e : Wal.entry) -> e.ends_at = t) entries))
+      (r.corruption <> None)
+  done
+
+(* ---- fault injection: flip a bit at every byte offset --------------- *)
+
+let test_byteflip_every_offset () =
+  let wal, dumps = fixture () in
+  let entries = (Wal.decode wal).entries in
+  let n = List.length entries in
+  for t = 0 to String.length wal - 1 do
+    let b = Bytes.of_string wal in
+    Bytes.set b t (Char.chr (Char.code wal.[t] lxor 0x01));
+    let r = Wal.recover_text ~schema ~wal:(Bytes.to_string b) () in
+    (* the flip lands inside record j (0-based); CRC-32 catches any
+       single-bit error, so exactly the records before j replay *)
+    let j = entries_ending_by entries t in
+    Alcotest.(check int) (Fmt.str "replayed with flip at %d" t) j r.replayed;
+    Alcotest.(check string)
+      (Fmt.str "state with flip at %d" t)
+      dumps.(j)
+      (Dump.to_string r.db);
+    Alcotest.(check bool)
+      (Fmt.str "flip at %d detected" t)
+      (j < n)
+      (r.corruption <> None)
+  done
+
+(* ---- snapshots and checkpointing ------------------------------------ *)
+
+let test_snapshot_skips_replayed_prefix () =
+  let wal, dumps = fixture () in
+  let n = List.length ops in
+  (* checkpoint at seq 3, but keep the whole WAL: a crash between
+     snapshot rename and log truncation must not double-apply 1..3 *)
+  let snapshot = "-- wal-seq: 3\n" ^ dumps.(3) in
+  let r = Wal.recover_text ~schema ~snapshot ~wal () in
+  Alcotest.(check int) "snapshot_seq" 3 r.snapshot_seq;
+  Alcotest.(check int) "replayed only the suffix" (n - 3) r.replayed;
+  Alcotest.(check int) "last_seq" n r.last_seq;
+  Alcotest.(check string) "final state" dumps.(n) (Dump.to_string r.db)
+
+let test_snapshot_wal_gap_detected () =
+  let _, dumps = fixture () in
+  let snapshot = "-- wal-seq: 3\n" ^ dumps.(3) in
+  (* a log that resumes past the snapshot leaves a hole: refuse it *)
+  let wal = Wal.encode ~seq:5 (List.nth ops 4) in
+  let r = Wal.recover_text ~schema ~snapshot ~wal () in
+  Alcotest.(check int) "nothing replayed" 0 r.replayed;
+  Alcotest.(check bool) "gap reported" true (r.corruption <> None);
+  Alcotest.(check string) "state is the snapshot" dumps.(3) (Dump.to_string r.db)
+
+(* ---- journaled schema evolution ------------------------------------- *)
+
+let evolved_source = "type Extra {\n  x : int;\n}\n"
+
+let test_schema_record_roundtrip () =
+  let db = Database.create schema in
+  let logged = ref [] in
+  Database.set_journal db (Some (fun op -> logged := op :: !logged));
+  Database.set_schema ~source:evolved_source db (load_schema evolved_source);
+  Database.set_journal db None;
+  match !logged with
+  | [ op ] ->
+      let s = Wal.payload_to_string op in
+      let db2 = Database.create schema in
+      Wal.apply ~load_schema db2 (Wal.payload_of_string ~line:1 s);
+      ignore (Database.new_object db2 (ty "Extra") ~init:[ (at "x", Value.Int 1) ]);
+      Alcotest.(check int) "object of the evolved type" 1 (Database.count db2)
+  | l -> Alcotest.fail (Fmt.str "expected one journaled op, got %d" (List.length l))
+
+let test_schema_requires_source_when_journaled () =
+  let db = Database.create schema in
+  Database.set_journal db (Some ignore);
+  (match Database.set_schema db (load_schema evolved_source) with
+  | () -> Alcotest.fail "set_schema without source should fail when journaled"
+  | exception Database.Store_error _ -> ());
+  (* and replaying a schema record needs a loader *)
+  let db2 = Database.create schema in
+  match Wal.apply db2 (Op_set_schema { source = evolved_source }) with
+  | () -> Alcotest.fail "apply without load_schema should fail"
+  | exception Wal.Wal_error _ -> ()
+
+(* ---- writer: journaling to a real file ------------------------------ *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "tdp_wal" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let test_writer_end_to_end () =
+  with_temp_dir (fun dir ->
+      let wal_path = Filename.concat dir "wal.log" in
+      let snapshot_path = Filename.concat dir "snapshot.dump" in
+      let db = Database.create schema in
+      let w = Wal.writer_create ~sync:false ~path:wal_path ~next_seq:1 () in
+      Wal.attach w db;
+      List.iter (Wal.apply db) ops;
+      Database.set_journal db None;
+      Wal.close w;
+      let expected = Dump.to_string db in
+      (* recover from the log alone *)
+      let r = Wal.recover ~schema ~snapshot_path ~wal_path () in
+      Alcotest.(check int) "replayed all" (List.length ops) r.replayed;
+      Alcotest.(check string) "log-only recovery" expected (Dump.to_string r.db);
+      (* checkpoint: fold the log into an atomic snapshot, start fresh *)
+      Dump.save ~wal_seq:r.last_seq ~path:snapshot_path r.db;
+      Wal.close (Wal.writer_create ~path:wal_path ~next_seq:(r.last_seq + 1) ());
+      let r2 = Wal.recover ~schema ~snapshot_path ~wal_path () in
+      Alcotest.(check int) "nothing to replay" 0 r2.replayed;
+      Alcotest.(check int) "seq preserved" r.last_seq r2.last_seq;
+      Alcotest.(check string) "snapshot recovery" expected (Dump.to_string r2.db);
+      (* a torn tail on disk: repair, then append cleanly *)
+      let oc = open_out_gen [ Open_append ] 0o644 wal_path in
+      output_string oc "w 99 deadbeef torn";
+      close_out oc;
+      let r3 = Wal.recover ~schema ~snapshot_path ~wal_path () in
+      Alcotest.(check bool) "tear detected" true (r3.corruption <> None);
+      Wal.repair ~path:wal_path r3.wal_valid_bytes;
+      let w2 = Wal.writer_open ~sync:false ~path:wal_path ~next_seq:(r3.last_seq + 1) () in
+      Wal.attach w2 r3.db;
+      ignore (Database.new_object r3.db (ty "Person") ~init:[ (at "ssn", Value.Int 9) ]);
+      Database.set_journal r3.db None;
+      Wal.close w2;
+      let r4 = Wal.recover ~schema ~snapshot_path ~wal_path () in
+      Alcotest.(check bool) "clean after repair" true (r4.corruption = None);
+      Alcotest.(check string)
+        "repaired log replays"
+        (Dump.to_string r3.db)
+        (Dump.to_string r4.db))
+
+let suite =
+  [ Alcotest.test_case "payload roundtrip" `Quick test_payload_roundtrip;
+    Alcotest.test_case "encode/decode" `Quick test_encode_decode;
+    Alcotest.test_case "decode degenerate inputs" `Quick test_decode_degenerate;
+    Alcotest.test_case "decode sequence rules" `Quick test_decode_sequence_rules;
+    Alcotest.test_case "truncation at every byte offset" `Quick
+      test_truncation_every_offset;
+    Alcotest.test_case "bit flip at every byte offset" `Quick
+      test_byteflip_every_offset;
+    Alcotest.test_case "snapshot skips replayed prefix" `Quick
+      test_snapshot_skips_replayed_prefix;
+    Alcotest.test_case "snapshot/wal gap detected" `Quick
+      test_snapshot_wal_gap_detected;
+    Alcotest.test_case "schema record roundtrip" `Quick test_schema_record_roundtrip;
+    Alcotest.test_case "schema source required when journaled" `Quick
+      test_schema_requires_source_when_journaled;
+    Alcotest.test_case "writer end to end" `Quick test_writer_end_to_end
+  ]
+
+let () = Alcotest.run "wal" [ ("wal", suite) ]
