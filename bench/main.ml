@@ -14,8 +14,10 @@
                                              ns/op + cached-vs-uncached
                                              speedups + the schema-index
                                              scaling sweep + store recovery
-                                             throughput; FILE defaults
-                                             to BENCH_4.json, "-" = stdout)
+                                             throughput + a Tdp_obs metrics
+                                             snapshot of one instrumented
+                                             pass; FILE defaults to
+                                             BENCH_5.json, "-" = stdout)
         dune exec bench/main.exe -- bench --check FILE
                                             (re-measure in --small mode and
                                              fail if a guarded benchmark
@@ -27,6 +29,7 @@ module Fig1 = Tdp_paper.Fig1
 module Fig3 = Tdp_paper.Fig3
 module Synth = Tdp_synth.Synth
 module Dispatch = Tdp_dispatch.Dispatch
+module Obs = Tdp_obs
 
 let ty = Type_name.of_string
 let at = Attr_name.of_string
@@ -650,7 +653,7 @@ let sweep_point n =
     time_it (fun () ->
         List.iter (fun (a, b) -> ignore (Schema_index.subtype idx a b)) queries)
   in
-  (* the pre-index Subtype_cache strategy: memoize one Type_name.Set of
+  (* the pre-index cached-set strategy: memoize one Type_name.Set of
      ancestors per queried type, then test membership *)
   let t_cached_set =
     time_it (fun () ->
@@ -731,6 +734,9 @@ let synth_linear m =
     }
 
 let json_report ~small =
+  (* guarded measurements run with the registry off — the gate verifies
+     the instrumentation is free when disabled *)
+  Obs.Metrics.disable ();
   let methods = if small then 40 else 160 in
   let n_views = if small then 4 else 12 in
   let schema = synth_linear methods in
@@ -774,6 +780,21 @@ let json_report ~small =
   let t_wal = time_it (bench_wal_replay s_schema s_wal) in
   let per_obj t = ns t /. float_of_int store_n in
   let objs_per_sec t = float_of_int store_n /. t in
+  (* observability: cost of the disabled gates on the hot-path wrappers,
+     cost of a live observation, and a registry snapshot taken from one
+     instrumented pass over the same workloads *)
+  let obs_h = Obs.Metrics.histogram "bench.probe_ns" in
+  let t_time_off = time_it (fun () -> Obs.Metrics.time obs_h (fun () -> ())) in
+  let t_span_off = time_it (fun () -> Obs.Trace.with_span "bench" (fun () -> ())) in
+  Obs.Metrics.enable ();
+  let t_observe_on = time_it (fun () -> Obs.Metrics.observe obs_h 100.) in
+  Obs.Metrics.reset ();
+  run_cached ();
+  ignore (Applicability.analyze_exn schema ~source:source1 ~projection:proj1);
+  ignore (bench_snapshot_load s_schema s_snapshot ());
+  ignore (bench_wal_replay s_schema s_wal ());
+  let metrics_snapshot = Obs.Metrics.snapshot () in
+  Obs.Metrics.disable ();
   let sweep = List.map sweep_point (sweep_sizes ~small) in
   (* the smallest sweep point is measured in every mode, so its entries
      carry stable names the --check regression gate can key on *)
@@ -790,7 +811,10 @@ let json_report ~small =
       { name = "subtype/cached-set"; ns_per_op = p0.sw_cached_set_ns };
       { name = "subtype/set"; ns_per_op = p0.sw_set_ns };
       { name = "store/snapshot-load"; ns_per_op = per_obj t_snap };
-      { name = "store/wal-replay"; ns_per_op = per_obj t_wal }
+      { name = "store/wal-replay"; ns_per_op = per_obj t_wal };
+      { name = "obs/time/disabled"; ns_per_op = ns t_time_off };
+      { name = "obs/with_span/disabled"; ns_per_op = ns t_span_off };
+      { name = "obs/observe/enabled"; ns_per_op = ns t_observe_on }
     ]
     @ List.concat_map
         (fun p ->
@@ -849,6 +873,9 @@ let json_report ~small =
        store_n
        (f (objs_per_sec t_snap))
        (f (objs_per_sec t_wal)));
+  Buffer.add_string buf
+    (Fmt.str "  \"metrics\": %s,\n"
+       (Obs.Json.to_string (Obs.Metrics.to_json metrics_snapshot)));
   Buffer.add_string buf "  \"benchmarks\": [\n";
   List.iteri
     (fun i e ->
@@ -1013,7 +1040,11 @@ let guarded_benchmarks =
   [ "dispatch/applicable/cached";
     "subtype/index";
     "store/snapshot-load";
-    "store/wal-replay"
+    "store/wal-replay";
+    (* disabled-instrumentation gates: these must stay within noise of
+       a bare call; entries absent from older baselines are skipped *)
+    "obs/time/disabled";
+    "obs/with_span/disabled"
   ]
 let check_tolerance = 3.0
 
@@ -1095,7 +1126,7 @@ let () =
   let rec out_of = function
     | "--out" :: v :: _ -> v
     | _ :: rest -> out_of rest
-    | [] -> "BENCH_4.json"
+    | [] -> "BENCH_5.json"
   in
   let rec check_of = function
     | "--check" :: v :: _ -> Some v

@@ -1,14 +1,29 @@
 (* odb — command-line front end for the type-derivation library.
 
-     odb check schema.odb
-     odb lint schema.odb [--json] [--code TDPxxx]
-     odb apply schema.odb [--collapse] [--print | --dot]
-     odb methods schema.odb --source T --attrs a,b,c [--trace]
-     odb dispatch schema.odb --gf f --args T1,T2 [--all]
-     odb store ACTION dir [--schema FILE] [--script FILE]
-     odb dot schema.odb
+     odb [--metrics[=pretty|json]] [--trace FILE] COMMAND ...
 
-   Schema files use the surface syntax of Tdp_lang (see README.md). *)
+     odb check schema.odb [--json]
+     odb lint schema.odb [--json] [--code TDPxxx]
+     odb apply schema.odb [--collapse] [--print | --dot] [--json]
+     odb methods schema.odb --source T --attrs a,b,c [--trace] [--json]
+     odb dispatch schema.odb --gf f --args T1,T2 [--all] [--json]
+     odb query schema.odb data.odd --view V [--json]
+     odb store ACTION dir [--schema FILE] [--script FILE] [--json]
+     odb dot schema.odb [--json]
+     odb stats [FILE]
+
+   Schema files use the surface syntax of Tdp_lang (see README.md).
+
+   Conventions (docs/cli.md):
+   - exit 0 = success, 1 = the command ran and found something to
+     report (lint errors, corruption, an unresolvable call), 2 = usage
+     or operational error;
+   - every subcommand accepts [--json] and then prints exactly one
+     envelope line {"command","status","exit","data"} on stdout;
+   - the global observability flags come before the subcommand:
+     [--metrics] enables the Tdp_obs registry (pretty table on stderr
+     at exit; [--metrics=json] prints the metrics envelope on stdout
+     instead), [--trace FILE] streams spans to FILE as JSON lines. *)
 
 open Tdp_core
 module Elaborate = Tdp_lang.Elaborate
@@ -18,6 +33,8 @@ module Static_check = Tdp_dispatch.Static_check
 module Dispatch = Tdp_dispatch.Dispatch
 module Diagnostic = Tdp_analysis.Diagnostic
 module Lint = Tdp_analysis.Lint
+module Obs = Tdp_obs
+module J = Tdp_obs.Json
 
 let read_file path =
   let ic = open_in_bin path in
@@ -25,15 +42,52 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let die ?file e =
-  (match (file, Error.position e) with
-  | Some f, Some (l, c) -> Fmt.epr "error: %s:%d:%d: %s@." f l c (Error.message e)
-  | Some f, None -> Fmt.epr "error: %s: %s@." f (Error.message e)
-  | None, _ -> Fmt.epr "error: %a@." Error.pp e);
-  exit 1
+(* --- envelope and exit-code convention ------------------------------ *)
 
+(* Set by each subcommand on entry so that [die] can honor --json. *)
+let json_mode = ref false
+let command_name = ref "odb"
+
+let setup name json =
+  command_name := name;
+  json_mode := json
+
+let exit_of = function `Ok -> 0 | `Findings -> 1 | `Error -> 2
+
+let status_name = function
+  | `Ok -> "ok"
+  | `Findings -> "findings"
+  | `Error -> "error"
+
+let envelope status data =
+  J.Obj
+    [ ("command", J.String !command_name);
+      ("status", J.String (status_name status));
+      ("exit", J.Int (exit_of status));
+      ("data", data)
+    ]
+
+(* Every subcommand returns through here: in --json mode the envelope
+   is the command's entire stdout. *)
+let finish ?(data = J.Obj []) status =
+  if !json_mode then print_endline (J.to_string (envelope status data));
+  exit_of status
+
+let error_message ?file e =
+  match (file, Error.position e) with
+  | Some f, Some (l, c) -> Fmt.str "%s:%d:%d: %s" f l c (Error.message e)
+  | Some f, None -> Fmt.str "%s: %s" f (Error.message e)
+  | None, _ -> Fmt.str "%a" Error.pp e
+
+let die_msg msg =
+  if !json_mode then
+    print_endline
+      (J.to_string (envelope `Error (J.Obj [ ("error", J.String msg) ])))
+  else Fmt.epr "error: %s@." msg;
+  exit 2
+
+let die ?file e = die_msg (error_message ?file e)
 let or_die ?file = function Ok v -> v | Error e -> die ?file e
-
 let load path = or_die ~file:path (Elaborate.load (read_file path))
 
 let summary schema =
@@ -46,39 +100,88 @@ let summary schema =
     (List.length (Schema.gfs schema))
     (List.length (Schema.all_methods schema))
 
+let summary_fields schema =
+  let h = Schema.hierarchy schema in
+  let surrogates =
+    Hierarchy.fold (fun d n -> if Type_def.is_surrogate d then n + 1 else n) h 0
+  in
+  [ ("types", J.Int (Hierarchy.cardinal h));
+    ("surrogates", J.Int surrogates);
+    ("generic_functions", J.Int (List.length (Schema.gfs schema)));
+    ("methods", J.Int (List.length (Schema.all_methods schema)))
+  ]
+
+let key_str k = Fmt.str "%a" Method_def.Key.pp k
+let key_list s = J.List (List.map (fun k -> J.String (key_str k)) (Method_def.Key.Set.elements s))
+
 (* --- check --------------------------------------------------------- *)
 
-let check_cmd file =
-  let r = load file in
-  summary r.schema;
-  List.iter
-    (fun (name, expr) ->
-      Fmt.pr "view %s = %a@." name Tdp_algebra.View.pp_expr expr)
-    r.views;
-  (* Elaboration already validated the hierarchy and type-checked the
-     bodies; the remaining well-formedness hazard is two methods of one
-     generic function with identical signatures. *)
-  match
-    ( Hierarchy.validate (Schema.hierarchy r.schema),
-      Static_check.duplicate_signatures r.schema )
-  with
-  | Ok (), [] ->
-      Fmt.pr "ok.@.";
-      0
-  | hierarchy, dups ->
-      (match hierarchy with
-      | Error e -> Fmt.epr "error: %s: %s@." file (Error.message e)
-      | Ok () -> ());
-      List.iter (fun i -> Fmt.epr "error: %s: %a@." file Static_check.pp_issue i) dups;
-      1
+let check_cmd file json =
+  setup "check" json;
+  match Elaborate.load (read_file file) with
+  | Error e ->
+      let msg = error_message ~file e in
+      if json then
+        finish `Findings
+          ~data:(J.Obj [ ("file", J.String file); ("error", J.String msg) ])
+      else begin
+        Fmt.epr "error: %s@." msg;
+        1
+      end
+  | Ok r -> (
+      (* Elaboration already validated the hierarchy and type-checked
+         the bodies; the remaining well-formedness hazard is two methods
+         of one generic function with identical signatures. *)
+      let issues =
+        (match Hierarchy.validate (Schema.hierarchy r.schema) with
+        | Ok () -> []
+        | Error e -> [ Error.message e ])
+        @ List.map
+            (fun i -> Fmt.str "%a" Static_check.pp_issue i)
+            (Static_check.duplicate_signatures r.schema)
+      in
+      let data () =
+        J.Obj
+          (("file", J.String file)
+          :: summary_fields r.schema
+          @ [ ("views",
+               J.List
+                 (List.map
+                    (fun (name, expr) ->
+                      J.Obj
+                        [ ("name", J.String name);
+                          ("expr", J.String (Fmt.str "%a" Tdp_algebra.View.pp_expr expr))
+                        ])
+                    r.views));
+              ("issues", J.List (List.map (fun i -> J.String i) issues))
+            ])
+      in
+      match issues with
+      | [] ->
+          if json then finish `Ok ~data:(data ())
+          else begin
+            summary r.schema;
+            List.iter
+              (fun (name, expr) ->
+                Fmt.pr "view %s = %a@." name Tdp_algebra.View.pp_expr expr)
+              r.views;
+            Fmt.pr "ok.@.";
+            0
+          end
+      | issues ->
+          if json then finish `Findings ~data:(data ())
+          else begin
+            List.iter (fun i -> Fmt.epr "error: %s: %s@." file i) issues;
+            1
+          end)
 
 (* --- lint ---------------------------------------------------------- *)
 
 let lint_cmd file json code =
+  setup "lint" json;
   (match code with
   | Some c when not (List.exists (fun (c', _, _) -> c' = c) Lint.codes) ->
-      Fmt.epr "error: unknown diagnostic code %s (see docs/diagnostics.md)@." c;
-      exit 2
+      die_msg (Fmt.str "unknown diagnostic code %s (see docs/diagnostics.md)" c)
   | _ -> ());
   let diags =
     match Elaborate.load_unchecked (read_file file) with
@@ -90,63 +193,158 @@ let lint_cmd file json code =
     | None -> diags
     | Some c -> List.filter (fun (d : Diagnostic.t) -> d.code = c) diags
   in
-  if json then List.iter (fun d -> print_endline (Diagnostic.to_json d)) diags
+  let errors, warnings, infos = Diagnostic.count diags in
+  let status = if List.exists Diagnostic.is_error diags then `Findings else `Ok in
+  if json then
+    let diag_json d =
+      (* Diagnostic.to_json emits one object per diagnostic; embed it
+         structurally rather than as an opaque string *)
+      match J.parse (Diagnostic.to_json d) with
+      | Ok j -> j
+      | Error _ -> J.String (Diagnostic.to_json d)
+    in
+    finish status
+      ~data:
+        (J.Obj
+           [ ("file", J.String file);
+             ("diagnostics", J.List (List.map diag_json diags));
+             ("errors", J.Int errors);
+             ("warnings", J.Int warnings);
+             ("infos", J.Int infos)
+           ])
   else begin
     List.iter (fun d -> Fmt.pr "%a@." Diagnostic.pp d) diags;
-    let errors, warnings, infos = Diagnostic.count diags in
     if diags = [] then Fmt.pr "no issues found.@."
-    else Fmt.pr "%d error(s), %d warning(s), %d info@." errors warnings infos
-  end;
-  if List.exists Diagnostic.is_error diags then 1 else 0
+    else Fmt.pr "%d error(s), %d warning(s), %d info@." errors warnings infos;
+    exit_of status
+  end
 
 (* --- apply --------------------------------------------------------- *)
 
-let apply_cmd file collapse print_schema dot show_diff =
+let apply_cmd file collapse print_schema dot show_diff json =
+  setup "apply" json;
   let r = load file in
   let schema, derived = or_die (Elaborate.apply_views r) in
-  if show_diff then
-    Fmt.pr "@[<v>%a@]@." Diff.pp (Diff.schema_changes r.schema schema);
-  List.iter
-    (fun (name, ty_) ->
-      Fmt.pr "view %-16s -> %s {%s}@." name (Type_name.to_string ty_)
-        (String.concat ", "
-           (List.map Attr_name.to_string
-              (Hierarchy.all_attribute_names (Schema.hierarchy schema) ty_))))
-    derived;
-  let schema =
+  let diff_str =
+    if show_diff then
+      Some (Fmt.str "@[<v>%a@]" Diff.pp (Diff.schema_changes r.schema schema))
+    else None
+  in
+  let schema, collapsed =
     if collapse then begin
       let protect = Type_name.Set.of_list (List.map snd derived) in
       let collapsed, removed = or_die (Optimize.collapse ~protect schema) in
-      Fmt.pr "collapsed %d empty surrogates@." (List.length removed);
-      collapsed
+      (collapsed, Some (List.length removed))
     end
-    else schema
+    else (schema, None)
   in
-  summary schema;
-  if print_schema then Fmt.pr "@.%s" (Printer.print schema);
-  if dot then Fmt.pr "@.%s" (Dot.of_hierarchy ~name:file (Schema.hierarchy schema));
-  0
+  let view_attrs ty_ =
+    Hierarchy.all_attribute_names (Schema.hierarchy schema) ty_
+  in
+  if json then
+    finish `Ok
+      ~data:
+        (J.Obj
+           (("file", J.String file)
+           :: ("views",
+               J.List
+                 (List.map
+                    (fun (name, ty_) ->
+                      J.Obj
+                        [ ("name", J.String name);
+                          ("type", J.String (Type_name.to_string ty_));
+                          ("attrs",
+                           J.List
+                             (List.map
+                                (fun a -> J.String (Attr_name.to_string a))
+                                (view_attrs ty_)))
+                        ])
+                    derived))
+           :: summary_fields schema
+           @ (match collapsed with
+             | Some n -> [ ("collapsed", J.Int n) ]
+             | None -> [])
+           @ (match diff_str with
+             | Some d -> [ ("diff", J.String d) ]
+             | None -> [])
+           @ (if print_schema then [ ("schema", J.String (Printer.print schema)) ] else [])
+           @
+           if dot then
+             [ ("dot", J.String (Dot.of_hierarchy ~name:file (Schema.hierarchy schema))) ]
+           else []))
+  else begin
+    (match diff_str with Some d -> Fmt.pr "%s@." d | None -> ());
+    List.iter
+      (fun (name, ty_) ->
+        Fmt.pr "view %-16s -> %s {%s}@." name (Type_name.to_string ty_)
+          (String.concat ", " (List.map Attr_name.to_string (view_attrs ty_))))
+      derived;
+    (match collapsed with
+    | Some n -> Fmt.pr "collapsed %d empty surrogates@." n
+    | None -> ());
+    summary schema;
+    if print_schema then Fmt.pr "@.%s" (Printer.print schema);
+    if dot then Fmt.pr "@.%s" (Dot.of_hierarchy ~name:file (Schema.hierarchy schema));
+    0
+  end
 
 (* --- methods ------------------------------------------------------- *)
 
-let methods_cmd file source attrs trace explain =
+let methods_cmd file source attrs trace explain json =
+  setup "methods" json;
   let r = load file in
   let projection = List.map Attr_name.of_string attrs in
   let source = Type_name.of_string source in
   let analysis = or_die (Applicability.analyze r.schema ~source ~projection) in
-  if trace then
-    List.iter (fun e -> Fmt.pr "  %a@." Applicability.pp_event e) analysis.trace;
-  Fmt.pr "%a@." Applicability.pp_result analysis;
-  if explain then
-    Method_def.Key.Set.iter
-      (fun k ->
-        Fmt.pr "  %s@." (Applicability.explain r.schema analysis ~source ~projection k))
-      analysis.candidates;
-  0
+  if json then
+    finish `Ok
+      ~data:
+        (J.Obj
+           ([ ("file", J.String file);
+              ("source", J.String (Type_name.to_string source));
+              ("projection", J.List (List.map (fun a -> J.String (Attr_name.to_string a)) projection));
+              ("applicable", key_list analysis.applicable);
+              ("not_applicable", key_list analysis.not_applicable);
+              ("candidates", key_list analysis.candidates);
+              ("passes", J.Int analysis.passes)
+            ]
+           @ (if trace then
+                [ ("trace",
+                   J.List
+                     (List.map
+                        (fun e -> J.String (Fmt.str "%a" Applicability.pp_event e))
+                        analysis.trace))
+                ]
+              else [])
+           @
+           if explain then
+             [ ("explanations",
+                J.Obj
+                  (List.map
+                     (fun k ->
+                       ( key_str k,
+                         J.String
+                           (Applicability.explain r.schema analysis ~source
+                              ~projection k) ))
+                     (Method_def.Key.Set.elements analysis.candidates)))
+             ]
+           else []))
+  else begin
+    if trace then
+      List.iter (fun e -> Fmt.pr "  %a@." Applicability.pp_event e) analysis.trace;
+    Fmt.pr "%a@." Applicability.pp_result analysis;
+    if explain then
+      Method_def.Key.Set.iter
+        (fun k ->
+          Fmt.pr "  %s@." (Applicability.explain r.schema analysis ~source ~projection k))
+        analysis.candidates;
+    0
+  end
 
 (* --- dispatch ------------------------------------------------------ *)
 
-let dispatch_cmd file apply_views gf args all =
+let dispatch_cmd file apply_views gf args all json =
+  setup "dispatch" json;
   let r = load file in
   let schema =
     if apply_views then fst (or_die (Elaborate.apply_views r)) else r.schema
@@ -155,68 +353,129 @@ let dispatch_cmd file apply_views gf args all =
   let arg_types = List.map Type_name.of_string args in
   let h = Schema.hierarchy schema in
   List.iter
-    (fun ty_ ->
-      if not (Hierarchy.mem h ty_) then
-        die ~file (Error.Unknown_type ty_))
+    (fun ty_ -> if not (Hierarchy.mem h ty_) then die ~file (Error.Unknown_type ty_))
     arg_types;
   let call = Fmt.str "%s(%s)" gf (String.concat "," args) in
+  let base = [ ("file", J.String file); ("call", J.String call) ] in
   match Dispatch.most_specific d ~gf ~arg_types with
+  | exception Dispatch.Ambiguous { gf; methods } ->
+      let names = List.map key_str methods in
+      if json then
+        finish `Findings
+          ~data:
+            (J.Obj
+               (base @ [ ("ambiguous", J.List (List.map (fun n -> J.String n) names)) ]))
+      else begin
+        Fmt.epr "error: call to %s is ambiguous between %s@." gf
+          (String.concat " and " names);
+        1
+      end
   | None ->
-      Fmt.epr "error: %s: no applicable method for %s@." file call;
-      1
+      if json then
+        finish `Findings ~data:(J.Obj (base @ [ ("selected", J.Null) ]))
+      else begin
+        Fmt.epr "error: %s: no applicable method for %s@." file call;
+        1
+      end
   | Some m ->
-      Fmt.pr "%s -> %a@." call Method_def.Key.pp (Method_def.key m);
-      if all then
-        List.iteri
-          (fun i m ->
-            Fmt.pr "  %d. %a(%s)@." (i + 1) Method_def.Key.pp (Method_def.key m)
-              (String.concat ","
-                 (List.map Type_name.to_string
-                    (Signature.param_types (Method_def.signature m)))))
-          (Dispatch.applicable d ~gf ~arg_types);
-      0
+      let chain () =
+        List.map
+          (fun m ->
+            J.Obj
+              [ ("method", J.String (key_str (Method_def.key m)));
+                ("params",
+                 J.List
+                   (List.map
+                      (fun t -> J.String (Type_name.to_string t))
+                      (Signature.param_types (Method_def.signature m))))
+              ])
+          (Dispatch.applicable d ~gf ~arg_types)
+      in
+      if json then
+        finish `Ok
+          ~data:
+            (J.Obj
+               (base
+               @ [ ("selected", J.String (key_str (Method_def.key m))) ]
+               @ if all then [ ("chain", J.List (chain ())) ] else []))
+      else begin
+        Fmt.pr "%s -> %a@." call Method_def.Key.pp (Method_def.key m);
+        if all then
+          List.iteri
+            (fun i m ->
+              Fmt.pr "  %d. %a(%s)@." (i + 1) Method_def.Key.pp (Method_def.key m)
+                (String.concat ","
+                   (List.map Type_name.to_string
+                      (Signature.param_types (Method_def.signature m)))))
+            (Dispatch.applicable d ~gf ~arg_types);
+        0
+      end
 
 (* --- query --------------------------------------------------------- *)
 
-let query_cmd schema_file data_file view_name materialize =
+let query_cmd schema_file data_file view_name materialize json =
+  setup "query" json;
   let r = load schema_file in
   let schema, _derived = or_die (Elaborate.apply_views r) in
   let expr =
     match List.assoc_opt view_name r.views with
     | Some e -> e
-    | None ->
-        Fmt.epr "error: no view named %S in %s@." view_name schema_file;
-        exit 1
+    | None -> die_msg (Fmt.str "no view named %S in %s" view_name schema_file)
   in
   let db = Tdp_store.Database.create schema in
   (try ignore (Tdp_store.Dump.load_into db (read_file data_file)) with
   | Tdp_store.Dump.Parse_error { line; message } ->
-      Fmt.epr "error: %s:%d: %s@." data_file line message;
-      exit 1
-  | Tdp_store.Database.Store_error m ->
-      Fmt.epr "error: %s@." m;
-      exit 1);
+      die_msg (Fmt.str "%s:%d: %s" data_file line message)
+  | Tdp_store.Database.Store_error m -> die_msg m);
   let h = Schema.hierarchy schema in
   let view_type = Type_name.of_string view_name in
   let attrs = Hierarchy.all_attribute_names h view_type in
   let oids =
-    if materialize then
-      Tdp_algebra.View.materialize db ~view_type expr
+    if materialize then Tdp_algebra.View.materialize db ~view_type expr
     else Tdp_algebra.View.instances db expr
   in
-  List.iter
-    (fun oid ->
-      Fmt.pr "%s %s" (Fmt.str "%a" Tdp_store.Oid.pp oid)
-        (Type_name.to_string (Tdp_store.Database.type_of db oid));
-      List.iter
-        (fun a ->
-          Fmt.pr " %s=%s" (Attr_name.to_string a)
-            (Tdp_store.Dump.value_to_string (Tdp_store.Database.get_attr db oid a)))
-        attrs;
-      Fmt.pr "@.")
-    oids;
-  Fmt.pr "%d instance(s) of view %s@." (List.length oids) view_name;
-  0
+  if json then
+    finish `Ok
+      ~data:
+        (J.Obj
+           [ ("view", J.String view_name);
+             ("count", J.Int (List.length oids));
+             ("instances",
+              J.List
+                (List.map
+                   (fun oid ->
+                     J.Obj
+                       [ ("oid", J.String (Fmt.str "%a" Tdp_store.Oid.pp oid));
+                         ("type",
+                          J.String
+                            (Type_name.to_string (Tdp_store.Database.type_of db oid)));
+                         ("attrs",
+                          J.Obj
+                            (List.map
+                               (fun a ->
+                                 ( Attr_name.to_string a,
+                                   J.String
+                                     (Tdp_store.Dump.value_to_string
+                                        (Tdp_store.Database.get_attr db oid a)) ))
+                               attrs))
+                       ])
+                   oids))
+           ])
+  else begin
+    List.iter
+      (fun oid ->
+        Fmt.pr "%s %s" (Fmt.str "%a" Tdp_store.Oid.pp oid)
+          (Type_name.to_string (Tdp_store.Database.type_of db oid));
+        List.iter
+          (fun a ->
+            Fmt.pr " %s=%s" (Attr_name.to_string a)
+              (Tdp_store.Dump.value_to_string (Tdp_store.Database.get_attr db oid a)))
+          attrs;
+        Fmt.pr "@.")
+      oids;
+    Fmt.pr "%d instance(s) of view %s@." (List.length oids) view_name;
+    0
+  end
 
 (* --- store --------------------------------------------------------- *)
 
@@ -251,6 +510,15 @@ let pp_corruption ppf (c : Wal.corruption) =
   Fmt.pf ppf "wal corrupt at byte %d (expected seq %d): %s" c.offset c.at_seq
     c.reason
 
+let corruption_json = function
+  | None -> J.Null
+  | Some (c : Wal.corruption) ->
+      J.Obj
+        [ ("at_seq", J.Int c.at_seq);
+          ("offset", J.Int c.offset);
+          ("reason", J.String c.reason)
+        ]
+
 let parse_script file =
   read_file file
   |> String.split_on_char '\n'
@@ -259,7 +527,8 @@ let parse_script file =
          if l = "" || (String.length l >= 2 && String.sub l 0 2 = "--") then None
          else Some (Wal.payload_of_string ~line:i l))
 
-let store_cmd action dir schema_file script_file =
+let store_cmd action dir schema_file script_file json =
+  setup "store" json;
   let schema_path = Filename.concat dir "schema.odb"
   and snapshot_path = Filename.concat dir "snapshot.dump"
   and wal_path = Filename.concat dir "wal.log" in
@@ -267,6 +536,8 @@ let store_cmd action dir schema_file script_file =
     Wal.recover ~load_schema:store_schema_loader ~schema ~snapshot_path
       ~wal_path ()
   in
+  (* warnings go to stderr in both modes; the envelope carries the
+     structured corruption record *)
   let warn_corruption = function
     | None -> ()
     | Some c -> Fmt.epr "warning: %a; recovered the prefix before it@." pp_corruption c
@@ -277,9 +548,7 @@ let store_cmd action dir schema_file script_file =
         let sf =
           match schema_file with
           | Some f -> f
-          | None ->
-              Fmt.epr "error: odb store init requires --schema FILE@.";
-              exit 2
+          | None -> die_msg "odb store init requires --schema FILE"
         in
         let src = read_file sf in
         let r = or_die ~file:sf (Elaborate.load src) in
@@ -287,9 +556,14 @@ let store_cmd action dir schema_file script_file =
         write_file schema_path src;
         Dump.save ~path:snapshot_path (Database.create r.schema);
         Wal.close (Wal.writer_create ~path:wal_path ~next_seq:1 ());
-        Fmt.pr "initialized %s (%d types, empty extent)@." dir
-          (Hierarchy.cardinal (Schema.hierarchy r.schema));
-        0
+        let types = Hierarchy.cardinal (Schema.hierarchy r.schema) in
+        if json then
+          finish `Ok
+            ~data:(J.Obj [ ("dir", J.String dir); ("types", J.Int types) ])
+        else begin
+          Fmt.pr "initialized %s (%d types, empty extent)@." dir types;
+          0
+        end
     | Verify ->
         let wal = if Sys.file_exists wal_path then read_file wal_path else "" in
         let d = Wal.decode wal in
@@ -299,47 +573,75 @@ let store_cmd action dir schema_file script_file =
         in
         let db = Database.create schema in
         let snap_objs = List.length (Dump.load_into db snap) in
-        Fmt.pr "snapshot: %d object(s), wal-seq %d@." snap_objs (Dump.wal_seq snap);
-        Fmt.pr "wal: %d intact record(s), %d byte(s) valid, next seq %d@."
-          (List.length d.entries) d.valid_bytes d.next_seq;
-        (match d.corruption with
-        | None ->
-            Fmt.pr "ok.@.";
-            0
-        | Some c ->
-            Fmt.pr "%a@." pp_corruption c;
-            1)
+        let status = match d.corruption with None -> `Ok | Some _ -> `Findings in
+        if json then
+          finish status
+            ~data:
+              (J.Obj
+                 [ ("snapshot_objects", J.Int snap_objs);
+                   ("snapshot_wal_seq", J.Int (Dump.wal_seq snap));
+                   ("wal_records", J.Int (List.length d.entries));
+                   ("wal_valid_bytes", J.Int d.valid_bytes);
+                   ("next_seq", J.Int d.next_seq);
+                   ("corruption", corruption_json d.corruption)
+                 ])
+        else begin
+          Fmt.pr "snapshot: %d object(s), wal-seq %d@." snap_objs (Dump.wal_seq snap);
+          Fmt.pr "wal: %d intact record(s), %d byte(s) valid, next seq %d@."
+            (List.length d.entries) d.valid_bytes d.next_seq;
+          (match d.corruption with
+          | None -> Fmt.pr "ok.@."
+          | Some c -> Fmt.pr "%a@." pp_corruption c);
+          exit_of status
+        end
     | (Append | Recover | Checkpoint | DumpDb) as action -> (
         let schema =
           (or_die ~file:schema_path (Elaborate.load (read_file schema_path))).schema
         in
         let r = recover schema in
+        let recovery_fields (r : Wal.recovery) =
+          [ ("objects", J.Int (Database.count r.db));
+            ("snapshot_seq", J.Int r.snapshot_seq);
+            ("replayed", J.Int r.replayed);
+            ("last_seq", J.Int r.last_seq);
+            ("corruption", corruption_json r.corruption)
+          ]
+        in
         match action with
         | Recover ->
             warn_corruption r.corruption;
-            Fmt.pr
-              "recovered %d object(s): snapshot seq %d + %d wal record(s), \
-               last seq %d@."
-              (Database.count r.db) r.snapshot_seq r.replayed r.last_seq;
-            0
+            if json then finish `Ok ~data:(J.Obj (recovery_fields r))
+            else begin
+              Fmt.pr
+                "recovered %d object(s): snapshot seq %d + %d wal record(s), \
+                 last seq %d@."
+                (Database.count r.db) r.snapshot_seq r.replayed r.last_seq;
+              0
+            end
         | DumpDb ->
             warn_corruption r.corruption;
-            print_string (Dump.to_string r.db);
-            0
+            if json then
+              finish `Ok
+                ~data:(J.Obj (recovery_fields r @ [ ("dump", J.String (Dump.to_string r.db)) ]))
+            else begin
+              print_string (Dump.to_string r.db);
+              0
+            end
         | Checkpoint ->
             warn_corruption r.corruption;
             Dump.save ~wal_seq:r.last_seq ~path:snapshot_path r.db;
             Wal.close (Wal.writer_create ~path:wal_path ~next_seq:(r.last_seq + 1) ());
-            Fmt.pr "checkpointed %d object(s) at seq %d@." (Database.count r.db)
-              r.last_seq;
-            0
+            if json then finish `Ok ~data:(J.Obj (recovery_fields r))
+            else begin
+              Fmt.pr "checkpointed %d object(s) at seq %d@." (Database.count r.db)
+                r.last_seq;
+              0
+            end
         | Append ->
             let sf =
               match script_file with
               | Some f -> f
-              | None ->
-                  Fmt.epr "error: odb store append requires --script FILE@.";
-                  exit 2
+              | None -> die_msg "odb store append requires --script FILE"
             in
             let ops = parse_script sf in
             (match r.corruption with
@@ -355,30 +657,118 @@ let store_cmd action dir schema_file script_file =
               (fun () ->
                 Wal.attach w r.db;
                 List.iter (Wal.apply ~load_schema:store_schema_loader r.db) ops);
-            Fmt.pr "applied %d operation(s); %d object(s), wal at seq %d@."
-              (List.length ops) (Database.count r.db) (Wal.writer_seq w - 1);
-            0
+            if json then
+              finish `Ok
+                ~data:
+                  (J.Obj
+                     [ ("applied", J.Int (List.length ops));
+                       ("objects", J.Int (Database.count r.db));
+                       ("last_seq", J.Int (Wal.writer_seq w - 1))
+                     ])
+            else begin
+              Fmt.pr "applied %d operation(s); %d object(s), wal at seq %d@."
+                (List.length ops) (Database.count r.db) (Wal.writer_seq w - 1);
+              0
+            end
         | Init | Verify -> assert false)
   with
-  | Database.Store_error m ->
-      Fmt.epr "error: %s@." m;
-      1
-  | Dump.Parse_error { line; message } ->
-      Fmt.epr "error: line %d: %s@." line message;
-      1
-  | Wal.Wal_error m ->
-      Fmt.epr "error: %s@." m;
-      1
+  | Database.Store_error m -> die_msg m
+  | Dump.Parse_error { line; message } -> die_msg (Fmt.str "line %d: %s" line message)
+  | Wal.Wal_error m -> die_msg m
 
 (* --- dot ----------------------------------------------------------- *)
 
-let dot_cmd file apply_views =
+let dot_cmd file apply_views json =
+  setup "dot" json;
   let r = load file in
   let schema =
     if apply_views then fst (or_die (Elaborate.apply_views r)) else r.schema
   in
-  Fmt.pr "%s" (Dot.of_hierarchy ~name:file (Schema.hierarchy schema));
-  0
+  let dot = Dot.of_hierarchy ~name:file (Schema.hierarchy schema) in
+  if json then finish `Ok ~data:(J.Obj [ ("dot", J.String dot) ])
+  else begin
+    Fmt.pr "%s" dot;
+    0
+  end
+
+(* --- stats --------------------------------------------------------- *)
+
+(* Pretty-print a metrics envelope (as produced by [--metrics=json] or
+   by [bench --json] under "metrics").  Reads stdin when FILE is
+   omitted, so `odb --metrics=json ... | odb stats` composes. *)
+let stats_cmd file json =
+  setup "stats" json;
+  let src =
+    match file with Some f -> read_file f | None -> In_channel.input_all stdin
+  in
+  match J.parse src with
+  | Error msg -> die_msg (Fmt.str "invalid metrics JSON: %s" msg)
+  | Ok j ->
+      let snap = Obs.Metrics.of_json j in
+      if json then finish `Ok ~data:(Obs.Metrics.to_json snap)
+      else begin
+        Fmt.pr "%a@." Obs.Metrics.pp snap;
+        0
+      end
+
+(* --- global observability flags ------------------------------------- *)
+
+let obs_metrics = ref `Off
+let obs_trace = ref None
+
+(* Strip the leading global flags (everything up to the subcommand
+   name); flags after the subcommand belong to the subcommand — in
+   particular `odb methods --trace` (the IsApplicable event trace) is
+   unrelated to the global `odb --trace FILE`. *)
+let split_global_flags argv =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | "--metrics" :: rest ->
+        obs_metrics := `Pretty;
+        go acc rest
+    | arg :: rest when String.starts_with ~prefix:"--metrics=" arg -> (
+        match String.sub arg 10 (String.length arg - 10) with
+        | "pretty" ->
+            obs_metrics := `Pretty;
+            go acc rest
+        | "json" ->
+            obs_metrics := `Json;
+            go acc rest
+        | other ->
+            Fmt.epr "odb: unknown metrics mode %S (expected pretty or json)@." other;
+            exit 2)
+    | "--trace" :: rest -> (
+        match rest with
+        | path :: rest ->
+            obs_trace := Some path;
+            go acc rest
+        | [] ->
+            Fmt.epr "odb: --trace requires a FILE argument@.";
+            exit 2)
+    | arg :: rest when String.starts_with ~prefix:"--trace=" arg ->
+        obs_trace := Some (String.sub arg 8 (String.length arg - 8));
+        go acc rest
+    | rest -> List.rev_append acc rest
+  in
+  match Array.to_list argv with
+  | [] -> argv
+  | prog :: args -> Array.of_list (prog :: go [] args)
+
+let obs_setup () =
+  (match !obs_metrics with `Off -> () | `Pretty | `Json -> Obs.Metrics.enable ());
+  match !obs_trace with
+  | None -> ()
+  | Some path -> Obs.Trace.set_sink (Obs.Sink.file path)
+
+(* Runs via at_exit so the report survives mid-command [exit] calls
+   (die, usage errors). *)
+let obs_teardown () =
+  (match !obs_metrics with
+  | `Off -> ()
+  | `Pretty -> Fmt.epr "%a@." Obs.Metrics.pp (Obs.Metrics.snapshot ())
+  | `Json ->
+      print_endline (J.to_string (Obs.Metrics.to_json (Obs.Metrics.snapshot ()))));
+  Obs.Trace.close ()
 
 (* --- cmdliner wiring ------------------------------------------------ *)
 
@@ -387,9 +777,17 @@ open Cmdliner
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Schema file.")
 
+let json_flag =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Print one JSON envelope line {\"command\",\"status\",\"exit\",\"data\"} \
+           instead of human-readable output.")
+
 let check_t =
   let doc = "Parse, validate and type-check a schema file." in
-  Cmd.v (Cmd.info "check" ~doc) Term.(const check_cmd $ file_arg)
+  Cmd.v (Cmd.info "check" ~doc) Term.(const check_cmd $ file_arg $ json_flag)
 
 let lint_t =
   let doc =
@@ -397,16 +795,13 @@ let lint_t =
      lints, projection pre-checks) and report structured diagnostics.  Exits \
      1 when any error-severity diagnostic fires."
   in
-  let json =
-    Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object per line.")
-  in
   let code =
     Arg.(
       value
       & opt (some string) None
       & info [ "code" ] ~docv:"TDPxxx" ~doc:"Only report diagnostics with this code.")
   in
-  Cmd.v (Cmd.info "lint" ~doc) Term.(const lint_cmd $ file_arg $ json $ code)
+  Cmd.v (Cmd.info "lint" ~doc) Term.(const lint_cmd $ file_arg $ json_flag $ code)
 
 let apply_t =
   let doc = "Derive every declared view, refactoring the hierarchy." in
@@ -421,7 +816,7 @@ let apply_t =
     Arg.(value & flag & info [ "diff" ] ~doc:"Print the structural changes made.")
   in
   Cmd.v (Cmd.info "apply" ~doc)
-    Term.(const apply_cmd $ file_arg $ collapse $ print_schema $ dot $ show_diff)
+    Term.(const apply_cmd $ file_arg $ collapse $ print_schema $ dot $ show_diff $ json_flag)
 
 let methods_t =
   let doc = "Classify method applicability for a projection (Section 4)." in
@@ -444,7 +839,7 @@ let methods_t =
     Arg.(value & flag & info [ "explain" ] ~doc:"Explain every method's verdict.")
   in
   Cmd.v (Cmd.info "methods" ~doc)
-    Term.(const methods_cmd $ file_arg $ source $ attrs $ trace $ explain)
+    Term.(const methods_cmd $ file_arg $ source $ attrs $ trace $ explain $ json_flag)
 
 let dispatch_t =
   let doc =
@@ -471,7 +866,7 @@ let dispatch_t =
     Arg.(value & flag & info [ "all" ] ~doc:"Print every applicable method, most specific first.")
   in
   Cmd.v (Cmd.info "dispatch" ~doc)
-    Term.(const dispatch_cmd $ file_arg $ apply_views $ gf $ args $ all)
+    Term.(const dispatch_cmd $ file_arg $ apply_views $ gf $ args $ all $ json_flag)
 
 let query_t =
   let doc = "Evaluate a declared view over a data file (see Dump format)." in
@@ -490,7 +885,7 @@ let query_t =
       & info [ "materialize" ] ~doc:"Copy instances into the view type (fresh OIDs).")
   in
   Cmd.v (Cmd.info "query" ~doc)
-    Term.(const query_cmd $ file_arg $ data_arg $ view_name $ materialize)
+    Term.(const query_cmd $ file_arg $ data_arg $ view_name $ materialize $ json_flag)
 
 let store_t =
   let doc =
@@ -528,34 +923,43 @@ let store_t =
           ~doc:"Mutation script, one op per line (append only).")
   in
   Cmd.v (Cmd.info "store" ~doc)
-    Term.(const store_cmd $ action $ dir $ schema $ script)
+    Term.(const store_cmd $ action $ dir $ schema $ script $ json_flag)
 
 let dot_t =
   let doc = "Print the type hierarchy as Graphviz DOT." in
   let apply_views =
     Arg.(value & flag & info [ "apply-views" ] ~doc:"Derive views first.")
   in
-  Cmd.v (Cmd.info "dot" ~doc) Term.(const dot_cmd $ file_arg $ apply_views)
+  Cmd.v (Cmd.info "dot" ~doc) Term.(const dot_cmd $ file_arg $ apply_views $ json_flag)
+
+let stats_t =
+  let doc =
+    "Pretty-print a metrics dump (the envelope emitted by --metrics=json or \
+     embedded in bench --json reports).  Reads stdin when FILE is omitted."
+  in
+  let file =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Metrics JSON file.")
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const stats_cmd $ file $ json_flag)
 
 let main =
   let doc = "type derivation using the projection operation (Agrawal & DeMichiel, 1994)" in
   Cmd.group
     (Cmd.info "odb" ~version:"1.0.0" ~doc)
-    [ check_t; lint_t; apply_t; methods_t; dispatch_t; query_t; store_t; dot_t ]
+    [ check_t; lint_t; apply_t; methods_t; dispatch_t; query_t; store_t; dot_t; stats_t ]
 
-(* CLI boundary: domain failures that escape a subcommand — an
-   ambiguous dispatch, or any structured [Error.E] a command did not
-   turn into a result — are diagnostics for the user, not crashes, so
-   disable cmdliner's catch-all (which dumps a backtrace) and render
-   them here. *)
+(* CLI boundary: domain failures that escape a subcommand — any
+   structured [Error.E] a command did not turn into a result — are
+   diagnostics for the user, not crashes, so disable cmdliner's
+   catch-all (which dumps a backtrace) and render them here.  Cmdliner's
+   own reserved codes (124 usage, 123/125 internal) are folded into the
+   documented exit-code convention as 2. *)
 let () =
-  match Cmd.eval' ~catch:false main with
-  | code -> exit code
-  | exception Dispatch.Ambiguous { gf; methods } ->
-      Fmt.epr "error: call to %s is ambiguous between %s@." gf
-        (String.concat " and "
-           (List.map (Fmt.str "%a" Method_def.Key.pp) methods));
-      exit 1
+  let argv = split_global_flags Sys.argv in
+  obs_setup ();
+  at_exit obs_teardown;
+  match Cmd.eval' ~argv ~catch:false main with
+  | code -> exit (if code > 2 then 2 else code)
   | exception Error.E e ->
       Fmt.epr "error: %a@." Error.pp e;
-      exit 1
+      exit 2

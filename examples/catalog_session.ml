@@ -107,7 +107,7 @@ let () =
 
   (* is_recent survives onto Citation (it reads only year); is_long
      does not reach Publication (pages is not shared). *)
-  let cache = Subtype_cache.create (Schema.hierarchy (Catalog.schema c)) in
+  let cache = Schema_index.of_hierarchy (Schema.hierarchy (Catalog.schema c)) in
   List.iter
     (fun v ->
       Fmt.pr "general methods on %-12s: %s@." v

@@ -91,7 +91,7 @@ let () =
 
   (* Which Student methods survived onto Transcript?  standing and
      honors read only gpa/credits: both survive. *)
-  let cache = Subtype_cache.create (Schema.hierarchy schema) in
+  let cache = Schema_index.of_hierarchy (Schema.hierarchy schema) in
   let transcript = Type_name.of_string "Transcript" in
   Fmt.pr "@.methods applicable to Transcript: %s@."
     (String.concat ", "

@@ -10,6 +10,14 @@ open Tdp_core
    type gained or lost, or whether the view no longer derives at all
    (e.g. its projection list mentions a dropped attribute). *)
 
+(* Observability: evolutions are rare but expensive (unwind + re-derive
+   every view), so each one is counted, timed, and traced, along with
+   how many views broke.  Gated inside Tdp_obs. *)
+module Obs = Tdp_obs
+let m_evolve_ns = Obs.Metrics.histogram "evolution.evolve_ns"
+let m_evolutions = Obs.Metrics.counter "evolution.changes"
+let m_broken = Obs.Metrics.counter "evolution.views_broken"
+
 type change =
   | Add_type of Type_def.t
   | Add_attribute of { ty : Type_name.t; attr : Attribute.t }
@@ -135,7 +143,7 @@ let apply_change_exn schema change =
 (* Evolve the base schema under the catalog's views: unwind, change,
    re-derive, and report per-view impact.  Views that no longer derive
    are dropped from the resulting catalog and reported as broken. *)
-let evolve_exn catalog change =
+let evolve_exn_uninstrumented catalog change =
   let before_entries = Catalog.entries catalog in
   let before_schema = Catalog.schema catalog in
   (* unwind in reverse definition order *)
@@ -180,5 +188,22 @@ let evolve_exn catalog change =
       before_entries
   in
   (rederived, { change; impacts = List.rev impacts })
+
+let evolve_exn catalog change =
+  Obs.Metrics.time m_evolve_ns (fun () ->
+      let attrs =
+        if Obs.Trace.enabled () then
+          [ ("change", Fmt.str "%a" pp_change change) ]
+        else []
+      in
+      Obs.Trace.with_span ~attrs "evolution.evolve" (fun () ->
+          let catalog', report = evolve_exn_uninstrumented catalog change in
+          Obs.Metrics.incr m_evolutions;
+          Obs.Metrics.add m_broken
+            (List.length
+               (List.filter
+                  (fun i -> match i.status with `Broken _ -> true | `Ok -> false)
+                  report.impacts));
+          (catalog', report)))
 
 let evolve catalog change = Error.guard (fun () -> evolve_exn catalog change)

@@ -1,5 +1,16 @@
 module Key = Method_def.Key
 
+(* Observability: the paper's own §4.1 cost discussion is about exactly
+   these quantities — how long an analysis takes, how deep the
+   MethodStack grows, and how often cycle optimism (assume + retract)
+   fires.  Recording is gated inside Tdp_obs; the analysis itself pays
+   one int increment per stack push when disabled. *)
+module Obs = Tdp_obs
+let m_analyze_ns = Obs.Metrics.histogram "applicability.analyze_ns"
+let m_stack_depth = Obs.Metrics.gauge "applicability.stack_depth.max"
+let m_optimism = Obs.Metrics.counter "applicability.cycle_optimism"
+let m_retractions = Obs.Metrics.counter "applicability.retractions"
+
 type event =
   | Tested of Key.t
   | Concluded of { meth : Key.t; applicable : bool }
@@ -66,6 +77,8 @@ type ctx = {
   source : Type_name.t;
   proj : Attr_name.Set.t;
   mutable stack : frame list; (* head = top of MethodStack *)
+  mutable depth : int; (* length of [stack], maintained at push/pop *)
+  mutable max_depth : int;
   mutable applicable : Key.Set.t;
   mutable not_applicable : Key.Set.t;
   mutable retractions : int;
@@ -134,6 +147,7 @@ let rec is_applicable ctx m =
           let dependents = List.map (fun f -> f.meth) above in
           frame.deps <-
             List.fold_left (fun s d -> Key.Set.add d s) frame.deps dependents;
+          Obs.Metrics.incr m_optimism;
           emit ctx (Assumed { meth = k; dependents });
           true
         end
@@ -141,6 +155,8 @@ let rec is_applicable ctx m =
           emit ctx (Tested k);
           let frame = { meth = k; deps = Key.Set.empty } in
           ctx.stack <- frame :: ctx.stack;
+          ctx.depth <- ctx.depth + 1;
+          if ctx.depth > ctx.max_depth then ctx.max_depth <- ctx.depth;
           let check_call (rc : Dataflow.relevant_call) =
             let arg_types = candidate_arg_types ctx rc in
             let candidates =
@@ -158,6 +174,7 @@ let rec is_applicable ctx m =
                 if Key.Set.mem d ctx.applicable then begin
                   ctx.applicable <- Key.Set.remove d ctx.applicable;
                   ctx.retractions <- ctx.retractions + 1;
+                  Obs.Metrics.incr m_retractions;
                   emit ctx (Retracted d)
                 end)
               frame.deps;
@@ -165,10 +182,11 @@ let rec is_applicable ctx m =
           end;
           emit ctx (Concluded { meth = k; applicable = ok });
           ctx.stack <- List.tl ctx.stack;
+          ctx.depth <- ctx.depth - 1;
           ok
         end
 
-let analyze_batch_exn b ~source ~projection =
+let analyze_batch_exn_uninstrumented b ~source ~projection =
   if projection = [] then Error.raise_ Empty_projection;
   let schema = b.schema in
   let h = Schema.hierarchy schema in
@@ -182,6 +200,8 @@ let analyze_batch_exn b ~source ~projection =
       source;
       proj = Attr_name.Set.of_list projection;
       stack = [];
+      depth = 0;
+      max_depth = 0;
       applicable = Key.Set.empty;
       not_applicable = Key.Set.empty;
       retractions = 0;
@@ -212,12 +232,24 @@ let analyze_batch_exn b ~source ~projection =
     else passes
   in
   let passes = run 1 in
+  Obs.Metrics.max_gauge m_stack_depth (float_of_int ctx.max_depth);
   { applicable = ctx.applicable;
     not_applicable = ctx.not_applicable;
     candidates = Key.Set.of_list (List.map Method_def.key candidates);
     passes;
     trace = List.rev ctx.trace
   }
+
+let analyze_batch_exn b ~source ~projection =
+  Obs.Metrics.time m_analyze_ns (fun () ->
+      let attrs =
+        if Obs.Trace.enabled () then
+          [ ("source", Type_name.to_string source);
+            ("projection", string_of_int (List.length projection)) ]
+        else []
+      in
+      Obs.Trace.with_span ~attrs "applicability.analyze" (fun () ->
+          analyze_batch_exn_uninstrumented b ~source ~projection))
 
 let analyze_batch b ~source ~projection =
   Error.guard (fun () -> analyze_batch_exn b ~source ~projection)

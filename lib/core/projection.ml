@@ -1,3 +1,11 @@
+(* Observability: a projection is the paper's headline operation, so its
+   latency and the number of surrogate types it inserts (the cost the
+   Augment fixpoint adds on top of FactorState) are first-class metrics.
+   Recording is gated inside Tdp_obs. *)
+module Obs = Tdp_obs
+let m_project_ns = Obs.Metrics.histogram "projection.project_ns"
+let m_surrogates = Obs.Metrics.counter "projection.surrogates"
+
 type outcome = {
   before : Schema.t;
   schema : Schema.t;
@@ -35,7 +43,8 @@ let missing_formal_types schema index ~source ~surrogates ~applicable =
             (Signature.param_types (Method_def.signature m)))
     applicable Type_name.Set.empty
 
-let project_exn ?(check = true) schema ~view ?derived_name ~source ~projection () =
+let project_exn_uninstrumented ?(check = true) schema ~view ?derived_name
+    ~source ~projection () =
   Schema.validate_exn schema;
   Typing.check_all_methods schema;
   let analysis = Applicability.analyze_exn schema ~source ~projection in
@@ -105,6 +114,21 @@ let project_exn ?(check = true) schema ~view ?derived_name ~source ~projection (
     Typing.check_all_methods after
   end;
   outcome
+
+let project_exn ?check schema ~view ?derived_name ~source ~projection () =
+  Obs.Metrics.time m_project_ns (fun () ->
+      let attrs =
+        if Obs.Trace.enabled () then
+          [ ("view", view); ("source", Type_name.to_string source) ]
+        else []
+      in
+      Obs.Trace.with_span ~attrs "projection.project" (fun () ->
+          let o =
+            project_exn_uninstrumented ?check schema ~view ?derived_name
+              ~source ~projection ()
+          in
+          Obs.Metrics.add m_surrogates (Type_name.Map.cardinal o.surrogates);
+          o))
 
 let project ?check schema ~view ?derived_name ~source ~projection () =
   Error.guard (fun () ->

@@ -60,8 +60,7 @@ val find_method_opt : t -> Method_def.Key.t -> Method_def.t option
 val find_method : t -> Method_def.Key.t -> Method_def.t
 
 (** [method_applicable_to_type index m ty]: ∃i. ty ⪯ Tⁱ.  The index
-    must be compiled from this schema's hierarchy ([Subtype_cache.t]
-    is an alias, so existing call sites pass through unchanged). *)
+    must be compiled from this schema's hierarchy. *)
 val method_applicable_to_type : Schema_index.t -> Method_def.t -> Type_name.t -> bool
 
 val methods_applicable_to_type :

@@ -33,6 +33,16 @@ let generation t = t.generation
 let cardinal t = Array.length t.names
 let same_hierarchy t h = t.generation = Hierarchy.generation h
 
+(* Observability: compilation cost and intern-table behaviour are the
+   two things a production deployment needs to see (a hot set_schema
+   loop shows up as misses + evictions here long before it shows up as
+   latency).  All recording is gated inside Tdp_obs. *)
+module Obs = Tdp_obs
+let m_build_ns = Obs.Metrics.histogram "schema_index.build_ns"
+let m_intern_hit = Obs.Metrics.counter "schema_index.intern.hit"
+let m_intern_miss = Obs.Metrics.counter "schema_index.intern.miss"
+let m_intern_evict = Obs.Metrics.counter "schema_index.intern.evict"
+
 (* ---- bit-matrix primitives ---------------------------------------- *)
 
 let row_base t i = i * t.row_words * 8
@@ -69,7 +79,7 @@ let iter_row t i f =
 
 (* ---- compilation --------------------------------------------------- *)
 
-let compile h =
+let compile_uninstrumented h =
   let names = Array.of_list (Hierarchy.type_names h) in
   let n = Array.length names in
   let ids = Hashtbl.create ((2 * n) + 1) in
@@ -123,6 +133,11 @@ let compile h =
     ancestor_sets = Array.make n None
   }
 
+let compile h =
+  Obs.Metrics.time m_build_ns (fun () ->
+      Obs.Trace.with_span "schema_index.compile" (fun () ->
+          compile_uninstrumented h))
+
 (* [of_hierarchy] interns compiled indexes by generation stamp: the
    stamp uniquely identifies a hierarchy value, so every holder of the
    same hierarchy shares one index (dispatchers, applicability batches,
@@ -143,12 +158,15 @@ let of_hierarchy h =
   let g = Hierarchy.generation h in
   match List.assoc_opt g !intern with
   | Some t ->
+      Obs.Metrics.incr m_intern_hit;
       intern := (g, t) :: List.remove_assoc g !intern;
       t
   | None ->
+      Obs.Metrics.incr m_intern_miss;
       let t = compile h in
-      intern :=
-        (g, t) :: List.filteri (fun i _ -> i < intern_capacity - 1) !intern;
+      let kept = List.filteri (fun i _ -> i < intern_capacity - 1) !intern in
+      Obs.Metrics.add m_intern_evict (List.length !intern - List.length kept);
+      intern := (g, t) :: kept;
       t
 
 (* ---- interning ----------------------------------------------------- *)

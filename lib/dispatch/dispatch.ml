@@ -1,5 +1,16 @@
 open Tdp_core
 
+(* Observability: cache effectiveness (hit/miss), the cost of a cold
+   ranking, and ambiguity occurrences.  These global counters aggregate
+   over every dispatcher in the process; the per-dispatcher [stats]
+   record below stays the precise per-instance view.  Recording is
+   gated inside Tdp_obs. *)
+module Obs = Tdp_obs
+let m_hit = Obs.Metrics.counter "dispatch.cache.hit"
+let m_miss = Obs.Metrics.counter "dispatch.cache.miss"
+let m_ambiguous = Obs.Metrics.counter "dispatch.ambiguous"
+let m_rank_ns = Obs.Metrics.histogram "dispatch.rank_ns"
+
 (* Fully resolved outcome of a call, cached so that repeated dispatch
    of the same (gf, argument-type tuple) never re-ranks candidates.
    Ties are cached too: a call found ambiguous once must keep raising
@@ -57,11 +68,17 @@ let ensure_fresh t schema' =
              against generation %d; rebuild with Dispatch.create"
             t.schema_generation got))
 
+(* [stats] is a pure read: calling it any number of times returns the
+   same value.  Zeroing the counters is a separate, explicit act. *)
 let stats t =
   { entries = Hashtbl.length t.table + Hashtbl.length t.resolutions;
     hits = t.hits;
     misses = t.misses
   }
+
+let reset t =
+  t.hits <- 0;
+  t.misses <- 0
 
 let cpl t n = Schema_index.cpl t.index n
 
@@ -128,28 +145,32 @@ let compare_specificity t ~arg_types m1 m2 =
   go arg_types p1 p2
 
 let applicable_uncached t ~gf ~arg_types =
-  let ms =
-    Schema.methods_applicable_to_call t.schema t.index ~gf ~arg_types
-  in
-  List.stable_sort (compare_specificity t ~arg_types) ms
+  Obs.Metrics.time m_rank_ns (fun () ->
+      let ms =
+        Schema.methods_applicable_to_call t.schema t.index ~gf ~arg_types
+      in
+      List.stable_sort (compare_specificity t ~arg_types) ms)
 
 let applicable t ~gf ~arg_types =
   let key = (gf, arg_types) in
   match Hashtbl.find_opt t.table key with
   | Some ms ->
       t.hits <- t.hits + 1;
+      Obs.Metrics.incr m_hit;
       ms
   | None ->
       t.misses <- t.misses + 1;
+      Obs.Metrics.incr m_miss;
       let ms = applicable_uncached t ~gf ~arg_types in
       Hashtbl.replace t.table key ms;
       ms
 
-let resolve t ~gf ~arg_types =
+let resolve_uninstrumented t ~gf ~arg_types =
   let key = (gf, arg_types) in
   match Hashtbl.find_opt t.resolutions key with
   | Some r ->
       t.hits <- t.hits + 1;
+      Obs.Metrics.incr m_hit;
       r
   | None ->
       let r =
@@ -164,11 +185,24 @@ let resolve t ~gf ~arg_types =
       Hashtbl.replace t.resolutions key r;
       r
 
+(* One span per dispatch when tracing is on; the [enabled] guard keeps
+   the disabled path free of attribute-list allocation. *)
+let resolve t ~gf ~arg_types =
+  if not (Obs.Trace.enabled ()) then resolve_uninstrumented t ~gf ~arg_types
+  else
+    Obs.Trace.with_span
+      ~attrs:
+        [ ("gf", gf); ("arity", string_of_int (List.length arg_types)) ]
+      "dispatch.resolve"
+      (fun () -> resolve_uninstrumented t ~gf ~arg_types)
+
 let most_specific t ~gf ~arg_types =
   match resolve t ~gf ~arg_types with
   | No_method -> None
   | Selected m -> Some m
-  | Tie (k1, k2) -> raise (Ambiguous { gf; methods = [ k1; k2 ] })
+  | Tie (k1, k2) ->
+      Obs.Metrics.incr m_ambiguous;
+      raise (Ambiguous { gf; methods = [ k1; k2 ] })
 
 (* Next most specific method after [after] for the same call — the
    CLOS call-next-method chain. *)

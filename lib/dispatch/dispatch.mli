@@ -83,7 +83,14 @@ val most_specific :
     JSON report). *)
 type stats = { entries : int; hits : int; misses : int }
 
+(** A {b pure} read of the current statistics: calling it repeatedly,
+    with no dispatches in between, returns equal values.  Use {!reset}
+    to zero the counters. *)
 val stats : t -> stats
+
+(** Zero the hit/miss counters (table occupancy is untouched — cached
+    entries remain valid).  The only way counters go backwards. *)
+val reset : t -> unit
 
 (** The next most specific method after [after] (call-next-method). *)
 val next_method :

@@ -1,0 +1,69 @@
+(** Surface syntax, before name resolution.
+
+    Everything here is produced by {!Parser} and consumed by
+    {!Elaborate}; names are plain strings until elaboration resolves
+    them against the declared types and generic functions. *)
+
+type sexpr =
+  | EInt of int
+  | EFloat of float
+  | EString of string
+  | EBool of bool
+  | ENull
+  | EVar of string
+  | EApp of string * sexpr list
+  | EBin of string * sexpr * sexpr
+  | ENot of sexpr
+
+type sstmt =
+  | SLocal of { var : string; ty : string; init : sexpr option }
+  | SAssign of string * sexpr
+  | SExpr of sexpr
+  | SReturn of sexpr option
+  | SIf of sexpr * sstmt list * sstmt list
+  | SWhile of sexpr * sstmt list
+
+type slit = LInt of int | LFloat of float | LString of string | LBool of bool
+
+type spred =
+  | PCmp of string * string * slit  (** attr, op, literal *)
+  | PAnd of spred * spred
+  | POr of spred * spred
+  | PNot of spred
+
+type sview =
+  | VBase of string
+  | VProject of sview * string list
+  | VSelect of sview * spred
+  | VGeneralize of sview * sview
+
+(** Position (1-based line/column) of a declaration's first token;
+    threaded from the lexer so elaboration failures can be attributed
+    to their declaration ({!Tdp_core.Error.At}). *)
+type pos = { line : int; col : int }
+
+type item_desc =
+  | IType of {
+      name : string;
+      supers : (string * int) list;
+      attrs : (string * string) list;
+    }
+  | IAccessor of {
+      kind : [ `Reader | `Writer ];
+      gf : string;
+      id : string;
+      param : string;
+      on : string;
+      attr : string;
+    }
+  | IMethod of {
+      gf : string;
+      id : string;
+      params : (string * string) list;
+      result : string option;
+      body : sstmt list;
+    }
+  | IView of { name : string; expr : sview }
+
+type item = { pos : pos; desc : item_desc }
+type program = item list

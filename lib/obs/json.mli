@@ -1,0 +1,31 @@
+(** Minimal JSON values — the wire format of the observability layer.
+
+    Just enough for the metrics envelope, the JSON-lines trace sink and
+    the [odb --json] envelopes: construction, compact or indented
+    printing, and a total parser ([parse] returns [Error] instead of
+    raising on arbitrary bytes).  Numbers are OCaml [int]/[float];
+    non-finite floats print as [null] (JSON has no NaN). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact by default; [~pretty:true] indents with two spaces. *)
+val to_string : ?pretty:bool -> t -> string
+
+(** Total on arbitrary input. *)
+val parse : string -> (t, string) result
+
+(** Field of an object ([None] on missing field or non-object). *)
+val member : string -> t -> t option
+
+(** Numeric coercion: [Int] and [Float] both convert. *)
+val to_float : t -> float option
+
+val to_int : t -> int option
+val to_str : t -> string option

@@ -1,0 +1,308 @@
+(* A process-wide metrics registry: monotonic counters, gauges, and
+   log-scale histogram timers.
+
+   Design constraints (see metrics.mli):
+
+   - zero-cost when disabled: every recording call is gated on one
+     mutable bool, and [time] calls the thunk directly without taking a
+     clock sample;
+   - dependency-light: stdlib + Unix only (the clock);
+   - instruments register themselves at module-initialization time
+     ([counter]/[histogram] are find-or-create), so a snapshot always
+     carries the full key set of the linked instrumentation even when
+     nothing was recorded — consumers can rely on the keys existing. *)
+
+type counter = { c_name : string; mutable count : int }
+type gauge = { g_name : string; mutable value : float }
+
+(* Fixed log-scale buckets: bucket [i] covers [10^(i/8), 10^((i+1)/8))
+   nanoseconds (a factor of ~1.33 per bucket), with bucket 0 absorbing
+   everything below 1 ns.  160 buckets span 10^20 ns ≈ 3000 years,
+   so no observable duration overflows the top bucket in practice. *)
+let bucket_count = 160
+let buckets_per_decade = 8.
+
+type histogram = {
+  h_name : string;
+  buckets : int array;
+  mutable h_count : int;
+  mutable sum_ns : float;
+  mutable max_ns : float;
+}
+
+type instrument = C of counter | G of gauge | H of histogram
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+let on = ref false
+
+let enable () = on := true
+let disable () = on := false
+let is_on () = !on
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let register name make select =
+  match Hashtbl.find_opt registry name with
+  | Some i -> (
+      match select i with
+      | Some v -> v
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Tdp_obs.Metrics: %s already registered as a %s"
+               name (kind_name i)))
+  | None ->
+      let v, i = make () in
+      Hashtbl.replace registry name i;
+      v
+
+let counter name =
+  register name
+    (fun () ->
+      let c = { c_name = name; count = 0 } in
+      (c, C c))
+    (function C c -> Some c | _ -> None)
+
+let gauge name =
+  register name
+    (fun () ->
+      let g = { g_name = name; value = 0. } in
+      (g, G g))
+    (function G g -> Some g | _ -> None)
+
+let histogram name =
+  register name
+    (fun () ->
+      let h =
+        { h_name = name;
+          buckets = Array.make bucket_count 0;
+          h_count = 0;
+          sum_ns = 0.;
+          max_ns = 0.
+        }
+      in
+      (h, H h))
+    (function H h -> Some h | _ -> None)
+
+(* ---- recording ----------------------------------------------------- *)
+
+let incr c = if !on then c.count <- c.count + 1
+
+let add c n =
+  if n < 0 then
+    invalid_arg
+      (Printf.sprintf "Tdp_obs.Metrics.add: counter %s is monotonic (add %d)"
+         c.c_name n);
+  if !on then c.count <- c.count + n
+
+let counter_value c = c.count
+let set_gauge g v = if !on then g.value <- v
+let max_gauge g v = if !on && v > g.value then g.value <- v
+let gauge_value g = g.value
+
+let bucket_of_ns v =
+  if not (v >= 1.) (* also catches NaN *) then 0
+  else
+    min (bucket_count - 1) (int_of_float (buckets_per_decade *. log10 v))
+
+(* Representative value of a bucket: its geometric midpoint. *)
+let bucket_mid i = Float.pow 10. ((float_of_int i +. 0.5) /. buckets_per_decade)
+
+let observe h v =
+  if !on then begin
+    let v = if v < 0. then 0. else v in
+    let i = bucket_of_ns v in
+    h.buckets.(i) <- h.buckets.(i) + 1;
+    h.h_count <- h.h_count + 1;
+    h.sum_ns <- h.sum_ns +. v;
+    if v > h.max_ns then h.max_ns <- v
+  end
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+let time h f =
+  if not !on then f ()
+  else begin
+    let t0 = now_ns () in
+    match f () with
+    | v ->
+        observe h (now_ns () -. t0);
+        v
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        observe h (now_ns () -. t0);
+        Printexc.raise_with_backtrace e bt
+  end
+
+(* ---- snapshots ----------------------------------------------------- *)
+
+type hist_snapshot = {
+  count : int;
+  sum_ns : float;
+  max_ns : float;
+  p50_ns : float;
+  p95_ns : float;
+  p99_ns : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * hist_snapshot) list;
+}
+
+(* q-th percentile from the bucket counts: the geometric midpoint of
+   the bucket holding the ceil(q*count)-th observation, clamped to the
+   exact maximum seen (the top of the distribution is always exact). *)
+let percentile h q =
+  if h.h_count = 0 then 0.
+  else begin
+    let rank =
+      Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int h.h_count)))
+    in
+    let rec walk i cum =
+      if i >= bucket_count then h.max_ns
+      else
+        let cum = cum + h.buckets.(i) in
+        if cum >= rank then Stdlib.min (bucket_mid i) h.max_ns
+        else walk (i + 1) cum
+    in
+    walk 0 0
+  end
+
+let hist_snapshot h =
+  { count = h.h_count;
+    sum_ns = h.sum_ns;
+    max_ns = h.max_ns;
+    p50_ns = percentile h 0.50;
+    p95_ns = percentile h 0.95;
+    p99_ns = percentile h 0.99
+  }
+
+let snapshot () =
+  let by_name f = List.sort (fun (a, _) (b, _) -> String.compare a b) f in
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  Hashtbl.iter
+    (fun name i ->
+      match i with
+      | C c -> counters := (name, c.count) :: !counters
+      | G g -> gauges := (name, g.value) :: !gauges
+      | H h -> histograms := (name, hist_snapshot h) :: !histograms)
+    registry;
+  { counters = by_name !counters;
+    gauges = by_name !gauges;
+    histograms = by_name !histograms
+  }
+
+let reset () =
+  Hashtbl.iter
+    (fun _ i ->
+      match i with
+      | C c -> c.count <- 0
+      | G g -> g.value <- 0.
+      | H h ->
+          Array.fill h.buckets 0 bucket_count 0;
+          h.h_count <- 0;
+          h.sum_ns <- 0.;
+          h.max_ns <- 0.)
+    registry
+
+(* ---- envelope ------------------------------------------------------ *)
+
+let hist_to_json (s : hist_snapshot) =
+  Json.Obj
+    [ ("count", Json.Int s.count);
+      ("sum_ns", Json.Float s.sum_ns);
+      ("max_ns", Json.Float s.max_ns);
+      ("p50_ns", Json.Float s.p50_ns);
+      ("p95_ns", Json.Float s.p95_ns);
+      ("p99_ns", Json.Float s.p99_ns)
+    ]
+
+let to_json (s : snapshot) =
+  Json.Obj
+    [ ("schema_version", Json.Int 1);
+      ("suite", Json.String "tdp-metrics");
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.counters));
+      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) s.gauges));
+      ( "histograms",
+        Json.Obj (List.map (fun (k, h) -> (k, hist_to_json h)) s.histograms) )
+    ]
+
+let of_json j =
+  let fields k =
+    match Json.member k j with Some (Json.Obj fs) -> fs | _ -> []
+  in
+  let num j = Option.value (Json.to_float j) ~default:0. in
+  let counters =
+    List.filter_map
+      (fun (k, v) -> Option.map (fun i -> (k, i)) (Json.to_int v))
+      (fields "counters")
+  in
+  let gauges = List.map (fun (k, v) -> (k, num v)) (fields "gauges") in
+  let histograms =
+    List.map
+      (fun (k, v) ->
+        let f field =
+          match Json.member field v with Some x -> num x | None -> 0.
+        in
+        ( k,
+          { count =
+              (match Option.bind (Json.member "count" v) Json.to_int with
+              | Some n -> n
+              | None -> 0);
+            sum_ns = f "sum_ns";
+            max_ns = f "max_ns";
+            p50_ns = f "p50_ns";
+            p95_ns = f "p95_ns";
+            p99_ns = f "p99_ns"
+          } ))
+      (fields "histograms")
+  in
+  let by_name f = List.sort (fun (a, _) (b, _) -> String.compare a b) f in
+  { counters = by_name counters;
+    gauges = by_name gauges;
+    histograms = by_name histograms
+  }
+
+(* ---- pretty-printing ----------------------------------------------- *)
+
+let pp_ns ppf v =
+  if v < 1e3 then Format.fprintf ppf "%7.0fns" v
+  else if v < 1e6 then Format.fprintf ppf "%7.1fus" (v /. 1e3)
+  else if v < 1e9 then Format.fprintf ppf "%7.2fms" (v /. 1e6)
+  else Format.fprintf ppf "%7.3fs " (v /. 1e9)
+
+let pp ppf (s : snapshot) =
+  let width =
+    List.fold_left
+      (fun w (k, _) -> Stdlib.max w (String.length k))
+      24
+      (s.counters
+      @ List.map (fun (k, _) -> (k, 0)) s.gauges
+      @ List.map (fun (k, _) -> (k, 0)) s.histograms)
+  in
+  if s.counters <> [] then begin
+    Format.fprintf ppf "counters:@.";
+    List.iter
+      (fun (k, v) -> Format.fprintf ppf "  %-*s %10d@." width k v)
+      s.counters
+  end;
+  if s.gauges <> [] then begin
+    Format.fprintf ppf "gauges:@.";
+    List.iter
+      (fun (k, v) -> Format.fprintf ppf "  %-*s %10g@." width k v)
+      s.gauges
+  end;
+  if s.histograms <> [] then begin
+    Format.fprintf ppf "histograms:%s  %8s  %9s  %9s  %9s  %9s  %9s@."
+      (String.make (Stdlib.max 0 (width - 9)) ' ')
+      "count" "p50" "p95" "p99" "max" "total";
+    List.iter
+      (fun (k, h) ->
+        Format.fprintf ppf "  %-*s %8d  %a  %a  %a  %a  %a@." width k h.count
+          pp_ns h.p50_ns pp_ns h.p95_ns pp_ns h.p99_ns pp_ns h.max_ns pp_ns
+          h.sum_ns)
+      s.histograms
+  end;
+  if s.counters = [] && s.gauges = [] && s.histograms = [] then
+    Format.fprintf ppf "no metrics recorded.@."

@@ -1,0 +1,110 @@
+(** Process-wide metrics registry: counters, gauges, histogram timers.
+
+    The registry is the seam every subsystem reports through — dispatch
+    caches, applicability analyses, the schema-index intern, the WAL.
+    It is {b disabled by default} and zero-cost while disabled: every
+    recording operation is gated on a single mutable boolean, and
+    {!time} invokes its thunk directly without touching the clock.
+    Enable it with {!enable} (the [odb --metrics] flag and the bench
+    harness do), read it with {!snapshot}.
+
+    Instruments are find-or-create by name, so modules register theirs
+    at initialization time and a snapshot always carries the full key
+    set of the linked instrumentation, zero-valued when idle.
+
+    Not yet thread-safe: recording is plain mutation.  The intended
+    concurrency story is one registry per domain, aggregated at
+    snapshot time — a later PR's problem; the API is shaped so only
+    this module has to change. *)
+
+(** {1 Switch} *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_on : unit -> bool
+
+(** {1 Counters — monotonic} *)
+
+type counter
+
+(** Find-or-create.  @raise Invalid_argument if [name] is already a
+    gauge or histogram. *)
+val counter : string -> counter
+
+val incr : counter -> unit
+
+(** @raise Invalid_argument on a negative increment — counters are
+    monotonic. *)
+val add : counter -> int -> unit
+
+val counter_value : counter -> int
+
+(** {1 Gauges — last-write-wins} *)
+
+type gauge
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+
+(** Records [v] only if it exceeds the current value — high-water-mark
+    gauges (e.g. maximum MethodStack depth). *)
+val max_gauge : gauge -> float -> unit
+
+val gauge_value : gauge -> float
+
+(** {1 Histograms — fixed log-scale buckets, nanosecond domain} *)
+
+type histogram
+
+val histogram : string -> histogram
+
+(** Record one observation (nanoseconds; negative values clamp to 0). *)
+val observe : histogram -> float -> unit
+
+(** [time h f] runs [f ()], recording its wall-clock duration — also on
+    exception.  When the registry is disabled this is exactly one
+    boolean test plus the call. *)
+val time : histogram -> (unit -> 'a) -> 'a
+
+(** Wall-clock nanoseconds (Unix epoch); the clock [time] samples. *)
+val now_ns : unit -> float
+
+(** Bucket index of a nanosecond value — exposed for the bucket
+    monotonicity property test.  Buckets are eighth-decades: factor
+    [10^(1/8) ≈ 1.33] per bucket, [0 ≤ bucket_of_ns v < bucket_count]. *)
+val bucket_of_ns : float -> int
+
+val bucket_count : int
+
+(** {1 Snapshots} *)
+
+type hist_snapshot = {
+  count : int;
+  sum_ns : float;
+  max_ns : float;  (** exact maximum observed *)
+  p50_ns : float;  (** bucket-resolution estimates, clamped to [max_ns] *)
+  p95_ns : float;
+  p99_ns : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * float) list;
+  histograms : (string * hist_snapshot) list;
+}
+
+val snapshot : unit -> snapshot
+
+(** Zero every instrument (the instruments stay registered). *)
+val reset : unit -> unit
+
+(** The metrics envelope: [{"schema_version":1, "suite":"tdp-metrics",
+    "counters":{..}, "gauges":{..}, "histograms":{..}}]. *)
+val to_json : snapshot -> Json.t
+
+(** Parse an envelope produced by {!to_json} (tolerant: missing or
+    malformed sections decode as empty). *)
+val of_json : Json.t -> snapshot
+
+(** Aligned human-readable dump — the renderer behind [odb stats]. *)
+val pp : Format.formatter -> snapshot -> unit

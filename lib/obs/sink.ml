@@ -1,0 +1,78 @@
+(* Trace sinks: where finished spans go.  A sink is a record of
+   functions so new backends (a ring buffer, a socket) need no change
+   here; the null sink is the disabled state Trace tests against. *)
+
+type span = {
+  id : int;
+  parent : int option;
+  name : string;
+  attrs : (string * string) list;
+  start_ns : float;
+  duration_ns : float;
+}
+
+type t = { kind : string; emit : span -> unit; close : unit -> unit }
+
+let null = { kind = "null"; emit = (fun _ -> ()); close = (fun () -> ()) }
+
+let span_to_json s =
+  Json.Obj
+    (("name", Json.String s.name)
+     :: ("id", Json.Int s.id)
+     :: (match s.parent with
+        | Some p -> [ ("parent", Json.Int p) ]
+        | None -> [])
+    @ [ ("start_us", Json.Float (s.start_ns /. 1e3));
+        ("dur_ns", Json.Float s.duration_ns)
+      ]
+    @
+    match s.attrs with
+    | [] -> []
+    | attrs ->
+        [ ( "attrs",
+            Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) attrs) )
+        ])
+
+let pp_dur ppf ns =
+  if ns < 1e3 then Format.fprintf ppf "%.0fns" ns
+  else if ns < 1e6 then Format.fprintf ppf "%.1fus" (ns /. 1e3)
+  else if ns < 1e9 then Format.fprintf ppf "%.2fms" (ns /. 1e6)
+  else Format.fprintf ppf "%.3fs" (ns /. 1e9)
+
+let stderr_pretty =
+  { kind = "stderr";
+    emit =
+      (fun s ->
+        Format.eprintf "[trace] #%d%s %s (%a)%s@." s.id
+          (match s.parent with
+          | Some p -> Printf.sprintf " <#%d" p
+          | None -> "")
+          s.name pp_dur s.duration_ns
+          (String.concat ""
+             (List.map (fun (k, v) -> Printf.sprintf " %s=%s" k v) s.attrs)));
+    close = (fun () -> ())
+  }
+
+(* One compact JSON object per line.  Spans are flushed per emit so a
+   crashed process still leaves every completed span on disk — the
+   trace is an observability artifact, losing the tail to buffering
+   would defeat it. *)
+let jsonl oc =
+  { kind = "jsonl";
+    emit =
+      (fun s ->
+        output_string oc (Json.to_string (span_to_json s));
+        output_char oc '\n';
+        flush oc);
+    close = (fun () -> close_out_noerr oc)
+  }
+
+let file path = jsonl (open_out_bin path)
+
+let memory () =
+  let spans = ref [] in
+  ( { kind = "memory";
+      emit = (fun s -> spans := s :: !spans);
+      close = (fun () -> ())
+    },
+    fun () -> List.rev !spans )

@@ -1,0 +1,40 @@
+(** Pluggable destinations for finished trace spans. *)
+
+(** A completed span: emitted by {!Trace.with_span} when its thunk
+    returns (or raises).  [parent] is the id of the enclosing span, if
+    any; [start_ns] is wall-clock nanoseconds since the Unix epoch. *)
+type span = {
+  id : int;
+  parent : int option;
+  name : string;
+  attrs : (string * string) list;
+  start_ns : float;
+  duration_ns : float;
+}
+
+type t = {
+  kind : string;  (** ["null"], ["stderr"], ["jsonl"], ["memory"] *)
+  emit : span -> unit;
+  close : unit -> unit;
+}
+
+(** Drops everything — the disabled state. *)
+val null : t
+
+(** One human-readable line per span on stderr. *)
+val stderr_pretty : t
+
+(** One compact JSON object per line, flushed per span (a crash keeps
+    every completed span).  [close] closes the channel. *)
+val jsonl : out_channel -> t
+
+(** [jsonl] over a freshly created file (truncates). *)
+val file : string -> t
+
+(** An in-memory sink plus an accessor returning the spans emitted so
+    far, in emission order — for tests. *)
+val memory : unit -> t * (unit -> span list)
+
+(** The JSON-lines record shape: [{"name", "id", "parent"?, "start_us",
+    "dur_ns", "attrs"?}]. *)
+val span_to_json : span -> Json.t

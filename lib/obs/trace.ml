@@ -1,0 +1,54 @@
+(* Structured tracing.  One process-wide current-span stack (matching
+   the single-threaded runtime; see the thread-safety note in
+   metrics.mli) and one sink.  Disabled — the null sink — means
+   [with_span] is one boolean test plus the call. *)
+
+let sink = ref Sink.null
+let on = ref false
+
+let set_sink s =
+  sink := s;
+  on := s.Sink.kind <> "null"
+
+let current_sink () = !sink
+let enabled () = !on
+
+let close () =
+  !sink.Sink.close ();
+  sink := Sink.null;
+  on := false
+
+(* Head = innermost open span. *)
+let stack : (int * string) list ref = ref []
+let next_id = ref 0
+
+let current_id () = match !stack with [] -> None | (id, _) :: _ -> Some id
+let current_name () = match !stack with [] -> None | (_, n) :: _ -> Some n
+
+let with_span ?(attrs = []) name f =
+  if not !on then f ()
+  else begin
+    incr next_id;
+    let id = !next_id in
+    let parent = current_id () in
+    let saved = !stack in
+    stack := (id, name) :: saved;
+    let t0 = Metrics.now_ns () in
+    (* Restore the saved stack rather than popping: if [f] leaked an
+       unbalanced span (it cannot via this API, but defense is cheap),
+       the parent context still comes back intact. *)
+    let finish () =
+      let d = Metrics.now_ns () -. t0 in
+      stack := saved;
+      !sink.Sink.emit
+        { Sink.id; parent; name; attrs; start_ns = t0; duration_ns = d }
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        finish ();
+        Printexc.raise_with_backtrace e bt
+  end

@@ -1,0 +1,28 @@
+(** Structured tracing: nested spans over a pluggable {!Sink}.
+
+    Tracing is {b off by default} ({!Sink.null}); while off,
+    {!with_span} is one boolean test plus the call — hot paths may call
+    it unconditionally, but should guard any attribute-list
+    construction behind {!enabled} to avoid allocating for a dropped
+    span. *)
+
+(** Install a sink.  Any sink other than {!Sink.null} enables tracing.
+    The previous sink is {b not} closed — callers own sink lifetimes. *)
+val set_sink : Sink.t -> unit
+
+val current_sink : unit -> Sink.t
+val enabled : unit -> bool
+
+(** Close the current sink and revert to {!Sink.null}. *)
+val close : unit -> unit
+
+(** [with_span ?attrs name f] runs [f ()] inside a span: the span
+    becomes the parent of any span opened within [f], and is emitted to
+    the sink when [f] returns {e or raises} — the previous parent is
+    restored either way. *)
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** Id / name of the innermost open span. *)
+val current_id : unit -> int option
+
+val current_name : unit -> string option

@@ -12,6 +12,12 @@ open Tdp_core
 
 exception Parse_error of { line : int; message : string }
 
+(* Observability: snapshot save/load dominate checkpoint cost; both are
+   timed and traced (gated inside Tdp_obs). *)
+module Obs = Tdp_obs
+let m_save_ns = Obs.Metrics.histogram "dump.save_ns"
+let m_load_ns = Obs.Metrics.histogram "dump.load_ns"
+
 let fail line fmt = Fmt.kstr (fun message -> raise (Parse_error { line; message })) fmt
 
 (* Shortest decimal that reads back to exactly [f]: [%.12g] is compact
@@ -157,7 +163,7 @@ let parse src =
 
 (* Two passes: objects are created with their non-reference slots, then
    references are patched once every target exists. *)
-let load_into db src =
+let load_into_uninstrumented db src =
   let objs = parse src in
   let oids =
     List.map
@@ -187,6 +193,11 @@ let load_into db src =
     objs;
   oids
 
+let load_into db src =
+  Obs.Metrics.time m_load_ns (fun () ->
+      Obs.Trace.with_span "dump.load" (fun () ->
+          load_into_uninstrumented db src))
+
 (* ---- snapshot files ------------------------------------------------ *)
 
 let wal_seq_header = "-- wal-seq: "
@@ -211,14 +222,16 @@ let wal_seq src =
    skips WAL records at or below it, which makes the
    checkpoint-then-truncate sequence crash-safe at every point. *)
 let save ?(wal_seq = 0) ~path db =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      if wal_seq > 0 then
-        output_string oc (Fmt.str "%s%d\n" wal_seq_header wal_seq);
-      output_string oc (to_string db);
-      flush oc;
-      Unix.fsync (Unix.descr_of_out_channel oc));
-  Sys.rename tmp path
+  Obs.Metrics.time m_save_ns (fun () ->
+      Obs.Trace.with_span "dump.save" (fun () ->
+          let tmp = path ^ ".tmp" in
+          let oc = open_out_bin tmp in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () ->
+              if wal_seq > 0 then
+                output_string oc (Fmt.str "%s%d\n" wal_seq_header wal_seq);
+              output_string oc (to_string db);
+              flush oc;
+              Unix.fsync (Unix.descr_of_out_channel oc));
+          Sys.rename tmp path))

@@ -1,6 +1,12 @@
 open Tdp_core
 module Dispatch = Tdp_dispatch.Dispatch
 
+(* Observability: dispatcher rebuilds are the interpreter's hidden cost
+   after schema churn — each one recompiles the memo tables — and every
+   top-level generic-function call gets a span.  Gated inside Tdp_obs. *)
+module Obs = Tdp_obs
+let m_rebuild = Obs.Metrics.counter "interp.dispatcher_rebuild"
+
 (* A dispatch frame: enough context for call_next_method to resume the
    applicable-method chain of the innermost generic-function call. *)
 type frame = {
@@ -52,8 +58,10 @@ let refresh t =
    as the schema cannot change within a call. *)
 let dispatcher t =
   let schema = Database.schema t.db in
-  if Dispatch.generation t.dispatch <> Schema.generation schema then
-    t.dispatch <- Dispatch.create schema;
+  if Dispatch.generation t.dispatch <> Schema.generation schema then begin
+    Obs.Metrics.incr m_rebuild;
+    t.dispatch <- Dispatch.create schema
+  end;
   t.dispatch
 
 exception Returned of Value.t
@@ -151,6 +159,12 @@ and exec_stmt t env (s : Body.stmt) =
 (* Generic-function call: dispatch on the dynamic types of all object
    arguments (a writer's trailing value argument is not dispatched). *)
 and call t gf args =
+  if not (Obs.Trace.enabled ()) then call_uninstrumented t gf args
+  else
+    Obs.Trace.with_span ~attrs:[ ("gf", gf) ] "interp.call" (fun () ->
+        call_uninstrumented t gf args)
+
+and call_uninstrumented t gf args =
   let schema = Database.schema t.db in
   let is_writer = Schema.is_writer_gf schema gf in
   let dispatched, extra =

@@ -14,6 +14,17 @@ open Tdp_core
 
 exception Wal_error of string
 
+(* Observability: append latency splits into encode+write and fsync —
+   the fsync share is what journaling mode actually costs — and
+   recovery reports how many ops it replayed and how long the replay
+   took.  Recording is gated inside Tdp_obs. *)
+module Obs = Tdp_obs
+let m_append = Obs.Metrics.counter "wal.append"
+let m_append_ns = Obs.Metrics.histogram "wal.append_ns"
+let m_fsync_ns = Obs.Metrics.histogram "wal.fsync_ns"
+let m_replay_ops = Obs.Metrics.counter "wal.replay.ops"
+let m_replay_ns = Obs.Metrics.histogram "wal.replay_ns"
+
 let fail fmt = Fmt.kstr (fun s -> raise (Wal_error s)) fmt
 
 (* ---- CRC-32 (IEEE 802.3, reflected) -------------------------------- *)
@@ -217,12 +228,16 @@ let writer_open ?sync ~path ~next_seq () =
     ~next_seq ()
 
 let append w op =
-  let seq = w.next in
-  output_string w.oc (encode ~seq op);
-  flush w.oc;
-  if w.sync then Unix.fsync (Unix.descr_of_out_channel w.oc);
-  w.next <- seq + 1;
-  seq
+  Obs.Metrics.time m_append_ns (fun () ->
+      let seq = w.next in
+      output_string w.oc (encode ~seq op);
+      flush w.oc;
+      if w.sync then
+        Obs.Metrics.time m_fsync_ns (fun () ->
+            Unix.fsync (Unix.descr_of_out_channel w.oc));
+      w.next <- seq + 1;
+      Obs.Metrics.incr m_append;
+      seq)
 
 let writer_seq w = w.next
 
@@ -250,7 +265,7 @@ type recovery = {
   corruption : corruption option;
 }
 
-let recover_text ?load_schema ~schema ?snapshot ?wal () =
+let recover_text_uninstrumented ?load_schema ~schema ?snapshot ?wal () =
   let db = Database.create schema in
   let snapshot_seq =
     match snapshot with
@@ -305,6 +320,15 @@ let recover_text ?load_schema ~schema ?snapshot ?wal () =
     run d.entries ~replayed:0 ~last_seq:snapshot_seq ~valid:0
   in
   { db; snapshot_seq; replayed; last_seq; wal_valid_bytes; corruption }
+
+let recover_text ?load_schema ~schema ?snapshot ?wal () =
+  Obs.Metrics.time m_replay_ns (fun () ->
+      Obs.Trace.with_span "wal.recover" (fun () ->
+          let r =
+            recover_text_uninstrumented ?load_schema ~schema ?snapshot ?wal ()
+          in
+          Obs.Metrics.add m_replay_ops r.replayed;
+          r))
 
 let recover ?load_schema ~schema ~snapshot_path ~wal_path () =
   let read p = if Sys.file_exists p then Some (read_file p) else None in

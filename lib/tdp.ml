@@ -1,0 +1,33 @@
+module Error = Tdp_core.Error
+module Type_name = Tdp_core.Type_name
+module Attr_name = Tdp_core.Attr_name
+module Hierarchy = Tdp_core.Hierarchy
+module Schema = Tdp_core.Schema
+module Schema_index = Tdp_core.Schema_index
+module Projection = Tdp_core.Projection
+module Applicability = Tdp_core.Applicability
+module Dispatch = Tdp_dispatch.Dispatch
+module Database = Tdp_store.Database
+module Wal = Tdp_store.Wal
+module Dump = Tdp_store.Dump
+module Interp = Tdp_store.Interp
+module Catalog = Tdp_algebra.Catalog
+module Evolution = Tdp_algebra.Evolution
+module Lint = Tdp_analysis.Lint
+module Obs = Tdp_obs
+
+let load_schema source =
+  Result.map
+    (fun (r : Tdp_lang.Elaborate.result_) -> r.schema)
+    (Tdp_lang.Elaborate.load source)
+
+let load_schema_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | source -> load_schema source
+  | exception Sys_error m ->
+      Error (Tdp_core.Error.Parse_error { line = 0; col = 0; message = Printf.sprintf "cannot read %s: %s" path m })

@@ -1,0 +1,83 @@
+(** The unified facade of the TDP libraries.
+
+    Application code should depend on the [tdp] library and reach
+    everything through this module:
+
+    {[
+      match Tdp.load_schema source with
+      | Error e -> prerr_endline (Tdp.Error.to_string e)
+      | Ok schema ->
+          let d = Tdp.Dispatch.create schema in
+          ...
+    ]}
+
+    Each submodule below is a re-export of the underlying library
+    module; the facade adds no behavior of its own beyond the
+    {!load_schema} conveniences.  The layering underneath (and the
+    reason the facade can exist without cycles):
+
+    - {!Obs} — metrics and tracing; depends on nothing else;
+    - {!Error}, {!Hierarchy}, {!Schema}, {!Schema_index},
+      {!Applicability}, {!Projection} — the core calculus;
+    - {!Dispatch} — CLOS-style multi-method dispatch over a schema;
+    - {!Database}, {!Wal}, {!Dump}, {!Interp} — the object store;
+    - {!Catalog}, {!Evolution} — the view algebra;
+    - {!Lint} — static analysis of schema sources. *)
+
+(** Structured errors shared by every [( _, Error.t) result] below. *)
+module Error = Tdp_core.Error
+
+module Type_name = Tdp_core.Type_name
+module Attr_name = Tdp_core.Attr_name
+
+(** Type hierarchies: the paper's Section 2 data model. *)
+module Hierarchy = Tdp_core.Hierarchy
+
+(** A hierarchy plus its methods; the unit every operation consumes. *)
+module Schema = Tdp_core.Schema
+
+(** Compiled subtype closure with O(1) [a ⪯ b] bit tests. *)
+module Schema_index = Tdp_core.Schema_index
+
+(** The projection operation itself (paper Sections 4–6). *)
+module Projection = Tdp_core.Projection
+
+(** The IsApplicable analysis (paper Section 4). *)
+module Applicability = Tdp_core.Applicability
+
+(** Multi-method dispatch with memoized resolution tables. *)
+module Dispatch = Tdp_dispatch.Dispatch
+
+(** The in-memory object store. *)
+module Database = Tdp_store.Database
+
+(** Write-ahead log: durable journaling and crash recovery. *)
+module Wal = Tdp_store.Wal
+
+(** Snapshot save/load in the line-oriented dump format. *)
+module Dump = Tdp_store.Dump
+
+(** Method-body interpreter over a database. *)
+module Interp = Tdp_store.Interp
+
+(** Named views over a base schema. *)
+module Catalog = Tdp_algebra.Catalog
+
+(** Schema evolution with per-view impact reports. *)
+module Evolution = Tdp_algebra.Evolution
+
+(** Schema and method-body linting with structured diagnostics. *)
+module Lint = Tdp_analysis.Lint
+
+(** Metrics registry and structured tracing ([Tdp_obs]). *)
+module Obs = Tdp_obs
+
+(** [load_schema source] parses and elaborates a schema-language
+    [source] string into a validated, type-checked {!Schema.t}.  View
+    declarations in the source are elaborated but {b not} applied; use
+    {!Tdp_lang.Elaborate} directly for the full result. *)
+val load_schema : string -> (Schema.t, Error.t) result
+
+(** {!load_schema} over the contents of [path].  An unreadable file is
+    reported as an [Error] (never an exception). *)
+val load_schema_file : string -> (Schema.t, Error.t) result

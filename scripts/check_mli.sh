@@ -1,0 +1,20 @@
+#!/bin/sh
+# Every library module must have an explicit interface: the .mli files
+# are the API surface the facade (lib/tdp.mli) and docs promise, and a
+# missing one silently exports every helper in the module.
+#
+# Usage: scripts/check_mli.sh   (run from the repository root)
+set -eu
+
+status=0
+for ml in $(find lib -name '*.ml' ! -name '*.mli' | sort); do
+  if [ ! -f "${ml}i" ]; then
+    echo "missing interface: ${ml}i" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check_mli: every lib module has an .mli"
+fi
+exit "$status"

@@ -296,7 +296,7 @@ let test_generalize_basic () =
     [ ("Student", 3); ("Instructor", 3); ("Person", 2) ];
   (* behavior: badge reads only pid, so it serves Affiliates; get_gpa
      does not *)
-  let cache = Subtype_cache.create h in
+  let cache = Schema_index.of_hierarchy h in
   let applicable =
     List.map Method_def.id
       (Schema.methods_applicable_to_type o.schema cache (ty "Affiliate"))

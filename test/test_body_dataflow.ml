@@ -222,7 +222,7 @@ let test_flow_call_results_fresh () =
 
 let test_relevant_calls_fig3_x1 () =
   let s = Tdp_paper.Fig3.schema in
-  let cache = Subtype_cache.create (Schema.hierarchy s) in
+  let cache = Schema_index.of_hierarchy (Schema.hierarchy s) in
   let x1 = Schema.find_method s (key "x" "x1") in
   let rcs = Dataflow.relevant_calls s cache x1 ~source:(ty "A") in
   Alcotest.(check int) "two relevant calls" 2 (List.length rcs);
@@ -249,7 +249,7 @@ let test_relevant_calls_excludes_unrelated () =
       ]
   in
   let s = Schema.add_method s m in
-  let cache = Subtype_cache.create (Schema.hierarchy s) in
+  let cache = Schema_index.of_hierarchy (Schema.hierarchy s) in
   let rcs = Dataflow.relevant_calls s cache m ~source:(ty "A") in
   Alcotest.(check (list string)) "only get_x is relevant" [ "get_x" ]
     (List.map (fun (rc : Dataflow.relevant_call) -> rc.site.gf) rcs)

@@ -205,6 +205,29 @@ let test_dispatch_table_cached () =
   Alcotest.(check bool) "warm calls hit" true (s.hits >= List.length calls);
   Alcotest.(check bool) "cold calls missed" true (s.misses >= List.length calls)
 
+(* Regression: [stats] must be a pure read — calling it repeatedly
+   returns equal values — and only the explicit [reset] zeroes the
+   hit/miss counters (leaving the cached entries in place). *)
+let test_stats_pure_reset_explicit () =
+  let d = Dispatch.create fig3 in
+  ignore (Dispatch.applicable d ~gf:"u" ~arg_types:[ ty "A" ]);
+  ignore (Dispatch.applicable d ~gf:"u" ~arg_types:[ ty "A" ]);
+  let s1 = Dispatch.stats d in
+  let s2 = Dispatch.stats d in
+  Alcotest.(check bool) "stats read is pure" true (s1 = s2);
+  Alcotest.(check bool) "counters nonzero before reset" true
+    (s1.hits > 0 && s1.misses > 0);
+  Dispatch.reset d;
+  let s3 = Dispatch.stats d in
+  Alcotest.(check int) "hits zeroed" 0 s3.hits;
+  Alcotest.(check int) "misses zeroed" 0 s3.misses;
+  Alcotest.(check int) "table survives reset" s1.entries s3.entries;
+  (* the cache itself was not cleared: the next call is a hit *)
+  ignore (Dispatch.applicable d ~gf:"u" ~arg_types:[ ty "A" ]);
+  let s4 = Dispatch.stats d in
+  Alcotest.(check int) "warm call after reset hits" 1 s4.hits;
+  Alcotest.(check int) "no new miss after reset" 0 s4.misses
+
 let test_cached_ambiguity_persists () =
   let s = Tdp_paper.Fig1.schema in
   let dup id =
@@ -239,6 +262,8 @@ let suite =
       test_surrogate_rank_transparency;
     Alcotest.test_case "CPL memoized" `Quick test_cpl_memoized;
     Alcotest.test_case "dispatch table cached" `Quick test_dispatch_table_cached;
+    Alcotest.test_case "stats pure, reset explicit" `Quick
+      test_stats_pure_reset_explicit;
     Alcotest.test_case "cached ambiguity persists" `Quick
       test_cached_ambiguity_persists
   ]

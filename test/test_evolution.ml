@@ -33,7 +33,7 @@ let test_add_method_impact () =
       Alcotest.(check int) "lost nothing" 0 (Method_def.Key.Set.cardinal lost)
   | _ -> Alcotest.fail "unexpected report shape");
   (* the re-derived view actually inherits the method *)
-  let cache = Subtype_cache.create (Schema.hierarchy (Catalog.schema c')) in
+  let cache = Schema_index.of_hierarchy (Schema.hierarchy (Catalog.schema c')) in
   Alcotest.(check bool) "view answers pay_band" true
     (List.exists
        (fun m -> String.equal (Method_def.gf m) "pay_band")

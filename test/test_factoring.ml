@@ -234,7 +234,7 @@ let test_projection_missing_formal_surrogate () =
   Alcotest.(check (list string)) "g1 relocated" [ "C_hat" ]
     (method_param_types o.schema "g" "g1");
   (* the derived type inherits g1 *)
-  let cache = Subtype_cache.create (Schema.hierarchy o.schema) in
+  let cache = Schema_index.of_hierarchy (Schema.hierarchy o.schema) in
   Alcotest.(check bool) "derived inherits g1" true
     (List.exists
        (fun m -> Method_def.Key.equal (Method_def.key m) (key "g" "g1"))
@@ -297,7 +297,7 @@ let test_augment_fixpoint_retypes_through_missing_formals () =
            (Body.locals body))
   | None -> Alcotest.fail "no body");
   (* and the derived view really inherits m1 *)
-  let cache = Subtype_cache.create h in
+  let cache = Schema_index.of_hierarchy h in
   Alcotest.(check bool) "view inherits m1" true
     (List.exists
        (fun m -> Method_def.Key.equal (Method_def.key m) (key "m" "m1"))
@@ -318,7 +318,7 @@ let test_views_over_views () =
   Alcotest.(check bool) "Employee ⪯ Tiny" true
     (Hierarchy.subtype h (ty "Employee") (ty "Tiny"));
   (* get_ssn survives two hops *)
-  let cache = Subtype_cache.create h in
+  let cache = Schema_index.of_hierarchy h in
   Alcotest.(check bool) "Tiny answers get_ssn" true
     (List.exists
        (fun m -> String.equal (Method_def.gf m) "get_ssn")

@@ -183,11 +183,11 @@ let test_supers_sorted () =
 
 let test_subtype_cache () =
   let h = diamond () in
-  let c = Subtype_cache.create h in
-  Alcotest.(check bool) "cached D ⪯ A" true (Subtype_cache.subtype c (ty "D") (ty "A"));
-  Alcotest.(check bool) "cached A ⪯̸ D" false (Subtype_cache.subtype c (ty "A") (ty "D"));
+  let c = Schema_index.of_hierarchy h in
+  Alcotest.(check bool) "cached D ⪯ A" true (Schema_index.subtype c (ty "D") (ty "A"));
+  Alcotest.(check bool) "cached A ⪯̸ D" false (Schema_index.subtype c (ty "A") (ty "D"));
   Alcotest.(check bool) "repeat (memo hit)" true
-    (Subtype_cache.subtype c (ty "D") (ty "A"))
+    (Schema_index.subtype c (ty "D") (ty "A"))
 
 let suite =
   [ Alcotest.test_case "duplicate type" `Quick test_add_duplicate;

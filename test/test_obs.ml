@@ -1,0 +1,230 @@
+(* Tests for Tdp_obs: the metrics registry, histogram buckets, the
+   span stack, and the sinks.  The registry is process-global, so every
+   test begins by resetting it and choosing its on/off state. *)
+
+module Metrics = Tdp_obs.Metrics
+module Trace = Tdp_obs.Trace
+module Sink = Tdp_obs.Sink
+module Json = Tdp_obs.Json
+
+let fresh () =
+  Metrics.reset ();
+  Metrics.enable ()
+
+(* ---- histogram buckets --------------------------------------------- *)
+
+let test_bucket_bounds () =
+  fresh ();
+  List.iter
+    (fun v ->
+      let b = Metrics.bucket_of_ns v in
+      Alcotest.(check bool)
+        (Fmt.str "bucket of %g in range" v)
+        true
+        (b >= 0 && b < Metrics.bucket_count))
+    [ -1.; 0.; 0.5; 1.; 10.; 1e9; 1e30; Float.nan ]
+
+let prop_bucket_monotone =
+  QCheck.Test.make ~count:500 ~name:"bucket_of_ns is monotone"
+    QCheck.(pair pos_float pos_float)
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      Metrics.bucket_of_ns lo <= Metrics.bucket_of_ns hi)
+
+let test_percentile_sanity () =
+  fresh ();
+  let h = Metrics.histogram "test.percentiles_ns" in
+  for i = 1 to 1000 do
+    Metrics.observe h (float_of_int i *. 1000.)
+  done;
+  let snap = Metrics.snapshot () in
+  let hs = List.assoc "test.percentiles_ns" snap.histograms in
+  Alcotest.(check int) "count" 1000 hs.count;
+  Alcotest.(check (float 0.0)) "max exact" 1_000_000. hs.max_ns;
+  Alcotest.(check bool) "p50 <= p95 <= p99 <= max" true
+    (hs.p50_ns <= hs.p95_ns && hs.p95_ns <= hs.p99_ns && hs.p99_ns <= hs.max_ns);
+  (* bucket resolution is a factor of 10^(1/8) ≈ 1.33: the p50 estimate
+     must land within a bucket of the true median 500_500ns *)
+  Alcotest.(check bool) "p50 within bucket resolution" true
+    (hs.p50_ns > 500_500. /. 1.4 && hs.p50_ns < 500_500. *. 1.4)
+
+(* ---- counters ------------------------------------------------------ *)
+
+let prop_counter_monotone =
+  QCheck.Test.make ~count:200 ~name:"counter value never decreases"
+    QCheck.(list (int_bound 1000))
+    (fun increments ->
+      Metrics.reset ();
+      Metrics.enable ();
+      let c = Metrics.counter "test.monotone" in
+      List.for_all
+        (fun inc ->
+          let before = Metrics.counter_value c in
+          Metrics.add c inc;
+          Metrics.counter_value c >= before)
+        increments)
+
+let test_counter_negative_add_rejected () =
+  fresh ();
+  let c = Metrics.counter "test.neg" in
+  match Metrics.add c (-1) with
+  | () -> Alcotest.fail "negative add must raise"
+  | exception Invalid_argument _ -> ()
+
+let test_kind_clash_rejected () =
+  fresh ();
+  let (_ : Metrics.counter) = Metrics.counter "test.clash" in
+  (match Metrics.gauge "test.clash" with
+  | (_ : Metrics.gauge) -> Alcotest.fail "gauge over counter name must raise"
+  | exception Invalid_argument _ -> ());
+  match Metrics.histogram "test.clash" with
+  | (_ : Metrics.histogram) -> Alcotest.fail "histogram over counter name must raise"
+  | exception Invalid_argument _ -> ()
+
+let test_disabled_records_nothing () =
+  Metrics.reset ();
+  Metrics.disable ();
+  let c = Metrics.counter "test.off" in
+  let h = Metrics.histogram "test.off_ns" in
+  Metrics.incr c;
+  Metrics.add c 10;
+  Metrics.observe h 42.;
+  let ran = ref false in
+  ignore (Metrics.time h (fun () -> ran := true; 7));
+  Alcotest.(check bool) "thunk still runs" true !ran;
+  Metrics.enable ();
+  let snap = Metrics.snapshot () in
+  Alcotest.(check int) "counter untouched" 0 (List.assoc "test.off" snap.counters);
+  Alcotest.(check int) "histogram untouched" 0
+    (List.assoc "test.off_ns" snap.histograms).count
+
+(* ---- snapshot round-trip ------------------------------------------- *)
+
+let test_snapshot_json_roundtrip () =
+  fresh ();
+  let c = Metrics.counter "test.rt" in
+  let g = Metrics.gauge "test.rt_gauge" in
+  let h = Metrics.histogram "test.rt_ns" in
+  Metrics.add c 5;
+  Metrics.set_gauge g 2.5;
+  Metrics.observe h 1234.;
+  Metrics.observe h 99999.;
+  let snap = Metrics.snapshot () in
+  let json = Metrics.to_json snap in
+  let reparsed =
+    match Json.parse (Json.to_string json) with
+    | Ok j -> Metrics.of_json j
+    | Error m -> Alcotest.fail ("reparse: " ^ m)
+  in
+  Alcotest.(check bool) "counters survive" true (reparsed.counters = snap.counters);
+  Alcotest.(check bool) "gauges survive" true (reparsed.gauges = snap.gauges);
+  let hs = List.assoc "test.rt_ns" reparsed.histograms in
+  let hs0 = List.assoc "test.rt_ns" snap.histograms in
+  Alcotest.(check int) "hist count survives" hs0.count hs.count;
+  Alcotest.(check (float 0.0)) "hist max survives" hs0.max_ns hs.max_ns
+
+(* ---- tracing ------------------------------------------------------- *)
+
+exception Boom
+
+let test_with_span_restores_parent_on_exception () =
+  let sink, spans = Sink.memory () in
+  Trace.set_sink sink;
+  Fun.protect ~finally:Trace.close (fun () ->
+      Trace.with_span "outer" (fun () ->
+          let outer_id = Trace.current_id () in
+          (try Trace.with_span "inner" (fun () -> raise Boom)
+           with Boom -> ());
+          Alcotest.(check bool) "parent restored after raise" true
+            (Trace.current_id () = outer_id);
+          Alcotest.(check (option string)) "parent name restored" (Some "outer")
+            (Trace.current_name ()));
+      Alcotest.(check (option string)) "stack empty at top level" None
+        (Trace.current_name ());
+      let emitted = spans () in
+      Alcotest.(check (list string)) "both spans emitted, inner first"
+        [ "inner"; "outer" ]
+        (List.map (fun (s : Sink.span) -> s.name) emitted);
+      let inner = List.hd emitted and outer = List.nth emitted 1 in
+      Alcotest.(check bool) "inner's parent is outer" true
+        (inner.parent = Some outer.id))
+
+let test_span_disabled_is_transparent () =
+  Trace.close ();
+  Alcotest.(check bool) "disabled" false (Trace.enabled ());
+  let v = Trace.with_span "ignored" (fun () -> 41 + 1) in
+  Alcotest.(check int) "value passes through" 42 v;
+  Alcotest.(check (option string)) "no span opened" None (Trace.current_name ())
+
+let test_jsonl_sink_valid_json_per_line () =
+  let path = Filename.temp_file "tdp_obs_test" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.set_sink (Sink.file path);
+      Trace.with_span "a" (fun () ->
+          Trace.with_span ~attrs:[ ("k", "v\"quoted\"") ] "b" (fun () -> ()));
+      Trace.close ();
+      let ic = open_in path in
+      let lines = In_channel.input_lines ic in
+      close_in ic;
+      Alcotest.(check int) "two spans" 2 (List.length lines);
+      List.iter
+        (fun line ->
+          match Json.parse line with
+          | Ok (Json.Obj fields) ->
+              Alcotest.(check bool) "has name" true (List.mem_assoc "name" fields);
+              Alcotest.(check bool) "has dur_ns" true (List.mem_assoc "dur_ns" fields)
+          | Ok _ -> Alcotest.fail "line is not an object"
+          | Error m -> Alcotest.fail ("invalid JSON line: " ^ m))
+        lines)
+
+(* ---- Json parser --------------------------------------------------- *)
+
+let test_json_parse_escapes () =
+  match Json.parse {|{"s":"a\nbé\"q\"","l":[1,2.5,true,null]}|} with
+  | Error m -> Alcotest.fail m
+  | Ok j ->
+      (match Json.member "s" j with
+      | Some (Json.String s) -> Alcotest.(check string) "escapes" "a\nb\xc3\xa9\"q\"" s
+      | _ -> Alcotest.fail "missing s");
+      (match Json.member "l" j with
+      | Some (Json.List [ Json.Int 1; Json.Float f; Json.Bool true; Json.Null ]) ->
+          Alcotest.(check (float 0.0)) "float elt" 2.5 f
+      | _ -> Alcotest.fail "list shape")
+
+let test_json_parse_total_on_garbage () =
+  List.iter
+    (fun src ->
+      match Json.parse src with
+      | Ok _ | Error _ -> ())
+    [ ""; "{"; "}"; "\"unterminated"; "[1,"; "{\"a\":}"; "nul"; "1e999x"; "\xff\xfe" ]
+
+let () =
+  Alcotest.run "obs"
+    [ ( "metrics",
+        [ Alcotest.test_case "bucket bounds" `Quick test_bucket_bounds;
+          QCheck_alcotest.to_alcotest prop_bucket_monotone;
+          Alcotest.test_case "percentile sanity" `Quick test_percentile_sanity;
+          QCheck_alcotest.to_alcotest prop_counter_monotone;
+          Alcotest.test_case "negative add rejected" `Quick
+            test_counter_negative_add_rejected;
+          Alcotest.test_case "kind clash rejected" `Quick test_kind_clash_rejected;
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_disabled_records_nothing;
+          Alcotest.test_case "snapshot JSON round-trip" `Quick
+            test_snapshot_json_roundtrip
+        ] );
+      ( "tracing",
+        [ Alcotest.test_case "parent restored on exception" `Quick
+            test_with_span_restores_parent_on_exception;
+          Alcotest.test_case "disabled span is transparent" `Quick
+            test_span_disabled_is_transparent;
+          Alcotest.test_case "jsonl sink: valid JSON per line" `Quick
+            test_jsonl_sink_valid_json_per_line
+        ] );
+      ( "json",
+        [ Alcotest.test_case "escape handling" `Quick test_json_parse_escapes;
+          Alcotest.test_case "total on garbage" `Quick test_json_parse_total_on_garbage
+        ] )
+    ]

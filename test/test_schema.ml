@@ -94,7 +94,7 @@ let test_validate_accessor_attr () =
 
 let test_methods_applicable_to_call_arity () =
   let s = base () in
-  let cache = Subtype_cache.create (Schema.hierarchy s) in
+  let cache = Schema_index.of_hierarchy (Schema.hierarchy s) in
   (* wrong arity: no methods, no crash *)
   Alcotest.(check int) "wrong arity" 0
     (List.length
