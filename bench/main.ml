@@ -17,7 +17,7 @@
                                              throughput + a Tdp_obs metrics
                                              snapshot of one instrumented
                                              pass; FILE defaults to
-                                             BENCH_5.json, "-" = stdout)
+                                             BENCH_6.json, "-" = stdout)
         dune exec bench/main.exe -- bench --check FILE
                                             (re-measure in --small mode and
                                              fail if a guarded benchmark
@@ -771,6 +771,26 @@ let json_report ~small =
   let t_single =
     time_it (fun () -> Applicability.analyze_exn schema ~source:source1 ~projection:proj1)
   in
+  (* pipeline inference: solve the same multi-view workload as one
+     program, then check each principal against the schema *)
+  let infer_program_of vs =
+    List.map
+      (fun (i, (source, projection)) ->
+        (Fmt.str "v%d" i,
+         Tdp_infer.Pipeline.Project (Tdp_infer.Pipeline.Source source, projection)))
+      (List.mapi (fun i v -> (i, v)) vs)
+  in
+  let inf_prog = infer_program_of views in
+  let t_infer = time_it (fun () -> ignore (Tdp_infer.Infer.infer_program inf_prog)) in
+  let principals =
+    List.filter_map
+      (fun (_, r) -> Result.to_option r)
+      (Tdp_infer.Infer.infer_program inf_prog)
+  in
+  let t_admit =
+    time_it (fun () ->
+        List.iter (fun p -> ignore (Tdp_infer.Infer.admits schema p)) principals)
+  in
   let stats = Dispatch.stats d in
   (* durable-store recovery throughput: load one snapshot image /
      replay one WAL image, reported per object *)
@@ -791,6 +811,11 @@ let json_report ~small =
   Obs.Metrics.reset ();
   run_cached ();
   ignore (Applicability.analyze_exn schema ~source:source1 ~projection:proj1);
+  List.iter
+    (fun p -> ignore (Tdp_infer.Infer.admits schema p))
+    (List.filter_map
+       (fun (_, r) -> Result.to_option r)
+       (Tdp_infer.Infer.infer_program inf_prog));
   ignore (bench_snapshot_load s_schema s_snapshot ());
   ignore (bench_wal_replay s_schema s_wal ());
   let metrics_snapshot = Obs.Metrics.snapshot () in
@@ -810,6 +835,10 @@ let json_report ~small =
       { name = "subtype/index"; ns_per_op = p0.sw_index_ns };
       { name = "subtype/cached-set"; ns_per_op = p0.sw_cached_set_ns };
       { name = "subtype/set"; ns_per_op = p0.sw_set_ns };
+      { name = "infer/pipeline"; ns_per_op = ns t_infer /. float_of_int n_views };
+      { name = "infer/admits";
+        ns_per_op = ns t_admit /. float_of_int (max 1 (List.length principals))
+      };
       { name = "store/snapshot-load"; ns_per_op = per_obj t_snap };
       { name = "store/wal-replay"; ns_per_op = per_obj t_wal };
       { name = "obs/time/disabled"; ns_per_op = ns t_time_off };
@@ -1039,6 +1068,8 @@ let run_bechamel () =
 let guarded_benchmarks =
   [ "dispatch/applicable/cached";
     "subtype/index";
+    "infer/pipeline";
+    "infer/admits";
     "store/snapshot-load";
     "store/wal-replay";
     (* disabled-instrumentation gates: these must stay within noise of
@@ -1126,7 +1157,7 @@ let () =
   let rec out_of = function
     | "--out" :: v :: _ -> v
     | _ :: rest -> out_of rest
-    | [] -> "BENCH_5.json"
+    | [] -> "BENCH_6.json"
   in
   let rec check_of = function
     | "--check" :: v :: _ -> Some v

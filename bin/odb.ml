@@ -4,6 +4,7 @@
 
      odb check schema.odb [--json]
      odb lint schema.odb [--json] [--code TDPxxx]
+     odb infer schema.odb [--json]
      odb apply schema.odb [--collapse] [--print | --dot] [--json]
      odb methods schema.odb --source T --attrs a,b,c [--trace] [--json]
      odb dispatch schema.odb --gf f --args T1,T2 [--all] [--json]
@@ -33,6 +34,7 @@ module Static_check = Tdp_dispatch.Static_check
 module Dispatch = Tdp_dispatch.Dispatch
 module Diagnostic = Tdp_analysis.Diagnostic
 module Lint = Tdp_analysis.Lint
+module Infer = Tdp_infer.Infer
 module Obs = Tdp_obs
 module J = Tdp_obs.Json
 
@@ -186,7 +188,9 @@ let lint_cmd file json code =
   let diags =
     match Elaborate.load_unchecked (read_file file) with
     | Error e -> [ Lint.of_error ~file e ]
-    | Ok r -> Lint.lint_program ~file r.schema ~views:r.views
+    | Ok r ->
+        Lint.lint_program ~file ~positions:r.view_positions r.schema
+          ~views:r.views
   in
   let diags =
     match code with
@@ -216,6 +220,96 @@ let lint_cmd file json code =
     List.iter (fun d -> Fmt.pr "%a@." Diagnostic.pp d) diags;
     if diags = [] then Fmt.pr "no issues found.@."
     else Fmt.pr "%d error(s), %d warning(s), %d info@." errors warnings infos;
+    exit_of status
+  end
+
+(* --- infer --------------------------------------------------------- *)
+
+let infer_cmd file json =
+  setup "infer" json;
+  let r = load file in
+  let program =
+    let seen = Hashtbl.create 16 in
+    List.map
+      (fun (name, expr) ->
+        let is_ref n = Hashtbl.mem seen (Type_name.to_string n) in
+        let node = Tdp_algebra.View.to_pipeline ~is_ref expr in
+        Hashtbl.replace seen name ();
+        (name, node))
+      r.views
+  in
+  let results =
+    List.map
+      (fun (name, res) ->
+        match res with
+        | Error e -> (name, `Solve e)
+        | Ok p -> (
+            match Infer.admits r.schema p with
+            | Ok () -> (name, `Admitted p)
+            | Error e -> (name, `Admit (p, e))))
+      (Infer.infer_program program)
+  in
+  let failed =
+    List.exists (fun (_, r) -> match r with `Admitted _ -> false | _ -> true) results
+  in
+  let status = if failed then `Findings else `Ok in
+  if json then
+    let row_json = function
+      | Infer.Exactly s -> ("exactly", s)
+      | Infer.At_least s -> ("at_least", s)
+    in
+    let set_json s =
+      J.List
+        (List.map (fun a -> J.String (Attr_name.to_string a)) (Attr_name.Set.elements s))
+    in
+    let principal_json (p : Infer.principal) =
+      let mode, s = row_json p.result in
+      [ ("result", J.Obj [ ("mode", J.String mode); ("attrs", set_json s) ]);
+        ("sources",
+         J.Obj
+           (List.map
+              (fun (t, req) -> (Type_name.to_string t, set_json req))
+              p.sources));
+        ("kinds",
+         J.Obj
+           (List.map
+              (fun (a, k) -> (Attr_name.to_string a, J.String (Tdp_infer.Kind.to_string k)))
+              p.kinds));
+        ("applies", J.List (List.map (fun g -> J.String g) p.gfs));
+        ("residuals", J.List (List.map (fun a -> J.String (Attr_name.to_string a)) p.residuals))
+      ]
+    in
+    let view_json (name, res) =
+      J.Obj
+        (("name", J.String name)
+        ::
+        (match res with
+        | `Admitted p -> ("status", J.String "ok") :: principal_json p
+        | `Admit (p, e) ->
+            ("status", J.String "not_instantiated")
+            :: ("error", J.String (Infer.error_message e))
+            :: principal_json p
+        | `Solve e ->
+            [ ("status", J.String "ill_typed");
+              ("error", J.String (Infer.error_message e))
+            ]))
+    in
+    finish status
+      ~data:
+        (J.Obj
+           [ ("file", J.String file); ("views", J.List (List.map view_json results)) ])
+  else begin
+    List.iter
+      (fun (name, res) ->
+        match res with
+        | `Admitted p ->
+            Fmt.pr "%a@.  instantiated by this schema@." Infer.pp_principal p
+        | `Admit (p, e) ->
+            Fmt.pr "%a@.  not instantiated: %s@." Infer.pp_principal p
+              (Infer.error_message e)
+        | `Solve e -> Fmt.pr "view %s : ill-typed@.  %s@." name (Infer.error_message e))
+      results;
+    if results = [] then Fmt.pr "no views declared.@.";
     exit_of status
   end
 
@@ -803,6 +897,16 @@ let lint_t =
   in
   Cmd.v (Cmd.info "lint" ~doc) Term.(const lint_cmd $ file_arg $ json_flag $ code)
 
+let infer_t =
+  let doc =
+    "Infer the principal schema of every declared view pipeline: the weakest \
+     requirements on its source types under which derivation succeeds, \
+     independent of the concrete schema.  Each principal is then checked for \
+     instantiation against the file's schema.  Exits 1 when any view is \
+     ill-typed or not instantiated."
+  in
+  Cmd.v (Cmd.info "infer" ~doc) Term.(const infer_cmd $ file_arg $ json_flag)
+
 let apply_t =
   let doc = "Derive every declared view, refactoring the hierarchy." in
   let collapse =
@@ -946,7 +1050,8 @@ let main =
   let doc = "type derivation using the projection operation (Agrawal & DeMichiel, 1994)" in
   Cmd.group
     (Cmd.info "odb" ~version:"1.0.0" ~doc)
-    [ check_t; lint_t; apply_t; methods_t; dispatch_t; query_t; store_t; dot_t; stats_t ]
+    [ check_t; lint_t; infer_t; apply_t; methods_t; dispatch_t; query_t;
+      store_t; dot_t; stats_t ]
 
 (* CLI boundary: domain failures that escape a subcommand — any
    structured [Error.E] a command did not turn into a result — are

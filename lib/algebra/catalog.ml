@@ -25,6 +25,33 @@ let find_opt t name =
 
 let view_types t = List.map (fun e -> e.view_type) t.entries
 
+(* Lower the catalog's entries plus a candidate expression to a
+   pipeline program, in definition order: each entry may reference the
+   entries defined before it. *)
+let program_of t ~name expr =
+  let prog, seen =
+    List.fold_left
+      (fun (acc, seen) e ->
+        let is_ref n = List.mem (Type_name.to_string n) seen in
+        ((e.name, View.to_pipeline ~is_ref e.expr) :: acc, e.name :: seen))
+      ([], []) t.entries
+  in
+  let is_ref n = List.mem (Type_name.to_string n) seen in
+  List.rev ((name, View.to_pipeline ~is_ref expr) :: prog)
+
+(* Typecheck a candidate view once, before any derivation: infer its
+   principal schema in the context of the already-defined entries and
+   check this catalog's schema instantiates it. *)
+let typecheck t ~name expr =
+  let prog = program_of t ~name expr in
+  match List.assoc_opt name (Tdp_infer.Infer.infer_program prog) with
+  | Some (Ok principal) -> (
+      match Tdp_infer.Infer.admits t.schema principal with
+      | Ok () -> Ok principal
+      | Error e -> Error e)
+  | Some (Error e) -> Error e
+  | None -> Error (Tdp_infer.Infer.Ill_typed { view = name; reason = "not solved" })
+
 let define_exn t ~name expr =
   if find_opt t name <> None then
     Error.raise_ (Invariant_violation (Fmt.str "view %S already defined" name));
@@ -91,6 +118,24 @@ let remove_generalization schema (o : Generalize.outcome) =
   in
   Schema.with_hierarchy schema (Hierarchy.remove h w)
 
+(* A join type is a fresh leaf exactly like a selection type: no
+   state of its own, removable when nothing depends on it. *)
+let remove_join schema name =
+  let h = Schema.hierarchy schema in
+  (match Hierarchy.direct_subs h name with
+  | [] -> ()
+  | sub :: _ ->
+      Error.raise_
+        (Invariant_violation
+           (Fmt.str "cannot drop join %s: %s depends on it"
+              (Type_name.to_string name) (Type_name.to_string sub))));
+  if Type_name.Set.mem name (Optimize.mentioned_types schema) then
+    Error.raise_
+      (Invariant_violation
+         (Fmt.str "cannot drop join %s: methods mention it"
+            (Type_name.to_string name)));
+  Schema.with_hierarchy schema (Hierarchy.remove h name)
+
 let undo_step schema (step : View.step) =
   match step with
   | Projected o -> Unfactor.drop_view_exn schema ~view:o.view
@@ -98,6 +143,7 @@ let undo_step schema (step : View.step) =
   | Generalized o ->
       let schema = remove_generalization schema o in
       Unfactor.drop_view_exn schema ~view:o.projection.view
+  | Joined { name; _ } -> remove_join schema name
 
 let drop_exn t ~name =
   match find_opt t name with
@@ -124,6 +170,7 @@ let protected_of_step (step : View.step) =
   | Selected { name; _ } -> [ name ]
   | Generalized o ->
       o.name :: o.projection.derived :: of_surrogates o.projection.surrogates []
+  | Joined { name; _ } -> [ name ]
 
 (* Collapse empty surrogates, protecting every cataloged view type and
    every type the recorded undo steps reference. *)

@@ -28,6 +28,17 @@ val entries : t -> entry list
 val find_opt : t -> string -> entry option
 val view_types : t -> Type_name.t list
 
+(** Typecheck a candidate view {e before} any derivation: infer its
+    principal schema ({!Tdp_infer.Infer}) in the context of the
+    already-defined entries, and check that this catalog's schema
+    instantiates it.  A parameterized view can be checked once this way
+    and bound many times. *)
+val typecheck :
+  t ->
+  name:string ->
+  View.expr ->
+  (Tdp_infer.Infer.principal, Tdp_infer.Infer.error) result
+
 (** @raise Error.E on duplicate name or any failing derivation step. *)
 val define_exn : t -> name:string -> View.expr -> t * entry
 

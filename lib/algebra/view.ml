@@ -5,11 +5,13 @@ type expr =
   | Project of expr * Attr_name.t list
   | Select of expr * Pred.t
   | Generalize of expr * expr
+  | Join of expr * expr
 
 type step =
   | Projected of Projection.outcome
   | Selected of { name : Type_name.t; source : Type_name.t; pred : Pred.t }
   | Generalized of Generalize.outcome
+  | Joined of { name : Type_name.t; left : Type_name.t; right : Type_name.t }
 
 type outcome = {
   schema : Schema.t;
@@ -24,6 +26,7 @@ let rec map_attrs f = function
   | Project (e, attrs) -> Project (map_attrs f e, List.map f attrs)
   | Select (e, p) -> Select (map_attrs f e, Pred.map_attrs f p)
   | Generalize (a, b) -> Generalize (map_attrs f a, map_attrs f b)
+  | Join (a, b) -> Join (map_attrs f a, map_attrs f b)
 
 let rec pp_expr ppf = function
   | Base n -> Type_name.pp ppf n
@@ -33,6 +36,7 @@ let rec pp_expr ppf = function
         attrs
   | Select (e, p) -> Fmt.pf ppf "select %a where %a" pp_expr e Pred.pp p
   | Generalize (a, b) -> Fmt.pf ppf "generalize %a with %a" pp_expr a pp_expr b
+  | Join (a, b) -> Fmt.pf ppf "join %a with %a" pp_expr a pp_expr b
 
 (* Derive the type of a view expression, threading the schema through
    each algebraic step.  Projection uses the paper's full pipeline;
@@ -104,6 +108,26 @@ let rec derive_step ?check counter schema ~view ?name expr =
         name = o.name;
         steps = ia.steps @ ib.steps @ [ Generalized o ]
       }
+  | Join (a, b) ->
+      let ia = derive_step ?check counter schema ~view a in
+      let ib = derive_step ?check counter ia.schema ~view b in
+      let h = Schema.hierarchy ib.schema in
+      let join_name =
+        match name with
+        | Some n ->
+            if Hierarchy.mem h n then Error.raise_ (Duplicate_type n);
+            n
+        | None ->
+            Hierarchy.fresh_name h
+              (Type_name.of_string (Type_name.to_string ia.name ^ "_join"))
+      in
+      let o = Join.derive_exn ib.schema ~name:join_name ia.name ib.name in
+      { schema = o.schema;
+        name = o.name;
+        steps =
+          ia.steps @ ib.steps
+          @ [ Joined { name = o.name; left = ia.name; right = ib.name } ]
+      }
 
 let derive_exn ?check schema ~view ?name expr =
   derive_step ?check (ref 0) schema ~view ?name expr
@@ -123,6 +147,13 @@ let rec instances db = function
       List.filter (fun oid -> Pred.eval db oid pred) (instances db e)
   | Generalize (a, b) ->
       List.sort_uniq Tdp_store.Oid.compare (instances db a @ instances db b)
+  | Join _ ->
+      (* a join instance is a pair of operand instances, not an
+         existing object; only Join.materialize over named operand
+         types gives joins a data plane *)
+      Error.raise_
+        (Invariant_violation
+           "join views have no identity instances; use Join.materialize")
 
 (* Materialization: copy each view instance into a fresh object of the
    derived view type, carrying exactly the view's attributes. *)
@@ -136,3 +167,29 @@ let materialize db ~view_type expr =
       in
       Tdp_store.Database.new_object db view_type ~init)
     (instances db expr)
+
+(* Lower a view expression to the inference IR.  [is_ref] decides
+   whether a base name refers to an earlier view of the same program
+   (a row shared with that view's result) or to a source type (a row
+   parameter).  Predicates flatten to their comparison atoms: like
+   [Pred.check_exn], every atom must type-check regardless of the
+   and/or/not structure around it. *)
+let rec pred_atoms (p : Pred.t) =
+  match p with
+  | True -> []
+  | Not a -> pred_atoms a
+  | And (a, b) | Or (a, b) -> pred_atoms a @ pred_atoms b
+  | Cmp { attr; op; value } ->
+      let ordered =
+        match op with Eq | Ne -> false | Lt | Le | Gt | Ge -> true
+      in
+      [ Tdp_infer.Pipeline.atom ~ordered attr value ]
+
+let rec to_pipeline ~is_ref (e : expr) : Tdp_infer.Pipeline.node =
+  match e with
+  | Base n ->
+      if is_ref n then Ref (Type_name.to_string n) else Source n
+  | Project (e, attrs) -> Project (to_pipeline ~is_ref e, attrs)
+  | Select (e, p) -> Select (to_pipeline ~is_ref e, pred_atoms p)
+  | Generalize (a, b) -> Generalize (to_pipeline ~is_ref a, to_pipeline ~is_ref b)
+  | Join (a, b) -> Join (to_pipeline ~is_ref a, to_pipeline ~is_ref b)

@@ -16,11 +16,15 @@ type expr =
   | Generalize of expr * expr
       (** union view over the operands' shared attributes, see
           {!Generalize} *)
+  | Join of expr * expr
+      (** common subtype carrying both operands' cumulative state, see
+          {!Join}; fails when the operands are already ⪯-related *)
 
 type step =
   | Projected of Projection.outcome
   | Selected of { name : Type_name.t; source : Type_name.t; pred : Pred.t }
   | Generalized of Generalize.outcome
+  | Joined of { name : Type_name.t; left : Type_name.t; right : Type_name.t }
 
 type outcome = {
   schema : Schema.t;  (** schema after all steps *)
@@ -49,9 +53,19 @@ val derive :
   (outcome, Error.t) Stdlib.result
 
 (** View instances with identity semantics (projection keeps OIDs,
-    selection filters). *)
+    selection filters).
+    @raise Error.E on a [Join] view: a join instance is a {e pair} of
+    operand instances, so joins have no identity semantics — use
+    {!Join.materialize} over the operand types instead. *)
 val instances : Tdp_store.Database.t -> expr -> Tdp_store.Oid.t list
 
-(** Copy view instances into fresh objects of [view_type]. *)
+(** Copy view instances into fresh objects of [view_type].
+    @raise Error.E on a [Join] view, as {!instances}. *)
 val materialize :
   Tdp_store.Database.t -> view_type:Type_name.t -> expr -> Tdp_store.Oid.t list
+
+(** Lower a view expression to the inference IR ({!Tdp_infer.Pipeline}).
+    [is_ref] decides whether a base name references an earlier view of
+    the same program or names a source type; selection predicates
+    flatten to their comparison atoms. *)
+val to_pipeline : is_ref:(Type_name.t -> bool) -> expr -> Tdp_infer.Pipeline.node

@@ -36,7 +36,12 @@ let codes : (string * Diagnostic.severity * string) list =
     ("TDP030", Warning, "projection strips a method of the source type");
     ("TDP031", Error, "projected attribute not available at the source type");
     ("TDP032", Error, "view references an unknown base");
-    ("TDP033", Error, "view name collides with an existing type")
+    ("TDP033", Error, "view name collides with an existing type");
+    ("TDP040", Error, "view pipeline is ill-typed or does not instantiate");
+    ("TDP041", Error, "pipeline requires an attribute its row can never carry");
+    ("TDP042", Error, "join operands are related in every instantiation");
+    ("TDP043", Error, "predicate comparisons over an attribute are unsatisfiable");
+    ("TDP044", Error, "views constrain a shared attribute incompatibly")
   ]
 
 let severity_of code =
@@ -44,10 +49,10 @@ let severity_of code =
   | Some (_, s, _) -> s
   | None -> Diagnostic.Error
 
-let d ?file code fmt =
+let d ?file ?position code fmt =
   Fmt.kstr
     (fun message ->
-      Diagnostic.make ?file ~code ~severity:(severity_of code) message)
+      Diagnostic.make ?file ?position ~code ~severity:(severity_of code) message)
     fmt
 
 let of_error ?file e =
@@ -421,7 +426,55 @@ let check_projection ?file batch ~view ~source ~projection =
             (Applicability.explain schema r ~source ~projection k))
         (Method_def.Key.Set.elements r.not_applicable)
 
-let lint_views ?file schema views =
+(* ------------------------------------------------------------------ *)
+(* Pass 5: pipeline inference                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Whole-pipeline diagnostics via {!Tdp_infer}: each declared view is
+   lowered to the inference IR and solved as one program (later views
+   may reference earlier ones), then every principal schema is checked
+   against the concrete schema.  Solve-time errors are flaws of the
+   pipeline itself — no instantiation can derive it — and map to the
+   specific TDP041..TDP044 codes; a pipeline whose principal this
+   schema fails to instantiate is TDP040. *)
+
+module Infer = Tdp_infer.Infer
+
+let code_of_infer_error (e : Infer.error) =
+  match e with
+  | Infer.Ill_typed _ -> "TDP040"
+  | Infer.Attr_absent _ -> "TDP041"
+  | Infer.Join_related _ -> "TDP042"
+  | Infer.Pred_conflict _ -> "TDP043"
+  | Infer.Reuse_conflict _ -> "TDP044"
+
+let lint_inference ?file ~positions schema views =
+  let prog, _ =
+    List.fold_left
+      (fun (acc, seen) (name, expr) ->
+        let is_ref n = List.mem (Type_name.to_string n) seen in
+        ((name, View.to_pipeline ~is_ref expr) :: acc, name :: seen))
+      ([], []) views
+  in
+  let position view = List.assoc_opt view positions in
+  List.filter_map
+    (fun (name, res) ->
+      match res with
+      | Error e ->
+          Some
+            (d ?file ?position:(position (Infer.error_view e))
+               (code_of_infer_error e) "%s" (Infer.error_message e))
+      | Ok principal -> (
+          match Infer.admits schema principal with
+          | Ok () -> None
+          | Error e ->
+              Some
+                (d ?file ?position:(position name) "TDP040"
+                   "view %s does not instantiate over this schema: %s" name
+                   (Infer.error_message e))))
+    (Infer.infer_program (List.rev prog))
+
+let lint_views ?file ?(positions = []) schema views =
   let h = Schema.hierarchy schema in
   (* one shared batch: every per-view safety pre-check below reuses the
      same ancestor sets, relevant-call and candidate-method memos *)
@@ -458,6 +511,7 @@ let lint_views ?file schema views =
         deeper @ here
     | Select (sub, _) -> walk ~view ~seen sub
     | Generalize (a, b) -> walk ~view ~seen a @ walk ~view ~seen b
+    | Join (a, b) -> walk ~view ~seen a @ walk ~view ~seen b
   in
   let diags, _ =
     List.fold_left
@@ -470,6 +524,7 @@ let lint_views ?file schema views =
         (acc @ clash @ walk ~view:name ~seen expr, name :: seen))
       ([], []) views
   in
+  let diags = diags @ lint_inference ?file ~positions schema views in
   List.stable_sort Diagnostic.compare diags
 
 (* ------------------------------------------------------------------ *)
@@ -502,9 +557,10 @@ let lint_schema ?file schema =
       in
       List.stable_sort Diagnostic.compare (decls @ structure @ flow @ deep)
 
-let lint_program ?file schema ~views =
+let lint_program ?file ?positions schema ~views =
   let s = lint_schema ?file schema in
   let v =
-    if List.exists Diagnostic.is_error s then [] else lint_views ?file schema views
+    if List.exists Diagnostic.is_error s then []
+    else lint_views ?file ?positions schema views
   in
   List.stable_sort Diagnostic.compare (s @ v)

@@ -16,7 +16,13 @@
     - {b projection}: a pre-check that warns, for each declared view,
       about the methods the projection will strip because their bodies
       transitively depend on dropped attributes (Section 4 of the
-      paper, run before the expensive refactoring).
+      paper, run before the expensive refactoring);
+    - {b inference}: whole-pipeline typing via {!Tdp_infer} — each
+      view is lowered to the inference IR, the program's principal
+      schemas are solved, and structurally untypeable pipelines
+      (TDP041–TDP044) or pipelines this schema does not instantiate
+      (TDP040) are reported, with the view declaration's source
+      position when available.
 
     The passes never raise: schemas that are too broken for the deeper
     analyses short-circuit into structural diagnostics. *)
@@ -31,16 +37,24 @@ val of_error : ?file:string -> Error.t -> Diagnostic.t
     {!Diagnostic.compare}.  [file] is attached to every diagnostic. *)
 val lint_schema : ?file:string -> Schema.t -> Diagnostic.t list
 
-(** The projection-safety pre-check over declared views (in declaration
-    order; later views may reference earlier ones by name).  Assumes a
-    schema free of error-severity issues. *)
+(** The projection-safety pre-check and the pipeline-inference pass
+    over declared views (in declaration order; later views may
+    reference earlier ones by name).  Assumes a schema free of
+    error-severity issues.  [positions] maps view names to the
+    (line, col) of their declaration; the inference diagnostics carry
+    them ({!Tdp_lang.Elaborate} provides [view_positions]). *)
 val lint_views :
-  ?file:string -> Schema.t -> (string * Tdp_algebra.View.expr) list -> Diagnostic.t list
+  ?file:string ->
+  ?positions:(string * (int * int)) list ->
+  Schema.t ->
+  (string * Tdp_algebra.View.expr) list ->
+  Diagnostic.t list
 
 (** {!lint_schema}, then — when it produced no error-severity
     diagnostic — {!lint_views}; the combined list is sorted. *)
 val lint_program :
   ?file:string ->
+  ?positions:(string * (int * int)) list ->
   Schema.t ->
   views:(string * Tdp_algebra.View.expr) list ->
   Diagnostic.t list

@@ -1,0 +1,75 @@
+(** Principal-type inference for algebra pipelines.
+
+    Solves the attribute-set and kind constraints of a {!Pipeline}
+    program with a union-find row solver, yielding for each pipeline a
+    {!principal} schema — the weakest requirements on its source types
+    under which every derivation step succeeds — or a structured
+    {!error}.  {!admits} then checks a principal against a concrete
+    schema by evaluating the pipeline's rows bottom-up, mirroring what
+    {!Tdp_algebra.View.derive_exn} would verify.
+
+    The contract with derivation (tested differentially): whenever
+    [View.derive] succeeds on a concrete schema, inference succeeds
+    and the schema is admitted; every solve-time error marks a
+    pipeline no instantiation can derive. *)
+
+open Tdp_core
+
+type error =
+  | Ill_typed of { view : string; reason : string }
+      (** structurally untypeable: empty projection, generalize over
+          provably disjoint rows, unknown reference *)
+  | Attr_absent of { view : string; attr : Attr_name.t; row : Attr_name.t list }
+      (** a required attribute is missing from an exactly-known row,
+          so no instantiation can supply it *)
+  | Join_related of { view : string; left : string; right : string }
+      (** join operands provably ⪯-related in every instantiation *)
+  | Pred_conflict of { view : string; attr : Attr_name.t }
+      (** the comparisons one view performs on an attribute admit no
+          attribute type *)
+  | Reuse_conflict of { view : string; prior : string; attr : Attr_name.t }
+      (** two views constrain one attribute with incompatible kinds *)
+
+(** The view a solve error belongs to. *)
+val error_view : error -> string
+
+val error_message : error -> string
+val pp_error : error Fmt.t
+
+(** The row of a pipeline's result: exactly known (projection-topped)
+    or a lower bound. *)
+type row = Exactly of Attr_name.Set.t | At_least of Attr_name.Set.t
+
+(** A pipeline's principal schema: the weakest concrete-schema
+    requirements under which its derivation succeeds. *)
+type principal = {
+  name : string;
+  pipeline : Pipeline.node;  (** reference-free: refs inlined *)
+  sources : (Type_name.t * Attr_name.Set.t) list;
+      (** per source type, the attributes it must carry *)
+  result : row;
+  kinds : (Attr_name.t * Kind.t) list;  (** non-trivial kind constraints *)
+  gfs : string list;  (** generic functions the pipeline applies *)
+  residuals : Attr_name.t list;
+      (** attributes some join operand must supply; decidable only at
+          instantiation *)
+}
+
+val pp_row : row Fmt.t
+val pp_principal : principal Fmt.t
+
+(** Solve a program in declaration order (later pipelines may
+    reference earlier ones by name).  Each pipeline yields its
+    principal or its first error; a failed pipeline binds an
+    unconstrained row so later solves are not cascaded. *)
+val infer_program :
+  (string * Pipeline.node) list -> (string * (principal, error) result) list
+
+(** {!infer_program} over a single pipeline. *)
+val infer : ?name:string -> Pipeline.node -> (principal, error) result
+
+(** Does a concrete schema instantiate the principal?  Evaluates the
+    pipeline's attribute rows bottom-up: source existence, attribute
+    availability, predicate kind agreement, non-empty generalization,
+    and generic-function applicability. *)
+val admits : Schema.t -> principal -> (unit, error) result

@@ -1,0 +1,69 @@
+open Tdp_core
+
+(* A kind is the set of attribute value types a constraint still
+   admits, as a bitset.  The bits mirror [Value_type.t] exactly: one
+   per primitive, one for object (named) types, one for [Unknown].
+   [of_comparison] is the abstract transfer function of
+   [Pred.literal_compatible]: for every literal/operator pair it
+   returns precisely the set of attribute types that comparison
+   accepts, so meets over kinds track conjunctions of predicate
+   atoms without loss. *)
+
+type t = int
+
+let b_int = 1
+let b_float = 2
+let b_string = 4
+let b_bool = 8
+let b_date = 16
+let b_object = 32
+let b_unknown = 64
+
+let any = 127
+let none = 0
+let numeric = b_int lor b_float lor b_date
+
+let inter = ( land )
+let is_any k = k = any
+let is_empty k = k = none
+
+(* Pred.literal_compatible, abstracted over the attribute type:
+   numeric literals compare (with any operator) against int, float and
+   the year-valued date; string and bool literals support equality
+   against their own primitive only; null supports equality against
+   everything.  Ordering a string, bool or null literal admits no
+   attribute type at all. *)
+let of_comparison ~ordered (lit : Body.literal) =
+  match lit with
+  | Int _ | Float _ -> numeric
+  | String _ -> if ordered then none else b_string
+  | Bool _ -> if ordered then none else b_bool
+  | Null -> if ordered then none else any
+
+let bit_of_type (vt : Value_type.t) =
+  match vt with
+  | Prim Int -> b_int
+  | Prim Float -> b_float
+  | Prim String -> b_string
+  | Prim Bool -> b_bool
+  | Prim Date -> b_date
+  | Named _ -> b_object
+  | Unknown -> b_unknown
+
+let admits k vt = k land bit_of_type vt <> 0
+
+let pp ppf k =
+  if is_any k then Fmt.string ppf "any"
+  else if is_empty k then Fmt.string ppf "none"
+  else
+    let names =
+      List.filter_map
+        (fun (b, n) -> if k land b <> 0 then Some n else None)
+        [ (b_int, "int"); (b_float, "float"); (b_string, "string");
+          (b_bool, "bool"); (b_date, "date"); (b_object, "object");
+          (b_unknown, "unknown")
+        ]
+    in
+    Fmt.pf ppf "{%s}" (String.concat "|" names)
+
+let to_string k = Fmt.str "%a" pp k

@@ -1,0 +1,37 @@
+(** Attribute-kind constraints: which value types an attribute may
+    still have, given the comparisons a pipeline performs on it.
+
+    A kind is a set of {!Tdp_core.Value_type.t} shapes represented as a
+    bitset.  {!of_comparison} abstracts [Pred.literal_compatible]
+    exactly — a kind [admits] a concrete attribute type if and only if
+    the comparison it came from would type-check against that
+    attribute — so the meet of the kinds of all comparisons over one
+    attribute is empty exactly when no declared type could satisfy the
+    predicate. *)
+
+open Tdp_core
+
+type t
+
+(** No constraint: every attribute type is admitted. *)
+val any : t
+
+(** The unsatisfiable kind. *)
+val none : t
+
+(** Greatest lower bound (set intersection). *)
+val inter : t -> t -> t
+
+val is_any : t -> bool
+val is_empty : t -> bool
+
+(** The set of attribute types a comparison against [lit] admits;
+    [ordered] is true for [<], [<=], [>], [>=] and false for the
+    equality operators. *)
+val of_comparison : ordered:bool -> Body.literal -> t
+
+(** Whether a concrete attribute type satisfies the constraint. *)
+val admits : t -> Value_type.t -> bool
+
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,43 @@
+open Tdp_core
+
+type atom = { attr : Attr_name.t; kind : Kind.t }
+
+type node =
+  | Source of Type_name.t
+  | Ref of string
+  | Project of node * Attr_name.t list
+  | Select of node * atom list
+  | Generalize of node * node
+  | Join of node * node
+  | Call of { gf : string; node : node }
+
+let atom ~ordered attr lit = { attr; kind = Kind.of_comparison ~ordered lit }
+
+let pp_atom ppf a =
+  if Kind.is_any a.kind then Attr_name.pp ppf a.attr
+  else Fmt.pf ppf "%a : %a" Attr_name.pp a.attr Kind.pp a.kind
+
+let rec pp ppf = function
+  | Source n -> Type_name.pp ppf n
+  | Ref v -> Fmt.pf ppf "&%s" v
+  | Project (e, attrs) ->
+      Fmt.pf ppf "project %a on [%a]" pp e
+        Fmt.(list ~sep:comma Attr_name.pp)
+        attrs
+  | Select (e, atoms) ->
+      Fmt.pf ppf "select %a where [%a]" pp e Fmt.(list ~sep:comma pp_atom) atoms
+  | Generalize (a, b) -> Fmt.pf ppf "generalize %a with %a" pp a pp b
+  | Join (a, b) -> Fmt.pf ppf "join %a with %a" pp a pp b
+  | Call { gf; node } -> Fmt.pf ppf "call %s over %a" gf pp node
+
+(* Substitute references by their definitions, producing a closed
+   pipeline that can be evaluated without an environment. *)
+let rec inline env = function
+  | Source n -> Source n
+  | Ref v -> (
+      match List.assoc_opt v env with Some e -> e | None -> Ref v)
+  | Project (e, attrs) -> Project (inline env e, attrs)
+  | Select (e, atoms) -> Select (inline env e, atoms)
+  | Generalize (a, b) -> Generalize (inline env a, inline env b)
+  | Join (a, b) -> Join (inline env a, inline env b)
+  | Call { gf; node } -> Call { gf; node = inline env node }

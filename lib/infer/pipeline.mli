@@ -1,0 +1,36 @@
+(** The typed intermediate representation of algebra pipelines.
+
+    A [node] describes a view expression abstractly: sources are row
+    parameters (the pipeline does not know their attributes), [Ref]
+    names an earlier pipeline of the same program, and the operators
+    mirror the algebra — projection, selection (reduced to the
+    attribute/kind atoms its predicate compares), generalization, join
+    and generic-function application.  {!Infer} assigns each node a row
+    variable and solves the resulting constraints. *)
+
+open Tdp_core
+
+(** One predicate comparison: the attribute it reads and the
+    {!Kind.t} of attribute types the comparison admits. *)
+type atom = { attr : Attr_name.t; kind : Kind.t }
+
+type node =
+  | Source of Type_name.t  (** a row parameter, named after a base type *)
+  | Ref of string  (** an earlier pipeline of the same program *)
+  | Project of node * Attr_name.t list
+  | Select of node * atom list
+  | Generalize of node * node
+  | Join of node * node
+  | Call of { gf : string; node : node }
+      (** apply generic function [gf] to each instance *)
+
+(** Build an atom from a comparison; [ordered] as in
+    {!Kind.of_comparison}. *)
+val atom : ordered:bool -> Attr_name.t -> Body.literal -> atom
+
+val pp_atom : atom Fmt.t
+val pp : node Fmt.t
+
+(** [inline env node] substitutes every [Ref v] with its definition in
+    [env] (unknown references are left in place). *)
+val inline : (string * node) list -> node -> node

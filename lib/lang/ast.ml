@@ -32,6 +32,7 @@ type sview =
   | VProject of sview * string list
   | VSelect of sview * spred
   | VGeneralize of sview * sview
+  | VJoin of sview * sview
 
 (* Position (1-based line/column) of a declaration's first token; threaded
    from the lexer so elaboration failures can be attributed to their

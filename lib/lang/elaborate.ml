@@ -6,6 +6,8 @@ module Pred = Tdp_algebra.Pred
 type result_ = {
   schema : Schema.t;
   views : (string * View.expr) list;  (** in declaration order *)
+  view_positions : (string * (int * int)) list;
+      (** view name -> (line, col) of its declaration *)
 }
 
 let prim_of_string = function
@@ -90,6 +92,7 @@ let rec elab_view = function
       View.Project (elab_view e, List.map Attr_name.of_string attrs)
   | VSelect (e, p) -> View.Select (elab_view e, elab_pred p)
   | VGeneralize (a, b) -> View.Generalize (elab_view a, elab_view b)
+  | VJoin (a, b) -> View.Join (elab_view a, elab_view b)
 
 (* [check] controls whether the elaborated schema is validated and its
    method bodies type-checked.  [odb lint] elaborates unchecked so the
@@ -181,7 +184,15 @@ let elaborate_gen ~check items =
         | IType _ | IAccessor _ | IMethod _ -> None)
       items
   in
-  { schema; views }
+  let view_positions =
+    List.filter_map
+      (fun item ->
+        match item.desc with
+        | IView { name; _ } -> Some (name, (item.pos.line, item.pos.col))
+        | IType _ | IAccessor _ | IMethod _ -> None)
+      items
+  in
+  { schema; views; view_positions }
 
 let elaborate_exn items = elaborate_gen ~check:true items
 let elaborate items = Error.guard (fun () -> elaborate_exn items)

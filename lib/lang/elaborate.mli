@@ -11,6 +11,8 @@ open Tdp_core
 type result_ = {
   schema : Schema.t;
   views : (string * Tdp_algebra.View.expr) list;  (** declaration order *)
+  view_positions : (string * (int * int)) list;
+      (** view name -> (line, col) of its declaration, for diagnostics *)
 }
 
 (** @raise Error.E on any validation failure. *)

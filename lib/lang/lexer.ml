@@ -35,7 +35,7 @@ type spanned = { token : token; line : int; col : int }
 
 let keywords =
   [ "type"; "method"; "reader"; "writer"; "view"; "project"; "select"; "on";
-    "where"; "generalize"; "with"; "var"; "return"; "if"; "else"; "while";
+    "where"; "generalize"; "join"; "with"; "var"; "return"; "if"; "else"; "while";
     "and"; "or"; "not"; "true"; "false"; "null"
   ]
 

@@ -276,6 +276,12 @@ let rec view_expr st =
       kw st "with";
       let b = view_expr st in
       VGeneralize (a, b)
+  | KW "join" ->
+      advance st;
+      let a = view_expr st in
+      kw st "with";
+      let b = view_expr st in
+      VJoin (a, b)
   | LPAREN ->
       advance st;
       let v = view_expr st in

@@ -112,6 +112,7 @@ let rec pp_view_expr ppf (v : View.expr) =
   | Select (e, p) -> Fmt.pf ppf "select %a where %a" pp_view_expr e pp_pred p
   | Generalize (a, b) ->
       Fmt.pf ppf "generalize %a with %a" pp_view_expr a pp_view_expr b
+  | Join (a, b) -> Fmt.pf ppf "join %a with %a" pp_view_expr a pp_view_expr b
 
 let pp_view ppf (name, expr) = Fmt.pf ppf "view %s = %a;" name pp_view_expr expr
 

@@ -14,6 +14,8 @@ module Interp = Tdp_store.Interp
 module Catalog = Tdp_algebra.Catalog
 module Evolution = Tdp_algebra.Evolution
 module Lint = Tdp_analysis.Lint
+module Infer = Tdp_infer.Infer
+module Pipeline = Tdp_infer.Pipeline
 module Obs = Tdp_obs
 
 let load_schema source =

@@ -22,6 +22,7 @@
     - {!Dispatch} — CLOS-style multi-method dispatch over a schema;
     - {!Database}, {!Wal}, {!Dump}, {!Interp} — the object store;
     - {!Catalog}, {!Evolution} — the view algebra;
+    - {!Infer}, {!Pipeline} — principal-type inference for pipelines;
     - {!Lint} — static analysis of schema sources. *)
 
 (** Structured errors shared by every [( _, Error.t) result] below. *)
@@ -68,6 +69,12 @@ module Evolution = Tdp_algebra.Evolution
 
 (** Schema and method-body linting with structured diagnostics. *)
 module Lint = Tdp_analysis.Lint
+
+(** Principal-type inference for algebra pipelines. *)
+module Infer = Tdp_infer.Infer
+
+(** The typed IR {!Infer} solves over. *)
+module Pipeline = Tdp_infer.Pipeline
 
 (** Metrics registry and structured tracing ([Tdp_obs]). *)
 module Obs = Tdp_obs

@@ -92,6 +92,38 @@ let test_drop_generalization () =
   Alcotest.(check (list string)) "get_pid restored" [ "P" ]
     (method_param_types (Catalog.schema c) "get_pid" "get_pid")
 
+let test_drop_join () =
+  (* join two unrelated types, then unwind. *)
+  let src =
+    let open Tdp_paper.Build in
+    let s = Schema.empty in
+    let s = add_type s ~attrs:[ ("g", Value_type.int) ] ~supers:[] "S" in
+    add_type s ~attrs:[ ("w", Value_type.int) ] ~supers:[] "I"
+  in
+  let before_types = Hierarchy.cardinal (Schema.hierarchy src) in
+  let c = Catalog.create src in
+  (* typecheck agrees before any derivation happens *)
+  let joined = View.Join (View.Base (ty "S"), View.Base (ty "I")) in
+  (match Catalog.typecheck c ~name:"J" joined with
+  | Ok _ -> ()
+  | Error e ->
+      Alcotest.failf "join should typecheck: %a" Tdp_infer.Infer.pp_error e);
+  let c, _entry = Catalog.define_exn c ~name:"J" joined in
+  let h = Schema.hierarchy (Catalog.schema c) in
+  Alcotest.(check bool) "J present" true (Hierarchy.mem h (ty "J"));
+  Alcotest.(check bool) "J ⪯ S" true (Hierarchy.subtype h (ty "J") (ty "S"));
+  Alcotest.(check bool) "J ⪯ I" true (Hierarchy.subtype h (ty "J") (ty "I"));
+  (* a second join over the view and an operand is rejected up front:
+     the operands are already related *)
+  (match Catalog.typecheck c ~name:"JJ" (View.Join (View.Base (ty "J"), View.Base (ty "S"))) with
+  | Error (Tdp_infer.Infer.Join_related _) -> ()
+  | _ -> Alcotest.fail "join over a related pair must not typecheck");
+  let c = Catalog.drop_exn c ~name:"J" in
+  let h = Schema.hierarchy (Catalog.schema c) in
+  Alcotest.(check int) "type count restored" before_types (Hierarchy.cardinal h);
+  Alcotest.(check bool) "S restored as root" true
+    (Type_def.supers (Hierarchy.find h (ty "S")) = [])
+
 let test_optimize_protects_views () =
   let c = Catalog.create Tdp_paper.Fig3.schema in
   let c, _ =
@@ -157,6 +189,7 @@ let suite =
     Alcotest.test_case "drop order enforced" `Quick test_drop_order_enforced;
     Alcotest.test_case "duplicate name" `Quick test_duplicate_name;
     Alcotest.test_case "drop generalization" `Quick test_drop_generalization;
+    Alcotest.test_case "drop join" `Quick test_drop_join;
     Alcotest.test_case "optimize protects views" `Quick test_optimize_protects_views;
     Alcotest.test_case "catalog with store" `Quick test_catalog_with_store
   ]

@@ -1,0 +1,409 @@
+(* Inference tests: principal schemas of algebra pipelines, every
+   solve-time error, the instantiation check, Catalog.typecheck, and a
+   QCheck differential suite pinning the contract with View.derive:
+   whenever derivation succeeds on a concrete schema, inference
+   succeeds and that schema is admitted. *)
+
+open Tdp_core
+open Helpers
+module Infer = Tdp_infer.Infer
+module Pipeline = Tdp_infer.Pipeline
+module Kind = Tdp_infer.Kind
+module View = Tdp_algebra.View
+module Pred = Tdp_algebra.Pred
+module Catalog = Tdp_algebra.Catalog
+
+let fig1 = Tdp_paper.Fig1.schema
+let no_ref (_ : Type_name.t) = false
+let lower ?(is_ref = no_ref) e = View.to_pipeline ~is_ref e
+let infer_expr ?name e = Infer.infer ?name (lower e)
+
+let principal = function
+  | Ok (p : Infer.principal) -> p
+  | Error e -> Alcotest.failf "unexpected inference error: %a" Infer.pp_error e
+
+let error = function
+  | Error (e : Infer.error) -> e
+  | Ok (p : Infer.principal) ->
+      Alcotest.failf "expected an error, got %a" Infer.pp_principal p
+
+let attr_set l = Attr_name.Set.of_list (List.map at l)
+
+let check_row msg expected (r : Infer.row) =
+  let show = Fmt.str "%a" Infer.pp_row in
+  Alcotest.(check string) msg (show expected) (show r)
+
+let emp_view =
+  View.Project
+    (View.Base (ty "Employee"), List.map at [ "ssn"; "date_of_birth"; "pay_rate" ])
+
+let seniors_view =
+  View.Select (emp_view, Pred.cmp (at "date_of_birth") Pred.Le (Body.Int 1975))
+
+(* A three-type diamond for generalize/join: S{x} with subtypes A{y}
+   and B{z}, so A and B overlap on the inherited x. *)
+let tri_schema () =
+  let t ?(supers = []) name attr =
+    Type_def.make ~attrs:[ Attribute.make (at attr) Value_type.int ] ~supers (ty name)
+  in
+  let s = Schema.add_type Schema.empty (t "S" "x") in
+  let s = Schema.add_type s (t ~supers:[ (ty "S", 1) ] "A" "y") in
+  Schema.add_type s (t ~supers:[ (ty "S", 1) ] "B" "z")
+
+(* Two unrelated types, for joins and empty generalizations. *)
+let disjoint_schema () =
+  let t name attr =
+    Type_def.make ~attrs:[ Attribute.make (at attr) Value_type.int ] ~supers:[] (ty name)
+  in
+  Schema.add_type (Schema.add_type Schema.empty (t "A" "x")) (t "B" "y")
+
+(* --- principal schemas ---------------------------------------------- *)
+
+let test_principal_of_seniors () =
+  let p = principal (infer_expr ~name:"Seniors" seniors_view) in
+  check_row "projection tops the row"
+    (Infer.Exactly (attr_set [ "ssn"; "date_of_birth"; "pay_rate" ]))
+    p.result;
+  (match p.sources with
+  | [ (src, req) ] ->
+      Alcotest.(check string) "one source" "Employee" (Type_name.to_string src);
+      Alcotest.(check bool) "source must carry the projected attrs" true
+        (Attr_name.Set.equal req (attr_set [ "ssn"; "date_of_birth"; "pay_rate" ]))
+  | _ -> Alcotest.fail "expected exactly one source");
+  (match p.kinds with
+  | [ (a, k) ] ->
+      Alcotest.(check string) "constrained attr" "date_of_birth"
+        (Attr_name.to_string a);
+      Alcotest.(check string) "ordering against an int literal" "{int|float|date}"
+        (Kind.to_string k)
+  | _ -> Alcotest.fail "expected exactly one kind constraint");
+  Alcotest.(check bool) "fig1 admits it" true
+    (Infer.admits fig1 p = Ok ())
+
+let test_select_row_stays_open () =
+  let p =
+    principal
+      (infer_expr
+         (View.Select
+            (View.Base (ty "Employee"),
+             Pred.cmp (at "date_of_birth") Pred.Le (Body.Int 1975))))
+  in
+  check_row "selection only bounds the row from below"
+    (Infer.At_least (attr_set [ "date_of_birth" ]))
+    p.result
+
+let test_projected_cumulative_is_projection_list () =
+  (* The solver's Closed rows assume a projection's derived type has
+     exactly the projected attributes as cumulative state; pin that
+     against the real derivation. *)
+  let o = View.derive_exn fig1 ~view:"EmpView" emp_view in
+  let cumulative =
+    Hierarchy.all_attribute_names (Schema.hierarchy o.schema) o.name
+    |> List.map Attr_name.to_string |> List.sort String.compare
+  in
+  Alcotest.(check (list string))
+    "derived cumulative state = projection list"
+    [ "date_of_birth"; "pay_rate"; "ssn" ] cumulative
+
+(* --- solve-time errors ---------------------------------------------- *)
+
+let test_empty_projection () =
+  match error (infer_expr (View.Project (View.Base (ty "Employee"), []))) with
+  | Infer.Ill_typed _ -> ()
+  | e -> Alcotest.failf "expected Ill_typed, got %a" Infer.pp_error e
+
+let test_unknown_reference () =
+  let node = lower ~is_ref:(fun _ -> true) (View.Base (ty "Phantom")) in
+  match error (Infer.infer node) with
+  | Infer.Ill_typed _ -> ()
+  | e -> Alcotest.failf "expected Ill_typed, got %a" Infer.pp_error e
+
+let test_attr_absent () =
+  let e =
+    View.Project (View.Project (View.Base (ty "Employee"), [ at "ssn" ]), [ at "name" ])
+  in
+  match error (infer_expr e) with
+  | Infer.Attr_absent { attr; row; _ } ->
+      Alcotest.(check string) "missing attr" "name" (Attr_name.to_string attr);
+      Alcotest.(check (list string)) "closed row" [ "ssn" ]
+        (List.map Attr_name.to_string row)
+  | e -> Alcotest.failf "expected Attr_absent, got %a" Infer.pp_error e
+
+let test_join_related () =
+  let cases =
+    [ View.Join (View.Base (ty "A"), View.Base (ty "A"));
+      (* selection derives a subtype of its operand *)
+      View.Join (View.Select (View.Base (ty "A"), Pred.True), View.Base (ty "A"));
+      (* and the source is a subtype of its projection *)
+      View.Join (View.Project (View.Base (ty "A"), [ at "x" ]), View.Base (ty "A"))
+    ]
+  in
+  List.iter
+    (fun e ->
+      match error (infer_expr e) with
+      | Infer.Join_related _ -> ()
+      | err -> Alcotest.failf "expected Join_related, got %a" Infer.pp_error err)
+    cases
+
+let test_join_unrelated_solves () =
+  (* siblings are not provably related: the solver must accept, and a
+     disjoint concrete schema must admit *)
+  let e = View.Join (View.Base (ty "A"), View.Base (ty "B")) in
+  let p = principal (infer_expr e) in
+  Alcotest.(check bool) "disjoint schema admits" true
+    (Infer.admits (disjoint_schema ()) p = Ok ())
+
+let test_pred_conflict_same_view () =
+  let e =
+    View.Select
+      (View.Base (ty "A"),
+       Pred.And (Pred.cmp (at "x") Pred.Eq (Body.Int 1),
+                 Pred.cmp (at "x") Pred.Eq (Body.String "one")))
+  in
+  (match error (infer_expr e) with
+  | Infer.Pred_conflict { attr; _ } ->
+      Alcotest.(check string) "conflicted attr" "x" (Attr_name.to_string attr)
+  | err -> Alcotest.failf "expected Pred_conflict, got %a" Infer.pp_error err);
+  (* ordering a string literal admits no attribute type at all *)
+  let e = View.Select (View.Base (ty "A"), Pred.cmp (at "x") Pred.Lt (Body.String "z")) in
+  match error (infer_expr e) with
+  | Infer.Pred_conflict _ -> ()
+  | err -> Alcotest.failf "expected Pred_conflict, got %a" Infer.pp_error err
+
+let test_reuse_conflict_across_views () =
+  let prog =
+    [ ("ByName", lower (View.Select (View.Base (ty "A"),
+                                     Pred.cmp (at "name") Pred.Eq (Body.String "ada"))));
+      ("ByRank", lower (View.Select (View.Base (ty "A"),
+                                     Pred.cmp (at "name") Pred.Lt (Body.Int 5))))
+    ]
+  in
+  match Infer.infer_program prog with
+  | [ ("ByName", Ok _); ("ByRank", Error (Infer.Reuse_conflict { view; prior; attr })) ] ->
+      Alcotest.(check string) "blamed view" "ByRank" view;
+      Alcotest.(check string) "prior view" "ByName" prior;
+      Alcotest.(check string) "shared attr" "name" (Attr_name.to_string attr)
+  | _ -> Alcotest.fail "expected ByName to solve and ByRank to conflict"
+
+let test_failed_view_does_not_cascade () =
+  (* a later view over an ill-typed one still reports its own story *)
+  let prog =
+    [ ("Bad", lower (View.Project (View.Base (ty "A"), [])));
+      ("Over", lower ~is_ref:(fun n -> Type_name.to_string n = "Bad")
+                 (View.Select (View.Base (ty "Bad"), Pred.True)))
+    ]
+  in
+  match Infer.infer_program prog with
+  | [ ("Bad", Error (Infer.Ill_typed _)); ("Over", Ok _) ] -> ()
+  | _ -> Alcotest.fail "expected Bad to fail alone and Over to solve"
+
+(* --- instantiation --------------------------------------------------- *)
+
+let test_admits_generalize () =
+  let e = View.Generalize (View.Base (ty "A"), View.Base (ty "B")) in
+  let p = principal (infer_expr e) in
+  Alcotest.(check bool) "overlapping siblings admit" true
+    (Infer.admits (tri_schema ()) p = Ok ());
+  match Infer.admits (disjoint_schema ()) p with
+  | Error (Infer.Ill_typed _) -> ()
+  | _ -> Alcotest.fail "disjoint types must not instantiate a generalization"
+
+let test_join_residuals () =
+  (* projecting over a join: the attribute must come from some operand,
+     which only a concrete schema can decide *)
+  let e = View.Project (View.Join (View.Base (ty "A"), View.Base (ty "B")), [ at "x" ]) in
+  let p = principal (infer_expr e) in
+  Alcotest.(check (list string)) "x is residual" [ "x" ]
+    (List.map Attr_name.to_string p.residuals);
+  Alcotest.(check bool) "A supplies x" true
+    (Infer.admits (disjoint_schema ()) p = Ok ());
+  let ghost =
+    principal
+      (infer_expr
+         (View.Project (View.Join (View.Base (ty "A"), View.Base (ty "B")), [ at "g" ])))
+  in
+  match Infer.admits (disjoint_schema ()) ghost with
+  | Error (Infer.Attr_absent _) -> ()
+  | _ -> Alcotest.fail "no operand supplies g"
+
+let test_admits_call () =
+  let p = principal (Infer.infer (Pipeline.Call { gf = "age"; node = Source (ty "Person") })) in
+  Alcotest.(check (list string)) "gf recorded" [ "age" ] p.gfs;
+  Alcotest.(check bool) "fig1 declares age/1" true (Infer.admits fig1 p = Ok ());
+  let q = principal (Infer.infer (Pipeline.Call { gf = "nosuch"; node = Source (ty "Person") })) in
+  (match Infer.admits fig1 q with
+  | Error (Infer.Ill_typed _) -> ()
+  | _ -> Alcotest.fail "undeclared generic function must not instantiate");
+  let binary = Schema.declare_gf fig1 (Generic_function.declare ~arity:2 "pair") in
+  let r = principal (Infer.infer (Pipeline.Call { gf = "pair"; node = Source (ty "Person") })) in
+  match Infer.admits binary r with
+  | Error (Infer.Ill_typed _) -> ()
+  | _ -> Alcotest.fail "a 2-ary generic function is not a pipeline method"
+
+let test_kind_lattice () =
+  let eq lit = Kind.of_comparison ~ordered:false lit in
+  let ord lit = Kind.of_comparison ~ordered:true lit in
+  Alcotest.(check string) "numeric equality" "{int|float|date}"
+    (Kind.to_string (eq (Body.Int 1)));
+  Alcotest.(check string) "string equality" "{string}"
+    (Kind.to_string (eq (Body.String "s")));
+  Alcotest.(check bool) "string ordering is empty" true
+    (Kind.is_empty (ord (Body.String "s")));
+  Alcotest.(check bool) "null equality is unconstrained" true
+    (Kind.is_any (eq Body.Null));
+  Alcotest.(check bool) "date admits numeric comparison" true
+    (Kind.admits (ord (Body.Int 1980)) Value_type.date);
+  Alcotest.(check bool) "string refuses numeric comparison" false
+    (Kind.admits (ord (Body.Int 1980)) Value_type.string)
+
+(* --- Catalog.typecheck ----------------------------------------------- *)
+
+let test_catalog_typecheck () =
+  let c = Catalog.create fig1 in
+  (match Catalog.typecheck c ~name:"EmpView" emp_view with
+  | Ok p -> check_row "principal row"
+              (Infer.Exactly (attr_set [ "ssn"; "date_of_birth"; "pay_rate" ])) p.result
+  | Error e -> Alcotest.failf "EmpView should typecheck: %a" Infer.pp_error e);
+  (match Catalog.typecheck c ~name:"Ghostly"
+           (View.Project (View.Base (ty "Employee"), [ at "ghost" ])) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "projecting a missing attribute must not typecheck");
+  (* references to already-defined views resolve through the catalog *)
+  let c, _ = Catalog.define_exn c ~name:"EmpView" emp_view in
+  (match Catalog.typecheck c ~name:"Tiny"
+           (View.Project (View.Base (ty "EmpView"), [ at "ssn" ])) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "Tiny should typecheck: %a" Infer.pp_error e);
+  match Catalog.typecheck c ~name:"TooWide"
+          (View.Project (View.Base (ty "EmpView"), [ at "hrs_worked" ])) with
+  | Error (Infer.Attr_absent _) -> ()
+  | _ -> Alcotest.fail "EmpView's row is closed; hrs_worked is gone"
+
+(* --- differential properties ----------------------------------------- *)
+
+let config_of_seed seed =
+  let open Tdp_synth.Synth in
+  { default with
+    n_types = 4 + (seed mod 10);
+    max_supers = 1 + (seed mod 3);
+    attrs_per_type = 1 + (seed mod 3);
+    n_gfs = 2;
+    methods_per_gf = 1;
+    max_params = 1;
+    calls_per_body = 1;
+    seed
+  }
+
+(* A random view expression over the schema's real types and attribute
+   names, with an occasional bogus attribute so both accept and reject
+   paths are exercised. *)
+let rec gen_expr h types depth st =
+  let pick l = List.nth l (Random.State.int st (List.length l)) in
+  let base () = View.Base (pick types) in
+  if depth = 0 then base ()
+  else
+    let sub () = gen_expr h types (depth - 1) st in
+    let pool () =
+      let attrs = Hierarchy.all_attribute_names h (pick types) in
+      let attrs = if attrs = [] then [ at "zz_ghost" ] else attrs in
+      if Random.State.int st 8 = 0 then at "zz_ghost" :: attrs else attrs
+    in
+    match Random.State.int st 6 with
+    | 0 -> base ()
+    | 1 ->
+        let pool = pool () in
+        let n = 1 + Random.State.int st (List.length pool) in
+        View.Project (sub (), List.filteri (fun i _ -> i < n) pool)
+    | 2 ->
+        let attr = pick (pool ()) in
+        let op = pick Pred.[ Eq; Ne; Lt; Le; Gt; Ge ] in
+        let lit =
+          pick Body.[ Int 1; Float 2.5; String "s"; Bool true; Null ]
+        in
+        View.Select (sub (), Pred.cmp attr op lit)
+    | 3 -> View.Generalize (sub (), sub ())
+    | _ -> View.Join (sub (), sub ())
+
+let sub_exprs (e : View.expr) =
+  match e with
+  | View.Base _ -> []
+  | View.Project (e1, attrs) ->
+      e1
+      :: (if List.length attrs > 1 then [ View.Project (e1, [ List.hd attrs ]) ] else [])
+  | View.Select (e1, p) -> e1 :: (if p = Pred.True then [] else [ View.Select (e1, Pred.True) ])
+  | View.Generalize (a, b) | View.Join (a, b) -> [ a; b ]
+
+let diff_arb =
+  let gen st =
+    let seed = Random.State.int st 10_000 in
+    let schema = Tdp_synth.Synth.generate (config_of_seed seed) in
+    let h = Schema.hierarchy schema in
+    (seed, gen_expr h (Hierarchy.type_names h) (1 + Random.State.int st 3) st)
+  in
+  let print (seed, e) = Fmt.str "seed %d: %a" seed View.pp_expr e in
+  let shrink (seed, e) yield = List.iter (fun e' -> yield (seed, e')) (sub_exprs e) in
+  QCheck.make ~print ~shrink gen
+
+(* The inference contract: derivation success implies a principal type
+   this schema admits; a solve-time error marks a pipeline no schema
+   can derive.  (Instantiation may be more permissive than derivation —
+   name clashes and method-preservation failures are derivation-only.) *)
+let prop_differential =
+  QCheck.Test.make ~name:"derive ok => infer ok and schema admitted" ~count:1000
+    diff_arb (fun (seed, e) ->
+      let schema = Tdp_synth.Synth.generate (config_of_seed seed) in
+      match (View.derive schema ~view:"v" e, infer_expr ~name:"v" e) with
+      | Ok _, Error _ -> false
+      | Ok _, Ok p -> Infer.admits schema p = Ok ()
+      | Error _, _ -> true)
+
+(* Program-level agreement: a projection workload the catalog accepts
+   is accepted by typecheck-before-define, across a view reference. *)
+let prop_program_level =
+  QCheck.Test.make ~name:"catalog define agrees with typecheck" ~count:300
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 10_000))
+    (fun seed ->
+      let schema = Tdp_synth.Synth.generate (config_of_seed seed) in
+      let source, projection = Tdp_synth.Synth.gen_projection ~seed schema in
+      let v1 = View.Project (View.Base source, projection) in
+      let v2 = View.Project (View.Base (ty "v1"), [ List.hd projection ]) in
+      let c = Catalog.create schema in
+      let tc1 = Result.is_ok (Catalog.typecheck c ~name:"v1" v1) in
+      match Catalog.define c ~name:"v1" v1 with
+      | Error _ -> not tc1 || true  (* typecheck may be laxer, never stricter *)
+      | Ok (c, _) ->
+          tc1
+          && Result.is_ok (Catalog.typecheck c ~name:"v2" v2)
+          && Result.is_ok (Catalog.define c ~name:"v2" v2))
+
+let () =
+  let to_alco = QCheck_alcotest.to_alcotest in
+  Alcotest.run "infer"
+    [ ( "principal",
+        [ Alcotest.test_case "seniors pipeline" `Quick test_principal_of_seniors;
+          Alcotest.test_case "select keeps row open" `Quick test_select_row_stays_open;
+          Alcotest.test_case "projection closes the row" `Quick
+            test_projected_cumulative_is_projection_list
+        ] );
+      ( "errors",
+        [ Alcotest.test_case "empty projection" `Quick test_empty_projection;
+          Alcotest.test_case "unknown reference" `Quick test_unknown_reference;
+          Alcotest.test_case "attr absent from closed row" `Quick test_attr_absent;
+          Alcotest.test_case "join of related operands" `Quick test_join_related;
+          Alcotest.test_case "join of siblings solves" `Quick test_join_unrelated_solves;
+          Alcotest.test_case "predicate conflict" `Quick test_pred_conflict_same_view;
+          Alcotest.test_case "cross-view reuse conflict" `Quick
+            test_reuse_conflict_across_views;
+          Alcotest.test_case "failures do not cascade" `Quick
+            test_failed_view_does_not_cascade
+        ] );
+      ( "instantiation",
+        [ Alcotest.test_case "generalize admits/rejects" `Quick test_admits_generalize;
+          Alcotest.test_case "join residuals" `Quick test_join_residuals;
+          Alcotest.test_case "method-call nodes" `Quick test_admits_call;
+          Alcotest.test_case "kind lattice" `Quick test_kind_lattice;
+          Alcotest.test_case "catalog typecheck" `Quick test_catalog_typecheck
+        ] );
+      ( "differential",
+        List.map to_alco [ prop_differential; prop_program_level ] )
+    ]

@@ -289,6 +289,40 @@ view Everyone = generalize S with I;
   Alcotest.check attr_names "state = common" [ at "pid" ]
     (Hierarchy.all_attribute_names h (ty "Everyone"))
 
+let test_join_view_syntax () =
+  let src =
+    {|
+type S { gpa : float; }
+type I { salary : float; }
+view Working = join S with I;
+|}
+  in
+  let r = Elaborate.load_exn src in
+  (match List.assoc "Working" r.views with
+  | View.Join (View.Base a, View.Base b) ->
+      Alcotest.(check (pair string string))
+        "operands" ("S", "I")
+        (Type_name.to_string a, Type_name.to_string b)
+  | _ -> Alcotest.fail "expected a join view");
+  (* the view declaration's position is recorded for diagnostics *)
+  Alcotest.(check (option (pair int int)))
+    "position" (Some (4, 1))
+    (List.assoc_opt "Working" r.view_positions);
+  (* join views print and re-parse to the same expression *)
+  let printed = Printer.print ~views:r.views r.schema in
+  let r2 = Elaborate.load_exn printed in
+  Alcotest.(check string) "fixpoint" printed
+    (Printer.print ~views:r2.views r2.schema);
+  let schema, derived = Elaborate.apply_views_exn r in
+  Alcotest.(check (list string)) "derived" [ "Working" ] (List.map fst derived);
+  let h = Schema.hierarchy schema in
+  Alcotest.(check bool) "Working ⪯ S" true
+    (Hierarchy.subtype h (ty "Working") (ty "S"));
+  Alcotest.(check bool) "Working ⪯ I" true
+    (Hierarchy.subtype h (ty "Working") (ty "I"));
+  Alcotest.check attr_names "state = union" [ at "gpa"; at "salary" ]
+    (List.sort Attr_name.compare (Hierarchy.all_attribute_names h (ty "Working")))
+
 let test_print_views () =
   let r = Elaborate.load_exn fig1_src in
   let src = Printer.print ~views:r.views r.schema in
@@ -322,6 +356,7 @@ let suite =
     Alcotest.test_case "empty program" `Quick test_empty_program;
     Alcotest.test_case "nested parens and not" `Quick test_nested_parens_and_not;
     Alcotest.test_case "generalize view syntax" `Quick test_generalize_view_syntax;
+    Alcotest.test_case "join view syntax" `Quick test_join_view_syntax;
     Alcotest.test_case "views print and re-parse" `Quick test_print_views
   ]
 

@@ -71,6 +71,72 @@ let test_json_escaping () =
   Alcotest.(check bool) "escaped quote" true (contains ~sub:{|a\"b.odb|} j);
   Alcotest.(check bool) "escaped newline" true (contains ~sub:{|newline \n tab|} j)
 
+(* The inference pass (TDP040..TDP044): exercised through lint_views so
+   the lowering, program solve, and instantiation check all run. *)
+module View = Tdp_algebra.View
+module Pred = Tdp_algebra.Pred
+
+let two_type_schema () =
+  Schema.add_type (base_schema ())
+    (Type_def.make
+       ~attrs:[ Attribute.make (at "y") Value_type.int ]
+       ~supers:[] (ty "B"))
+
+let test_inference_codes () =
+  let schema = two_type_schema () in
+  let fired views = codes (Lint.lint_views schema views) in
+  Alcotest.(check (list string)) "TDP040: principal not instantiated"
+    [ "TDP040" ]
+    (fired [ ("G", View.Generalize (Base (ty "A"), Base (ty "B"))) ]);
+  Alcotest.(check (list string)) "TDP041: attr absent from a closed row"
+    [ "TDP041" ]
+    (fired
+       [ ("V", View.Project (Base (ty "A"), [ at "x" ]));
+         ("W", View.Select (Base (ty "V"), Pred.cmp (at "ghost") Pred.Eq (Body.Int 1)))
+       ]);
+  Alcotest.(check (list string)) "TDP042: join of related operands"
+    [ "TDP042" ]
+    (fired
+       [ ("P", View.Select (Base (ty "A"), Pred.True));
+         ("J", View.Join (Base (ty "P"), Base (ty "A")))
+       ]);
+  Alcotest.(check (list string)) "TDP043: unsatisfiable comparisons"
+    [ "TDP043" ]
+    (fired
+       [ ("C",
+          View.Select
+            (Base (ty "A"),
+             Pred.And (Pred.cmp (at "x") Pred.Eq (Body.Int 1),
+                       Pred.cmp (at "x") Pred.Eq (Body.String "one"))))
+       ]);
+  Alcotest.(check (list string)) "TDP044: incompatible cross-view reuse"
+    [ "TDP044" ]
+    (fired
+       [ ("E", View.Select (Base (ty "A"), Pred.cmp (at "x") Pred.Eq (Body.Int 1)));
+         ("S", View.Select (Base (ty "A"), Pred.cmp (at "x") Pred.Eq (Body.String "s")))
+       ])
+
+let test_inference_positions_and_json () =
+  let schema = two_type_schema () in
+  let views = [ ("G", View.Generalize (View.Base (ty "A"), View.Base (ty "B"))) ] in
+  let ds =
+    Lint.lint_views ~file:"f.odb" ~positions:[ ("G", (7, 3)) ] schema views
+  in
+  match List.find_opt (fun (d : Diagnostic.t) -> d.code = "TDP040") ds with
+  | None -> Alcotest.fail "expected a TDP040 diagnostic"
+  | Some d ->
+      Alcotest.(check (option (pair int int))) "declaration position" (Some (7, 3))
+        d.position;
+      let j = Diagnostic.to_json d in
+      let contains ~sub s =
+        let n = String.length sub and m = String.length s in
+        let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      List.iter
+        (fun sub -> Alcotest.(check bool) (sub ^ " in json") true (contains ~sub j))
+        [ {|"code":"TDP040"|}; {|"line":7|}; {|"col":3|}; {|"file":"f.odb"|} ]
+
 (* Reuse the test_invariants_prop generator configuration: the linter
    must never raise, whatever schema it is handed. *)
 let config_of_seed seed =
@@ -123,7 +189,10 @@ let () =
           Alcotest.test_case "TDP026 empty gf" `Quick test_empty_gf;
           Alcotest.test_case "clean schema" `Quick test_clean_schema_is_clean;
           Alcotest.test_case "code table" `Quick test_code_table;
-          Alcotest.test_case "json escaping" `Quick test_json_escaping
+          Alcotest.test_case "json escaping" `Quick test_json_escaping;
+          Alcotest.test_case "inference codes" `Quick test_inference_codes;
+          Alcotest.test_case "inference positions and json" `Quick
+            test_inference_positions_and_json
         ] );
       ("properties", List.map to_alco [ prop_lint_total; prop_lint_views_total ])
     ]
