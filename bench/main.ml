@@ -14,10 +14,10 @@
                                              ns/op + cached-vs-uncached
                                              speedups + the schema-index
                                              scaling sweep + store recovery
-                                             throughput + a Tdp_obs metrics
-                                             snapshot of one instrumented
-                                             pass; FILE defaults to
-                                             BENCH_6.json, "-" = stdout)
+                                             and MVCC commit throughput + a
+                                             Tdp_obs metrics snapshot of one
+                                             instrumented pass; FILE defaults
+                                             to BENCH_7.json, "-" = stdout)
         dune exec bench/main.exe -- bench --check FILE
                                             (re-measure in --small mode and
                                              fail if a guarded benchmark
@@ -590,6 +590,74 @@ let table_s8 () =
     [ 100; 1000 ]
 
 (* ------------------------------------------------------------------ *)
+(* S9: MVCC commit throughput (in-memory store, fig1 schema)           *)
+(* ------------------------------------------------------------------ *)
+
+module Mvcc = Tdp_txn.Mvcc
+
+(* An in-memory MVCC store pre-populated with [n] Employee objects, so
+   concurrent writers can update disjoint rows without conflicting. *)
+let mvcc_fixture n =
+  let o = Fig1.project () in
+  let store = Mvcc.create o.schema in
+  let t = Mvcc.begin_ store in
+  let oids =
+    List.map
+      (fun i ->
+        Mvcc.new_object t (ty "Employee")
+          ~init:
+            [ (at "ssn", Tdp_store.Value.Int i);
+              (at "date_of_birth", Tdp_store.Value.Date (1950 + (i mod 60)));
+              (at "pay_rate", Tdp_store.Value.Float 10.0);
+              (at "hrs_worked", Tdp_store.Value.Float 40.0)
+            ])
+      (List.init n (fun i -> i))
+  in
+  (match Mvcc.commit t with
+  | Ok _ -> ()
+  | Error e -> failwith (Mvcc.commit_error_message e));
+  (store, Array.of_list oids)
+
+(* One update transaction against row [oid]; [false] means the commit
+   lost a first-writer-wins race. *)
+let commit_once store oid v =
+  let t = Mvcc.begin_ store in
+  Mvcc.set_attr t oid (at "pay_rate") (Tdp_store.Value.Float v);
+  match Mvcc.commit t with Ok _ -> true | Error _ -> false
+
+(* Wall-clock throughput of [workers] domains each committing
+   [per_worker] transactions on disjoint rows.  Uses gettimeofday, not
+   Sys.time: CPU time sums across domains and would hide the
+   parallelism this measures. *)
+let concurrent_commits store oids ~workers ~per_worker =
+  let conflicts = Atomic.make 0 in
+  let t0 = Unix.gettimeofday () in
+  let worker w () =
+    let oid = oids.(w) in
+    for k = 1 to per_worker do
+      if not (commit_once store oid (float_of_int k)) then Atomic.incr conflicts
+    done
+  in
+  let ds = List.init workers (fun w -> Domain.spawn (worker w)) in
+  List.iter Domain.join ds;
+  let dt = Unix.gettimeofday () -. t0 in
+  (float_of_int (workers * per_worker) /. dt, Atomic.get conflicts)
+
+let table_s9 () =
+  section "S9: MVCC commit throughput (in-memory store, disjoint rows)";
+  let store, oids = mvcc_fixture 64 in
+  let t_serial = time_it (fun () -> ignore (commit_once store oids.(0) 11.0)) in
+  row3 "serial commit"
+    (Fmt.str "%a" pp_time t_serial)
+    (Fmt.str "(%7.0f txn/s)" (1.0 /. t_serial));
+  row3 "writer domains" "throughput" "conflicts";
+  List.iter
+    (fun w ->
+      let rate, conflicts = concurrent_commits store oids ~workers:w ~per_worker:200 in
+      row3 (string_of_int w) (Fmt.str "%7.0f txn/s" rate) (string_of_int conflicts))
+    [ 1; 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
 (* Schema-index scaling sweep: layered diamond lattices                *)
 (* ------------------------------------------------------------------ *)
 
@@ -800,6 +868,15 @@ let json_report ~small =
   let t_wal = time_it (bench_wal_replay s_schema s_wal) in
   let per_obj t = ns t /. float_of_int store_n in
   let objs_per_sec t = float_of_int store_n /. t in
+  (* MVCC commit throughput: one serial committer, then 8 writer
+     domains on disjoint rows (wall clock — see concurrent_commits) *)
+  let txn_workers = 8 in
+  let txn_per_worker = if small then 50 else 200 in
+  let tstore, toids = mvcc_fixture 64 in
+  let t_commit = time_it (fun () -> ignore (commit_once tstore toids.(0) 11.0)) in
+  let txn_rate, txn_conflicts =
+    concurrent_commits tstore toids ~workers:txn_workers ~per_worker:txn_per_worker
+  in
   (* observability: cost of the disabled gates on the hot-path wrappers,
      cost of a live observation, and a registry snapshot taken from one
      instrumented pass over the same workloads *)
@@ -841,6 +918,10 @@ let json_report ~small =
       };
       { name = "store/snapshot-load"; ns_per_op = per_obj t_snap };
       { name = "store/wal-replay"; ns_per_op = per_obj t_wal };
+      { name = "txn/commit/serial"; ns_per_op = ns t_commit };
+      { name = Fmt.str "txn/commit/concurrent-%d" txn_workers;
+        ns_per_op = 1e9 /. txn_rate
+      };
       { name = "obs/time/disabled"; ns_per_op = ns t_time_off };
       { name = "obs/with_span/disabled"; ns_per_op = ns t_span_off };
       { name = "obs/observe/enabled"; ns_per_op = ns t_observe_on }
@@ -902,6 +983,11 @@ let json_report ~small =
        store_n
        (f (objs_per_sec t_snap))
        (f (objs_per_sec t_wal)));
+  Buffer.add_string buf
+    (Fmt.str
+       "  \"txn\": { \"workers\": %d, \"commits\": %d, \"conflicts\": %d, \
+        \"commits_per_sec\": %s },\n"
+       txn_workers (txn_workers * txn_per_worker) txn_conflicts (f txn_rate));
   Buffer.add_string buf
     (Fmt.str "  \"metrics\": %s,\n"
        (Obs.Json.to_string (Obs.Metrics.to_json metrics_snapshot)));
@@ -1072,6 +1158,10 @@ let guarded_benchmarks =
     "infer/admits";
     "store/snapshot-load";
     "store/wal-replay";
+    (* MVCC commit path: absent from pre-PR-7 baselines, so checks
+       against those skip them (the gate's missing-entry rule) *)
+    "txn/commit/serial";
+    "txn/commit/concurrent-8";
     (* disabled-instrumentation gates: these must stay within noise of
        a bare call; entries absent from older baselines are skipped *)
     "obs/time/disabled";
@@ -1157,7 +1247,7 @@ let () =
   let rec out_of = function
     | "--out" :: v :: _ -> v
     | _ :: rest -> out_of rest
-    | [] -> "BENCH_6.json"
+    | [] -> "BENCH_7.json"
   in
   let rec check_of = function
     | "--check" :: v :: _ -> Some v
@@ -1185,7 +1275,8 @@ let () =
     table_s5 ();
     table_s6 ();
     table_s7 ();
-    table_s8 ()
+    table_s8 ();
+    table_s9 ()
   end;
   if mode = "all" || mode = "bench" then run_bechamel ();
   Fmt.pr "@.done.@."

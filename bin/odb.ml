@@ -10,6 +10,8 @@
      odb dispatch schema.odb --gf f --args T1,T2 [--all] [--json]
      odb query schema.odb data.odd --view V [--json]
      odb store ACTION dir [--schema FILE] [--script FILE] [--json]
+     odb serve dir [--socket PATH | --tcp HOST:PORT] [--domains N] [--no-sync]
+     odb connect dir|socket [--tcp HOST:PORT] [--json]
      odb dot schema.odb [--json]
      odb stats [FILE]
 
@@ -626,6 +628,17 @@ let store_cmd action dir schema_file script_file json =
   let schema_path = Filename.concat dir "schema.odb"
   and snapshot_path = Filename.concat dir "snapshot.dump"
   and wal_path = Filename.concat dir "wal.log" in
+  (* A crash between Dump.save's temp-write and rename leaves an
+     orphaned snapshot.dump.tmp; it is never read as a snapshot, only
+     removed (and the removal announced). *)
+  let clean_orphan () =
+    if Sys.file_exists dir && Dump.clean_tmp ~path:snapshot_path then begin
+      Fmt.epr "warning: removed orphaned %s.tmp (crashed checkpoint)@."
+        snapshot_path;
+      true
+    end
+    else false
+  in
   let recover schema =
     Wal.recover ~load_schema:store_schema_loader ~schema ~snapshot_path
       ~wal_path ()
@@ -647,6 +660,7 @@ let store_cmd action dir schema_file script_file json =
         let src = read_file sf in
         let r = or_die ~file:sf (Elaborate.load src) in
         if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        ignore (clean_orphan ());
         write_file schema_path src;
         Dump.save ~path:snapshot_path (Database.create r.schema);
         Wal.close (Wal.writer_create ~path:wal_path ~next_seq:1 ());
@@ -689,6 +703,7 @@ let store_cmd action dir schema_file script_file json =
           exit_of status
         end
     | (Append | Recover | Checkpoint | DumpDb) as action -> (
+        let tmp_removed = clean_orphan () in
         let schema =
           (or_die ~file:schema_path (Elaborate.load (read_file schema_path))).schema
         in
@@ -698,6 +713,7 @@ let store_cmd action dir schema_file script_file json =
             ("snapshot_seq", J.Int r.snapshot_seq);
             ("replayed", J.Int r.replayed);
             ("last_seq", J.Int r.last_seq);
+            ("tmp_removed", J.Bool tmp_removed);
             ("corruption", corruption_json r.corruption)
           ]
         in
@@ -769,6 +785,159 @@ let store_cmd action dir schema_file script_file json =
   | Database.Store_error m -> die_msg m
   | Dump.Parse_error { line; message } -> die_msg (Fmt.str "line %d: %s" line message)
   | Wal.Wal_error m -> die_msg m
+
+(* --- serve / connect ------------------------------------------------ *)
+
+module Mvcc = Tdp_txn.Mvcc
+module Server = Tdp_txn.Server
+
+let default_socket dir = Filename.concat dir "odb.sock"
+
+let parse_host_port spec =
+  match String.rindex_opt spec ':' with
+  | None -> die_msg (Fmt.str "expected HOST:PORT, got %s" spec)
+  | Some i -> (
+      let host = String.sub spec 0 i
+      and port = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt port with
+      | None -> die_msg (Fmt.str "bad port %s" port)
+      | Some port -> (
+          let host = if host = "" then "127.0.0.1" else host in
+          match Unix.getaddrinfo host (string_of_int port)
+                  [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM; Unix.AI_FAMILY Unix.PF_INET ]
+          with
+          | { Unix.ai_addr; _ } :: _ -> ai_addr
+          | [] -> die_msg (Fmt.str "cannot resolve %s" host)))
+
+let sockaddr_string = function
+  | Unix.ADDR_UNIX path -> path
+  | Unix.ADDR_INET (addr, port) ->
+      Fmt.str "%s:%d" (Unix.string_of_inet_addr addr) port
+
+(* `odb serve DIR` — recover the transactional store in DIR and serve
+   it until SIGINT/SIGTERM.  Commits are write-ahead logged to
+   DIR/txn.log; crash recovery replays committed brackets only. *)
+let serve_cmd dir socket tcp domains no_sync json =
+  setup "serve" json;
+  let schema_path = Filename.concat dir "schema.odb" in
+  if not (Sys.file_exists schema_path) then
+    die_msg (Fmt.str "%s not found (run odb store init first)" schema_path);
+  let schema =
+    (or_die ~file:schema_path (Elaborate.load (read_file schema_path))).schema
+  in
+  let addr =
+    match (socket, tcp) with
+    | Some _, Some _ -> die_msg "--socket and --tcp are mutually exclusive"
+    | None, Some spec -> parse_host_port spec
+    | Some path, None -> Unix.ADDR_UNIX path
+    | None, None -> Unix.ADDR_UNIX (default_socket dir)
+  in
+  try
+    let o =
+      Mvcc.open_dir ~load_schema:store_schema_loader ~sync:(not no_sync)
+        ~schema dir
+    in
+    (match o.Mvcc.txn_corruption with
+    | Some c -> Fmt.epr "warning: txn log %a; recovered the prefix before it@." pp_corruption c
+    | None -> ());
+    (match o.Mvcc.wal_corruption with
+    | Some c -> Fmt.epr "warning: %a; recovered the prefix before it@." pp_corruption c
+    | None -> ());
+    if o.Mvcc.tmp_removed then
+      Fmt.epr "warning: removed orphaned snapshot .tmp (crashed checkpoint)@.";
+    let store = o.Mvcc.store in
+    let srv =
+      Server.start ?domains ~store addr
+    in
+    let bound = sockaddr_string (Server.sockaddr srv) in
+    let head = Mvcc.head store ~branch:Mvcc.main_branch in
+    if json then
+      print_endline
+        (J.to_string
+           (envelope `Ok
+              (J.Obj
+                 [ ("dir", J.String dir);
+                   ("listening", J.String bound);
+                   ("objects", J.Int (Mvcc.count head));
+                   ("version", J.Int (Mvcc.version head));
+                   ("txn_applied", J.Int o.Mvcc.txn_applied);
+                   ("txn_discarded", J.Int o.Mvcc.txn_discarded)
+                 ])))
+    else
+      Fmt.pr "serving %s on %s (%d object(s), version %d, %d txn(s) replayed)@."
+        dir bound (Mvcc.count head) (Mvcc.version head) o.Mvcc.txn_applied;
+    (* stdout is the readiness signal for scripts that spawn us *)
+    flush stdout;
+    let stop = Atomic.make false in
+    let on_signal _ = Atomic.set stop true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    while not (Atomic.get stop) do
+      Unix.sleepf 0.1
+    done;
+    Server.stop srv;
+    Mvcc.close store;
+    if not json then Fmt.pr "shut down.@.";
+    0
+  with
+  | Database.Store_error m -> die_msg m
+  | Wal.Wal_error m -> die_msg m
+  | Unix.Unix_error (e, fn, arg) ->
+      die_msg (Fmt.str "%s %s: %s" fn arg (Unix.error_message e))
+
+(* `odb connect TARGET` — a scripting client: one request line per
+   stdin line, one response line per stdout line.  TARGET is a store
+   directory (implying DIR/odb.sock), a socket path, or HOST:PORT with
+   --tcp. *)
+let connect_cmd target tcp json =
+  setup "connect" json;
+  let addr =
+    match (target, tcp) with
+    | Some _, Some _ -> die_msg "TARGET and --tcp are mutually exclusive"
+    | None, Some spec -> parse_host_port spec
+    | Some t, None ->
+        if Sys.file_exists t && Sys.is_directory t then
+          Unix.ADDR_UNIX (default_socket t)
+        else Unix.ADDR_UNIX t
+    | None, None -> die_msg "odb connect requires a TARGET (directory or socket) or --tcp HOST:PORT"
+  in
+  match Server.connect addr with
+  | exception Unix.Unix_error (e, _, _) ->
+      die_msg
+        (Fmt.str "cannot connect to %s: %s" (sockaddr_string addr)
+           (Unix.error_message e))
+  | client ->
+      let exchanges = ref [] in
+      let rec loop () =
+        match In_channel.input_line stdin with
+        | None -> ()
+        | Some line when String.trim line = "" -> loop ()
+        | Some line -> (
+            match Server.request client (String.trim line) with
+            | exception End_of_file ->
+                if not json then Fmt.epr "error: server closed the connection@."
+            | resp ->
+                if json then exchanges := (String.trim line, resp) :: !exchanges
+                else print_endline resp;
+                loop ())
+      in
+      Fun.protect ~finally:(fun () -> Server.close_client client) loop;
+      if json then
+        finish `Ok
+          ~data:
+            (J.Obj
+               [ ("target", J.String (sockaddr_string addr));
+                 ("exchanges",
+                  J.List
+                    (List.rev_map
+                       (fun (req, resp) ->
+                         J.Obj
+                           [ ("request", J.String req);
+                             ("response", J.String resp)
+                           ])
+                       !exchanges))
+               ])
+      else 0
 
 (* --- dot ----------------------------------------------------------- *)
 
@@ -1029,6 +1198,61 @@ let store_t =
   Cmd.v (Cmd.info "store" ~doc)
     Term.(const store_cmd $ action $ dir $ schema $ script $ json_flag)
 
+let serve_t =
+  let doc =
+    "Serve a transactional store directory to concurrent clients over a \
+     line protocol (Unix socket by default, DIR/odb.sock).  Sessions get \
+     snapshot isolation: each transaction works against an immutable \
+     snapshot of its branch and commits with first-writer-wins conflict \
+     detection; commits are write-ahead logged to DIR/txn.log.  Runs until \
+     SIGINT/SIGTERM."
+  in
+  let dir =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc:"Store directory (odb store init).")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket path (default DIR/odb.sock).")
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"Listen on TCP instead of a Unix socket (port 0 picks one).")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N" ~doc:"Accepter domains (default: derived from the core count).")
+  in
+  let no_sync =
+    Arg.(
+      value & flag
+      & info [ "no-sync" ] ~doc:"Skip the per-record fsync of the transaction log (faster, less durable).")
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const serve_cmd $ dir $ socket $ tcp $ domains $ no_sync $ json_flag)
+
+let connect_t =
+  let doc =
+    "Connect to an odb server: each stdin line is sent as one request, each \
+     response printed on stdout — the scripting and testing client.  TARGET \
+     is a store directory (implying DIR/odb.sock) or a socket path."
+  in
+  let target =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"TARGET" ~doc:"Store directory or Unix socket path.")
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"Connect over TCP instead.")
+  in
+  Cmd.v (Cmd.info "connect" ~doc) Term.(const connect_cmd $ target $ tcp $ json_flag)
+
 let dot_t =
   let doc = "Print the type hierarchy as Graphviz DOT." in
   let apply_views =
@@ -1051,7 +1275,7 @@ let main =
   Cmd.group
     (Cmd.info "odb" ~version:"1.0.0" ~doc)
     [ check_t; lint_t; infer_t; apply_t; methods_t; dispatch_t; query_t;
-      store_t; dot_t; stats_t ]
+      store_t; serve_t; connect_t; dot_t; stats_t ]
 
 (* CLI boundary: domain failures that escape a subcommand — any
    structured [Error.E] a command did not turn into a result — are

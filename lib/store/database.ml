@@ -200,6 +200,7 @@ let delete t ?(policy = Restrict) oid =
   Hashtbl.remove t.objects oid
 
 let count t = Hashtbl.length t.objects
+let next_oid t = t.next
 
 let objects t =
   Hashtbl.fold (fun _ o acc -> o :: acc) t.objects []

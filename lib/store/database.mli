@@ -89,5 +89,11 @@ val delete : t -> ?policy:delete_policy -> Oid.t -> unit
 val extent : t -> Type_name.t -> Oid.t list
 
 val count : t -> int
+
+(** The next OID the allocator would hand out.  Strictly above every
+    OID ever used, including deleted ones — identities are never
+    reused, which {!Tdp_txn.Mvcc} preserves across recovery. *)
+val next_oid : t -> int
+
 val objects : t -> obj list
 val slots : t -> Oid.t -> Value.t Attr_name.Map.t

@@ -200,28 +200,67 @@ let load_into db src =
 
 (* ---- snapshot files ------------------------------------------------ *)
 
+(* Fsync a directory so a just-completed [Sys.rename] inside it is
+   itself durable: POSIX only guarantees the rename survives a crash
+   once the parent directory's metadata hits disk.  Best-effort — some
+   filesystems refuse fsync on a directory fd (EINVAL), which means the
+   platform already orders the metadata for us. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
+(* A crash between writing [path ^ ".tmp"] and renaming it over [path]
+   strands the temporary sibling forever; nothing must ever read it as
+   a snapshot.  [clean_tmp] removes it (store init/recover call this). *)
+let clean_tmp ~path =
+  let tmp = path ^ ".tmp" in
+  if Sys.file_exists tmp then begin
+    Sys.remove tmp;
+    true
+  end
+  else false
+
 let wal_seq_header = "-- wal-seq: "
+let txn_seq_header = "-- txn-seq: "
 
-let wal_seq src =
-  let first =
-    match String.index_opt src '\n' with
-    | Some i -> String.sub src 0 i
-    | None -> src
+(* Scan the leading comment lines for a numeric header.  Headers only
+   ever appear at the top, before the first object line. *)
+let header_value header src =
+  let hl = String.length header in
+  let rec go pos =
+    if pos >= String.length src then 0
+    else
+      let nl =
+        match String.index_from_opt src pos '\n' with
+        | Some i -> i
+        | None -> String.length src
+      in
+      let line = String.sub src pos (nl - pos) in
+      if String.length line >= 2 && String.sub line 0 2 = "--" then
+        if String.length line > hl && String.sub line 0 hl = header then
+          match int_of_string_opt (String.sub line hl (String.length line - hl)) with
+          | Some n -> n
+          | None -> 0
+        else go (nl + 1)
+      else 0
   in
-  let hl = String.length wal_seq_header in
-  if String.length first > hl && String.sub first 0 hl = wal_seq_header then
-    match int_of_string_opt (String.sub first hl (String.length first - hl)) with
-    | Some n -> n
-    | None -> 0
-  else 0
+  go 0
 
-(* Atomic snapshot: write to a temporary sibling, fsync, then rename
-   over the target, so a crash mid-write leaves either the old snapshot
-   or the new one — never a torn file.  The [wal_seq] header records
-   the last WAL sequence number folded into the snapshot; recovery
-   skips WAL records at or below it, which makes the
+let wal_seq src = header_value wal_seq_header src
+let txn_seq src = header_value txn_seq_header src
+
+(* Atomic snapshot: write to a temporary sibling, fsync, rename over
+   the target, then fsync the parent directory — without the last step
+   a crash after checkpoint-then-truncate can lose the rename itself
+   and with it the snapshot.  The [wal_seq]/[txn_seq] headers record
+   the last WAL / transaction-log sequence numbers folded into the
+   snapshot; recovery skips records at or below them, which makes the
    checkpoint-then-truncate sequence crash-safe at every point. *)
-let save ?(wal_seq = 0) ~path db =
+let save ?(wal_seq = 0) ?(txn_seq = 0) ~path db =
   Obs.Metrics.time m_save_ns (fun () ->
       Obs.Trace.with_span "dump.save" (fun () ->
           let tmp = path ^ ".tmp" in
@@ -231,7 +270,10 @@ let save ?(wal_seq = 0) ~path db =
             (fun () ->
               if wal_seq > 0 then
                 output_string oc (Fmt.str "%s%d\n" wal_seq_header wal_seq);
+              if txn_seq > 0 then
+                output_string oc (Fmt.str "%s%d\n" txn_seq_header txn_seq);
               output_string oc (to_string db);
               flush oc;
               Unix.fsync (Unix.descr_of_out_channel oc));
-          Sys.rename tmp path))
+          Sys.rename tmp path;
+          fsync_dir (Filename.dirname path)))

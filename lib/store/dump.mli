@@ -34,11 +34,26 @@ val to_string : Database.t -> string
     violations. *)
 val load_into : Database.t -> string -> Oid.t list
 
-(** Atomically snapshot [db] to [path]: write-temp, fsync, rename.
-    [wal_seq] (default 0) is recorded in a header comment and names the
-    last WAL record already folded into this snapshot; {!Wal.recover}
-    skips records at or below it. *)
-val save : ?wal_seq:int -> path:string -> Database.t -> unit
+(** Atomically snapshot [db] to [path]: write-temp, fsync, rename,
+    fsync the parent directory (without which the rename itself may not
+    survive a crash).  [wal_seq] (default 0) is recorded in a header
+    comment and names the last WAL record already folded into this
+    snapshot; {!Wal.recover} skips records at or below it.  [txn_seq]
+    (default 0) is the same cursor for a {!Tdp_txn} transaction log. *)
+val save : ?wal_seq:int -> ?txn_seq:int -> path:string -> Database.t -> unit
 
 (** The [wal_seq] header of a snapshot's text, or 0 if absent. *)
 val wal_seq : string -> int
+
+(** The [txn_seq] header of a snapshot's text, or 0 if absent. *)
+val txn_seq : string -> int
+
+(** Fsync a directory file descriptor (best-effort; errors are
+    swallowed).  Needed to make a completed [Sys.rename] or file
+    creation durable on POSIX filesystems. *)
+val fsync_dir : string -> unit
+
+(** Remove an orphaned [path ^ ".tmp"] left by a crash between the
+    temp-write and the rename of {!save}; returns whether one was
+    removed.  Orphaned temporaries are never read as snapshots. *)
+val clean_tmp : path:string -> bool

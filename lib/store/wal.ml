@@ -117,9 +117,14 @@ let payload_of_string ~line s : Database.op =
 
 (* ---- record framing ------------------------------------------------ *)
 
-let encode ~seq op =
-  let payload = payload_to_string op in
-  Fmt.str "w %d %08x %s\n" seq (crc32 (Fmt.str "%d %s" seq payload)) payload
+(* The framing is generic over the record magic and payload grammar so
+   other prefix-commit logs (the Tdp_txn transaction log) can layer on
+   the same CRC'd, seq-numbered, torn-tail-tolerant line format. *)
+
+let encode_line ~magic ~seq payload =
+  Fmt.str "%c %d %08x %s\n" magic seq (crc32 (Fmt.str "%d %s" seq payload)) payload
+
+let encode ~seq op = encode_line ~magic:'w' ~seq (payload_to_string op)
 
 type corruption = { at_seq : int; offset : int; reason : string }
 type entry = { seq : int; op : Database.op; ends_at : int }
@@ -131,14 +136,23 @@ type decoded = {
   corruption : corruption option;
 }
 
+type 'a framed = { fseq : int; fvalue : 'a; fends_at : int }
+
+type 'a framed_decoded = {
+  fentries : 'a framed list;
+  fnext_seq : int;
+  fvalid_bytes : int;
+  fcorruption : corruption option;
+}
+
 (* One line, newline stripped.  [Error reason] never raises so that
    decode stays total on arbitrary bytes. *)
-let parse_record line =
+let parse_record ~magic ~parse line =
   let open struct
     exception Bad of string
   end in
   try
-    if String.length line < 2 || line.[0] <> 'w' || line.[1] <> ' ' then
+    if String.length line < 2 || line.[0] <> magic || line.[1] <> ' ' then
       raise (Bad "bad record magic");
     let sp1 =
       match String.index_from_opt line 2 ' ' with
@@ -156,14 +170,11 @@ let parse_record line =
     match (int_of_string_opt seq_s, int_of_string_opt ("0x" ^ crc_s)) with
     | Some seq, Some crc when seq >= 1 ->
         if crc <> crc32 (seq_s ^ " " ^ payload) then Error "checksum mismatch"
-        else (
-          match payload_of_string ~line:0 payload with
-          | op -> Ok (seq, op)
-          | exception Dump.Parse_error { message; _ } -> Error message)
+        else Result.map (fun v -> (seq, v)) (parse payload)
     | _ -> Error "bad record header"
   with Bad reason -> Error reason
 
-let decode src =
+let decode_framed ~magic ~parse src =
   let len = String.length src in
   let rec go pos expected acc =
     if pos >= len then (List.rev acc, pos, None)
@@ -175,9 +186,9 @@ let decode src =
       match String.index_from_opt src pos '\n' with
       | None -> stop (expected_or 0) "torn record (no trailing newline)"
       | Some nl -> (
-          match parse_record (String.sub src pos (nl - pos)) with
+          match parse_record ~magic ~parse (String.sub src pos (nl - pos)) with
           | Error reason -> stop (expected_or 0) reason
-          | Ok (seq, op) ->
+          | Ok (seq, v) ->
               (* the first valid record sets the base (a truncated log
                  restarts above the snapshot's seq); after that the
                  numbering must be strictly consecutive *)
@@ -186,13 +197,27 @@ let decode src =
                   (Fmt.str "sequence break: got %d" seq)
               else
                 go (nl + 1) (Some (seq + 1))
-                  ({ seq; op; ends_at = nl + 1 } :: acc))
+                  ({ fseq = seq; fvalue = v; fends_at = nl + 1 } :: acc))
   in
-  let entries, valid_bytes, corruption = go 0 None [] in
-  let next_seq =
-    match List.rev entries with e :: _ -> e.seq + 1 | [] -> 1
+  let fentries, fvalid_bytes, fcorruption = go 0 None [] in
+  let fnext_seq =
+    match List.rev fentries with e :: _ -> e.fseq + 1 | [] -> 1
   in
-  { entries; next_seq; valid_bytes; corruption }
+  { fentries; fnext_seq; fvalid_bytes; fcorruption }
+
+let parse_op payload =
+  match payload_of_string ~line:0 payload with
+  | op -> Ok op
+  | exception Dump.Parse_error { message; _ } -> Error message
+
+let decode src =
+  let d = decode_framed ~magic:'w' ~parse:parse_op src in
+  { entries =
+      List.map (fun e -> { seq = e.fseq; op = e.fvalue; ends_at = e.fends_at }) d.fentries;
+    next_seq = d.fnext_seq;
+    valid_bytes = d.fvalid_bytes;
+    corruption = d.fcorruption
+  }
 
 let read_file path =
   let ic = open_in_bin path in
@@ -214,32 +239,73 @@ let repair ~path valid_bytes =
 
 (* ---- appending ----------------------------------------------------- *)
 
-type writer = { oc : out_channel; mutable next : int; sync : bool }
+(* [committed] is the byte length of the durable record prefix: every
+   append that returned normally ends exactly there.  A failed append
+   (disk full, closed fd, failed fsync) may leave torn bytes beyond it
+   and may leave unflushable bytes in the channel buffer, so the writer
+   rolls the file back to [committed] (best-effort) and poisons itself:
+   the sequence counter is only ever bumped on success, so a poisoned
+   writer can never produce the gapped or shadowed seqs that [recover]
+   then refuses.  Re-open after {!repair} to resume. *)
+type writer = {
+  oc : out_channel;
+  magic : char;
+  mutable next : int;
+  sync : bool;
+  mutable committed : int;
+  mutable poisoned : bool;
+}
 
-let writer_make flags ?(sync = true) ~path ~next_seq () =
-  { oc = open_out_gen flags 0o644 path; next = next_seq; sync }
+let writer_make flags ?(sync = true) ?(magic = 'w') ~path ~next_seq () =
+  let oc = open_out_gen flags 0o644 path in
+  (* the open may have created the file: fsync the directory so the
+     name itself survives a crash, not just later record fsyncs *)
+  Dump.fsync_dir (Filename.dirname path);
+  let committed =
+    try (Unix.fstat (Unix.descr_of_out_channel oc)).st_size with Unix.Unix_error _ -> 0
+  in
+  { oc; magic; next = next_seq; sync; committed; poisoned = false }
 
-let writer_create ?sync ~path ~next_seq () =
-  writer_make [ Open_wronly; Open_creat; Open_trunc; Open_binary ] ?sync ~path
-    ~next_seq ()
+let writer_create ?sync ?magic ~path ~next_seq () =
+  writer_make [ Open_wronly; Open_creat; Open_trunc; Open_binary ] ?sync ?magic
+    ~path ~next_seq ()
 
-let writer_open ?sync ~path ~next_seq () =
-  writer_make [ Open_wronly; Open_creat; Open_append; Open_binary ] ?sync ~path
-    ~next_seq ()
+let writer_open ?sync ?magic ~path ~next_seq () =
+  writer_make [ Open_wronly; Open_creat; Open_append; Open_binary ] ?sync ?magic
+    ~path ~next_seq ()
 
-let append w op =
+let append_payload w payload =
+  if w.poisoned then
+    fail "wal writer is poisoned by an earlier failed append; repair and reopen";
   Obs.Metrics.time m_append_ns (fun () ->
       let seq = w.next in
-      output_string w.oc (encode ~seq op);
-      flush w.oc;
-      if w.sync then
-        Obs.Metrics.time m_fsync_ns (fun () ->
-            Unix.fsync (Unix.descr_of_out_channel w.oc));
-      w.next <- seq + 1;
-      Obs.Metrics.incr m_append;
-      seq)
+      let record = encode_line ~magic:w.magic ~seq payload in
+      match
+        output_string w.oc record;
+        flush w.oc;
+        if w.sync then
+          Obs.Metrics.time m_fsync_ns (fun () ->
+              Unix.fsync (Unix.descr_of_out_channel w.oc))
+      with
+      | () ->
+          w.next <- seq + 1;
+          w.committed <- w.committed + String.length record;
+          Obs.Metrics.incr m_append;
+          seq
+      | exception exn ->
+          (* roll the file back to the last record boundary; whether or
+             not that works, the writer is done — the channel buffer may
+             still hold bytes we cannot retract *)
+          (try
+             Unix.ftruncate (Unix.descr_of_out_channel w.oc) w.committed
+           with _ -> ());
+          w.poisoned <- true;
+          raise exn)
 
+let append w op = append_payload w (payload_to_string op)
 let writer_seq w = w.next
+let writer_poisoned w = w.poisoned
+let writer_fd w = Unix.descr_of_out_channel w.oc
 
 let attach w db = Database.set_journal db (Some (fun op -> ignore (append w op)))
 let close w = close_out_noerr w.oc

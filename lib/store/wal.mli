@@ -45,6 +45,16 @@ val payload_of_string : line:int -> string -> Database.op
 (** One full record line, trailing newline included. *)
 val encode : seq:int -> Database.op -> string
 
+(** {1 Generic framing}
+
+    The [w <seq> <crc32> <payload>] line format, generalized over the
+    record magic and payload grammar, so other prefix-commit logs (the
+    {!Tdp_txn} transaction log, magic [t]) reuse the same CRC'd,
+    torn-tail-tolerant framing and recovery discipline. *)
+
+(** One framed record line ([magic] must not be whitespace). *)
+val encode_line : magic:char -> seq:int -> string -> string
+
 type corruption = {
   at_seq : int;  (** sequence number the bad record was expected to carry *)
   offset : int;  (** byte offset where the valid prefix ends *)
@@ -65,6 +75,21 @@ type decoded = {
     just end the prefix and are reported as [corruption]. *)
 val decode : string -> decoded
 
+type 'a framed = { fseq : int; fvalue : 'a; fends_at : int }
+
+type 'a framed_decoded = {
+  fentries : 'a framed list;
+  fnext_seq : int;
+  fvalid_bytes : int;
+  fcorruption : corruption option;
+}
+
+(** {!decode}, generalized: decode any framed log down to its valid
+    prefix, parsing payloads with [parse] (whose [Error] ends the
+    prefix like a checksum failure).  Total on arbitrary bytes. *)
+val decode_framed :
+  magic:char -> parse:(string -> ('a, string) result) -> string -> 'a framed_decoded
+
 (** Truncate the file at [path] to its first [valid_bytes] bytes —
     repair after a torn append, before appending again. *)
 val repair : path:string -> int -> unit
@@ -74,19 +99,41 @@ val repair : path:string -> int -> unit
 type writer
 
 (** Create (truncate) a WAL at [path].  [sync] (default [true]) fsyncs
-    after every appended record. *)
-val writer_create : ?sync:bool -> path:string -> next_seq:int -> unit -> writer
+    after every appended record; [magic] (default ['w']) is the record
+    magic for layered log formats.  The parent directory is fsync'd so
+    the file's creation is itself durable. *)
+val writer_create :
+  ?sync:bool -> ?magic:char -> path:string -> next_seq:int -> unit -> writer
 
 (** Open an existing WAL for appending.  The caller supplies
     [next_seq], normally [last_seq + 1] from a preceding {!recover};
     appending after an unrepaired corrupt tail produces an unreadable
     log, so {!repair} first. *)
-val writer_open : ?sync:bool -> path:string -> next_seq:int -> unit -> writer
+val writer_open :
+  ?sync:bool -> ?magic:char -> path:string -> next_seq:int -> unit -> writer
 
-(** Append one record; returns its sequence number. *)
+(** Append one record; returns its sequence number.
+
+    Failure atomicity: the sequence counter advances only when the
+    record (and its fsync, in sync mode) fully succeeded.  A failed
+    append rolls the file back to the last record boundary
+    (best-effort) and {e poisons} the writer — every later append
+    raises {!Wal_error} instead of writing records that a torn tail
+    would make unreachable or that would gap the sequence.  Recover the
+    path with {!repair} and a fresh writer. *)
 val append : writer -> Database.op -> int
 
+(** {!append} for layered formats: frame and append a raw payload. *)
+val append_payload : writer -> string -> int
+
 val writer_seq : writer -> int
+
+(** Has this writer been poisoned by a failed append? *)
+val writer_poisoned : writer -> bool
+
+(** The writer's underlying descriptor — exposed so fault-injection
+    tests can sabotage the fd and exercise the poisoning path. *)
+val writer_fd : writer -> Unix.file_descr
 
 (** Journal every subsequent mutation of [db] through [w] — the
     journaling mode: append durably first, mutate second.  Detach with

@@ -11,6 +11,9 @@ module Database = Tdp_store.Database
 module Wal = Tdp_store.Wal
 module Dump = Tdp_store.Dump
 module Interp = Tdp_store.Interp
+module Txn_log = Tdp_txn.Txn_log
+module Mvcc = Tdp_txn.Mvcc
+module Server = Tdp_txn.Server
 module Catalog = Tdp_algebra.Catalog
 module Evolution = Tdp_algebra.Evolution
 module Lint = Tdp_analysis.Lint

@@ -21,6 +21,8 @@
       {!Applicability}, {!Projection} — the core calculus;
     - {!Dispatch} — CLOS-style multi-method dispatch over a schema;
     - {!Database}, {!Wal}, {!Dump}, {!Interp} — the object store;
+    - {!Txn_log}, {!Mvcc}, {!Server} — MVCC transactions and the
+      multi-client server;
     - {!Catalog}, {!Evolution} — the view algebra;
     - {!Infer}, {!Pipeline} — principal-type inference for pipelines;
     - {!Lint} — static analysis of schema sources. *)
@@ -60,6 +62,16 @@ module Dump = Tdp_store.Dump
 
 (** Method-body interpreter over a database. *)
 module Interp = Tdp_store.Interp
+
+(** The transaction log: begin/commit/abort brackets over the WAL
+    framing. *)
+module Txn_log = Tdp_txn.Txn_log
+
+(** Snapshot-isolation MVCC transactions over immutable versions. *)
+module Mvcc = Tdp_txn.Mvcc
+
+(** The multi-client line-protocol server ([odb serve]). *)
+module Server = Tdp_txn.Server
 
 (** Named views over a base schema. *)
 module Catalog = Tdp_algebra.Catalog

@@ -1,0 +1,773 @@
+open Tdp_core
+module Oid = Tdp_store.Oid
+module Value = Tdp_store.Value
+module Database = Tdp_store.Database
+module Dump = Tdp_store.Dump
+module Wal = Tdp_store.Wal
+module Obs = Tdp_obs
+
+(* Snapshot-isolation MVCC over immutable database versions.
+
+   A [snapshot] is a persistent value: an [Oid.Map] of immutable
+   object records plus the schema and its compiled index.  Committing
+   never mutates a snapshot — it builds a new one sharing almost all
+   structure with its parent (O(ops · log n)), then publishes it as the
+   branch head under the store lock.  Readers therefore need no locks
+   at all once they hold a snapshot: they see exactly the version they
+   started from, which is the whole of snapshot isolation.
+
+   Writes go through transactions.  A transaction pins its branch head
+   as [base], stages validated ops against a private overlay snapshot,
+   and at commit — under the store lock — runs first-writer-wins
+   conflict detection: if any version committed to the branch since
+   [base] wrote an object this transaction also wrote (or either side
+   swapped the schema), the transaction aborts.  Surviving transactions
+   are re-applied to the *current* head (catching read-write races that
+   write-set intersection cannot see, e.g. a new reference to an object
+   a later commit deleted), logged as a begin..commit bracket in the
+   transaction log, and only then published.  The log append precedes
+   publication, so the log is always at least as new as memory; a crash
+   mid-bracket leaves a begin without its commit and replay discards
+   it — no torn state.
+
+   Domain-safety inventory (OCaml 5: reader domains run lock-free over
+   snapshots): [Oid.Map]/[Attr_name.Map] are immutable; the schema
+   index is built with [Schema_index.compile] (no shared intern table)
+   and reader paths use only [Schema_index.subtype] and the pure
+   [Hierarchy] attribute walks — never the lazily-memoized
+   [ancestor_set]/[cpl] entry points.  [Obs.Metrics] is not
+   thread-safe, so every metric below is recorded while holding the
+   store lock. *)
+
+let fail fmt = Fmt.kstr (fun s -> raise (Database.Store_error s)) fmt
+let main_branch = "main"
+
+let m_begin = Obs.Metrics.counter "txn.begin"
+let m_commit = Obs.Metrics.counter "txn.commit"
+let m_abort = Obs.Metrics.counter "txn.abort"
+let m_conflict = Obs.Metrics.counter "txn.conflict"
+let m_commit_ns = Obs.Metrics.histogram "txn.commit_ns"
+
+(* ---- snapshots ----------------------------------------------------- *)
+
+type stored = { st_ty : Type_name.t; st_slots : Value.t Attr_name.Map.t }
+
+type snapshot = {
+  objs : stored Oid.Map.t;
+  schema : Schema.t;
+  index : Schema_index.t;
+  next_oid : int;
+  version : int;
+}
+
+let empty_snapshot schema =
+  { objs = Oid.Map.empty;
+    schema;
+    index = Schema_index.compile (Schema.hierarchy schema);
+    next_oid = 1;
+    version = 0
+  }
+
+let version s = s.version
+let schema s = s.schema
+let next_oid s = s.next_oid
+let count s = Oid.Map.cardinal s.objs
+let mem s oid = Oid.Map.mem oid s.objs
+let hierarchy s = Schema.hierarchy s.schema
+
+let find s oid =
+  match Oid.Map.find_opt oid s.objs with
+  | Some st -> st
+  | None -> fail "no object %a" Oid.pp oid
+
+let type_of s oid = (find s oid).st_ty
+let slots s oid = (find s oid).st_slots
+
+let get_attr s oid attr =
+  let st = find s oid in
+  match Attr_name.Map.find_opt attr st.st_slots with
+  | Some v -> v
+  | None ->
+      fail "object %a of type %s has no attribute %s" Oid.pp oid
+        (Type_name.to_string st.st_ty)
+        (Attr_name.to_string attr)
+
+(* Deep extent in OID order ([Oid.Map.fold] visits keys in order). *)
+let extent s ty =
+  Oid.Map.fold
+    (fun oid st acc -> if Schema_index.subtype s.index st.st_ty ty then oid :: acc else acc)
+    s.objs []
+  |> List.rev
+
+let objects s =
+  Oid.Map.fold (fun oid st acc -> (oid, st.st_ty, st.st_slots) :: acc) s.objs []
+  |> List.rev
+
+(* ---- validation and op application --------------------------------- *)
+
+(* Mirrors {!Database}'s validation, phrased over a snapshot.  The
+   rules must stay in lock-step: the transaction log replays through
+   [apply], and an op [Database] accepted must replay here. *)
+
+let check_value s attr_ty v =
+  match (attr_ty, (v : Value.t)) with
+  | _, Value.Null -> ()
+  | Value_type.Prim p, v ->
+      if not (Value.conforms_prim v p) then
+        fail "value %a does not conform to %s" Value.pp v (Value_type.prim_to_string p)
+  | Value_type.Named n, Value.Ref o -> (
+      match Oid.Map.find_opt o s.objs with
+      | None -> fail "dangling reference %a" Oid.pp o
+      | Some target ->
+          if not (Schema_index.subtype s.index target.st_ty n) then
+            fail "object %a of type %s is not a %s" Oid.pp o
+              (Type_name.to_string target.st_ty)
+              (Type_name.to_string n))
+  | Value_type.Named _, v -> fail "value %a is not an object reference" Value.pp v
+  | Value_type.Unknown, _ -> ()
+
+let attr_def s ty attr =
+  match Hierarchy.find_attribute (hierarchy s) ty attr with
+  | Some a -> a
+  | None ->
+      fail "type %s has no attribute %s" (Type_name.to_string ty)
+        (Attr_name.to_string attr)
+
+let build_slots s ty ~init =
+  if not (Hierarchy.mem (hierarchy s) ty) then
+    fail "unknown type %s" (Type_name.to_string ty);
+  let attrs = Hierarchy.all_attributes (hierarchy s) ty in
+  let slots =
+    List.fold_left
+      (fun slots a ->
+        let name = Attribute.name a in
+        let v =
+          match List.find_opt (fun (n, _) -> Attr_name.equal n name) init with
+          | Some (_, v) ->
+              check_value s (Attribute.ty a) v;
+              v
+          | None -> Value.Null
+        in
+        Attr_name.Map.add name v slots)
+      Attr_name.Map.empty attrs
+  in
+  List.iter
+    (fun (n, _) ->
+      if not (List.exists (fun a -> Attr_name.equal (Attribute.name a) n) attrs) then
+        fail "type %s has no attribute %s" (Type_name.to_string ty)
+          (Attr_name.to_string n))
+    init;
+  slots
+
+let referrers s oid =
+  Oid.Map.fold
+    (fun other st acc ->
+      if Oid.equal other oid then acc
+      else
+        Attr_name.Map.fold
+          (fun attr v acc ->
+            match v with
+            | Value.Ref r when Oid.equal r oid -> (other, attr) :: acc
+            | _ -> acc)
+          st.st_slots acc)
+    s.objs []
+  |> List.sort (fun (a, x) (b, y) ->
+         match Oid.compare a b with 0 -> Attr_name.compare x y | c -> c)
+
+(* Apply one validated op, returning the successor snapshot (same
+   [version]; commit stamps the new version on publication).
+   @raise Database.Store_error when the op does not validate. *)
+let apply ?load_schema s (op : Database.op) =
+  match op with
+  | Database.Op_new { oid; ty; init } ->
+      if Oid.Map.mem oid s.objs then fail "oid %a already in use" Oid.pp oid;
+      if Oid.to_int oid < 1 then fail "non-positive oid %a" Oid.pp oid;
+      let st_slots = build_slots s ty ~init in
+      { s with
+        objs = Oid.Map.add oid { st_ty = ty; st_slots } s.objs;
+        next_oid = max s.next_oid (Oid.to_int oid + 1)
+      }
+  | Database.Op_set { oid; attr; value } ->
+      let st = find s oid in
+      if not (Attr_name.Map.mem attr st.st_slots) then
+        fail "object %a of type %s has no attribute %s" Oid.pp oid
+          (Type_name.to_string st.st_ty)
+          (Attr_name.to_string attr);
+      let def = attr_def s st.st_ty attr in
+      check_value s (Attribute.ty def) value;
+      { s with
+        objs =
+          Oid.Map.add oid
+            { st with st_slots = Attr_name.Map.add attr value st.st_slots }
+            s.objs
+      }
+  | Database.Op_delete { oid; policy } ->
+      let _ = find s oid in
+      let refs = referrers s oid in
+      (match (policy, refs) with
+      | Database.Restrict, (other, attr) :: _ ->
+          fail "cannot delete %a: referenced by %a.%s" Oid.pp oid Oid.pp other
+            (Attr_name.to_string attr)
+      | _ -> ());
+      let objs =
+        match policy with
+        | Database.Restrict -> s.objs
+        | Database.Nullify ->
+            List.fold_left
+              (fun objs (other, attr) ->
+                let st = Oid.Map.find other objs in
+                Oid.Map.add other
+                  { st with st_slots = Attr_name.Map.add attr Value.Null st.st_slots }
+                  objs)
+              s.objs refs
+      in
+      { s with objs = Oid.Map.remove oid objs }
+  | Database.Op_set_schema { source } -> (
+      match load_schema with
+      | None -> fail "schema op requires a schema loader"
+      | Some load ->
+          let schema = load source in
+          { s with schema; index = Schema_index.compile (Schema.hierarchy schema) })
+
+(* ---- write sets ---------------------------------------------------- *)
+
+type writes = { w_oids : Oid.Set.t; w_schema : bool }
+
+let no_writes = { w_oids = Oid.Set.empty; w_schema = false }
+
+let writes_add w (op : Database.op) =
+  match op with
+  | Database.Op_new { oid; _ } | Database.Op_set { oid; _ } | Database.Op_delete { oid; _ }
+    ->
+      { w with w_oids = Oid.Set.add oid w.w_oids }
+  | Database.Op_set_schema _ -> { w with w_schema = true }
+
+(* A schema swap conflicts with every concurrent commit: it can change
+   the meaning of any staged op. *)
+let writes_conflict a b =
+  a.w_schema || b.w_schema || not (Oid.Set.disjoint a.w_oids b.w_oids)
+
+(* ---- the store ----------------------------------------------------- *)
+
+(* How many committed write sets a branch retains for first-writer-wins
+   checks.  A transaction whose base predates the retained window
+   aborts conservatively. *)
+let recent_limit = 1024
+
+type branch = {
+  mutable head : snapshot;
+  mutable recent : (int * writes) list;  (* newest first *)
+  mutable floor : int;  (* write sets of versions <= floor were discarded *)
+}
+
+type t = {
+  lock : Mutex.t;
+  mutable version : int;  (* last committed version, across all branches *)
+  mutable next_txid : int;
+  branches : (string, branch) Hashtbl.t;
+  mutable writer : Wal.writer option;
+  load_schema : (string -> Schema.t) option;
+  mutable dir : string option;
+  mutable wal_seq : int;  (* last wal.log record folded into the base state *)
+  sync : bool;
+  mutable closed : bool;
+}
+
+let locked t f = Mutex.protect t.lock f
+
+let check_live t =
+  if t.closed then fail "store is closed"
+
+let find_branch t name =
+  match Hashtbl.find_opt t.branches name with
+  | Some br -> br
+  | None -> fail "unknown branch %s" name
+
+let make ?load_schema ?(sync = true) base =
+  let branches = Hashtbl.create 8 in
+  Hashtbl.replace branches main_branch { head = base; recent = []; floor = base.version };
+  { lock = Mutex.create ();
+    version = base.version;
+    next_txid = 1;
+    branches;
+    writer = None;
+    load_schema;
+    dir = None;
+    wal_seq = 0;
+    sync;
+    closed = false
+  }
+
+let create ?load_schema schema = make ?load_schema (empty_snapshot schema)
+
+let snapshot_of_database db ~version =
+  let objs =
+    List.fold_left
+      (fun objs (o : Database.obj) ->
+        Oid.Map.add o.oid { st_ty = o.ty; st_slots = o.slots } objs)
+      Oid.Map.empty (Database.objects db)
+  in
+  let sch = Database.schema db in
+  { objs;
+    schema = sch;
+    index = Schema_index.compile (Schema.hierarchy sch);
+    next_oid = Database.next_oid db;
+    version
+  }
+
+(* Materialize a snapshot as a mutable {!Database} — the bridge to
+   {!Dump} for checkpoints and textual dumps.  Two passes so forward
+   references restore. *)
+let to_database s =
+  let db = Database.create s.schema in
+  let refs = ref [] in
+  Oid.Map.iter
+    (fun oid st ->
+      let init =
+        Attr_name.Map.fold
+          (fun a v acc ->
+            match v with
+            | Value.Ref _ ->
+                refs := (oid, a, v) :: !refs;
+                acc
+            | v -> (a, v) :: acc)
+          st.st_slots []
+      in
+      ignore (Database.restore_object db ~oid ~ty:st.st_ty ~init))
+    s.objs;
+  List.iter (fun (oid, a, v) -> Database.set_attr db oid a v) (List.rev !refs);
+  db
+
+let dump s = Dump.to_string (to_database s)
+
+(* ---- store reads --------------------------------------------------- *)
+
+let head t ~branch =
+  locked t (fun () ->
+      check_live t;
+      (find_branch t branch).head)
+
+let branches t =
+  locked t (fun () ->
+      Hashtbl.fold (fun name br acc -> (name, br.head.version) :: acc) t.branches []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+let current_version t = locked t (fun () -> t.version)
+
+(* ---- transactions -------------------------------------------------- *)
+
+type txn_state = Open | Committed of int | Aborted of string
+
+type txn = {
+  store : t;
+  txid : int;
+  txn_branch : string;
+  base : snapshot;
+  mutable overlay : snapshot;
+  mutable ops : Database.op list;  (* reversed *)
+  mutable writes : writes;
+  mutable state : txn_state;
+}
+
+type commit_error = Conflict of string | Invalid of string
+
+let commit_error_message = function Conflict m -> m | Invalid m -> m
+
+let begin_ ?(branch = main_branch) t =
+  locked t (fun () ->
+      check_live t;
+      let br = find_branch t branch in
+      let txid = t.next_txid in
+      t.next_txid <- txid + 1;
+      Obs.Metrics.incr m_begin;
+      { store = t;
+        txid;
+        txn_branch = branch;
+        base = br.head;
+        overlay = br.head;
+        ops = [];
+        writes = no_writes;
+        state = Open
+      })
+
+let txid txn = txn.txid
+let txn_branch txn = txn.txn_branch
+let view txn = txn.overlay
+let state txn = txn.state
+
+let check_open txn =
+  match txn.state with
+  | Open -> ()
+  | Committed v -> fail "transaction %d already committed as version %d" txn.txid v
+  | Aborted r -> fail "transaction %d is aborted: %s" txn.txid r
+
+(* Validate against the overlay and stage.  A failing op raises and
+   leaves the transaction untouched (still open, overlay unchanged). *)
+let stage txn op =
+  let overlay = apply ?load_schema:txn.store.load_schema txn.overlay op in
+  txn.overlay <- overlay;
+  txn.ops <- op :: txn.ops;
+  txn.writes <- writes_add txn.writes op
+
+let new_object txn ty ~init =
+  check_open txn;
+  let oid = Oid.of_int txn.overlay.next_oid in
+  stage txn (Database.Op_new { oid; ty; init });
+  oid
+
+let set_attr txn oid attr value =
+  check_open txn;
+  stage txn (Database.Op_set { oid; attr; value })
+
+let delete txn ?(policy = Database.Restrict) oid =
+  check_open txn;
+  stage txn (Database.Op_delete { oid; policy })
+
+let set_schema txn ~source =
+  check_open txn;
+  stage txn (Database.Op_set_schema { source })
+
+(* Abort records are audit trail, not correctness: losers never logged
+   their ops (brackets are written only at commit), so replay needs no
+   cancellation.  A failure to record one must not mask the abort. *)
+let log_abort t txn reason =
+  match t.writer with
+  | Some w when txn.ops <> [] && not (Wal.writer_poisoned w) -> (
+      try ignore (Txn_log.append w (Txn_log.Abort { txid = txn.txid; reason }))
+      with Wal.Wal_error _ | Sys_error _ | Unix.Unix_error _ -> ())
+  | _ -> ()
+
+let abort ?(reason = "aborted by client") txn =
+  match txn.state with
+  | Aborted _ -> ()
+  | Committed v -> fail "transaction %d already committed as version %d" txn.txid v
+  | Open ->
+      txn.state <- Aborted reason;
+      locked txn.store (fun () ->
+          Obs.Metrics.incr m_abort;
+          log_abort txn.store txn reason)
+
+let first_writer_wins br txn =
+  if txn.base.version = br.head.version then None
+  else if txn.base.version < br.floor then
+    Some
+      (Fmt.str "base version %d predates the retained write-set history (floor %d)"
+         txn.base.version br.floor)
+  else
+    let clash =
+      List.find_opt
+        (fun (v, w) -> v > txn.base.version && writes_conflict w txn.writes)
+        br.recent
+    in
+    Option.map
+      (fun (v, _) ->
+        Fmt.str "write set intersects version %d (committed after base %d)" v
+          txn.base.version)
+      clash
+
+let trim_recent br =
+  let rec take n = function
+    | [] -> ([], [])
+    | rest when n = 0 -> ([], rest)
+    | x :: tl ->
+        let kept, dropped = take (n - 1) tl in
+        (x :: kept, dropped)
+  in
+  match take recent_limit br.recent with
+  | _, [] -> ()
+  | kept, (v, _) :: _ ->
+      br.recent <- kept;
+      br.floor <- v
+
+let commit txn =
+  match txn.state with
+  | Committed v -> Error (Invalid (Fmt.str "transaction %d already committed as version %d" txn.txid v))
+  | Aborted r -> Error (Invalid (Fmt.str "transaction %d is aborted: %s" txn.txid r))
+  | Open when txn.ops = [] ->
+      (* Read-only: nothing to publish, nothing to log. *)
+      txn.state <- Committed txn.base.version;
+      locked txn.store (fun () -> Obs.Metrics.incr m_commit);
+      Ok txn.base.version
+  | Open ->
+      let t = txn.store in
+      locked t (fun () ->
+          Obs.Metrics.time m_commit_ns (fun () ->
+              check_live t;
+              let br = find_branch t txn.txn_branch in
+              match first_writer_wins br txn with
+              | Some reason ->
+                  txn.state <- Aborted reason;
+                  Obs.Metrics.incr m_conflict;
+                  Obs.Metrics.incr m_abort;
+                  log_abort t txn reason;
+                  Error (Conflict reason)
+              | None -> (
+                  let ops = List.rev txn.ops in
+                  (* Re-validate against the current head: write-set
+                     intersection cannot see read-write races (e.g. a
+                     staged reference to an object a later commit
+                     deleted), re-application does. *)
+                  match
+                    List.fold_left
+                      (fun snap op -> apply ?load_schema:t.load_schema snap op)
+                      br.head ops
+                  with
+                  | exception Database.Store_error msg ->
+                      let reason = "no longer applies to the branch head: " ^ msg in
+                      txn.state <- Aborted reason;
+                      Obs.Metrics.incr m_conflict;
+                      Obs.Metrics.incr m_abort;
+                      log_abort t txn reason;
+                      Error (Conflict reason)
+                  | snap -> (
+                      (* Write-ahead: the whole bracket hits the log
+                         before the head moves.  A crash (or append
+                         failure) mid-bracket leaves a begin without a
+                         commit record, which replay discards. *)
+                      match
+                        match t.writer with
+                        | None -> ()
+                        | Some w ->
+                            ignore
+                              (Txn_log.append w
+                                 (Txn_log.Begin { txid = txn.txid; branch = txn.txn_branch }));
+                            List.iter
+                              (fun op ->
+                                ignore (Txn_log.append w (Txn_log.Op { txid = txn.txid; op })))
+                              ops;
+                            ignore (Txn_log.append w (Txn_log.Commit { txid = txn.txid }))
+                      with
+                      | exception exn ->
+                          txn.state <- Aborted "transaction log append failed";
+                          Obs.Metrics.incr m_abort;
+                          raise exn
+                      | () ->
+                          let v = t.version + 1 in
+                          t.version <- v;
+                          br.head <- { snap with version = v };
+                          br.recent <- (v, txn.writes) :: br.recent;
+                          trim_recent br;
+                          txn.state <- Committed v;
+                          Obs.Metrics.incr m_commit;
+                          Ok v))))
+
+(* ---- branches ------------------------------------------------------ *)
+
+let fork t ~from_ ~branch =
+  locked t (fun () ->
+      check_live t;
+      if not (Txn_log.valid_branch_name branch) then fail "invalid branch name %S" branch;
+      if Hashtbl.mem t.branches branch then fail "branch %s already exists" branch;
+      let src = find_branch t from_ in
+      (match t.writer with
+      | None -> ()
+      | Some w -> ignore (Txn_log.append w (Txn_log.Fork { branch; from_ })));
+      Hashtbl.replace t.branches branch
+        { head = src.head; recent = []; floor = src.head.version };
+      src.head.version)
+
+(* ---- recovery ------------------------------------------------------ *)
+
+type opened = {
+  store : t;
+  wal_replayed : int;
+  wal_corruption : Wal.corruption option;
+  txn_applied : int;  (** committed transactions replayed *)
+  txn_discarded : int;  (** dangling begin..op brackets dropped *)
+  txn_corruption : Wal.corruption option;
+  txn_valid_bytes : int;
+  txn_next_seq : int;
+  tmp_removed : bool;
+}
+
+(* Replay the transaction log on a freshly recovered store.  Runs
+   before the store is shared, so no locking.  Structural damage (a
+   commit without its begin, a fork of an existing branch, a bracket
+   that no longer applies) ends the replayable prefix exactly like a
+   checksum failure; dangling brackets — crash mid-commit — are
+   discarded silently. *)
+let replay_txn_log t ~base_seq src =
+  let d = Txn_log.decode src in
+  let pending = Hashtbl.create 8 in
+  let applied = ref 0 in
+  let corruption = ref d.Wal.fcorruption in
+  let valid = ref d.Wal.fvalid_bytes in
+  let next_seq = ref d.Wal.fnext_seq in
+  let stop = ref false in
+  let prev_end = ref 0 in
+  let stop_at ~start ~seq reason =
+    corruption := Some { Wal.at_seq = seq; offset = start; reason };
+    valid := start;
+    next_seq := seq;
+    stop := true
+  in
+  List.iter
+    (fun (e : Txn_log.record Wal.framed) ->
+      let start = !prev_end in
+      prev_end := e.Wal.fends_at;
+      if (not !stop) && e.Wal.fseq > base_seq then begin
+        (match e.Wal.fvalue with
+        | Txn_log.Begin { txid; _ }
+        | Txn_log.Op { txid; _ }
+        | Txn_log.Commit { txid }
+        | Txn_log.Abort { txid; _ } ->
+            if txid >= t.next_txid then t.next_txid <- txid + 1
+        | Txn_log.Fork _ -> ());
+        match e.Wal.fvalue with
+        | Txn_log.Begin { txid; branch } ->
+            if Hashtbl.mem pending txid then
+              stop_at ~start ~seq:e.Wal.fseq (Fmt.str "duplicate begin for txid %d" txid)
+            else if not (Hashtbl.mem t.branches branch) then
+              stop_at ~start ~seq:e.Wal.fseq
+                (Fmt.str "begin on unknown branch %s" branch)
+            else Hashtbl.replace pending txid (branch, ref [], start, e.Wal.fseq)
+        | Txn_log.Op { txid; op } -> (
+            match Hashtbl.find_opt pending txid with
+            | Some (_, ops, _, _) -> ops := op :: !ops
+            | None ->
+                stop_at ~start ~seq:e.Wal.fseq
+                  (Fmt.str "op outside any open transaction (txid %d)" txid))
+        | Txn_log.Abort { txid; _ } -> Hashtbl.remove pending txid
+        | Txn_log.Fork { branch; from_ } -> (
+            match Hashtbl.find_opt t.branches from_ with
+            | None ->
+                stop_at ~start ~seq:e.Wal.fseq
+                  (Fmt.str "fork from unknown branch %s" from_)
+            | Some src_br ->
+                if Hashtbl.mem t.branches branch then
+                  stop_at ~start ~seq:e.Wal.fseq
+                    (Fmt.str "fork of existing branch %s" branch)
+                else
+                  Hashtbl.replace t.branches branch
+                    { head = src_br.head; recent = []; floor = src_br.head.version })
+        | Txn_log.Commit { txid } -> (
+            match Hashtbl.find_opt pending txid with
+            | None ->
+                stop_at ~start ~seq:e.Wal.fseq
+                  (Fmt.str "commit without begin (txid %d)" txid)
+            | Some (bname, ops, bstart, bseq) -> (
+                Hashtbl.remove pending txid;
+                let br = Hashtbl.find t.branches bname in
+                match
+                  List.fold_left
+                    (fun (snap, w) op ->
+                      (apply ?load_schema:t.load_schema snap op, writes_add w op))
+                    (br.head, no_writes) (List.rev !ops)
+                with
+                | exception Database.Store_error msg ->
+                    stop_at ~start:bstart ~seq:bseq
+                      ("replayed transaction no longer applies: " ^ msg)
+                | snap, w ->
+                    let v = t.version + 1 in
+                    t.version <- v;
+                    br.head <- { snap with version = v };
+                    br.recent <- (v, w) :: br.recent;
+                    trim_recent br;
+                    incr applied))
+      end)
+    d.Wal.fentries;
+  ( !applied,
+    Hashtbl.length pending,
+    !corruption,
+    !valid,
+    !next_seq )
+
+let recover_text ?load_schema ?(sync = true) ~schema ?snapshot ?wal ?txn () =
+  let wal_rec = Wal.recover_text ?load_schema ~schema ?snapshot ?wal () in
+  let base = snapshot_of_database wal_rec.Wal.db ~version:0 in
+  let t = make ?load_schema ~sync base in
+  t.wal_seq <- wal_rec.Wal.last_seq;
+  let base_seq = match snapshot with Some s -> Dump.txn_seq s | None -> 0 in
+  let applied, discarded, corruption, valid, next_seq =
+    replay_txn_log t ~base_seq (Option.value ~default:"" txn)
+  in
+  (* A checkpoint truncates the log but bakes its last txn-seq into the
+     snapshot header; new records must continue past it, or the next
+     recovery would skip them as already-in-snapshot. *)
+  let next_seq = max next_seq (base_seq + 1) in
+  { store = t;
+    wal_replayed = wal_rec.Wal.replayed;
+    wal_corruption = wal_rec.Wal.corruption;
+    txn_applied = applied;
+    txn_discarded = discarded;
+    txn_corruption = corruption;
+    txn_valid_bytes = valid;
+    txn_next_seq = next_seq;
+    tmp_removed = false
+  }
+
+let snapshot_file = "snapshot.dump"
+let wal_file = "wal.log"
+let txn_file = "txn.log"
+
+let read_file path =
+  if Sys.file_exists path then
+    Some (In_channel.with_open_bin path In_channel.input_all)
+  else None
+
+let open_dir ?load_schema ?(sync = true) ~schema dir =
+  let snap_path = Filename.concat dir snapshot_file in
+  let txn_path = Filename.concat dir txn_file in
+  (* A crash between temp-write and rename leaves an orphaned .tmp
+     sibling; it is never read as a snapshot, only removed. *)
+  let tmp_removed = Dump.clean_tmp ~path:snap_path in
+  let snapshot = read_file snap_path in
+  let wal = read_file (Filename.concat dir wal_file) in
+  let txn = read_file txn_path in
+  let o = recover_text ?load_schema ~sync ~schema ?snapshot ?wal ?txn () in
+  (* Repair a torn transaction-log tail before appending over it. *)
+  (match o.txn_corruption with
+  | Some _ when Sys.file_exists txn_path -> Wal.repair ~path:txn_path o.txn_valid_bytes
+  | _ -> ());
+  let writer =
+    if Sys.file_exists txn_path then
+      Txn_log.writer_open ~sync ~path:txn_path ~next_seq:o.txn_next_seq ()
+    else Txn_log.writer_create ~sync ~path:txn_path ~next_seq:o.txn_next_seq ()
+  in
+  o.store.writer <- Some writer;
+  o.store.dir <- Some dir;
+  { o with tmp_removed }
+
+(* ---- checkpoint and close ------------------------------------------ *)
+
+let checkpoint t =
+  locked t (fun () ->
+      check_live t;
+      match t.dir with
+      | None -> fail "checkpoint requires a directory-backed store"
+      | Some dir ->
+          if Hashtbl.length t.branches > 1 then
+            fail "checkpoint requires a single branch (%d exist)"
+              (Hashtbl.length t.branches);
+          let br = Hashtbl.find t.branches main_branch in
+          let txn_seq =
+            match t.writer with Some w -> Wal.writer_seq w - 1 | None -> 0
+          in
+          (* The snapshot lands atomically with cursor headers naming
+             the log records it absorbs; replay skips those, so a crash
+             anywhere between the rename and the truncations below
+             recovers to exactly this state. *)
+          Dump.save ~wal_seq:t.wal_seq ~txn_seq
+            ~path:(Filename.concat dir snapshot_file)
+            (to_database br.head);
+          let wal_path = Filename.concat dir wal_file in
+          if Sys.file_exists wal_path then
+            Wal.close
+              (Wal.writer_create ~sync:false ~path:wal_path ~next_seq:(t.wal_seq + 1) ());
+          (match t.writer with
+          | None -> ()
+          | Some w ->
+              Wal.close w;
+              t.writer <-
+                Some
+                  (Txn_log.writer_create ~sync:t.sync
+                     ~path:(Filename.concat dir txn_file)
+                     ~next_seq:(txn_seq + 1) ())))
+
+let close t =
+  locked t (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        (match t.writer with None -> () | Some w -> Wal.close w);
+        t.writer <- None
+      end)

@@ -1,0 +1,185 @@
+(** Snapshot-isolation MVCC over immutable database versions.
+
+    A {!snapshot} is a persistent value — an immutable object map plus
+    the schema and its compiled index.  Committing never mutates a
+    snapshot: it builds a successor sharing almost all structure with
+    its parent and publishes it as the branch head under the store
+    lock.  Readers holding a snapshot therefore need no locks at all
+    and see exactly the version they started from — snapshot isolation
+    by construction.
+
+    Writes go through transactions ({!begin_} … {!commit}).  A
+    transaction pins its branch head as base, stages validated ops
+    against a private overlay, and at commit runs first-writer-wins
+    conflict detection: if any version committed to the branch since
+    the base wrote an object this transaction also wrote (or either
+    side swapped the schema), the transaction aborts with
+    [Conflict].  Surviving transactions are logged as a
+    [begin]..[commit] bracket in the {!Txn_log} {e before} the head
+    moves, so a crash mid-commit leaves a dangling bracket that replay
+    discards — recovery always yields the last fully committed
+    version, never torn state.
+
+    Domain-safety: reader domains may call every snapshot accessor
+    below concurrently and lock-free; store operations ({!head},
+    {!begin_}, {!commit}, {!fork}, {!checkpoint}, …) serialize on the
+    internal store lock (the one-writer discipline). *)
+
+open Tdp_core
+module Oid = Tdp_store.Oid
+module Value = Tdp_store.Value
+module Database = Tdp_store.Database
+module Wal = Tdp_store.Wal
+
+(** The default branch, ["main"]. *)
+val main_branch : string
+
+(** {1 Snapshots} *)
+
+type snapshot
+
+(** The commit version this snapshot was published as (0 = base). *)
+val version : snapshot -> int
+
+val schema : snapshot -> Schema.t
+val hierarchy : snapshot -> Hierarchy.t
+
+(** The next OID {!new_object} would allocate over this snapshot. *)
+val next_oid : snapshot -> int
+
+val count : snapshot -> int
+val mem : snapshot -> Oid.t -> bool
+
+(** @raise Database.Store_error on an unknown OID / attribute. *)
+val type_of : snapshot -> Oid.t -> Type_name.t
+
+val slots : snapshot -> Oid.t -> Value.t Attr_name.Map.t
+val get_attr : snapshot -> Oid.t -> Attr_name.t -> Value.t
+
+(** Deep extent (all objects of the type or a subtype), in OID order. *)
+val extent : snapshot -> Type_name.t -> Oid.t list
+
+val objects : snapshot -> (Oid.t * Type_name.t * Value.t Attr_name.Map.t) list
+
+(** Materialize as a mutable {!Database} (the bridge to {!Dump}). *)
+val to_database : snapshot -> Database.t
+
+(** The snapshot in {!Tdp_store.Dump} format. *)
+val dump : snapshot -> string
+
+(** {1 Stores} *)
+
+type t
+
+(** An in-memory store (no log, no durability) whose [main] branch
+    starts empty over [schema].  [load_schema] elaborates the surface
+    source of schema-swap ops; without it such ops fail. *)
+val create : ?load_schema:(string -> Schema.t) -> Schema.t -> t
+
+(** Head snapshot of [branch].
+    @raise Database.Store_error on an unknown branch. *)
+val head : t -> branch:string -> snapshot
+
+(** All branches with their head versions, sorted by name. *)
+val branches : t -> (string * int) list
+
+(** The last committed version across all branches. *)
+val current_version : t -> int
+
+(** Create branch [branch] from the head of [from_]; returns the
+    forked version.  Durable stores log a [fork] record first. *)
+val fork : t -> from_:string -> branch:string -> int
+
+(** {1 Transactions} *)
+
+type txn
+type txn_state = Open | Committed of int | Aborted of string
+type commit_error = Conflict of string | Invalid of string
+
+val commit_error_message : commit_error -> string
+
+(** Open a transaction against the current head of [branch]
+    (default {!main_branch}). *)
+val begin_ : ?branch:string -> t -> txn
+
+val txid : txn -> int
+val txn_branch : txn -> string
+val state : txn -> txn_state
+
+(** The transaction's private view: its base snapshot plus every op it
+    has staged so far.  Safe to read at any time. *)
+val view : txn -> snapshot
+
+(** Stage ops.  Each validates against the overlay first; a failing op
+    raises [Database.Store_error] and leaves the transaction open and
+    unchanged.  @raise Database.Store_error also once the transaction
+    is no longer [Open]. *)
+val new_object : txn -> Type_name.t -> init:(Attr_name.t * Value.t) list -> Oid.t
+
+val set_attr : txn -> Oid.t -> Attr_name.t -> Value.t -> unit
+val delete : txn -> ?policy:Database.delete_policy -> Oid.t -> unit
+val set_schema : txn -> source:string -> unit
+
+(** First-writer-wins commit.  [Ok v] published version [v];
+    [Error (Conflict _)] aborted on a write-set or revalidation
+    conflict (a conflict {e is} an abort: the transaction is dead and
+    the conflict was recorded in the log); [Error (Invalid _)] the
+    transaction was not open.  Read-only transactions commit without
+    logging or publishing.  Raises only if the transaction-log append
+    itself fails (the transaction aborts first). *)
+val commit : txn -> (int, commit_error) result
+
+(** Abort an open transaction (idempotent on aborted ones).
+    @raise Database.Store_error if already committed. *)
+val abort : ?reason:string -> txn -> unit
+
+(** {1 Durability and recovery} *)
+
+type opened = {
+  store : t;
+  wal_replayed : int;  (** plain WAL records applied under the base *)
+  wal_corruption : Wal.corruption option;
+  txn_applied : int;  (** committed transactions replayed *)
+  txn_discarded : int;  (** dangling begin..op brackets dropped *)
+  txn_corruption : Wal.corruption option;
+  txn_valid_bytes : int;
+  txn_next_seq : int;
+  tmp_removed : bool;  (** an orphaned snapshot [.tmp] was cleaned up *)
+}
+
+(** Recover a store from snapshot / WAL / transaction-log {e contents}:
+    base state via {!Wal.recover_text}, then replay of every committed
+    bracket above the snapshot's [txn-seq] header.  Total on arbitrary
+    [txn] bytes — corruption and structurally invalid records end the
+    replayable prefix; dangling brackets are discarded. *)
+val recover_text :
+  ?load_schema:(string -> Schema.t) ->
+  ?sync:bool ->
+  schema:Schema.t ->
+  ?snapshot:string ->
+  ?wal:string ->
+  ?txn:string ->
+  unit ->
+  opened
+
+(** Open a durable store directory ([snapshot.dump], [wal.log],
+    [txn.log]; any may be absent): removes an orphaned snapshot
+    [.tmp], recovers, repairs a torn transaction-log tail, and attaches
+    a transaction-log writer ([sync] defaults to fsync-per-record).
+    Subsequent commits are write-ahead logged into [DIR/txn.log]. *)
+val open_dir :
+  ?load_schema:(string -> Schema.t) ->
+  ?sync:bool ->
+  schema:Schema.t ->
+  string ->
+  opened
+
+(** Fold the current [main] head into a fresh atomic snapshot (with
+    [wal-seq]/[txn-seq] cursor headers) and truncate both logs.  Crash
+    safe at every point: replay skips records the snapshot already
+    absorbed.  @raise Database.Store_error on a memory-only store or
+    when more than one branch exists. *)
+val checkpoint : t -> unit
+
+(** Close the log writer; later store operations fail. *)
+val close : t -> unit

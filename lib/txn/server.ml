@@ -1,0 +1,414 @@
+open Tdp_core
+module Oid = Tdp_store.Oid
+module Value = Tdp_store.Value
+module Database = Tdp_store.Database
+module Dump = Tdp_store.Dump
+module Obs = Tdp_obs
+
+(* The multi-client server: a line protocol over a Unix-domain or TCP
+   socket, multiplexing concurrent sessions onto an {!Mvcc} store.
+
+   Concurrency model (OCaml 5): [domains] accept domains all block in
+   [accept] on the shared listening socket; each accepted connection is
+   served by a fresh systhread attached to the accepting domain, so
+   sessions on different domains read snapshots in parallel while
+   sessions on one domain interleave at blocking points.  All writes
+   funnel through [Mvcc.commit], which serializes on the store lock —
+   parallel readers, one writer.
+
+   One request line in, one response line out:
+
+     ok …            the command succeeded; payload is command-specific
+     conflict "why"  commit lost first-writer-wins (the txn is aborted)
+     err "why"       anything else (the session survives)
+
+   Sessions are stateful: a current branch (default main) and at most
+   one open transaction.  Reads inside a transaction see its private
+   overlay — the begin-time snapshot plus the session's own staged
+   writes; reads outside see the branch head at the moment of the read.
+   Either way a read never observes a partial commit: heads only ever
+   advance to fully published versions. *)
+
+let proto_version = 1
+
+(* Obs.Metrics is not thread-safe; every increment below happens under
+   [reg_lock] (the session registry lock). *)
+let m_sessions = Obs.Metrics.counter "server.sessions"
+let m_requests = Obs.Metrics.counter "server.requests"
+let m_errors = Obs.Metrics.counter "server.errors"
+let m_active = Obs.Metrics.gauge "server.active_sessions"
+
+(* ---- requests ------------------------------------------------------ *)
+
+type request =
+  | Hello
+  | Ping
+  | Begin of string option
+  | Commit
+  | Abort of string option
+  | New of Type_name.t * (Attr_name.t * Value.t) list
+  | Set of Oid.t * Attr_name.t * Value.t
+  | Del of Oid.t * Database.delete_policy
+  | Schema of string
+  | Get of Oid.t * Attr_name.t
+  | Typeof of Oid.t
+  | Extent of Type_name.t
+  | Count
+  | Version
+  | Branches
+  | Branch of string
+  | Fork of string * string option
+  | Quit
+
+let parse_fail fmt =
+  Fmt.kstr (fun message -> raise (Dump.Parse_error { line = 0; message })) fmt
+
+let oid_of_token tok =
+  if String.length tok > 1 && tok.[0] = '#' then
+    match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+    | Some i when i >= 1 -> Oid.of_int i
+    | _ -> parse_fail "bad oid %s" tok
+  else parse_fail "expected #<oid>, got %s" tok
+
+let slot_of_token tok =
+  match String.index_opt tok '=' with
+  | Some i ->
+      ( Attr_name.of_string (String.sub tok 0 i),
+        Dump.value_of_string 0 (String.sub tok (i + 1) (String.length tok - i - 1)) )
+  | None -> parse_fail "expected attr=value, got %s" tok
+
+let branch_of_token tok =
+  if Txn_log.valid_branch_name tok then tok
+  else parse_fail "bad branch name %s" tok
+
+(* @raise Dump.Parse_error on anything that is not a request. *)
+let parse_request line : request =
+  match Dump.tokens 0 line with
+  | [ "hello" ] -> Hello
+  | [ "ping" ] -> Ping
+  | [ "begin" ] -> Begin None
+  | [ "begin"; br ] -> Begin (Some (branch_of_token br))
+  | [ "commit" ] -> Commit
+  | [ "abort" ] -> Abort None
+  | [ "abort"; quoted ] -> (
+      match Dump.value_of_string 0 quoted with
+      | String reason -> Abort (Some reason)
+      | _ -> parse_fail "abort takes a quoted reason")
+  | "new" :: ty :: slots ->
+      New (Type_name.of_string ty, List.map slot_of_token slots)
+  | [ "set"; oid; slot ] ->
+      let attr, value = slot_of_token slot in
+      Set (oid_of_token oid, attr, value)
+  | [ "del"; oid ] -> Del (oid_of_token oid, Database.Restrict)
+  | [ "del"; oid; "restrict" ] -> Del (oid_of_token oid, Database.Restrict)
+  | [ "del"; oid; "nullify" ] -> Del (oid_of_token oid, Database.Nullify)
+  | [ "schema"; quoted ] -> (
+      match Dump.value_of_string 0 quoted with
+      | String source -> Schema source
+      | _ -> parse_fail "schema takes a quoted source")
+  | [ "get"; oid; attr ] -> Get (oid_of_token oid, Attr_name.of_string attr)
+  | [ "typeof"; oid ] -> Typeof (oid_of_token oid)
+  | [ "extent"; ty ] -> Extent (Type_name.of_string ty)
+  | [ "count" ] -> Count
+  | [ "version" ] -> Version
+  | [ "branches" ] -> Branches
+  | [ "branch"; br ] -> Branch (branch_of_token br)
+  | [ "fork"; br ] -> Fork (branch_of_token br, None)
+  | [ "fork"; br; from_ ] -> Fork (branch_of_token br, Some (branch_of_token from_))
+  | [ "quit" ] | [ "bye" ] -> Quit
+  | verb :: _ -> parse_fail "unknown command %s" verb
+  | [] -> parse_fail "empty command"
+
+(* ---- sessions ------------------------------------------------------ *)
+
+type session = {
+  store : Mvcc.t;
+  mutable sbranch : string;
+  mutable txn : Mvcc.txn option;
+}
+
+let session ~store = { store; sbranch = Mvcc.main_branch; txn = None }
+
+(* The overlay inside a transaction, the branch head outside. *)
+let read_snapshot s =
+  match s.txn with
+  | Some t when Mvcc.state t = Mvcc.Open -> Mvcc.view t
+  | _ -> Mvcc.head s.store ~branch:s.sbranch
+
+let open_txn s =
+  match s.txn with
+  | Some t when Mvcc.state t = Mvcc.Open -> t
+  | _ -> raise (Database.Store_error "no open transaction (begin first)")
+
+let abort_open s reason =
+  match s.txn with
+  | Some t when Mvcc.state t = Mvcc.Open -> Mvcc.abort ~reason t
+  | _ -> ()
+
+(* One request -> one response line (no trailing newline).  [Quit] is
+   handled by the caller; every path here keeps the session alive. *)
+let respond s (req : request) =
+  match req with
+  | Hello -> Fmt.str "ok odb %d branch %s" proto_version s.sbranch
+  | Ping -> "ok pong"
+  | Quit -> "ok bye"
+  | Begin branch -> (
+      match s.txn with
+      | Some t when Mvcc.state t = Mvcc.Open ->
+          Fmt.str "err %S" (Fmt.str "transaction %d already open" (Mvcc.txid t))
+      | _ ->
+          (match branch with Some b -> s.sbranch <- b | None -> ());
+          let t = Mvcc.begin_ ~branch:s.sbranch s.store in
+          s.txn <- Some t;
+          Fmt.str "ok txn %d base %d" (Mvcc.txid t) (Mvcc.version (Mvcc.view t)))
+  | Commit -> (
+      let t = open_txn s in
+      s.txn <- None;
+      match Mvcc.commit t with
+      | Ok v -> Fmt.str "ok committed %d" v
+      | Error (Mvcc.Conflict reason) -> Fmt.str "conflict %S" reason
+      | Error (Mvcc.Invalid reason) -> Fmt.str "err %S" reason)
+  | Abort reason ->
+      let t = open_txn s in
+      s.txn <- None;
+      Mvcc.abort ?reason t;
+      "ok aborted"
+  | New (ty, init) ->
+      let t = open_txn s in
+      let oid = Mvcc.new_object t ty ~init in
+      Fmt.str "ok #%d" (Oid.to_int oid)
+  | Set (oid, attr, value) ->
+      Mvcc.set_attr (open_txn s) oid attr value;
+      "ok"
+  | Del (oid, policy) ->
+      Mvcc.delete (open_txn s) ~policy oid;
+      "ok"
+  | Schema source ->
+      Mvcc.set_schema (open_txn s) ~source;
+      "ok"
+  | Get (oid, attr) ->
+      Fmt.str "ok %s" (Dump.value_to_string (Mvcc.get_attr (read_snapshot s) oid attr))
+  | Typeof oid ->
+      Fmt.str "ok %s" (Type_name.to_string (Mvcc.type_of (read_snapshot s) oid))
+  | Extent ty ->
+      let oids = Mvcc.extent (read_snapshot s) ty in
+      Fmt.str "ok %d%s" (List.length oids)
+        (String.concat ""
+           (List.map (fun o -> Fmt.str " #%d" (Oid.to_int o)) oids))
+  | Count -> Fmt.str "ok %d" (Mvcc.count (read_snapshot s))
+  | Version -> Fmt.str "ok %d" (Mvcc.version (read_snapshot s))
+  | Branches ->
+      Fmt.str "ok%s"
+        (String.concat ""
+           (List.map
+              (fun (name, v) -> Fmt.str " %s:%d" name v)
+              (Mvcc.branches s.store)))
+  | Branch br ->
+      (match s.txn with
+      | Some t when Mvcc.state t = Mvcc.Open ->
+          raise (Database.Store_error "cannot switch branch inside a transaction")
+      | _ -> ());
+      ignore (Mvcc.head s.store ~branch:br);
+      s.sbranch <- br;
+      Fmt.str "ok branch %s" br
+  | Fork (branch, from_) ->
+      let from_ = Option.value ~default:s.sbranch from_ in
+      let v = Mvcc.fork s.store ~from_ ~branch in
+      Fmt.str "ok forked %s at %d" branch v
+
+(* Total: every failure of a single request becomes an [err] line. *)
+let handle_line s line =
+  match respond s (parse_request line) with
+  | resp -> resp
+  | exception Database.Store_error m -> Fmt.str "err %S" m
+  | exception Dump.Parse_error { message; _ } -> Fmt.str "err %S" message
+  | exception Error.E e -> Fmt.str "err %S" (Error.message e)
+
+(* ---- the listener -------------------------------------------------- *)
+
+type t = {
+  listen_fd : Unix.file_descr;
+  sockaddr : Unix.sockaddr;
+  stopping : bool Atomic.t;
+  reg_lock : Mutex.t;
+  mutable active : (Thread.t * Unix.file_descr) list;
+  mutable accepters : unit Domain.t list;
+}
+
+let locked srv f = Mutex.protect srv.reg_lock f
+
+let register srv th fd =
+  locked srv (fun () ->
+      srv.active <- (th, fd) :: srv.active;
+      Obs.Metrics.incr m_sessions;
+      Obs.Metrics.set_gauge m_active (float_of_int (List.length srv.active)))
+
+let unregister srv fd =
+  locked srv (fun () ->
+      srv.active <- List.filter (fun (_, fd') -> fd' != fd) srv.active;
+      Obs.Metrics.set_gauge m_active (float_of_int (List.length srv.active)))
+
+let count_request srv ~error =
+  locked srv (fun () ->
+      Obs.Metrics.incr m_requests;
+      if error then Obs.Metrics.incr m_errors)
+
+let is_err resp =
+  String.length resp >= 3 && String.sub resp 0 3 = "err"
+
+(* One connection, line by line, until quit / EOF / a dead socket.  An
+   open transaction left behind is aborted so its write intents never
+   linger (they hold no locks, but the abort lands in the log). *)
+let serve_session srv store fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let session = session ~store in
+  let rec loop () =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _) -> ()
+    | line ->
+        let line = String.trim line in
+        if line = "" then loop ()
+        else
+          let resp = handle_line session line in
+          count_request srv ~error:(is_err resp);
+          output_string oc resp;
+          output_char oc '\n';
+          flush oc;
+          let quit =
+            match parse_request line with
+            | Quit -> true
+            | _ | (exception _) -> false
+          in
+          if not quit then loop ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      abort_open session "session closed";
+      unregister srv fd;
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> try loop () with Sys_error _ | Unix.Unix_error _ -> ())
+
+(* Accept loop: every accepter domain blocks in [accept] on the shared
+   listening socket; the kernel hands each connection to one of them.
+   Stopping is a dummy connection per accepter (the portable way to
+   wake a blocked accept) with [stopping] already set. *)
+let accept_loop srv store =
+  let rec loop () =
+    match Unix.accept ~cloexec:true srv.listen_fd with
+    | exception Unix.Unix_error ((EBADF | EINVAL | ECONNABORTED | EINTR), _, _)
+      ->
+        if Atomic.get srv.stopping then () else loop ()
+    | fd, _ ->
+        if Atomic.get srv.stopping then (
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          ())
+        else begin
+          let th = Thread.create (fun () -> serve_session srv store fd) () in
+          register srv th fd;
+          loop ()
+        end
+  in
+  loop ()
+
+let default_domains () = max 2 (min 4 (Domain.recommended_domain_count () - 1))
+
+let start ?(domains = default_domains ()) ~store sockaddr =
+  let domain_kind =
+    match sockaddr with
+    | Unix.ADDR_UNIX path ->
+        if Sys.file_exists path then Unix.unlink path;
+        Unix.PF_UNIX
+    | Unix.ADDR_INET _ -> Unix.PF_INET
+  in
+  let listen_fd = Unix.socket ~cloexec:true domain_kind Unix.SOCK_STREAM 0 in
+  (match sockaddr with
+  | Unix.ADDR_INET _ -> Unix.setsockopt listen_fd Unix.SO_REUSEADDR true
+  | Unix.ADDR_UNIX _ -> ());
+  (try Unix.bind listen_fd sockaddr
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.listen listen_fd 64;
+  (* a TCP listener bound to port 0: recover the actual port *)
+  let sockaddr = Unix.getsockname listen_fd in
+  let srv =
+    { listen_fd;
+      sockaddr;
+      stopping = Atomic.make false;
+      reg_lock = Mutex.create ();
+      active = [];
+      accepters = []
+    }
+  in
+  let domains = max 1 domains in
+  srv.accepters <-
+    List.init domains (fun _ -> Domain.spawn (fun () -> accept_loop srv store));
+  srv
+
+let sockaddr srv = srv.sockaddr
+
+let stop srv =
+  if not (Atomic.exchange srv.stopping true) then begin
+    (* one wake-up connection per accepter, then close the listener *)
+    List.iter
+      (fun _ ->
+        match
+          let fd =
+            Unix.socket ~cloexec:true
+              (match srv.sockaddr with
+              | Unix.ADDR_UNIX _ -> Unix.PF_UNIX
+              | Unix.ADDR_INET _ -> Unix.PF_INET)
+              Unix.SOCK_STREAM 0
+          in
+          (try Unix.connect fd srv.sockaddr
+           with e ->
+             (try Unix.close fd with Unix.Unix_error _ -> ());
+             raise e);
+          Unix.close fd
+        with
+        | () -> ()
+        | exception Unix.Unix_error _ -> ())
+      srv.accepters;
+    List.iter Domain.join srv.accepters;
+    srv.accepters <- [];
+    (try Unix.close srv.listen_fd with Unix.Unix_error _ -> ());
+    (* sessions: shut the sockets down, then wait the threads out *)
+    let active = locked srv (fun () -> srv.active) in
+    List.iter
+      (fun (_, fd) ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      active;
+    List.iter (fun (th, _) -> Thread.join th) active;
+    match srv.sockaddr with
+    | Unix.ADDR_UNIX path ->
+        if Sys.file_exists path then (
+          try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Unix.ADDR_INET _ -> ()
+  end
+
+(* ---- client -------------------------------------------------------- *)
+
+type client = { cfd : Unix.file_descr; cic : in_channel; coc : out_channel }
+
+let connect sockaddr =
+  let fd =
+    Unix.socket ~cloexec:true
+      (match sockaddr with
+      | Unix.ADDR_UNIX _ -> Unix.PF_UNIX
+      | Unix.ADDR_INET _ -> Unix.PF_INET)
+      Unix.SOCK_STREAM 0
+  in
+  (try Unix.connect fd sockaddr
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { cfd = fd; cic = Unix.in_channel_of_descr fd; coc = Unix.out_channel_of_descr fd }
+
+let request c line =
+  output_string c.coc line;
+  output_char c.coc '\n';
+  flush c.coc;
+  input_line c.cic
+
+let close_client c = try Unix.close c.cfd with Unix.Unix_error _ -> ()

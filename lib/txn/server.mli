@@ -1,0 +1,95 @@
+(** The multi-client server: a line protocol over a Unix-domain or TCP
+    socket, multiplexing concurrent sessions onto an {!Mvcc} store.
+
+    {1 Concurrency model}
+
+    [domains] accepter domains (OCaml 5) block in [accept] on one
+    shared listening socket; each accepted connection is served by a
+    fresh systhread attached to the accepting domain.  Sessions on
+    different domains read their snapshots in parallel; all commits
+    serialize on the {!Mvcc} store lock — parallel readers, one
+    writer.
+
+    {1 Protocol}
+
+    One request line in, one response line out.  Responses are
+    [ok …] (command-specific payload), [conflict "why"] (the commit
+    lost first-writer-wins and the transaction is aborted), or
+    [err "why"] (the session survives).  Requests, in the {!Dump}
+    token grammar (quoted strings may contain spaces):
+
+    {v
+    hello | ping | quit
+    begin [BRANCH]                 -> ok txn <id> base <version>
+    commit                         -> ok committed <v> | conflict "…"
+    abort ["reason"]               -> ok aborted
+    new TYPE [attr=value …]        -> ok #<oid>
+    set #OID attr=value            -> ok
+    del #OID [restrict|nullify]    -> ok
+    schema "<source>"              -> ok
+    get #OID attr                  -> ok <value>
+    typeof #OID                    -> ok <Type>
+    extent TYPE                    -> ok <n> [#oid …]
+    count | version                -> ok <n>
+    branches                       -> ok [name:version …]
+    branch BRANCH                  -> ok branch BRANCH
+    fork BRANCH [FROM]             -> ok forked BRANCH at <v>
+    v}
+
+    Sessions are stateful: a current branch (default [main]) and at
+    most one open transaction.  Reads inside a transaction see its
+    private overlay; reads outside see the branch head at the moment
+    of the read.  Neither ever observes a partial commit.  A session
+    that disconnects with a transaction still open aborts it. *)
+
+type t
+
+(** Bind, listen and start accepting on [sockaddr] ([ADDR_UNIX path]
+    or [ADDR_INET]; a stale Unix-socket path is unlinked, and an INET
+    port of 0 is resolved — see {!sockaddr}).  [domains] (default
+    derived from [Domain.recommended_domain_count], at least 2) is the
+    number of accepter domains.
+    @raise Unix.Unix_error when binding fails. *)
+val start : ?domains:int -> store:Mvcc.t -> Unix.sockaddr -> t
+
+(** The bound address (with the real port for [ADDR_INET _ 0]). *)
+val sockaddr : t -> Unix.sockaddr
+
+(** Stop accepting, shut down every live session, join all domains and
+    session threads, and remove a Unix socket path.  Idempotent.
+    Open transactions of dropped sessions are aborted; the store
+    itself stays usable (and is {e not} closed). *)
+val stop : t -> unit
+
+(** {1 Protocol internals}
+
+    Exposed for [odb connect], the golden-transcript scripts and the
+    test suite. *)
+
+(** One request line against a session-free, store-free view of the
+    grammar.  @raise Tdp_store.Dump.Parse_error on malformed input. *)
+type request
+
+val parse_request : string -> request
+
+type session
+
+(** A fresh session on [store]: branch [main], no open transaction. *)
+val session : store:Mvcc.t -> session
+
+(** Handle one request line, total: every failure becomes an
+    [err "…"] response line. *)
+val handle_line : session -> string -> string
+
+(** {1 Client} *)
+
+type client
+
+(** @raise Unix.Unix_error when the connect fails. *)
+val connect : Unix.sockaddr -> client
+
+(** Send one request line, wait for the one response line.
+    @raise End_of_file when the server hung up. *)
+val request : client -> string -> string
+
+val close_client : client -> unit

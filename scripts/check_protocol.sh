@@ -1,0 +1,160 @@
+#!/bin/sh
+# Golden transcripts for the `odb serve` line protocol (docs/server.md).
+#
+# Starts a server on a throwaway store, drives it through `odb connect`,
+# and diffs the responses against pinned transcripts — the wire protocol
+# is a compatibility surface, so any drift must be a conscious choice.
+# A final two-client race checks the conflict path (prefix-matched: the
+# loser's message embeds version numbers).
+#
+# Usage: scripts/check_protocol.sh   (run from the repository root)
+set -eu
+
+ODB=_build/default/bin/odb.exe
+[ -x "$ODB" ] || dune build bin/odb.exe
+
+tmp=$(mktemp -d)
+server_pid=
+a_pid=
+cleanup() {
+  [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+  [ -n "$a_pid" ] && kill "$a_pid" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+"$ODB" store init "$tmp/db" --schema examples/schemas/employee.odb >/dev/null
+
+"$ODB" serve "$tmp/db" --socket "$tmp/odb.sock" --no-sync >/dev/null &
+server_pid=$!
+i=0
+until [ -S "$tmp/odb.sock" ]; do
+  i=$((i + 1))
+  [ "$i" -gt 100 ] && { echo "check_protocol: server never came up" >&2; exit 1; }
+  sleep 0.1
+done
+
+status=0
+transcript() {
+  name=$1
+  got=$("$ODB" connect "$tmp/odb.sock" <"$tmp/in.txt")
+  if [ "$got" = "$(cat "$tmp/want.txt")" ]; then
+    echo "check_protocol: $name OK"
+  else
+    echo "check_protocol: $name FAILED" >&2
+    diff -u "$tmp/want.txt" - <<EOF >&2 || true
+$got
+EOF
+    status=1
+  fi
+}
+
+# -- 1: session basics — begin/stage/read-your-writes/commit ----------
+cat >"$tmp/in.txt" <<'EOF'
+hello
+ping
+begin
+new Employee ssn=1 name="alice" pay_rate=12.5
+get #1 name
+commit
+typeof #1
+count
+version
+branches
+quit
+EOF
+cat >"$tmp/want.txt" <<'EOF'
+ok odb 1 branch main
+ok pong
+ok txn 1 base 0
+ok #1
+ok "alice"
+ok committed 1
+ok Employee
+ok 1
+ok 1
+ok main:1
+ok bye
+EOF
+transcript "session basics"
+
+# -- 2: errors leave the session usable; abort discards staging -------
+cat >"$tmp/in.txt" <<'EOF'
+set #1 ssn=9
+begin
+set #1 ssn=9
+abort
+get #1 ssn
+quit
+EOF
+cat >"$tmp/want.txt" <<'EOF'
+err "no open transaction (begin first)"
+ok txn 2 base 1
+ok
+ok aborted
+ok 1
+ok bye
+EOF
+transcript "errors and abort"
+
+# -- 3: branches are independent lines of versions --------------------
+cat >"$tmp/in.txt" <<'EOF'
+fork dev
+branch dev
+begin
+set #1 pay_rate=99.0
+commit
+get #1 pay_rate
+branch main
+get #1 pay_rate
+quit
+EOF
+cat >"$tmp/want.txt" <<'EOF'
+ok forked dev at 1
+ok branch dev
+ok txn 3 base 1
+ok
+ok committed 2
+ok 99.0
+ok branch main
+ok 12.5
+ok bye
+EOF
+transcript "branch fork and isolation"
+
+# -- 4: two clients race one slot — exactly one wins ------------------
+mkfifo "$tmp/a.in"
+"$ODB" connect "$tmp/odb.sock" <"$tmp/a.in" >"$tmp/a.out" &
+a_pid=$!
+exec 3>"$tmp/a.in"
+printf 'begin\nset #1 ssn=100\n' >&3
+sleep 0.3
+b_out=$("$ODB" connect "$tmp/odb.sock" <<'EOF'
+begin
+set #1 ssn=200
+commit
+quit
+EOF
+)
+printf 'commit\nquit\n' >&3
+exec 3>&-
+wait "$a_pid" || true
+a_pid=
+a_commit=$(sed -n '3p' "$tmp/a.out")
+b_commit=$(printf '%s\n' "$b_out" | sed -n '3p')
+case "$b_commit" in
+  "ok committed"*) : ;;
+  *) echo "check_protocol: race winner FAILED: $b_commit" >&2; status=1 ;;
+esac
+case "$a_commit" in
+  conflict*) echo "check_protocol: conflict race OK ($a_commit)" ;;
+  *) echo "check_protocol: race loser FAILED: $a_commit" >&2; status=1 ;;
+esac
+
+kill "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+server_pid=
+
+[ "$status" -eq 0 ] && echo "check_protocol: all transcripts match"
+exit "$status"

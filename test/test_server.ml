@@ -1,0 +1,249 @@
+module Value = Tdp_store.Value
+module Mvcc = Tdp_txn.Mvcc
+module Server = Tdp_txn.Server
+open Helpers
+
+let schema = Tdp_paper.Fig1.schema
+let load_schema src = (Tdp_lang.Elaborate.load_exn src).Tdp_lang.Elaborate.schema
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "tdp_srv" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+(* An in-memory store pre-seeded with employee #1, served on a fresh
+   Unix socket; [f] gets the running server's address. *)
+let with_server ?(store = Mvcc.create ~load_schema schema) f =
+  (match Mvcc.count (Mvcc.head store ~branch:Mvcc.main_branch) with
+  | 0 ->
+      let t = Mvcc.begin_ store in
+      ignore
+        (Mvcc.new_object t (ty "Employee")
+           ~init:[ (at "ssn", Value.Int 1); (at "pay_rate", Value.Float 1.0) ]);
+      ignore (Mvcc.commit t)
+  | _ -> ());
+  let path = Filename.temp_file "tdp_sock" ".sock" in
+  Sys.remove path;
+  let srv = Server.start ~domains:3 ~store (Unix.ADDR_UNIX path) in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () -> f (Server.sockaddr srv))
+
+let expect c req prefix =
+  let resp = Server.request c req in
+  if not (String.length resp >= String.length prefix
+          && String.sub resp 0 (String.length prefix) = prefix) then
+    Alcotest.failf "%s -> %s (wanted %s…)" req resp prefix;
+  resp
+
+(* ---- protocol unit (no sockets) ------------------------------------- *)
+
+let test_protocol_unit () =
+  let store = Mvcc.create ~load_schema schema in
+  let s = Server.session ~store in
+  let run line = Server.handle_line s line in
+  Alcotest.(check string) "hello" "ok odb 1 branch main" (run "hello");
+  Alcotest.(check string) "ping" "ok pong" (run "ping");
+  Alcotest.(check string) "no txn" "err \"no open transaction (begin first)\""
+    (run "set #1 ssn=2");
+  Alcotest.(check string) "begin" "ok txn 1 base 0" (run "begin");
+  Alcotest.(check string) "begin twice"
+    "err \"transaction 1 already open\"" (run "begin");
+  Alcotest.(check string) "new" "ok #1" (run "new Employee ssn=1 name=\"a b\"");
+  Alcotest.(check string) "staged read" "ok \"a b\"" (run "get #1 name");
+  Alcotest.(check string) "bad attr survives the session"
+    "err \"object #1 of type Employee has no attribute nope\"" (run "set #1 nope=1");
+  Alcotest.(check string) "commit" "ok committed 1" (run "commit");
+  Alcotest.(check string) "typeof" "ok Employee" (run "typeof #1");
+  Alcotest.(check string) "extent is deep" "ok 1 #1" (run "extent Person");
+  Alcotest.(check string) "count" "ok 1" (run "count");
+  Alcotest.(check string) "version" "ok 1" (run "version");
+  Alcotest.(check string) "branches" "ok main:1" (run "branches");
+  Alcotest.(check string) "fork" "ok forked dev at 1" (run "fork dev");
+  Alcotest.(check string) "switch" "ok branch dev" (run "branch dev");
+  Alcotest.(check string) "unknown verb" "err \"unknown command nonsense\""
+    (run "nonsense");
+  Alcotest.(check string) "unknown branch"
+    "err \"unknown branch nowhere\"" (run "branch nowhere");
+  Alcotest.(check string) "quit" "ok bye" (run "quit")
+
+(* ---- socket round-trip ---------------------------------------------- *)
+
+let test_socket_roundtrip () =
+  with_server (fun addr ->
+      let c = Server.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Server.close_client c)
+        (fun () ->
+          ignore (expect c "hello" "ok odb 1");
+          ignore (expect c "begin" "ok txn");
+          ignore (expect c "set #1 ssn=42" "ok");
+          ignore (expect c "get #1 ssn" "ok 42");
+          ignore (expect c "commit" "ok committed 2");
+          ignore (expect c "get #1 ssn" "ok 42");
+          ignore (expect c "quit" "ok bye")))
+
+(* ---- N concurrent writers on one key -------------------------------- *)
+
+(* A countdown barrier: every writer begins its transaction before any
+   of them commits, so all N race from the same base version. *)
+let barrier n =
+  let lock = Mutex.create () and cond = Condition.create () in
+  let left = ref n in
+  fun () ->
+    Mutex.lock lock;
+    decr left;
+    if !left = 0 then Condition.broadcast cond
+    else while !left > 0 do Condition.wait cond lock done;
+    Mutex.unlock lock
+
+let test_concurrent_writers_one_key () =
+  with_server (fun addr ->
+      let n = 12 in
+      let ready = barrier n in
+      let results = Array.make n "" in
+      let writer i () =
+        let c = Server.connect addr in
+        Fun.protect
+          ~finally:(fun () -> Server.close_client c)
+          (fun () ->
+            ignore (expect c "begin" "ok txn");
+            ignore (expect c (Fmt.str "set #1 ssn=%d" (100 + i)) "ok");
+            ready ();
+            results.(i) <- Server.request c "commit")
+      in
+      let threads = List.init n (fun i -> Thread.create (writer i) ()) in
+      List.iter Thread.join threads;
+      let count prefix =
+        Array.fold_left
+          (fun acc r ->
+            if String.length r >= String.length prefix
+               && String.sub r 0 (String.length prefix) = prefix
+            then acc + 1
+            else acc)
+          0 results
+      in
+      Alcotest.(check int) "exactly one commit" 1 (count "ok committed");
+      Alcotest.(check int) "everyone else conflicts" (n - 1) (count "conflict");
+      (* the surviving value is the winner's, at exactly version 2 *)
+      let c = Server.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Server.close_client c)
+        (fun () ->
+          ignore (expect c "version" "ok 2");
+          let v = Server.request c "get #1 ssn" in
+          let winner =
+            match int_of_string_opt (String.sub v 3 (String.length v - 3)) with
+            | Some w -> w
+            | None -> Alcotest.failf "unparsable winner %s" v
+          in
+          Alcotest.(check bool) "winner wrote one of the raced values" true
+            (winner >= 100 && winner < 100 + n)))
+
+(* ---- readers never observe partial commits -------------------------- *)
+
+let test_readers_see_no_partial_commits () =
+  with_server (fun addr ->
+      (* the invariant every committed version maintains: pay_rate is
+         exactly float(ssn).  A torn read would catch them mid-update. *)
+      let rounds = 40 and nreaders = 6 in
+      let stop = Atomic.make false in
+      let failures = Atomic.make 0 in
+      let writer () =
+        let c = Server.connect addr in
+        Fun.protect
+          ~finally:(fun () -> Server.close_client c)
+          (fun () ->
+            for k = 2 to rounds do
+              ignore (expect c "begin" "ok txn");
+              ignore (expect c (Fmt.str "set #1 ssn=%d" k) "ok");
+              ignore (expect c (Fmt.str "set #1 pay_rate=%d.0" k) "ok");
+              ignore (expect c "commit" "ok committed")
+            done;
+            Atomic.set stop true)
+      in
+      let reader () =
+        let c = Server.connect addr in
+        Fun.protect
+          ~finally:(fun () -> Server.close_client c)
+          (fun () ->
+            while not (Atomic.get stop) do
+              (* inside a transaction both reads hit one snapshot *)
+              ignore (expect c "begin" "ok txn");
+              let ssn = Server.request c "get #1 ssn" in
+              let rate = Server.request c "get #1 pay_rate" in
+              ignore (expect c "abort" "ok aborted");
+              let payload r = String.sub r 3 (String.length r - 3) in
+              match
+                (int_of_string_opt (payload ssn), float_of_string_opt (payload rate))
+              with
+              | Some s, Some r when float_of_int s = r -> ()
+              | _ -> Atomic.incr failures
+            done)
+      in
+      let readers = List.init nreaders (fun _ -> Thread.create reader ()) in
+      let w = Thread.create writer () in
+      Thread.join w;
+      List.iter Thread.join readers;
+      Alcotest.(check int) "no torn reads" 0 (Atomic.get failures))
+
+(* ---- a served durable store survives restart ------------------------ *)
+
+let test_served_store_durability () =
+  with_temp_dir (fun dir ->
+      let o = Mvcc.open_dir ~load_schema ~sync:false ~schema dir in
+      with_server ~store:o.Mvcc.store (fun addr ->
+          let c = Server.connect addr in
+          Fun.protect
+            ~finally:(fun () -> Server.close_client c)
+            (fun () ->
+              ignore (expect c "begin" "ok txn");
+              ignore (expect c "set #1 ssn=77" "ok");
+              ignore (expect c "commit" "ok committed")));
+      Mvcc.close o.Mvcc.store;
+      let o2 = Mvcc.open_dir ~load_schema ~sync:false ~schema dir in
+      Alcotest.(check string) "committed state survives the restart" "77"
+        (Tdp_store.Dump.value_to_string
+           (Mvcc.get_attr
+              (Mvcc.head o2.Mvcc.store ~branch:Mvcc.main_branch)
+              (Tdp_store.Oid.of_int 1) (at "ssn")));
+      Mvcc.close o2.Mvcc.store)
+
+(* ---- sessions drop cleanly ------------------------------------------ *)
+
+let test_session_disconnect_aborts () =
+  with_server (fun addr ->
+      let c = Server.connect addr in
+      ignore (expect c "begin" "ok txn");
+      ignore (expect c "set #1 ssn=500" "ok");
+      (* vanish without committing *)
+      Server.close_client c;
+      let c2 = Server.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Server.close_client c2)
+        (fun () ->
+          (* the staged write never landed; a new txn commits freely *)
+          ignore (expect c2 "get #1 ssn" "ok 1");
+          ignore (expect c2 "begin" "ok txn");
+          ignore (expect c2 "set #1 ssn=2" "ok");
+          ignore (expect c2 "commit" "ok committed")))
+
+let suite =
+  [ Alcotest.test_case "protocol unit" `Quick test_protocol_unit;
+    Alcotest.test_case "socket roundtrip" `Quick test_socket_roundtrip;
+    Alcotest.test_case "12 writers, one key: 1 commit, 11 conflicts" `Quick
+      test_concurrent_writers_one_key;
+    Alcotest.test_case "readers never observe partial commits" `Quick
+      test_readers_see_no_partial_commits;
+    Alcotest.test_case "served durable store survives restart" `Quick
+      test_served_store_durability;
+    Alcotest.test_case "disconnect aborts the open txn" `Quick
+      test_session_disconnect_aborts
+  ]
+
+let () = Alcotest.run "server" [ ("server", suite) ]

@@ -1,0 +1,380 @@
+module Database = Tdp_store.Database
+module Dump = Tdp_store.Dump
+module Value = Tdp_store.Value
+module Wal = Tdp_store.Wal
+module Txn_log = Tdp_txn.Txn_log
+module Mvcc = Tdp_txn.Mvcc
+open Helpers
+
+let schema = Tdp_paper.Fig1.schema
+let oid = Tdp_store.Oid.of_int
+let load_schema src = (Tdp_lang.Elaborate.load_exn src).Tdp_lang.Elaborate.schema
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "tdp_txn" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let commit_exn txn =
+  match Mvcc.commit txn with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "commit failed: %s" (Mvcc.commit_error_message e)
+
+let new_employee txn n =
+  Mvcc.new_object txn (ty "Employee")
+    ~init:[ (at "ssn", Value.Int n); (at "name", Value.String "e") ]
+
+(* ---- transaction lifecycle and snapshot isolation ------------------- *)
+
+let test_commit_publishes () =
+  let s = Mvcc.create schema in
+  let t1 = Mvcc.begin_ s in
+  let o = new_employee t1 1 in
+  Mvcc.set_attr t1 o (at "pay_rate") (Value.Float 60.0);
+  (* staged but uncommitted: visible in the overlay, not at the head *)
+  Alcotest.(check int) "overlay sees the write" 1 (Mvcc.count (Mvcc.view t1));
+  Alcotest.(check int) "head does not" 0
+    (Mvcc.count (Mvcc.head s ~branch:Mvcc.main_branch));
+  let v = commit_exn t1 in
+  Alcotest.(check int) "first version" 1 v;
+  let head = Mvcc.head s ~branch:Mvcc.main_branch in
+  Alcotest.(check int) "published" 1 (Mvcc.count head);
+  Alcotest.(check string) "value" "60.0"
+    (Dump.value_to_string (Mvcc.get_attr head o (at "pay_rate")))
+
+let test_snapshot_isolation () =
+  let s = Mvcc.create schema in
+  let t1 = Mvcc.begin_ s in
+  let o = new_employee t1 1 in
+  ignore (commit_exn t1);
+  (* a reader pins the version it started from *)
+  let reader = Mvcc.head s ~branch:Mvcc.main_branch in
+  let t2 = Mvcc.begin_ s in
+  Mvcc.set_attr t2 o (at "ssn") (Value.Int 99);
+  ignore (commit_exn t2);
+  Alcotest.(check string) "reader still sees version 1" "1"
+    (Dump.value_to_string (Mvcc.get_attr reader o (at "ssn")));
+  Alcotest.(check string) "new head sees version 2" "99"
+    (Dump.value_to_string
+       (Mvcc.get_attr (Mvcc.head s ~branch:Mvcc.main_branch) o (at "ssn")))
+
+let test_first_writer_wins () =
+  let s = Mvcc.create schema in
+  let t0 = Mvcc.begin_ s in
+  let o = new_employee t0 1 in
+  ignore (commit_exn t0);
+  (* two open transactions race on the same object *)
+  let ta = Mvcc.begin_ s and tb = Mvcc.begin_ s in
+  Mvcc.set_attr ta o (at "ssn") (Value.Int 10);
+  Mvcc.set_attr tb o (at "ssn") (Value.Int 20);
+  ignore (commit_exn ta);
+  (match Mvcc.commit tb with
+  | Ok _ -> Alcotest.fail "second writer must conflict"
+  | Error (Mvcc.Conflict _) -> ()
+  | Error (Mvcc.Invalid m) -> Alcotest.failf "expected conflict, got invalid: %s" m);
+  (match Mvcc.state tb with
+  | Mvcc.Aborted _ -> ()
+  | _ -> Alcotest.fail "loser must be aborted");
+  Alcotest.(check string) "winner's write survives" "10"
+    (Dump.value_to_string
+       (Mvcc.get_attr (Mvcc.head s ~branch:Mvcc.main_branch) o (at "ssn")));
+  (* disjoint write sets do not conflict *)
+  let tc = Mvcc.begin_ s and td = Mvcc.begin_ s in
+  ignore (new_employee tc 2);
+  Mvcc.set_attr td o (at "ssn") (Value.Int 30);
+  ignore (commit_exn tc);
+  ignore (commit_exn td)
+
+let test_revalidation_conflict () =
+  (* write sets are disjoint, but the staged op no longer applies: a
+     concurrent commit deleted the object the reference points at *)
+  let s = Mvcc.create schema in
+  let t0 = Mvcc.begin_ s in
+  let o = new_employee t0 1 in
+  ignore (commit_exn t0);
+  let ta = Mvcc.begin_ s and tb = Mvcc.begin_ s in
+  Mvcc.delete ta o;
+  Mvcc.set_attr tb o (at "ssn") (Value.Int 9);
+  ignore (commit_exn ta);
+  match Mvcc.commit tb with
+  | Ok _ -> Alcotest.fail "write to a deleted object must conflict"
+  | Error (Mvcc.Conflict _) -> ()
+  | Error (Mvcc.Invalid m) -> Alcotest.failf "expected conflict, got invalid: %s" m
+
+let test_abort_and_read_only () =
+  let s = Mvcc.create schema in
+  let t1 = Mvcc.begin_ s in
+  ignore (new_employee t1 1);
+  Mvcc.abort t1;
+  Alcotest.(check int) "abort publishes nothing" 0
+    (Mvcc.count (Mvcc.head s ~branch:Mvcc.main_branch));
+  (match Mvcc.commit t1 with
+  | Error (Mvcc.Invalid _) -> ()
+  | _ -> Alcotest.fail "committing an aborted txn must be invalid");
+  (* read-only commits do not bump the version *)
+  let t2 = Mvcc.begin_ s in
+  Alcotest.(check int) "read-only commit" 0 (commit_exn t2);
+  Alcotest.(check int) "version unchanged" 0 (Mvcc.current_version s)
+
+let test_staging_failure_keeps_txn_open () =
+  let s = Mvcc.create schema in
+  let t1 = Mvcc.begin_ s in
+  let o = new_employee t1 1 in
+  (match Mvcc.set_attr t1 o (at "nonexistent") (Value.Int 1) with
+  | () -> Alcotest.fail "bad attr must raise"
+  | exception Database.Store_error _ -> ());
+  (* the failed op left no trace; the transaction still commits *)
+  Alcotest.(check int) "still one object staged" 1 (Mvcc.count (Mvcc.view t1));
+  ignore (commit_exn t1)
+
+let test_branches () =
+  let s = Mvcc.create schema in
+  let t0 = Mvcc.begin_ s in
+  let o = new_employee t0 1 in
+  ignore (commit_exn t0);
+  ignore (Mvcc.fork s ~from_:Mvcc.main_branch ~branch:"dev");
+  (* same-object writes on different branches are independent *)
+  let tm = Mvcc.begin_ s and td = Mvcc.begin_ ~branch:"dev" s in
+  Mvcc.set_attr tm o (at "ssn") (Value.Int 100);
+  Mvcc.set_attr td o (at "ssn") (Value.Int 200);
+  ignore (commit_exn tm);
+  ignore (commit_exn td);
+  Alcotest.(check string) "main head" "100"
+    (Dump.value_to_string
+       (Mvcc.get_attr (Mvcc.head s ~branch:Mvcc.main_branch) o (at "ssn")));
+  Alcotest.(check string) "dev head" "200"
+    (Dump.value_to_string (Mvcc.get_attr (Mvcc.head s ~branch:"dev") o (at "ssn")));
+  Alcotest.(check (list (pair string int))) "branches listed"
+    [ ("dev", 3); ("main", 2) ]
+    (Mvcc.branches s)
+
+(* ---- durability: log round-trip, dangling brackets, fault injection - *)
+
+(* Run a canonical history against a directory-backed store: three
+   committed transactions and one conflict-abort.  Returns the dump
+   after each commit (the oracle states). *)
+let canonical_history dir =
+  let o = Mvcc.open_dir ~load_schema ~sync:false ~schema dir in
+  let s = o.Mvcc.store in
+  let dumps = ref [ Mvcc.dump (Mvcc.head s ~branch:Mvcc.main_branch) ] in
+  let snap () =
+    dumps := Mvcc.dump (Mvcc.head s ~branch:Mvcc.main_branch) :: !dumps
+  in
+  let t1 = Mvcc.begin_ s in
+  let o1 = new_employee t1 1 in
+  Mvcc.set_attr t1 o1 (at "pay_rate") (Value.Float (0.1 +. 0.2));
+  ignore (commit_exn t1);
+  snap ();
+  let t2 = Mvcc.begin_ s in
+  ignore (new_employee t2 2);
+  Mvcc.set_attr t2 o1 (at "hrs_worked") (Value.Float 40.0);
+  ignore (commit_exn t2);
+  snap ();
+  (* a conflict: its abort record lands in the log *)
+  let ta = Mvcc.begin_ s and tb = Mvcc.begin_ s in
+  Mvcc.set_attr ta o1 (at "ssn") (Value.Int 7);
+  Mvcc.set_attr tb o1 (at "ssn") (Value.Int 8);
+  ignore (commit_exn ta);
+  snap ();
+  (match Mvcc.commit tb with
+  | Error (Mvcc.Conflict _) -> ()
+  | _ -> Alcotest.fail "expected a conflict");
+  Mvcc.close s;
+  (o1, Array.of_list (List.rev !dumps))
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let test_reopen_replays_commits () =
+  with_temp_dir (fun dir ->
+      let _, dumps = canonical_history dir in
+      let o = Mvcc.open_dir ~load_schema ~sync:false ~schema dir in
+      Alcotest.(check int) "three commits replayed" 3 o.Mvcc.txn_applied;
+      Alcotest.(check int) "none discarded" 0 o.Mvcc.txn_discarded;
+      Alcotest.(check bool) "clean" true (o.Mvcc.txn_corruption = None);
+      Alcotest.(check string) "state is the last commit" dumps.(3)
+        (Mvcc.dump (Mvcc.head o.Mvcc.store ~branch:Mvcc.main_branch));
+      Alcotest.(check int) "version restored" 3
+        (Mvcc.current_version o.Mvcc.store);
+      (* identities are never reused across recovery *)
+      let t = Mvcc.begin_ o.Mvcc.store in
+      let o3 = new_employee t 3 in
+      Alcotest.(check bool) "fresh oid above every logged one" true
+        (Tdp_store.Oid.to_int o3 >= 3);
+      ignore (commit_exn t);
+      Mvcc.close o.Mvcc.store)
+
+let test_dangling_bracket_discarded () =
+  with_temp_dir (fun dir ->
+      let o1, dumps = canonical_history dir in
+      (* crash mid-commit: a begin and its ops hit the log, the commit
+         record did not *)
+      let txid = 99 in
+      let oc = open_out_gen [ Open_append; Open_binary ] 0o644
+          (Filename.concat dir "txn.log") in
+      let next =
+        (Txn_log.decode (read_file (Filename.concat dir "txn.log"))).Wal.fnext_seq
+      in
+      output_string oc
+        (Txn_log.encode ~seq:next
+           (Txn_log.Begin { txid; branch = Mvcc.main_branch }));
+      output_string oc
+        (Txn_log.encode ~seq:(next + 1)
+           (Txn_log.Op
+              { txid;
+                op = Database.Op_set { oid = o1; attr = at "ssn"; value = Value.Int 1234 }
+              }));
+      close_out oc;
+      let o = Mvcc.open_dir ~load_schema ~sync:false ~schema dir in
+      Alcotest.(check int) "commits replayed" 3 o.Mvcc.txn_applied;
+      Alcotest.(check int) "dangling bracket discarded" 1 o.Mvcc.txn_discarded;
+      Alcotest.(check string) "no torn state" dumps.(3)
+        (Mvcc.dump (Mvcc.head o.Mvcc.store ~branch:Mvcc.main_branch));
+      Mvcc.close o.Mvcc.store)
+
+let test_txn_log_truncation_every_offset () =
+  with_temp_dir (fun dir ->
+      let _, dumps = canonical_history dir in
+      let log = read_file (Filename.concat dir "txn.log") in
+      let d = Txn_log.decode log in
+      (* commits whose record ends at or before the cut are durable *)
+      let commits_by t =
+        List.length
+          (List.filter
+             (fun (e : Txn_log.record Wal.framed) ->
+               e.Wal.fends_at <= t
+               && match e.Wal.fvalue with Txn_log.Commit _ -> true | _ -> false)
+             d.Wal.fentries)
+      in
+      for t = 0 to String.length log do
+        let o =
+          Mvcc.recover_text ~load_schema ~schema ~txn:(String.sub log 0 t) ()
+        in
+        let k = commits_by t in
+        Alcotest.(check int) (Fmt.str "commits after cut at %d" t) k
+          o.Mvcc.txn_applied;
+        Alcotest.(check string)
+          (Fmt.str "state after cut at %d" t)
+          dumps.(k)
+          (Mvcc.dump (Mvcc.head o.Mvcc.store ~branch:Mvcc.main_branch))
+      done)
+
+(* ---- checkpoint: crash at every step -------------------------------- *)
+
+let test_checkpoint_roundtrip () =
+  with_temp_dir (fun dir ->
+      let _, dumps = canonical_history dir in
+      let o = Mvcc.open_dir ~load_schema ~sync:false ~schema dir in
+      Mvcc.checkpoint o.Mvcc.store;
+      Mvcc.close o.Mvcc.store;
+      (* the log was truncated; the snapshot carries the state *)
+      Alcotest.(check string) "log empty after checkpoint" ""
+        (read_file (Filename.concat dir "txn.log"));
+      let snap = read_file (Filename.concat dir "snapshot.dump") in
+      Alcotest.(check bool) "txn-seq header present" true (Dump.txn_seq snap > 0);
+      let o2 = Mvcc.open_dir ~load_schema ~sync:false ~schema dir in
+      Alcotest.(check int) "nothing to replay" 0 o2.Mvcc.txn_applied;
+      Alcotest.(check string) "state preserved" dumps.(3)
+        (Mvcc.dump (Mvcc.head o2.Mvcc.store ~branch:Mvcc.main_branch));
+      (* and the store still accepts commits after the checkpoint *)
+      let t = Mvcc.begin_ o2.Mvcc.store in
+      ignore (new_employee t 50);
+      ignore (commit_exn t);
+      Mvcc.close o2.Mvcc.store;
+      let o3 = Mvcc.open_dir ~load_schema ~sync:false ~schema dir in
+      Alcotest.(check int) "post-checkpoint commit replays" 1 o3.Mvcc.txn_applied;
+      Mvcc.close o3.Mvcc.store)
+
+let test_checkpoint_crash_before_rename () =
+  with_temp_dir (fun dir ->
+      let _, dumps = canonical_history dir in
+      (* crash between temp-write and rename: an orphaned .tmp sibling
+         full of garbage must be removed, never read as a snapshot *)
+      let tmp = Filename.concat dir "snapshot.dump.tmp" in
+      Out_channel.with_open_bin tmp (fun oc ->
+          Out_channel.output_string oc "obj #1 Garbage x=nonsense\n");
+      let o = Mvcc.open_dir ~load_schema ~sync:false ~schema dir in
+      Alcotest.(check bool) "orphan removed" true o.Mvcc.tmp_removed;
+      Alcotest.(check bool) "gone from disk" false (Sys.file_exists tmp);
+      Alcotest.(check string) "state from log, not orphan" dumps.(3)
+        (Mvcc.dump (Mvcc.head o.Mvcc.store ~branch:Mvcc.main_branch));
+      Mvcc.close o.Mvcc.store)
+
+let test_checkpoint_crash_before_truncate () =
+  with_temp_dir (fun dir ->
+      let _, dumps = canonical_history dir in
+      (* crash after the snapshot rename but before the log truncation:
+         replay must skip the absorbed prefix, not double-apply it *)
+      let o = Mvcc.open_dir ~load_schema ~sync:false ~schema dir in
+      let log_before = read_file (Filename.concat dir "txn.log") in
+      Mvcc.checkpoint o.Mvcc.store;
+      Mvcc.close o.Mvcc.store;
+      Out_channel.with_open_bin (Filename.concat dir "txn.log") (fun oc ->
+          Out_channel.output_string oc log_before);
+      let o2 = Mvcc.open_dir ~load_schema ~sync:false ~schema dir in
+      Alcotest.(check int) "absorbed prefix skipped" 0 o2.Mvcc.txn_applied;
+      Alcotest.(check string) "no double apply" dumps.(3)
+        (Mvcc.dump (Mvcc.head o2.Mvcc.store ~branch:Mvcc.main_branch));
+      Mvcc.close o2.Mvcc.store)
+
+(* ---- writer failure atomicity (seq counter vs failed appends) ------- *)
+
+let test_append_failure_poisons_writer () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "wal.log" in
+      let w = Wal.writer_create ~sync:true ~path ~next_seq:1 () in
+      let op : Database.op =
+        Op_new { oid = oid 1; ty = ty "Person"; init = [ (at "ssn", Value.Int 1) ] }
+      in
+      ignore (Wal.append w op);
+      Alcotest.(check int) "seq advanced to 2" 2 (Wal.writer_seq w);
+      let committed = read_file path in
+      (* sabotage the writer: close its fd out from under it, so the
+         flush/fsync of the next append fails mid-record *)
+      Unix.close (Wal.writer_fd w);
+      (match Wal.append w op with
+      | _ -> Alcotest.fail "append on a dead fd must raise"
+      | exception _ -> ());
+      Alcotest.(check int) "seq NOT advanced by the failed append" 2
+        (Wal.writer_seq w);
+      Alcotest.(check bool) "writer poisoned" true (Wal.writer_poisoned w);
+      (* every later append refuses rather than gapping the sequence *)
+      (match Wal.append w op with
+      | _ -> Alcotest.fail "poisoned writer must refuse"
+      | exception Wal.Wal_error _ -> ());
+      (* the durable prefix is exactly the committed records *)
+      let d = Wal.decode (read_file path) in
+      Alcotest.(check int) "one committed record" 1 (List.length d.Wal.entries);
+      Alcotest.(check string) "file rolled back to the record boundary"
+        committed (read_file path))
+
+let suite =
+  [ Alcotest.test_case "commit publishes a new version" `Quick test_commit_publishes;
+    Alcotest.test_case "snapshot isolation" `Quick test_snapshot_isolation;
+    Alcotest.test_case "first writer wins" `Quick test_first_writer_wins;
+    Alcotest.test_case "revalidation catches read-write races" `Quick
+      test_revalidation_conflict;
+    Alcotest.test_case "abort and read-only commits" `Quick test_abort_and_read_only;
+    Alcotest.test_case "staging failure keeps the txn open" `Quick
+      test_staging_failure_keeps_txn_open;
+    Alcotest.test_case "branches are independent" `Quick test_branches;
+    Alcotest.test_case "reopen replays committed brackets" `Quick
+      test_reopen_replays_commits;
+    Alcotest.test_case "dangling bracket discarded (crash mid-commit)" `Quick
+      test_dangling_bracket_discarded;
+    Alcotest.test_case "txn log truncation at every byte offset" `Quick
+      test_txn_log_truncation_every_offset;
+    Alcotest.test_case "checkpoint roundtrip" `Quick test_checkpoint_roundtrip;
+    Alcotest.test_case "checkpoint crash before rename (orphaned tmp)" `Quick
+      test_checkpoint_crash_before_rename;
+    Alcotest.test_case "checkpoint crash before truncate (no double apply)"
+      `Quick test_checkpoint_crash_before_truncate;
+    Alcotest.test_case "failed append poisons the writer" `Quick
+      test_append_failure_poisons_writer
+  ]
+
+let () = Alcotest.run "txn" [ ("txn", suite) ]
