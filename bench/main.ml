@@ -16,13 +16,16 @@
                                              scaling sweep + store recovery
                                              and MVCC commit throughput + a
                                              Tdp_obs metrics snapshot of one
-                                             instrumented pass; FILE defaults
-                                             to BENCH_7.json, "-" = stdout)
+                                             instrumented pass + the columnar
+                                             store sweep; FILE defaults
+                                             to BENCH_8.json, "-" = stdout)
         dune exec bench/main.exe -- bench --check FILE
                                             (re-measure in --small mode and
                                              fail if a guarded benchmark
                                              regressed >3x vs the baseline
-                                             JSON in FILE) *)
+                                             JSON in FILE, or if a required
+                                             columnar speedup floor is not
+                                             met by the current tree) *)
 
 open Tdp_core
 module Fig1 = Tdp_paper.Fig1
@@ -746,6 +749,168 @@ let sweep_point n =
 let sweep_sizes ~small = if small then [ 100; 400 ] else [ 100; 1000; 5000 ]
 
 (* ------------------------------------------------------------------ *)
+(* S10: columnar extent engine vs. the map-backed store it replaced    *)
+(* ------------------------------------------------------------------ *)
+
+(* The pre-columnar store kept one attribute map per object in a single
+   object table and answered extents by scanning the whole table.
+   [Mapstore] transcribes that representation so the sweep measures the
+   struct-of-arrays layout against the design it replaced, on identical
+   data.  Its predicate path is even cheaper than the old generic
+   [Pred.eval] (a hand-specialized closure over the slot map), so the
+   measured speedups are conservative. *)
+module Mapstore = struct
+  type obj = { mo_ty : Type_name.t; mo_slots : Tdp_store.Value.t Attr_name.Map.t }
+
+  type t = {
+    ms_index : Schema_index.t;
+    ms_objects : (int, obj) Hashtbl.t;
+    mutable ms_next : int;
+  }
+
+  let create schema n =
+    { ms_index = Schema_index.compile (Schema.hierarchy schema);
+      ms_objects = Hashtbl.create (max 16 n);
+      ms_next = 1
+    }
+
+  let insert t ty_ init =
+    let slots =
+      List.fold_left
+        (fun m (a, v) -> Attr_name.Map.add a v m)
+        Attr_name.Map.empty init
+    in
+    let oid = t.ms_next in
+    t.ms_next <- oid + 1;
+    Hashtbl.replace t.ms_objects oid { mo_ty = ty_; mo_slots = slots }
+
+  (* the old [Database.extent]: descendant set, whole-table scan, sort *)
+  let extent t nm =
+    let desc =
+      Type_name.Set.of_list (Schema_index.descendants_or_self t.ms_index nm)
+    in
+    List.sort compare
+      (Hashtbl.fold
+         (fun oid o acc ->
+           if Type_name.Set.mem o.mo_ty desc then oid :: acc else acc)
+         t.ms_objects [])
+
+  (* the old per-row predicate path: extent, then slot-map lookups *)
+  let scan t nm pred =
+    List.filter
+      (fun oid -> pred (Hashtbl.find t.ms_objects oid).mo_slots)
+      (extent t nm)
+end
+
+let employee_init i =
+  [ (at "ssn", Tdp_store.Value.Int i);
+    (at "date_of_birth", Tdp_store.Value.Date (1950 + (i mod 60)));
+    (at "pay_rate", Tdp_store.Value.Float (10.0 +. float_of_int (i mod 7)));
+    (at "hrs_worked", Tdp_store.Value.Float 40.0)
+  ]
+
+let columnar_fixture n =
+  let o = Fig1.project () in
+  let db = Tdp_store.Database.create o.schema in
+  Tdp_store.Database.reserve db n;
+  for i = 0 to n - 1 do
+    ignore (Tdp_store.Database.new_object db (ty "Employee") ~init:(employee_init i))
+  done;
+  (o.schema, db)
+
+let mapstore_fixture schema n =
+  let ms = Mapstore.create schema n in
+  for i = 0 to n - 1 do
+    Mapstore.insert ms (ty "Employee") (employee_init i)
+  done;
+  ms
+
+(* ~4/7 selective conjunction over two unboxed float columns *)
+let sweep_pred =
+  Tdp_algebra.Pred.(
+    And
+      ( Cmp { attr = at "pay_rate"; op = Ge; value = Body.Float 13.0 },
+        Cmp { attr = at "hrs_worked"; op = Eq; value = Body.Float 40.0 } ))
+
+(* the same predicate, hand-specialized for the map-backed side *)
+let sweep_pred_map slots =
+  (match Attr_name.Map.find_opt (at "pay_rate") slots with
+  | Some (Tdp_store.Value.Float v) -> v >= 13.0
+  | _ -> false)
+  && (match Attr_name.Map.find_opt (at "hrs_worked") slots with
+     | Some (Tdp_store.Value.Float v) -> Float.equal v 40.0
+     | _ -> false)
+
+type col_point = {
+  cp_n : int;
+  cp_extent_ns : float;  (* columnar deep extent of Person, one call *)
+  cp_extent_map_ns : float;
+  cp_scan_ns : float;  (* compiled predicate scan over Employee, one call *)
+  cp_scan_map_ns : float;
+  cp_mv_steady_ns : float;  (* matview refresh, all rows clean *)
+  cp_mv_force_ns : float;  (* matview refresh, stamp skipping disabled *)
+}
+
+let columnar_point n =
+  let person = ty "Person" and employee = ty "Employee" in
+  (* Each design is measured against its own heap: the boxed slot maps
+     of the map-backed mirror tax every allocation made while they are
+     live (major-GC marking debt is proportional to the live heap), and
+     that debt belongs to the map design, not to whoever happens to
+     allocate next.  So: columnar side first, then the mirror, with a
+     full collection at each hand-off. *)
+  let schema, db = columnar_fixture n in
+  Gc.full_major ();
+  let t_extent = time_it (fun () -> Tdp_store.Database.extent db person) in
+  let t_scan = time_it (fun () -> Tdp_algebra.Pred.scan db employee sweep_pred) in
+  let t_extent_map, t_scan_map =
+    let ms = mapstore_fixture schema n in
+    Gc.full_major ();
+    let t_extent_map = time_it (fun () -> Mapstore.extent ms person) in
+    let t_scan_map = time_it (fun () -> Mapstore.scan ms employee sweep_pred_map) in
+    (t_extent_map, t_scan_map)
+  in
+  (* view maintenance over the same rows: Employee_hat copies of every
+     Employee.  The steady refresh sees only clean row stamps; [force]
+     re-diffs every pair, which is what every refresh cost before dirty
+     tracking.  Measured last — the copies would pollute the extents
+     (the mirror is unreachable by now; collect it). *)
+  Gc.full_major ();
+  let mv =
+    Tdp_algebra.Matview.create db ~view_type:(ty "Employee_hat")
+      (Tdp_algebra.View.Project (Tdp_algebra.View.Base employee, Fig1.projection))
+  in
+  let t_steady = time_it (fun () -> Tdp_algebra.Matview.refresh db mv) in
+  let t_force = time_it (fun () -> Tdp_algebra.Matview.refresh ~force:true db mv) in
+  { cp_n = n;
+    cp_extent_ns = ns t_extent;
+    cp_extent_map_ns = ns t_extent_map;
+    cp_scan_ns = ns t_scan;
+    cp_scan_map_ns = ns t_scan_map;
+    cp_mv_steady_ns = ns t_steady;
+    cp_mv_force_ns = ns t_force
+  }
+
+(* 100k is in every mode: the acceptance floors are keyed on it. *)
+let columnar_sizes ~small =
+  if small then [ 1_000; 100_000 ] else [ 1_000; 100_000; 1_000_000 ]
+
+let table_s10 () =
+  section "S10: columnar extents vs. map-backed store (fig1 Employees)";
+  row4 "objects" "extent col | map" "pred-scan col | map" "matview steady | force";
+  let pair a b =
+    Fmt.str "%a |%a (%5.1fx)" pp_time (a /. 1e9) pp_time (b /. 1e9) (b /. a)
+  in
+  List.iter
+    (fun n ->
+      let p = columnar_point n in
+      row4 (string_of_int n)
+        (pair p.cp_extent_ns p.cp_extent_map_ns)
+        (pair p.cp_scan_ns p.cp_scan_map_ns)
+        (pair p.cp_mv_steady_ns p.cp_mv_force_ns))
+    [ 1_000; 100_000 ]
+
+(* ------------------------------------------------------------------ *)
 (* JSON baseline: cached vs. uncached hot paths (docs/performance.md)  *)
 (* ------------------------------------------------------------------ *)
 
@@ -898,6 +1063,10 @@ let json_report ~small =
   let metrics_snapshot = Obs.Metrics.snapshot () in
   Obs.Metrics.disable ();
   let sweep = List.map sweep_point (sweep_sizes ~small) in
+  let cols = List.map columnar_point (columnar_sizes ~small) in
+  (* the acceptance floors for the columnar engine are keyed on the
+     100k point, which every mode measures *)
+  let c100k = List.find (fun p -> p.cp_n = 100_000) cols in
   (* the smallest sweep point is measured in every mode, so its entries
      carry stable names the --check regression gate can key on *)
   let p0 = List.hd sweep in
@@ -936,6 +1105,28 @@ let json_report ~small =
             { name = Fmt.str "subtype/set/n=%d" p.sw_n; ns_per_op = p.sw_set_ns }
           ])
         sweep
+    @ List.concat_map
+        (fun p ->
+          [ { name = Fmt.str "store/extent/columnar/n=%d" p.cp_n;
+              ns_per_op = p.cp_extent_ns
+            };
+            { name = Fmt.str "store/extent/map/n=%d" p.cp_n;
+              ns_per_op = p.cp_extent_map_ns
+            };
+            { name = Fmt.str "scan/pred/columnar/n=%d" p.cp_n;
+              ns_per_op = p.cp_scan_ns
+            };
+            { name = Fmt.str "scan/pred/map/n=%d" p.cp_n;
+              ns_per_op = p.cp_scan_map_ns
+            };
+            { name = Fmt.str "matview/refresh-steady/n=%d" p.cp_n;
+              ns_per_op = p.cp_mv_steady_ns
+            };
+            { name = Fmt.str "matview/refresh-force/n=%d" p.cp_n;
+              ns_per_op = p.cp_mv_force_ns
+            }
+          ])
+        cols
   in
   let speedups =
     [ { s_name = "repeated-dispatch";
@@ -957,6 +1148,23 @@ let json_report ~small =
         uncached_ns = largest.sw_cached_set_ns;
         cached_ns = largest.sw_index_ns;
         ops = sweep_queries
+      };
+      (* columnar engine headline wins, measured at 100k rows; the
+         first two carry the --check acceptance floors *)
+      { s_name = "store/extent/columnar-vs-map";
+        uncached_ns = c100k.cp_extent_map_ns;
+        cached_ns = c100k.cp_extent_ns;
+        ops = c100k.cp_n
+      };
+      { s_name = "scan/pred/columnar-vs-map";
+        uncached_ns = c100k.cp_scan_map_ns;
+        cached_ns = c100k.cp_scan_ns;
+        ops = c100k.cp_n
+      };
+      { s_name = "matview/steady-vs-force";
+        uncached_ns = c100k.cp_mv_force_ns;
+        cached_ns = c100k.cp_mv_steady_ns;
+        ops = c100k.cp_n
       }
     ]
   in
@@ -968,10 +1176,12 @@ let json_report ~small =
   Buffer.add_string buf
     (Fmt.str
        "  \"config\": { \"small\": %b, \"methods\": %d, \"views\": %d, \
-        \"sweep_sizes\": [%s], \"sweep_queries\": %d },\n"
+        \"sweep_sizes\": [%s], \"sweep_queries\": %d, \
+        \"columnar_sizes\": [%s] },\n"
        small methods n_views
        (String.concat ", " (List.map string_of_int (sweep_sizes ~small)))
-       sweep_queries);
+       sweep_queries
+       (String.concat ", " (List.map string_of_int (columnar_sizes ~small))));
   Buffer.add_string buf
     (Fmt.str
        "  \"dispatch_table\": { \"entries\": %d, \"hits\": %d, \"misses\": %d },\n"
@@ -1165,9 +1375,22 @@ let guarded_benchmarks =
     (* disabled-instrumentation gates: these must stay within noise of
        a bare call; entries absent from older baselines are skipped *)
     "obs/time/disabled";
-    "obs/with_span/disabled"
+    "obs/with_span/disabled";
+    (* columnar extent engine: absent from pre-PR-8 baselines, so
+       checks against those skip them *)
+    "store/extent/columnar/n=1000";
+    "scan/pred/columnar/n=1000";
+    "matview/refresh-steady/n=1000"
   ]
 let check_tolerance = 3.0
+
+(* Absolute floors the current tree must hold regardless of baseline:
+   the columnar engine's reason to exist is these wins, so losing them
+   is a gate failure even when no guarded entry regressed.  Keyed on
+   the speedup records of the current --small report (both modes
+   measure the 100k point). *)
+let required_speedups =
+  [ ("store/extent/columnar-vs-map", 10.0); ("scan/pred/columnar-vs-map", 10.0) ]
 
 let read_file path =
   let ic = open_in_bin path in
@@ -1175,11 +1398,11 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-(* Pull ["ns_per_op"] for a named benchmark entry out of a report.  The
-   report format is ours (json_report above), so a string scan beats
-   hauling in a JSON parser the container may not have: find the name,
-   then the next "ns_per_op" field after it. *)
-let ns_per_op_of ~json name =
+(* Pull a float field for a named entry out of a report.  The report
+   format is ours (json_report above), so a string scan beats hauling
+   in a JSON parser the container may not have: find the name, then
+   the next occurrence of the field after it. *)
+let float_field_of ~json ~field name =
   let needle = Fmt.str "\"name\": %S" name in
   let nlen = String.length needle and len = String.length json in
   let rec find i =
@@ -1188,7 +1411,7 @@ let ns_per_op_of ~json name =
     else find (i + 1)
   in
   Option.bind (find 0) (fun start ->
-      let field = "\"ns_per_op\": " in
+      let field = Fmt.str "\"%s\": " field in
       let flen = String.length field in
       let rec find_field i =
         if i + flen > len then None
@@ -1204,6 +1427,9 @@ let ns_per_op_of ~json name =
             incr stop
           done;
           float_of_string_opt (String.sub json v (!stop - v))))
+
+let ns_per_op_of ~json name = float_field_of ~json ~field:"ns_per_op" name
+let speedup_of ~json name = float_field_of ~json ~field:"speedup" name
 
 let run_check ~baseline_file =
   let baseline = read_file baseline_file in
@@ -1228,7 +1454,19 @@ let run_check ~baseline_file =
             else None)
       guarded_benchmarks
   in
-  match failures with
+  let floor_failures =
+    List.filter_map
+      (fun (name, floor) ->
+        match speedup_of ~json:current name with
+        | None -> Some (Fmt.str "%s: missing from current report" name)
+        | Some s ->
+            Fmt.pr "  %-32s speedup %8.1fx  (floor %.1fx)@." name s floor;
+            if s < floor then
+              Some (Fmt.str "%s: %.1fx below required %.1fx" name s floor)
+            else None)
+      required_speedups
+  in
+  match failures @ floor_failures with
   | [] ->
       Fmt.pr "bench check OK@.";
       exit 0
@@ -1247,7 +1485,7 @@ let () =
   let rec out_of = function
     | "--out" :: v :: _ -> v
     | _ :: rest -> out_of rest
-    | [] -> "BENCH_7.json"
+    | [] -> "BENCH_8.json"
   in
   let rec check_of = function
     | "--check" :: v :: _ -> Some v
@@ -1276,7 +1514,8 @@ let () =
     table_s6 ();
     table_s7 ();
     table_s8 ();
-    table_s9 ()
+    table_s9 ();
+    table_s10 ()
   end;
   if mode = "all" || mode = "bench" then run_bechamel ();
   Fmt.pr "@.done.@."

@@ -592,7 +592,7 @@ module Database = Tdp_store.Database
 module Dump = Tdp_store.Dump
 module Wal = Tdp_store.Wal
 
-type store_action = Init | Append | Recover | Checkpoint | Verify | DumpDb
+type store_action = Init | Append | Recover | Checkpoint | Verify | DumpDb | Stats
 
 let store_schema_loader src = (Elaborate.load_exn src).Elaborate.schema
 
@@ -702,7 +702,7 @@ let store_cmd action dir schema_file script_file json =
           | Some c -> Fmt.pr "%a@." pp_corruption c);
           exit_of status
         end
-    | (Append | Recover | Checkpoint | DumpDb) as action -> (
+    | (Append | Recover | Checkpoint | DumpDb | Stats) as action -> (
         let tmp_removed = clean_orphan () in
         let schema =
           (or_die ~file:schema_path (Elaborate.load (read_file schema_path))).schema
@@ -735,6 +735,42 @@ let store_cmd action dir schema_file script_file json =
                 ~data:(J.Obj (recovery_fields r @ [ ("dump", J.String (Dump.to_string r.db)) ]))
             else begin
               print_string (Dump.to_string r.db);
+              0
+            end
+        | Stats ->
+            (* storage-layout statistics of the recovered store: one
+               line per columnar block *)
+            warn_corruption r.corruption;
+            let stats = Database.stats r.db in
+            if json then
+              finish `Ok
+                ~data:
+                  (J.Obj
+                     [ ("objects", J.Int (Database.count r.db));
+                       ("blocks", J.Int (List.length stats));
+                       ( "block_stats",
+                         J.List
+                           (List.map
+                              (fun (s : Database.block_stat) ->
+                                J.Obj
+                                  [ ("type", J.String (Type_name.to_string s.st_ty));
+                                    ("live", J.Int s.st_live);
+                                    ("rows", J.Int s.st_rows);
+                                    ("capacity", J.Int s.st_capacity);
+                                    ("free", J.Int s.st_free);
+                                    ("columns", J.Int s.st_columns)
+                                  ])
+                              stats) )
+                     ])
+            else begin
+              Fmt.pr "%d object(s) in %d block(s)@." (Database.count r.db)
+                (List.length stats);
+              List.iter
+                (fun (s : Database.block_stat) ->
+                  Fmt.pr "%s: %d live, %d rows, capacity %d, %d free, %d column(s)@."
+                    (Type_name.to_string s.st_ty) s.st_live s.st_rows
+                    s.st_capacity s.st_free s.st_columns)
+                stats;
               0
             end
         | Checkpoint ->
@@ -1167,17 +1203,20 @@ let store_t =
      mutations; $(b,recover) replays snapshot+WAL and reports; \
      $(b,checkpoint) folds the WAL into a fresh atomic snapshot; \
      $(b,verify) checks WAL integrity (exit 1 on corruption); $(b,dump) \
-     prints the recovered state."
+     prints the recovered state; $(b,stats) prints columnar block-layout \
+     statistics."
   in
   let action =
     let actions =
       [ ("init", Init); ("append", Append); ("recover", Recover);
-        ("checkpoint", Checkpoint); ("verify", Verify); ("dump", DumpDb) ]
+        ("checkpoint", Checkpoint); ("verify", Verify); ("dump", DumpDb);
+        ("stats", Stats) ]
     in
     Arg.(
       required
       & pos 0 (some (enum actions)) None
-      & info [] ~docv:"ACTION" ~doc:"One of init, append, recover, checkpoint, verify, dump.")
+      & info [] ~docv:"ACTION"
+          ~doc:"One of init, append, recover, checkpoint, verify, dump, stats.")
   in
   let dir =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"DIR" ~doc:"Store directory.")

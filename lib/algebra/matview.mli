@@ -24,8 +24,16 @@ val view_type : t -> Type_name.t
 (** Source OID → copy OID. *)
 val mapping : t -> Oid.t Oid.Map.t
 
-(** Synchronize the copies with the view's current instances. *)
-val refresh : Tdp_store.Database.t -> t -> stats
+(** Synchronize the copies with the view's current instances.
+
+    Incremental: tracked pairs whose rows are unchanged since the last
+    refresh (by the store's logical tick, {!Tdp_store.Database.tick})
+    skip the attribute diff entirely; rows that did change are read
+    once per side and diffed.  [~force:true] disables stamp skipping
+    and re-diffs every pair — the result is always identical, [force]
+    only removes the shortcut (benchmarks use it as the non-tracked
+    baseline). *)
+val refresh : ?force:bool -> Tdp_store.Database.t -> t -> stats
 
 (** Copy OIDs, in source-OID order. *)
 val copies : t -> Oid.t list

@@ -113,3 +113,112 @@ let rec eval db oid = function
   | Cmp { attr; op; value } ->
       let v = Tdp_store.Database.get_attr db oid attr in
       compare_values op v (Tdp_store.Value.of_literal value)
+
+(* ---- vectorized scans ----------------------------------------------- *)
+
+(* Scanning a predicate over an extent per-object costs an OID hash
+   lookup plus a map lookup per atom per object.  The columnar layer
+   exposes the raw per-attribute arrays, so instead each atom compiles,
+   once per block, to an [int -> bool] over row ids that reads the
+   unboxed column directly; the combinators compose closures.  Every
+   fast path below reproduces [compare_values] exactly — structural
+   (in)equality (so [Int 1 <> Float 1.0], and null only equals the null
+   literal), numeric ordering through float conversion, non-numeric
+   ordering false. *)
+
+module Database = Tdp_store.Database
+module Columns = Tdp_store.Columns
+module Value = Tdp_store.Value
+
+module Obs = Tdp_obs
+let m_scan_ns = Obs.Metrics.histogram "pred.scan_ns"
+
+let compile_cmp db block attr op (lit : Body.literal) =
+  match Columns.pos block attr with
+  | None ->
+      (* raise lazily, per row, exactly like the per-object path — an
+         atom short-circuited away by And/Or must not raise *)
+      fun r ->
+        ignore (Database.get_attr db (Columns.oid_at block r) attr);
+        assert false
+  | Some ci -> (
+      let col = block.Columns.b_cols.(ci) in
+      let nulls = col.Columns.c_nulls in
+      let is_null r = Bytes.get nulls r <> '\000' in
+      let lit_v = Value.of_literal lit in
+      let fallback r = compare_values op (Columns.read block ~row:r ~col:ci) lit_v in
+      match op with
+      | Lt | Le | Gt | Ge -> (
+          let num_lit =
+            match lit with
+            | Body.Int i -> Some (float_of_int i)
+            | Body.Float f -> Some f
+            | Body.String _ | Body.Bool _ | Body.Null -> None
+          in
+          match (num_lit, col.Columns.c_data) with
+          | None, _ -> fun _ -> false
+          | Some y, (Columns.Ints a | Columns.Dates a) ->
+              fun r ->
+                (not (is_null r)) && op_holds op (Float.compare (float_of_int a.(r)) y)
+          | Some y, Columns.Floats a ->
+              fun r -> (not (is_null r)) && op_holds op (Float.compare a.(r) y)
+          | Some _, (Columns.Strings _ | Columns.Bools _ | Columns.Refs _) ->
+              fun _ -> false
+          | Some _, Columns.Boxed _ -> fallback)
+      | Eq | Ne -> (
+          (* [Some f]: f r = Value.equal (row value) lit_v *)
+          let equal_row : (int -> bool) option =
+            match (col.Columns.c_data, lit) with
+            | _, Body.Null -> Some is_null
+            | Columns.Ints a, Body.Int i ->
+                Some (fun r -> (not (is_null r)) && a.(r) = i)
+            | Columns.Floats a, Body.Float f ->
+                Some (fun r -> (not (is_null r)) && Float.equal a.(r) f)
+            | Columns.Strings a, Body.String s -> (
+                match Columns.Pool.find block.Columns.b_pool s with
+                | Some sid -> Some (fun r -> (not (is_null r)) && a.(r) = sid)
+                | None -> Some (fun _ -> false))
+            | Columns.Bools bs, Body.Bool bv ->
+                let byte = if bv then '\001' else '\000' in
+                Some (fun r -> (not (is_null r)) && Bytes.get bs r = byte)
+            | Columns.Boxed _, _ -> None
+            | ( (Columns.Ints _ | Columns.Floats _ | Columns.Strings _
+                | Columns.Bools _ | Columns.Dates _ | Columns.Refs _),
+                (Body.Int _ | Body.Float _ | Body.String _ | Body.Bool _) ) ->
+                (* kind mismatch: structurally unequal for every row,
+                   null or not (Date vs Int included — [Value.equal]
+                   never crosses constructors) *)
+                Some (fun _ -> false)
+          in
+          match equal_row with
+          | None -> fallback
+          | Some f -> if op = Eq then f else fun r -> not (f r)))
+
+let compile db block p =
+  let rec go = function
+    | True -> fun _ -> true
+    | Not a ->
+        let f = go a in
+        fun r -> not (f r)
+    | And (a, b) ->
+        let fa = go a and fb = go b in
+        fun r -> fa r && fb r
+    | Or (a, b) ->
+        let fa = go a and fb = go b in
+        fun r -> fa r || fb r
+    | Cmp { attr; op; value } -> compile_cmp db block attr op value
+  in
+  go p
+
+let scan db ty p =
+  Obs.Metrics.time m_scan_ns (fun () ->
+      let per_block b =
+        let f = compile db b p in
+        let out = ref [] in
+        Columns.iter_live b (fun r -> if f r then out := Columns.oid_at b r :: !out);
+        let l = List.rev !out in
+        if Columns.is_sorted b then l else List.sort Tdp_store.Oid.compare l
+      in
+      List.fold_left
+        (fun acc b -> List.merge Tdp_store.Oid.compare acc (per_block b))
+        [] (Database.scan_blocks db ty))

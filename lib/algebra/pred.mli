@@ -47,3 +47,13 @@ val pp : t Fmt.t
 (** Evaluate against a stored object.
     @raise Tdp_store.Database.Store_error on a missing attribute. *)
 val eval : Tdp_store.Database.t -> Tdp_store.Oid.t -> t -> bool
+
+(** [scan db ty p] — the deep extent of [ty] filtered by [p], in OID
+    order; equivalent to
+    [List.filter (fun o -> eval db o p) (Database.extent db ty)] but
+    vectorized: each comparison atom compiles, per columnar block, to a
+    tight loop over the unboxed attribute column (interned-string id
+    equality, raw numeric compares) instead of a per-object [get_attr].
+    @raise Tdp_store.Database.Store_error on a missing attribute,
+    [Error.E Unknown_type] as {!Tdp_store.Database.extent}. *)
+val scan : Tdp_store.Database.t -> Type_name.t -> t -> Tdp_store.Oid.t list

@@ -139,21 +139,43 @@ let derive ?check schema ~view ?name expr =
    semantics: a projection view's instances are the source instances
    themselves; a selection filters them.  Since the projection pipeline
    makes the derived type a supertype of its source, the Base case's
-   deep extent already contains everything. *)
-let rec instances db = function
-  | Base n -> Tdp_store.Database.extent db n
-  | Project (e, _) -> instances db e
-  | Select (e, pred) ->
-      List.filter (fun oid -> Pred.eval db oid pred) (instances db e)
-  | Generalize (a, b) ->
-      List.sort_uniq Tdp_store.Oid.compare (instances db a @ instances db b)
-  | Join _ ->
-      (* a join instance is a pair of operand instances, not an
-         existing object; only Join.materialize over named operand
-         types gives joins a data plane *)
-      Error.raise_
-        (Invariant_violation
-           "join views have no identity instances; use Join.materialize")
+   deep extent already contains everything.
+
+   A Project/Select chain over a Base flattens to (base type, combined
+   predicate) — projection contributes nothing at instance level — and
+   runs through the vectorized [Pred.scan] instead of per-object
+   filtering.  The conjunction keeps inner-predicate-first order, so
+   per-row evaluation (and short-circuiting) matches the nested
+   filters it replaces. *)
+let rec flatten = function
+  | Base n -> Some (n, None)
+  | Project (e, _) -> flatten e
+  | Select (e, p) -> (
+      match flatten e with
+      | Some (n, None) -> Some (n, Some p)
+      | Some (n, Some q) -> Some (n, Some (Pred.And (q, p)))
+      | None -> None)
+  | Generalize _ | Join _ -> None
+
+let rec instances db expr =
+  match flatten expr with
+  | Some (n, None) -> Tdp_store.Database.extent db n
+  | Some (n, Some p) -> Pred.scan db n p
+  | None -> (
+      match expr with
+      | Base _ -> assert false (* a Base always flattens *)
+      | Project (e, _) -> instances db e
+      | Select (e, pred) ->
+          List.filter (fun oid -> Pred.eval db oid pred) (instances db e)
+      | Generalize (a, b) ->
+          List.sort_uniq Tdp_store.Oid.compare (instances db a @ instances db b)
+      | Join _ ->
+          (* a join instance is a pair of operand instances, not an
+             existing object; only Join.materialize over named operand
+             types gives joins a data plane *)
+          Error.raise_
+            (Invariant_violation
+               "join views have no identity instances; use Join.materialize"))
 
 (* Materialization: copy each view instance into a fresh object of the
    derived view type, carrying exactly the view's attributes. *)

@@ -26,6 +26,8 @@ type t = {
   direct_subs : Type_name.t list array;
   cpls : (Type_name.t list, Error.t) result option array;  (* lazy memo *)
   ancestor_sets : Type_name.Set.t option array;  (* lazy memo *)
+  layouts : Attribute.t array option array;  (* lazy memo *)
+  layout_positions : int Attr_name.Map.t option array;  (* lazy memo *)
 }
 
 let hierarchy t = t.h
@@ -130,7 +132,9 @@ let compile_uninstrumented h =
     closure;
     direct_subs;
     cpls = Array.make n None;
-    ancestor_sets = Array.make n None
+    ancestor_sets = Array.make n None;
+    layouts = Array.make n None;
+    layout_positions = Array.make n None
   }
 
 let compile h =
@@ -240,3 +244,35 @@ let cpl_result t nm =
 
 let cpl t nm =
   match cpl_result t nm with Ok l -> l | Error e -> Error.raise_ e
+
+(* ---- memoized extent layouts ---------------------------------------- *)
+
+(* The columnar store ([Tdp_store.Columns]) lays every instance of a
+   type out as one struct-of-arrays block whose column order is the
+   type's attribute list.  That order must be a pure function of the
+   (immutable) hierarchy, so the layout is compiled here, once per
+   interned type, rather than recomputed per object. *)
+
+let layout t nm =
+  let i = id_exn t nm in
+  match t.layouts.(i) with
+  | Some a -> a
+  | None ->
+      let a = Array.of_list (Hierarchy.all_attributes t.h nm) in
+      t.layouts.(i) <- Some a;
+      a
+
+let layout_positions t nm =
+  let i = id_exn t nm in
+  match t.layout_positions.(i) with
+  | Some m -> m
+  | None ->
+      let a = layout t nm in
+      let m = ref Attr_name.Map.empty in
+      Array.iteri
+        (fun k at ->
+          let n = Attribute.name at in
+          if not (Attr_name.Map.mem n !m) then m := Attr_name.Map.add n k !m)
+        a;
+      t.layout_positions.(i) <- Some !m;
+      !m

@@ -97,3 +97,16 @@ val direct_subs : t -> Type_name.t -> Type_name.t list
 val cpl : t -> Type_name.t -> Type_name.t list
 
 val cpl_result : t -> Type_name.t -> (Type_name.t list, Error.t) result
+
+(** Compiled extent layout of a type: its cumulative attribute list
+    ([Hierarchy.all_attributes], in inheritance order) as an array,
+    memoized per interned type.  The columnar store lays each block of
+    instances out with one column per entry, in this order.  Callers
+    must not mutate the returned array.
+    @raise Error.E [Unknown_type]. *)
+val layout : t -> Type_name.t -> Attribute.t array
+
+(** Attribute name → column position within {!layout} (first occurrence
+    wins), memoized per interned type.
+    @raise Error.E [Unknown_type]. *)
+val layout_positions : t -> Type_name.t -> int Attr_name.Map.t

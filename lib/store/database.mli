@@ -6,7 +6,15 @@
     [T].  This realizes the paper's companion "type instantiation"
     semantics for projection views: because the derived type [T̂] is
     placed {e above} the source type, every source instance is already
-    an instance of the view, with no copying. *)
+    an instance of the view, with no copying.
+
+    Physically the store is columnar: instances of one type created
+    under one compiled layout share a struct-of-arrays {!Columns.t}
+    block, extents concatenate per-block sorted OID runs via the
+    {!Tdp_core.Schema_index} bitset closure, and a maintained
+    reverse-reference index backs {!referrers} and {!delete}.  None of
+    that changes the observable API; {!obj} is materialized on demand
+    for compatibility. *)
 
 open Tdp_core
 
@@ -97,3 +105,58 @@ val next_oid : t -> int
 
 val objects : t -> obj list
 val slots : t -> Oid.t -> Value.t Attr_name.Map.t
+
+(** Batch {!get_attr} with a single OID resolution.
+    @raise Store_error on a dangling OID or a missing attribute. *)
+val get_attrs : t -> Oid.t -> Attr_name.t list -> Value.t list
+
+(** Fold over all objects in OID order without materializing slot maps;
+    bindings arrive in attribute-name order (the {!slots} iteration
+    order).  Used by {!Dump}. *)
+val fold_rows :
+  t ->
+  init:'a ->
+  ('a -> Oid.t -> Type_name.t -> (Attr_name.t * Value.t) list -> 'a) ->
+  'a
+
+(** {2 Change tracking}
+
+    The database keeps a logical clock, bumped once per mutation; every
+    mutation stamps the rows it touches.  [Tdp_algebra.Matview] uses
+    the stamps to skip rows unchanged since its last refresh. *)
+
+(** Current logical tick (0 on a fresh database). *)
+val tick : t -> int
+
+(** Tick of the object's last mutation.
+    @raise Store_error on a dangling OID. *)
+val row_stamp : t -> Oid.t -> int
+
+(** {2 Bulk-load and columnar access} *)
+
+(** Pre-size the OID table for a bulk load of [n] objects (snapshot
+    recovery); a no-op when already that large. *)
+val reserve : t -> int -> unit
+
+(** The live columnar blocks making up the deep extent of a type — the
+    vectorized scan path in [Tdp_algebra.Pred] compiles predicates
+    against these.  Blocks must not be mutated by callers.
+    @raise Error.E [Unknown_type] under the same conditions as
+    {!extent}. *)
+val scan_blocks : t -> Type_name.t -> Columns.t list
+
+(** The database's string intern pool (shared by every block). *)
+val string_pool : t -> Columns.Pool.t
+
+type block_stat = {
+  st_ty : Type_name.t;
+  st_live : int;  (** live rows *)
+  st_rows : int;  (** allocated rows (live + free-listed) *)
+  st_capacity : int;
+  st_free : int;  (** free-listed rows *)
+  st_columns : int;
+}
+
+(** Per-block storage statistics, ordered by type name (largest block
+    first within a type); surfaced by [odb store stats]. *)
+val stats : t -> block_stat list

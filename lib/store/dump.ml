@@ -73,17 +73,18 @@ let value_of_string line s : Value.t =
 
 let to_string db =
   let buf = Buffer.create 1024 in
-  List.iter
-    (fun (o : Database.obj) ->
+  (* [fold_rows] yields bindings in attribute-name order, matching the
+     slot-map iteration this format was defined by, without
+     materializing a map per object *)
+  Database.fold_rows db ~init:() (fun () oid ty bindings ->
       Buffer.add_string buf
-        (Fmt.str "obj #%d %s" (Oid.to_int o.oid) (Type_name.to_string o.ty));
-      Attr_name.Map.iter
-        (fun a v ->
+        (Fmt.str "obj #%d %s" (Oid.to_int oid) (Type_name.to_string ty));
+      List.iter
+        (fun (a, v) ->
           Buffer.add_string buf
             (Fmt.str " %s=%s" (Attr_name.to_string a) (value_to_string v)))
-        o.slots;
-      Buffer.add_char buf '\n')
-    (Database.objects db);
+        bindings;
+      Buffer.add_char buf '\n');
   Buffer.contents buf
 
 (* Split a dump line into whitespace-separated tokens, keeping quoted
@@ -165,6 +166,9 @@ let parse src =
    references are patched once every target exists. *)
 let load_into_uninstrumented db src =
   let objs = parse src in
+  (* pre-size the OID table: growing a 64-bucket table through a
+     million inserts rehashes every element ~14 times *)
+  Database.reserve db (List.length objs);
   let oids =
     List.map
       (fun p ->

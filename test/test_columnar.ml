@@ -1,0 +1,613 @@
+(* Differential and unit tests for the columnar store.
+
+   The columnar engine re-implements [Database] over struct-of-arrays
+   blocks while promising "no observable behavior change".  The
+   differential suite drives identical random op sequences
+   (new/set/delete/set_schema) through the columnar store and a
+   map-backed oracle that transcribes the pre-columnar implementation
+   verbatim, then asserts identical extents, slots, referrers, error
+   outcomes, and dump round-trips.  Unit tests pin the block mechanics
+   the oracle cannot see: free-list reuse, null bitmaps, growth,
+   layout routing across schema evolution, vectorized scans, and
+   matview dirty-row skipping. *)
+
+open Tdp_core
+module Database = Tdp_store.Database
+module Dump = Tdp_store.Dump
+module Oid = Tdp_store.Oid
+module Value = Tdp_store.Value
+module Pred = Tdp_algebra.Pred
+module View = Tdp_algebra.View
+module Matview = Tdp_algebra.Matview
+open Helpers
+
+let team_def =
+  Type_def.make
+    ~attrs:
+      [ Attribute.make (at "manager") (Value_type.named (ty "Employee"));
+        Attribute.make (at "buddy") (Value_type.named (ty "Person"))
+      ]
+    (ty "Team")
+
+let base_schema = Schema.add_type Tdp_paper.Fig1.schema team_def
+
+let evolved_schema =
+  let o = Tdp_paper.Fig1.project () in
+  Schema.add_type o.schema team_def
+
+(* ---- the map-backed oracle ------------------------------------------ *)
+
+(* A verbatim transcription of the pre-columnar [Database] internals:
+   per-object slot maps in a hashtable, extent/referrer scans over the
+   whole table.  Only the error messages are dropped ([Err] everywhere)
+   — the differential compares error occurrence, not text. *)
+module Oracle = struct
+  exception Err
+
+  type obj = { o_ty : Type_name.t; mutable o_slots : Value.t Attr_name.Map.t }
+
+  type t = {
+    mutable schema : Schema.t;
+    mutable index : Schema_index.t;
+    mutable next : int;
+    objs : (int, obj) Hashtbl.t;
+  }
+
+  let create schema =
+    { schema;
+      index = Schema_index.of_hierarchy (Schema.hierarchy schema);
+      next = 1;
+      objs = Hashtbl.create 16
+    }
+
+  let hierarchy t = Schema.hierarchy t.schema
+
+  let set_schema t s =
+    t.schema <- s;
+    t.index <- Schema_index.of_hierarchy (Schema.hierarchy s)
+
+  let check_value t attr_ty v =
+    match (attr_ty, (v : Value.t)) with
+    | _, Value.Null -> ()
+    | Value_type.Prim p, v -> if not (Value.conforms_prim v p) then raise Err
+    | Value_type.Named n, Value.Ref o -> (
+        match Hashtbl.find_opt t.objs (Oid.to_int o) with
+        | None -> raise Err
+        | Some target ->
+            if not (Schema_index.subtype t.index target.o_ty n) then raise Err)
+    | Value_type.Named _, _ -> raise Err
+    | Value_type.Unknown, _ -> ()
+
+  let build_slots t ty_ ~init =
+    if not (Hierarchy.mem (hierarchy t) ty_) then raise Err;
+    let attrs = Hierarchy.all_attributes (hierarchy t) ty_ in
+    let slots =
+      List.fold_left
+        (fun slots a ->
+          let name = Attribute.name a in
+          let v =
+            match List.find_opt (fun (n, _) -> Attr_name.equal n name) init with
+            | Some (_, v) ->
+                check_value t (Attribute.ty a) v;
+                v
+            | None -> Value.Null
+          in
+          Attr_name.Map.add name v slots)
+        Attr_name.Map.empty attrs
+    in
+    List.iter
+      (fun (n, _) ->
+        if
+          not (List.exists (fun a -> Attr_name.equal (Attribute.name a) n) attrs)
+        then raise Err)
+      init;
+    slots
+
+  let new_object t ty_ ~init =
+    let slots = build_slots t ty_ ~init in
+    let oid = t.next in
+    t.next <- t.next + 1;
+    Hashtbl.replace t.objs oid { o_ty = ty_; o_slots = slots };
+    oid
+
+  let find t oid =
+    match Hashtbl.find_opt t.objs oid with Some o -> o | None -> raise Err
+
+  let get_attr t oid attr =
+    let o = find t oid in
+    match Attr_name.Map.find_opt attr o.o_slots with
+    | Some v -> v
+    | None -> raise Err
+
+  let set_attr t oid attr v =
+    let o = find t oid in
+    if not (Attr_name.Map.mem attr o.o_slots) then raise Err;
+    let def =
+      match Hierarchy.find_attribute (hierarchy t) o.o_ty attr with
+      | Some a -> a
+      | None -> raise Err
+    in
+    check_value t (Attribute.ty def) v;
+    o.o_slots <- Attr_name.Map.add attr v o.o_slots
+
+  let extent t ty_ =
+    Hashtbl.fold
+      (fun oid o acc ->
+        if Schema_index.subtype t.index o.o_ty ty_ then oid :: acc else acc)
+      t.objs []
+    |> List.sort compare
+
+  let referrers t oid =
+    Hashtbl.fold
+      (fun other o acc ->
+        if other = oid then acc
+        else
+          Attr_name.Map.fold
+            (fun attr v acc ->
+              match v with
+              | Value.Ref r when Oid.to_int r = oid -> (other, attr) :: acc
+              | _ -> acc)
+            o.o_slots acc)
+      t.objs []
+    |> List.sort (fun (a, x) (b, y) ->
+           match compare a b with 0 -> Attr_name.compare x y | c -> c)
+
+  let delete t ~(policy : Database.delete_policy) oid =
+    let _ = find t oid in
+    let refs = referrers t oid in
+    (match (policy, refs) with
+    | Database.Restrict, _ :: _ -> raise Err
+    | _ -> ());
+    (match policy with
+    | Database.Restrict -> ()
+    | Database.Nullify ->
+        List.iter
+          (fun (other, attr) ->
+            let o = find t other in
+            o.o_slots <- Attr_name.Map.add attr Value.Null o.o_slots)
+          refs);
+    Hashtbl.remove t.objs oid
+end
+
+(* ---- random op sequences -------------------------------------------- *)
+
+type gop =
+  | GNew of string * (string * Value.t) list
+  | GSet of int * string * Value.t
+  | GDel of int * Database.delete_policy
+  | GEvolve
+
+let pp_value v = Fmt.str "%a" Value.pp v
+
+let pp_gop = function
+  | GNew (t, init) ->
+      Fmt.str "new %s [%s]" t
+        (String.concat "; "
+           (List.map (fun (a, v) -> a ^ "=" ^ pp_value v) init))
+  | GSet (o, a, v) -> Fmt.str "set #%d %s=%s" o a (pp_value v)
+  | GDel (o, p) ->
+      Fmt.str "del #%d %s" o
+        (match p with Database.Restrict -> "restrict" | Nullify -> "nullify")
+  | GEvolve -> "evolve"
+
+let value_gen =
+  QCheck.Gen.(
+    frequency
+      [ (3, map (fun i -> Value.Int i) (int_range (-5) 100));
+        (2, map (fun f -> Value.Float f) (oneofl [ 0.0; 1.5; -2.25; 50.0; Float.nan ]));
+        (3, map (fun s -> Value.String s) (oneofl [ "a"; "bob"; "x y"; "" ]));
+        (1, map (fun b -> Value.Bool b) bool);
+        (2, map (fun y -> Value.Date y) (int_range 1950 2030));
+        (3, map (fun i -> Value.Ref (Oid.of_int i)) (int_range 1 25));
+        (2, return Value.Null)
+      ])
+
+let attr_gen =
+  QCheck.Gen.oneofl
+    [ "ssn"; "name"; "date_of_birth"; "pay_rate"; "hrs_worked"; "manager";
+      "buddy"; "bogus"
+    ]
+
+let type_gen =
+  QCheck.Gen.(
+    frequency
+      [ (4, return "Employee"); (3, return "Person"); (3, return "Team");
+        (2, return "Employee_hat"); (1, return "Nope")
+      ])
+
+let gop_gen =
+  QCheck.Gen.(
+    frequency
+      [ ( 5,
+          map2
+            (fun t init -> GNew (t, init))
+            type_gen
+            (list_size (int_range 0 4) (pair attr_gen value_gen)) );
+        ( 4,
+          map3
+            (fun o a v -> GSet (o, a, v))
+            (int_range 1 25) attr_gen value_gen );
+        ( 2,
+          map2
+            (fun o restrict ->
+              GDel (o, if restrict then Database.Restrict else Database.Nullify))
+            (int_range 1 25) bool );
+        (1, return GEvolve)
+      ])
+
+let ops_gen = QCheck.Gen.(list_size (int_range 1 40) gop_gen)
+
+let ops_arbitrary =
+  QCheck.make ops_gen
+    ~print:(fun ops -> String.concat "\n" (List.map pp_gop ops))
+    ~shrink:QCheck.Shrink.(list ~shrink:nil)
+
+(* Apply one op to both stores; a [Some _/None] outcome records
+   success/failure and the two must agree. *)
+let apply_pair db o op =
+  let db_r f = try Some (f ()) with Database.Store_error _ -> None in
+  let o_r f = try Some (f ()) with Oracle.Err -> None in
+  let agree what a b =
+    if (a = None) <> (b = None) then
+      Alcotest.failf "%s: columnar %s, oracle %s" what
+        (if a = None then "failed" else "succeeded")
+        (if b = None then "failed" else "succeeded")
+  in
+  match op with
+  | GNew (t, init) ->
+      let init = List.map (fun (a, v) -> (at a, v)) init in
+      let a = db_r (fun () -> Database.new_object db (ty t) ~init) in
+      let b = o_r (fun () -> Oracle.new_object o (ty t) ~init) in
+      agree (pp_gop op) (Option.map (fun _ -> ()) a) (Option.map (fun _ -> ()) b);
+      (match (a, b) with
+      | Some x, Some y ->
+          Alcotest.(check int) "allocated oid" y (Oid.to_int x)
+      | _ -> ())
+  | GSet (oi, attr, v) ->
+      let a = db_r (fun () -> Database.set_attr db (Oid.of_int oi) (at attr) v) in
+      let b = o_r (fun () -> Oracle.set_attr o oi (at attr) v) in
+      agree (pp_gop op) a b
+  | GDel (oi, policy) ->
+      let a = db_r (fun () -> Database.delete db ~policy (Oid.of_int oi)) in
+      let b = o_r (fun () -> Oracle.delete o ~policy oi) in
+      agree (pp_gop op) a b
+  | GEvolve ->
+      Database.set_schema db evolved_schema;
+      Oracle.set_schema o evolved_schema
+
+let check_agreement db o =
+  (* object population and slots *)
+  Alcotest.(check int) "count" (Hashtbl.length o.Oracle.objs) (Database.count db);
+  for oi = 1 to 60 do
+    match Hashtbl.find_opt o.Oracle.objs oi with
+    | None -> (
+        match Database.slots db (Oid.of_int oi) with
+        | exception Database.Store_error _ -> ()
+        | _ -> Alcotest.failf "columnar has spurious #%d" oi)
+    | Some ob ->
+        let slots = Database.slots db (Oid.of_int oi) in
+        Alcotest.(check bool)
+          (Fmt.str "slots of #%d" oi)
+          true
+          (Attr_name.Map.equal Value.equal ob.Oracle.o_slots slots);
+        Alcotest.(check string)
+          (Fmt.str "type of #%d" oi)
+          (Type_name.to_string ob.Oracle.o_ty)
+          (Type_name.to_string (Database.type_of db (Oid.of_int oi)));
+        (* per-attribute get_attr, incl. attributes outside the layout *)
+        List.iter
+          (fun a ->
+            let x =
+              try Some (Database.get_attr db (Oid.of_int oi) (at a))
+              with Database.Store_error _ -> None
+            in
+            let y =
+              try Some (Oracle.get_attr o oi (at a)) with Oracle.Err -> None
+            in
+            match (x, y) with
+            | None, None -> ()
+            | Some xv, Some yv ->
+                Alcotest.(check bool)
+                  (Fmt.str "#%d.%s" oi a)
+                  true (Value.equal xv yv)
+            | _ -> Alcotest.failf "get_attr #%d.%s disagrees" oi a)
+          [ "ssn"; "name"; "pay_rate"; "manager"; "bogus" ];
+        (* referrers via the reverse index vs the oracle scan *)
+        let rx =
+          Database.referrers db (Oid.of_int oi)
+          |> List.map (fun (r, a) -> (Oid.to_int r, Attr_name.to_string a))
+        in
+        let ry =
+          Oracle.referrers o oi
+          |> List.map (fun (r, a) -> (r, Attr_name.to_string a))
+        in
+        Alcotest.(check (list (pair int string)))
+          (Fmt.str "referrers of #%d" oi)
+          ry rx
+  done;
+  (* extents *)
+  List.iter
+    (fun t ->
+      let x =
+        Database.extent db (ty t) |> List.map Oid.to_int
+      in
+      Alcotest.(check (list int)) (Fmt.str "extent %s" t) (Oracle.extent o (ty t)) x)
+    [ "Person"; "Employee"; "Team"; "Employee_hat"; "Nope" ];
+  (* dump round-trip: the columnar store serializes and reloads to an
+     identical population *)
+  let dump = Dump.to_string db in
+  let db2 = Database.create (Database.schema db) in
+  let _ = Dump.load_into db2 dump in
+  Alcotest.(check string) "dump round-trip" dump (Dump.to_string db2);
+  Alcotest.(check int) "round-trip count" (Database.count db) (Database.count db2)
+
+let prop_differential =
+  QCheck.Test.make ~name:"columnar store ≡ map-backed oracle" ~count:500
+    ops_arbitrary (fun ops ->
+      let db = Database.create base_schema in
+      let o = Oracle.create base_schema in
+      List.iter (fun op -> apply_pair db o op) ops;
+      check_agreement db o;
+      true)
+
+(* Pred.scan must agree with per-object eval on every generated store,
+   across value kinds, nulls, deleted rows and free-list reuse. *)
+let pred_gen =
+  QCheck.Gen.(
+    let atom =
+      map3
+        (fun a op v -> Pred.Cmp { attr = at a; op; value = v })
+        (oneofl [ "ssn"; "name"; "pay_rate"; "date_of_birth"; "hrs_worked" ])
+        (oneofl Pred.[ Eq; Ne; Lt; Le; Gt; Ge ])
+        (frequency
+           [ (3, map (fun i -> Body.Int i) (int_range (-5) 100));
+             (2, map (fun f -> Body.Float f) (oneofl [ 0.0; 1.5; 50.0 ]));
+             (2, map (fun s -> Body.String s) (oneofl [ "a"; "bob"; "zzz" ]));
+             (1, map (fun b -> Body.Bool b) bool);
+             (1, return Body.Null)
+           ])
+    in
+    let rec node depth =
+      if depth = 0 then atom
+      else
+        frequency
+          [ (3, atom);
+            (1, return Pred.True);
+            (2, map2 (fun a b -> Pred.And (a, b)) (node (depth - 1)) (node (depth - 1)));
+            (2, map2 (fun a b -> Pred.Or (a, b)) (node (depth - 1)) (node (depth - 1)));
+            (1, map (fun a -> Pred.Not a) (node (depth - 1)))
+          ]
+    in
+    node 2)
+
+let prop_scan_equiv =
+  QCheck.Test.make ~name:"Pred.scan ≡ filter eval over extent" ~count:300
+    (QCheck.make
+       QCheck.Gen.(pair ops_gen pred_gen)
+       ~print:(fun (ops, p) ->
+         String.concat "\n" (List.map pp_gop ops) ^ "\nWHERE " ^ Fmt.str "%a" Pred.pp p))
+    (fun (ops, p) ->
+      let db = Database.create base_schema in
+      let o = Oracle.create base_schema in
+      List.iter (fun op -> apply_pair db o op) ops;
+      List.iter
+        (fun t ->
+          let scanned =
+            try Ok (Pred.scan db (ty t) p |> List.map Oid.to_int)
+            with Database.Store_error _ -> Error ()
+          in
+          let filtered =
+            try
+              Ok
+                (Database.extent db (ty t)
+                |> List.filter (fun oid -> Pred.eval db oid p)
+                |> List.map Oid.to_int)
+            with Database.Store_error _ -> Error ()
+          in
+          match (scanned, filtered) with
+          | Ok a, Ok b ->
+              Alcotest.(check (list int)) (Fmt.str "scan %s" t) b a
+          | Error (), Error () -> ()
+          | _ -> Alcotest.failf "scan/eval error disagreement on %s" t)
+        [ "Person"; "Employee"; "Team" ];
+      true)
+
+(* ---- unit tests: block mechanics ------------------------------------ *)
+
+let mk_person db i =
+  Database.new_object db (ty "Person") ~init:[ (at "ssn", Value.Int i) ]
+
+let block_of db tn =
+  match
+    List.filter
+      (fun (s : Database.block_stat) -> Type_name.equal s.st_ty (ty tn))
+      (Database.stats db)
+  with
+  | [ s ] -> s
+  | l -> Alcotest.failf "expected 1 %s block, got %d" tn (List.length l)
+
+let test_free_list_reuse () =
+  let db = Database.create base_schema in
+  let _o1 = mk_person db 1 in
+  let o2 = mk_person db 2 in
+  let _o3 = mk_person db 3 in
+  let before = block_of db "Person" in
+  Database.delete db o2;
+  let after = block_of db "Person" in
+  Alcotest.(check int) "free-listed" 1 after.st_free;
+  Alcotest.(check int) "rows unchanged" before.st_rows after.st_rows;
+  Alcotest.(check int) "capacity unchanged" before.st_capacity after.st_capacity;
+  let o4 = mk_person db 4 in
+  let reused = block_of db "Person" in
+  Alcotest.(check int) "slot reused" 0 reused.st_free;
+  Alcotest.(check int) "no new row" before.st_rows reused.st_rows;
+  (* the reused row serves the new object, extents stay OID-sorted *)
+  Alcotest.(check (list int)) "extent sorted"
+    [ 1; 3; 4 ]
+    (List.map Oid.to_int (Database.extent db (ty "Person")));
+  Alcotest.(check bool) "new value visible" true
+    (Value.equal (Database.get_attr db o4 (at "ssn")) (Value.Int 4))
+
+let test_null_bitmap () =
+  let db = Database.create base_schema in
+  let p = mk_person db 7 in
+  Alcotest.(check bool) "uninitialized is null" true
+    (Value.equal (Database.get_attr db p (at "name")) Value.Null);
+  Database.set_attr db p (at "name") (Value.String "x");
+  Alcotest.(check bool) "set visible" true
+    (Value.equal (Database.get_attr db p (at "name")) (Value.String "x"));
+  Database.set_attr db p (at "name") Value.Null;
+  Alcotest.(check bool) "null again" true
+    (Value.equal (Database.get_attr db p (at "name")) Value.Null);
+  (* scans see the bitmap, not the stale backing cell *)
+  Alcotest.(check (list int)) "null scan"
+    [ Oid.to_int p ]
+    (Pred.scan db (ty "Person") (Pred.cmp (at "name") Pred.Eq Body.Null)
+    |> List.map Oid.to_int)
+
+let test_block_growth () =
+  let db = Database.create base_schema in
+  let n = 100 in
+  for i = 1 to n do
+    ignore (mk_person db i)
+  done;
+  let s = block_of db "Person" in
+  Alcotest.(check int) "all live" n s.st_live;
+  Alcotest.(check bool) "capacity grew to cover" true (s.st_capacity >= n);
+  Alcotest.(check bool) "amortized doubling" true (s.st_capacity <= 2 * n);
+  Alcotest.(check int) "extent complete" n
+    (List.length (Database.extent db (ty "Person")))
+
+let test_layout_routing_across_evolution () =
+  let db = Database.create base_schema in
+  let _e1 =
+    Database.new_object db (ty "Employee") ~init:[ (at "ssn", Value.Int 1) ]
+  in
+  (* an additive schema change (new unrelated type) leaves Employee's
+     layout untouched: new instances reuse the block even though the
+     schema generation moved *)
+  let extra =
+    Schema.add_type base_schema
+      (Type_def.make ~attrs:[ Attribute.make (at "label") Value_type.string ]
+         (ty "Tag"))
+  in
+  Database.set_schema db extra;
+  let _e2 =
+    Database.new_object db (ty "Employee") ~init:[ (at "ssn", Value.Int 2) ]
+  in
+  let s = block_of db "Employee" in
+  Alcotest.(check int) "block reused across additive evolution" 2 s.st_live;
+  (* projection inserts Employee_hat into Employee's precedence chain,
+     which reorders the cumulative layout: existing rows keep their
+     creation-time block, new instances open a fresh one, and extents
+     see both *)
+  Database.set_schema db evolved_schema;
+  let _e3 =
+    Database.new_object db (ty "Employee") ~init:[ (at "ssn", Value.Int 3) ]
+  in
+  let emp_blocks =
+    List.filter
+      (fun (st : Database.block_stat) -> Type_name.equal st.st_ty (ty "Employee"))
+      (Database.stats db)
+  in
+  Alcotest.(check int) "total live across Employee blocks" 3
+    (List.fold_left (fun a (st : Database.block_stat) -> a + st.st_live) 0 emp_blocks);
+  Alcotest.(check (list int)) "extent spans layouts" [ 1; 2; 3 ]
+    (List.map Oid.to_int (Database.extent db (ty "Employee")));
+  (* the view type gets its own block on demand, and its extent is deep *)
+  let _h =
+    Database.new_object db (ty "Employee_hat") ~init:[ (at "ssn", Value.Int 4) ]
+  in
+  let sh = block_of db "Employee_hat" in
+  Alcotest.(check int) "view block live" 1 sh.st_live;
+  Alcotest.(check int) "view extent is deep" 4
+    (List.length (Database.extent db (ty "Employee_hat")))
+
+let test_get_attrs_batch () =
+  let db = Database.create base_schema in
+  let e =
+    Database.new_object db (ty "Employee")
+      ~init:[ (at "ssn", Value.Int 9); (at "pay_rate", Value.Float 50.0) ]
+  in
+  let attrs = [ at "ssn"; at "pay_rate"; at "name" ] in
+  let batch = Database.get_attrs db e attrs in
+  let single = List.map (Database.get_attr db e) attrs in
+  Alcotest.(check bool) "batch = singles" true (List.for_all2 Value.equal batch single);
+  match Database.get_attrs db e [ at "bogus" ] with
+  | exception Database.Store_error _ -> ()
+  | _ -> Alcotest.fail "batch read of a missing attribute must fail"
+
+let test_matview_dirty_skip () =
+  let db = Database.create evolved_schema in
+  let srcs =
+    List.init 5 (fun i ->
+        Database.new_object db (ty "Employee")
+          ~init:[ (at "ssn", Value.Int i); (at "pay_rate", Value.Float 10.0) ])
+  in
+  let mv = Matview.create db ~view_type:(ty "Employee_hat") (View.Base (ty "Employee")) in
+  (* steady state: nothing changed, nothing updated *)
+  let s = Matview.refresh db mv in
+  Alcotest.(check int) "steady adds" 0 s.Matview.added;
+  Alcotest.(check int) "steady removes" 0 s.Matview.removed;
+  Alcotest.(check int) "steady updates" 0 s.Matview.updated;
+  (* one dirty source row -> exactly one update, skipped rows agree
+     with a forced full diff *)
+  Database.set_attr db (List.nth srcs 2) (at "pay_rate") (Value.Float 99.0);
+  let s = Matview.refresh db mv in
+  Alcotest.(check int) "one update" 1 s.Matview.updated;
+  let s = Matview.refresh ~force:true db mv in
+  Alcotest.(check int) "forced re-diff finds nothing" 0 s.Matview.updated;
+  (* copies carry the view state *)
+  let copy = Tdp_store.Oid.Map.find (List.nth srcs 2) (Matview.mapping mv) in
+  Alcotest.(check bool) "copy updated" true
+    (Value.equal (Database.get_attr db copy (at "pay_rate")) (Value.Float 99.0))
+
+let test_build_row_reports_all_unknown_attrs () =
+  let db = Database.create base_schema in
+  let contains_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  (match
+     Database.new_object db (ty "Person")
+       ~init:[ (at "nope1", Value.Int 1); (at "nope2", Value.Int 2) ]
+   with
+  | exception Database.Store_error m ->
+      Alcotest.(check bool) "mentions both unknowns" true
+        (contains_sub m "nope1" && contains_sub m "nope2")
+  | _ -> Alcotest.fail "unknown init attributes must fail");
+  (* single unknown keeps the historical message shape *)
+  match Database.new_object db (ty "Person") ~init:[ (at "nope1", Value.Int 1) ] with
+  | exception Database.Store_error m ->
+      Alcotest.(check string) "single-unknown message"
+        "type Person has no attribute nope1" m
+  | _ -> Alcotest.fail "unknown init attribute must fail"
+
+let test_reserve () =
+  let db = Database.create base_schema in
+  Database.reserve db 10_000;
+  for i = 1 to 50 do
+    ignore (mk_person db i)
+  done;
+  Alcotest.(check int) "all present after reserve" 50 (Database.count db)
+
+let () =
+  Alcotest.run "columnar"
+    [ ( "differential",
+        [ QCheck_alcotest.to_alcotest prop_differential;
+          QCheck_alcotest.to_alcotest prop_scan_equiv
+        ] );
+      ( "blocks",
+        [ Alcotest.test_case "free-list reuse" `Quick test_free_list_reuse;
+          Alcotest.test_case "null bitmap" `Quick test_null_bitmap;
+          Alcotest.test_case "block growth" `Quick test_block_growth;
+          Alcotest.test_case "layout routing across evolution" `Quick
+            test_layout_routing_across_evolution;
+          Alcotest.test_case "get_attrs batch" `Quick test_get_attrs_batch;
+          Alcotest.test_case "matview dirty-row skip" `Quick test_matview_dirty_skip;
+          Alcotest.test_case "all unknown init attrs reported" `Quick
+            test_build_row_reports_all_unknown_attrs;
+          Alcotest.test_case "reserve" `Quick test_reserve
+        ] )
+    ]
