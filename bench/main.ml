@@ -17,8 +17,9 @@
                                              and MVCC commit throughput + a
                                              Tdp_obs metrics snapshot of one
                                              instrumented pass + the columnar
-                                             store sweep; FILE defaults
-                                             to BENCH_8.json, "-" = stdout)
+                                             store sweep + replica/router
+                                             throughput; FILE defaults
+                                             to BENCH_9.json, "-" = stdout)
         dune exec bench/main.exe -- bench --check FILE
                                             (re-measure in --small mode and
                                              fail if a guarded benchmark
@@ -911,6 +912,151 @@ let table_s10 () =
     [ 1_000; 100_000 ]
 
 (* ------------------------------------------------------------------ *)
+(* S11: replica catch-up throughput and routed-extent fan-out          *)
+(* ------------------------------------------------------------------ *)
+
+module Replica = Tdp_replica.Replica
+module Router = Tdp_replica.Router
+module Server = Tdp_txn.Server
+
+(* A scratch directory that is removed with everything in it. *)
+let with_bench_dir f =
+  let dir = Filename.temp_file "tdp_bench" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      let rec rm p =
+        if Sys.is_directory p then begin
+          Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+          Sys.rmdir p
+        end
+        else Sys.remove p
+      in
+      rm dir)
+    (fun () -> f dir)
+
+type rep_point = {
+  rp_n : int;
+  rp_ship_ns : float;  (* open + drain the whole log, per record *)
+  rp_idle_ns : float;  (* one caught-up poll: the steady-state heartbeat *)
+}
+
+(* The shipping workload: a primary directory whose wal.log holds [n]
+   creations, drained by a fresh replica.  Per-record cost is the
+   replica's catch-up rate — the bound on how fast lag burns down. *)
+let replica_point n =
+  with_bench_dir (fun dir ->
+      let schema, _snapshot, wal = store_fixture n in
+      Out_channel.with_open_bin (Filename.concat dir "wal.log") (fun oc ->
+          Out_channel.output_string oc wal);
+      let t_ship =
+        time_it (fun () ->
+            let r = Replica.open_ ~schema dir in
+            let shipped = Replica.poll r in
+            Replica.close r;
+            assert (shipped = n))
+      in
+      let r = Replica.open_ ~schema dir in
+      ignore (Replica.poll r);
+      let t_idle = time_it (fun () -> Replica.poll r) in
+      Replica.close r;
+      { rp_n = n;
+        rp_ship_ns = ns t_ship /. float_of_int n;
+        rp_idle_ns = ns t_idle
+      })
+
+(* Two live shards behind the OID-range router, over Unix sockets.
+   [router/extent] is one fanned-out deep extent, merged in global OID
+   order; [direct] is the same extent against a single backend holding
+   all the rows — the delta is what the fan-out and merge cost. *)
+let router_point n =
+  let shard lo hi =
+    let db = Tdp_store.Database.create Fig1.schema in
+    for i = lo to hi do
+      Tdp_store.Wal.apply db
+        (Tdp_store.Database.Op_new
+           { oid = Tdp_store.Oid.of_int i;
+             ty = ty "Employee";
+             init = [ (at "ssn", Tdp_store.Value.Int i) ]
+           })
+    done;
+    Mvcc.of_database db
+  in
+  let serve store =
+    let path = Filename.temp_file "tdp_bshard" ".sock" in
+    Sys.remove path;
+    Server.start ~domains:2 ~store (Unix.ADDR_UNIX path)
+  in
+  let sock srv =
+    match Server.sockaddr srv with Unix.ADDR_UNIX p -> p | _ -> assert false
+  in
+  let half = n / 2 in
+  let s1 = serve (shard 1 half) in
+  let s2 = serve (shard (half + 1) n) in
+  let s_all = serve (shard 1 n) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop s1;
+      Server.stop s2;
+      Server.stop s_all)
+    (fun () ->
+      let router =
+        match
+          Router.make
+            [ { Router.b_name = "s1";
+                b_lo = 1;
+                b_hi = half;
+                b_addr = Unix.ADDR_UNIX (sock s1)
+              };
+              { Router.b_name = "s2";
+                b_lo = half + 1;
+                b_hi = max_int;
+                b_addr = Unix.ADDR_UNIX (sock s2)
+              }
+            ]
+        with
+        | Ok r -> r
+        | Error m -> failwith m
+      in
+      let rs = Router.session router in
+      let direct = Server.connect (Unix.ADDR_UNIX (sock s_all)) in
+      Fun.protect
+        ~finally:(fun () ->
+          Router.close_session rs;
+          Server.close_client direct)
+        (fun () ->
+          let t_routed =
+            time_it (fun () -> Router.handle_line rs "extent Person")
+          in
+          let t_direct = time_it (fun () -> Server.request direct "extent Person") in
+          let t_get =
+            time_it (fun () -> Router.handle_line rs (Fmt.str "get #%d ssn" n))
+          in
+          (t_routed, t_direct, t_get)))
+
+let table_s11 () =
+  section "S11: replica catch-up and routed extents (fig1 Employees)";
+  row3 "shipped records" "catch-up per record" "idle poll";
+  List.iter
+    (fun n ->
+      let p = replica_point n in
+      row3 (string_of_int n)
+        (Fmt.str "%a  (%7.0f rec/s)" pp_time (p.rp_ship_ns /. 1e9)
+           (1e9 /. p.rp_ship_ns))
+        (Fmt.str "%a" pp_time (p.rp_idle_ns /. 1e9)))
+    [ 100; 1000 ];
+  row3 "rows (2 shards)" "routed extent | direct" "routed get";
+  List.iter
+    (fun n ->
+      let t_routed, t_direct, t_get = router_point n in
+      row3 (string_of_int n)
+        (Fmt.str "%a |%a (%4.1fx)" pp_time t_routed pp_time t_direct
+           (t_routed /. t_direct))
+        (Fmt.str "%a" pp_time t_get))
+    [ 1000 ]
+
+(* ------------------------------------------------------------------ *)
 (* JSON baseline: cached vs. uncached hot paths (docs/performance.md)  *)
 (* ------------------------------------------------------------------ *)
 
@@ -1064,6 +1210,10 @@ let json_report ~small =
   Obs.Metrics.disable ();
   let sweep = List.map sweep_point (sweep_sizes ~small) in
   let cols = List.map columnar_point (columnar_sizes ~small) in
+  (* replica catch-up and routed extents (S11): fixed at 1000 records
+     in both modes so the entry names stay comparable across baselines *)
+  let rep = replica_point 1_000 in
+  let t_routed, t_direct, _ = router_point 1_000 in
   (* the acceptance floors for the columnar engine are keyed on the
      100k point, which every mode measures *)
   let c100k = List.find (fun p -> p.cp_n = 100_000) cols in
@@ -1093,7 +1243,11 @@ let json_report ~small =
       };
       { name = "obs/time/disabled"; ns_per_op = ns t_time_off };
       { name = "obs/with_span/disabled"; ns_per_op = ns t_span_off };
-      { name = "obs/observe/enabled"; ns_per_op = ns t_observe_on }
+      { name = "obs/observe/enabled"; ns_per_op = ns t_observe_on };
+      { name = "replica/lag"; ns_per_op = rep.rp_ship_ns };
+      { name = "replica/poll-idle"; ns_per_op = rep.rp_idle_ns };
+      { name = "router/extent"; ns_per_op = ns t_routed };
+      { name = "router/extent/direct"; ns_per_op = ns t_direct }
     ]
     @ List.concat_map
         (fun p ->
@@ -1380,7 +1534,12 @@ let guarded_benchmarks =
        checks against those skip them *)
     "store/extent/columnar/n=1000";
     "scan/pred/columnar/n=1000";
-    "matview/refresh-steady/n=1000"
+    "matview/refresh-steady/n=1000";
+    (* replication: catch-up rate per shipped record and one routed
+       extent fan-out over two live shards; absent from pre-PR-9
+       baselines *)
+    "replica/lag";
+    "router/extent"
   ]
 let check_tolerance = 3.0
 
@@ -1485,7 +1644,7 @@ let () =
   let rec out_of = function
     | "--out" :: v :: _ -> v
     | _ :: rest -> out_of rest
-    | [] -> "BENCH_8.json"
+    | [] -> "BENCH_9.json"
   in
   let rec check_of = function
     | "--check" :: v :: _ -> Some v
@@ -1515,7 +1674,8 @@ let () =
     table_s7 ();
     table_s8 ();
     table_s9 ();
-    table_s10 ()
+    table_s10 ();
+    table_s11 ()
   end;
   if mode = "all" || mode = "bench" then run_bechamel ();
   Fmt.pr "@.done.@."

@@ -975,6 +975,204 @@ let connect_cmd target tcp json =
                ])
       else 0
 
+(* --- replicate / promote / route ------------------------------------ *)
+
+module Replica = Tdp_replica.Replica
+module Router = Tdp_replica.Router
+
+(* `odb replicate PRIMARY_DIR` — bootstrap a read replica from the
+   primary's snapshot, tail wal.log + txn.log, and serve the applied
+   state read-only.  With --save DIR the applied state is persisted as
+   a store directory at startup and on clean shutdown — the input to
+   `odb promote`. *)
+let replicate_cmd primary_dir socket tcp save domains interval json =
+  setup "replicate" json;
+  let schema_path = Filename.concat primary_dir "schema.odb" in
+  if not (Sys.file_exists schema_path) then
+    die_msg
+      (Fmt.str "%s not found (is %s a store directory?)" schema_path primary_dir);
+  let schema =
+    (or_die ~file:schema_path (Elaborate.load (read_file schema_path))).schema
+  in
+  let addr =
+    match (socket, tcp) with
+    | Some _, Some _ -> die_msg "--socket and --tcp are mutually exclusive"
+    | None, Some spec -> parse_host_port spec
+    | Some path, None -> Unix.ADDR_UNIX path
+    | None, None -> Unix.ADDR_UNIX (Filename.concat primary_dir "replica.sock")
+  in
+  try
+    let r =
+      Replica.open_ ~load_schema:store_schema_loader ~schema primary_dir
+    in
+    let shipped = Replica.poll r in
+    (match save with Some dir -> Replica.save r ~dir | None -> ());
+    let info =
+      { Server.ri_seqs = (fun () -> Replica.applied_seqs r);
+        ri_lag = (fun () -> Replica.lag r)
+      }
+    in
+    (* sessions pick up the replica's *current* store at connect time,
+       so a resync (primary checkpointed past us) is visible to new
+       connections; live sessions keep their snapshot-consistent view *)
+    let srv =
+      Server.start_handler ?domains
+        (fun () ->
+          Server.store_handler ~mode:(Server.Read_only info)
+            ~store:(Replica.store r) ())
+        addr
+    in
+    let bound = sockaddr_string (Server.sockaddr srv) in
+    let wal_seq, txn_seq = Replica.applied_seqs r in
+    if json then
+      print_endline
+        (J.to_string
+           (envelope `Ok
+              (J.Obj
+                 [ ("primary", J.String primary_dir);
+                   ("listening", J.String bound);
+                   ("wal_seq", J.Int wal_seq);
+                   ("txn_seq", J.Int txn_seq);
+                   ("shipped", J.Int shipped)
+                 ])))
+    else
+      Fmt.pr
+        "replicating %s on %s (read-only; wal %d, txn %d; %d record(s) \
+         shipped at start)@."
+        primary_dir bound wal_seq txn_seq shipped;
+    (* stdout is the readiness signal for scripts that spawn us *)
+    flush stdout;
+    let stop = Atomic.make false in
+    let on_signal _ = Atomic.set stop true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    let warned = ref false in
+    while not (Atomic.get stop) do
+      ignore (Replica.poll r);
+      (match Replica.status r with
+      | Replica.Halted reason when not !warned ->
+          warned := true;
+          Fmt.epr
+            "warning: replication halted: %s (still serving the last applied \
+             state)@."
+            reason
+      | _ -> ());
+      Unix.sleepf interval
+    done;
+    Server.stop srv;
+    (match save with Some dir -> Replica.save r ~dir | None -> ());
+    Replica.close r;
+    if not json then Fmt.pr "shut down.@.";
+    0
+  with
+  | Database.Store_error m -> die_msg m
+  | Wal.Wal_error m -> die_msg m
+  | Unix.Unix_error (e, fn, arg) ->
+      die_msg (Fmt.str "%s %s: %s" fn arg (Unix.error_message e))
+
+(* `odb promote REPLICA_DIR --primary PRIMARY_DIR` — the failover
+   judgement: exit 0 iff the saved replica state is exactly the
+   primary's durable state (or a lag-forced prefix).  A diverged
+   replica is always refused. *)
+let promote_cmd replica_dir primary_dir allow_lag json =
+  setup "promote" json;
+  match Replica.promote ~allow_lag ~replica_dir ~primary_dir () with
+  | exception Database.Store_error m -> die_msg m
+  | exception Wal.Wal_error m -> die_msg m
+  | Error e ->
+      (* a refusal is the command doing its job — a domain report
+         (exit 1), not a usage error *)
+      let msg = Replica.promote_error_message e in
+      let kind =
+        match e with
+        | Replica.Diverged _ -> "diverged"
+        | Replica.Lagging _ -> "lagging"
+        | Replica.Unpromotable _ -> "unpromotable"
+      in
+      if json then
+        finish `Findings
+          ~data:(J.Obj [ ("refused", J.String kind); ("reason", J.String msg) ])
+      else begin
+        Fmt.epr "refused: %s@." msg;
+        1
+      end
+  | Ok p ->
+      if json then
+        finish `Ok
+          ~data:
+            (J.Obj
+               [ ("replica_dir", J.String replica_dir);
+                 ("primary_dir", J.String primary_dir);
+                 ("replica_wal", J.Int p.Replica.replica_wal);
+                 ("replica_txn", J.Int p.replica_txn);
+                 ("primary_ckpt_wal", J.Int p.primary_ckpt_wal);
+                 ("primary_ckpt_txn", J.Int p.primary_ckpt_txn);
+                 ("primary_last_wal", J.Int p.primary_last_wal);
+                 ("primary_last_txn", J.Int p.primary_last_txn)
+               ])
+      else begin
+        Fmt.pr
+          "promotable: %s is at wal %d txn %d (primary durable tip: wal %d \
+           txn %d)@.serve it as the new primary: odb serve %s@."
+          replica_dir p.Replica.replica_wal p.replica_txn p.primary_last_wal
+          p.primary_last_txn replica_dir;
+        0
+      end
+
+(* `odb route LO-HI=TARGET...` — serve the OID-range router: point
+   reads routed by OID, extent/count fanned out and merged. *)
+let route_cmd specs socket tcp domains json =
+  setup "route" json;
+  let addr =
+    match (socket, tcp) with
+    | Some _, Some _ -> die_msg "--socket and --tcp are mutually exclusive"
+    | None, Some spec -> parse_host_port spec
+    | Some path, None -> Unix.ADDR_UNIX path
+    | None, None ->
+        die_msg "odb route requires --socket PATH or --tcp HOST:PORT to listen on"
+  in
+  let backends =
+    List.map
+      (fun spec ->
+        match Router.backend_of_spec spec with
+        | Ok b -> b
+        | Error m -> die_msg m)
+      specs
+  in
+  match Router.make backends with
+  | Error m -> die_msg m
+  | Ok router -> (
+      try
+        let srv = Router.start ?domains router addr in
+        let bound = sockaddr_string (Server.sockaddr srv) in
+        if json then
+          print_endline
+            (J.to_string
+               (envelope `Ok
+                  (J.Obj
+                     [ ("listening", J.String bound);
+                       ("backends",
+                        J.List
+                          (List.map
+                             (fun (b : Router.backend) -> J.String b.b_name)
+                             (Router.backends router)))
+                     ])))
+        else
+          Fmt.pr "routing %d backend(s) on %s@." (List.length backends) bound;
+        flush stdout;
+        let stop = Atomic.make false in
+        let on_signal _ = Atomic.set stop true in
+        Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+        while not (Atomic.get stop) do
+          Unix.sleepf 0.1
+        done;
+        Server.stop srv;
+        if not json then Fmt.pr "shut down.@.";
+        0
+      with Unix.Unix_error (e, fn, arg) ->
+        die_msg (Fmt.str "%s %s: %s" fn arg (Unix.error_message e)))
+
 (* --- dot ----------------------------------------------------------- *)
 
 let dot_cmd file apply_views json =
@@ -1292,6 +1490,134 @@ let connect_t =
   in
   Cmd.v (Cmd.info "connect" ~doc) Term.(const connect_cmd $ target $ tcp $ json_flag)
 
+let replicate_t =
+  let doc =
+    "Serve a read replica of a primary store directory: bootstrap from \
+     DIR/snapshot.dump, tail DIR/wal.log and DIR/txn.log record-at-a-time, \
+     and serve the applied state read-only (mutating verbs are refused; \
+     $(b,seq) and $(b,lag) report the shipping position).  With --save the \
+     applied state is persisted as a store directory at startup and on \
+     clean shutdown — the input to $(b,odb promote).  Runs until \
+     SIGINT/SIGTERM."
+  in
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PRIMARY_DIR" ~doc:"The primary's store directory.")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix socket path (default PRIMARY_DIR/replica.sock).")
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT"
+          ~doc:"Listen on TCP instead of a Unix socket (port 0 picks one).")
+  in
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"DIR"
+          ~doc:"Persist the applied state as a store directory (startup and \
+                clean shutdown).")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Accepter domains (default: derived from the core count).")
+  in
+  let interval =
+    Arg.(
+      value
+      & opt float 0.1
+      & info [ "interval" ] ~docv:"SECS"
+          ~doc:"Polling interval between shipping rounds (default 0.1).")
+  in
+  Cmd.v
+    (Cmd.info "replicate" ~doc)
+    Term.(
+      const replicate_cmd $ dir $ socket $ tcp $ save $ domains $ interval
+      $ json_flag)
+
+let promote_t =
+  let doc =
+    "Judge a saved replica state (odb replicate --save) for failover: exit \
+     0 iff it is exactly the primary's durable state, so it can be served \
+     as the new primary as-is.  A replica that diverged from primary \
+     history — records folded into a checkpoint it never shipped, or \
+     records beyond the primary's durable tip — is always refused; one \
+     that merely lags is refused unless --allow-lag."
+  in
+  let replica_dir =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"REPLICA_DIR" ~doc:"Saved replica state (odb replicate --save).")
+  in
+  let primary_dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "primary" ] ~docv:"PRIMARY_DIR"
+          ~doc:"The (stopped) primary's store directory.")
+  in
+  let allow_lag =
+    Arg.(
+      value & flag
+      & info [ "allow-lag" ]
+          ~doc:"Promote a replica strictly behind the durable tip, \
+                discarding the unshipped committed records.")
+  in
+  Cmd.v
+    (Cmd.info "promote" ~doc)
+    Term.(const promote_cmd $ replica_dir $ primary_dir $ allow_lag $ json_flag)
+
+let route_t =
+  let doc =
+    "Serve an OID-range router over shard backends.  Each BACKEND is \
+     LO-HI=TARGET (or open-ended LO-=TARGET): an inclusive OID range and \
+     the backend's address (HOST:PORT, or a Unix-socket path).  Point \
+     reads (get, typeof) are routed to the owning backend; extent fans \
+     out to every backend and merges the sorted OID runs; count sums.  \
+     Mutating verbs are refused.  Runs until SIGINT/SIGTERM."
+  in
+  let specs =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"BACKEND" ~doc:"Backend spec, LO-HI=TARGET.")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket path to listen on.")
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT"
+          ~doc:"Listen on TCP instead (port 0 picks one).")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Accepter domains (default: derived from the core count).")
+  in
+  Cmd.v (Cmd.info "route" ~doc)
+    Term.(const route_cmd $ specs $ socket $ tcp $ domains $ json_flag)
+
 let dot_t =
   let doc = "Print the type hierarchy as Graphviz DOT." in
   let apply_views =
@@ -1314,7 +1640,8 @@ let main =
   Cmd.group
     (Cmd.info "odb" ~version:"1.0.0" ~doc)
     [ check_t; lint_t; infer_t; apply_t; methods_t; dispatch_t; query_t;
-      store_t; serve_t; connect_t; dot_t; stats_t ]
+      store_t; serve_t; connect_t; replicate_t; promote_t; route_t; dot_t;
+      stats_t ]
 
 (* CLI boundary: domain failures that escape a subcommand — any
    structured [Error.E] a command did not turn into a result — are

@@ -94,7 +94,19 @@ let refresh ?(force = false) db t =
                           changed := true
                         end;
                         diff al sl cl
-                    | _ -> assert false
+                    | _ ->
+                        (* get_attrs returns one value per requested
+                           attr; a length mismatch means the store
+                           broke that contract *)
+                        raise
+                          (Database.Store_error
+                             (Fmt.str
+                                "matview refresh: %d attributes but %d source \
+                                 / %d copy values for #%d -> #%d"
+                                (List.length attrs) (List.length src_vals)
+                                (List.length copy_vals)
+                                (Tdp_store.Oid.to_int src)
+                                (Tdp_store.Oid.to_int copy)))
                   in
                   diff attrs src_vals copy_vals;
                   if !changed then incr updated

@@ -137,10 +137,20 @@ let compile_cmp db block attr op (lit : Body.literal) =
   match Columns.pos block attr with
   | None ->
       (* raise lazily, per row, exactly like the per-object path — an
-         atom short-circuited away by And/Or must not raise *)
+         atom short-circuited away by And/Or must not raise.  get_attr
+         is expected to raise (the block has no such column); if it
+         somehow answers, the block/schema layouts disagree and that is
+         a structured invariant failure, never a bare assert *)
       fun r ->
-        ignore (Database.get_attr db (Columns.oid_at block r) attr);
-        assert false
+        let oid = Columns.oid_at block r in
+        ignore (Database.get_attr db oid attr);
+        raise
+          (Database.Store_error
+             (Fmt.str
+                "pred scan: attribute %s missing from the block layout but \
+                 present on object #%d — block/schema layouts disagree"
+                (Tdp_core.Attr_name.to_string attr)
+                (Tdp_store.Oid.to_int oid)))
   | Some ci -> (
       let col = block.Columns.b_cols.(ci) in
       let nulls = col.Columns.c_nulls in

@@ -1,0 +1,294 @@
+module Server = Tdp_txn.Server
+module Dump = Tdp_store.Dump
+module Obs = Tdp_obs
+
+(* OID-range router: a thin line-protocol front that fans the
+   scan-shaped read verbs (extent, count) across N backends and routes
+   the point reads (get, typeof) to the one backend whose OID range
+   covers the argument.
+
+   The fan-out merge is the store's own extent idiom: each backend
+   returns its extent as a sorted OID run (Database.extent concatenates
+   per-block live runs with [List.merge Oid.compare]), and the router
+   folds the per-backend runs through the same merge.  Ranges are
+   disjoint, so the merge is a pure interleave — no dedup pass.
+
+   Sessions hold one persistent connection per backend, opened on
+   first use.  A stale connection (backend restarted between requests)
+   is retried once on a fresh socket before the error surfaces. *)
+
+let c_fanout = Obs.Metrics.counter "router.fanouts"
+let c_routed = Obs.Metrics.counter "router.routed"
+
+type backend = {
+  b_name : string;  (** the spec it was parsed from; used in errors *)
+  b_lo : int;
+  b_hi : int;  (** inclusive; [max_int] for an open-ended range *)
+  b_addr : Unix.sockaddr;
+}
+
+type t = { backends : backend list (* sorted by [b_lo], disjoint *) }
+
+let backends t = t.backends
+
+let pp_range ppf b =
+  if b.b_hi = max_int then Fmt.pf ppf "%d-" b.b_lo
+  else Fmt.pf ppf "%d-%d" b.b_lo b.b_hi
+
+let make backends =
+  match backends with
+  | [] -> Error "router: no backends"
+  | _ -> (
+      let sorted =
+        List.sort (fun a b -> compare (a.b_lo, a.b_hi) (b.b_lo, b.b_hi)) backends
+      in
+      let rec check = function
+        | [] -> Ok { backends = sorted }
+        | b :: rest ->
+            if b.b_lo < 1 || b.b_lo > b.b_hi then
+              Error (Fmt.str "router: bad range %a for %s" pp_range b b.b_name)
+            else
+              match rest with
+              | next :: _ when next.b_lo <= b.b_hi ->
+                  Error
+                    (Fmt.str "router: ranges %a (%s) and %a (%s) overlap"
+                       pp_range b b.b_name pp_range next next.b_name)
+              | _ -> check rest
+      in
+      check sorted)
+
+(* "LO-HI=TARGET" | "LO-=TARGET"; TARGET is HOST:PORT (tcp) or a
+   Unix-socket path.  The whole spec doubles as the backend's name. *)
+let backend_of_spec spec =
+  let fail fmt = Fmt.kstr (fun m -> Error m) fmt in
+  match String.index_opt spec '=' with
+  | None -> fail "backend spec %S: expected LO-HI=TARGET" spec
+  | Some eq -> (
+      let range = String.sub spec 0 eq in
+      let target = String.sub spec (eq + 1) (String.length spec - eq - 1) in
+      if target = "" then fail "backend spec %S: empty target" spec
+      else
+        match String.index_opt range '-' with
+        | None -> fail "backend spec %S: range must be LO-HI or LO-" spec
+        | Some dash -> (
+            let lo = String.sub range 0 dash in
+            let hi = String.sub range (dash + 1) (String.length range - dash - 1) in
+            let addr =
+              match String.rindex_opt target ':' with
+              | None -> Some (Unix.ADDR_UNIX target)
+              | Some colon -> (
+                  let host = String.sub target 0 colon in
+                  let port =
+                    String.sub target (colon + 1)
+                      (String.length target - colon - 1)
+                  in
+                  match int_of_string_opt port with
+                  | None -> None
+                  | Some port ->
+                      let ip =
+                        match Unix.inet_addr_of_string host with
+                        | ip -> Some ip
+                        | exception Failure _ -> (
+                            match Unix.gethostbyname host with
+                            | { Unix.h_addr_list = [||]; _ } -> None
+                            | h -> Some h.Unix.h_addr_list.(0)
+                            | exception Not_found -> None)
+                      in
+                      Option.map (fun ip -> Unix.ADDR_INET (ip, port)) ip)
+            in
+            match (int_of_string_opt lo, hi, addr) with
+            | None, _, _ -> fail "backend spec %S: bad lower bound %S" spec lo
+            | _, _, None -> fail "backend spec %S: bad target %S" spec target
+            | Some lo, "", Some addr ->
+                Ok { b_name = spec; b_lo = lo; b_hi = max_int; b_addr = addr }
+            | Some lo, hi_s, Some addr -> (
+                match int_of_string_opt hi_s with
+                | None -> fail "backend spec %S: bad upper bound %S" spec hi_s
+                | Some hi ->
+                    Ok { b_name = spec; b_lo = lo; b_hi = hi; b_addr = addr })))
+
+let owner t oid =
+  List.find_opt (fun b -> b.b_lo <= oid && oid <= b.b_hi) t.backends
+
+(* Merge sorted OID runs, one per backend — the extent idiom from
+   Database.extent lifted across processes.  Runs come from disjoint
+   ranges, so every element survives. *)
+let merge_runs runs = List.fold_left (List.merge compare) [] runs
+
+(* ---- sessions ------------------------------------------------------- *)
+
+type session = {
+  router : t;
+  conns : (string, Server.client) Hashtbl.t;  (* by b_name, lazy *)
+}
+
+let session router = { router; conns = Hashtbl.create 8 }
+
+let close_session s =
+  Hashtbl.iter (fun _ c -> try Server.close_client c with _ -> ()) s.conns;
+  Hashtbl.reset s.conns
+
+let drop_conn s b =
+  match Hashtbl.find_opt s.conns b.b_name with
+  | None -> ()
+  | Some c ->
+      Hashtbl.remove s.conns b.b_name;
+      (try Server.close_client c with _ -> ())
+
+let conn s b =
+  match Hashtbl.find_opt s.conns b.b_name with
+  | Some c -> c
+  | None ->
+      let c = Server.connect b.b_addr in
+      Hashtbl.replace s.conns b.b_name c;
+      c
+
+(* One request against one backend; a dead persistent connection is
+   retried once on a fresh socket before the failure surfaces. *)
+let request_backend s b line =
+  let attempt () = Server.request (conn s b) line in
+  let describe = function
+    | End_of_file -> "connection closed"
+    | Unix.Unix_error (e, _, _) -> Unix.error_message e
+    | Sys_error m -> m
+    | exn -> Printexc.to_string exn
+  in
+  match attempt () with
+  | resp -> Ok resp
+  | exception (End_of_file | Unix.Unix_error _ | Sys_error _) -> (
+      drop_conn s b;
+      match attempt () with
+      | resp -> Ok resp
+      | exception ((End_of_file | Unix.Unix_error _ | Sys_error _) as exn) ->
+          drop_conn s b;
+          Error (Fmt.str "backend %s unreachable: %s" b.b_name (describe exn)))
+
+(* ---- the protocol --------------------------------------------------- *)
+
+let err fmt = Fmt.kstr (fun m -> Fmt.str "err %S" m) fmt
+
+let is_ok resp = String.length resp >= 2 && String.sub resp 0 2 = "ok"
+
+(* "ok N #a #b ..." -> sorted oid run *)
+let run_of_extent_response b resp =
+  match String.split_on_char ' ' resp with
+  | "ok" :: _count :: oids ->
+      let parse tok =
+        if String.length tok > 1 && tok.[0] = '#' then
+          int_of_string_opt (String.sub tok 1 (String.length tok - 1))
+        else None
+      in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | tok :: rest -> (
+            match parse tok with
+            | Some oid -> go (oid :: acc) rest
+            | None ->
+                Error
+                  (Fmt.str "backend %s: malformed extent response %S" b.b_name
+                     resp))
+      in
+      go [] oids
+  | _ -> Error (Fmt.str "backend %s: malformed extent response %S" b.b_name resp)
+
+(* Fan [line] out to every backend; [fold] combines the ok-responses.
+   The first failure — transport or a backend [err] — wins, with the
+   backend named. *)
+let fan_out s line fold init =
+  Obs.Metrics.incr c_fanout;
+  let rec go acc = function
+    | [] -> Ok acc
+    | b :: rest -> (
+        match request_backend s b line with
+        | Error m -> Error m
+        | Ok resp when not (is_ok resp) ->
+            Error (Fmt.str "backend %s: %s" b.b_name resp)
+        | Ok resp -> (
+            match fold acc b resp with
+            | Ok acc -> go acc rest
+            | Error _ as e -> e))
+  in
+  go init s.router.backends
+
+let route s oid line =
+  Obs.Metrics.incr c_routed;
+  match owner s.router oid with
+  | None -> err "no backend owns #%d" oid
+  | Some b -> (
+      match request_backend s b line with
+      | Ok resp -> resp
+      | Error m -> err "%s" m)
+
+let oid_of_token tok =
+  if String.length tok > 1 && tok.[0] = '#' then
+    match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+    | Some i when i >= 1 -> Some i
+    | _ -> None
+  else None
+
+let handle_line s line =
+  match Dump.tokens 0 line with
+  | exception Dump.Parse_error { message; _ } -> err "%s" message
+  | [ "hello" ] ->
+      Fmt.str "ok odb-router %d backends" (List.length s.router.backends)
+  | [ "ping" ] -> "ok pong"
+  | [ "quit" ] | [ "bye" ] -> "ok bye"
+  | [ "backends" ] ->
+      (* names are the LO-HI=TARGET specs, so each token is
+         self-describing *)
+      Fmt.str "ok %d%s"
+        (List.length s.router.backends)
+        (String.concat ""
+           (List.map (fun b -> " " ^ b.b_name) s.router.backends))
+  | [ "get"; oid; _ ] | [ "typeof"; oid ] -> (
+      match oid_of_token oid with
+      | None -> err "expected #<oid>, got %s" oid
+      | Some oid -> route s oid line)
+  | [ "extent"; _ ] -> (
+      match
+        fan_out s line
+          (fun runs b resp ->
+            Result.map (fun run -> run :: runs) (run_of_extent_response b resp))
+          []
+      with
+      | Error m -> err "%s" m
+      | Ok runs ->
+          let merged = merge_runs (List.rev runs) in
+          Fmt.str "ok %d%s" (List.length merged)
+            (String.concat "" (List.map (Fmt.str " #%d") merged)))
+  | [ "count" ] -> (
+      match
+        fan_out s line
+          (fun total b resp ->
+            match String.split_on_char ' ' resp with
+            | [ "ok"; n ] -> (
+                match int_of_string_opt n with
+                | Some n -> Ok (total + n)
+                | None ->
+                    Error
+                      (Fmt.str "backend %s: malformed count response %S"
+                         b.b_name resp))
+            | _ ->
+                Error
+                  (Fmt.str "backend %s: malformed count response %S" b.b_name
+                     resp))
+          0
+      with
+      | Error m -> err "%s" m
+      | Ok total -> Fmt.str "ok %d" total)
+  | verb :: _ ->
+      err
+        "router: %s not supported (read-only fan-out: hello ping quit backends \
+         get typeof extent count)"
+        verb
+  | [] -> err "empty request"
+
+let handler router () =
+  let s = session router in
+  { Server.h_line = (fun line -> handle_line s line);
+    h_quit = (fun line -> line = "quit" || line = "bye");
+    h_close = (fun () -> close_session s)
+  }
+
+let start ?domains router sockaddr =
+  Server.start_handler ?domains (handler router) sockaddr

@@ -1,0 +1,73 @@
+(** OID-range router: fan scan-shaped reads across shard backends.
+
+    A thin line-protocol front over N [odb serve]/[odb replicate]
+    backends, each owning a disjoint, inclusive OID range.  Point
+    reads ([get], [typeof]) are routed to the owning backend; the
+    scan-shaped verbs fan out to every backend and combine:
+
+    - [extent T] — each backend returns its extent as a sorted OID
+      run; the router interleaves the runs with the store's own
+      per-block merge idiom ([List.merge] over sorted runs) so the
+      merged extent comes back in global OID order;
+    - [count] — per-backend counts, summed.
+
+    [hello], [ping], [quit] and the router-only [backends] verb are
+    answered locally; everything else — every mutating verb included —
+    is refused with a structured [err].  The router holds no store:
+    it is read-only by construction. *)
+
+module Server = Tdp_txn.Server
+
+type backend = {
+  b_name : string;  (** the spec it was parsed from; used in errors *)
+  b_lo : int;
+  b_hi : int;  (** inclusive; [max_int] for an open-ended range *)
+  b_addr : Unix.sockaddr;
+}
+
+type t
+
+(** Validate and order the backends: at least one, each range
+    well-formed ([1 <= lo <= hi]), pairwise disjoint. *)
+val make : backend list -> (t, string) result
+
+(** Parse ["LO-HI=TARGET"] (or open-ended ["LO-=TARGET"]); a [TARGET]
+    containing [:] is [HOST:PORT] (tcp), anything else a Unix-socket
+    path.  The spec string becomes the backend's name. *)
+val backend_of_spec : string -> (backend, string) result
+
+val backends : t -> backend list
+
+(** The backend whose range covers [oid], if any. *)
+val owner : t -> int -> backend option
+
+(** Merge sorted OID runs (one per backend) into one sorted run — the
+    [Database.extent] per-block merge, lifted across processes.
+    Exposed for the test suite. *)
+val merge_runs : int list list -> int list
+
+(** {1 Sessions}
+
+    One router session per client connection: a persistent connection
+    per backend, opened on first use, retried once when stale. *)
+
+type session
+
+val session : t -> session
+
+(** One request line -> one response line, total: transport failures
+    and backend errors come back as [err "backend NAME: …"]. *)
+val handle_line : session -> string -> string
+
+val close_session : session -> unit
+
+(** {1 Serving} *)
+
+(** A fresh {!session} per accepted connection, for
+    {!Tdp_txn.Server.start_handler}. *)
+val handler : t -> unit -> Server.handler
+
+(** Serve the router on [sockaddr] via the shared listener
+    ({!Tdp_txn.Server.start_handler}); stop with
+    {!Tdp_txn.Server.stop}. *)
+val start : ?domains:int -> t -> Unix.sockaddr -> Server.t

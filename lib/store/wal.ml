@@ -174,34 +174,136 @@ let parse_record ~magic ~parse line =
     | _ -> Error "bad record header"
   with Bad reason -> Error reason
 
-let decode_framed ~magic ~parse src =
-  let len = String.length src in
-  let rec go pos expected acc =
-    if pos >= len then (List.rev acc, pos, None)
-    else
-      let stop at_seq reason =
-        (List.rev acc, pos, Some { at_seq; offset = pos; reason })
-      in
-      let expected_or d = Option.value expected ~default:d in
-      match String.index_from_opt src pos '\n' with
-      | None -> stop (expected_or 0) "torn record (no trailing newline)"
-      | Some nl -> (
-          match parse_record ~magic ~parse (String.sub src pos (nl - pos)) with
+(* ---- incremental decode -------------------------------------------- *)
+
+(* A pull-based record reader.  It frames records one at a time out of
+   a bounded buffer refilled from [read], so memory is O(longest
+   record) rather than O(log) — a replica can tail a multi-GB log.
+   [decode_framed], file recovery, and the replica tailer all sit on
+   this one cursor, which is what keeps their torn-tail semantics
+   byte-for-byte identical. *)
+
+type 'a cursor = {
+  cmagic : char;
+  cparse : string -> ('a, string) result;
+  cread : bytes -> int -> int -> int;
+  mutable cbuf : Bytes.t;  (* window of not-yet-framed bytes *)
+  mutable clo : int;  (* start of live data in cbuf *)
+  mutable chi : int;  (* end of live data in cbuf *)
+  mutable cscan : int;  (* newline scan resumes at clo + cscan *)
+  mutable cbase : int;  (* stream offset of cbuf.[clo]: the valid prefix end *)
+  mutable cexpected : int option;  (* next seq; None before the first record *)
+  mutable cstopped : corruption option;  (* sticky once set *)
+}
+
+type 'a step = Record of 'a framed | End_of_input | Corrupt of corruption
+
+let cursor_buf_size = 64 * 1024
+
+let cursor ~magic ~parse ?(base = 0) ?next_seq read =
+  { cmagic = magic;
+    cparse = parse;
+    cread = read;
+    cbuf = Bytes.create cursor_buf_size;
+    clo = 0;
+    chi = 0;
+    cscan = 0;
+    cbase = base;
+    cexpected = next_seq;
+    cstopped = None
+  }
+
+let cursor_pos c = c.cbase
+let cursor_pending c = c.chi > c.clo
+let cursor_expected c = c.cexpected
+let cursor_next_seq c = Option.value c.cexpected ~default:1
+let cursor_corruption c = c.cstopped
+
+(* Make room to refill: slide live bytes to the front, doubling the
+   buffer only when a single record outgrows it. *)
+let cursor_make_room c =
+  if c.clo > 0 then begin
+    Bytes.blit c.cbuf c.clo c.cbuf 0 (c.chi - c.clo);
+    c.chi <- c.chi - c.clo;
+    c.clo <- 0
+  end;
+  if c.chi = Bytes.length c.cbuf then begin
+    let bigger = Bytes.create (2 * Bytes.length c.cbuf) in
+    Bytes.blit c.cbuf 0 bigger 0 c.chi;
+    c.cbuf <- bigger
+  end
+
+let rec cursor_next c =
+  match c.cstopped with
+  | Some corr -> Corrupt corr
+  | None -> (
+      match Bytes.index_from_opt c.cbuf (c.clo + c.cscan) '\n' with
+      | Some nl when nl < c.chi ->
+          let line = Bytes.sub_string c.cbuf c.clo (nl - c.clo) in
+          let stop at_seq reason =
+            let corr = { at_seq; offset = c.cbase; reason } in
+            c.cstopped <- Some corr;
+            Corrupt corr
+          in
+          let expected_or d = Option.value c.cexpected ~default:d in
+          (match parse_record ~magic:c.cmagic ~parse:c.cparse line with
           | Error reason -> stop (expected_or 0) reason
           | Ok (seq, v) ->
               (* the first valid record sets the base (a truncated log
                  restarts above the snapshot's seq); after that the
                  numbering must be strictly consecutive *)
               if seq <> expected_or seq then
-                stop (expected_or seq)
-                  (Fmt.str "sequence break: got %d" seq)
-              else
-                go (nl + 1) (Some (seq + 1))
-                  ({ fseq = seq; fvalue = v; fends_at = nl + 1 } :: acc))
+                stop (expected_or seq) (Fmt.str "sequence break: got %d" seq)
+              else begin
+                c.cbase <- c.cbase + (nl + 1 - c.clo);
+                c.clo <- nl + 1;
+                c.cscan <- 0;
+                c.cexpected <- Some (seq + 1);
+                Record { fseq = seq; fvalue = v; fends_at = c.cbase }
+              end)
+      | Some _ | None ->
+          (* no complete line buffered: remember how far we scanned,
+             refill, retry; 0 bytes read means end of current input *)
+          c.cscan <- c.chi - c.clo;
+          cursor_make_room c;
+          let n = c.cread c.cbuf c.chi (Bytes.length c.cbuf - c.chi) in
+          if n = 0 then End_of_input
+          else begin
+            c.chi <- c.chi + n;
+            cursor_next c
+          end)
+
+let cursor_of_string ~magic ~parse src =
+  let pos = ref 0 in
+  let read buf off len =
+    let n = min len (String.length src - !pos) in
+    Bytes.blit_string src !pos buf off n;
+    pos := !pos + n;
+    n
   in
-  let fentries, fvalid_bytes, fcorruption = go 0 None [] in
+  cursor ~magic ~parse read
+
+(* The torn-tail corruption record decode reports when input ends mid
+   record; [End_of_input] with pending bytes means exactly that. *)
+let torn_corruption c =
+  { at_seq = Option.value c.cexpected ~default:0;
+    offset = c.cbase;
+    reason = "torn record (no trailing newline)"
+  }
+
+let decode_framed ~magic ~parse src =
+  let c = cursor_of_string ~magic ~parse src in
+  let rec go acc =
+    match cursor_next c with
+    | Record e -> go (e :: acc)
+    | End_of_input ->
+        let corr = if cursor_pending c then Some (torn_corruption c) else None in
+        (List.rev acc, cursor_pos c, corr)
+    | Corrupt corr -> (List.rev acc, cursor_pos c, Some corr)
+  in
+  let fentries, fvalid_bytes, fcorruption = go [] in
   let fnext_seq =
-    match List.rev fentries with e :: _ -> e.fseq + 1 | [] -> 1
+    match c.cexpected with Some s -> s | None -> 1
   in
   { fentries; fnext_seq; fvalid_bytes; fcorruption }
 
@@ -225,17 +327,65 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* Truncate in place rather than read-rewrite: repair never needs the
+   log contents, only the valid-prefix length. *)
 let repair ~path valid_bytes =
-  let src = read_file path in
-  if valid_bytes < String.length src then begin
-    let oc = open_out_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () ->
-        output_string oc (String.sub src 0 valid_bytes);
-        flush oc;
-        Unix.fsync (Unix.descr_of_out_channel oc))
-  end
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      if (Unix.fstat fd).st_size > valid_bytes then begin
+        Unix.ftruncate fd valid_bytes;
+        Unix.fsync fd
+      end)
+
+(* ---- file tailing --------------------------------------------------- *)
+
+(* A cursor over a growing log file.  [tail_poll] returns records as
+   they become durable, [Wait] when it has caught up with the current
+   end of file (a partial trailing record simply stays buffered until
+   the writer finishes it), and [Truncated] when the file shrank below
+   the consumed offset — the primary checkpointed — at which point the
+   caller reopens from offset 0 (the fresh log resumes one past the
+   checkpoint seq, so the cursor's consecutive-seq check still
+   bridges).  Corruption is sticky, exactly as in {!decode}. *)
+
+type 'a tail = {
+  tfd : Unix.file_descr;
+  tcur : 'a cursor;
+  tread : int ref;  (* bytes consumed from the fd *)
+}
+
+type 'a tail_step = Shipped of 'a framed | Wait | Truncated | Halted of corruption
+
+let tail_open ~magic ~parse ?(offset = 0) ?next_seq path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  ignore (Unix.lseek fd offset Unix.SEEK_SET);
+  let tread = ref offset in
+  let read buf pos len =
+    match Unix.read fd buf pos len with
+    | n ->
+        tread := !tread + n;
+        n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> 0
+  in
+  { tfd = fd; tcur = cursor ~magic ~parse ~base:offset ?next_seq read; tread }
+
+let tail_poll t =
+  match cursor_next t.tcur with
+  | Record e -> Shipped e
+  | Corrupt c -> Halted c
+  | End_of_input -> (
+      match (Unix.fstat t.tfd).st_size < !(t.tread) with
+      | true -> Truncated
+      | false -> Wait
+      | exception Unix.Unix_error _ -> Wait)
+
+let tail_offset t = cursor_pos t.tcur
+let tail_pending t = cursor_pending t.tcur
+let tail_next_seq t = cursor_next_seq t.tcur
+let tail_expected t = cursor_expected t.tcur
+let tail_close t = try Unix.close t.tfd with Unix.Unix_error _ -> ()
 
 (* ---- appending ----------------------------------------------------- *)
 
@@ -331,7 +481,23 @@ type recovery = {
   corruption : corruption option;
 }
 
-let recover_text_uninstrumented ?load_schema ~schema ?snapshot ?wal () =
+(* Any exception from replaying an op ends the usable prefix with a
+   structured corruption record — including exceptions outside the
+   expected store/parse family, which previously escaped as-is and
+   could kill a replica apply loop with a bare [Assert_failure]. *)
+let replay_failure_reason = function
+  | Database.Store_error m -> m
+  | Dump.Parse_error { message; _ } -> message
+  | Wal_error m -> m
+  | Error.E err -> Error.message err
+  | exn -> Fmt.str "unexpected exception during replay: %s" (Printexc.to_string exn)
+
+(* The replay loop, driven record-at-a-time off a cursor so that file
+   recovery never materializes the log: skip records the snapshot
+   already contains, refuse gaps between snapshot and log, and treat
+   an op that fails to apply as the end of the usable prefix —
+   recovery reports, it does not raise. *)
+let recover_cursor ?load_schema ~schema ?snapshot cur =
   let db = Database.create schema in
   let snapshot_seq =
     match snapshot with
@@ -340,18 +506,18 @@ let recover_text_uninstrumented ?load_schema ~schema ?snapshot ?wal () =
         ignore (Dump.load_into db text);
         Dump.wal_seq text
   in
-  let d = decode (Option.value wal ~default:"") in
-  (* replay the decoded prefix: skip records the snapshot already
-     contains, refuse gaps between snapshot and log, and treat an op
-     that fails to apply as the end of the usable prefix — recovery
-     reports, it does not raise *)
-  let rec run entries ~replayed ~last_seq ~valid =
-    match entries with
-    | [] -> (replayed, last_seq, valid, d.corruption)
-    | e :: rest when e.seq <= snapshot_seq ->
-        run rest ~replayed ~last_seq ~valid:e.ends_at
-    | e :: rest ->
-        if e.seq <> last_seq + 1 then
+  let rec run ~replayed ~last_seq ~valid =
+    match cursor_next cur with
+    | End_of_input ->
+        let corruption =
+          if cursor_pending cur then Some (torn_corruption cur) else None
+        in
+        (replayed, last_seq, valid, corruption)
+    | Corrupt corruption -> (replayed, last_seq, valid, Some corruption)
+    | Record e when e.fseq <= snapshot_seq ->
+        run ~replayed ~last_seq ~valid:e.fends_at
+    | Record e ->
+        if e.fseq <> last_seq + 1 then
           ( replayed,
             last_seq,
             valid,
@@ -360,32 +526,31 @@ let recover_text_uninstrumented ?load_schema ~schema ?snapshot ?wal () =
                 offset = valid;
                 reason =
                   Fmt.str "sequence gap: recovered to %d, log resumes at %d"
-                    last_seq e.seq
+                    last_seq e.fseq
               } )
         else (
-          match apply ?load_schema db e.op with
-          | () ->
-              run rest ~replayed:(replayed + 1) ~last_seq:e.seq ~valid:e.ends_at
-          | exception
-              (( Database.Store_error _ | Dump.Parse_error _ | Wal_error _
-               | Error.E _ ) as exn) ->
-              let reason =
-                match exn with
-                | Database.Store_error m -> m
-                | Dump.Parse_error { message; _ } -> message
-                | Wal_error m -> m
-                | Error.E err -> Error.message err
-                | _ -> assert false
-              in
+          match apply ?load_schema db e.fvalue with
+          | () -> run ~replayed:(replayed + 1) ~last_seq:e.fseq ~valid:e.fends_at
+          | exception exn ->
               ( replayed,
                 last_seq,
                 valid,
-                Some { at_seq = e.seq; offset = valid; reason } ))
+                Some
+                  { at_seq = e.fseq;
+                    offset = valid;
+                    reason = replay_failure_reason exn
+                  } ))
   in
   let replayed, last_seq, wal_valid_bytes, corruption =
-    run d.entries ~replayed:0 ~last_seq:snapshot_seq ~valid:0
+    run ~replayed:0 ~last_seq:snapshot_seq ~valid:0
   in
   { db; snapshot_seq; replayed; last_seq; wal_valid_bytes; corruption }
+
+let recover_text_uninstrumented ?load_schema ~schema ?snapshot ?wal () =
+  let cur =
+    cursor_of_string ~magic:'w' ~parse:parse_op (Option.value wal ~default:"")
+  in
+  recover_cursor ?load_schema ~schema ?snapshot cur
 
 let recover_text ?load_schema ~schema ?snapshot ?wal () =
   Obs.Metrics.time m_replay_ns (fun () ->
@@ -396,7 +561,29 @@ let recover_text ?load_schema ~schema ?snapshot ?wal () =
           Obs.Metrics.add m_replay_ops r.replayed;
           r))
 
+(* File recovery streams the WAL through a bounded cursor buffer (the
+   snapshot is still loaded whole: it is a dump, not a log). *)
 let recover ?load_schema ~schema ~snapshot_path ~wal_path () =
-  let read p = if Sys.file_exists p then Some (read_file p) else None in
-  recover_text ?load_schema ~schema ?snapshot:(read snapshot_path)
-    ?wal:(read wal_path) ()
+  Obs.Metrics.time m_replay_ns (fun () ->
+      Obs.Trace.with_span "wal.recover" (fun () ->
+          let snapshot =
+            if Sys.file_exists snapshot_path then Some (read_file snapshot_path)
+            else None
+          in
+          let with_wal_cursor k =
+            if not (Sys.file_exists wal_path) then
+              k (cursor_of_string ~magic:'w' ~parse:parse_op "")
+            else begin
+              let ic = open_in_bin wal_path in
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () ->
+                  k (cursor ~magic:'w' ~parse:parse_op (input ic)))
+            end
+          in
+          let r =
+            with_wal_cursor (fun cur ->
+                recover_cursor ?load_schema ~schema ?snapshot cur)
+          in
+          Obs.Metrics.add m_replay_ops r.replayed;
+          r))

@@ -90,6 +90,99 @@ type 'a framed_decoded = {
 val decode_framed :
   magic:char -> parse:(string -> ('a, string) result) -> string -> 'a framed_decoded
 
+(** {1 Incremental decode}
+
+    The framing above, record-at-a-time: a cursor frames records out
+    of a bounded buffer refilled on demand, so decoding a log costs
+    O(longest record) memory, never O(file).  {!decode_framed},
+    {!recover}, and the replica {!tail} below all run on this one
+    cursor — their torn-tail semantics are identical by
+    construction. *)
+
+type 'a cursor
+
+type 'a step =
+  | Record of 'a framed
+  | End_of_input
+      (** the refill function returned 0 bytes; any buffered partial
+          record stays pending — call {!cursor_next} again once more
+          input exists, or treat the pending bytes as a torn tail *)
+  | Corrupt of corruption  (** sticky: every later call returns it again *)
+
+(** [cursor ~magic ~parse read] decodes the byte stream produced by
+    [read] (same contract as {!Stdlib.input}: [read buf pos len]
+    returns the number of bytes written, 0 at end of input).  [base]
+    is the stream offset of the first byte (resume mid-file);
+    [next_seq] pins the expected first sequence number (otherwise the
+    first valid record sets the base). *)
+val cursor :
+  magic:char ->
+  parse:(string -> ('a, string) result) ->
+  ?base:int ->
+  ?next_seq:int ->
+  (bytes -> int -> int -> int) ->
+  'a cursor
+
+val cursor_of_string :
+  magic:char -> parse:(string -> ('a, string) result) -> string -> 'a cursor
+
+val cursor_next : 'a cursor -> 'a step
+
+(** Stream offset where the valid prefix ends: just past the last
+    framed record, at the start of any pending or corrupt bytes. *)
+val cursor_pos : _ cursor -> int
+
+(** Are undecoded bytes buffered past {!cursor_pos} (a partial line)? *)
+val cursor_pending : _ cursor -> bool
+
+(** The sequence number the next record must carry; [None] before the
+    first record when [next_seq] was not pinned. *)
+val cursor_expected : _ cursor -> int option
+
+(** {!cursor_expected}, defaulted to 1 — the [next_seq] a fresh writer
+    should use. *)
+val cursor_next_seq : _ cursor -> int
+
+val cursor_corruption : _ cursor -> corruption option
+
+(** {1 File tailing}
+
+    A cursor over a growing log file — the replication shipping
+    primitive.  The tailer remembers its byte offset and expected
+    sequence, so polling costs only the new bytes. *)
+
+type 'a tail
+
+type 'a tail_step =
+  | Shipped of 'a framed  (** one more durable record *)
+  | Wait  (** caught up with the end of file (partial tails stay buffered) *)
+  | Truncated
+      (** the file shrank below the consumed offset — the primary
+          checkpointed; reopen from offset 0 with the same expected
+          seq (the fresh log resumes one past the checkpoint) *)
+  | Halted of corruption  (** sticky, exactly as in {!decode} *)
+
+(** Open [path] for tailing from [offset] (default 0); [next_seq] pins
+    the first expected sequence number when resuming.
+    @raise Unix.Unix_error if the file cannot be opened. *)
+val tail_open :
+  magic:char ->
+  parse:(string -> ('a, string) result) ->
+  ?offset:int ->
+  ?next_seq:int ->
+  string ->
+  'a tail
+
+val tail_poll : 'a tail -> 'a tail_step
+
+(** Byte offset of the shipped prefix (resume point for {!tail_open}). *)
+val tail_offset : _ tail -> int
+
+val tail_pending : _ tail -> bool
+val tail_next_seq : _ tail -> int
+val tail_expected : _ tail -> int option
+val tail_close : _ tail -> unit
+
 (** Truncate the file at [path] to its first [valid_bytes] bytes —
     repair after a torn append, before appending again. *)
 val repair : path:string -> int -> unit

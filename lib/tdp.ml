@@ -14,6 +14,8 @@ module Interp = Tdp_store.Interp
 module Txn_log = Tdp_txn.Txn_log
 module Mvcc = Tdp_txn.Mvcc
 module Server = Tdp_txn.Server
+module Replica = Tdp_replica.Replica
+module Router = Tdp_replica.Router
 module Catalog = Tdp_algebra.Catalog
 module Evolution = Tdp_algebra.Evolution
 module Lint = Tdp_analysis.Lint

@@ -23,6 +23,8 @@
     - {!Database}, {!Wal}, {!Dump}, {!Interp} — the object store;
     - {!Txn_log}, {!Mvcc}, {!Server} — MVCC transactions and the
       multi-client server;
+    - {!Replica}, {!Router} — log-shipping read replicas and the
+      OID-range shard router;
     - {!Catalog}, {!Evolution} — the view algebra;
     - {!Infer}, {!Pipeline} — principal-type inference for pipelines;
     - {!Lint} — static analysis of schema sources. *)
@@ -72,6 +74,13 @@ module Mvcc = Tdp_txn.Mvcc
 
 (** The multi-client line-protocol server ([odb serve]). *)
 module Server = Tdp_txn.Server
+
+(** Log-shipping read replicas and failover ([odb replicate],
+    [odb promote]). *)
+module Replica = Tdp_replica.Replica
+
+(** OID-range fan-out over shard backends ([odb route]). *)
+module Router = Tdp_replica.Router
 
 (** Named views over a base schema. *)
 module Catalog = Tdp_algebra.Catalog

@@ -315,6 +315,11 @@ let snapshot_of_database db ~version =
     version
   }
 
+(* A memory-only store seeded from a recovered database — how a
+   replica bootstraps from the primary's snapshot. *)
+let of_database ?load_schema db =
+  make ?load_schema (snapshot_of_database db ~version:0)
+
 (* Materialize a snapshot as a mutable {!Database} — the bridge to
    {!Dump} for checkpoints and textual dumps.  Two passes so forward
    references restore. *)
@@ -550,6 +555,35 @@ let commit txn =
                           txn.state <- Committed v;
                           Obs.Metrics.incr m_commit;
                           Ok v))))
+
+(* ---- replication support ------------------------------------------- *)
+
+(* A replica replays the primary's logs outside any transaction: it
+   validates each op against its current head with [apply_op] and
+   installs the successor with [publish].  Publication still maintains
+   the per-branch write-set history, so local read-only transactions
+   (and a post-promotion switch to writes) see a coherent store. *)
+
+let apply_op t s op = apply ?load_schema:t.load_schema s op
+
+let publish t ~branch ~ops snap =
+  locked t (fun () ->
+      check_live t;
+      let br = find_branch t branch in
+      let v = t.version + 1 in
+      t.version <- v;
+      br.head <- { snap with version = v };
+      br.recent <- (v, List.fold_left writes_add no_writes ops) :: br.recent;
+      trim_recent br;
+      v)
+
+let note_txid t txid =
+  locked t (fun () -> if txid >= t.next_txid then t.next_txid <- txid + 1)
+
+let log_seqs t =
+  locked t (fun () ->
+      ( t.wal_seq,
+        match t.writer with Some w -> Wal.writer_seq w - 1 | None -> 0 ))
 
 (* ---- branches ------------------------------------------------------ *)
 

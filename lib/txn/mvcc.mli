@@ -76,6 +76,11 @@ type t
     source of schema-swap ops; without it such ops fail. *)
 val create : ?load_schema:(string -> Schema.t) -> Schema.t -> t
 
+(** An in-memory store whose [main] branch starts at the contents of
+    [db] (version 0) — how a replica bootstraps from the primary's
+    recovered snapshot. *)
+val of_database : ?load_schema:(string -> Schema.t) -> Database.t -> t
+
 (** Head snapshot of [branch].
     @raise Database.Store_error on an unknown branch. *)
 val head : t -> branch:string -> snapshot
@@ -132,6 +137,31 @@ val commit : txn -> (int, commit_error) result
 (** Abort an open transaction (idempotent on aborted ones).
     @raise Database.Store_error if already committed. *)
 val abort : ?reason:string -> txn -> unit
+
+(** {1 Replication support}
+
+    The hooks a log-shipping replica ({!Tdp_replica}) applies records
+    through, outside any transaction.  They maintain the same
+    per-branch version and write-set history commits do. *)
+
+(** Validate and apply one op against a snapshot, returning the
+    successor (version unchanged until {!publish}).
+    @raise Database.Store_error when the op does not validate. *)
+val apply_op : t -> snapshot -> Database.op -> snapshot
+
+(** Install [snap] as the head of [branch] under the store lock and
+    stamp it with the next version, recording [ops]' write set for
+    first-writer-wins history; returns the published version. *)
+val publish : t -> branch:string -> ops:Database.op list -> snapshot -> int
+
+(** Advance the transaction-id allocator past a replayed [txid]. *)
+val note_txid : t -> int -> unit
+
+(** The last durable (wal seq, txn seq) this store has absorbed: the
+    wal.log record folded into the base plus the transaction-log
+    writer position (0 without a writer).  What the [seq] protocol
+    verb reports on a primary. *)
+val log_seqs : t -> int * int
 
 (** {1 Durability and recovery} *)
 

@@ -58,6 +58,8 @@ type request =
   | Branches
   | Branch of string
   | Fork of string * string option
+  | Seq
+  | Lag
   | Quit
 
 let parse_fail fmt =
@@ -115,19 +117,33 @@ let parse_request line : request =
   | [ "branch"; br ] -> Branch (branch_of_token br)
   | [ "fork"; br ] -> Fork (branch_of_token br, None)
   | [ "fork"; br; from_ ] -> Fork (branch_of_token br, Some (branch_of_token from_))
+  | [ "seq" ] -> Seq
+  | [ "lag" ] -> Lag
   | [ "quit" ] | [ "bye" ] -> Quit
   | verb :: _ -> parse_fail "unknown command %s" verb
   | [] -> parse_fail "empty command"
 
 (* ---- sessions ------------------------------------------------------ *)
 
+(* A read-only server (a replica) answers [seq]/[lag] from these
+   callbacks and refuses every mutating verb with a structured [err] —
+   the session survives, so probing clients cost nothing. *)
+type replica_info = {
+  ri_seqs : unit -> int * int;  (** applied (wal seq, txn seq) *)
+  ri_lag : unit -> int * int;  (** bytes behind the primary, (wal, txn) *)
+}
+
+type mode = Read_write | Read_only of replica_info
+
 type session = {
   store : Mvcc.t;
+  smode : mode;
   mutable sbranch : string;
   mutable txn : Mvcc.txn option;
 }
 
-let session ~store = { store; sbranch = Mvcc.main_branch; txn = None }
+let session ?(mode = Read_write) ~store () =
+  { store; smode = mode; sbranch = Mvcc.main_branch; txn = None }
 
 (* The overlay inside a transaction, the branch head outside. *)
 let read_snapshot s =
@@ -145,9 +161,30 @@ let abort_open s reason =
   | Some t when Mvcc.state t = Mvcc.Open -> Mvcc.abort ~reason t
   | _ -> ()
 
+let refuse_verb (req : request) =
+  match req with
+  | Begin _ -> Some "begin"
+  | Commit -> Some "commit"
+  | Abort _ -> Some "abort"
+  | New _ -> Some "new"
+  | Set _ -> Some "set"
+  | Del _ -> Some "del"
+  | Schema _ -> Some "schema"
+  | Fork _ -> Some "fork"
+  | Hello | Ping | Get _ | Typeof _ | Extent _ | Count | Version | Branches
+  | Branch _ | Seq | Lag | Quit ->
+      None
+
 (* One request -> one response line (no trailing newline).  [Quit] is
    handled by the caller; every path here keeps the session alive. *)
 let respond s (req : request) =
+  (match (s.smode, refuse_verb req) with
+  | Read_only _, Some verb ->
+      raise
+        (Database.Store_error
+           (Fmt.str "read-only replica: %s refused (connect to the primary to write)"
+              verb))
+  | _ -> ());
   match req with
   | Hello -> Fmt.str "ok odb %d branch %s" proto_version s.sbranch
   | Ping -> "ok pong"
@@ -215,6 +252,18 @@ let respond s (req : request) =
       let from_ = Option.value ~default:s.sbranch from_ in
       let v = Mvcc.fork s.store ~from_ ~branch in
       Fmt.str "ok forked %s at %d" branch v
+  | Seq ->
+      let wal, txn =
+        match s.smode with
+        | Read_only ri -> ri.ri_seqs ()
+        | Read_write -> Mvcc.log_seqs s.store
+      in
+      Fmt.str "ok wal %d txn %d" wal txn
+  | Lag ->
+      let wal, txn =
+        match s.smode with Read_only ri -> ri.ri_lag () | Read_write -> (0, 0)
+      in
+      Fmt.str "ok wal %d txn %d" wal txn
 
 (* Total: every failure of a single request becomes an [err] line. *)
 let handle_line s line =
@@ -256,44 +305,78 @@ let count_request srv ~error =
 let is_err resp =
   String.length resp >= 3 && String.sub resp 0 3 = "err"
 
-(* One connection, line by line, until quit / EOF / a dead socket.  An
-   open transaction left behind is aborted so its write intents never
-   linger (they hold no locks, but the abort lands in the log). *)
-let serve_session srv store fd =
+(* A pluggable per-connection protocol: how the listener below is
+   shared between store sessions and the {!Tdp_replica} OID-range
+   router (any line protocol with one response line per request). *)
+type handler = {
+  h_line : string -> string;  (* one request -> one response, total *)
+  h_quit : string -> bool;  (* did this request end the session? *)
+  h_close : unit -> unit;  (* teardown, run exactly once per session *)
+}
+
+(* One connection, line by line, until quit / EOF / a dead socket.
+   [h_close] runs on every exit path — for store sessions it aborts an
+   open transaction left behind, so write intents never linger.
+
+   Write-side failures get their own handler: a client that
+   disconnects between request and response makes the response write
+   raise [EPIPE]/[ECONNRESET] (as [Sys_error] through the channel) —
+   that ends this session only, with the transaction aborted and the
+   registry decremented on the way out.  [start] ignores [SIGPIPE]
+   process-wide; without that a TCP client vanishing mid-response
+   would kill the whole server, not just raise here. *)
+let serve_session srv (h : handler) fd =
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
-  let session = session ~store in
   let rec loop () =
     match input_line ic with
     | exception (End_of_file | Sys_error _) -> ()
-    | line ->
+    | line -> (
         let line = String.trim line in
         if line = "" then loop ()
         else
-          let resp = handle_line session line in
+          let resp = h.h_line line in
           count_request srv ~error:(is_err resp);
-          output_string oc resp;
-          output_char oc '\n';
-          flush oc;
-          let quit =
-            match parse_request line with
-            | Quit -> true
-            | _ | (exception _) -> false
-          in
-          if not quit then loop ()
+          match
+            output_string oc resp;
+            output_char oc '\n';
+            flush oc
+          with
+          | exception (Sys_error _ | Unix.Unix_error _) ->
+              count_request srv ~error:true
+          | () -> if not (h.h_quit line) then loop ())
   in
   Fun.protect
     ~finally:(fun () ->
-      abort_open session "session closed";
+      h.h_close ();
       unregister srv fd;
       try Unix.close fd with Unix.Unix_error _ -> ())
-    (fun () -> try loop () with Sys_error _ | Unix.Unix_error _ -> ())
+    (fun () ->
+      try loop ()
+      with
+      | Sys_error _ | Unix.Unix_error _ -> ()
+      | _ ->
+          (* nothing below is expected to raise anything else; if it
+             does, record it and end the session instead of killing
+             the thread with an unhandled exception *)
+          count_request srv ~error:true)
+
+let store_handler ?mode ~store () =
+  let s = session ?mode ~store () in
+  { h_line = (fun line -> handle_line s line);
+    h_quit =
+      (fun line ->
+        match parse_request line with
+        | Quit -> true
+        | _ | (exception _) -> false);
+    h_close = (fun () -> abort_open s "session closed")
+  }
 
 (* Accept loop: every accepter domain blocks in [accept] on the shared
    listening socket; the kernel hands each connection to one of them.
    Stopping is a dummy connection per accepter (the portable way to
    wake a blocked accept) with [stopping] already set. *)
-let accept_loop srv store =
+let accept_loop srv make_handler =
   let rec loop () =
     match Unix.accept ~cloexec:true srv.listen_fd with
     | exception Unix.Unix_error ((EBADF | EINVAL | ECONNABORTED | EINTR), _, _)
@@ -304,7 +387,11 @@ let accept_loop srv store =
           (try Unix.close fd with Unix.Unix_error _ -> ());
           ())
         else begin
-          let th = Thread.create (fun () -> serve_session srv store fd) () in
+          let th =
+            Thread.create
+              (fun () -> serve_session srv (make_handler ()) fd)
+              ()
+          in
           register srv th fd;
           loop ()
         end
@@ -313,7 +400,11 @@ let accept_loop srv store =
 
 let default_domains () = max 2 (min 4 (Domain.recommended_domain_count () - 1))
 
-let start ?(domains = default_domains ()) ~store sockaddr =
+let start_handler ?(domains = default_domains ()) make_handler sockaddr =
+  (* a client closing its socket mid-response must raise in that
+     session's write, not deliver a process-killing SIGPIPE *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   let domain_kind =
     match sockaddr with
     | Unix.ADDR_UNIX path ->
@@ -343,8 +434,12 @@ let start ?(domains = default_domains ()) ~store sockaddr =
   in
   let domains = max 1 domains in
   srv.accepters <-
-    List.init domains (fun _ -> Domain.spawn (fun () -> accept_loop srv store));
+    List.init domains (fun _ ->
+        Domain.spawn (fun () -> accept_loop srv make_handler));
   srv
+
+let start ?domains ?mode ~store sockaddr =
+  start_handler ?domains (fun () -> store_handler ?mode ~store ()) sockaddr
 
 let sockaddr srv = srv.sockaddr
 

@@ -34,23 +34,46 @@
     branches                       -> ok [name:version …]
     branch BRANCH                  -> ok branch BRANCH
     fork BRANCH [FROM]             -> ok forked BRANCH at <v>
+    seq                            -> ok wal <seq> txn <seq>
+    lag                            -> ok wal <bytes> txn <bytes>
     v}
 
     Sessions are stateful: a current branch (default [main]) and at
     most one open transaction.  Reads inside a transaction see its
     private overlay; reads outside see the branch head at the moment
     of the read.  Neither ever observes a partial commit.  A session
-    that disconnects with a transaction still open aborts it. *)
+    that disconnects with a transaction still open aborts it — even
+    when the disconnect lands between request and response (the write
+    side raises [EPIPE]/[ECONNRESET] per session; [SIGPIPE] is ignored
+    process-wide so a vanished TCP client can never kill the server).
+
+    {1 Replica mode}
+
+    A server started with [mode = Read_only _] (how [odb replicate]
+    serves) refuses every mutating verb ([begin], [commit], [abort],
+    [new], [set], [del], [schema], [fork]) with a structured [err] and
+    answers [seq]/[lag] from the replica's shipping state.  On a
+    read-write server, [seq] reports the store's own durable log
+    positions and [lag] is always [0 0]. *)
 
 type t
+
+(** What a read-only server reports for the replica verbs. *)
+type replica_info = {
+  ri_seqs : unit -> int * int;  (** applied (wal seq, txn seq) *)
+  ri_lag : unit -> int * int;  (** bytes behind the primary, (wal, txn) *)
+}
+
+type mode = Read_write | Read_only of replica_info
 
 (** Bind, listen and start accepting on [sockaddr] ([ADDR_UNIX path]
     or [ADDR_INET]; a stale Unix-socket path is unlinked, and an INET
     port of 0 is resolved — see {!sockaddr}).  [domains] (default
     derived from [Domain.recommended_domain_count], at least 2) is the
-    number of accepter domains.
+    number of accepter domains.  [mode] (default [Read_write])
+    selects replica mode — see above.
     @raise Unix.Unix_error when binding fails. *)
-val start : ?domains:int -> store:Mvcc.t -> Unix.sockaddr -> t
+val start : ?domains:int -> ?mode:mode -> store:Mvcc.t -> Unix.sockaddr -> t
 
 (** The bound address (with the real port for [ADDR_INET _ 0]). *)
 val sockaddr : t -> Unix.sockaddr
@@ -74,12 +97,35 @@ val parse_request : string -> request
 
 type session
 
-(** A fresh session on [store]: branch [main], no open transaction. *)
-val session : store:Mvcc.t -> session
+(** A fresh session on [store]: branch [main], no open transaction.
+    [mode] defaults to [Read_write]. *)
+val session : ?mode:mode -> store:Mvcc.t -> unit -> session
 
 (** Handle one request line, total: every failure becomes an
     [err "…"] response line. *)
 val handle_line : session -> string -> string
+
+(** {1 Generic listener}
+
+    The accept/serve machinery above, decoupled from the store grammar
+    so other line protocols (the {!Tdp_replica} OID-range router) can
+    reuse it: one response line per request line, write-side
+    disconnects contained per session. *)
+
+type handler = {
+  h_line : string -> string;  (** one request -> one response, total *)
+  h_quit : string -> bool;  (** did this request end the session? *)
+  h_close : unit -> unit;  (** teardown, runs exactly once per session *)
+}
+
+(** The handler {!start} serves: a fresh {!session} per connection,
+    [quit] ends it, teardown aborts a still-open transaction. *)
+val store_handler : ?mode:mode -> store:Mvcc.t -> unit -> handler
+
+(** As {!start}, but serving [make_handler ()] (one call per accepted
+    connection) instead of store sessions. *)
+val start_handler :
+  ?domains:int -> (unit -> handler) -> Unix.sockaddr -> t
 
 (** {1 Client} *)
 

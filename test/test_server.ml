@@ -45,7 +45,7 @@ let expect c req prefix =
 
 let test_protocol_unit () =
   let store = Mvcc.create ~load_schema schema in
-  let s = Server.session ~store in
+  let s = Server.session ~store () in
   let run line = Server.handle_line s line in
   Alcotest.(check string) "hello" "ok odb 1 branch main" (run "hello");
   Alcotest.(check string) "ping" "ok pong" (run "ping");
@@ -233,6 +233,32 @@ let test_session_disconnect_aborts () =
           ignore (expect c2 "set #1 ssn=2" "ok");
           ignore (expect c2 "commit" "ok committed")))
 
+(* ---- disconnect between request and response ------------------------ *)
+
+(* A client that fires a request and hangs up without reading the
+   response leaves the server writing into a dead socket (EPIPE).
+   That must stay the dying session's private problem: its open txn
+   aborts, the worker survives, and fresh sessions get full service. *)
+let test_disconnect_mid_response () =
+  with_server (fun addr ->
+      for _ = 1 to 20 do
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd addr;
+        let line = "begin\n" in
+        ignore (Unix.write_substring fd line 0 (String.length line));
+        (* gone before the "ok txn" response can land *)
+        Unix.close fd
+      done;
+      let c = Server.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Server.close_client c)
+        (fun () ->
+          (* none of the 20 orphaned txns holds the store *)
+          ignore (expect c "begin" "ok txn");
+          ignore (expect c "set #1 ssn=9" "ok");
+          ignore (expect c "commit" "ok committed");
+          ignore (expect c "get #1 ssn" "ok 9")))
+
 let suite =
   [ Alcotest.test_case "protocol unit" `Quick test_protocol_unit;
     Alcotest.test_case "socket roundtrip" `Quick test_socket_roundtrip;
@@ -243,7 +269,9 @@ let suite =
     Alcotest.test_case "served durable store survives restart" `Quick
       test_served_store_durability;
     Alcotest.test_case "disconnect aborts the open txn" `Quick
-      test_session_disconnect_aborts
+      test_session_disconnect_aborts;
+    Alcotest.test_case "disconnect between request and response" `Quick
+      test_disconnect_mid_response
   ]
 
 let () = Alcotest.run "server" [ ("server", suite) ]
