@@ -18,8 +18,10 @@
                                              Tdp_obs metrics snapshot of one
                                              instrumented pass + the columnar
                                              store sweep + replica/router
-                                             throughput; FILE defaults
-                                             to BENCH_9.json, "-" = stdout)
+                                             throughput + the statement
+                                             language's eval path; FILE
+                                             defaults to BENCH_10.json,
+                                             "-" = stdout)
         dune exec bench/main.exe -- bench --check FILE
                                             (re-measure in --small mode and
                                              fail if a guarded benchmark
@@ -1035,6 +1037,41 @@ let router_point n =
           in
           (t_routed, t_direct, t_get)))
 
+(* The statement language's eval hot path (odb repl / server eval /
+   Session API): [typecheck] is one non-scanning statement — parse
+   once, then resolve + principal inference against the live schema;
+   [extent] is one selecting extent statement over [n] Employees,
+   reported per row.  Both run on a warm Session over a Database. *)
+let session_point n =
+  let db = Tdp_store.Database.create Fig1.schema in
+  for i = 1 to n do
+    Tdp_store.Wal.apply db
+      (Tdp_store.Database.Op_new
+         { oid = Tdp_store.Oid.of_int i;
+           ty = ty "Employee";
+           init =
+             [ (at "ssn", Tdp_store.Value.Int i);
+               (at "pay_rate", Tdp_store.Value.Float (float_of_int (i mod 200)))
+             ]
+         })
+  done;
+  let s = Tdp_lang.Session.of_database db in
+  let stmt src =
+    match Tdp_lang.Stmt.parse_string src with
+    | [ st ] -> st
+    | _ -> assert false
+  in
+  let type_stmt =
+    stmt ":type select project Employee on [ssn, pay_rate] where pay_rate < 100.0"
+  in
+  let extent_stmt = stmt ":extent select Employee where pay_rate < 100.0" in
+  let check o = assert (not (Tdp_lang.Session.failed o)) in
+  check (Tdp_lang.Session.eval s type_stmt);
+  check (Tdp_lang.Session.eval s extent_stmt);
+  let t_type = time_it (fun () -> Tdp_lang.Session.eval s type_stmt) in
+  let t_extent = time_it (fun () -> Tdp_lang.Session.eval s extent_stmt) in
+  (t_type, t_extent)
+
 let table_s11 () =
   section "S11: replica catch-up and routed extents (fig1 Employees)";
   row3 "shipped records" "catch-up per record" "idle poll";
@@ -1214,6 +1251,9 @@ let json_report ~small =
      in both modes so the entry names stay comparable across baselines *)
   let rep = replica_point 1_000 in
   let t_routed, t_direct, _ = router_point 1_000 in
+  (* statement-language eval path, fixed at 1000 rows likewise *)
+  let repl_n = 1_000 in
+  let t_repl_type, t_repl_extent = session_point repl_n in
   (* the acceptance floors for the columnar engine are keyed on the
      100k point, which every mode measures *)
   let c100k = List.find (fun p -> p.cp_n = 100_000) cols in
@@ -1247,7 +1287,11 @@ let json_report ~small =
       { name = "replica/lag"; ns_per_op = rep.rp_ship_ns };
       { name = "replica/poll-idle"; ns_per_op = rep.rp_idle_ns };
       { name = "router/extent"; ns_per_op = ns t_routed };
-      { name = "router/extent/direct"; ns_per_op = ns t_direct }
+      { name = "router/extent/direct"; ns_per_op = ns t_direct };
+      { name = "repl/eval/typecheck"; ns_per_op = ns t_repl_type };
+      { name = "repl/eval/extent-row";
+        ns_per_op = ns t_repl_extent /. float_of_int repl_n
+      }
     ]
     @ List.concat_map
         (fun p ->
@@ -1539,7 +1583,11 @@ let guarded_benchmarks =
        extent fan-out over two live shards; absent from pre-PR-9
        baselines *)
     "replica/lag";
-    "router/extent"
+    "router/extent";
+    (* statement-language eval path (repl / Session / server eval);
+       absent from pre-PR-10 baselines *)
+    "repl/eval/typecheck";
+    "repl/eval/extent-row"
   ]
 let check_tolerance = 3.0
 
@@ -1644,7 +1692,7 @@ let () =
   let rec out_of = function
     | "--out" :: v :: _ -> v
     | _ :: rest -> out_of rest
-    | [] -> "BENCH_9.json"
+    | [] -> "BENCH_10.json"
   in
   let rec check_of = function
     | "--check" :: v :: _ -> Some v

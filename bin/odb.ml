@@ -5,6 +5,7 @@
      odb check schema.odb [--json]
      odb lint schema.odb [--json] [--code TDPxxx]
      odb infer schema.odb [--json]
+     odb repl TARGET [--script FILE] [--json]
      odb apply schema.odb [--collapse] [--print | --dot] [--json]
      odb methods schema.odb --source T --attrs a,b,c [--trace] [--json]
      odb dispatch schema.odb --gf f --args T1,T2 [--all] [--json]
@@ -31,6 +32,8 @@
 open Tdp_core
 module Elaborate = Tdp_lang.Elaborate
 module Printer = Tdp_lang.Printer
+module Session = Tdp_lang.Session
+module Repl = Tdp_lang.Repl
 module Optimize = Tdp_algebra.Optimize
 module Static_check = Tdp_dispatch.Static_check
 module Dispatch = Tdp_dispatch.Dispatch
@@ -120,64 +123,23 @@ let key_list s = J.List (List.map (fun k -> J.String (key_str k)) (Method_def.Ke
 
 (* --- check --------------------------------------------------------- *)
 
+(* Checking, inference and dispatch resolution all evaluate through
+   {!Session} one-shot helpers: the outcome structure, its text form
+   and its JSON payload live in lib/lang, shared verbatim with the repl
+   and the server's [eval] verb.  This command only maps outcomes to
+   the envelope/exit conventions. *)
+
 let check_cmd file json =
   setup "check" json;
-  match Elaborate.load (read_file file) with
-  | Error e ->
-      let msg = error_message ~file e in
-      if json then
-        finish `Findings
-          ~data:(J.Obj [ ("file", J.String file); ("error", J.String msg) ])
-      else begin
-        Fmt.epr "error: %s@." msg;
-        1
-      end
-  | Ok r -> (
-      (* Elaboration already validated the hierarchy and type-checked
-         the bodies; the remaining well-formedness hazard is two methods
-         of one generic function with identical signatures. *)
-      let issues =
-        (match Hierarchy.validate (Schema.hierarchy r.schema) with
-        | Ok () -> []
-        | Error e -> [ Error.message e ])
-        @ List.map
-            (fun i -> Fmt.str "%a" Static_check.pp_issue i)
-            (Static_check.duplicate_signatures r.schema)
-      in
-      let data () =
-        J.Obj
-          (("file", J.String file)
-          :: summary_fields r.schema
-          @ [ ("views",
-               J.List
-                 (List.map
-                    (fun (name, expr) ->
-                      J.Obj
-                        [ ("name", J.String name);
-                          ("expr", J.String (Fmt.str "%a" Tdp_algebra.View.pp_expr expr))
-                        ])
-                    r.views));
-              ("issues", J.List (List.map (fun i -> J.String i) issues))
-            ])
-      in
-      match issues with
-      | [] ->
-          if json then finish `Ok ~data:(data ())
-          else begin
-            summary r.schema;
-            List.iter
-              (fun (name, expr) ->
-                Fmt.pr "view %s = %a@." name Tdp_algebra.View.pp_expr expr)
-              r.views;
-            Fmt.pr "ok.@.";
-            0
-          end
-      | issues ->
-          if json then finish `Findings ~data:(data ())
-          else begin
-            List.iter (fun i -> Fmt.epr "error: %s: %s@." file i) issues;
-            1
-          end)
+  let o = Session.check_source ~file (read_file file) in
+  let status = if Session.failed o then `Findings else `Ok in
+  if json then finish status ~data:(Session.to_json o)
+  else begin
+    (match status with
+    | `Ok -> Fmt.pr "%s@." (Session.render o)
+    | _ -> Fmt.epr "%s@." (Session.render o));
+    exit_of status
+  end
 
 (* --- lint ---------------------------------------------------------- *)
 
@@ -229,91 +191,17 @@ let lint_cmd file json code =
 
 let infer_cmd file json =
   setup "infer" json;
-  let r = load file in
-  let program =
-    let seen = Hashtbl.create 16 in
-    List.map
-      (fun (name, expr) ->
-        let is_ref n = Hashtbl.mem seen (Type_name.to_string n) in
-        let node = Tdp_algebra.View.to_pipeline ~is_ref expr in
-        Hashtbl.replace seen name ();
-        (name, node))
-      r.views
-  in
-  let results =
-    List.map
-      (fun (name, res) ->
-        match res with
-        | Error e -> (name, `Solve e)
-        | Ok p -> (
-            match Infer.admits r.schema p with
-            | Ok () -> (name, `Admitted p)
-            | Error e -> (name, `Admit (p, e))))
-      (Infer.infer_program program)
-  in
-  let failed =
-    List.exists (fun (_, r) -> match r with `Admitted _ -> false | _ -> true) results
-  in
-  let status = if failed then `Findings else `Ok in
-  if json then
-    let row_json = function
-      | Infer.Exactly s -> ("exactly", s)
-      | Infer.At_least s -> ("at_least", s)
-    in
-    let set_json s =
-      J.List
-        (List.map (fun a -> J.String (Attr_name.to_string a)) (Attr_name.Set.elements s))
-    in
-    let principal_json (p : Infer.principal) =
-      let mode, s = row_json p.result in
-      [ ("result", J.Obj [ ("mode", J.String mode); ("attrs", set_json s) ]);
-        ("sources",
-         J.Obj
-           (List.map
-              (fun (t, req) -> (Type_name.to_string t, set_json req))
-              p.sources));
-        ("kinds",
-         J.Obj
-           (List.map
-              (fun (a, k) -> (Attr_name.to_string a, J.String (Tdp_infer.Kind.to_string k)))
-              p.kinds));
-        ("applies", J.List (List.map (fun g -> J.String g) p.gfs));
-        ("residuals", J.List (List.map (fun a -> J.String (Attr_name.to_string a)) p.residuals))
-      ]
-    in
-    let view_json (name, res) =
-      J.Obj
-        (("name", J.String name)
-        ::
-        (match res with
-        | `Admitted p -> ("status", J.String "ok") :: principal_json p
-        | `Admit (p, e) ->
-            ("status", J.String "not_instantiated")
-            :: ("error", J.String (Infer.error_message e))
-            :: principal_json p
-        | `Solve e ->
-            [ ("status", J.String "ill_typed");
-              ("error", J.String (Infer.error_message e))
-            ]))
-    in
-    finish status
-      ~data:
-        (J.Obj
-           [ ("file", J.String file); ("views", J.List (List.map view_json results)) ])
-  else begin
-    List.iter
-      (fun (name, res) ->
-        match res with
-        | `Admitted p ->
-            Fmt.pr "%a@.  instantiated by this schema@." Infer.pp_principal p
-        | `Admit (p, e) ->
-            Fmt.pr "%a@.  not instantiated: %s@." Infer.pp_principal p
-              (Infer.error_message e)
-        | `Solve e -> Fmt.pr "view %s : ill-typed@.  %s@." name (Infer.error_message e))
-      results;
-    if results = [] then Fmt.pr "no views declared.@.";
-    exit_of status
-  end
+  match Session.infer_source ~file (read_file file) with
+  (* an unparseable schema is a usage error here, as everywhere the
+     schema is an input rather than the thing under test *)
+  | Session.Diag _ as o -> die_msg (Session.render o)
+  | o ->
+      let status = if Session.failed o then `Findings else `Ok in
+      if json then finish status ~data:(Session.to_json o)
+      else begin
+        Fmt.pr "%s@." (Session.render o);
+        exit_of status
+      end
 
 (* --- apply --------------------------------------------------------- *)
 
@@ -445,66 +333,19 @@ let dispatch_cmd file apply_views gf args all json =
   let schema =
     if apply_views then fst (or_die (Elaborate.apply_views r)) else r.schema
   in
-  let d = Dispatch.create schema in
   let arg_types = List.map Type_name.of_string args in
-  let h = Schema.hierarchy schema in
-  List.iter
-    (fun ty_ -> if not (Hierarchy.mem h ty_) then die ~file (Error.Unknown_type ty_))
-    arg_types;
-  let call = Fmt.str "%s(%s)" gf (String.concat "," args) in
-  let base = [ ("file", J.String file); ("call", J.String call) ] in
-  match Dispatch.most_specific d ~gf ~arg_types with
-  | exception Dispatch.Ambiguous { gf; methods } ->
-      let names = List.map key_str methods in
-      if json then
-        finish `Findings
-          ~data:
-            (J.Obj
-               (base @ [ ("ambiguous", J.List (List.map (fun n -> J.String n) names)) ]))
+  match Session.resolve_call ~file schema ~gf ~arg_types ~chain:all with
+  (* an unknown argument type is a usage error (TDP051), like check's
+     and infer's unparseable schema *)
+  | Session.Diag _ as o -> die_msg (Session.render o)
+  | o ->
+      let status = if Session.failed o then `Findings else `Ok in
+      if json then finish status ~data:(Session.to_json o)
       else begin
-        Fmt.epr "error: call to %s is ambiguous between %s@." gf
-          (String.concat " and " names);
-        1
-      end
-  | None ->
-      if json then
-        finish `Findings ~data:(J.Obj (base @ [ ("selected", J.Null) ]))
-      else begin
-        Fmt.epr "error: %s: no applicable method for %s@." file call;
-        1
-      end
-  | Some m ->
-      let chain () =
-        List.map
-          (fun m ->
-            J.Obj
-              [ ("method", J.String (key_str (Method_def.key m)));
-                ("params",
-                 J.List
-                   (List.map
-                      (fun t -> J.String (Type_name.to_string t))
-                      (Signature.param_types (Method_def.signature m))))
-              ])
-          (Dispatch.applicable d ~gf ~arg_types)
-      in
-      if json then
-        finish `Ok
-          ~data:
-            (J.Obj
-               (base
-               @ [ ("selected", J.String (key_str (Method_def.key m))) ]
-               @ if all then [ ("chain", J.List (chain ())) ] else []))
-      else begin
-        Fmt.pr "%s -> %a@." call Method_def.Key.pp (Method_def.key m);
-        if all then
-          List.iteri
-            (fun i m ->
-              Fmt.pr "  %d. %a(%s)@." (i + 1) Method_def.Key.pp (Method_def.key m)
-                (String.concat ","
-                   (List.map Type_name.to_string
-                      (Signature.param_types (Method_def.signature m)))))
-            (Dispatch.applicable d ~gf ~arg_types);
-        0
+        (match status with
+        | `Ok -> Fmt.pr "%s@." (Session.render o)
+        | _ -> Fmt.epr "%s@." (Session.render o));
+        exit_of status
       end
 
 (* --- query --------------------------------------------------------- *)
@@ -821,6 +662,78 @@ let store_cmd action dir schema_file script_file json =
   | Database.Store_error m -> die_msg m
   | Dump.Parse_error { line; message } -> die_msg (Fmt.str "line %d: %s" line message)
   | Wal.Wal_error m -> die_msg m
+
+(* --- repl ----------------------------------------------------------- *)
+
+(* `odb repl TARGET` — the interactive statement language over either a
+   schema file (a fresh in-memory store, the file's views predefined)
+   or a store directory.  Directory recovery goes through
+   [Mvcc.recover_text] so transactional commits in txn.log are visible
+   too, not just wal.log state — the repl sees what `odb serve` would
+   serve.  Mutations stay in memory — durable writes go through
+   `odb connect` and the server's `eval` verb.  With --script the
+   input is replayed with prompts and lines echoed, so the transcript
+   is deterministic — the golden corpus under test/golden/repl/. *)
+
+let repl_session target =
+  if Sys.file_exists target && Sys.is_directory target then begin
+    let schema_path = Filename.concat target "schema.odb" in
+    if not (Sys.file_exists schema_path) then
+      die_msg (Fmt.str "%s not found (run odb store init first)" schema_path);
+    let schema =
+      (or_die ~file:schema_path (Elaborate.load (read_file schema_path))).Elaborate.schema
+    in
+    let contents name =
+      let f = Filename.concat target name in
+      if Sys.file_exists f then Some (read_file f) else None
+    in
+    let module M = Tdp_txn.Mvcc in
+    let o =
+      M.recover_text ~load_schema:store_schema_loader ~schema
+        ?snapshot:(contents "snapshot.dump") ?wal:(contents "wal.log")
+        ?txn:(contents "txn.log") ()
+    in
+    let db = M.to_database (M.head o.M.store ~branch:M.main_branch) in
+    Session.of_database ~file:target db
+  end
+  else begin
+    let r = or_die ~file:target (Elaborate.load (read_file target)) in
+    let s = Session.of_database ~file:target (Database.create r.Elaborate.schema) in
+    (try Session.install_views s r.Elaborate.views
+     with Error.E e -> die ~file:target e);
+    s
+  end
+
+let repl_cmd target script json =
+  setup "repl" json;
+  let session = try repl_session target with Database.Store_error m -> die_msg m in
+  match script with
+  | None ->
+      if json then
+        die_msg "--json requires --script FILE (an interactive repl has no envelope)";
+      Repl.run ~interactive:true session stdin stdout;
+      0
+  | Some f ->
+      if json then begin
+        let outcomes = Session.eval_string session (read_file f) in
+        let status =
+          if List.exists Session.failed outcomes then `Findings else `Ok
+        in
+        finish status
+          ~data:
+            (J.Obj
+               [ ("target", J.String target);
+                 ("script", J.String f);
+                 ("outcomes", J.List (List.map Session.to_json outcomes))
+               ])
+      end
+      else begin
+        let ic = open_in f in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> Repl.run ~echo:true session ic stdout);
+        0
+      end
 
 (* --- serve / connect ------------------------------------------------ *)
 
@@ -1310,6 +1223,29 @@ let infer_t =
   in
   Cmd.v (Cmd.info "infer" ~doc) Term.(const infer_cmd $ file_arg $ json_flag)
 
+let repl_t =
+  let doc =
+    "Run the interactive statement language (docs/language.md) over TARGET: \
+     a schema file (fresh in-memory store, the file's views predefined) or \
+     a store directory (the recovered snapshot+WAL state; mutations stay in \
+     memory).  Reads statements from stdin with line editing and multi-line \
+     continuation; with --script, replays FILE with prompts and input \
+     echoed so the transcript is deterministic."
+  in
+  let target =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TARGET" ~doc:"Schema file or store directory.")
+  in
+  let script =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "script" ] ~docv:"FILE" ~doc:"Replay statements from FILE instead of stdin.")
+  in
+  Cmd.v (Cmd.info "repl" ~doc) Term.(const repl_cmd $ target $ script $ json_flag)
+
 let apply_t =
   let doc = "Derive every declared view, refactoring the hierarchy." in
   let collapse =
@@ -1639,9 +1575,9 @@ let main =
   let doc = "type derivation using the projection operation (Agrawal & DeMichiel, 1994)" in
   Cmd.group
     (Cmd.info "odb" ~version:"1.0.0" ~doc)
-    [ check_t; lint_t; infer_t; apply_t; methods_t; dispatch_t; query_t;
-      store_t; serve_t; connect_t; replicate_t; promote_t; route_t; dot_t;
-      stats_t ]
+    [ check_t; lint_t; infer_t; repl_t; apply_t; methods_t; dispatch_t;
+      query_t; store_t; serve_t; connect_t; replicate_t; promote_t; route_t;
+      dot_t; stats_t ]
 
 (* CLI boundary: domain failures that escape a subcommand — any
    structured [Error.E] a command did not turn into a result — are

@@ -157,6 +157,12 @@ let rec flatten = function
       | None -> None)
   | Generalize _ | Join _ -> None
 
+let rec has_join = function
+  | Base _ -> false
+  | Project (e, _) | Select (e, _) -> has_join e
+  | Generalize (a, b) -> has_join a || has_join b
+  | Join _ -> true
+
 let rec instances db expr =
   match flatten expr with
   | Some (n, None) -> Tdp_store.Database.extent db n

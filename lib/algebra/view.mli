@@ -52,6 +52,11 @@ val derive :
   expr ->
   (outcome, Error.t) Stdlib.result
 
+(** Does the expression contain a [Join] anywhere?  Such views have no
+    identity extent ({!instances} raises on them); callers that want a
+    structured error instead of an exception pre-check with this. *)
+val has_join : expr -> bool
+
 (** View instances with identity semantics (projection keeps OIDs,
     selection filters).
     @raise Error.E on a [Join] view: a join instance is a {e pair} of

@@ -41,7 +41,14 @@ let codes : (string * Diagnostic.severity * string) list =
     ("TDP041", Error, "pipeline requires an attribute its row can never carry");
     ("TDP042", Error, "join operands are related in every instantiation");
     ("TDP043", Error, "predicate comparisons over an attribute are unsatisfiable");
-    ("TDP044", Error, "views constrain a shared attribute incompatibly")
+    ("TDP044", Error, "views constrain a shared attribute incompatibly");
+    ("TDP050", Error, "statement failed to parse");
+    ("TDP051", Error, "statement references an unknown relvar or type");
+    ("TDP052", Error, "view or binding name is already defined");
+    ("TDP053", Error, "statement is ill-typed");
+    ("TDP054", Error, "join views have no identity extent");
+    ("TDP055", Error, "statement failed at the store");
+    ("TDP056", Error, "declaration not executable in an interactive session")
   ]
 
 let severity_of code =

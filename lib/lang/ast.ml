@@ -64,3 +64,26 @@ type item_desc =
 
 type item = { pos : pos; desc : item_desc }
 type program = item list
+
+(* Interactive statements (the `odb repl` / Session surface).  A schema
+   file is the special case where every statement is an SDecl. *)
+
+type svalue = SVLit of slit | SVNull | SVRef of int | SVDate of int
+
+type stmt_desc =
+  | SDecl of item_desc
+  | SLet of { var : string; expr : sview }
+  | SDefine of { name : string; expr : sview }
+  | SDrop of string
+  | SCallOn of { gf : string; expr : sview }
+  | SNew of { ty : string; inits : (string * svalue) list }
+  | SSet of { oid : int; updates : (string * svalue) list }
+  | SDelete of { oid : int; policy : [ `Restrict | `Nullify ] }
+  | SShow of sview
+  | SType of sview
+  | SExtent of sview
+  | SViews
+  | SSchema
+  | SQuit
+
+type stmt = { spos : pos; sdesc : stmt_desc }

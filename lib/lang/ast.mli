@@ -68,3 +68,38 @@ type item_desc =
 
 type item = { pos : pos; desc : item_desc }
 type program = item list
+
+(** Interactive statements (the [odb repl] / {!Session} surface).  A
+    schema file is the special case where every statement is an
+    {!SDecl}. *)
+
+(** An attribute value in [new]/[set] field lists: a literal, [null],
+    an object reference [#N], or a date literal [year(N)] (the same
+    form extents print). *)
+type svalue = SVLit of slit | SVNull | SVRef of int | SVDate of int
+
+type stmt_desc =
+  | SDecl of item_desc  (** a schema declaration used as a statement *)
+  | SLet of { var : string; expr : sview }
+      (** [let v = <view-expr>;] — session-local binding *)
+  | SDefine of { name : string; expr : sview }
+      (** [define view N = <view-expr>;] — catalog definition *)
+  | SDrop of string  (** [drop view N;] *)
+  | SCallOn of { gf : string; expr : sview }
+      (** [call gf on <view-expr>;] — apply a generic function to every
+          instance of the view *)
+  | SNew of { ty : string; inits : (string * svalue) list }
+      (** [new T { attr = value; ... }] *)
+  | SSet of { oid : int; updates : (string * svalue) list }
+      (** [set #n { attr = value; ... }] *)
+  | SDelete of { oid : int; policy : [ `Restrict | `Nullify ] }
+      (** [del #n;] / [del #n nullify;] *)
+  | SShow of sview  (** [:show <view-expr>] — print the resolved algebra *)
+  | SType of sview  (** [:type <view-expr>] — print the principal schema *)
+  | SExtent of sview
+      (** [:extent <view-expr>], also a bare [<view-expr>;] statement *)
+  | SViews  (** [:views] *)
+  | SSchema  (** [:schema] *)
+  | SQuit  (** [:quit] *)
+
+type stmt = { spos : pos; sdesc : stmt_desc }

@@ -196,12 +196,34 @@ let elaborate_gen ~check items =
 
 let elaborate_exn items = elaborate_gen ~check:true items
 let elaborate items = Error.guard (fun () -> elaborate_exn items)
+let program = elaborate
 
-let load_exn src = elaborate_exn (Parser.parse_string src)
+(* A schema file is the statement sequence where every statement is a
+   declaration; anything else is rejected with its position. *)
+let items_of_stmts stmts =
+  List.map
+    (fun (s : Ast.stmt) ->
+      match s.sdesc with
+      | SDecl desc -> { pos = s.spos; desc }
+      | _ ->
+          Error.raise_
+            (Parse_error
+               { line = s.spos.line;
+                 col = s.spos.col;
+                 message = "only declarations are allowed in a schema file"
+               }))
+    stmts
+
+let load_exn src = elaborate_exn (items_of_stmts (Parser.parse_stmts_string src))
 let load src = Error.guard (fun () -> load_exn src)
 
 let load_unchecked src =
-  Error.guard (fun () -> elaborate_gen ~check:false (Parser.parse_string src))
+  Error.guard (fun () ->
+      elaborate_gen ~check:false (items_of_stmts (Parser.parse_stmts_string src)))
+
+let view_expr = elab_view
+let pred = elab_pred
+let literal = elab_lit
 
 (* Apply every declared view in order; returns the final schema and the
    derived type of each view. *)

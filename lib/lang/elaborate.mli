@@ -20,8 +20,16 @@ val elaborate_exn : Ast.program -> result_
 
 val elaborate : Ast.program -> (result_, Error.t) result
 
-(** Parse and elaborate a source string.  Elaboration failures carry the
-    source position of the offending declaration ({!Error.At}). *)
+val program : Ast.program -> (result_, Error.t) result
+  [@@ocaml.deprecated "use Elaborate.elaborate"]
+(** Deprecated alias of {!elaborate}, kept for callers that predate the
+    statement grammar. *)
+
+(** Parse and elaborate a source string.  Since the statement grammar
+    subsumes the schema grammar, this parses the source as a statement
+    sequence and requires every statement to be a declaration;
+    elaboration failures carry the source position of the offending
+    declaration ({!Error.At}). *)
 val load_exn : string -> result_
 
 val load : string -> (result_, Error.t) result
@@ -39,3 +47,11 @@ val apply_views_exn : ?check:bool -> result_ -> Schema.t * (string * Type_name.t
 
 val apply_views :
   ?check:bool -> result_ -> (Schema.t * (string * Type_name.t) list, Error.t) result
+
+(** Elaborate a single surface view expression (resolution of names
+    against a catalog or hierarchy is the caller's business — see
+    {!Session}). *)
+val view_expr : Ast.sview -> Tdp_algebra.View.expr
+
+val pred : Ast.spred -> Tdp_algebra.Pred.t
+val literal : Ast.slit -> Tdp_core.Body.literal

@@ -413,3 +413,197 @@ let parse_string src =
   program st
 
 let parse src = Error.guard (fun () -> parse_string src)
+
+(* ------------------------------------------------------------------ *)
+(* Interactive statements                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The statement keywords (let/define/drop/call/new/set/del) are
+   contextual: they stay plain identifiers in the lexer so existing
+   schemas that use them as attribute or type names keep parsing.  A
+   two-token lookahead disambiguates them from a bare view expression
+   starting with the same identifier. *)
+
+let looking_at2 st p =
+  match st.toks with _ :: (t2 : Lexer.spanned) :: _ -> p t2.token | _ -> false
+
+let svalue st =
+  let t = peek st in
+  match t.token with
+  | KW "null" ->
+      advance st;
+      SVNull
+  | HASH -> (
+      advance st;
+      let t2 = next st in
+      match t2.token with
+      | INT i -> SVRef i
+      | tok ->
+          error t2 "expected an object id after '#', found %s"
+            (Lexer.token_to_string tok))
+  | IDENT "year" when looking_at2 st (fun t -> t = Lexer.LPAREN) -> (
+      advance st;
+      expect st LPAREN;
+      let t2 = next st in
+      match t2.token with
+      | INT y ->
+          expect st RPAREN;
+          SVDate y
+      | tok ->
+          error t2 "expected a year inside year(...), found %s"
+            (Lexer.token_to_string tok))
+  | _ -> SVLit (literal st)
+
+(* [{ attr = value; ... }] — shared by [new] and [set].  A trailing ';'
+   after the closing brace is accepted but not required, mirroring how
+   declarations with bodies terminate. *)
+let field_list st =
+  expect st LBRACE;
+  let fields = ref [] in
+  while (peek st).token <> Lexer.RBRACE do
+    let a = ident st in
+    expect st EQUALS;
+    let v = svalue st in
+    (* fields separate with ';'; the one before '}' may omit it *)
+    if (peek st).token <> Lexer.RBRACE then expect st SEMI;
+    fields := (a, v) :: !fields
+  done;
+  expect st RBRACE;
+  ignore (accept st SEMI);
+  List.rev !fields
+
+let oid_ref st =
+  expect st HASH;
+  let t = next st in
+  match t.token with
+  | INT i -> i
+  | tok ->
+      error t "expected an object id after '#', found %s"
+        (Lexer.token_to_string tok)
+
+let colon_command st =
+  advance st;
+  (* COLON *)
+  let t = next st in
+  match t.token with
+  | IDENT "show" -> SShow (view_expr st)
+  | KW "type" -> SType (view_expr st)
+  | IDENT "extent" -> SExtent (view_expr st)
+  | IDENT "views" -> SViews
+  | IDENT "schema" -> SSchema
+  | IDENT "quit" -> SQuit
+  | tok ->
+      error t
+        "unknown command %s (expected :show, :type, :extent, :views, :schema \
+         or :quit)"
+        (Lexer.token_to_string tok)
+
+let stmt_desc_top st =
+  let t = peek st in
+  match t.token with
+  | KW "type" | KW "reader" | KW "writer" | KW "method" | KW "view" ->
+      SDecl (item_desc st)
+  | COLON -> colon_command st
+  | IDENT "let"
+    when looking_at2 st (function Lexer.IDENT _ -> true | _ -> false) ->
+      advance st;
+      let var = ident st in
+      expect st EQUALS;
+      let e = view_expr st in
+      expect st SEMI;
+      SLet { var; expr = e }
+  | IDENT "define" when looking_at2 st (fun tok -> tok = Lexer.KW "view") ->
+      advance st;
+      kw st "view";
+      let name = ident st in
+      expect st EQUALS;
+      let e = view_expr st in
+      expect st SEMI;
+      SDefine { name; expr = e }
+  | IDENT "drop" when looking_at2 st (fun tok -> tok = Lexer.KW "view") ->
+      advance st;
+      kw st "view";
+      let name = ident st in
+      expect st SEMI;
+      SDrop name
+  | IDENT "call"
+    when looking_at2 st (function Lexer.IDENT _ -> true | _ -> false) ->
+      advance st;
+      let gf = ident st in
+      kw st "on";
+      let e = view_expr st in
+      expect st SEMI;
+      SCallOn { gf; expr = e }
+  | IDENT "new"
+    when looking_at2 st (function Lexer.IDENT _ -> true | _ -> false) ->
+      advance st;
+      let ty = ident st in
+      let inits = field_list st in
+      SNew { ty; inits }
+  | IDENT "set" when looking_at2 st (fun tok -> tok = Lexer.HASH) ->
+      advance st;
+      let oid = oid_ref st in
+      let updates = field_list st in
+      SSet { oid; updates }
+  | IDENT "del" when looking_at2 st (fun tok -> tok = Lexer.HASH) ->
+      advance st;
+      let oid = oid_ref st in
+      let policy =
+        match (peek st).token with
+        | IDENT "nullify" ->
+            advance st;
+            `Nullify
+        | IDENT "restrict" ->
+            advance st;
+            `Restrict
+        | _ -> `Restrict
+      in
+      expect st SEMI;
+      SDelete { oid; policy }
+  | _ ->
+      let e = view_expr st in
+      expect st SEMI;
+      SExtent e
+
+let stmt_top st =
+  let t = peek st in
+  let spos = { Ast.line = t.line; col = t.col } in
+  { Ast.spos; sdesc = stmt_desc_top st }
+
+let stmts st =
+  let out = ref [] in
+  while (peek st).token <> Lexer.EOF do
+    if accept st SEMI then () (* tolerate stray semicolons *)
+    else out := stmt_top st :: !out
+  done;
+  List.rev !out
+
+let parse_stmts_string src =
+  let st =
+    { toks = Lexer.tokenize src;
+      last = { Lexer.token = Lexer.EOF; line = 1; col = 1 }
+    }
+  in
+  stmts st
+
+let parse_stmts src = Error.guard (fun () -> parse_stmts_string src)
+
+(* A parse error positioned exactly at the EOF token means more input
+   could still complete the statement — the repl keeps buffering.  Any
+   error strictly before EOF (or a lexer error) is a hard failure. *)
+let parse_stmts_partial src =
+  match Error.guard (fun () -> Lexer.tokenize src) with
+  | Error e -> `Fail e
+  | Ok toks -> (
+      let eof_pos =
+        List.fold_left
+          (fun acc (t : Lexer.spanned) ->
+            match t.token with Lexer.EOF -> Some (t.line, t.col) | _ -> acc)
+          None toks
+      in
+      let st = { toks; last = { Lexer.token = Lexer.EOF; line = 1; col = 1 } } in
+      match Error.guard (fun () -> stmts st) with
+      | Ok ss -> `Stmts ss
+      | Error (Error.Parse_error { line; col; _ } as e) ->
+          if eof_pos = Some (line, col) then `Incomplete else `Fail e
+      | Error e -> `Fail e)

@@ -8,3 +8,23 @@
 val parse_string : string -> Ast.program
 
 val parse : string -> (Ast.program, Tdp_core.Error.t) result
+
+(** {1 Interactive statements}
+
+    The statement grammar (see docs/language.md) is a superset of the
+    schema grammar: every declaration is a statement, and the
+    interactive forms ([let], [define view], [call … on], [new]/[set]/
+    [del], bare view expressions and [:]-commands) ride on top.  The
+    statement keywords are contextual identifiers, so existing schemas
+    that use them as names keep parsing. *)
+
+(** @raise Error.E [Parse_error] with position information. *)
+val parse_stmts_string : string -> Ast.stmt list
+
+val parse_stmts : string -> (Ast.stmt list, Tdp_core.Error.t) result
+
+val parse_stmts_partial :
+  string -> [ `Stmts of Ast.stmt list | `Incomplete | `Fail of Tdp_core.Error.t ]
+(** Like {!parse_stmts}, but a parse error positioned at end-of-input is
+    reported as [`Incomplete] — more input may complete the statement —
+    which is what drives the repl's multi-line continuation. *)

@@ -1,0 +1,52 @@
+(* The line-oriented driver shared by [odb repl] (interactive and
+   --script) and the in-process differential tests.  Lines accumulate
+   until they parse as complete statements ([Stmt.parse_partial]); a
+   hard parse error renders as a TDP050 diagnostic and clears the
+   buffer — the repl recovers and keeps reading. *)
+
+let prompt_main = "odb> "
+let prompt_cont = "...> "
+
+let run ?(echo = false) ?(interactive = false) session ic oc =
+  let buf = Buffer.create 256 in
+  let out s =
+    output_string oc s;
+    output_string oc "\n"
+  in
+  let quit = ref false in
+  let emit o =
+    if not !quit then begin
+      out (Session.render o);
+      match o with Session.Bye -> quit := true | _ -> ()
+    end
+  in
+  (try
+     while not !quit do
+       let p = if Buffer.length buf = 0 then prompt_main else prompt_cont in
+       if interactive && not echo then begin
+         output_string oc p;
+         flush oc
+       end;
+       let line = input_line ic in
+       if echo then out (p ^ line);
+       Buffer.add_string buf line;
+       Buffer.add_char buf '\n';
+       match Stmt.parse_partial (Buffer.contents buf) with
+       | `Incomplete -> () (* keep buffering; the prompt shows it *)
+       | `Fail e ->
+           Buffer.clear buf;
+           out (Session.render (Session.Diag (Session.parse_error e)))
+       | `Stmts stmts ->
+           Buffer.clear buf;
+           List.iter (fun s -> if not !quit then emit (Session.eval session s)) stmts;
+           if interactive then flush oc
+     done
+   with End_of_file ->
+     (* input ended mid-statement: report what the buffer holds *)
+     if Buffer.length buf > 0 then begin
+       match Stmt.parse (Buffer.contents buf) with
+       | Ok stmts ->
+           List.iter (fun s -> if not !quit then emit (Session.eval session s)) stmts
+       | Error e -> out (Session.render (Session.Diag (Session.parse_error e)))
+     end);
+  flush oc

@@ -1,0 +1,17 @@
+(** The read-eval-print loop over a {!Session}.
+
+    Reads statements from a channel, accumulating lines until they
+    parse completely (multi-line continuation), evaluates them, and
+    prints {!Session.render} of each outcome — one canonical text form,
+    shared with the server's [eval] verb.  Parse failures render as
+    TDP050 diagnostics and the loop recovers.  Returns on [:quit] or
+    end of input.
+
+    Flags: [interactive] writes a prompt ([odb> ] / [...> ] while
+    continuing) before each read; [echo] instead prints prompt and
+    input line to the output — how [--script] replays produce
+    deterministic transcripts (the golden corpus under
+    test/golden/repl/). *)
+
+val run :
+  ?echo:bool -> ?interactive:bool -> Session.t -> in_channel -> out_channel -> unit

@@ -1,0 +1,132 @@
+open Ast
+
+type t = Ast.stmt
+
+let parse_string = Parser.parse_stmts_string
+let parse = Parser.parse_stmts
+let parse_partial = Parser.parse_stmts_partial
+
+(* Positions do not participate in equality: the print∘parse round
+   trip reparses printed statements at fresh positions. *)
+let equal (a : t) (b : t) = a.sdesc = b.sdesc
+
+(* ------------------------------------------------------------------ *)
+(* Surface printer.  [parse_string (to_string s)] reproduces [s] up to
+   positions (tested as a QCheck property); the declaration cases
+   mirror {!Printer}, which prints the {e elaborated} forms.           *)
+(* ------------------------------------------------------------------ *)
+
+let pp_float ppf f =
+  let s = Fmt.str "%.12g" f in
+  if String.contains s '.' || String.contains s 'e' then Fmt.string ppf s
+  else Fmt.pf ppf "%s.0" s
+
+let pp_slit ppf = function
+  | LInt i -> Fmt.int ppf i
+  | LFloat f -> pp_float ppf f
+  | LString s -> Fmt.pf ppf "%S" s
+  | LBool b -> Fmt.bool ppf b
+
+let rec pp_spred ppf = function
+  | PCmp (attr, op, lit) -> Fmt.pf ppf "%s %s %a" attr op pp_slit lit
+  | PAnd (a, b) -> Fmt.pf ppf "(%a and %a)" pp_spred a pp_spred b
+  | POr (a, b) -> Fmt.pf ppf "(%a or %a)" pp_spred a pp_spred b
+  | PNot a -> Fmt.pf ppf "(not %a)" pp_spred a
+
+let rec pp_view ppf = function
+  | VBase n -> Fmt.string ppf n
+  | VProject (e, attrs) ->
+      Fmt.pf ppf "project %a on [%a]" pp_view e
+        Fmt.(list ~sep:comma string)
+        attrs
+  | VSelect (e, p) -> Fmt.pf ppf "select %a where %a" pp_view e pp_spred p
+  | VGeneralize (a, b) -> Fmt.pf ppf "generalize %a with %a" pp_view a pp_view b
+  | VJoin (a, b) -> Fmt.pf ppf "join %a with %a" pp_view a pp_view b
+
+let pp_svalue ppf = function
+  | SVLit l -> pp_slit ppf l
+  | SVNull -> Fmt.string ppf "null"
+  | SVRef n -> Fmt.pf ppf "#%d" n
+  | SVDate y -> Fmt.pf ppf "year(%d)" y
+
+let surface_op = function "=" -> "==" | op -> op
+
+let rec pp_sexpr ppf = function
+  | EInt i -> Fmt.int ppf i
+  | EFloat f -> pp_float ppf f
+  | EString s -> Fmt.pf ppf "%S" s
+  | EBool b -> Fmt.bool ppf b
+  | ENull -> Fmt.string ppf "null"
+  | EVar x -> Fmt.string ppf x
+  | EApp (f, args) -> Fmt.pf ppf "%s(%a)" f Fmt.(list ~sep:comma pp_sexpr) args
+  | EBin (op, a, b) ->
+      Fmt.pf ppf "(%a %s %a)" pp_sexpr a (surface_op op) pp_sexpr b
+  | ENot a -> Fmt.pf ppf "(not %a)" pp_sexpr a
+
+let rec pp_sstmt ppf = function
+  | SLocal { var; ty; init = None } -> Fmt.pf ppf "var %s : %s;" var ty
+  | SLocal { var; ty; init = Some e } ->
+      Fmt.pf ppf "var %s : %s := %a;" var ty pp_sexpr e
+  | SAssign (x, e) -> Fmt.pf ppf "%s := %a;" x pp_sexpr e
+  | SExpr e -> Fmt.pf ppf "%a;" pp_sexpr e
+  | SReturn None -> Fmt.string ppf "return;"
+  | SReturn (Some e) -> Fmt.pf ppf "return %a;" pp_sexpr e
+  | SIf (c, t, []) -> Fmt.pf ppf "@[<v 2>if %a {@ %a@]@ }" pp_sexpr c pp_body t
+  | SIf (c, t, e) ->
+      Fmt.pf ppf "@[<v 2>if %a {@ %a@]@ @[<v 2>} else {@ %a@]@ }" pp_sexpr c
+        pp_body t pp_body e
+  | SWhile (c, b) -> Fmt.pf ppf "@[<v 2>while %a {@ %a@]@ }" pp_sexpr c pp_body b
+
+and pp_body ppf stmts = Fmt.(list ~sep:(any "@ ") pp_sstmt) ppf stmts
+
+let pp_item ppf = function
+  | IType { name; supers; attrs } -> (
+      let pp_super ppf (s, p) = Fmt.pf ppf "%s(%d)" s p in
+      let pp_attr ppf (a, ty) = Fmt.pf ppf "%s : %s;" a ty in
+      match (supers, attrs) with
+      | [], [] -> Fmt.pf ppf "type %s {}" name
+      | supers, attrs ->
+          Fmt.pf ppf "@[<v 2>type %s%a {@ %a@]@ }" name
+            (fun ppf -> function
+              | [] -> ()
+              | ss -> Fmt.pf ppf " : %a" Fmt.(list ~sep:comma pp_super) ss)
+            supers
+            Fmt.(list ~sep:(any "@ ") pp_attr)
+            attrs)
+  | IAccessor { kind; gf; id; param; on; attr } ->
+      let tag = if String.equal gf id then gf else Fmt.str "%s#%s" gf id in
+      Fmt.pf ppf "%s %s(%s : %s) -> %s;"
+        (match kind with `Reader -> "reader" | `Writer -> "writer")
+        tag param on attr
+  | IMethod { gf; id; params; result; body } ->
+      let tag = if String.equal gf id then gf else Fmt.str "%s#%s" gf id in
+      let pp_param ppf (x, ty) = Fmt.pf ppf "%s : %s" x ty in
+      Fmt.pf ppf "@[<v 2>method %s(%a)%a {@ %a@]@ }" tag
+        Fmt.(list ~sep:comma pp_param)
+        params
+        (fun ppf -> function None -> () | Some r -> Fmt.pf ppf " : %s" r)
+        result pp_body body
+  | IView { name; expr } -> Fmt.pf ppf "view %s = %a;" name pp_view expr
+
+let pp_fields ppf fields =
+  List.iter (fun (a, v) -> Fmt.pf ppf " %s = %a;" a pp_svalue v) fields
+
+let pp_desc ppf = function
+  | SDecl d -> pp_item ppf d
+  | SLet { var; expr } -> Fmt.pf ppf "let %s = %a;" var pp_view expr
+  | SDefine { name; expr } -> Fmt.pf ppf "define view %s = %a;" name pp_view expr
+  | SDrop name -> Fmt.pf ppf "drop view %s;" name
+  | SCallOn { gf; expr } -> Fmt.pf ppf "call %s on %a;" gf pp_view expr
+  | SNew { ty; inits } -> Fmt.pf ppf "new %s {%a }" ty pp_fields inits
+  | SSet { oid; updates } -> Fmt.pf ppf "set #%d {%a }" oid pp_fields updates
+  | SDelete { oid; policy = `Restrict } -> Fmt.pf ppf "del #%d;" oid
+  | SDelete { oid; policy = `Nullify } -> Fmt.pf ppf "del #%d nullify;" oid
+  | SShow v -> Fmt.pf ppf ":show %a" pp_view v
+  | SType v -> Fmt.pf ppf ":type %a" pp_view v
+  | SExtent v -> Fmt.pf ppf ":extent %a" pp_view v
+  | SViews -> Fmt.string ppf ":views"
+  | SSchema -> Fmt.string ppf ":schema"
+  | SQuit -> Fmt.string ppf ":quit"
+
+let pp ppf (s : t) = pp_desc ppf s.sdesc
+let to_string s = Fmt.str "%a" pp s

@@ -1,0 +1,35 @@
+(** Statements of the interactive data language.
+
+    One statement is one unit of repl input: a schema declaration, a
+    binding ([let] / [define view] / [drop view]), a data operation
+    ([new] / [set] / [del] / [call … on]), a bare view expression
+    (shorthand for [:extent]), or a [:]-command.  The grammar is a
+    strict superset of the schema-file grammar — see docs/language.md.
+
+    This module is the surface layer: parsing and printing.  Evaluation
+    lives in {!Session}. *)
+
+type t = Ast.stmt
+
+(** @raise Tdp_core.Error.E [Parse_error] with position information. *)
+val parse_string : string -> t list
+
+val parse : string -> (t list, Tdp_core.Error.t) result
+
+val parse_partial :
+  string -> [ `Stmts of t list | `Incomplete | `Fail of Tdp_core.Error.t ]
+(** Like {!parse}, but a parse error positioned at end-of-input reports
+    [`Incomplete]: more input may complete the statement.  Drives the
+    repl's multi-line continuation. *)
+
+(** Structural equality, ignoring source positions. *)
+val equal : t -> t -> bool
+
+(** Print back to the surface syntax: [parse_string (to_string s)]
+    reproduces [s] up to positions (a tested round-trip property). *)
+val pp : t Fmt.t
+
+val to_string : t -> string
+
+(** The surface view-expression printer, shared with {!pp}. *)
+val pp_view : Ast.sview Fmt.t

@@ -18,6 +18,9 @@ module Replica = Tdp_replica.Replica
 module Router = Tdp_replica.Router
 module Catalog = Tdp_algebra.Catalog
 module Evolution = Tdp_algebra.Evolution
+module Stmt = Tdp_lang.Stmt
+module Session = Tdp_lang.Session
+module Repl = Tdp_lang.Repl
 module Lint = Tdp_analysis.Lint
 module Infer = Tdp_infer.Infer
 module Pipeline = Tdp_infer.Pipeline

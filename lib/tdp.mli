@@ -27,7 +27,9 @@
       OID-range shard router;
     - {!Catalog}, {!Evolution} — the view algebra;
     - {!Infer}, {!Pipeline} — principal-type inference for pipelines;
-    - {!Lint} — static analysis of schema sources. *)
+    - {!Lint} — static analysis of schema sources;
+    - {!Stmt}, {!Session}, {!Repl} — the interactive data language
+      ([odb repl], the server's [eval] verb). *)
 
 (** Structured errors shared by every [( _, Error.t) result] below. *)
 module Error = Tdp_core.Error
@@ -87,6 +89,17 @@ module Catalog = Tdp_algebra.Catalog
 
 (** Schema evolution with per-view impact reports. *)
 module Evolution = Tdp_algebra.Evolution
+
+(** Statements of the interactive data language: parsing and
+    printing. *)
+module Stmt = Tdp_lang.Stmt
+
+(** Stateful statement evaluation over a store, with structured
+    outcomes and one canonical rendering. *)
+module Session = Tdp_lang.Session
+
+(** The read-eval-print loop over a {!Session} ([odb repl]). *)
+module Repl = Tdp_lang.Repl
 
 (** Schema and method-body linting with structured diagnostics. *)
 module Lint = Tdp_analysis.Lint

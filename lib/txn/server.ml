@@ -60,6 +60,7 @@ type request =
   | Fork of string * string option
   | Seq
   | Lag
+  | Eval of string
   | Quit
 
 let parse_fail fmt =
@@ -119,6 +120,10 @@ let parse_request line : request =
   | [ "fork"; br; from_ ] -> Fork (branch_of_token br, Some (branch_of_token from_))
   | [ "seq" ] -> Seq
   | [ "lag" ] -> Lag
+  | [ "eval"; quoted ] -> (
+      match Dump.value_of_string 0 quoted with
+      | String source -> Eval source
+      | _ -> parse_fail "eval takes a quoted statement source")
   | [ "quit" ] | [ "bye" ] -> Quit
   | verb :: _ -> parse_fail "unknown command %s" verb
   | [] -> parse_fail "empty command"
@@ -140,10 +145,14 @@ type session = {
   smode : mode;
   mutable sbranch : string;
   mutable txn : Mvcc.txn option;
+  mutable lang : Tdp_lang.Session.t option;
+      (* the statement-language session behind the [eval] verb, built
+         lazily on first use and kept for the connection's lifetime
+         (its catalog and [let] bindings are session state) *)
 }
 
 let session ?(mode = Read_write) ~store () =
-  { store; smode = mode; sbranch = Mvcc.main_branch; txn = None }
+  { store; smode = mode; sbranch = Mvcc.main_branch; txn = None; lang = None }
 
 (* The overlay inside a transaction, the branch head outside. *)
 let read_snapshot s =
@@ -161,6 +170,67 @@ let abort_open s reason =
   | Some t when Mvcc.state t = Mvcc.Open -> Mvcc.abort ~reason t
   | _ -> ()
 
+(* ---- the eval verb ------------------------------------------------- *)
+
+(* [eval] runs statements of the interactive data language
+   (Tdp_lang.Stmt) against this session's view of the store: reads see
+   the transaction overlay when one is open and the branch head
+   otherwise (exactly like [get]/[extent]); writes stage through the
+   open transaction and fail with a structured TDP055 diagnostic when
+   none is open.  Method calls run on a scratch materialization of the
+   read snapshot with a journal attached; any ops the method performs
+   are replayed into the open transaction, so a mutating method outside
+   a transaction changes nothing and reports the failure. *)
+
+let replay_op t (op : Database.op) =
+  match op with
+  | Database.Op_new { oid; ty; init } ->
+      let oid' = Mvcc.new_object t ty ~init in
+      if not (Oid.equal oid oid') then
+        raise
+          (Database.Store_error
+             (Fmt.str "method replay allocated #%d where the call saw #%d"
+                (Oid.to_int oid') (Oid.to_int oid)))
+  | Database.Op_set { oid; attr; value } -> Mvcc.set_attr t oid attr value
+  | Database.Op_delete { oid; policy } -> Mvcc.delete t ~policy oid
+  | Database.Op_set_schema { source } -> Mvcc.set_schema t ~source
+
+let eval_call s gf args =
+  let db = Mvcc.to_database (read_snapshot s) in
+  let ops = ref [] in
+  Database.set_journal db (Some (fun op -> ops := op :: !ops));
+  let result = Tdp_store.Interp.call (Tdp_store.Interp.create db) gf args in
+  Database.set_journal db None;
+  (match List.rev !ops with
+  | [] -> ()
+  | ops ->
+      (* mutating method: persist its effects or fail having changed
+         nothing (the scratch database is discarded either way) *)
+      let t = open_txn s in
+      List.iter (replay_op t) ops);
+  result
+
+let lang_ops s : Tdp_lang.Session.store_ops =
+  { s_schema = (fun () -> Mvcc.schema (read_snapshot s));
+    s_extent = (fun ty -> Mvcc.extent (read_snapshot s) ty);
+    s_type_of = (fun oid -> Mvcc.type_of (read_snapshot s) oid);
+    s_get = (fun oid attr -> Mvcc.get_attr (read_snapshot s) oid attr);
+    s_count = (fun () -> Mvcc.count (read_snapshot s));
+    s_new = (fun ty init -> Mvcc.new_object (open_txn s) ty ~init);
+    s_set = (fun oid attr v -> Mvcc.set_attr (open_txn s) oid attr v);
+    s_del = (fun oid policy -> Mvcc.delete (open_txn s) ~policy oid);
+    s_call = (fun gf args -> eval_call s gf args);
+    s_instances = None
+  }
+
+let lang_session s =
+  match s.lang with
+  | Some l -> l
+  | None ->
+      let l = Tdp_lang.Session.create (lang_ops s) in
+      s.lang <- Some l;
+      l
+
 let refuse_verb (req : request) =
   match req with
   | Begin _ -> Some "begin"
@@ -171,8 +241,10 @@ let refuse_verb (req : request) =
   | Del _ -> Some "del"
   | Schema _ -> Some "schema"
   | Fork _ -> Some "fork"
+  (* [eval] is read-only-safe on a replica: its mutating statements all
+     need an open transaction, and [begin] is refused above *)
   | Hello | Ping | Get _ | Typeof _ | Extent _ | Count | Version | Branches
-  | Branch _ | Seq | Lag | Quit ->
+  | Branch _ | Seq | Lag | Eval _ | Quit ->
       None
 
 (* One request -> one response line (no trailing newline).  [Quit] is
@@ -264,6 +336,16 @@ let respond s (req : request) =
         match s.smode with Read_only ri -> ri.ri_lag () | Read_write -> (0, 0)
       in
       Fmt.str "ok wal %d txn %d" wal txn
+  | Eval source ->
+      (* same outcomes and rendering as [odb repl]; statement-level
+         failures are part of the payload (the session survives), and
+         the whole response is [err] iff any statement failed *)
+      let outcomes = Tdp_lang.Session.eval_string (lang_session s) source in
+      let text =
+        String.concat "\n" (List.map Tdp_lang.Session.render outcomes)
+      in
+      if List.exists Tdp_lang.Session.failed outcomes then Fmt.str "err %S" text
+      else Fmt.str "ok %S" text
 
 (* Total: every failure of a single request becomes an [err] line. *)
 let handle_line s line =

@@ -36,7 +36,19 @@
     fork BRANCH [FROM]             -> ok forked BRANCH at <v>
     seq                            -> ok wal <seq> txn <seq>
     lag                            -> ok wal <bytes> txn <bytes>
+    eval "<statements>"            -> ok "<transcript>" | err "<transcript>"
     v}
+
+    [eval] runs statements of the interactive data language
+    ({!Tdp_lang.Stmt}) through a per-connection
+    {!Tdp_lang.Session} — the same statements, outcomes and rendering
+    as [odb repl].  The quoted response payload is the newline-joined
+    {!Tdp_lang.Session.render} of each statement's outcome; it comes
+    back as [err] iff any statement failed (the session, its views and
+    its [let] bindings survive either way).  Reads see the open
+    transaction's overlay (the branch head otherwise); mutating
+    statements require an open transaction and otherwise fail with a
+    TDP055 diagnostic.
 
     Sessions are stateful: a current branch (default [main]) and at
     most one open transaction.  Reads inside a transaction see its

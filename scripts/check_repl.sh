@@ -1,0 +1,38 @@
+#!/bin/sh
+# Golden transcripts for the interactive data language (docs/language.md).
+#
+# Replays every script under test/golden/repl/ through
+# `odb repl --script` over the paper's employee schema and diffs the
+# transcript against its pinned .expected — the statement language and
+# its canonical rendering are a compatibility surface shared by the
+# repl, the Session API and the server's `eval` verb, so any drift
+# must be a conscious choice (regenerate with the command below).
+#
+# Usage: scripts/check_repl.sh   (run from the repository root)
+set -eu
+
+ODB=_build/default/bin/odb.exe
+SCHEMA=examples/schemas/employee.odb
+[ -x "$ODB" ] || dune build bin/odb.exe
+
+status=0
+for script in test/golden/repl/*.repl; do
+  name=$(basename "$script" .repl)
+  want=${script%.repl}.expected
+  if [ ! -f "$want" ]; then
+    echo "check_repl: $name has no .expected (generate: $ODB repl $SCHEMA --script $script > $want)" >&2
+    status=1
+    continue
+  fi
+  got=$("$ODB" repl "$SCHEMA" --script "$script")
+  if [ "$got" = "$(cat "$want")" ]; then
+    echo "check_repl: $name OK"
+  else
+    echo "check_repl: $name FAILED" >&2
+    printf '%s\n' "$got" | diff -u "$want" - >&2 || true
+    status=1
+  fi
+done
+
+[ "$status" -eq 0 ] && echo "check_repl: all transcripts match"
+exit "$status"
